@@ -1,0 +1,60 @@
+//! Criterion benches for the behavioural chip model: raw command
+//! throughput, HiRA operations, and the coverage probe that Algorithm 1
+//! executes millions of times at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hira_dram::addr::{BankId, RowId};
+use hira_dram::command::DramCommand;
+use hira_dram::timing::HiraTimings;
+use hira_dram::{DramModule, ModuleSpec};
+use std::hint::black_box;
+
+fn bench_act_pre(c: &mut Criterion) {
+    c.bench_function("chip/nominal_act_pre_cycle", |b| {
+        let mut m = DramModule::new(ModuleSpec::sk_hynix_4gb(1));
+        let t = *m.timing();
+        b.iter(|| {
+            let now = m.now();
+            m.execute(DramCommand::Act { bank: BankId(0), row: RowId(100) }, now);
+            m.execute(DramCommand::Pre { bank: BankId(0) }, now + t.t_ras);
+            m.wait(t.t_rp);
+        });
+    });
+}
+
+fn bench_hira_op(c: &mut Criterion) {
+    c.bench_function("chip/hira_operation", |b| {
+        let mut m = DramModule::new(ModuleSpec::sk_hynix_4gb(2));
+        let partner = m.isolation().find_partner(RowId(10)).unwrap();
+        b.iter(|| m.hira(BankId(0), RowId(10), black_box(partner), HiraTimings::nominal()));
+    });
+}
+
+fn bench_coverage_probe(c: &mut Criterion) {
+    c.bench_function("chip/coverage_pair_probe", |b| {
+        let mut mc = hira_softmc::SoftMc::new(ModuleSpec::c0());
+        b.iter(|| {
+            hira_characterize::coverage::pair_works(
+                &mut mc,
+                BankId(0),
+                RowId(7),
+                black_box(RowId(9 * 512)),
+                HiraTimings::nominal(),
+            )
+        });
+    });
+}
+
+fn bench_hammer(c: &mut Criterion) {
+    c.bench_function("chip/hammer_pair_10k", |b| {
+        let mut m = DramModule::new(ModuleSpec::sk_hynix_4gb(3));
+        b.iter(|| m.hammer_pair(BankId(0), RowId(99), RowId(101), black_box(10_000)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_act_pre, bench_hira_op, bench_coverage_probe, bench_hammer
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches + ablations for HiRA-MC's decision structures: the
+//! Case-1 finder query (which must beat tRP = 14.25 ns in hardware; here we
+//! measure the model), the deadline watchdog, and the security solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hira_core::config::HiraConfig;
+use hira_core::finder::{HiraMc, HiraMcParams};
+use hira_core::security::{solve_pth, SecurityParams};
+use hira_dram::addr::{BankId, RowId};
+use std::hint::black_box;
+
+fn loaded_mc(n: u32) -> HiraMc {
+    let mut mc = HiraMc::new(HiraMcParams::table3(64 * 1024, HiraConfig::hira_n(n)));
+    mc.tick(400.0); // a few queued requests
+    mc
+}
+
+fn bench_case1(c: &mut Criterion) {
+    c.bench_function("mc/case1_demand_act_query", |b| {
+        let mut mc = loaded_mc(8);
+        let mut row = 0u32;
+        b.iter(|| {
+            row = (row + 4097) % 65536;
+            black_box(mc.on_demand_act(500.0, BankId(0), RowId(row)))
+        });
+    });
+}
+
+fn bench_case2(c: &mut Criterion) {
+    c.bench_function("mc/case2_deadline_cycle", |b| {
+        let mut mc = loaded_mc(0);
+        let mut now = 1_000.0;
+        b.iter(|| {
+            mc.tick(now);
+            while let Some(w) = mc.deadline_work(now) {
+                black_box(w);
+            }
+            now += 100.0;
+        });
+    });
+}
+
+fn bench_security_solver(c: &mut Criterion) {
+    c.bench_function("security/solve_pth_nrh128", |b| {
+        let p = SecurityParams::paper_defaults(4);
+        b.iter(|| solve_pth(&p, black_box(128)));
+    });
+}
+
+fn bench_spt_modes(c: &mut Criterion) {
+    // Ablation: probabilistic SPT vs full isolation-map SPT lookup cost.
+    let spt_p = hira_core::spt::Spt::probabilistic(1, 0.32, 512);
+    let map = hira_dram::isolation::IsolationMap::new(1, 64 * 1024, 512, 0.32, 0.02);
+    let spt_m = hira_core::spt::Spt::from_map(map);
+    c.bench_function("mc/spt_probabilistic_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2011);
+            black_box(spt_p.compatible(RowId(i % 65536), RowId((i * 7) % 65536)))
+        });
+    });
+    c.bench_function("mc/spt_map_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2011);
+            black_box(spt_m.compatible(RowId(i % 32768), RowId((i * 7) % 32768)))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_case1, bench_case2, bench_security_solver, bench_spt_modes
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches for the cycle simulator: steady-state simulation
+//! throughput under each refresh scheme (also an ablation of the refresh
+//! machinery's bookkeeping cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hira_core::config::HiraConfig;
+use hira_sim::config::{RefreshScheme, SystemConfig};
+use hira_sim::system::System;
+use hira_sim::workloads::mixes;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/2k_insts_8core");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("no_refresh", RefreshScheme::NoRefresh),
+        ("baseline_ref", RefreshScheme::Baseline),
+        ("hira4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
+            let mix = &mixes(1, 8, 1)[0];
+            b.iter(|| {
+                let cfg = SystemConfig::table3(32.0, scheme).with_insts(2_000, 200);
+                System::new(cfg, mix).run()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_schemes
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation study (DESIGN.md §8): which HiRA-MC mechanism buys what.
+//!
+//! Runs HiRA-4 on 64 Gb chips with refresh-access and refresh-refresh
+//! pairing individually disabled, against the full configuration, the
+//! Baseline and the ideal No-Refresh system.
+
+use hira_bench::{mean_ws, print_series, Scale};
+use hira_core::config::HiraConfig;
+use hira_sim::config::{RefreshScheme, SystemConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cap = 64.0;
+    println!("== Ablation: HiRA-4 mechanisms at {cap} Gb, {} mixes x {} insts ==", scale.mixes, scale.insts);
+    let ideal = mean_ws(&SystemConfig::table3(cap, RefreshScheme::NoRefresh), scale);
+    let configs = [
+        ("Baseline", RefreshScheme::Baseline),
+        ("HiRA-4 full", RefreshScheme::Hira(HiraConfig::hira_n(4))),
+        ("no refresh-access", RefreshScheme::Hira(HiraConfig::hira_n(4).without_refresh_access())),
+        ("no refresh-refresh", RefreshScheme::Hira(HiraConfig::hira_n(4).without_refresh_refresh())),
+        (
+            "singles only",
+            RefreshScheme::Hira(
+                HiraConfig::hira_n(4).without_refresh_access().without_refresh_refresh(),
+            ),
+        ),
+    ];
+    println!("(weighted speedup normalized to the ideal No-Refresh system)");
+    for (name, scheme) in configs {
+        let ws = mean_ws(&SystemConfig::table3(cap, scheme), scale);
+        print_series(name, &[ws / ideal]);
+    }
+}

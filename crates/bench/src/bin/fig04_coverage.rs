@@ -1,0 +1,24 @@
+//! Fig. 4: HiRA coverage across the t1 × t2 grid (box plots).
+
+use hira_bench::Scale;
+use hira_characterize::config::CharacterizeConfig;
+use hira_characterize::coverage::figure4_grid;
+use hira_characterize::report::render_figure4;
+use hira_dram::addr::BankId;
+use hira_dram::ModuleSpec;
+use hira_softmc::SoftMc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = CharacterizeConfig {
+        rows_per_region: scale.rows.min(32),
+        row_a_stride: 2,
+        row_b_stride: 2,
+        ..CharacterizeConfig::fast()
+    };
+    println!("== Fig. 4: coverage vs (t1, t2), module C0, bank 0 ==");
+    println!("(paper: ~32 % at t1=3,t2∈{{3,4.5}}; ~0 at t1∈{{1.5,6}}; min 25 %)");
+    let mut mc = SoftMc::new(ModuleSpec::c0());
+    let grid = figure4_grid(&mut mc, BankId(0), &cfg);
+    print!("{}", render_figure4(&grid));
+}

@@ -1,0 +1,45 @@
+//! Fig. 12: PARA preventive-refresh performance vs RowHammer threshold:
+//! (a) normalized to a baseline with no RowHammer defense, (b) HiRA's
+//! improvement over plain PARA.
+
+use hira_bench::{mean_ws, preventive_schemes, print_series, Scale};
+use hira_sim::config::{RefreshScheme, SystemConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let nrhs = [1024u32, 512, 256, 128, 64];
+    println!("== Fig. 12: PARA +- HiRA, NRH sweep {:?}, {} mixes x {} insts ==",
+        nrhs, scale.mixes, scale.insts);
+
+    // Baseline: periodic refresh only, no RowHammer defense.
+    let base_ws = mean_ws(&SystemConfig::table3(8.0, RefreshScheme::Baseline), scale);
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for &nrh in &nrhs {
+        for (name, pth, mode) in preventive_schemes(nrh) {
+            let cfg = SystemConfig::table3(8.0, RefreshScheme::Baseline)
+                .with_preventive(pth, mode);
+            let ws = mean_ws(&cfg, scale);
+            match rows.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => v.push(ws),
+                None => rows.push((name.to_owned(), vec![ws])),
+            }
+        }
+    }
+
+    println!("\n-- Fig. 12a: WS normalized to no-defense baseline --");
+    println!("(paper: PARA 0.71 at NRH=1024 down to 0.04 at NRH=64)");
+    println!("NRH:         {:?}", nrhs);
+    for (name, ws) in &rows {
+        let norm: Vec<f64> = ws.iter().map(|w| w / base_ws).collect();
+        print_series(name, &norm);
+    }
+
+    println!("\n-- Fig. 12b: WS normalized to plain PARA --");
+    println!("(paper: HiRA-2 1.054x at NRH=1024, 2.75x at NRH=64; HiRA-4 3.73x at NRH=64)");
+    let para = rows.iter().find(|(n, _)| n == "PARA").unwrap().1.clone();
+    for (name, ws) in &rows {
+        let norm: Vec<f64> = ws.iter().zip(&para).map(|(w, p)| w / p).collect();
+        print_series(name, &norm);
+    }
+}

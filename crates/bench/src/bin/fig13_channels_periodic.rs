@@ -1,0 +1,31 @@
+//! Fig. 13: channel-count sweep (1-8) for periodic refresh at 2/8/32 Gb.
+
+use hira_bench::{mean_ws, print_series, Scale};
+use hira_core::config::HiraConfig;
+use hira_sim::config::{RefreshScheme, SystemConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let channels = [1usize, 2, 4, 8];
+    let schemes = [
+        ("Baseline", RefreshScheme::Baseline),
+        ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
+        ("HiRA-4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
+    ];
+    for cap in [2.0, 8.0, 32.0] {
+        println!("== Fig. 13: {cap} Gb chips, channels {:?} (normalized to Baseline 1ch/1rk) ==", channels);
+        let base_ref = mean_ws(&SystemConfig::table3(cap, RefreshScheme::Baseline), scale);
+        for (name, scheme) in schemes {
+            let ws: Vec<f64> = channels
+                .iter()
+                .map(|&ch| {
+                    mean_ws(&SystemConfig::table3(cap, scheme).with_geometry(ch, 1), scale)
+                        / base_ref
+                })
+                .collect();
+            print_series(name, &ws);
+        }
+        println!();
+    }
+    println!("(paper: performance rises with channels; HiRA > Baseline at every channel count)");
+}

@@ -1,0 +1,31 @@
+//! Fig. 14: rank-count sweep (1-8, shared command bus) for periodic refresh.
+
+use hira_bench::{mean_ws, print_series, Scale};
+use hira_core::config::HiraConfig;
+use hira_sim::config::{RefreshScheme, SystemConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ranks = [1usize, 2, 4, 8];
+    let schemes = [
+        ("Baseline", RefreshScheme::Baseline),
+        ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
+        ("HiRA-4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
+    ];
+    for cap in [2.0, 8.0, 32.0] {
+        println!("== Fig. 14: {cap} Gb chips, ranks/channel {:?} (normalized to Baseline 1ch/1rk) ==", ranks);
+        let base_ref = mean_ws(&SystemConfig::table3(cap, RefreshScheme::Baseline), scale);
+        for (name, scheme) in schemes {
+            let ws: Vec<f64> = ranks
+                .iter()
+                .map(|&r| {
+                    mean_ws(&SystemConfig::table3(cap, scheme).with_geometry(1, r), scale)
+                        / base_ref
+                })
+                .collect();
+            print_series(name, &ws);
+        }
+        println!();
+    }
+    println!("(paper: 1->2 ranks helps; beyond 2 the shared command bus erodes gains; HiRA stays ahead)");
+}

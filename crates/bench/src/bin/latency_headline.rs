@@ -1,0 +1,16 @@
+//! §4.2 headline numbers: two-row refresh latency with and without HiRA.
+
+use hira_core::hira_op::HiraOperation;
+use hira_dram::timing::TimingParams;
+
+fn main() {
+    let t = TimingParams::ddr4_2400();
+    let op = HiraOperation::nominal();
+    println!("== HiRA headline latencies (DDR4-2400, t1=t2=3 ns) ==");
+    println!("conventional two-row refresh : {:>7.2} ns (tRAS+tRP+tRAS)", t.two_row_refresh_ns());
+    println!("HiRA two-row refresh         : {:>7.2} ns (t1+t2+tRAS)", op.two_row_refresh_ns(&t));
+    println!("latency reduction            : {:>6.1} %  (paper: 51.4 %)",
+        op.refresh_latency_reduction(&t) * 100.0);
+    println!("access after refresh         : {:>7.2} ns lead (paper: as small as 6 ns, vs tRC {:.2})",
+        op.lead_ns(), t.t_rc);
+}

@@ -1,0 +1,23 @@
+//! Table 1 / Table 4: per-module HiRA coverage and normalized RowHammer
+//! thresholds for the seven tested DIMMs.
+
+use hira_bench::Scale;
+use hira_characterize::config::CharacterizeConfig;
+use hira_characterize::modules::characterize_table1;
+use hira_characterize::report::render_table1;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = CharacterizeConfig {
+        rows_per_region: scale.rows,
+        row_a_stride: 2,
+        row_b_stride: 2,
+        nrh_victims: 16,
+        ..CharacterizeConfig::fast()
+    };
+    println!("== Table 1 / Table 4: tested DDR4 modules (t1=t2=3 ns) ==");
+    println!("(paper coverage averages: A0 25.0  A1 26.6  B0 32.6  B1 31.6  C0 35.3  C1 38.4  C2 36.1 %)");
+    println!("(paper normalized NRH averages: 1.88-1.96)");
+    let rows = characterize_table1(&cfg);
+    print!("{}", render_table1(&rows));
+}

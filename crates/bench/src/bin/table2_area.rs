@@ -1,0 +1,20 @@
+//! Table 2: HiRA-MC hardware complexity (area + access latency) and the
+//! §6.2 worst-case search latency.
+
+use hira_core::area::table2_default;
+
+fn main() {
+    let r = table2_default();
+    println!("== Table 2: HiRA-MC components (per rank, analytic 22 nm SRAM model) ==");
+    println!("{:<28} {:>10} {:>12} {:>12}", "component", "bits", "area (mm^2)", "access (ns)");
+    for s in &r.structures {
+        println!("{:<28} {:>10} {:>12.5} {:>12.3}", s.name, s.bits, s.area_mm2, s.access_ns);
+    }
+    println!("{:<28} {:>10} {:>12.5}", "overall", "", r.total_mm2);
+    println!("fraction of reference die: {:.5} %  (paper: 0.0023 %)", r.die_fraction * 100.0);
+    println!(
+        "worst-case search latency: {:.2} ns (paper: 6.31 ns; must be < tRP 14.25 ns: {})",
+        r.worst_case_search_ns,
+        if r.worst_case_search_ns < 14.25 { "ok" } else { "VIOLATED" }
+    );
+}

@@ -1,0 +1,162 @@
+//! # hira-bench — the figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper (see `src/bin/`), built on
+//! the shared sweep helpers here. Every binary prints the same rows/series
+//! the paper reports; absolute values come from our simulator/model, the
+//! *shape* (orderings, trends, crossovers) is the reproduction target.
+//!
+//! Scale knobs (all binaries):
+//!
+//! * `HIRA_MIXES` — number of 8-core workload mixes (default 6; paper: 125),
+//! * `HIRA_INSTS` — measured instructions per core (default 60 000;
+//!   paper: 200 M),
+//! * `HIRA_ROWS` — characterization rows per region (default 48;
+//!   paper: 2 048).
+
+use hira_core::config::HiraConfig;
+use hira_sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
+use hira_sim::system::System;
+use hira_sim::workloads::{mixes, Benchmark, Mix};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Experiment scale options, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Number of multiprogrammed mixes per data point.
+    pub mixes: usize,
+    /// Measured instructions per core.
+    pub insts: u64,
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Characterization rows per region.
+    pub rows: u32,
+}
+
+impl Scale {
+    /// Reads `HIRA_MIXES` / `HIRA_INSTS` / `HIRA_ROWS` with defaults.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: u64| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        let insts = get("HIRA_INSTS", 60_000);
+        Scale {
+            mixes: get("HIRA_MIXES", 6) as usize,
+            insts,
+            warmup: insts / 5,
+            rows: get("HIRA_ROWS", 48) as u32,
+        }
+    }
+}
+
+/// Global cache of alone-IPC values, keyed by benchmark name and geometry.
+static ALONE_IPC: Mutex<Option<HashMap<(String, usize, usize), f64>>> = Mutex::new(None);
+
+/// IPC of `bench` running alone on an ideal (no-refresh, no-PARA) system of
+/// the given geometry — the denominator of weighted speedup.
+pub fn alone_ipc(bench: &'static Benchmark, channels: usize, ranks: usize, scale: Scale) -> f64 {
+    let key = (bench.name.to_owned(), channels, ranks);
+    if let Some(v) = ALONE_IPC.lock().unwrap().as_ref().and_then(|m| m.get(&key).copied()) {
+        return v;
+    }
+    let mut cfg = SystemConfig::table3(8.0, RefreshScheme::NoRefresh)
+        .with_geometry(channels, ranks)
+        .with_insts(scale.insts, scale.warmup);
+    cfg.cores = 1;
+    let mix = Mix { id: 0, benchmarks: vec![bench] };
+    let ipc = System::new(cfg, &mix).run().ipc[0];
+    let mut guard = ALONE_IPC.lock().unwrap();
+    guard.get_or_insert_with(HashMap::new).insert(key, ipc);
+    ipc
+}
+
+/// Runs one configuration over the mix suite (in parallel) and returns the
+/// mean weighted speedup.
+pub fn mean_ws(base_cfg: &SystemConfig, scale: Scale) -> f64 {
+    let suite = mixes(scale.mixes, base_cfg.cores, 0xA11CE);
+    // Warm the alone-IPC cache serially (it locks).
+    for m in &suite {
+        for b in &m.benchmarks {
+            alone_ipc(b, base_cfg.channels, base_cfg.ranks, scale);
+        }
+    }
+    let results: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = suite
+            .iter()
+            .map(|mix| {
+                let cfg = base_cfg.clone().with_insts(scale.insts, scale.warmup);
+                s.spawn(move || {
+                    let r = System::new(cfg, mix).run();
+                    let alone: Vec<f64> = mix
+                        .benchmarks
+                        .iter()
+                        .map(|b| alone_ipc(b, base_cfg.channels, base_cfg.ranks, scale))
+                        .collect();
+                    r.weighted_speedup(&alone)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+    });
+    results.iter().sum::<f64>() / results.len() as f64
+}
+
+/// The periodic-refresh configurations of Fig. 9 for one chip capacity.
+pub fn periodic_schemes() -> Vec<(&'static str, RefreshScheme)> {
+    vec![
+        ("Baseline", RefreshScheme::Baseline),
+        ("HiRA-0", RefreshScheme::Hira(HiraConfig::hira_n(0))),
+        ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
+        ("HiRA-4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
+        ("HiRA-8", RefreshScheme::Hira(HiraConfig::hira_n(8))),
+    ]
+}
+
+/// The preventive-refresh configurations of Fig. 12 (PARA ± HiRA). `p_th`
+/// is resolved per configuration from the §9.1 analysis (slack-aware).
+pub fn preventive_schemes(nrh: u32) -> Vec<(&'static str, f64, PreventiveMode)> {
+    vec![
+        ("PARA", pth_for(nrh, 0), PreventiveMode::Immediate),
+        ("HiRA-0", pth_for(nrh, 0), PreventiveMode::Hira(HiraConfig::hira_n(0))),
+        ("HiRA-2", pth_for(nrh, 2), PreventiveMode::Hira(HiraConfig::hira_n(2))),
+        ("HiRA-4", pth_for(nrh, 4), PreventiveMode::Hira(HiraConfig::hira_n(4))),
+        ("HiRA-8", pth_for(nrh, 8), PreventiveMode::Hira(HiraConfig::hira_n(8))),
+    ]
+}
+
+/// `p_th` for a RowHammer threshold under the §9.1 analysis, with the slack
+/// of the given HiRA-N (0 for plain PARA).
+pub fn pth_for(nrh: u32, slack_acts: u32) -> f64 {
+    let params = hira_core::security::SecurityParams::paper_defaults(slack_acts);
+    hira_core::security::solve_pth(&params, nrh)
+}
+
+/// Formats one numeric series row for the harness output.
+pub fn print_series(label: &str, xs: &[f64]) {
+    let body: Vec<String> = xs.iter().map(|v| format!("{v:>8.4}")).collect();
+    println!("{label:<12} {}", body.join(" "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_are_sane() {
+        let s = Scale::from_env();
+        assert!(s.mixes >= 1);
+        assert!(s.insts >= 1_000);
+        assert!(s.warmup < s.insts);
+    }
+
+    #[test]
+    fn scheme_lists_cover_the_paper_configs() {
+        assert_eq!(periodic_schemes().len(), 5);
+        assert_eq!(preventive_schemes(512).len(), 5);
+    }
+
+    #[test]
+    fn pth_is_monotone_in_nrh() {
+        assert!(pth_for(64, 0) > pth_for(1024, 0));
+    }
+}

@@ -1,0 +1,93 @@
+//! Reverse engineering of the DRAM-internal row mapping (§4 footnote 8).
+//!
+//! To hammer rows that are *physically* adjacent to a victim, the paper
+//! reconstructs the internal logical→physical mapping with single-sided
+//! RowHammer: hammer one candidate row far past any plausible threshold and
+//! see whether the victim flips. Only physical neighbours can flip it.
+
+use hira_dram::addr::{BankId, RowId};
+use hira_softmc::patterns::DataPattern;
+use hira_softmc::program::Program;
+use hira_softmc::SoftMc;
+
+/// Single-sided hammer count used for discovery (far above any threshold).
+const DISCOVERY_HAMMERS: u32 = 400_000;
+
+/// Finds the logical addresses of the victim's physical neighbours by
+/// single-sided hammering of every candidate in a `±window` logical window.
+/// The internal remapping is block-local (≤ 512 rows on the modelled parts),
+/// so `window = 512` always finds both neighbours.
+///
+/// Returns the aggressor rows in ascending logical order (1 or 2 rows; edge
+/// rows of the bank have a single neighbour).
+pub fn reverse_engineer_aggressors(
+    mc: &mut SoftMc,
+    bank: BankId,
+    victim: RowId,
+    window: u32,
+) -> Vec<RowId> {
+    let rows_per_bank = mc.module().geometry().rows_per_bank;
+    let lo = victim.0.saturating_sub(window);
+    let hi = (victim.0 + window).min(rows_per_bank - 1);
+    let mut aggressors = Vec::new();
+    for cand in lo..=hi {
+        if cand == victim.0 {
+            continue;
+        }
+        let candidate = RowId(cand);
+        // Both polarities so the flip direction cannot hide the disturbance.
+        let mut flipped = false;
+        for pattern in [DataPattern::Ones, DataPattern::Zeros] {
+            let mut p = Program::new();
+            p.write_row(bank, victim, pattern)
+                .write_row(bank, candidate, pattern.inverse())
+                // Single-sided: hammering the candidate against itself issues
+                // 2 activations per loop iteration.
+                .hammer_pair(bank, candidate, candidate, DISCOVERY_HAMMERS / 2)
+                .read_row(bank, victim);
+            let r = mc.run(&p);
+            if r.flips_of(bank, victim, pattern).expect("victim read back") > 0 {
+                flipped = true;
+                break;
+            }
+        }
+        if flipped {
+            aggressors.push(candidate);
+        }
+    }
+    aggressors
+}
+
+/// The fast path: asks the module spec for the mapping directly. Used by the
+/// bulk experiments once `reverse_engineer_aggressors` has validated it.
+pub fn aggressors_via_mapping(mc: &SoftMc, victim: RowId) -> Vec<RowId> {
+    let rows_per_bank = mc.module().geometry().rows_per_bank;
+    let mut a = mc.module().spec().mapping.logical_aggressors(victim, rows_per_bank);
+    a.sort();
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hira_dram::ModuleSpec;
+
+    #[test]
+    fn discovery_matches_the_module_mapping() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x77));
+        let victim = RowId(1_024 + 17);
+        let expected = aggressors_via_mapping(&mc, victim);
+        let found = reverse_engineer_aggressors(&mut mc, BankId(0), victim, 512);
+        assert_eq!(found, expected, "single-sided discovery disagrees with mapping");
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn edge_row_has_single_neighbor() {
+        let mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x78));
+        // Physical row 0's logical address:
+        let log0 = mc.module().spec().mapping.to_logical(hira_dram::addr::PhysRowId(0));
+        let a = aggressors_via_mapping(&mc, log0);
+        assert_eq!(a.len(), 1);
+    }
+}

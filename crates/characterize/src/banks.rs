@@ -1,0 +1,127 @@
+//! §4.4: variation across DRAM banks.
+//!
+//! Two experiments: (1) the set of row pairs HiRA can concurrently activate
+//! is identical across all 16 banks (§4.4.1, a design-induced property), and
+//! (2) HiRA's second row activation works in every bank, with the normalized
+//! RowHammer threshold per bank plotted in Fig. 6.
+
+use crate::config::CharacterizeConfig;
+use crate::coverage::pair_works;
+use crate::stats::BoxStats;
+use crate::verify;
+use hira_dram::addr::{BankId, RowId};
+use hira_softmc::SoftMc;
+
+/// Result of the §4.4.1 invariance check.
+#[derive(Debug, Clone)]
+pub struct PairInvariance {
+    /// Number of `(RowA, RowB)` pairs probed per bank.
+    pub pairs_probed: usize,
+    /// Banks whose pass/fail pattern differed from bank 0 (empty = invariant).
+    pub divergent_banks: Vec<BankId>,
+}
+
+/// Probes a sample of row pairs in every bank and checks that the set of
+/// working pairs is identical across banks.
+pub fn pair_invariance(mc: &mut SoftMc, cfg: &CharacterizeConfig, sample_pairs: usize) -> PairInvariance {
+    let geom = *mc.module().geometry();
+    let banks = geom.banks;
+    let tested = geom.tested_rows(cfg.rows_per_region);
+    // A deterministic spread of pairs over the tested rows.
+    let mut pairs = Vec::with_capacity(sample_pairs);
+    let n = tested.len();
+    for k in 0..sample_pairs {
+        let a = tested[(k * 7919) % n];
+        let b = tested[(k * 104_729 + n / 2) % n];
+        if a != b {
+            pairs.push((a, b));
+        }
+    }
+
+    let reference: Vec<bool> = pairs
+        .iter()
+        .map(|&(a, b)| pair_works(mc, BankId(0), a, b, cfg.hira))
+        .collect();
+
+    let mut divergent = Vec::new();
+    for bank_idx in 1..banks {
+        let bank = BankId(bank_idx);
+        let same = pairs
+            .iter()
+            .zip(&reference)
+            .all(|(&(a, b), &expect)| pair_works(mc, bank, a, b, cfg.hira) == expect);
+        if !same {
+            divergent.push(bank);
+        }
+    }
+    PairInvariance { pairs_probed: pairs.len(), divergent_banks: divergent }
+}
+
+/// Per-bank normalized RowHammer threshold distribution (one Fig. 6 box).
+#[derive(Debug, Clone)]
+pub struct BankNrh {
+    /// The bank measured.
+    pub bank: BankId,
+    /// Distribution of normalized thresholds across victims in this bank.
+    pub normalized: BoxStats,
+}
+
+/// Runs the Algorithm 2 verification in every bank (Fig. 6).
+pub fn per_bank_normalized_nrh(
+    mc: &mut SoftMc,
+    cfg: &CharacterizeConfig,
+    victims_per_bank: usize,
+) -> Vec<BankNrh> {
+    let geom = *mc.module().geometry();
+    let tested = geom.tested_rows(cfg.rows_per_region);
+    let step = (tested.len() / victims_per_bank.max(1)).max(1);
+    let victims: Vec<RowId> = tested.iter().copied().step_by(step).take(victims_per_bank).collect();
+
+    (0..geom.banks)
+        .map(|bank_idx| {
+            let bank = BankId(bank_idx);
+            let norms: Vec<f64> = victims
+                .iter()
+                .filter_map(|&v| verify::measure_victim(mc, bank, v, cfg))
+                .map(|m| m.normalized())
+                .collect();
+            BankNrh { bank, normalized: BoxStats::from_samples(&norms) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hira_dram::ModuleSpec;
+
+    #[test]
+    fn working_pairs_are_identical_across_banks() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x31));
+        let cfg = CharacterizeConfig { rows_per_region: 32, ..CharacterizeConfig::fast() };
+        let inv = pair_invariance(&mut mc, &cfg, 12);
+        assert!(inv.pairs_probed >= 10);
+        assert!(
+            inv.divergent_banks.is_empty(),
+            "divergent banks: {:?}",
+            inv.divergent_banks
+        );
+    }
+
+    #[test]
+    fn every_bank_shows_a_real_second_activation() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x32));
+        let cfg = CharacterizeConfig { nrh_victims: 3, ..CharacterizeConfig::fast() };
+        let per_bank = per_bank_normalized_nrh(&mut mc, &cfg, 3);
+        assert_eq!(per_bank.len(), 16);
+        for b in &per_bank {
+            // Fig. 6: normalized threshold > 1.56× in every bank.
+            assert!(
+                b.normalized.min > 1.3,
+                "bank {} normalized min {}",
+                b.bank,
+                b.normalized.min
+            );
+        }
+    }
+}

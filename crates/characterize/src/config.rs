@@ -1,0 +1,89 @@
+//! Experiment scale configuration.
+//!
+//! The paper tests the first/middle/last 2 K rows of bank 0 per module
+//! (§4.1 footnote 4) and every `RowB` against every `RowA`. That is feasible
+//! on an FPGA running for days; the software default scales the row counts
+//! down while keeping the methodology identical. `paper_scale()` restores the
+//! published scale.
+
+use hira_dram::timing::HiraTimings;
+
+/// Knobs controlling experiment scale (not methodology).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharacterizeConfig {
+    /// Rows tested per region (first/middle/last of the bank). Paper: 2048.
+    pub rows_per_region: u32,
+    /// Stride when sampling `RowB` partners in Algorithm 1 (1 = every row,
+    /// as in the paper).
+    pub row_b_stride: usize,
+    /// Stride when choosing the `RowA` rows whose coverage is measured.
+    pub row_a_stride: usize,
+    /// Number of victim rows for the Algorithm 2 threshold measurements.
+    pub nrh_victims: usize,
+    /// HiRA timing parameters under test.
+    pub hira: HiraTimings,
+    /// Binary-search floor for the RowHammer threshold.
+    pub nrh_search_lo: u32,
+    /// Binary-search ceiling for the RowHammer threshold.
+    pub nrh_search_hi: u32,
+    /// Relative resolution at which the binary search stops.
+    pub nrh_resolution: f64,
+}
+
+impl CharacterizeConfig {
+    /// Fast default: enough rows for stable statistics, seconds of runtime.
+    pub fn fast() -> Self {
+        CharacterizeConfig {
+            rows_per_region: 48,
+            row_b_stride: 2,
+            row_a_stride: 2,
+            nrh_victims: 24,
+            hira: HiraTimings::nominal(),
+            nrh_search_lo: 2_000,
+            nrh_search_hi: 200_000,
+            nrh_resolution: 0.02,
+        }
+    }
+
+    /// Published scale (§4.1): 3 × 2048 rows, exhaustive RowB sweep.
+    pub fn paper_scale() -> Self {
+        CharacterizeConfig {
+            rows_per_region: 2_048,
+            row_b_stride: 1,
+            row_a_stride: 1,
+            nrh_victims: 256,
+            ..Self::fast()
+        }
+    }
+
+    /// Same methodology with custom HiRA timings (the Fig. 4 sweep).
+    pub fn with_hira(mut self, hira: HiraTimings) -> Self {
+        self.hira = hira;
+        self
+    }
+}
+
+impl Default for CharacterizeConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_section_4_1() {
+        let c = CharacterizeConfig::paper_scale();
+        assert_eq!(c.rows_per_region, 2048);
+        assert_eq!(c.row_b_stride, 1);
+    }
+
+    #[test]
+    fn with_hira_overrides_timings() {
+        let c = CharacterizeConfig::fast().with_hira(HiraTimings { t1: 1.5, t2: 6.0 });
+        assert_eq!(c.hira.t1, 1.5);
+        assert_eq!(c.hira.t2, 6.0);
+    }
+}

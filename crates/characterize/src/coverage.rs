@@ -1,0 +1,174 @@
+//! Algorithm 1: HiRA coverage measurement (§4.2).
+//!
+//! For a given `RowA`, coverage is the fraction of other tested rows `RowB`
+//! that HiRA can activate concurrently with `RowA` without corrupting either
+//! row, for all four data patterns. The implementation follows the paper's
+//! listing exactly: initialize the pair with inverse patterns, run the
+//! `ACT — t1 — PRE — t2 — ACT — tRAS — PRE` sequence, read both rows back and
+//! compare.
+
+use crate::config::CharacterizeConfig;
+use crate::stats::BoxStats;
+use hira_dram::addr::{BankId, RowId};
+use hira_dram::timing::HiraTimings;
+use hira_softmc::patterns::DataPattern;
+use hira_softmc::program::Program;
+use hira_softmc::SoftMc;
+
+/// Per-row coverage results for one `(t1, t2)` configuration.
+#[derive(Debug, Clone)]
+pub struct CoverageResult {
+    /// Timing configuration tested.
+    pub hira: HiraTimings,
+    /// Bank tested.
+    pub bank: BankId,
+    /// `(RowA, coverage ∈ [0,1])` for every tested row.
+    pub per_row: Vec<(RowId, f64)>,
+}
+
+impl CoverageResult {
+    /// Distribution summary across tested rows (one Fig. 4 box).
+    pub fn stats(&self) -> BoxStats {
+        let xs: Vec<f64> = self.per_row.iter().map(|&(_, c)| c).collect();
+        BoxStats::from_samples(&xs)
+    }
+
+    /// The set of rows with zero coverage (§4.2 observation 3).
+    pub fn zero_coverage_rows(&self) -> Vec<RowId> {
+        self.per_row.iter().filter(|&&(_, c)| c == 0.0).map(|&(r, _)| r).collect()
+    }
+}
+
+/// One cell of the Fig. 4 grid.
+#[derive(Debug, Clone)]
+pub struct CoverageGridPoint {
+    /// Timing configuration of this grid cell.
+    pub hira: HiraTimings,
+    /// Coverage distribution across tested rows.
+    pub stats: BoxStats,
+}
+
+/// Tests whether HiRA can concurrently activate `row_a` and `row_b` without
+/// bit flips under any of the four data patterns (Algorithm 1, inner loop).
+pub fn pair_works(
+    mc: &mut SoftMc,
+    bank: BankId,
+    row_a: RowId,
+    row_b: RowId,
+    hira: HiraTimings,
+) -> bool {
+    let t = *mc.module().timing();
+    for pattern in DataPattern::ALL {
+        let mut p = Program::new();
+        p.write_row(bank, row_a, pattern)
+            .write_row(bank, row_b, pattern.inverse())
+            .hira(bank, row_a, row_b, hira.t1, hira.t2, t.t_ras, t.t_rp)
+            .read_row(bank, row_a)
+            .read_row(bank, row_b);
+        let r = mc.run(&p);
+        let flips_a = r.flips_of(bank, row_a, pattern).expect("row A read back");
+        let flips_b = r.flips_of(bank, row_b, pattern.inverse()).expect("row B read back");
+        if flips_a + flips_b > 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Measures HiRA coverage of every configured `RowA` in `bank`
+/// (Algorithm 1, outer loops).
+pub fn measure(mc: &mut SoftMc, bank: BankId, cfg: &CharacterizeConfig) -> CoverageResult {
+    let tested = mc.module().geometry().tested_rows(cfg.rows_per_region);
+    let row_as: Vec<RowId> = tested.iter().copied().step_by(cfg.row_a_stride.max(1)).collect();
+    let row_bs: Vec<RowId> = tested.iter().copied().step_by(cfg.row_b_stride.max(1)).collect();
+
+    let mut per_row = Vec::with_capacity(row_as.len());
+    for &row_a in &row_as {
+        let mut works = 0usize;
+        let mut probed = 0usize;
+        for &row_b in &row_bs {
+            if row_b == row_a {
+                continue;
+            }
+            probed += 1;
+            if pair_works(mc, bank, row_a, row_b, cfg.hira) {
+                works += 1;
+            }
+        }
+        let coverage = if probed == 0 { 0.0 } else { works as f64 / probed as f64 };
+        per_row.push((row_a, coverage));
+    }
+    CoverageResult { hira: cfg.hira, bank, per_row }
+}
+
+/// Sweeps the Fig. 4 `t1 × t2` grid on one module/bank.
+pub fn figure4_grid(mc: &mut SoftMc, bank: BankId, cfg: &CharacterizeConfig) -> Vec<CoverageGridPoint> {
+    HiraTimings::figure4_grid()
+        .into_iter()
+        .map(|hira| {
+            let result = measure(mc, bank, &cfg.with_hira(hira));
+            CoverageGridPoint { hira, stats: result.stats() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hira_dram::ModuleSpec;
+
+    fn tiny_cfg() -> CharacterizeConfig {
+        CharacterizeConfig {
+            rows_per_region: 16,
+            row_a_stride: 4,
+            row_b_stride: 2,
+            ..CharacterizeConfig::fast()
+        }
+    }
+
+    #[test]
+    fn nominal_timing_yields_coverage_near_isolation_target() {
+        let spec = ModuleSpec::sk_hynix_4gb(0x11);
+        // At this scale each tested region sits inside one subarray, so 1/3
+        // of each row's partners are structurally excluded (same/adjacent
+        // subarray) and the expected coverage is target × 2/3.
+        let expected = spec.isolation_target * 2.0 / 3.0;
+        let mut mc = SoftMc::new(spec);
+        let r = measure(&mut mc, BankId(0), &tiny_cfg());
+        let s = r.stats();
+        assert!(
+            (s.mean - expected).abs() < 0.1,
+            "coverage mean {} vs expected {expected}",
+            s.mean
+        );
+        assert!(r.zero_coverage_rows().is_empty(), "no zero-coverage rows at t1=t2=3ns");
+    }
+
+    #[test]
+    fn too_small_t1_collapses_coverage() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x12));
+        let cfg = tiny_cfg().with_hira(HiraTimings { t1: 1.5, t2: 3.0 });
+        let r = measure(&mut mc, BankId(0), &cfg);
+        let s = r.stats();
+        assert!(s.mean < 0.1, "t1=1.5ns coverage mean {}", s.mean);
+        assert!(!r.zero_coverage_rows().is_empty(), "expected zero-coverage rows");
+    }
+
+    #[test]
+    fn too_large_t1_collapses_coverage() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x13));
+        let cfg = tiny_cfg().with_hira(HiraTimings { t1: 6.0, t2: 3.0 });
+        let r = measure(&mut mc, BankId(0), &cfg);
+        assert!(r.stats().mean < 0.1, "t1=6ns coverage mean {}", r.stats().mean);
+    }
+
+    #[test]
+    fn pair_works_is_deterministic() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x14));
+        let a = RowId(0);
+        let b = RowId(8 * 512);
+        let first = pair_works(&mut mc, BankId(0), a, b, HiraTimings::nominal());
+        let second = pair_works(&mut mc, BankId(0), a, b, HiraTimings::nominal());
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,37 @@
+//! # hira-characterize — §4's real-chip experiments, in software
+//!
+//! Runs the paper's characterization methodology verbatim against the
+//! behavioural chip model:
+//!
+//! * [`coverage`] — **Algorithm 1**: HiRA coverage of a row = the fraction of
+//!   other rows in the bank that can be concurrently activated with it
+//!   without bit flips, swept over the `t1 × t2` grid (Fig. 4, Table 1/4),
+//! * [`verify`] — **Algorithm 2**: proves the second row activation is real
+//!   by measuring the RowHammer threshold of a victim with and without a
+//!   mid-attack HiRA refresh (Fig. 5, Table 4),
+//! * [`banks`] — §4.4: coverage-pair invariance and normalized-threshold
+//!   variation across all 16 banks (Fig. 6),
+//! * [`modules`] — end-to-end per-module characterization (Table 1/Table 4),
+//! * [`adjacency`] — single-sided-RowHammer reverse engineering of the
+//!   DRAM-internal row mapping (§4 footnote 8),
+//! * [`temperature`] — an extension study: RowHammer thresholds vs the
+//!   heater setpoint, and HiRA's temperature-invariance,
+//! * [`stats`] — box-and-whisker summaries and histograms used by every
+//!   figure,
+//! * [`report`] — plain-text table/figure rendering for the bench binaries.
+
+pub mod adjacency;
+pub mod banks;
+pub mod config;
+pub mod coverage;
+pub mod modules;
+pub mod report;
+pub mod stats;
+pub mod temperature;
+pub mod verify;
+
+pub use config::CharacterizeConfig;
+pub use coverage::{CoverageGridPoint, CoverageResult};
+pub use modules::ModuleCharacterization;
+pub use stats::BoxStats;
+pub use verify::NrhMeasurement;

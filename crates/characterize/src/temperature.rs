@@ -1,0 +1,89 @@
+//! Temperature sensitivity study (extension).
+//!
+//! The paper's rig clamps chips at a controlled temperature (§4.1) but only
+//! reports room-temperature results. Prior work the paper builds on ([129])
+//! shows RowHammer thresholds fall as temperature rises, while HiRA's
+//! analog timing windows are design properties. This experiment sweeps the
+//! heater setpoint and verifies two things on the model:
+//!
+//! 1. the measured RowHammer threshold decreases with temperature (so a
+//!    HiRA-based preventive-refresh deployment must configure `p_th` for
+//!    the worst-case operating temperature), and
+//! 2. the *normalized* threshold (with/without HiRA) stays ≈ 1.9× across
+//!    temperature — HiRA's second activation works the same hot or cold.
+
+use crate::config::CharacterizeConfig;
+use crate::stats::BoxStats;
+use crate::verify;
+use hira_dram::addr::{BankId, RowId};
+use hira_softmc::SoftMc;
+
+/// One temperature point of the sweep.
+#[derive(Debug, Clone)]
+pub struct TemperaturePoint {
+    /// Heater setpoint in °C.
+    pub temp_c: f64,
+    /// Absolute thresholds measured without HiRA.
+    pub absolute: BoxStats,
+    /// Normalized thresholds (with / without HiRA).
+    pub normalized: BoxStats,
+}
+
+/// Sweeps the heater setpoint and measures thresholds at each temperature.
+pub fn sweep(
+    mc: &mut SoftMc,
+    bank: BankId,
+    temps_c: &[f64],
+    cfg: &CharacterizeConfig,
+) -> Vec<TemperaturePoint> {
+    let tested = mc.module().geometry().tested_rows(cfg.rows_per_region);
+    let step = (tested.len() / cfg.nrh_victims.max(1)).max(1);
+    let victims: Vec<RowId> =
+        tested.iter().copied().step_by(step).take(cfg.nrh_victims).collect();
+
+    temps_c
+        .iter()
+        .map(|&t| {
+            mc.set_temperature(t);
+            let ms: Vec<_> = victims
+                .iter()
+                .filter_map(|&v| verify::measure_victim(mc, bank, v, cfg))
+                .collect();
+            let abs: Vec<f64> = ms.iter().map(|m| f64::from(m.without_hira)).collect();
+            let norm: Vec<f64> = ms.iter().map(verify::NrhMeasurement::normalized).collect();
+            TemperaturePoint {
+                temp_c: t,
+                absolute: BoxStats::from_samples(&abs),
+                normalized: BoxStats::from_samples(&norm),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hira_dram::ModuleSpec;
+
+    #[test]
+    fn thresholds_fall_with_temperature_but_hira_ratio_holds() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x71));
+        let cfg = CharacterizeConfig { nrh_victims: 6, ..CharacterizeConfig::fast() };
+        let pts = sweep(&mut mc, BankId(0), &[45.0, 85.0], &cfg);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].absolute.mean < pts[0].absolute.mean,
+            "hotter chip should be more vulnerable: {} vs {}",
+            pts[1].absolute.mean,
+            pts[0].absolute.mean
+        );
+        for p in &pts {
+            assert!(
+                (1.6..=2.2).contains(&p.normalized.mean),
+                "normalized ratio at {} °C: {}",
+                p.temp_c,
+                p.normalized.mean
+            );
+        }
+    }
+}

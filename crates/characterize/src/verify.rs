@@ -1,0 +1,224 @@
+//! Algorithm 2: verifying HiRA's second row activation (§4.3).
+//!
+//! A "no bit flips" outcome of Algorithm 1 is ambiguous: either HiRA worked,
+//! or the chip silently ignored the second `ACT`. Algorithm 2 disambiguates
+//! by measuring a victim row's RowHammer threshold twice — once with a
+//! mid-attack HiRA refresh of the victim and once waiting the same duration —
+//! via binary search. If the second activation is real, the threshold roughly
+//! doubles (the victim's disturbance is scrubbed halfway through).
+
+use crate::adjacency::aggressors_via_mapping;
+use crate::config::CharacterizeConfig;
+use hira_dram::addr::{BankId, RowId};
+use hira_dram::timing::HiraTimings;
+use hira_softmc::patterns::DataPattern;
+use hira_softmc::program::Program;
+use hira_softmc::SoftMc;
+
+/// Thresholds measured for one victim row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NrhMeasurement {
+    /// Victim row.
+    pub victim: RowId,
+    /// Measured threshold without HiRA (total aggressor activations).
+    pub without_hira: u32,
+    /// Measured threshold with a mid-attack HiRA refresh of the victim.
+    pub with_hira: u32,
+}
+
+impl NrhMeasurement {
+    /// `with / without` — the normalized RowHammer threshold of Fig. 5b/6.
+    pub fn normalized(&self) -> f64 {
+        f64::from(self.with_hira) / f64::from(self.without_hira)
+    }
+}
+
+/// Runs one Algorithm 2 trial: returns `true` if the victim flips at total
+/// hammer count `hc`.
+#[allow(clippy::too_many_arguments)]
+pub fn trial_flips(
+    mc: &mut SoftMc,
+    bank: BankId,
+    victim: RowId,
+    dummy: RowId,
+    aggressors: &[RowId],
+    hira: HiraTimings,
+    with_hira: bool,
+    hc: u32,
+) -> bool {
+    let t = *mc.module().timing();
+    let (aggr_a, aggr_b) = match *aggressors {
+        [a, b] => (a, b),
+        [a] => (a, a),
+        _ => panic!("victim must have 1 or 2 aggressors"),
+    };
+    let mut flips = 0u64;
+    // Two polarities so flip direction cannot mask the disturbance; the
+    // paper's four patterns reduce to these two for threshold purposes.
+    for pattern in [DataPattern::Ones, DataPattern::Zeros] {
+        let mut p = Program::new();
+        // Step 1: initialize victim, dummy and aggressor rows.
+        p.write_row(bank, victim, pattern)
+            .write_row(bank, dummy, pattern.inverse())
+            .write_row(bank, aggr_a, pattern.inverse());
+        if aggr_b != aggr_a {
+            p.write_row(bank, aggr_b, pattern.inverse());
+        }
+        // Step 2: first half of the hammers (hc/2 per-victim disturbances =
+        // hc/4 double-sided loop iterations).
+        p.hammer_pair(bank, aggr_a, aggr_b, hc / 4);
+        // Step 3: HiRA refresh of the victim, or an equal-length wait.
+        if with_hira {
+            p.act_wait(bank, dummy, hira.t1)
+                .pre_wait(bank, hira.t2)
+                .act_wait(bank, victim, t.t_ras)
+                .pre_wait(bank, t.t_rp);
+        } else {
+            p.wait(hira.t1 + hira.t2 + t.t_ras + t.t_rp);
+        }
+        // Step 4: second half of the hammers.
+        p.hammer_pair(bank, aggr_a, aggr_b, hc / 4);
+        // Step 5: check the victim for bit flips.
+        p.read_row(bank, victim);
+        let r = mc.run(&p);
+        flips += r.flips_of(bank, victim, pattern).expect("victim read back");
+    }
+    flips > 0
+}
+
+/// Binary-searches the minimum hammer count that flips the victim
+/// (the RowHammer threshold), as in prior work [79, 129, 180].
+#[allow(clippy::too_many_arguments)]
+pub fn search_threshold(
+    mc: &mut SoftMc,
+    bank: BankId,
+    victim: RowId,
+    dummy: RowId,
+    aggressors: &[RowId],
+    hira: HiraTimings,
+    with_hira: bool,
+    cfg: &CharacterizeConfig,
+) -> u32 {
+    let (mut lo, mut hi) = (cfg.nrh_search_lo, cfg.nrh_search_hi);
+    // Ensure the bracket actually brackets.
+    if trial_flips(mc, bank, victim, dummy, aggressors, hira, with_hira, lo) {
+        return lo;
+    }
+    if !trial_flips(mc, bank, victim, dummy, aggressors, hira, with_hira, hi) {
+        return hi;
+    }
+    while f64::from(hi - lo) > cfg.nrh_resolution * f64::from(hi) {
+        let mid = lo + (hi - lo) / 2;
+        if trial_flips(mc, bank, victim, dummy, aggressors, hira, with_hira, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Picks a dummy row HiRA can concurrently refresh with the victim
+/// (Algorithm 2 step 1). As in the paper, candidates come from the coverage
+/// knowledge: we probe isolated partners with the Algorithm-1 pair test and
+/// take the first that works reliably — a partner being *isolated* is
+/// necessary but not sufficient (its own analog margins must also pass).
+pub fn pick_dummy(mc: &mut SoftMc, bank: BankId, victim: RowId, hira: HiraTimings) -> Option<RowId> {
+    let geom = *mc.module().geometry();
+    let subarrays = geom.rows_per_bank / geom.rows_per_subarray;
+    let candidates: Vec<RowId> = (0..subarrays)
+        .flat_map(|sa| (0..4).map(move |k| RowId(sa * geom.rows_per_subarray + k * 7)))
+        .filter(|&c| mc.module().isolation().isolated(victim, c))
+        .take(16)
+        .collect();
+    candidates
+        .into_iter()
+        .find(|&c| crate::coverage::pair_works(mc, bank, c, victim, hira))
+}
+
+/// Measures the threshold pair for one victim (Fig. 5's per-row datum).
+pub fn measure_victim(
+    mc: &mut SoftMc,
+    bank: BankId,
+    victim: RowId,
+    cfg: &CharacterizeConfig,
+) -> Option<NrhMeasurement> {
+    let aggressors = aggressors_via_mapping(mc, victim);
+    if aggressors.len() != 2 {
+        return None; // edge rows: skip, as the paper implicitly does
+    }
+    let dummy = pick_dummy(mc, bank, victim, cfg.hira)?;
+    let without_hira =
+        search_threshold(mc, bank, victim, dummy, &aggressors, cfg.hira, false, cfg);
+    let with_hira = search_threshold(mc, bank, victim, dummy, &aggressors, cfg.hira, true, cfg);
+    Some(NrhMeasurement { victim, without_hira, with_hira })
+}
+
+/// Measures `cfg.nrh_victims` victims spread over the tested rows.
+pub fn measure_many(mc: &mut SoftMc, bank: BankId, cfg: &CharacterizeConfig) -> Vec<NrhMeasurement> {
+    let tested = mc.module().geometry().tested_rows(cfg.rows_per_region);
+    let step = (tested.len() / cfg.nrh_victims.max(1)).max(1);
+    tested
+        .iter()
+        .step_by(step)
+        .take(cfg.nrh_victims)
+        .filter_map(|&v| measure_victim(mc, bank, v, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hira_dram::ModuleSpec;
+
+    #[test]
+    fn hira_roughly_doubles_the_threshold() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x21));
+        let cfg = CharacterizeConfig::fast();
+        let m = measure_victim(&mut mc, BankId(0), RowId(700), &cfg).expect("measurable victim");
+        let norm = m.normalized();
+        assert!(
+            (1.4..=2.7).contains(&norm),
+            "normalized threshold {norm} outside the Fig. 5b envelope ({m:?})"
+        );
+    }
+
+    #[test]
+    fn absolute_threshold_is_in_fig5a_range() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x22));
+        let cfg = CharacterizeConfig::fast();
+        let m = measure_victim(&mut mc, BankId(0), RowId(1500), &cfg).unwrap();
+        assert!(
+            (8_000..=130_000).contains(&m.without_hira),
+            "threshold {} outside Fig. 5a support",
+            m.without_hira
+        );
+    }
+
+    #[test]
+    fn hira_inert_module_shows_no_threshold_increase() {
+        // §4.3's disambiguation: on Micron/Samsung parts the second ACT is
+        // dropped, so the "with HiRA" threshold matches the baseline.
+        let mut mc = SoftMc::new(ModuleSpec::micron_4gb(0x23));
+        let cfg = CharacterizeConfig::fast();
+        let m = measure_victim(&mut mc, BankId(0), RowId(900), &cfg).unwrap();
+        let norm = m.normalized();
+        assert!(norm < 1.15, "HiRA-inert module showed normalized NRH {norm}");
+    }
+
+    #[test]
+    fn dummy_row_is_isolated_from_victim_and_pair_works() {
+        let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x24));
+        let victim = RowId(300);
+        let dummy =
+            pick_dummy(&mut mc, BankId(0), victim, HiraTimings::nominal()).unwrap();
+        assert!(mc.module().isolation().isolated(victim, dummy));
+        assert!(crate::coverage::pair_works(
+            &mut mc,
+            BankId(0),
+            dummy,
+            victim,
+            HiraTimings::nominal()
+        ));
+    }
+}

@@ -1,0 +1,76 @@
+//! HiRA-MC configuration (the HiRA-N notation of §8/§9).
+
+use crate::hira_op::HiraOperation;
+use hira_dram::timing::TimingParams;
+
+/// Configuration of one HiRA-MC instance (per rank).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HiraConfig {
+    /// The HiRA operation (its `t1`/`t2`).
+    pub op: HiraOperation,
+    /// `tRefSlack` in units of `tRC` — the `N` of HiRA-N. A refresh request
+    /// generated at time `g` must be performed by `g + N × tRC`.
+    pub slack_acts: u32,
+    /// Enable Case-1 refresh-access parallelization (§5.1.3). Disabling it
+    /// is the ablation of the headline mechanism.
+    pub refresh_access: bool,
+    /// Enable Case-2 refresh-refresh parallelization.
+    pub refresh_refresh: bool,
+}
+
+impl HiraConfig {
+    /// The HiRA-N configuration of the paper's sweeps (`N ∈ {0, 2, 4, 8}`).
+    pub fn hira_n(n: u32) -> Self {
+        HiraConfig {
+            op: HiraOperation::nominal(),
+            slack_acts: n,
+            refresh_access: true,
+            refresh_refresh: true,
+        }
+    }
+
+    /// `tRefSlack` in ns for the given timing parameters.
+    pub fn slack_ns(&self, t: &TimingParams) -> f64 {
+        f64::from(self.slack_acts) * t.t_rc
+    }
+
+    /// Disables refresh-access pairing (ablation).
+    pub fn without_refresh_access(mut self) -> Self {
+        self.refresh_access = false;
+        self
+    }
+
+    /// Disables refresh-refresh pairing (ablation).
+    pub fn without_refresh_refresh(mut self) -> Self {
+        self.refresh_refresh = false;
+        self
+    }
+}
+
+impl Default for HiraConfig {
+    fn default() -> Self {
+        // HiRA-4: the paper's hardware-sizing default (§6).
+        Self::hira_n(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hira_n_slack_scales_with_trc() {
+        let t = TimingParams::ddr4_2400();
+        assert_eq!(HiraConfig::hira_n(0).slack_ns(&t), 0.0);
+        assert!((HiraConfig::hira_n(4).slack_ns(&t) - 185.0).abs() < 1e-9);
+        assert!((HiraConfig::hira_n(8).slack_ns(&t) - 370.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ablations_toggle_mechanisms() {
+        let c = HiraConfig::hira_n(2).without_refresh_access();
+        assert!(!c.refresh_access && c.refresh_refresh);
+        let c = HiraConfig::hira_n(2).without_refresh_refresh();
+        assert!(c.refresh_access && !c.refresh_refresh);
+    }
+}

@@ -1,0 +1,48 @@
+//! # hira-core — the HiRA operation and the HiRA Memory Controller
+//!
+//! This crate implements the paper's contribution proper:
+//!
+//! * [`hira_op`] — the Hidden Row Activation operation (§3): the
+//!   `ACT — t1 — PRE — t2 — ACT` command sequence, its latency arithmetic
+//!   (38 ns vs 78.25 ns for two refreshes, −51.4 %) and its expansion into
+//!   controller-schedulable commands,
+//! * [`config`] — the HiRA-N configurations (`tRefSlack = N × tRC`),
+//! * [`refresh_table`] — the Refresh Table (68 entries/rank: deadline, bank,
+//!   type; §5/§6),
+//! * [`refptr`] — the RefPtr Table (per-subarray next-row pointers with
+//!   balanced advancement; §5.1.1/§5.1.3),
+//! * [`prfifo`] — the PR-FIFO of queued preventive refreshes (§5.1.2),
+//! * [`spt`] — the Subarray Pairs Table (§5.1.4),
+//! * [`para`] + [`preventive`] — PARA [84] and the preventive-refresh flow
+//!   with `tRefSlack`-aware aggressiveness (folded into [`finder`]),
+//! * [`periodic`] — the Periodic Refresh Controller (per-bank staggered
+//!   request generation),
+//! * [`finder`] — the Concurrent Refresh Finder: refresh-access pairing on
+//!   demand activations (Case 1) and deadline-driven refresh-refresh pairing
+//!   (Case 2),
+//! * [`security`] — §9.1's revisited PARA analysis (Expressions 2-9,
+//!   `p_th` solving for a 1e-15 RowHammer success probability, Fig. 11),
+//! * [`area`] — the analytic SRAM area/latency model behind Table 2 and
+//!   §6.2's 6.31 ns worst-case search latency.
+//!
+//! The crate is simulator-agnostic: `hira-sim` drives [`finder::HiraMc`]
+//! through plain method calls with nanosecond timestamps, and the
+//! characterization flow can execute the same decisions against the
+//! behavioural chip model.
+
+pub mod area;
+pub mod config;
+pub mod finder;
+pub mod hira_op;
+pub mod para;
+pub mod periodic;
+pub mod prfifo;
+pub mod refptr;
+pub mod refresh_table;
+pub mod security;
+pub mod spt;
+
+pub use config::HiraConfig;
+pub use finder::HiraMc;
+pub use hira_op::HiraOperation;
+pub use security::SecurityParams;

@@ -1,0 +1,113 @@
+//! PARA — Probabilistic Adjacent Row Activation [84] (§9).
+//!
+//! Stateless RowHammer defense: on every row activation, with probability
+//! `p_th`, refresh one of the two physically adjacent rows (each side with
+//! `p_th/2`). HiRA-MC hosts PARA inside the Preventive Refresh Controller
+//! with `p_th` raised per §9.1 to absorb the queueing slack.
+
+use hira_dram::addr::RowId;
+use hira_dram::rng::Stream;
+
+/// Which neighbour of the activated row to refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The row below (`row − 1`).
+    Below,
+    /// The row above (`row + 1`).
+    Above,
+}
+
+/// A configured PARA instance.
+#[derive(Debug, Clone)]
+pub struct Para {
+    pth: f64,
+    stream: Stream,
+    triggers: u64,
+    activations: u64,
+}
+
+impl Para {
+    /// Builds PARA with the given probability threshold and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pth` is not a probability.
+    pub fn new(pth: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&pth), "p_th must be in [0,1]");
+        Para { pth, stream: Stream::from_words(&[seed, 0x5041_5241]), triggers: 0, activations: 0 }
+    }
+
+    /// The configured probability threshold.
+    pub fn pth(&self) -> f64 {
+        self.pth
+    }
+
+    /// Called on every row activation (demand *and* preventive — a
+    /// preventive refresh is itself an activation that disturbs its own
+    /// neighbours). Returns the side to refresh when PARA triggers.
+    pub fn on_activate(&mut self) -> Option<Side> {
+        self.activations += 1;
+        if !self.stream.next_bool(self.pth) {
+            return None;
+        }
+        self.triggers += 1;
+        Some(if self.stream.next_bool(0.5) { Side::Below } else { Side::Above })
+    }
+
+    /// Resolves the victim row for a trigger, clamped to the bank.
+    pub fn victim(row: RowId, side: Side, rows_per_bank: u32) -> RowId {
+        match side {
+            Side::Below if row.0 > 0 => RowId(row.0 - 1),
+            Side::Below => RowId(row.0 + 1),
+            Side::Above if row.0 + 1 < rows_per_bank => RowId(row.0 + 1),
+            Side::Above => RowId(row.0 - 1),
+        }
+    }
+
+    /// `(activations seen, preventive refreshes triggered)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.activations, self.triggers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_rate_matches_pth() {
+        let mut p = Para::new(0.25, 7);
+        let n = 40_000u32;
+        let hits = (0..n).filter(|_| p.on_activate().is_some()).count();
+        let rate = hits as f64 / f64::from(n);
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+        let (acts, trig) = p.stats();
+        assert_eq!(acts, u64::from(n));
+        assert_eq!(trig, hits as u64);
+    }
+
+    #[test]
+    fn sides_are_balanced() {
+        let mut p = Para::new(1.0, 9);
+        let n = 20_000u32;
+        let below = (0..n)
+            .filter(|_| matches!(p.on_activate(), Some(Side::Below)))
+            .count();
+        let frac = below as f64 / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.02, "below fraction {frac}");
+    }
+
+    #[test]
+    fn victims_stay_in_the_bank() {
+        assert_eq!(Para::victim(RowId(0), Side::Below, 100), RowId(1));
+        assert_eq!(Para::victim(RowId(99), Side::Above, 100), RowId(98));
+        assert_eq!(Para::victim(RowId(50), Side::Below, 100), RowId(49));
+        assert_eq!(Para::victim(RowId(50), Side::Above, 100), RowId(51));
+    }
+
+    #[test]
+    fn zero_pth_never_triggers() {
+        let mut p = Para::new(0.0, 1);
+        assert!((0..1000).all(|_| p.on_activate().is_none()));
+    }
+}

@@ -1,0 +1,115 @@
+//! The Periodic Refresh Controller (§5.1.1).
+//!
+//! To match the baseline refresh rate, every row of every bank must be
+//! refreshed once per `tREFW`, i.e. one HiRA refresh per bank every
+//! `tREFW / rows_per_bank` (975 ns for 64 K rows). To avoid bursts on the
+//! command bus, the per-bank generators run at the same period but offset in
+//! time (`period / banks` apart — 61 ns for 16 banks).
+
+use hira_dram::addr::BankId;
+
+/// Generates per-bank periodic refresh requests at the required rate.
+#[derive(Debug, Clone)]
+pub struct PeriodicRc {
+    period_ns: f64,
+    banks: u16,
+    /// Next generation time per bank.
+    next_gen: Vec<f64>,
+    generated: u64,
+}
+
+impl PeriodicRc {
+    /// Builds the generator.
+    ///
+    /// * `t_refw_ns` — refresh window (64 ms),
+    /// * `rows_per_bank` — rows each bank must refresh per window,
+    /// * `banks` — banks per rank (stagger width).
+    pub fn new(t_refw_ns: f64, rows_per_bank: u32, banks: u16) -> Self {
+        assert!(t_refw_ns > 0.0 && rows_per_bank > 0 && banks > 0);
+        let period_ns = t_refw_ns / f64::from(rows_per_bank);
+        let stagger = period_ns / f64::from(banks);
+        PeriodicRc {
+            period_ns,
+            banks,
+            next_gen: (0..banks).map(|b| f64::from(b) * stagger).collect(),
+            generated: 0,
+        }
+    }
+
+    /// Per-bank generation period in ns (975 ns for 64 K rows / 64 ms).
+    pub fn period_ns(&self) -> f64 {
+        self.period_ns
+    }
+
+    /// Emits every `(generation_time, bank)` due by `now`, in time order.
+    pub fn tick(&mut self, now: f64) -> Vec<(f64, BankId)> {
+        let mut due = Vec::new();
+        for b in 0..self.banks {
+            let t = &mut self.next_gen[b as usize];
+            while *t <= now {
+                due.push((*t, BankId(b)));
+                *t += self.period_ns;
+                self.generated += 1;
+            }
+        }
+        due.sort_by(|a, b| a.0.total_cmp(&b.0));
+        due
+    }
+
+    /// The next generation instant across all banks.
+    pub fn next_due(&self) -> f64 {
+        self.next_gen.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_matches_paper_example() {
+        // §5.1.1: 64K rows in 64 ms ⇒ one refresh per bank per 975 ns, one
+        // request per rank every ~61 ns across 16 banks.
+        let rc = PeriodicRc::new(64.0e6, 64 * 1024, 16);
+        assert!((rc.period_ns() - 976.56).abs() < 1.0, "period {}", rc.period_ns());
+    }
+
+    #[test]
+    fn generation_rate_covers_all_rows() {
+        let rows = 1024u32;
+        let mut rc = PeriodicRc::new(1.0e6, rows, 16);
+        let due = rc.tick(1.0e6 - 1e-9);
+        // One full window: every bank generated exactly `rows` requests.
+        assert_eq!(due.len(), rows as usize * 16);
+        for b in 0..16u16 {
+            let count = due.iter().filter(|&&(_, bank)| bank == BankId(b)).count();
+            assert_eq!(count as u32, rows, "bank {b}");
+        }
+    }
+
+    #[test]
+    fn banks_are_staggered() {
+        let mut rc = PeriodicRc::new(64.0e6, 64 * 1024, 16);
+        let due = rc.tick(975.0);
+        // Within one period, each bank fires once, at distinct times.
+        assert_eq!(due.len(), 16);
+        let times: Vec<f64> = due.iter().map(|&(t, _)| t).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+        let gap = times[1] - times[0];
+        assert!((gap - 61.0).abs() < 1.0, "stagger gap {gap}");
+    }
+
+    #[test]
+    fn tick_is_incremental() {
+        let mut rc = PeriodicRc::new(1.0e6, 64, 4);
+        let first = rc.tick(500_000.0).len();
+        let second = rc.tick(1_000_000.0 - 1e-9).len();
+        assert_eq!(first + second, 64 * 4);
+        assert!(rc.next_due() >= 1.0e6 - 1.0);
+    }
+}

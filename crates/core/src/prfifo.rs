@@ -1,0 +1,93 @@
+//! The PR-FIFO (§5.1.2): queued preventive refreshes, one FIFO per bank.
+//!
+//! Sized at 4 entries per bank for the worst case where the RowHammer
+//! defense generates a preventive refresh on every activation within the
+//! `4·tRC` slack window (§6).
+
+use hira_dram::addr::RowId;
+use std::collections::VecDeque;
+
+/// A bounded FIFO of victim rows awaiting preventive refresh in one bank.
+#[derive(Debug, Clone)]
+pub struct PrFifo {
+    queue: VecDeque<RowId>,
+    capacity: usize,
+}
+
+impl PrFifo {
+    /// The paper's per-bank sizing.
+    pub const PAPER_CAPACITY: usize = 4;
+
+    /// An empty FIFO with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        PrFifo { queue: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Queued victim count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True when the FIFO cannot accept another victim.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Enqueues a victim; returns `false` when full (caller must drain).
+    #[must_use]
+    pub fn push(&mut self, victim: RowId) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.queue.push_back(victim);
+        true
+    }
+
+    /// The victim at the head (next to be refreshed), without removing it.
+    pub fn head(&self) -> Option<RowId> {
+        self.queue.front().copied()
+    }
+
+    /// Removes and returns the head victim.
+    pub fn pop(&mut self) -> Option<RowId> {
+        self.queue.pop_front()
+    }
+}
+
+impl Default for PrFifo {
+    fn default() -> Self {
+        Self::new(Self::PAPER_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut f = PrFifo::default();
+        assert!(f.push(RowId(1)));
+        assert!(f.push(RowId(2)));
+        assert_eq!(f.head(), Some(RowId(1)));
+        assert_eq!(f.pop(), Some(RowId(1)));
+        assert_eq!(f.pop(), Some(RowId(2)));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut f = PrFifo::default();
+        for i in 0..4 {
+            assert!(f.push(RowId(i)));
+        }
+        assert!(f.is_full());
+        assert!(!f.push(RowId(99)));
+        assert_eq!(f.len(), 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! §9.1: the revisited PARA security analysis (Expressions 2-9, Fig. 11).
+//!
+//! PARA refreshes one of the two neighbours of every activated row with
+//! probability `p_th`. The legacy configuration (Kim et al. [84]) assumes an
+//! attacker hammers exactly `N_RH` times; the paper shows that at modern
+//! thresholds an attacker can retry many times within a refresh window, and
+//! derives the exact success probability over *all* access patterns:
+//!
+//! ```text
+//! p_RH = Σ_{Nf=0}^{Nf_max} (1 − p_th/2)^{Nf + N_RH − N_RefSlack} · (p_th/2)^{Nf}     (Exp. 8)
+//! Nf_max = (t_REFW/t_RC − N_RH − N_RefSlack) / 2                                     (Exp. 7)
+//! ```
+//!
+//! where `N_RefSlack = t_RefSlack/t_RC` accounts for HiRA-MC's queueing slack
+//! (the attacker can keep hammering while a preventive refresh waits). The
+//! solver inverts Exp. 8 for a target `p_RH` (the paper uses the consumer
+//! memory reliability target 1e-15).
+
+/// System parameters entering the analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityParams {
+    /// Refresh window in ns (64 ms for DDR4).
+    pub t_refw_ns: f64,
+    /// Row cycle time in ns (46.25 ns at DDR4-2400).
+    pub t_rc_ns: f64,
+    /// Queueing slack of preventive refreshes, in row-activation units
+    /// (`N` of HiRA-N): `N_RefSlack = t_RefSlack / t_RC`.
+    pub slack_acts: u32,
+    /// Target overall RowHammer success probability (1e-15 in the paper).
+    pub target_p_rh: f64,
+}
+
+impl SecurityParams {
+    /// The paper's defaults: `tREFW = 64 ms`, `tRC = 46.25 ns`, target 1e-15.
+    pub fn paper_defaults(slack_acts: u32) -> Self {
+        SecurityParams {
+            t_refw_ns: 64.0e6,
+            t_rc_ns: 46.25,
+            slack_acts,
+            target_p_rh: 1e-15,
+        }
+    }
+
+    /// Maximum activations an attacker fits in one refresh window.
+    pub fn max_activations(&self) -> f64 {
+        self.t_refw_ns / self.t_rc_ns
+    }
+
+    /// Expression 7: the maximum number of failed attempts.
+    pub fn nf_max(&self, nrh: u32) -> f64 {
+        ((self.max_activations() - f64::from(nrh) - f64::from(self.slack_acts)) / 2.0).max(0.0)
+    }
+}
+
+/// Expression 8: the overall RowHammer success probability for a given
+/// PARA probability threshold `p_th`.
+///
+/// Computed in log space; the geometric series converges long before
+/// `Nf_max`, so summation stops once terms become negligible.
+pub fn p_rh(params: &SecurityParams, nrh: u32, pth: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&pth), "p_th must be a probability");
+    if pth == 0.0 {
+        return 1.0;
+    }
+    let q = pth / 2.0;
+    let exponent = f64::from(nrh) - f64::from(self_slack(params, nrh));
+    // (1-q)^(NRH - NRefSlack) in log space to survive NRH up to millions.
+    let log_base = exponent * (1.0 - q).ln();
+    // Σ_{Nf=0}^{Nfmax} (q(1-q))^{Nf}: geometric series with ratio r < 1/4.
+    let r = q * (1.0 - q);
+    let nf_max = params.nf_max(nrh);
+    let series = if nf_max <= 0.0 {
+        1.0
+    } else {
+        // Closed form of the truncated geometric series.
+        (1.0 - r.powf(nf_max + 1.0)) / (1.0 - r)
+    };
+    (log_base + series.ln()).exp().min(1.0)
+}
+
+fn self_slack(params: &SecurityParams, nrh: u32) -> u32 {
+    // The slack cannot exceed the threshold itself.
+    params.slack_acts.min(nrh.saturating_sub(1))
+}
+
+/// PARA-Legacy's threshold: solves `(1 − p_th/2)^{N_RH} = target`
+/// (the original configuration methodology of Kim et al. [84]).
+pub fn legacy_pth(nrh: u32, target_p_rh: f64) -> f64 {
+    assert!(nrh > 0, "threshold must be positive");
+    assert!(target_p_rh > 0.0 && target_p_rh < 1.0);
+    2.0 * (1.0 - target_p_rh.powf(1.0 / f64::from(nrh)))
+}
+
+/// PARA-Legacy's success probability for a given `p_th` (the dashed curves of
+/// Fig. 11): `(1 − p_th/2)^{N_RH}`.
+pub fn legacy_p_rh(nrh: u32, pth: f64) -> f64 {
+    (f64::from(nrh) * (1.0 - pth / 2.0).ln()).exp()
+}
+
+/// Expression 9's `k` factor: `p_RH = k × p_RH_legacy`.
+pub fn k_factor(params: &SecurityParams, nrh: u32, pth: f64) -> f64 {
+    p_rh(params, nrh, pth) / legacy_p_rh(nrh, pth)
+}
+
+/// Solves Expression 8 for `p_th` at the configured target (bisection; the
+/// expression is monotone decreasing in `p_th`).
+pub fn solve_pth(params: &SecurityParams, nrh: u32) -> f64 {
+    assert!(nrh > 0, "threshold must be positive");
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    // 80 bisection steps: far below f64 resolution of the bracket.
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if p_rh(params, nrh, mid) > params.target_p_rh {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// One row of the Fig. 11 data: thresholds and probabilities for a given
+/// `N_RH` across slack configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig11Point {
+    /// RowHammer threshold.
+    pub nrh: u32,
+    /// Slack in activations (HiRA-N's N).
+    pub slack_acts: u32,
+    /// Our `p_th` from Exp. 8.
+    pub pth: f64,
+    /// PARA-Legacy's `p_th`.
+    pub pth_legacy: f64,
+    /// Our `p_RH` evaluated at `pth` (should sit at the target).
+    pub p_rh: f64,
+    /// The true `p_RH` an attacker achieves against PARA-Legacy's `p_th`.
+    pub p_rh_of_legacy: f64,
+}
+
+/// Computes the Fig. 11a/11b series for the paper's `N_RH` sweep.
+pub fn figure11(nrh_values: &[u32], slacks: &[u32], target: f64) -> Vec<Fig11Point> {
+    let mut out = Vec::new();
+    for &nrh in nrh_values {
+        for &slack in slacks {
+            let params = SecurityParams { target_p_rh: target, ..SecurityParams::paper_defaults(slack) };
+            let pth = solve_pth(&params, nrh);
+            let pth_legacy = legacy_pth(nrh, target);
+            out.push(Fig11Point {
+                nrh,
+                slack_acts: slack,
+                pth,
+                pth_legacy,
+                p_rh: p_rh(&params, nrh, pth),
+                p_rh_of_legacy: p_rh(&params, nrh, pth_legacy),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(slack: u32) -> SecurityParams {
+        SecurityParams::paper_defaults(slack)
+    }
+
+    #[test]
+    fn legacy_pth_matches_paper_examples() {
+        // §9.1.3: legacy pth ≈ 0.068 at NRH=1024 and ≈ 0.834 at NRH=64.
+        let p1024 = legacy_pth(1024, 1e-15);
+        let p64 = legacy_pth(64, 1e-15);
+        assert!((p1024 - 0.066).abs() < 0.004, "pth(1024) = {p1024}");
+        assert!((p64 - 0.834).abs() < 0.01, "pth(64) = {p64}");
+    }
+
+    #[test]
+    fn k_factor_matches_paper_numbers() {
+        // §9.1.3: k = 1.0331 at NRH=1024 and 1.3212 at NRH=64 (legacy pth).
+        let k1024 = k_factor(&params(0), 1024, legacy_pth(1024, 1e-15));
+        let k64 = k_factor(&params(0), 64, legacy_pth(64, 1e-15));
+        assert!((k1024 - 1.0331).abs() < 0.002, "k(1024) = {k1024}");
+        assert!((k64 - 1.3212).abs() < 0.005, "k(64) = {k64}");
+    }
+
+    #[test]
+    fn legacy_prh_exceeds_target_as_in_fig11b() {
+        // Fig. 11b: 1.03e-15 at NRH=1024, 1.32e-15 at NRH=64.
+        let p = p_rh(&params(0), 1024, legacy_pth(1024, 1e-15));
+        assert!((p / 1e-15 - 1.033).abs() < 0.01, "p_rh = {p:e}");
+        let p = p_rh(&params(0), 64, legacy_pth(64, 1e-15));
+        assert!((p / 1e-15 - 1.321).abs() < 0.01, "p_rh = {p:e}");
+    }
+
+    #[test]
+    fn solved_pth_holds_the_target() {
+        for nrh in [64u32, 128, 256, 512, 1024] {
+            for slack in [0u32, 2, 4, 8] {
+                let p = params(slack);
+                let pth = solve_pth(&p, nrh);
+                let achieved = p_rh(&p, nrh, pth);
+                assert!(
+                    (achieved / 1e-15 - 1.0).abs() < 1e-6,
+                    "NRH={nrh} slack={slack}: p_rh {achieved:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pth_increases_as_threshold_falls() {
+        // Fig. 11a: pth rises from ~0.07 (NRH=1024) to ~0.84 (NRH=64).
+        let p = params(0);
+        let p1024 = solve_pth(&p, 1024);
+        let p64 = solve_pth(&p, 64);
+        assert!(p1024 < 0.08, "pth(1024) = {p1024}");
+        assert!(p64 > 0.80, "pth(64) = {p64}");
+        assert!(p64 > p1024);
+    }
+
+    #[test]
+    fn pth_increases_with_slack() {
+        // §9.1.3: at NRH=128, pth ≈ 0.48 / 0.49 / 0.50 / 0.52 for slack
+        // 0 / 2 / 4 / 8 tRC.
+        let values: Vec<f64> =
+            [0u32, 2, 4, 8].iter().map(|&s| solve_pth(&params(s), 128)).collect();
+        assert!((values[0] - 0.48).abs() < 0.02, "slack 0: {}", values[0]);
+        assert!(values.windows(2).all(|w| w[1] >= w[0]), "not monotone: {values:?}");
+        assert!((values[3] - 0.52).abs() < 0.03, "slack 8: {}", values[3]);
+    }
+
+    #[test]
+    fn prh_is_monotone_decreasing_in_pth() {
+        let p = params(0);
+        let mut last = f64::INFINITY;
+        for i in 1..20 {
+            let pth = f64::from(i) / 20.0;
+            let v = p_rh(&p, 256, pth);
+            assert!(v <= last + 1e-18, "non-monotone at pth={pth}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn figure11_series_is_complete() {
+        let pts = figure11(&[64, 128, 256, 512, 1024], &[0, 2, 4, 8], 1e-15);
+        assert_eq!(pts.len(), 20);
+        for p in &pts {
+            assert!((p.p_rh / 1e-15 - 1.0).abs() < 1e-6);
+            assert!(p.p_rh_of_legacy >= p.p_rh * 0.999);
+        }
+    }
+
+    #[test]
+    fn old_chips_see_negligible_correction() {
+        // §9.1.3: for 2010-2013 chips (NRH = 50K, pth = 0.001), k ≈ 1.0005.
+        let k = k_factor(&params(0), 50_000, 0.001);
+        assert!((k - 1.0005).abs() < 0.0005, "k = {k}");
+    }
+}

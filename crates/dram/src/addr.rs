@@ -1,0 +1,138 @@
+//! Typed DRAM address components.
+//!
+//! Newtypes keep channel/rank/bank/row/column indices from being mixed up at
+//! compile time (C-NEWTYPE). All are plain `Copy` wrappers over the smallest
+//! convenient integer and format transparently.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident($ty:ty)) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$ty> for $name {
+            fn from(v: $ty) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A memory channel index.
+    ChannelId(u8)
+);
+id_newtype!(
+    /// A rank index within a channel.
+    RankId(u8)
+);
+id_newtype!(
+    /// A bank-group index within a rank.
+    BankGroupId(u8)
+);
+id_newtype!(
+    /// A bank index within a rank (flat across bank groups).
+    BankId(u16)
+);
+id_newtype!(
+    /// A memory-controller-visible (logical) row index within a bank.
+    RowId(u32)
+);
+id_newtype!(
+    /// A physical row index within a bank, i.e. after the DRAM-internal
+    /// remapping reverse-engineered in §4 (footnote 8).
+    PhysRowId(u32)
+);
+id_newtype!(
+    /// A column (cache-line-sized) index within a row.
+    ColId(u16)
+);
+id_newtype!(
+    /// A subarray index within a bank.
+    SubarrayId(u16)
+);
+
+/// A fully-resolved DRAM location down to row granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RowAddress {
+    /// Channel containing the row.
+    pub channel: ChannelId,
+    /// Rank within the channel.
+    pub rank: RankId,
+    /// Bank within the rank.
+    pub bank: BankId,
+    /// Row within the bank.
+    pub row: RowId,
+}
+
+impl fmt::Display for RowAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/rk{}/ba{}/row{}",
+            self.channel, self.rank, self.bank, self.row
+        )
+    }
+}
+
+/// A fully-resolved DRAM location down to column granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ColumnAddress {
+    /// Row-level part of the address.
+    pub row: RowAddress,
+    /// Column within the row.
+    pub col: ColId,
+}
+
+impl fmt::Display for ColumnAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/col{}", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtypes_are_distinct_types_with_indices() {
+        let b = BankId(3);
+        let r = RowId(1024);
+        assert_eq!(b.index(), 3);
+        assert_eq!(r.index(), 1024);
+        assert_eq!(format!("{b}"), "3");
+    }
+
+    #[test]
+    fn row_address_displays_hierarchically() {
+        let a = RowAddress {
+            channel: ChannelId(1),
+            rank: RankId(0),
+            bank: BankId(7),
+            row: RowId(99),
+        };
+        assert_eq!(format!("{a}"), "ch1/rk0/ba7/row99");
+    }
+
+    #[test]
+    fn from_raw_conversions_work() {
+        assert_eq!(RowId::from(5u32), RowId(5));
+        assert_eq!(BankId::from(2u16), BankId(2));
+    }
+}

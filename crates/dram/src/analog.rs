@@ -1,0 +1,247 @@
+//! Per-row analog timing profile.
+//!
+//! HiRA's reliability envelope (§3 "HiRA Operating Conditions", §4.2's
+//! hypotheses for the Fig. 4 shape) is governed by a handful of analog
+//! latencies inside the bank. We sample one profile per (module, bank, row)
+//! deterministically; it combines
+//!
+//! * a **design-induced** component that varies systematically with the row's
+//!   position in the bank (rows far from the row decoder / I/O are slower,
+//!   after Lee et al. [93]), and
+//! * a **process-variation** component (random per row, after Chang et al.
+//!   [19]).
+//!
+//! All values are in nanoseconds from the relevant command edge.
+
+use crate::addr::{BankId, RowId};
+use crate::rng::Stream;
+
+/// Distribution knobs for a module's analog behaviour.
+///
+/// The defaults reproduce the Fig. 4 envelope: at `t1 ∈ {3, 4.5}` essentially
+/// every row senses in time and no row has latched, at `t1 = 1.5` almost no
+/// row has sensed, and at `t1 = 6` almost every row has latched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogModel {
+    /// Mean / sd of the sense-amplifier enable point after `ACT`.
+    pub sa_enable_mean: f64,
+    pub sa_enable_sd: f64,
+    /// Mean / sd / floor of the activation "latch" point after which a `PRE`
+    /// is committed (non-interruptible).
+    pub act_latch_mean: f64,
+    pub act_latch_sd: f64,
+    pub act_latch_min: f64,
+    /// Mean / sd of the word-line turn-off delay of an interruptible `PRE`.
+    pub wl_off_mean: f64,
+    pub wl_off_sd: f64,
+    /// Per-pair jitter sd applied to the word-line-off window.
+    pub wl_off_pair_jitter: f64,
+    /// Mean / sd of the LRB↔bank-I/O disconnect delay required of `t2`.
+    pub lrb_disc_mean: f64,
+    pub lrb_disc_sd: f64,
+    /// Per-pair jitter sd applied to the disconnect window.
+    pub lrb_disc_pair_jitter: f64,
+    /// Mean / sd of the full-charge-restoration target after sensing.
+    pub restore_mean: f64,
+    pub restore_sd: f64,
+    /// Fraction of full restoration below which the row's data is lost.
+    pub restore_margin: f64,
+    /// Time after a committed `PRE` until the bitlines are ready for a
+    /// reliable activation (the analog reality behind `tRP`).
+    pub bitline_ready_mean: f64,
+    pub bitline_ready_sd: f64,
+}
+
+impl Default for AnalogModel {
+    fn default() -> Self {
+        AnalogModel {
+            sa_enable_mean: 2.2,
+            sa_enable_sd: 0.3,
+            act_latch_mean: 5.25,
+            act_latch_sd: 0.35,
+            act_latch_min: 4.7,
+            wl_off_mean: 5.3,
+            wl_off_sd: 0.3,
+            wl_off_pair_jitter: 0.25,
+            lrb_disc_mean: 1.45,
+            lrb_disc_sd: 0.18,
+            lrb_disc_pair_jitter: 0.2,
+            restore_mean: 24.0,
+            restore_sd: 2.0,
+            restore_margin: 0.35,
+            bitline_ready_mean: 11.5,
+            bitline_ready_sd: 0.8,
+        }
+    }
+}
+
+/// Sampled analog parameters for one row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowAnalog {
+    /// Sense amplifiers latch the cell value this long after `ACT`.
+    /// A `PRE` arriving earlier destroys the row (HiRA condition 1).
+    pub sa_enable: f64,
+    /// Activation commits this long after `ACT`; a later `PRE` is a full,
+    /// non-interruptible precharge (why `t1 = 6 ns` fails, §4.2 obs. 3).
+    pub act_latch: f64,
+    /// Base word-line turn-off delay after an interruptible `PRE`; the second
+    /// `ACT` must arrive within this window (HiRA condition 2).
+    pub wl_off: f64,
+    /// Base LRB disconnect delay the `PRE` needs before the second `ACT`
+    /// (HiRA condition 3).
+    pub lrb_disc: f64,
+    /// Time from sensing to full charge restoration.
+    pub restore_target: f64,
+    /// Bitline precharge completion after a committed `PRE`.
+    pub bitline_ready: f64,
+}
+
+impl AnalogModel {
+    /// Samples the profile of `row` for the module with `seed`.
+    ///
+    /// The profile is **identical across banks**: §4.4.1 observes that the
+    /// row pairs HiRA can activate are the same in all 16 banks, i.e. the
+    /// analog envelope is a design-induced property of the die layout, not
+    /// of individual bank instances (`bank` is accepted for API symmetry but
+    /// does not enter the hash). `row_pos` ∈ [0,1] drives the systematic
+    /// position component.
+    pub fn sample(&self, seed: u64, bank: BankId, row: RowId, rows_per_bank: u32) -> RowAnalog {
+        let _ = bank;
+        let row_pos = f64::from(row.0) / f64::from(rows_per_bank.max(1));
+        // Design-induced skew: rows farther from the center of the bank have
+        // slightly slower sensing and faster latching (shorter wiring to I/O).
+        let design = (row_pos - 0.5).abs() * 2.0; // 0 at center, 1 at edges
+        let mut s = Stream::from_words(&[seed, 0xA7A1_06, u64::from(row.0)]);
+        RowAnalog {
+            sa_enable: (self.sa_enable_mean + 0.1 * design + self.sa_enable_sd * s.next_normal())
+                .max(0.8),
+            act_latch: (self.act_latch_mean - 0.15 * design
+                + self.act_latch_sd * s.next_normal())
+            .max(self.act_latch_min),
+            wl_off: (self.wl_off_mean + self.wl_off_sd * s.next_normal()).max(2.0),
+            lrb_disc: (self.lrb_disc_mean + self.lrb_disc_sd * s.next_normal()).max(0.5),
+            restore_target: (self.restore_mean + self.restore_sd * s.next_normal()).max(12.0),
+            bitline_ready: (self.bitline_ready_mean + self.bitline_ready_sd * s.next_normal())
+                .max(6.0),
+        }
+    }
+
+    /// Per-pair jitter on the word-line-off window between a first row and
+    /// the interrupting row. Deterministic in both rows; bank-invariant like
+    /// the base profile (§4.4.1).
+    pub fn wl_off_jitter(&self, seed: u64, bank: BankId, first: RowId, second: RowId) -> f64 {
+        let _ = bank;
+        Stream::from_words(&[seed, 0x37D0, u64::from(first.0), u64::from(second.0)])
+            .next_gauss(0.0, self.wl_off_pair_jitter)
+    }
+
+    /// Per-pair jitter on the LRB disconnect window (bank-invariant).
+    pub fn lrb_disc_jitter(&self, seed: u64, bank: BankId, first: RowId, second: RowId) -> f64 {
+        let _ = bank;
+        Stream::from_words(&[seed, 0x11B0, u64::from(first.0), u64::from(second.0)])
+            .next_gauss(0.0, self.lrb_disc_pair_jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AnalogModel {
+        AnalogModel::default()
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = model();
+        let a = m.sample(1, BankId(0), RowId(100), 32768);
+        let b = m.sample(1, BankId(0), RowId(100), 32768);
+        assert_eq!(a, b);
+        let c = m.sample(1, BankId(0), RowId(101), 32768);
+        assert_ne!(a, c);
+        // §4.4.1: design-induced, so identical across banks.
+        assert_eq!(a, m.sample(1, BankId(7), RowId(100), 32768));
+    }
+
+    #[test]
+    fn t1_grid_pass_rates_reproduce_fig4_envelope() {
+        // At t1=3 ns nearly all rows have sensed and none has latched;
+        // at t1=1.5 ns almost none has sensed; at t1=6 ns almost all latched.
+        let m = model();
+        let n = 4000u32;
+        let mut sensed_15 = 0;
+        let mut sensed_30 = 0;
+        let mut latched_45 = 0;
+        let mut latched_60 = 0;
+        for r in 0..n {
+            let a = m.sample(3, BankId(0), RowId(r * 7), 32768);
+            if a.sa_enable <= 1.5 {
+                sensed_15 += 1;
+            }
+            if a.sa_enable <= 3.0 {
+                sensed_30 += 1;
+            }
+            if a.act_latch <= 4.5 {
+                latched_45 += 1;
+            }
+            if a.act_latch <= 6.0 {
+                latched_60 += 1;
+            }
+        }
+        let f = |x: u32| f64::from(x) / f64::from(n);
+        assert!(f(sensed_15) < 0.05, "t1=1.5 sensed {}", f(sensed_15));
+        assert!(f(sensed_30) > 0.95, "t1=3.0 sensed {}", f(sensed_30));
+        assert!(f(latched_45) < 0.01, "t1=4.5 latched {}", f(latched_45));
+        assert!(f(latched_60) > 0.9, "t1=6.0 latched {}", f(latched_60));
+    }
+
+    #[test]
+    fn t2_windows_reproduce_fig4_envelope() {
+        // At t2=3/4.5 ns the word line is still on for nearly all rows and the
+        // LRB has disconnected; t2=6 ns mostly misses the window; t2=1.5 ns is
+        // often too early to disconnect.
+        let m = model();
+        let n = 4000u32;
+        let (mut wl_ok_45, mut wl_ok_60, mut disc_ok_15, mut disc_ok_30) = (0, 0, 0, 0);
+        for r in 0..n {
+            let a = m.sample(3, BankId(0), RowId(r * 3), 32768);
+            if 4.5 <= a.wl_off {
+                wl_ok_45 += 1;
+            }
+            if 6.0 <= a.wl_off {
+                wl_ok_60 += 1;
+            }
+            if 1.5 >= a.lrb_disc {
+                disc_ok_15 += 1;
+            }
+            if 3.0 >= a.lrb_disc {
+                disc_ok_30 += 1;
+            }
+        }
+        let f = |x: u32| f64::from(x) / f64::from(n);
+        assert!(f(wl_ok_45) > 0.95, "t2=4.5 wl ok {}", f(wl_ok_45));
+        assert!(f(wl_ok_60) < 0.05, "t2=6 wl ok {}", f(wl_ok_60));
+        assert!(f(disc_ok_15) > 0.3 && f(disc_ok_15) < 0.9, "t2=1.5 disc {}", f(disc_ok_15));
+        assert!(f(disc_ok_30) > 0.99, "t2=3 disc {}", f(disc_ok_30));
+    }
+
+    #[test]
+    fn pair_jitter_is_symmetric_in_determinism_not_value() {
+        let m = model();
+        let j1 = m.wl_off_jitter(1, BankId(0), RowId(5), RowId(9));
+        let j2 = m.wl_off_jitter(1, BankId(0), RowId(5), RowId(9));
+        assert_eq!(j1, j2);
+        assert_ne!(j1, m.wl_off_jitter(1, BankId(0), RowId(9), RowId(5)));
+    }
+
+    #[test]
+    fn restoration_target_is_below_tras() {
+        // The spec tRAS (32 ns) must comfortably cover the analog restore
+        // target, otherwise nominal operation would corrupt data.
+        let m = model();
+        for r in 0..2000u32 {
+            let a = m.sample(11, BankId(1), RowId(r), 32768);
+            assert!(a.restore_target < 32.0, "row {r} target {}", a.restore_target);
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Bank-level circuit state machine.
+//!
+//! This is where HiRA's physics live. The machine accepts `ACT`/`PRE` events
+//! with arbitrary (ns) timestamps and reports *circuit effects* — which rows
+//! were sensed, closed with what restoration fraction, or corrupted — that the
+//! chip layer ([`crate::chip`]) applies to stored data.
+//!
+//! The behavioural rules implement the paper's four HiRA operating conditions
+//! (§3) plus the tRP-violation behaviour that explains the Fig. 4 envelope:
+//!
+//! 1. a `PRE` arriving before the first row's sense amplifiers have latched
+//!    (`t1 < sa_enable`) destroys the row;
+//! 2. a `PRE` arriving after activation has committed (`t1 > act_latch`) is a
+//!    full, non-interruptible precharge — a subsequent early `ACT` senses on
+//!    a bank that is mid-equalization and corrupts the new row;
+//! 3. an interrupting `ACT` must arrive while the first row's word line is
+//!    still on (`t2 ≤ wl_off + pair jitter`), otherwise the first row closed
+//!    with partial restoration;
+//! 4. the interrupting `ACT` must give the precharge enough time to cut the
+//!    first local row buffer from the bank I/O (`t2 ≥ lrb_disc + pair
+//!    jitter`), otherwise both row buffers drive the bank I/O and corrupt
+//!    each other;
+//! 5. the two rows' subarrays must be electrically isolated
+//!    ([`IsolationMatrix`]), otherwise charge sharing on common
+//!    bitlines/sense-amps garbles both rows.
+
+use crate::addr::{BankId, RowId};
+use crate::analog::AnalogModel;
+use crate::isolation::IsolationMap;
+use crate::rng::Stream;
+use crate::vendor::ViolationBehavior;
+
+/// Word-line turn-off delay of a *committed* (normal) precharge, ns.
+const COMMITTED_WL_OFF_NS: f64 = 2.0;
+
+/// Observable outcome of a command on the bank circuits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CircuitEffect {
+    /// The row's cell contents were irrecoverably garbled.
+    Corrupt { row: RowId },
+    /// The row was sensed (latched into its local row buffer) at `at` ns.
+    Sensed { row: RowId, at: f64 },
+    /// The row was closed at `at` ns; `frac ≥ 1.0` means full charge
+    /// restoration, smaller values mean partial restoration (weak cells may
+    /// flip). `at` is the physical word-line-off time, which can precede the
+    /// command that observes the close (closes are evaluated lazily).
+    Restored { row: RowId, frac: f64, at: f64 },
+    /// The command decoder dropped an `ACT` (vendor guard or bank-active).
+    ActIgnored { row: RowId },
+    /// The command decoder dropped a `PRE` (vendor guard).
+    PreIgnored,
+}
+
+/// Context the bank needs from the module to evaluate analog behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitCtx<'a> {
+    /// Module seed.
+    pub seed: u64,
+    /// This bank's id.
+    pub bank: BankId,
+    /// Rows per bank (for design-induced position skew).
+    pub rows_per_bank: u32,
+    /// Rows per subarray (to derive subarray ids).
+    pub rows_per_subarray: u32,
+    /// Analog distribution knobs.
+    pub analog: &'a AnalogModel,
+    /// Row-pair electrical-isolation predicate.
+    pub isolation: &'a IsolationMap,
+    /// Command-decoder behaviour (vendor dependent).
+    pub behavior: ViolationBehavior,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Engaged {
+    row: RowId,
+    act_at: f64,
+    /// Set when the sense amplifiers never latched (data already destroyed).
+    dead: bool,
+    /// Sampled analog profile of the row (cached at ACT time).
+    sa_enable: f64,
+    act_latch: f64,
+    wl_off: f64,
+    lrb_disc: f64,
+    restore_target: f64,
+    /// When a `PRE` is in flight: whether it was committed for this row.
+    committed: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// No open row; bitlines ready for activation at `ready_at`.
+    Precharged { ready_at: f64 },
+    /// One or more rows engaged, no precharge in flight.
+    Active,
+    /// `PRE` issued at `pre_at`; word lines turning off.
+    Precharging { pre_at: f64 },
+}
+
+/// The per-bank circuit state machine.
+#[derive(Debug, Clone)]
+pub struct BankCircuit {
+    phase: Phase,
+    engaged: Vec<Engaged>,
+    /// Counts precharge events (keys the per-event bitline-ready sample).
+    pre_events: u64,
+    /// Time of the most recent honoured `PRE` (for vendor guards).
+    last_pre_at: f64,
+}
+
+impl Default for BankCircuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BankCircuit {
+    /// A bank in the precharged state, ready immediately.
+    pub fn new() -> Self {
+        BankCircuit {
+            phase: Phase::Precharged { ready_at: f64::NEG_INFINITY },
+            engaged: Vec::with_capacity(2),
+            pre_events: 0,
+            last_pre_at: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Rows currently engaged (connected to their local row buffers).
+    pub fn open_rows(&self) -> Vec<RowId> {
+        self.engaged.iter().filter(|e| !e.dead).map(|e| e.row).collect()
+    }
+
+    /// Whether `row` is open (engaged and sensed) at time `t`.
+    pub fn is_open(&self, row: RowId, t: f64) -> bool {
+        self.engaged
+            .iter()
+            .any(|e| e.row == row && !e.dead && t >= e.act_at + e.sa_enable)
+    }
+
+    fn bitline_ready_sample(&self, ctx: &CircuitCtx<'_>, pre_at: f64) -> f64 {
+        let mut s = Stream::from_words(&[
+            ctx.seed,
+            0x424C_52,
+            u64::from(ctx.bank.0),
+            self.pre_events,
+        ]);
+        pre_at
+            + (ctx.analog.bitline_ready_mean + ctx.analog.bitline_ready_sd * s.next_normal())
+                .max(6.0)
+    }
+
+    /// Advances lazily-expiring state (a precharge whose word lines have all
+    /// turned off by `t`) and emits the resulting close effects.
+    fn settle(&mut self, ctx: &CircuitCtx<'_>, t: f64, out: &mut Vec<CircuitEffect>) {
+        if let Phase::Precharging { pre_at } = self.phase {
+            // Without an interrupting ACT, every engaged row closes at its
+            // own word-line-off point (base value; pair jitter only applies
+            // to interrupt races).
+            let all_closed = self.engaged.iter().all(|e| {
+                let off = if e.committed { COMMITTED_WL_OFF_NS } else { e.wl_off };
+                e.dead || t >= pre_at + off
+            });
+            if all_closed {
+                for e in self.engaged.drain(..) {
+                    let off = if e.committed { COMMITTED_WL_OFF_NS } else { e.wl_off };
+                    close_row(&e, pre_at + off, out);
+                }
+                self.phase = Phase::Precharged { ready_at: self.bitline_ready_sample(ctx, pre_at) };
+            }
+        }
+    }
+
+    fn engage(&mut self, ctx: &CircuitCtx<'_>, row: RowId, t: f64) -> Engaged {
+        let a = ctx.analog.sample(ctx.seed, ctx.bank, row, ctx.rows_per_bank);
+        Engaged {
+            row,
+            act_at: t,
+            dead: false,
+            sa_enable: a.sa_enable,
+            act_latch: a.act_latch,
+            wl_off: a.wl_off,
+            lrb_disc: a.lrb_disc,
+            restore_target: a.restore_target,
+            committed: false,
+        }
+    }
+
+    /// Executes an `ACT` at time `t` (ns). Returns the circuit effects.
+    pub fn act(&mut self, ctx: &CircuitCtx<'_>, row: RowId, t: f64) -> Vec<CircuitEffect> {
+        let mut out = Vec::new();
+
+        // Vendor guard: some decoders drop an ACT that violates tRP (§12).
+        if let ViolationBehavior::IgnoreViolating { t_rp_guard, .. } = ctx.behavior {
+            let after_pre = t - self.last_pre_at;
+            if after_pre >= 0.0 && after_pre < t_rp_guard {
+                out.push(CircuitEffect::ActIgnored { row });
+                return out;
+            }
+        }
+
+        self.settle(ctx, t, &mut out);
+
+        match self.phase {
+            Phase::Active => {
+                // ACT to a bank with an open row and no PRE in flight: the
+                // decoder drops it (no second wordline is raised).
+                out.push(CircuitEffect::ActIgnored { row });
+            }
+            Phase::Precharged { ready_at } => {
+                let e = self.engage(ctx, row, t);
+                out.push(CircuitEffect::Sensed { row, at: t + e.sa_enable });
+                if t < ready_at {
+                    // Activation during bitline equalization (tRP violation):
+                    // sensing is unreliable and the row's content is lost.
+                    out.push(CircuitEffect::Corrupt { row });
+                }
+                self.engaged.push(e);
+                self.phase = Phase::Active;
+            }
+            Phase::Precharging { pre_at } => {
+                let t2 = t - pre_at;
+                let ready = self.bitline_ready_sample(ctx, pre_at);
+                let mut corrupt_new = false;
+                let mut survivors = Vec::with_capacity(self.engaged.len());
+                for e in self.engaged.drain(..) {
+                    if e.dead {
+                        // Destroyed at PRE time; word line state irrelevant.
+                        continue;
+                    }
+                    let committed_off = pre_at + COMMITTED_WL_OFF_NS;
+                    if e.committed {
+                        // Full precharge in progress: the first row closed,
+                        // and the whole bank is equalizing — activating now
+                        // (t2 < bitline-ready) mis-senses the new row.
+                        close_row(&e, committed_off, &mut out);
+                        if t < ready {
+                            corrupt_new = true;
+                        }
+                        continue;
+                    }
+                    // Interruptible precharge: race against the word line.
+                    let wl_window =
+                        e.wl_off + ctx.analog.wl_off_jitter(ctx.seed, ctx.bank, e.row, row);
+                    if t2 > wl_window {
+                        // Word line already off: the row closed with whatever
+                        // restoration it got; bank is equalizing.
+                        close_row(&e, pre_at + wl_window, &mut out);
+                        if t < ready {
+                            corrupt_new = true;
+                        }
+                        continue;
+                    }
+                    // Interrupted! The first row stays engaged (HiRA path).
+                    // Condition 3: PRE must have had time to cut the LRB from
+                    // the bank I/O before the new row's buffer attaches.
+                    let disc_window =
+                        e.lrb_disc + ctx.analog.lrb_disc_jitter(ctx.seed, ctx.bank, e.row, row);
+                    if t2 < disc_window {
+                        out.push(CircuitEffect::Corrupt { row: e.row });
+                        corrupt_new = true;
+                    }
+                    // Condition 4: electrical isolation of the two rows'
+                    // charge-restoration circuitry.
+                    if !ctx.isolation.isolated(e.row, row) {
+                        out.push(CircuitEffect::Corrupt { row: e.row });
+                        corrupt_new = true;
+                    }
+                    survivors.push(e);
+                }
+                self.engaged = survivors;
+                let e = self.engage(ctx, row, t);
+                out.push(CircuitEffect::Sensed { row, at: t + e.sa_enable });
+                if corrupt_new {
+                    out.push(CircuitEffect::Corrupt { row });
+                }
+                self.engaged.push(e);
+                self.phase = Phase::Active;
+            }
+        }
+        out
+    }
+
+    /// Executes a `PRE` at time `t` (ns). Returns the circuit effects.
+    pub fn pre(&mut self, ctx: &CircuitCtx<'_>, t: f64) -> Vec<CircuitEffect> {
+        let mut out = Vec::new();
+
+        // Vendor guard: some decoders drop a PRE that violates tRAS (§12).
+        if let ViolationBehavior::IgnoreViolating { t_ras_guard, .. } = ctx.behavior {
+            if self
+                .engaged
+                .iter()
+                .any(|e| !e.dead && t - e.act_at < t_ras_guard)
+            {
+                out.push(CircuitEffect::PreIgnored);
+                return out;
+            }
+        }
+
+        self.settle(ctx, t, &mut out);
+
+        match self.phase {
+            Phase::Precharged { .. } => {
+                // PRE on an idle bank: refresh the equalization, nothing else.
+            }
+            Phase::Precharging { .. } => {
+                // Repeated PRE while already precharging: absorbed.
+            }
+            Phase::Active => {
+                for e in &mut self.engaged {
+                    let t1 = t - e.act_at;
+                    if t1 < e.sa_enable {
+                        // Condition 1 violated: cells were mid charge-sharing
+                        // when the bank equalized — data destroyed.
+                        e.dead = true;
+                        out.push(CircuitEffect::Corrupt { row: e.row });
+                        continue;
+                    }
+                    // Condition 2 boundary: past the latch point the PRE is a
+                    // normal, non-interruptible precharge.
+                    e.committed = t1 >= e.act_latch;
+                }
+                self.pre_events += 1;
+                self.last_pre_at = t;
+                self.phase = Phase::Precharging { pre_at: t };
+            }
+        }
+        out
+    }
+}
+
+fn close_row(e: &Engaged, close_t: f64, out: &mut Vec<CircuitEffect>) {
+    if e.dead {
+        return;
+    }
+    let restore_time = close_t - e.act_at;
+    let frac = ((restore_time - e.sa_enable) / (e.restore_target - e.sa_enable)).max(0.0);
+    out.push(CircuitEffect::Restored { row: e.row, frac, at: close_t });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ChipGeometry;
+    use crate::vendor::Manufacturer;
+
+    fn fixture() -> (AnalogModel, IsolationMap, ChipGeometry) {
+        (
+            AnalogModel::default(),
+            IsolationMap::new(42, 32 * 1024, 512, 0.32, 0.02),
+            ChipGeometry::module_4gb(),
+        )
+    }
+
+    /// A row in subarray >= 2 isolated from `row_a` under the fixture map.
+    fn isolated_partner(iso: &IsolationMap, row_a: RowId) -> RowId {
+        iso.find_partner(row_a).expect("fixture map has a partner")
+    }
+
+    /// A non-adjacent row that shares restoration circuitry with `row_a`.
+    fn shared_partner(iso: &IsolationMap, row_a: RowId) -> RowId {
+        (2..64u32)
+            .flat_map(|sa| (0..8u32).map(move |k| RowId(sa * 512 + k)))
+            .find(|&r| !iso.isolated(row_a, r) && iso.subarray_of(r) >= 2)
+            .expect("fixture map has a shared partner")
+    }
+
+    fn ctx<'a>(
+        analog: &'a AnalogModel,
+        iso: &'a IsolationMap,
+        geom: &'a ChipGeometry,
+    ) -> CircuitCtx<'a> {
+        CircuitCtx {
+            seed: 42,
+            bank: BankId(0),
+            rows_per_bank: geom.rows_per_bank,
+            rows_per_subarray: geom.rows_per_subarray,
+            analog,
+            isolation: iso,
+            behavior: Manufacturer::SkHynix.violation_behavior(),
+        }
+    }
+
+    fn corrupted(effects: &[CircuitEffect]) -> Vec<RowId> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                CircuitEffect::Corrupt { row } => Some(*row),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nominal_act_pre_restores_fully() {
+        let (a, i, g) = fixture();
+        let c = ctx(&a, &i, &g);
+        let mut b = BankCircuit::new();
+        let fx = b.act(&c, RowId(100), 0.0);
+        assert!(corrupted(&fx).is_empty());
+        let fx = b.pre(&c, 32.0);
+        assert!(corrupted(&fx).is_empty());
+        // Settle via a later command: row closes fully restored.
+        let fx = b.act(&c, RowId(200), 32.0 + 14.25);
+        let restored: Vec<_> = fx
+            .iter()
+            .filter_map(|e| match e {
+                CircuitEffect::Restored { row, frac, .. } => Some((*row, *frac)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[0].0, RowId(100));
+        assert!(restored[0].1 >= 1.0, "frac {}", restored[0].1);
+        assert!(corrupted(&fx).is_empty());
+    }
+
+    #[test]
+    fn hira_sequence_keeps_both_rows_alive_for_isolated_subarrays() {
+        let (a, i, g) = fixture();
+        let c = ctx(&a, &i, &g);
+        let mut b = BankCircuit::new();
+        let row_a = RowId(100);
+        let row_b = isolated_partner(&i, row_a);
+        let mut all = Vec::new();
+        all.extend(b.act(&c, row_a, 0.0));
+        all.extend(b.pre(&c, 3.0));
+        all.extend(b.act(&c, row_b, 6.0));
+        assert!(corrupted(&all).is_empty(), "effects: {all:?}");
+        assert_eq!(b.open_rows().len(), 2);
+        // Single PRE closes both (footnote 1), both fully restored.
+        let mut fx = b.pre(&c, 6.0 + 32.0);
+        fx.extend(b.act(&c, RowId(300), 6.0 + 32.0 + 14.25));
+        let full = fx
+            .iter()
+            .filter(|e| matches!(e, CircuitEffect::Restored { frac, .. } if *frac >= 1.0))
+            .count();
+        assert_eq!(full, 2, "effects: {fx:?}");
+    }
+
+    #[test]
+    fn shared_subarray_pair_corrupts_both_rows() {
+        let (a, i, g) = fixture();
+        let c = ctx(&a, &i, &g);
+        let mut b = BankCircuit::new();
+        let row_a = RowId(100);
+        let row_b = shared_partner(&i, row_a);
+        let mut all = Vec::new();
+        all.extend(b.act(&c, row_a, 0.0));
+        all.extend(b.pre(&c, 3.0));
+        all.extend(b.act(&c, row_b, 6.0));
+        let bad = corrupted(&all);
+        assert!(bad.contains(&row_a) && bad.contains(&row_b), "effects: {all:?}");
+    }
+
+    #[test]
+    fn premature_pre_destroys_the_row() {
+        let (a, i, g) = fixture();
+        let c = ctx(&a, &i, &g);
+        let mut b = BankCircuit::new();
+        b.act(&c, RowId(100), 0.0);
+        let fx = b.pre(&c, 0.5); // long before any row's sa_enable
+        assert_eq!(corrupted(&fx), vec![RowId(100)]);
+    }
+
+    #[test]
+    fn late_pre_commits_and_early_act_corrupts_newcomer() {
+        let (a, i, g) = fixture();
+        let c = ctx(&a, &i, &g);
+        let mut b = BankCircuit::new();
+        let row_b = isolated_partner(&i, RowId(100));
+        b.act(&c, RowId(100), 0.0);
+        b.pre(&c, 8.0); // beyond every act_latch: committed precharge
+        let fx = b.act(&c, row_b, 11.0); // 3 ns after PRE << bitline-ready
+        assert!(corrupted(&fx).contains(&row_b), "effects: {fx:?}");
+    }
+
+    #[test]
+    fn missed_wordline_window_partially_restores_first_row() {
+        let (a, i, g) = fixture();
+        let c = ctx(&a, &i, &g);
+        let mut b = BankCircuit::new();
+        b.act(&c, RowId(100), 0.0);
+        b.pre(&c, 3.0);
+        // t2 = 9 ns: word line is off for every row (wl_off ≈ 5.3 ± jitter).
+        let fx = b.act(&c, isolated_partner(&i, RowId(100)), 12.0);
+        let partial = fx.iter().any(|e| {
+            matches!(e, CircuitEffect::Restored { row, frac, .. } if *row == RowId(100) && *frac < 1.0)
+        });
+        assert!(partial, "effects: {fx:?}");
+    }
+
+    #[test]
+    fn act_on_active_bank_is_ignored() {
+        let (a, i, g) = fixture();
+        let c = ctx(&a, &i, &g);
+        let mut b = BankCircuit::new();
+        b.act(&c, RowId(1), 0.0);
+        let fx = b.act(&c, RowId(2), 10.0);
+        assert!(fx.contains(&CircuitEffect::ActIgnored { row: RowId(2) }));
+        assert_eq!(b.open_rows(), vec![RowId(1)]);
+    }
+
+    #[test]
+    fn hira_inert_vendor_drops_violating_commands() {
+        let (a, i, g) = fixture();
+        let mut c = ctx(&a, &i, &g);
+        c.behavior = Manufacturer::Micron.violation_behavior();
+        let mut b = BankCircuit::new();
+        b.act(&c, RowId(100), 0.0);
+        let fx = b.pre(&c, 3.0); // violates the tRAS guard
+        assert!(fx.contains(&CircuitEffect::PreIgnored));
+        // Second ACT lands on an active bank and is dropped too.
+        let fx = b.act(&c, RowId(4096), 6.0);
+        assert!(fx.contains(&CircuitEffect::ActIgnored { row: RowId(4096) }));
+        // Row A remains intact and closes normally.
+        let fx = b.pre(&c, 40.0);
+        assert!(corrupted(&fx).is_empty());
+    }
+
+    #[test]
+    fn is_open_respects_sense_latency() {
+        let (a, i, g) = fixture();
+        let c = ctx(&a, &i, &g);
+        let mut b = BankCircuit::new();
+        b.act(&c, RowId(5), 100.0);
+        assert!(!b.is_open(RowId(5), 100.1)); // not sensed yet
+        assert!(b.is_open(RowId(5), 110.0));
+        assert!(!b.is_open(RowId(6), 110.0));
+    }
+
+    #[test]
+    fn isolation_map_subarray_mapping() {
+        let (_a, i, _g) = fixture();
+        assert_eq!(i.subarray_of(RowId(0)), 0);
+        assert_eq!(i.subarray_of(RowId(512)), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the DRAM model.
+
+use crate::addr::{BankId, RowId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the chip/module model's host-level helpers.
+///
+/// Note that *command execution itself never fails*: real DRAM silently does
+/// whatever its circuits do when fed an illegal sequence. Errors arise only
+/// from host-level misuse (reading a row that is not open, out-of-range
+/// addresses, wrong buffer sizes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// A bank index exceeded the module geometry.
+    BankOutOfRange { bank: BankId, banks: u16 },
+    /// A row index exceeded the module geometry.
+    RowOutOfRange { row: RowId, rows_per_bank: u32 },
+    /// A column access was issued while the bank had no open row.
+    NoOpenRow { bank: BankId },
+    /// A host buffer had the wrong length for a row transfer.
+    BadRowBuffer { expected: usize, got: usize },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range (module has {banks} banks)")
+            }
+            DramError::RowOutOfRange { row, rows_per_bank } => {
+                write!(f, "row {row} out of range (bank has {rows_per_bank} rows)")
+            }
+            DramError::NoOpenRow { bank } => {
+                write!(f, "column access to bank {bank} with no open row")
+            }
+            DramError::BadRowBuffer { expected, got } => {
+                write!(f, "row buffer length {got} does not match row size {expected}")
+            }
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DramError::NoOpenRow { bank: BankId(3) };
+        let s = e.to_string();
+        assert!(s.contains("bank 3"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(DramError::BadRowBuffer { expected: 8192, got: 0 });
+    }
+}

@@ -1,0 +1,168 @@
+//! Chip / module organization: banks, subarrays, rows, row size.
+//!
+//! A DDR4 module is a set of chips operating in lock-step (§2.1); since every
+//! chip receives the same command stream and stores a slice of every row, the
+//! model treats the module as one logical array whose row size is the
+//! module-level row (8 KB for a ×8 ECC-less DIMM: 8 chips × 1 KB per chip).
+
+use crate::addr::{RowId, SubarrayId};
+
+/// Static geometry of one DRAM module (all chips combined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipGeometry {
+    /// Per-chip capacity in megabits (e.g. 4096 for a 4 Gb die).
+    pub chip_mbit: u64,
+    /// Number of chips on the module running in lock-step.
+    pub chips: u16,
+    /// Banks per rank (DDR4: 16, in 4 bank groups).
+    pub banks: u16,
+    /// Bank groups per rank.
+    pub bank_groups: u16,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Rows per subarray (paper assumes up to 1024; 512 is typical).
+    pub rows_per_subarray: u32,
+    /// Module-level row size in bytes (8 KB in the paper's examples).
+    pub row_bytes: usize,
+}
+
+impl ChipGeometry {
+    /// Geometry for a module built from ×8 chips of the given capacity.
+    ///
+    /// Row size per chip is 8 Kb (1 KB), so `rows_per_bank =
+    /// chip_capacity / (banks × 8 Kb)`. A 4 Gb chip yields 32 K rows/bank,
+    /// 8 Gb yields 64 K (the paper's running example in §5.1.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not divisible into whole rows.
+    pub fn x8_module(chip_mbit: u64, chips: u16) -> Self {
+        let banks = 16u16;
+        let row_bits_per_chip = 8 * 1024u64; // 8 Kb row slice per chip
+        let total_bits = chip_mbit * 1024 * 1024;
+        assert!(
+            total_bits % (u64::from(banks) * row_bits_per_chip) == 0,
+            "capacity must divide into whole rows"
+        );
+        let rows_per_bank = (total_bits / (u64::from(banks) * row_bits_per_chip)) as u32;
+        ChipGeometry {
+            chip_mbit,
+            chips,
+            banks,
+            bank_groups: 4,
+            rows_per_bank,
+            rows_per_subarray: 512,
+            row_bytes: (row_bits_per_chip as usize / 8) * chips as usize,
+        }
+    }
+
+    /// A 4 Gb ×8 module (the characterization default; modules A and C in
+    /// Table 4 use 4 Gb dies).
+    pub fn module_4gb() -> Self {
+        Self::x8_module(4 * 1024, 8)
+    }
+
+    /// An 8 Gb ×8 module (module B in Table 1).
+    pub fn module_8gb() -> Self {
+        Self::x8_module(8 * 1024, 8)
+    }
+
+    /// Number of subarrays in each bank.
+    pub fn subarrays_per_bank(&self) -> u32 {
+        self.rows_per_bank.div_ceil(self.rows_per_subarray)
+    }
+
+    /// Maps a physical row to its subarray.
+    pub fn subarray_of(&self, row: RowId) -> SubarrayId {
+        debug_assert!(row.0 < self.rows_per_bank, "row {row} out of range");
+        SubarrayId((row.0 / self.rows_per_subarray) as u16)
+    }
+
+    /// First row of a subarray.
+    pub fn subarray_base(&self, sa: SubarrayId) -> RowId {
+        RowId(u32::from(sa.0) * self.rows_per_subarray)
+    }
+
+    /// Chip capacity in gigabits as a float (for `tRFC` projection).
+    pub fn chip_gbit(&self) -> f64 {
+        self.chip_mbit as f64 / 1024.0
+    }
+
+    /// Total rows in the module rank (`banks × rows_per_bank`).
+    pub fn total_rows(&self) -> u64 {
+        u64::from(self.banks) * u64::from(self.rows_per_bank)
+    }
+
+    /// The row sets the paper tests per bank: first, middle and last `n`
+    /// rows (§4.1 footnote 4, with `n = 2048`).
+    pub fn tested_rows(&self, n: u32) -> Vec<RowId> {
+        let n = n.min(self.rows_per_bank / 3);
+        let mut rows = Vec::with_capacity(3 * n as usize);
+        let mid_start = (self.rows_per_bank / 2) - n / 2;
+        for i in 0..n {
+            rows.push(RowId(i));
+        }
+        for i in 0..n {
+            rows.push(RowId(mid_start + i));
+        }
+        for i in 0..n {
+            rows.push(RowId(self.rows_per_bank - n + i));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_gb_module_has_32k_rows_per_bank() {
+        let g = ChipGeometry::module_4gb();
+        assert_eq!(g.rows_per_bank, 32 * 1024);
+        assert_eq!(g.banks, 16);
+        assert_eq!(g.row_bytes, 8192);
+        assert_eq!(g.subarrays_per_bank(), 64);
+    }
+
+    #[test]
+    fn eight_gb_module_has_64k_rows_per_bank() {
+        let g = ChipGeometry::module_8gb();
+        assert_eq!(g.rows_per_bank, 64 * 1024);
+        assert_eq!(g.subarrays_per_bank(), 128);
+    }
+
+    #[test]
+    fn subarray_mapping_is_consistent() {
+        let g = ChipGeometry::module_8gb();
+        assert_eq!(g.subarray_of(RowId(0)), SubarrayId(0));
+        assert_eq!(g.subarray_of(RowId(511)), SubarrayId(0));
+        assert_eq!(g.subarray_of(RowId(512)), SubarrayId(1));
+        let sa = g.subarray_of(RowId(40_000));
+        let base = g.subarray_base(sa);
+        assert!(base.0 <= 40_000 && 40_000 < base.0 + g.rows_per_subarray);
+    }
+
+    #[test]
+    fn tested_rows_cover_first_middle_last() {
+        let g = ChipGeometry::module_4gb();
+        let rows = g.tested_rows(2048);
+        assert_eq!(rows.len(), 3 * 2048);
+        assert_eq!(rows[0], RowId(0));
+        assert_eq!(*rows.last().unwrap(), RowId(g.rows_per_bank - 1));
+        // Middle block is centered.
+        assert!(rows[2048].0 > g.rows_per_bank / 4 && rows[2048].0 < 3 * g.rows_per_bank / 4);
+    }
+
+    #[test]
+    fn tested_rows_shrink_for_small_banks() {
+        let g = ChipGeometry::module_4gb();
+        let rows = g.tested_rows(u32::MAX);
+        assert_eq!(rows.len() as u32, 3 * (g.rows_per_bank / 3));
+    }
+
+    #[test]
+    fn chip_gbit_roundtrips() {
+        assert!((ChipGeometry::module_4gb().chip_gbit() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! DRAM-internal logical→physical row remapping (§4 footnote 8).
+//!
+//! Manufacturers remap memory-controller-visible row addresses to physical
+//! row locations (for redundancy repair and layout reasons), and the mapping
+//! varies across modules. RowHammer experiments need *physical* adjacency, so
+//! the paper reconstructs the mapping with single-sided hammering; our
+//! characterization crate does the same against this model.
+//!
+//! Two mapping families cover the schemes reported in the literature
+//! ([9, 24, 46, 51, 73, 75, 93, 102]):
+//!
+//! * [`RowMapping::Identity`] — physical = logical,
+//! * [`RowMapping::BitSwizzle`] — XOR-and-swap on low address bits within
+//!   512-row blocks (MSB region untouched, as on real parts where remapping
+//!   is subarray-local).
+
+use crate::addr::{PhysRowId, RowId};
+
+/// A bijective logical→physical row mapping within a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowMapping {
+    /// No remapping.
+    Identity,
+    /// Within each 512-row block: XOR bit 0 into bits [1..=k] depending on a
+    /// per-module pattern. This is self-inverse and subarray-local.
+    BitSwizzle {
+        /// XOR mask applied to the low 9 bits when bit 0 of the row is set.
+        mask: u16,
+    },
+}
+
+impl RowMapping {
+    /// Derives a module-specific mapping from its seed.
+    pub fn for_module(seed: u64) -> Self {
+        // Keep bit 0 in the mask so the transform stays self-inverse:
+        // p = l ^ (mask * bit0(l)) flips bit 0 only if mask bit0 = 0; we use
+        // masks with bit0 cleared so bit 0 (the trigger) is preserved.
+        let mask = (crate::rng::splitmix64(seed ^ 0x4D41_5050) as u16) & 0x1FE;
+        RowMapping::BitSwizzle { mask }
+    }
+
+    /// Maps a logical row to its physical location.
+    #[inline]
+    pub fn to_physical(self, row: RowId) -> PhysRowId {
+        match self {
+            RowMapping::Identity => PhysRowId(row.0),
+            RowMapping::BitSwizzle { mask } => {
+                let low = row.0 & 0x1FF;
+                let swz = if low & 1 == 1 { low ^ u32::from(mask) } else { low };
+                PhysRowId((row.0 & !0x1FF) | swz)
+            }
+        }
+    }
+
+    /// Maps a physical row back to the logical address.
+    #[inline]
+    pub fn to_logical(self, row: PhysRowId) -> RowId {
+        match self {
+            RowMapping::Identity => RowId(row.0),
+            RowMapping::BitSwizzle { mask } => {
+                // Self-inverse because the trigger bit is outside the mask.
+                let low = row.0 & 0x1FF;
+                let swz = if low & 1 == 1 { low ^ u32::from(mask) } else { low };
+                RowId((row.0 & !0x1FF) | swz)
+            }
+        }
+    }
+
+    /// The physical neighbours (victim candidates) of a physical row, within
+    /// `rows_per_bank`.
+    pub fn physical_neighbors(row: PhysRowId, rows_per_bank: u32) -> Vec<PhysRowId> {
+        let mut v = Vec::with_capacity(2);
+        if row.0 > 0 {
+            v.push(PhysRowId(row.0 - 1));
+        }
+        if row.0 + 1 < rows_per_bank {
+            v.push(PhysRowId(row.0 + 1));
+        }
+        v
+    }
+
+    /// Convenience: the logical addresses of the physical neighbours of a
+    /// *logical* row — what a double-sided RowHammer attacker needs.
+    pub fn logical_aggressors(self, victim: RowId, rows_per_bank: u32) -> Vec<RowId> {
+        Self::physical_neighbors(self.to_physical(victim), rows_per_bank)
+            .into_iter()
+            .map(|p| self.to_logical(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swizzle_is_bijective_over_a_block() {
+        let m = RowMapping::for_module(77);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..512u32 {
+            let p = m.to_physical(RowId(r));
+            assert!(seen.insert(p.0), "collision at {r}");
+            assert_eq!(m.to_logical(p), RowId(r), "not self-inverse at {r}");
+        }
+    }
+
+    #[test]
+    fn swizzle_stays_within_block() {
+        let m = RowMapping::for_module(123);
+        for r in [0u32, 511, 512, 1023, 32_000] {
+            let p = m.to_physical(RowId(r));
+            assert_eq!(p.0 & !0x1FF, r & !0x1FF, "left block at {r}");
+        }
+    }
+
+    #[test]
+    fn identity_maps_trivially() {
+        let m = RowMapping::Identity;
+        assert_eq!(m.to_physical(RowId(42)), PhysRowId(42));
+        assert_eq!(m.to_logical(PhysRowId(42)), RowId(42));
+    }
+
+    #[test]
+    fn aggressors_are_physical_neighbors() {
+        let m = RowMapping::Identity;
+        let aggr = m.logical_aggressors(RowId(100), 32768);
+        assert_eq!(aggr, vec![RowId(99), RowId(101)]);
+        // Edge rows have a single neighbour.
+        assert_eq!(m.logical_aggressors(RowId(0), 32768).len(), 1);
+        assert_eq!(m.logical_aggressors(RowId(32767), 32768).len(), 1);
+    }
+
+    #[test]
+    fn swizzled_aggressors_roundtrip() {
+        let m = RowMapping::for_module(9);
+        let victim = RowId(1000);
+        for a in m.logical_aggressors(victim, 32768) {
+            let pa = m.to_physical(a);
+            let pv = m.to_physical(victim);
+            assert_eq!(pa.0.abs_diff(pv.0), 1, "aggressor {a} not adjacent");
+        }
+    }
+
+    #[test]
+    fn different_modules_get_different_masks_often() {
+        let distinct: std::collections::HashSet<u16> = (0..32u64)
+            .map(|s| match RowMapping::for_module(s) {
+                RowMapping::BitSwizzle { mask } => mask,
+                RowMapping::Identity => 0,
+            })
+            .collect();
+        assert!(distinct.len() > 16);
+    }
+}

@@ -1,0 +1,95 @@
+//! Data-retention model (§2.3).
+//!
+//! Each row's weakest cell has a retention time sampled from a long-tailed
+//! distribution; if the row goes unrestored for longer than that, retention
+//! flips appear at the next sensing. The paper's experiments deliberately run
+//! for ≤ 10 ms to stay clear of retention effects (§4.1), which this model
+//! reproduces: the sampled minimum retention is far above 10 ms, and an
+//! unrefreshed row eventually *does* lose data — exercised by tests and the
+//! refresh-completeness example.
+
+use crate::addr::{BankId, RowId};
+use crate::rng::Stream;
+
+/// Distribution knobs for retention behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionModel {
+    /// `ln` of the median per-row (weakest-cell) retention time in ms.
+    pub ln_median_ms: f64,
+    /// Log-space standard deviation.
+    pub ln_sigma: f64,
+    /// Hard floor on retention, ms. JEDEC guarantees a full `tREFW` (64 ms);
+    /// real cells retain much longer at nominal temperature.
+    pub floor_ms: f64,
+    /// Retention halves for every this many °C above 45 °C.
+    pub halving_c: f64,
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        RetentionModel {
+            ln_median_ms: (4_000.0f64).ln(),
+            ln_sigma: 0.9,
+            floor_ms: 180.0,
+            halving_c: 10.0,
+        }
+    }
+}
+
+impl RetentionModel {
+    /// The row's weakest-cell retention time in ms at the given temperature.
+    pub fn retention_ms(&self, seed: u64, bank: BankId, row: RowId, temp_c: f64) -> f64 {
+        let base = Stream::from_words(&[seed, 0x5245_54, u64::from(bank.0), u64::from(row.0)])
+            .next_lognormal(self.ln_median_ms, self.ln_sigma)
+            .max(self.floor_ms);
+        let derate = 2f64.powf(-(temp_c - 45.0) / self.halving_c);
+        base * derate.min(1.0)
+    }
+
+    /// Whether a row last restored `elapsed_ns` ago has lost charge.
+    pub fn expired(&self, seed: u64, bank: BankId, row: RowId, temp_c: f64, elapsed_ns: f64) -> bool {
+        elapsed_ns / 1.0e6 > self.retention_ms(seed, bank, row, temp_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_ms_tests_never_see_retention_errors() {
+        let m = RetentionModel::default();
+        for r in 0..5_000u32 {
+            assert!(
+                !m.expired(1, BankId(0), RowId(r), 45.0, 10.0e6),
+                "row {r} expired within 10 ms"
+            );
+        }
+    }
+
+    #[test]
+    fn floor_exceeds_refresh_window() {
+        // A properly refreshed row (once per 64 ms) never expires at 45 °C.
+        let m = RetentionModel::default();
+        for r in 0..5_000u32 {
+            assert!(!m.expired(1, BankId(0), RowId(r), 45.0, 64.0e6), "row {r}");
+        }
+    }
+
+    #[test]
+    fn very_long_neglect_expires_everything_weak() {
+        let m = RetentionModel::default();
+        let expired = (0..2_000u32)
+            .filter(|&r| m.expired(1, BankId(0), RowId(r), 45.0, 3_600.0e9))
+            .count();
+        assert!(expired > 1_000, "only {expired} rows expired after an hour");
+    }
+
+    #[test]
+    fn heat_shortens_retention() {
+        let m = RetentionModel::default();
+        let r45 = m.retention_ms(1, BankId(0), RowId(3), 45.0);
+        let r85 = m.retention_ms(1, BankId(0), RowId(3), 85.0);
+        assert!((r45 / r85 - 16.0).abs() < 0.1, "expected 2^4 derating");
+    }
+}

@@ -1,0 +1,168 @@
+//! RowHammer disturbance model (§2.4, §4.3).
+//!
+//! Every physical row accrues one "hammer" per activation of a physically
+//! adjacent row. When a row is *sensed* (activated) with an accumulated
+//! hammer count at or above its instantaneous threshold, its weak cells flip.
+//! Closing a row with full charge restoration scrubs most — not all — of the
+//! accumulated disturbance: the *restore efficiency* `eff` leaves a residue
+//! `(1 − eff)·count`, which is what makes the measured RowHammer threshold
+//! with a mid-attack HiRA refresh ≈ `2/(2−eff) ≈ 1.9×` the baseline threshold
+//! (Fig. 5b, Table 4) rather than exactly 2×.
+//!
+//! Thresholds are sampled log-normally per row (Fig. 5a: 10 K-80 K, mean
+//! ≈ 27.2 K) and each *measurement* sees multiplicative noise, which is why
+//! normalized thresholds occasionally exceed 2 (Table 4 max 2.58).
+
+use crate::addr::{BankId, RowId};
+use crate::rng::Stream;
+
+/// Distribution knobs for a module's RowHammer behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowHammerModel {
+    /// `ln` of the median per-row threshold.
+    pub nrh_ln_median: f64,
+    /// Log-space standard deviation of the per-row threshold.
+    pub nrh_ln_sigma: f64,
+    /// Mean restore efficiency (fraction of disturbance scrubbed by a full
+    /// restoration).
+    pub eff_mean: f64,
+    /// Standard deviation of the restore efficiency.
+    pub eff_sd: f64,
+    /// Log-space sigma of per-sensing measurement noise on the threshold.
+    pub measure_sigma: f64,
+    /// Number of RowHammer-weak cells per row (upper bound of a small range).
+    pub weak_cells_max: u32,
+    /// Threshold derating per °C above the 45 °C reference (higher
+    /// temperature ⇒ more vulnerable, after [129]).
+    pub temp_slope_per_c: f64,
+}
+
+impl Default for RowHammerModel {
+    fn default() -> Self {
+        RowHammerModel {
+            nrh_ln_median: (26_000.0f64).ln(),
+            nrh_ln_sigma: 0.33,
+            eff_mean: 0.947,
+            eff_sd: 0.035,
+            measure_sigma: 0.045,
+            weak_cells_max: 12,
+            temp_slope_per_c: 0.004,
+        }
+    }
+}
+
+impl RowHammerModel {
+    /// The row's intrinsic threshold (activations of neighbours within a
+    /// refresh window before first bit flip), before measurement noise.
+    pub fn nrh_base(&self, seed: u64, bank: BankId, row: RowId) -> f64 {
+        let mut s = Stream::from_words(&[seed, 0x4E52_48, u64::from(bank.0), u64::from(row.0)]);
+        s.next_lognormal(self.nrh_ln_median, self.nrh_ln_sigma).max(1_000.0)
+    }
+
+    /// The threshold seen by one particular sensing event (adds measurement
+    /// noise and temperature derating).
+    pub fn nrh_instance(
+        &self,
+        seed: u64,
+        bank: BankId,
+        row: RowId,
+        sense_event: u64,
+        temp_c: f64,
+    ) -> f64 {
+        let base = self.nrh_base(seed, bank, row);
+        let noise = Stream::from_words(&[
+            seed,
+            0x4E4F_49,
+            u64::from(bank.0),
+            u64::from(row.0),
+            sense_event,
+        ])
+        .next_lognormal(0.0, self.measure_sigma);
+        let temp_factor = (1.0 - self.temp_slope_per_c * (temp_c - 45.0)).clamp(0.5, 1.5);
+        base * noise * temp_factor
+    }
+
+    /// The row's restore efficiency (stable per row).
+    pub fn restore_eff(&self, seed: u64, bank: BankId, row: RowId) -> f64 {
+        Stream::from_words(&[seed, 0x4546_46, u64::from(bank.0), u64::from(row.0)])
+            .next_gauss(self.eff_mean, self.eff_sd)
+            .clamp(0.75, 0.995)
+    }
+
+    /// Bit positions (byte index, bit index) of the row's RowHammer-weak
+    /// cells. Deterministic per row; between 1 and `weak_cells_max` cells.
+    pub fn weak_cells(&self, seed: u64, bank: BankId, row: RowId, row_bytes: usize) -> Vec<(usize, u8)> {
+        let mut s =
+            Stream::from_words(&[seed, 0x5745_41, u64::from(bank.0), u64::from(row.0)]);
+        let count = 1 + s.next_below(u64::from(self.weak_cells_max)) as usize;
+        (0..count)
+            .map(|_| {
+                let byte = s.next_below(row_bytes as u64) as usize;
+                let bit = (s.next_u64() % 8) as u8;
+                (byte, bit)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nrh_distribution_matches_fig5a_envelope() {
+        let m = RowHammerModel::default();
+        let n = 5_000u32;
+        let xs: Vec<f64> = (0..n).map(|r| m.nrh_base(1, BankId(0), RowId(r))).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        // Fig. 5a: mean 27.2K, support roughly 10K..80K.
+        assert!((mean - 27_200.0).abs() < 3_000.0, "mean {mean}");
+        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(lo > 5_000.0 && hi < 130_000.0, "range {lo}..{hi}");
+    }
+
+    #[test]
+    fn restore_eff_yields_norm_ratio_near_1_9() {
+        let m = RowHammerModel::default();
+        let n = 3_000u32;
+        let mean_ratio: f64 = (0..n)
+            .map(|r| {
+                let eff = m.restore_eff(2, BankId(0), RowId(r));
+                2.0 / (2.0 - eff)
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_ratio - 1.9).abs() < 0.05, "mean normalized NRH {mean_ratio}");
+    }
+
+    #[test]
+    fn measurement_noise_varies_per_sense_event() {
+        let m = RowHammerModel::default();
+        let a = m.nrh_instance(1, BankId(0), RowId(9), 0, 45.0);
+        let b = m.nrh_instance(1, BankId(0), RowId(9), 1, 45.0);
+        assert_ne!(a, b);
+        assert!((a / b - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn temperature_derates_threshold() {
+        let m = RowHammerModel::default();
+        let cold = m.nrh_instance(1, BankId(0), RowId(5), 0, 45.0);
+        let hot = m.nrh_instance(1, BankId(0), RowId(5), 0, 85.0);
+        assert!(hot < cold);
+    }
+
+    #[test]
+    fn weak_cells_are_in_range_and_deterministic() {
+        let m = RowHammerModel::default();
+        let a = m.weak_cells(3, BankId(1), RowId(77), 8192);
+        let b = m.weak_cells(3, BankId(1), RowId(77), 8192);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() <= m.weak_cells_max as usize);
+        for (byte, bit) in a {
+            assert!(byte < 8192);
+            assert!(bit < 8);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! DDR4 timing parameters (in nanoseconds) and the HiRA timing pair.
+//!
+//! Values follow the paper's Table 3 and §2.2/§3: DDR4-2400 with
+//! `tRC = 46.25 ns`, `tRAS = 32 ns`, `tRP = 14.25 ns`, `tFAW = 16 ns`,
+//! and HiRA's customized `t1`/`t2` (3 ns each in the best configuration).
+//! The refresh latency `tRFC` scales with chip capacity per the paper's
+//! Expression (1): `tRFC = 110 × C_chip^0.6` ns.
+
+/// Full set of DDR4 timing parameters used by the controller and benches.
+///
+/// All fields are in nanoseconds. The set is deliberately flat and public in
+/// the C-struct spirit: it is passive configuration data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Command clock period (DDR4-2400 ⇒ 0.8333 ns).
+    pub t_ck: f64,
+    /// ACT → column command (row-activation latency).
+    pub t_rcd: f64,
+    /// ACT → PRE (charge-restoration latency).
+    pub t_ras: f64,
+    /// PRE → ACT (precharge latency).
+    pub t_rp: f64,
+    /// ACT → ACT, same bank (row cycle); `>= t_ras + t_rp`.
+    pub t_rc: f64,
+    /// ACT → ACT, different banks, same bank group.
+    pub t_rrd_l: f64,
+    /// ACT → ACT, different banks, different bank groups.
+    pub t_rrd_s: f64,
+    /// Four-activation window (per rank).
+    pub t_faw: f64,
+    /// RD → RD, same bank group.
+    pub t_ccd_l: f64,
+    /// RD → RD, different bank groups.
+    pub t_ccd_s: f64,
+    /// CAS (read) latency.
+    pub t_cl: f64,
+    /// CAS write latency.
+    pub t_cwl: f64,
+    /// Burst duration on the data bus (BL8 at DDR ⇒ 4 command clocks).
+    pub t_bl: f64,
+    /// Write recovery: end of write burst → PRE.
+    pub t_wr: f64,
+    /// Write → read turnaround, same rank.
+    pub t_wtr: f64,
+    /// Read → PRE.
+    pub t_rtp: f64,
+    /// REF → next command to the rank (all-bank refresh latency).
+    pub t_rfc: f64,
+    /// Average periodic-refresh interval.
+    pub t_refi: f64,
+    /// Refresh window: every row must be refreshed once per window.
+    pub t_refw: f64,
+}
+
+impl TimingParams {
+    /// DDR4-2400 parameters for a 4 Gb chip (the characterization default),
+    /// matching the paper's Table 3 and JESD79-4 values.
+    pub fn ddr4_2400() -> Self {
+        TimingParams {
+            t_ck: 0.8333,
+            t_rcd: 14.25,
+            t_ras: 32.0,
+            t_rp: 14.25,
+            t_rc: 46.25,
+            t_rrd_l: 4.9,
+            t_rrd_s: 3.3,
+            t_faw: 16.0,
+            t_ccd_l: 5.0,
+            t_ccd_s: 3.333,
+            t_cl: 14.25,
+            t_cwl: 10.0,
+            t_bl: 3.333,
+            t_wr: 15.0,
+            t_wtr: 7.5,
+            t_rtp: 7.5,
+            t_rfc: 260.0,
+            t_refi: 7800.0,
+            t_refw: 64_000_000.0,
+        }
+    }
+
+    /// Same as [`TimingParams::ddr4_2400`] but with `tRFC` projected for the
+    /// given chip capacity (in gigabits) using the paper's Expression (1).
+    pub fn ddr4_2400_with_capacity(chip_gbit: f64) -> Self {
+        let mut t = Self::ddr4_2400();
+        t.t_rfc = trfc_for_capacity(chip_gbit);
+        t
+    }
+
+    /// DDR5-4800 parameters (JESD79-5). The paper's §2.3 motivates HiRA
+    /// partly through DDR5's tighter refresh regime: a 32 ms `tREFW` and
+    /// 3.9 µs `tREFI` double the periodic-refresh rate relative to DDR4.
+    pub fn ddr5_4800() -> Self {
+        TimingParams {
+            t_ck: 0.4167,
+            t_rcd: 16.0,
+            t_ras: 32.0,
+            t_rp: 16.0,
+            t_rc: 48.0,
+            t_rrd_l: 5.0,
+            t_rrd_s: 3.3,
+            t_faw: 13.3,
+            t_ccd_l: 5.0,
+            t_ccd_s: 3.333,
+            t_cl: 16.7,
+            t_cwl: 14.2,
+            t_bl: 3.333,
+            t_wr: 30.0,
+            t_wtr: 10.0,
+            t_rtp: 7.5,
+            t_rfc: 295.0,
+            t_refi: 3900.0,
+            t_refw: 32_000_000.0,
+        }
+    }
+
+    /// Latency of refreshing one row with nominal commands: `tRAS + tRP`.
+    pub fn single_row_refresh_ns(&self) -> f64 {
+        self.t_ras + self.t_rp
+    }
+
+    /// Latency of refreshing two rows back-to-back with nominal commands:
+    /// `tRAS + tRP + tRAS` (§3 footnote 2) = 78.25 ns at DDR4-2400.
+    pub fn two_row_refresh_ns(&self) -> f64 {
+        self.t_ras + self.t_rp + self.t_ras
+    }
+}
+
+/// The paper's Expression (1): `tRFC = 110 × C_chip^0.6` ns, `C_chip` in Gb.
+///
+/// This is the state-of-the-art regression model [124] the paper uses to
+/// project refresh latency for future high-capacity chips.
+pub fn trfc_for_capacity(chip_gbit: f64) -> f64 {
+    assert!(chip_gbit > 0.0, "chip capacity must be positive");
+    110.0 * chip_gbit.powf(0.6)
+}
+
+/// HiRA's two custom timing parameters (§3, Fig. 2).
+///
+/// `t1` is the first-`ACT` → `PRE` gap, `t2` the `PRE` → second-`ACT` gap.
+/// SoftMC on the Alveo U200 can place commands on a 1.5 ns grid (§4.1 fn. 5),
+/// so the experimentally swept values are multiples of 1.5 ns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HiraTimings {
+    /// First ACT → PRE latency in ns.
+    pub t1: f64,
+    /// PRE → second ACT latency in ns.
+    pub t2: f64,
+}
+
+impl HiraTimings {
+    /// The best configuration found in §4.2: `t1 = t2 = 3 ns`.
+    pub fn nominal() -> Self {
+        HiraTimings { t1: 3.0, t2: 3.0 }
+    }
+
+    /// Total added latency before the second row's activation begins.
+    pub fn lead_ns(&self) -> f64 {
+        self.t1 + self.t2
+    }
+
+    /// Latency of refreshing two rows with HiRA: `t1 + t2 + tRAS`
+    /// (= 38 ns at the nominal configuration, §4.2).
+    pub fn two_row_refresh_ns(&self, timing: &TimingParams) -> f64 {
+        self.lead_ns() + timing.t_ras
+    }
+
+    /// The grid of `t1`/`t2` values swept in Fig. 4.
+    pub fn figure4_grid() -> Vec<HiraTimings> {
+        let steps = [1.5, 3.0, 4.5, 6.0];
+        let mut out = Vec::with_capacity(16);
+        for &t1 in &steps {
+            for &t2 in &steps {
+                out.push(HiraTimings { t1, t2 });
+            }
+        }
+        out
+    }
+}
+
+impl Default for HiraTimings {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_is_internally_consistent() {
+        let t = TimingParams::ddr4_2400();
+        assert!(t.t_rc >= t.t_ras + t.t_rp);
+        assert!((t.t_rc - 46.25).abs() < 1e-9);
+        assert!((t.t_ras - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_row_nominal_latency_matches_paper() {
+        let t = TimingParams::ddr4_2400();
+        assert!((t.two_row_refresh_ns() - 78.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hira_two_row_latency_matches_paper() {
+        let t = TimingParams::ddr4_2400();
+        let h = HiraTimings::nominal();
+        assert!((h.two_row_refresh_ns(&t) - 38.0).abs() < 1e-9);
+        // Headline claim: 51.4% reduction (§1, §4.2).
+        let reduction = 1.0 - h.two_row_refresh_ns(&t) / t.two_row_refresh_ns();
+        assert!((reduction - 0.514).abs() < 0.002, "reduction {reduction}");
+    }
+
+    #[test]
+    fn ddr5_doubles_the_refresh_rate() {
+        let d4 = TimingParams::ddr4_2400();
+        let d5 = TimingParams::ddr5_4800();
+        assert!((d4.t_refw / d5.t_refw - 2.0).abs() < 1e-9);
+        assert!((d4.t_refi / d5.t_refi - 2.0).abs() < 1e-9);
+        assert!(d5.t_rc >= d5.t_ras + d5.t_rp);
+    }
+
+    #[test]
+    fn trfc_scaling_matches_expression_1() {
+        // 8 Gb: 110 * 8^0.6 = 382.9 ns; 128 Gb: ~2023 ns.
+        assert!((trfc_for_capacity(8.0) - 110.0 * 8f64.powf(0.6)).abs() < 1e-9);
+        let v = trfc_for_capacity(128.0);
+        assert!(v > 2000.0 && v < 2050.0, "tRFC(128Gb) = {v}");
+        // Monotone in capacity.
+        assert!(trfc_for_capacity(16.0) > trfc_for_capacity(8.0));
+    }
+
+    #[test]
+    fn figure4_grid_is_the_full_cartesian_product() {
+        let grid = HiraTimings::figure4_grid();
+        assert_eq!(grid.len(), 16);
+        assert!(grid.iter().any(|h| h.t1 == 1.5 && h.t2 == 6.0));
+        assert!(grid.iter().any(|h| h.t1 == 3.0 && h.t2 == 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn trfc_rejects_nonpositive_capacity() {
+        trfc_for_capacity(0.0);
+    }
+}

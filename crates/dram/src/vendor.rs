@@ -1,0 +1,97 @@
+//! Manufacturer behavioural profiles (§4.1 footnote 3, §12).
+//!
+//! The paper observes successful HiRA only on SK Hynix dies; Samsung and
+//! Micron chips appear to *ignore* `PRE` or `ACT` commands that grossly
+//! violate `tRAS`/`tRP` (the hypothesized guard logic in §12). We model the
+//! three behaviours so the characterization harness can reproduce both the
+//! positive and the negative results.
+
+use std::fmt;
+
+/// DRAM manufacturer identity for a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Manufacturer {
+    /// SK Hynix — executes interruptible precharges (HiRA works).
+    SkHynix,
+    /// Samsung — ignores timing-violating `PRE`/second-`ACT` (HiRA inert).
+    Samsung,
+    /// Micron — ignores timing-violating `PRE`/second-`ACT` (HiRA inert).
+    Micron,
+}
+
+impl fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Manufacturer::SkHynix => "SK Hynix",
+            Manufacturer::Samsung => "Samsung",
+            Manufacturer::Micron => "Micron",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a die's command decoder treats grossly timing-violating commands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ViolationBehavior {
+    /// The analog circuits follow the command stream as-is; an `ACT` arriving
+    /// during an in-flight `PRE` interrupts it (HiRA-capable, §3).
+    Execute,
+    /// The decoder drops a `PRE` issued before `tRAS_guard` has elapsed and an
+    /// `ACT` issued before `tRP_guard` after a `PRE` (HiRA-inert, §12).
+    IgnoreViolating {
+        /// Minimum `ACT`→`PRE` gap the decoder will honour, in ns.
+        t_ras_guard: f64,
+        /// Minimum `PRE`→`ACT` gap the decoder will honour, in ns.
+        t_rp_guard: f64,
+    },
+}
+
+impl Manufacturer {
+    /// The violation behaviour inferred for this manufacturer in §12.
+    pub fn violation_behavior(self) -> ViolationBehavior {
+        match self {
+            Manufacturer::SkHynix => ViolationBehavior::Execute,
+            // Guard bands: anything far below the JEDEC values is dropped.
+            Manufacturer::Samsung | Manufacturer::Micron => ViolationBehavior::IgnoreViolating {
+                t_ras_guard: 20.0,
+                t_rp_guard: 10.0,
+            },
+        }
+    }
+
+    /// Whether HiRA is expected to function on this manufacturer's dies.
+    pub fn hira_capable(self) -> bool {
+        matches!(self.violation_behavior(), ViolationBehavior::Execute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_sk_hynix_is_hira_capable() {
+        assert!(Manufacturer::SkHynix.hira_capable());
+        assert!(!Manufacturer::Samsung.hira_capable());
+        assert!(!Manufacturer::Micron.hira_capable());
+    }
+
+    #[test]
+    fn guard_bands_are_below_jedec_but_above_hira_timings() {
+        if let ViolationBehavior::IgnoreViolating { t_ras_guard, t_rp_guard } =
+            Manufacturer::Micron.violation_behavior()
+        {
+            // HiRA's t1=3 ns / t2=3 ns must fall inside the guard (dropped),
+            // while nominal tRAS=32 / tRP=14.25 must be honoured.
+            assert!(t_ras_guard > 3.0 && t_ras_guard < 32.0);
+            assert!(t_rp_guard > 3.0 && t_rp_guard < 14.25);
+        } else {
+            panic!("expected IgnoreViolating");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Manufacturer::SkHynix.to_string(), "SK Hynix");
+    }
+}

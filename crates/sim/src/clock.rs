@@ -1,0 +1,62 @@
+//! Clock domains and conversions.
+//!
+//! The CPU runs at 3.2 GHz and the DDR4-2400 command clock at 1.2 GHz —
+//! a ratio of 8:3. The simulator's outer loop runs in CPU cycles and
+//! accumulates fractional memory ticks; the memory side works in *memory
+//! cycles* and converts to nanoseconds when talking to `hira-core`.
+
+/// CPU clock frequency in GHz (Table 3).
+pub const CPU_GHZ: f64 = 3.2;
+
+/// DDR4-2400 command clock in GHz.
+pub const MEM_GHZ: f64 = 1.2;
+
+/// Memory command-clock period in ns.
+pub const T_CK_NS: f64 = 1.0 / MEM_GHZ;
+
+/// Memory ticks accumulated per CPU cycle, as a rational (3 per 8).
+pub const MEM_PER_CPU_NUM: u64 = 3;
+/// Denominator of the memory-per-CPU ratio.
+pub const MEM_PER_CPU_DEN: u64 = 8;
+
+/// A timestamp or duration in memory cycles.
+pub type MemCycle = u64;
+
+/// Converts nanoseconds to memory cycles, rounding up (a constraint of
+/// `x` ns cannot be satisfied earlier than the covering command slot).
+#[inline]
+pub fn ns_to_cycles(ns: f64) -> MemCycle {
+    (ns * MEM_GHZ).ceil() as MemCycle
+}
+
+/// Converts memory cycles to nanoseconds.
+#[inline]
+pub fn cycles_to_ns(c: MemCycle) -> f64 {
+    c as f64 * T_CK_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_matches_frequencies() {
+        assert!((CPU_GHZ / MEM_GHZ - MEM_PER_CPU_DEN as f64 / MEM_PER_CPU_NUM as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ns_round_trips_conservatively() {
+        // tRC = 46.25 ns → 56 cycles (46.67 ns): never early.
+        let c = ns_to_cycles(46.25);
+        assert_eq!(c, 56);
+        assert!(cycles_to_ns(c) >= 46.25);
+        // Exact multiples stay exact.
+        assert_eq!(ns_to_cycles(cycles_to_ns(40)), 40);
+    }
+
+    #[test]
+    fn hira_lead_rounds_to_command_slots() {
+        // t1 = 3 ns → 4 command cycles.
+        assert_eq!(ns_to_cycles(3.0), 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulated system configuration (Table 3).
+
+use hira_core::config::HiraConfig;
+use hira_dram::timing::{trfc_for_capacity, TimingParams};
+
+/// How periodic refresh is performed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefreshScheme {
+    /// No periodic refresh at all (the ideal bound of Fig. 9a).
+    NoRefresh,
+    /// Conventional all-bank `REF` every `tREFI`, blocking the rank for
+    /// `tRFC` (scaled with chip capacity by Expression 1).
+    Baseline,
+    /// Per-row refresh through HiRA-MC with the given HiRA-N configuration.
+    Hira(HiraConfig),
+}
+
+/// How PARA's preventive refreshes are served (§9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PreventiveMode {
+    /// Refresh the victim immediately after the triggering activation
+    /// ("PARA" in Fig. 12 — no HiRA).
+    Immediate,
+    /// Queue with `tRefSlack` and let HiRA-MC parallelize (HiRA-N).
+    Hira(HiraConfig),
+}
+
+/// Preventive-refresh configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreventiveConfig {
+    /// PARA's probability threshold (from the §9.1 security analysis).
+    pub pth: f64,
+    /// Service mode.
+    pub mode: PreventiveMode,
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores (Table 3: 8).
+    pub cores: usize,
+    /// Memory channels (Table 3: 1; §10 sweeps 1-8).
+    pub channels: usize,
+    /// Ranks per channel (Table 3: 1; §10 sweeps 1-8).
+    pub ranks: usize,
+    /// Banks per rank (DDR4: 16 in 4 bank groups).
+    pub banks: u16,
+    /// Bank groups per rank.
+    pub bank_groups: u16,
+    /// Chip capacity in Gb (drives rows/bank and `tRFC`).
+    pub chip_gbit: f64,
+    /// DDR timing parameters.
+    pub timing: TimingParams,
+    /// Periodic refresh scheme.
+    pub refresh: RefreshScheme,
+    /// Optional PARA layer.
+    pub preventive: Option<PreventiveConfig>,
+    /// LLC capacity in bytes (Table 3: 8 MB).
+    pub llc_bytes: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// Read/write queue capacity per channel.
+    pub queue_depth: usize,
+    /// Instructions each core must retire (after warmup) for the measurement.
+    pub insts_per_core: u64,
+    /// Warmup instructions per core.
+    pub warmup_insts: u64,
+    /// Fraction of row pairs HiRA can pair (§7: 0.32).
+    pub spt_fraction: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The Table 3 configuration for a given chip capacity and refresh
+    /// scheme, at a scaled-down default instruction budget.
+    pub fn table3(chip_gbit: f64, refresh: RefreshScheme) -> Self {
+        let mut timing = TimingParams::ddr4_2400();
+        timing.t_rfc = trfc_for_capacity(chip_gbit);
+        SystemConfig {
+            cores: 8,
+            channels: 1,
+            ranks: 1,
+            banks: 16,
+            bank_groups: 4,
+            chip_gbit,
+            timing,
+            refresh,
+            preventive: None,
+            llc_bytes: 8 << 20,
+            llc_ways: 8,
+            queue_depth: 64,
+            insts_per_core: 100_000,
+            warmup_insts: 20_000,
+            spt_fraction: 0.32,
+            seed: 0x5157,
+        }
+    }
+
+    /// Rows per bank. Table 3 fixes this at 64 K for every simulated
+    /// capacity: the paper models density growth through wider rows and a
+    /// larger `tRFC` (Expression 1), not through more rows — which is what
+    /// makes per-row HiRA refresh scale gracefully while the baseline's
+    /// rank-blocking time balloons (§8).
+    pub fn rows_per_bank(&self) -> u32 {
+        64 * 1024
+    }
+
+    /// Adds a PARA layer.
+    pub fn with_preventive(mut self, pth: f64, mode: PreventiveMode) -> Self {
+        self.preventive = Some(PreventiveConfig { pth, mode });
+        self
+    }
+
+    /// Overrides channel/rank geometry (§10 sweeps).
+    pub fn with_geometry(mut self, channels: usize, ranks: usize) -> Self {
+        assert!(channels >= 1 && ranks >= 1);
+        self.channels = channels;
+        self.ranks = ranks;
+        self
+    }
+
+    /// Overrides the instruction budget (scaled experiments).
+    pub fn with_insts(mut self, insts: u64, warmup: u64) -> Self {
+        self.insts_per_core = insts;
+        self.warmup_insts = warmup;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_per_bank_is_table3_fixed() {
+        // Table 3: 64 K rows/bank at every capacity (density = wider rows).
+        let c8 = SystemConfig::table3(8.0, RefreshScheme::Baseline);
+        assert_eq!(c8.rows_per_bank(), 64 * 1024);
+        let c128 = SystemConfig::table3(128.0, RefreshScheme::Baseline);
+        assert_eq!(c128.rows_per_bank(), 64 * 1024);
+    }
+
+    #[test]
+    fn trfc_follows_expression_1() {
+        let c = SystemConfig::table3(32.0, RefreshScheme::Baseline);
+        assert!((c.timing.t_rfc - trfc_for_capacity(32.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::table3(8.0, RefreshScheme::NoRefresh)
+            .with_geometry(4, 2)
+            .with_preventive(0.5, PreventiveMode::Immediate)
+            .with_insts(1000, 100);
+        assert_eq!(c.channels, 4);
+        assert_eq!(c.ranks, 2);
+        assert!(c.preventive.is_some());
+        assert_eq!(c.insts_per_core, 1000);
+    }
+}

@@ -1,0 +1,948 @@
+//! Per-channel memory controller: FR-FCFS scheduling over a detailed DDR4
+//! timing model, with pluggable refresh machinery (baseline `REF`, HiRA-MC,
+//! immediate PARA).
+//!
+//! The timing model enforces, in command-clock cycles: `tRCD`, `tRAS`,
+//! `tRP`, `tRC`, `tRRD_S/L`, `tFAW`, `tCCD_S/L`, `tCL/tCWL/tBL`, `tWR`,
+//! `tWTR`, `tRTP`, `tRFC`/`tREFI`, the one-command-per-cycle command bus and
+//! the shared data bus. HiRA operations occupy their real command slots
+//! (`ACT`, `PRE`, `ACT` at `t1`/`t2` offsets) and count both activations
+//! against `tFAW`/`tRRD`, as §5.2 requires.
+
+use crate::clock::{cycles_to_ns, ns_to_cycles, MemCycle};
+use crate::config::{PreventiveMode, RefreshScheme, SystemConfig};
+use crate::request::MemRequest;
+use hira_core::config::HiraConfig;
+use hira_core::finder::{DeadlineWork, HiraMc, HiraMcParams, McAction, McStats};
+use hira_core::para::Para;
+use hira_dram::addr::{BankId, RowId};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::cmp::Reverse;
+
+/// How far into the future a service may be committed (cycles). Loose
+/// enough that a refresh-busy bank still accepts demand work behind the
+/// in-flight refreshes, tight enough that the schedule stays contestable.
+const COMMIT_HORIZON: MemCycle = 360;
+
+/// Write-drain watermarks.
+const WQ_HIGH: usize = 48;
+const WQ_LOW: usize = 16;
+
+/// DDR timing in integer command-clock cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingC {
+    pub rcd: MemCycle,
+    pub ras: MemCycle,
+    pub rp: MemCycle,
+    pub rc: MemCycle,
+    pub rrd_l: MemCycle,
+    pub rrd_s: MemCycle,
+    pub faw: MemCycle,
+    pub ccd_l: MemCycle,
+    pub ccd_s: MemCycle,
+    pub cl: MemCycle,
+    pub cwl: MemCycle,
+    pub bl: MemCycle,
+    pub wr: MemCycle,
+    pub wtr: MemCycle,
+    pub rtp: MemCycle,
+    pub rfc: MemCycle,
+    pub refi: MemCycle,
+    /// HiRA `t1` and `t2` in command cycles.
+    pub t1: MemCycle,
+    pub t2: MemCycle,
+}
+
+impl TimingC {
+    /// Converts the ns-denominated parameters onto the command-clock grid.
+    pub fn from_ns(t: &hira_dram::timing::TimingParams, hira: &HiraConfig) -> Self {
+        TimingC {
+            rcd: ns_to_cycles(t.t_rcd),
+            ras: ns_to_cycles(t.t_ras),
+            rp: ns_to_cycles(t.t_rp),
+            rc: ns_to_cycles(t.t_rc),
+            rrd_l: ns_to_cycles(t.t_rrd_l),
+            rrd_s: ns_to_cycles(t.t_rrd_s),
+            faw: ns_to_cycles(t.t_faw),
+            ccd_l: ns_to_cycles(t.t_ccd_l),
+            ccd_s: ns_to_cycles(t.t_ccd_s),
+            cl: ns_to_cycles(t.t_cl),
+            cwl: ns_to_cycles(t.t_cwl),
+            bl: ns_to_cycles(t.t_bl),
+            wr: ns_to_cycles(t.t_wr),
+            wtr: ns_to_cycles(t.t_wtr),
+            rtp: ns_to_cycles(t.t_rtp),
+            rfc: ns_to_cycles(t.t_rfc),
+            refi: ns_to_cycles(t.t_refi),
+            t1: ns_to_cycles(hira.op.timings.t1),
+            t2: ns_to_cycles(hira.op.timings.t2),
+        }
+    }
+}
+
+/// Data bus: fixed-length burst reservations with gap filling, so a
+/// far-future burst (refresh-delayed bank) does not serialize earlier-ready
+/// bursts behind it.
+#[derive(Debug, Default)]
+struct DataBus {
+    /// Burst start → end (non-overlapping; all bursts have equal length).
+    bursts: std::collections::BTreeMap<MemCycle, MemCycle>,
+}
+
+impl DataBus {
+    /// Reserves the first `len`-cycle gap starting at or after `earliest`.
+    fn alloc(&mut self, earliest: MemCycle, len: MemCycle) -> MemCycle {
+        let mut s = earliest;
+        loop {
+            let conflict = self
+                .bursts
+                .range(..s + len)
+                .next_back()
+                .filter(|&(_, &end)| end > s)
+                .map(|(_, &end)| end);
+            match conflict {
+                Some(end) => s = end,
+                None => {
+                    self.bursts.insert(s, s + len);
+                    return s;
+                }
+            }
+        }
+    }
+
+    fn prune(&mut self, now: MemCycle) {
+        while let Some((&start, &end)) = self.bursts.first_key_value() {
+            if end + 64 < now {
+                self.bursts.remove(&start);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// One-command-per-cycle command bus with future reservations (HiRA's
+/// mid-sequence commands are scheduled ahead of time).
+#[derive(Debug, Default)]
+struct CmdBus {
+    reserved: BTreeSet<MemCycle>,
+}
+
+impl CmdBus {
+    /// Reserves the first free slot at or after `earliest`.
+    fn alloc(&mut self, earliest: MemCycle) -> MemCycle {
+        let mut c = earliest;
+        while self.reserved.contains(&c) {
+            c += 1;
+        }
+        self.reserved.insert(c);
+        c
+    }
+
+    fn prune(&mut self, now: MemCycle) {
+        while let Some(&c) = self.reserved.first() {
+            if c + 4 < now {
+                self.reserved.remove(&c);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u32>,
+    next_act: MemCycle,
+    next_pre: MemCycle,
+    next_cas: MemCycle,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank { open_row: None, next_act: 0, next_pre: 0, next_cas: 0 }
+    }
+}
+
+#[derive(Debug)]
+struct Rank {
+    /// Recent ACT times (ascending) for the tFAW window.
+    acts: VecDeque<MemCycle>,
+    /// tRRD_S horizon (any bank in the rank).
+    next_act_any: MemCycle,
+    /// tRRD_L horizon per bank group.
+    next_act_bg: Vec<MemCycle>,
+    /// Earliest read CAS (write→read turnaround).
+    next_rd: MemCycle,
+    /// Last CAS bank group + end (tCCD_L/S resolution).
+    last_cas_bg: Option<u16>,
+    /// Baseline REF bookkeeping.
+    ref_due: MemCycle,
+    /// HiRA-MC instance (periodic and/or preventive), if configured.
+    mc: Option<HiraMc>,
+    /// Immediate-mode PARA, if configured.
+    para: Option<Para>,
+    /// Victims awaiting an immediate preventive refresh.
+    para_queue: VecDeque<(u16, u32)>,
+}
+
+/// Aggregate controller statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelStats {
+    /// Demand reads completed.
+    pub reads_done: u64,
+    /// Demand writes issued to DRAM.
+    pub writes_done: u64,
+    /// Row-buffer hits among demand CAS operations.
+    pub row_hits: u64,
+    /// Demand activations issued.
+    pub demand_acts: u64,
+    /// Activations issued for refresh (HiRA hidden rows, singles, pairs,
+    /// immediate preventive refreshes).
+    pub refresh_acts: u64,
+    /// Rank-level `REF` commands issued.
+    pub ref_commands: u64,
+    /// Demand ACTs converted into HiRA refresh-access operations.
+    pub hira_access_ops: u64,
+    /// Sum of read queueing latencies (cycles), for average latency.
+    pub read_latency_sum: u64,
+}
+
+/// One memory channel and its controller.
+#[derive(Debug)]
+pub struct Channel {
+    timing: TimingC,
+    banks_per_rank: u16,
+    bank_groups: u16,
+    read_q: Vec<MemRequest>,
+    write_q: Vec<MemRequest>,
+    queue_depth: usize,
+    banks: Vec<Bank>,
+    ranks: Vec<Rank>,
+    bus: CmdBus,
+    data_bus: DataBus,
+    completions: BinaryHeap<Reverse<(MemCycle, u64)>>,
+    write_mode: bool,
+    refresh_scheme: RefreshScheme,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Builds the channel from the system config.
+    pub fn new(cfg: &SystemConfig, channel_idx: usize) -> Self {
+        let hira_cfg = match (&cfg.refresh, cfg.preventive.as_ref().map(|p| p.mode)) {
+            (RefreshScheme::Hira(h), _) => *h,
+            (_, Some(PreventiveMode::Hira(h))) => h,
+            _ => HiraConfig::hira_n(0),
+        };
+        let timing = TimingC::from_ns(&cfg.timing, &hira_cfg);
+        let ranks = (0..cfg.ranks)
+            .map(|r| {
+                let periodic_via_hira = matches!(cfg.refresh, RefreshScheme::Hira(_));
+                let preventive_hira = matches!(
+                    cfg.preventive,
+                    Some(crate::config::PreventiveConfig { mode: PreventiveMode::Hira(_), .. })
+                );
+                let mc = (periodic_via_hira || preventive_hira).then(|| {
+                    let params = HiraMcParams {
+                        banks: cfg.banks,
+                        rows_per_bank: cfg.rows_per_bank(),
+                        rows_per_subarray: 512,
+                        t_refw_ns: cfg.timing.t_refw,
+                        timing: cfg.timing,
+                        config: hira_cfg,
+                        periodic_via_hira,
+                        para_pth: preventive_hira.then(|| cfg.preventive.unwrap().pth),
+                        spt_fraction: cfg.spt_fraction,
+                        seed: cfg.seed ^ ((channel_idx as u64) << 32) ^ (r as u64),
+                    };
+                    HiraMc::new(params)
+                });
+                let para = matches!(
+                    cfg.preventive,
+                    Some(crate::config::PreventiveConfig { mode: PreventiveMode::Immediate, .. })
+                )
+                .then(|| {
+                    Para::new(
+                        cfg.preventive.unwrap().pth,
+                        cfg.seed ^ 0xBEEF ^ ((channel_idx as u64) << 24) ^ (r as u64),
+                    )
+                });
+                Rank {
+                    acts: VecDeque::with_capacity(8),
+                    next_act_any: 0,
+                    next_act_bg: vec![0; cfg.bank_groups as usize],
+                    next_rd: 0,
+                    last_cas_bg: None,
+                    // Stagger REF phases across ranks.
+                    ref_due: (timing.refi * r as u64) / cfg.ranks as u64,
+                    mc,
+                    para,
+                    para_queue: VecDeque::new(),
+                }
+            })
+            .collect();
+        Channel {
+            timing,
+            banks_per_rank: cfg.banks,
+            bank_groups: cfg.bank_groups,
+            read_q: Vec::with_capacity(cfg.queue_depth),
+            write_q: Vec::with_capacity(cfg.queue_depth),
+            queue_depth: cfg.queue_depth,
+            banks: vec![Bank::default(); cfg.ranks * cfg.banks as usize],
+            ranks,
+            bus: CmdBus::default(),
+            data_bus: DataBus::default(),
+            completions: BinaryHeap::new(),
+            write_mode: false,
+            refresh_scheme: cfg.refresh,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Per-rank HiRA-MC statistics, where configured.
+    pub fn mc_stats(&self) -> Vec<McStats> {
+        self.ranks.iter().filter_map(|r| r.mc.as_ref().map(HiraMc::stats)).collect()
+    }
+
+    /// True when the read queue can accept another request.
+    pub fn can_accept_read(&self) -> bool {
+        self.read_q.len() < self.queue_depth
+    }
+
+    /// True when the write queue can accept another request.
+    pub fn can_accept_write(&self) -> bool {
+        self.write_q.len() < self.queue_depth
+    }
+
+    /// Enqueues a request (caller must have checked acceptance).
+    pub fn enqueue(&mut self, req: MemRequest) {
+        if req.is_write {
+            debug_assert!(self.can_accept_write());
+            self.write_q.push(req);
+        } else {
+            debug_assert!(self.can_accept_read());
+            self.read_q.push(req);
+        }
+    }
+
+    fn bank_index(&self, rank: usize, bank: u16) -> usize {
+        rank * self.banks_per_rank as usize + bank as usize
+    }
+
+    /// Earliest cycle an ACT can start in `rank` at or after `earliest`,
+    /// honouring tRRD and tFAW.
+    fn act_constraint(&self, rank: usize, bg: u16, earliest: MemCycle) -> MemCycle {
+        let r = &self.ranks[rank];
+        let mut a = earliest
+            .max(r.next_act_any)
+            .max(r.next_act_bg[bg as usize]);
+        // tFAW: the 4th-most-recent ACT before `a` must be faw-old.
+        loop {
+            let recent: Vec<MemCycle> = r.acts.iter().copied().filter(|&t| t <= a).collect();
+            if recent.len() < 4 {
+                break;
+            }
+            let fourth = recent[recent.len() - 4];
+            if fourth + self.timing.faw <= a {
+                break;
+            }
+            a = fourth + self.timing.faw;
+        }
+        a
+    }
+
+    fn record_act(&mut self, rank: usize, bg: u16, at: MemCycle) {
+        let t = self.timing;
+        let r = &mut self.ranks[rank];
+        let pos = r.acts.iter().position(|&x| x > at).unwrap_or(r.acts.len());
+        r.acts.insert(pos, at);
+        while r.acts.len() > 8 {
+            r.acts.pop_front();
+        }
+        r.next_act_any = r.next_act_any.max(at + t.rrd_s);
+        r.next_act_bg[bg as usize] = r.next_act_bg[bg as usize].max(at + t.rrd_l);
+    }
+
+    /// Reports an executed activation to the rank's PARA machinery.
+    fn notify_act(&mut self, rank: usize, at: MemCycle, bank: u16, row: u32) {
+        let now_ns = cycles_to_ns(at);
+        if let Some(mc) = self.ranks[rank].mc.as_mut() {
+            mc.on_row_activated(now_ns, BankId(bank), RowId(row));
+        }
+        let rows_per_bank = self.rows_per_bank_hint();
+        if let Some(para) = self.ranks[rank].para.as_mut() {
+            if let Some(side) = para.on_activate() {
+                let victim = Para::victim(RowId(row), side, rows_per_bank);
+                self.ranks[rank].para_queue.push_back((bank, victim.0));
+            }
+        }
+    }
+
+    fn rows_per_bank_hint(&self) -> u32 {
+        // All configs in this simulator use ≥ 32 K rows; the victim clamp
+        // only needs a bank-edge bound.
+        u32::MAX
+    }
+
+    /// Issues a standalone single-row refresh (ACT + PRE) on `bank`.
+    fn issue_single_refresh(&mut self, now: MemCycle, rank: usize, bank: u16, row: u32) {
+        let t = self.timing;
+        let bg = bank / (self.banks_per_rank / self.bank_groups);
+        let bi = self.bank_index(rank, bank);
+        let mut start = now.max(self.banks[bi].next_act);
+        // Close an open row first if needed.
+        if self.banks[bi].open_row.is_some() {
+            let pre_at = self.bus.alloc(now.max(self.banks[bi].next_pre));
+            self.banks[bi].open_row = None;
+            start = start.max(pre_at + t.rp);
+        }
+        let start = self.act_constraint(rank, bg, start);
+        let act_at = self.bus.alloc(start);
+        let _pre = self.bus.alloc(act_at + t.ras);
+        self.record_act(rank, bg, act_at);
+        let b = &mut self.banks[bi];
+        b.next_act = act_at + t.ras + t.rp;
+        b.next_pre = act_at + t.ras;
+        b.open_row = None;
+        self.stats.refresh_acts += 1;
+        self.notify_act(rank, act_at, bank, row);
+    }
+
+    /// Issues a HiRA refresh-refresh pair on `bank`.
+    fn issue_pair_refresh(&mut self, now: MemCycle, rank: usize, bank: u16, first: u32, second: u32) {
+        let t = self.timing;
+        let bg = bank / (self.banks_per_rank / self.bank_groups);
+        let bi = self.bank_index(rank, bank);
+        let mut start = now.max(self.banks[bi].next_act);
+        if self.banks[bi].open_row.is_some() {
+            let pre_at = self.bus.alloc(now.max(self.banks[bi].next_pre));
+            self.banks[bi].open_row = None;
+            start = start.max(pre_at + t.rp);
+        }
+        // Both activations must clear tRRD/tFAW.
+        let lead = t.t1 + t.t2;
+        let mut a1 = self.act_constraint(rank, bg, start);
+        loop {
+            let a2 = self.act_constraint(rank, bg, a1 + lead);
+            if a2 == a1 + lead {
+                break;
+            }
+            a1 = a2 - lead;
+        }
+        let a1 = self.bus.alloc(a1);
+        let _pre1 = self.bus.alloc(a1 + t.t1);
+        let a2 = self.bus.alloc(a1 + lead);
+        let _pre2 = self.bus.alloc(a2 + t.ras);
+        self.record_act(rank, bg, a1);
+        self.record_act(rank, bg, a2);
+        let b = &mut self.banks[bi];
+        b.next_act = a2 + t.ras + t.rp;
+        b.next_pre = a2 + t.ras;
+        b.open_row = None;
+        self.stats.refresh_acts += 2;
+        self.notify_act(rank, a1, bank, first);
+        self.notify_act(rank, a2, bank, second);
+    }
+
+    /// Baseline rank-level REF: close every bank, issue REF, block `tRFC`.
+    fn issue_rank_ref(&mut self, now: MemCycle, rank: usize) {
+        let t = self.timing;
+        // Precharge-all once every bank may be precharged.
+        let mut ready = now;
+        for b in 0..self.banks_per_rank {
+            let bi = self.bank_index(rank, b);
+            if self.banks[bi].open_row.is_some() {
+                ready = ready.max(self.banks[bi].next_pre);
+            }
+        }
+        let prea_at = self.bus.alloc(ready);
+        let ref_at = self.bus.alloc(prea_at + t.rp);
+        for b in 0..self.banks_per_rank {
+            let bi = self.bank_index(rank, b);
+            self.banks[bi].open_row = None;
+            self.banks[bi].next_act = self.banks[bi].next_act.max(ref_at + t.rfc);
+        }
+        self.ranks[rank].ref_due += t.refi;
+        self.stats.ref_commands += 1;
+    }
+
+    /// Advances the controller by one command-clock cycle. Returns request
+    /// ids whose data returned this cycle.
+    pub fn tick(&mut self, now: MemCycle) -> Vec<u64> {
+        self.bus.prune(now);
+        self.data_bus.prune(now);
+        self.refresh_step(now);
+        // One demand commitment per cycle keeps scheduling near-cycle-accurate.
+        self.demand_step(now);
+
+        let mut done = Vec::new();
+        while let Some(&Reverse((t, id))) = self.completions.peek() {
+            if t > now {
+                break;
+            }
+            self.completions.pop();
+            done.push(id);
+        }
+        done
+    }
+
+    fn refresh_step(&mut self, now: MemCycle) {
+        let now_ns = cycles_to_ns(now);
+        // Baseline REF engine.
+        if matches!(self.refresh_scheme, RefreshScheme::Baseline) {
+            for rank in 0..self.ranks.len() {
+                if now >= self.ranks[rank].ref_due {
+                    self.issue_rank_ref(now, rank);
+                }
+            }
+        }
+        // HiRA-MC engines.
+        for rank in 0..self.ranks.len() {
+            if self.ranks[rank].mc.is_some() {
+                if let Some(mc) = self.ranks[rank].mc.as_mut() {
+                    mc.tick(now_ns);
+                }
+                // Pace refresh issue: at most one work item per bank per
+                // tick, and none onto a bank whose schedule is already deep
+                // (the entry stays queued; its deadline forces it later).
+                let mut pops = 0;
+                while pops < self.banks_per_rank {
+                    let gate = {
+                        let mc = self.ranks[rank].mc.as_ref().expect("checked above");
+                        mc.next_due_bank(now_ns)
+                    };
+                    let Some(due_bank) = gate else { break };
+                    let bi = self.bank_index(rank, due_bank.0);
+                    if self.banks[bi].next_act > now + 4 * self.timing.rc {
+                        break; // bank backlogged; revisit next tick
+                    }
+                    let work = {
+                        let mc = self.ranks[rank].mc.as_mut().expect("checked above");
+                        mc.deadline_work(now_ns)
+                    };
+                    pops += 1;
+                    match work {
+                        Some(DeadlineWork::Single { bank, row }) => {
+                            self.issue_single_refresh(now, rank, bank.0, row.0);
+                        }
+                        Some(DeadlineWork::Pair { bank, first, second }) => {
+                            self.issue_pair_refresh(now, rank, bank.0, first.0, second.0);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            // Immediate-mode PARA victims.
+            while let Some((bank, row)) = self.ranks[rank].para_queue.pop_front() {
+                self.issue_single_refresh(now, rank, bank, row);
+            }
+        }
+        self.opportunistic_step(now, now_ns);
+    }
+
+    /// Serves queued refreshes on banks that are idle and demand-free
+    /// (zero-interference slots).
+    fn opportunistic_step(&mut self, now: MemCycle, now_ns: f64) {
+        // Banks with queued demand keep their refreshes queued (absorption
+        // and row-hit locality are worth more there).
+        let mut demand = vec![false; self.banks.len()];
+        for r in self.read_q.iter().chain(self.write_q.iter()) {
+            demand[self.bank_index(r.addr.rank, r.addr.bank)] = true;
+        }
+        for rank in 0..self.ranks.len() {
+            if self.ranks[rank].mc.is_none() {
+                continue;
+            }
+            for bank in 0..self.banks_per_rank {
+                let bi = self.bank_index(rank, bank);
+                let b = &self.banks[bi];
+                if demand[bi] || b.open_row.is_some() || b.next_act > now {
+                    continue;
+                }
+                let work = {
+                    let mc = self.ranks[rank].mc.as_mut().expect("checked above");
+                    if !mc.has_queued(BankId(bank)) {
+                        continue;
+                    }
+                    mc.opportunistic_work(now_ns, BankId(bank))
+                };
+                match work {
+                    Some(DeadlineWork::Single { bank, row }) => {
+                        self.issue_single_refresh(now, rank, bank.0, row.0);
+                    }
+                    Some(DeadlineWork::Pair { bank, first, second }) => {
+                        self.issue_pair_refresh(now, rank, bank.0, first.0, second.0);
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    fn demand_step(&mut self, now: MemCycle) {
+        // Write-drain policy.
+        if self.write_mode {
+            if self.write_q.len() <= WQ_LOW {
+                self.write_mode = false;
+            }
+        } else if self.write_q.len() >= WQ_HIGH || (self.read_q.is_empty() && !self.write_q.is_empty())
+        {
+            self.write_mode = true;
+        }
+
+        let from_writes = self.write_mode || self.read_q.is_empty();
+        let Some(idx) = self.pick_frfcfs(now, from_writes) else { return };
+        let req = if from_writes { self.write_q[idx] } else { self.read_q[idx] };
+        if self.commit(now, &req) {
+            if from_writes {
+                self.write_q.swap_remove(idx);
+            } else {
+                self.read_q.swap_remove(idx);
+            }
+        }
+    }
+
+    /// FR-FCFS over *ready* requests: oldest row-hit first, then the oldest
+    /// request whose bank can start its service within the commit horizon.
+    /// Requests to refresh- or REF-blocked banks do not stall the channel.
+    fn pick_frfcfs(&self, now: MemCycle, from_writes: bool) -> Option<usize> {
+        let q = if from_writes { &self.write_q } else { &self.read_q };
+        if q.is_empty() {
+            return None;
+        }
+        let horizon = now + COMMIT_HORIZON;
+        let mut best_hit: Option<(u64, usize)> = None;
+        let mut best_ready: Option<(u64, usize)> = None;
+        for (i, r) in q.iter().enumerate() {
+            let bi = self.bank_index(r.addr.rank, r.addr.bank);
+            let b = &self.banks[bi];
+            let hit = b.open_row == Some(r.addr.row.0);
+            if hit && b.next_cas <= horizon {
+                if best_hit.is_none_or(|(a, _)| r.arrived < a) {
+                    best_hit = Some((r.arrived, i));
+                }
+                continue;
+            }
+            let startable = if b.open_row.is_some() {
+                b.next_pre <= horizon
+            } else {
+                b.next_act <= horizon
+            };
+            if startable && best_ready.is_none_or(|(a, _)| r.arrived < a) {
+                best_ready = Some((r.arrived, i));
+            }
+        }
+        best_hit.or(best_ready).map(|(_, i)| i)
+    }
+
+    /// Commits the full service schedule for `req`. Returns false when the
+    /// earliest possible start is beyond the commit horizon.
+    fn commit(&mut self, now: MemCycle, req: &MemRequest) -> bool {
+        let t = self.timing;
+        let rank = req.addr.rank;
+        let bank = req.addr.bank;
+        let bg = req.addr.bank_group;
+        let bi = self.bank_index(rank, bank);
+
+        let hit = self.banks[bi].open_row == Some(req.addr.row.0);
+        // Feasibility first: no side effects on a refused commit.
+        if !hit {
+            let b = &self.banks[bi];
+            let start = if b.open_row.is_some() { b.next_pre } else { b.next_act };
+            if start.max(now) > now + COMMIT_HORIZON {
+                return false;
+            }
+        } else if self.banks[bi].next_cas > now + COMMIT_HORIZON {
+            return false;
+        }
+        let cas_earliest = if hit {
+            self.banks[bi].next_cas
+        } else {
+            // PRE (if open) + ACT (+ possible HiRA expansion).
+            let mut act_earliest = self.banks[bi].next_act.max(now);
+            if self.banks[bi].open_row.is_some() {
+                let pre_at = self.bus.alloc(self.banks[bi].next_pre.max(now));
+                self.banks[bi].open_row = None;
+                act_earliest = act_earliest.max(pre_at + t.rp);
+            }
+            let act_at = self.act_constraint(rank, bg, act_earliest);
+
+            // HiRA Case-1 consultation.
+            let action = match self.ranks[rank].mc.as_mut() {
+                Some(mc) => mc.on_demand_act(cycles_to_ns(act_at), BankId(bank), req.addr.row),
+                None => McAction::Plain,
+            };
+            let demand_act = match action {
+                McAction::Plain => {
+                    let a = self.bus.alloc(act_at);
+                    self.record_act(rank, bg, a);
+                    self.stats.demand_acts += 1;
+                    self.notify_act(rank, a, bank, req.addr.row.0);
+                    a
+                }
+                McAction::Hira { refresh_row, .. } => {
+                    let lead = t.t1 + t.t2;
+                    let mut a1 = act_at;
+                    loop {
+                        let a2 = self.act_constraint(rank, bg, a1 + lead);
+                        if a2 == a1 + lead {
+                            break;
+                        }
+                        a1 = a2 - lead;
+                    }
+                    let a1 = self.bus.alloc(a1);
+                    let _pre = self.bus.alloc(a1 + t.t1);
+                    let a2 = self.bus.alloc(a1 + lead);
+                    self.record_act(rank, bg, a1);
+                    self.record_act(rank, bg, a2);
+                    self.stats.demand_acts += 1;
+                    self.stats.refresh_acts += 1;
+                    self.stats.hira_access_ops += 1;
+                    self.notify_act(rank, a1, bank, refresh_row.0);
+                    self.notify_act(rank, a2, bank, req.addr.row.0);
+                    a2
+                }
+            };
+            let b = &mut self.banks[bi];
+            b.open_row = Some(req.addr.row.0);
+            b.next_act = demand_act + t.rc;
+            b.next_pre = demand_act + t.ras;
+            b.next_cas = demand_act + t.rcd;
+            self.banks[bi].next_cas
+        };
+
+        // Column access + data bus.
+        let ccd = match self.ranks[rank].last_cas_bg {
+            Some(last_bg) if last_bg == bg => t.ccd_l,
+            Some(_) => t.ccd_s,
+            None => 0,
+        };
+        let mut cas = cas_earliest.max(now).max(self.banks[bi].next_cas);
+        if !req.is_write {
+            cas = cas.max(self.ranks[rank].next_rd);
+        }
+        cas = cas.max(self.banks[bi].next_cas);
+        let _ = ccd; // tCCD folded into next_cas below
+        let data_lat = if req.is_write { t.cwl } else { t.cl };
+        let burst_start = self.data_bus.alloc(cas + data_lat, t.bl);
+        cas = burst_start - data_lat;
+        let cas = self.bus.alloc(cas);
+        let b = &mut self.banks[bi];
+        b.next_cas = cas + if self.ranks[rank].last_cas_bg == Some(bg) { t.ccd_l } else { t.ccd_s };
+        self.ranks[rank].last_cas_bg = Some(bg);
+        if hit {
+            self.stats.row_hits += 1;
+        }
+        if req.is_write {
+            b.next_pre = b.next_pre.max(cas + t.cwl + t.bl + t.wr);
+            self.ranks[rank].next_rd = self.ranks[rank].next_rd.max(cas + t.cwl + t.bl + t.wtr);
+            self.stats.writes_done += 1;
+        } else {
+            b.next_pre = b.next_pre.max(cas + t.rtp);
+            let done_at = cas + t.cl + t.bl;
+            self.completions.push(Reverse((done_at, req.id)));
+            self.stats.reads_done += 1;
+            self.stats.read_latency_sum += done_at - req.arrived;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RefreshScheme, SystemConfig};
+    use crate::mapping::decode;
+
+    fn config(refresh: RefreshScheme) -> SystemConfig {
+        SystemConfig::table3(8.0, refresh)
+    }
+
+    fn read_at(cfg: &SystemConfig, id: u64, addr: u64, now: MemCycle) -> MemRequest {
+        MemRequest { id, addr: decode(cfg, addr), is_write: false, arrived: now }
+    }
+
+    fn run_until_done(ch: &mut Channel, mut now: MemCycle, ids: &[u64], limit: MemCycle) -> Vec<(u64, MemCycle)> {
+        let mut done = Vec::new();
+        while done.len() < ids.len() && now < limit {
+            for id in ch.tick(now) {
+                done.push((id, now));
+            }
+            now += 1;
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_completes_with_act_plus_cas_latency() {
+        let cfg = config(RefreshScheme::NoRefresh);
+        let mut ch = Channel::new(&cfg, 0);
+        ch.enqueue(read_at(&cfg, 1, 0x10000, 0));
+        let done = run_until_done(&mut ch, 0, &[1], 500);
+        assert_eq!(done.len(), 1);
+        let t = ch.timing;
+        // ACT at ~0, CAS at tRCD, data at +tCL+tBL.
+        let expect = t.rcd + t.cl + t.bl;
+        assert!(
+            (done[0].1 as i64 - expect as i64).abs() <= 3,
+            "latency {} expected ~{}",
+            done[0].1,
+            expect
+        );
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let cfg = config(RefreshScheme::NoRefresh);
+        let mut ch = Channel::new(&cfg, 0);
+        ch.enqueue(read_at(&cfg, 1, 0x10000, 0));
+        let first = run_until_done(&mut ch, 0, &[1], 500)[0].1;
+        // Same row, next line: hit.
+        let now = first + 1;
+        ch.enqueue(read_at(&cfg, 2, 0x10040, now));
+        let second = run_until_done(&mut ch, now, &[2], now + 500)[0].1 - now;
+        assert!(second < first, "hit {second} vs miss {first}");
+    }
+
+    #[test]
+    fn same_bank_misses_pay_trc() {
+        let cfg = config(RefreshScheme::NoRefresh);
+        let mut ch = Channel::new(&cfg, 0);
+        // Two different rows in the same bank: row stride of the mapping.
+        let d0 = decode(&cfg, 0);
+        let mut other = 0u64;
+        for i in 1..1_000_000u64 {
+            let d = decode(&cfg, i * 64);
+            if d.bank == d0.bank && d.rank == d0.rank && d.row != d0.row {
+                other = i * 64;
+                break;
+            }
+        }
+        assert!(other != 0);
+        ch.enqueue(read_at(&cfg, 1, 0, 0));
+        ch.enqueue(read_at(&cfg, 2, other, 0));
+        let done = run_until_done(&mut ch, 0, &[1, 2], 1000);
+        assert_eq!(done.len(), 2);
+        let gap = done[1].1 - done[0].1;
+        assert!(gap >= ch.timing.ras, "conflict gap {gap} below tRAS");
+    }
+
+    #[test]
+    fn tfaw_limits_activation_bursts() {
+        let cfg = config(RefreshScheme::NoRefresh);
+        let mut ch = Channel::new(&cfg, 0);
+        // 6 misses to 6 different banks: the 5th+ ACT must wait for tFAW.
+        let mut addrs = Vec::new();
+        let mut banks_seen = std::collections::HashSet::new();
+        for i in 0..1_000_000u64 {
+            let d = decode(&cfg, i * 64);
+            if banks_seen.insert(d.bank) {
+                addrs.push(i * 64);
+                if addrs.len() == 6 {
+                    break;
+                }
+            }
+        }
+        for (k, a) in addrs.iter().enumerate() {
+            ch.enqueue(read_at(&cfg, k as u64, *a, 0));
+        }
+        let ids: Vec<u64> = (0..6).collect();
+        let done = run_until_done(&mut ch, 0, &ids, 2000);
+        assert_eq!(done.len(), 6);
+        let last = done.iter().map(|&(_, t)| t).max().unwrap();
+        let first = done.iter().map(|&(_, t)| t).min().unwrap();
+        // 6 ACTs with tFAW=16ns(20cyc): the 5th starts ≥ tFAW after the 1st.
+        assert!(last - first >= ch.timing.faw / 2, "spread {}", last - first);
+    }
+
+    #[test]
+    fn baseline_refresh_blocks_the_rank_for_trfc() {
+        let mut cfg = config(RefreshScheme::Baseline);
+        cfg.timing.t_refi = 1000.0; // dense refresh for the test
+        let mut ch = Channel::new(&cfg, 0);
+        let t_refi_c = ch.timing.refi;
+        // Let a REF go out, then observe a read stalls ~tRFC.
+        let mut now = 0;
+        while now < t_refi_c + 2 {
+            ch.tick(now);
+            now += 1;
+        }
+        assert!(ch.stats().ref_commands >= 1);
+        ch.enqueue(read_at(&cfg, 7, 0x40000, now));
+        let done = run_until_done(&mut ch, now, &[7], now + 4000);
+        let latency = done[0].1 - now;
+        assert!(
+            latency >= ch.timing.rfc / 2,
+            "read latency {latency} vs tRFC {}",
+            ch.timing.rfc
+        );
+    }
+
+    #[test]
+    fn hira_scheme_issues_refresh_acts() {
+        let cfg = config(RefreshScheme::Hira(HiraConfig::hira_n(2)));
+        let mut ch = Channel::new(&cfg, 0);
+        // Run 3 µs of idle time: periodic requests must be served as
+        // singles/pairs by their deadlines.
+        for now in 0..3600 {
+            ch.tick(now);
+        }
+        let s = ch.stats();
+        assert!(s.refresh_acts > 10, "refresh acts {}", s.refresh_acts);
+        assert_eq!(s.ref_commands, 0);
+    }
+
+    #[test]
+    fn hira_refresh_access_rides_demand_activations() {
+        let cfg = config(RefreshScheme::Hira(HiraConfig::hira_n(8)));
+        let mut ch = Channel::new(&cfg, 0);
+        let mut now = 0;
+        let mut id = 0u64;
+        let mut done = 0;
+        // A stream of row misses in many banks for 60 µs.
+        while now < 72_000 {
+            if now % 24 == 0 && ch.can_accept_read() {
+                ch.enqueue(read_at(&cfg, id, (id * 8 * 64) << 8, now));
+                id += 1;
+            }
+            done += ch.tick(now).len();
+            now += 1;
+        }
+        let s = ch.stats();
+        assert!(done > 0);
+        assert!(
+            s.hira_access_ops > 0,
+            "no refresh-access pairings: {s:?}"
+        );
+    }
+
+    #[test]
+    fn immediate_para_amplifies_activations() {
+        let cfg = config(RefreshScheme::NoRefresh)
+            .with_preventive(0.5, PreventiveMode::Immediate);
+        let mut ch = Channel::new(&cfg, 0);
+        let mut now = 0;
+        let mut id = 0;
+        while now < 48_000 {
+            if now % 60 == 0 && ch.can_accept_read() {
+                ch.enqueue(read_at(&cfg, id, (id << 20) * 64, now));
+                id += 1;
+            }
+            ch.tick(now);
+            now += 1;
+        }
+        let s = ch.stats();
+        // pth=0.5 with recursion: ~1 preventive ACT per demand ACT.
+        let ratio = s.refresh_acts as f64 / s.demand_acts as f64;
+        assert!(
+            (0.6..=1.6).contains(&ratio),
+            "preventive/demand ratio {ratio} ({s:?})"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # hira-sim — cycle-level system simulation (paper §7-§10)
+//!
+//! A from-scratch Ramulator-style simulator: trace-driven out-of-order cores
+//! (4-wide, 128-entry instruction window), a shared 8 MB LLC, and a detailed
+//! DDR4 memory system (FR-FCFS scheduling, open-row policy, MOP address
+//! mapping, per-bank/rank/channel timing including `tFAW`, command-bus and
+//! data-bus contention, and `tRFC`-scaled rank-level refresh).
+//!
+//! Three refresh arrangements reproduce the paper's studies:
+//!
+//! * **NoRefresh** — the ideal upper bound of Fig. 9a,
+//! * **Baseline** — conventional all-bank `REF` every `tREFI` with
+//!   `tRFC = 110·C^0.6` ns (Expression 1),
+//! * **HiRA-N** — per-row refresh through [`hira_core::HiraMc`], with
+//!   refresh-access and refresh-refresh parallelization.
+//!
+//! PARA preventive refreshes (§9) can be layered on any arrangement, either
+//! served immediately (the "PARA" baseline) or queued and parallelized by
+//! HiRA-MC.
+//!
+//! Time bases: CPU cycles at 3.2 GHz; the memory controller ticks at the
+//! DDR4-2400 command clock (1.2 GHz), i.e. 3 memory ticks per 8 CPU cycles.
+
+pub mod clock;
+pub mod config;
+pub mod controller;
+pub mod core_model;
+pub mod llc;
+pub mod mapping;
+pub mod metrics;
+pub mod refresh;
+pub mod request;
+pub mod system;
+pub mod workloads;
+
+pub use config::{PreventiveMode, RefreshScheme, SystemConfig};
+pub use metrics::SimResult;
+pub use system::System;
+pub use workloads::{Benchmark, Mix};

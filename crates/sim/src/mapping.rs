@@ -1,0 +1,114 @@
+//! MOP address mapping (Table 3; Kaseridis et al. [68]).
+//!
+//! Minimalist Open Page interleaves a small run of consecutive cache lines
+//! (the MOP width, 4 lines here) in the same row, then stripes across
+//! channels, then banks/bank groups, then ranks, with the row bits on top.
+//! This keeps some spatial locality in the open row while spreading streams
+//! over banks — the paper's configuration.
+
+use crate::config::SystemConfig;
+use crate::request::Decoded;
+use hira_dram::addr::RowId;
+
+/// Cache-line size in bytes.
+pub const LINE_BYTES: u64 = 64;
+
+/// Consecutive lines kept in one row before striping (MOP width).
+pub const MOP_WIDTH: u64 = 4;
+
+/// Decodes a physical byte address into DRAM coordinates.
+///
+/// Bit layout (from LSB): line offset | MOP run | channel | bank group |
+/// bank-in-group | rank | column-high | row.
+pub fn decode(cfg: &SystemConfig, addr: u64) -> Decoded {
+    let line = addr / LINE_BYTES;
+    let mut x = line;
+
+    let mop = x % MOP_WIDTH;
+    x /= MOP_WIDTH;
+    let channel = (x % cfg.channels as u64) as usize;
+    x /= cfg.channels as u64;
+    let bank_group = (x % u64::from(cfg.bank_groups)) as u16;
+    x /= u64::from(cfg.bank_groups);
+    let banks_per_group = cfg.banks / cfg.bank_groups;
+    let bank_in_group = (x % u64::from(banks_per_group)) as u16;
+    x /= u64::from(banks_per_group);
+    let rank = (x % cfg.ranks as u64) as usize;
+    x /= cfg.ranks as u64;
+    // 8 KB row of 64 B lines = 128 columns; MOP_WIDTH low ones already used.
+    let col_high = x % (128 / MOP_WIDTH);
+    x /= 128 / MOP_WIDTH;
+    let row = (x % u64::from(cfg.rows_per_bank())) as u32;
+
+    Decoded {
+        channel,
+        rank,
+        bank: bank_group * banks_per_group + bank_in_group,
+        bank_group,
+        row: RowId(row),
+        col: (col_high * MOP_WIDTH + mop) as u16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RefreshScheme;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::table3(8.0, RefreshScheme::Baseline).with_geometry(2, 2)
+    }
+
+    #[test]
+    fn consecutive_lines_share_a_row_within_the_mop_run() {
+        let c = cfg();
+        let base = 0x1234_0000u64;
+        let d0 = decode(&c, base);
+        let d1 = decode(&c, base + 64);
+        // Within a MOP run: same everything except column.
+        if d0.col % MOP_WIDTH as u16 != MOP_WIDTH as u16 - 1 {
+            assert_eq!(d0.row, d1.row);
+            assert_eq!(d0.bank, d1.bank);
+            assert_eq!(d0.channel, d1.channel);
+        }
+    }
+
+    #[test]
+    fn mop_runs_stripe_across_channels() {
+        let c = cfg();
+        let base = 0u64;
+        let d0 = decode(&c, base);
+        let d1 = decode(&c, base + 64 * MOP_WIDTH);
+        assert_ne!(d0.channel, d1.channel);
+    }
+
+    #[test]
+    fn decode_is_a_function_of_address_only() {
+        let c = cfg();
+        assert_eq!(decode(&c, 0xABCD_EF00), decode(&c, 0xABCD_EF00));
+    }
+
+    #[test]
+    fn fields_stay_in_range_over_a_sweep() {
+        let c = cfg();
+        for i in 0..10_000u64 {
+            let d = decode(&c, i * 64 * 7919);
+            assert!(d.channel < c.channels);
+            assert!(d.rank < c.ranks);
+            assert!(d.bank < c.banks);
+            assert!(d.bank_group < c.bank_groups);
+            assert!(d.row.0 < c.rows_per_bank());
+            assert!(d.col < 128);
+            let banks_per_group = c.banks / c.bank_groups;
+            assert_eq!(d.bank / banks_per_group, d.bank_group);
+        }
+    }
+
+    #[test]
+    fn distinct_rows_reached_for_large_strides() {
+        let c = cfg();
+        let d0 = decode(&c, 0);
+        let big = decode(&c, 1u64 << 30);
+        assert_ne!(d0.row, big.row);
+    }
+}

@@ -1,0 +1,97 @@
+//! Performance metrics (§7: weighted speedup [31, 156]).
+
+use crate::controller::ChannelStats;
+use hira_core::finder::McStats;
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-core IPC over the measurement region.
+    pub ipc: Vec<f64>,
+    /// Benchmark names per core.
+    pub benchmarks: Vec<&'static str>,
+    /// CPU cycles simulated (to the last core's finish line).
+    pub cycles: u64,
+    /// Aggregated channel statistics.
+    pub channel_stats: Vec<ChannelStats>,
+    /// HiRA-MC statistics per (channel, rank), where configured.
+    pub mc_stats: Vec<McStats>,
+}
+
+impl SimResult {
+    /// Weighted speedup: `Σ IPC_shared_i / IPC_alone_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alone` and the per-core IPC vectors differ in length.
+    pub fn weighted_speedup(&self, alone: &[f64]) -> f64 {
+        assert_eq!(alone.len(), self.ipc.len(), "need one alone-IPC per core");
+        self.ipc
+            .iter()
+            .zip(alone)
+            .map(|(&shared, &alone)| shared / alone.max(1e-9))
+            .sum()
+    }
+
+    /// Total demand reads served by the memory system.
+    pub fn total_reads(&self) -> u64 {
+        self.channel_stats.iter().map(|s| s.reads_done).sum()
+    }
+
+    /// Row-buffer hit rate over demand accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let hits: u64 = self.channel_stats.iter().map(|s| s.row_hits).sum();
+        let total: u64 =
+            self.channel_stats.iter().map(|s| s.reads_done + s.writes_done).sum();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Average read latency in memory cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        let lat: u64 = self.channel_stats.iter().map(|s| s.read_latency_sum).sum();
+        let n = self.total_reads();
+        if n == 0 {
+            0.0
+        } else {
+            lat as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(ipc: Vec<f64>) -> SimResult {
+        SimResult {
+            benchmarks: vec!["x"; ipc.len()],
+            ipc,
+            cycles: 1000,
+            channel_stats: vec![ChannelStats::default()],
+            mc_stats: vec![],
+        }
+    }
+
+    #[test]
+    fn weighted_speedup_sums_ratios() {
+        let r = result(vec![1.0, 2.0]);
+        let ws = r.weighted_speedup(&[2.0, 2.0]);
+        assert!((ws - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_performance_gives_core_count() {
+        let r = result(vec![0.5; 8]);
+        assert!((r.weighted_speedup(&[0.5; 8]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alone-IPC")]
+    fn mismatched_lengths_panic() {
+        result(vec![1.0]).weighted_speedup(&[1.0, 1.0]);
+    }
+}

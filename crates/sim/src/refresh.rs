@@ -1,0 +1,73 @@
+//! Refresh accounting helpers shared by the harness binaries.
+//!
+//! The refresh engines themselves live inside [`crate::controller`] (the
+//! baseline `REF` state machine and the HiRA-MC glue); this module provides
+//! the bookkeeping used to sanity-check refresh *completeness* in tests and
+//! benches.
+
+use crate::config::{RefreshScheme, SystemConfig};
+
+/// Static refresh-cost figures for a configuration (no simulation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshBudget {
+    /// Rank-unavailable fraction under baseline `REF`: `tRFC / tREFI`.
+    pub baseline_rank_blocked_frac: f64,
+    /// Per-bank busy fraction if every row were refreshed by unpaired HiRA
+    /// singles: `rows_per_bank × tRC / tREFW`.
+    pub hira_single_bank_busy_frac: f64,
+    /// Per-bank busy fraction with perfect refresh-refresh pairing.
+    pub hira_paired_bank_busy_frac: f64,
+    /// Command-bus slots per second consumed by HiRA periodic refresh.
+    pub hira_cmd_per_sec: f64,
+}
+
+/// Computes the analytic refresh budget of a configuration.
+pub fn budget(cfg: &SystemConfig) -> RefreshBudget {
+    let t = &cfg.timing;
+    let rows = f64::from(cfg.rows_per_bank());
+    let single = rows * t.t_rc / t.t_refw;
+    RefreshBudget {
+        baseline_rank_blocked_frac: t.t_rfc / t.t_refi,
+        hira_single_bank_busy_frac: single,
+        hira_paired_bank_busy_frac: rows * (38.0 + t.t_rp) / 2.0 / t.t_refw,
+        hira_cmd_per_sec: rows * f64::from(cfg.banks) * 2.0 / (t.t_refw * 1e-9),
+    }
+}
+
+/// True when a configuration performs periodic refresh at all.
+pub fn refreshes(cfg: &SystemConfig) -> bool {
+    !matches!(cfg.refresh, RefreshScheme::NoRefresh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    #[test]
+    fn baseline_blocked_fraction_grows_with_capacity() {
+        let b8 = budget(&SystemConfig::table3(8.0, RefreshScheme::Baseline));
+        let b128 = budget(&SystemConfig::table3(128.0, RefreshScheme::Baseline));
+        assert!(b128.baseline_rank_blocked_frac > b8.baseline_rank_blocked_frac);
+        // §1/§8: ~26% rank-blocked at 128 Gb.
+        assert!(
+            (0.2..0.3).contains(&b128.baseline_rank_blocked_frac),
+            "blocked {}",
+            b128.baseline_rank_blocked_frac
+        );
+    }
+
+    #[test]
+    fn pairing_halves_the_hira_bank_cost() {
+        let b = budget(&SystemConfig::table3(32.0, RefreshScheme::Baseline));
+        assert!(b.hira_paired_bank_busy_frac < b.hira_single_bank_busy_frac * 0.6);
+    }
+
+    #[test]
+    fn hira_command_rate_is_within_bus_capacity() {
+        // Even at 128 Gb, the ACT/PRE stream must fit in the 1.2 G-slot/s
+        // command bus of one channel (§12 discusses this pressure).
+        let b = budget(&SystemConfig::table3(128.0, RefreshScheme::Baseline));
+        assert!(b.hira_cmd_per_sec < 1.2e9, "cmd/s {}", b.hira_cmd_per_sec);
+    }
+}

@@ -1,0 +1,46 @@
+//! Memory requests and decoded addresses.
+
+use hira_dram::addr::RowId;
+
+/// A physical cache-line address decoded into DRAM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decoded {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Bank within the rank (flat across bank groups).
+    pub bank: u16,
+    /// Bank group of `bank`.
+    pub bank_group: u16,
+    /// Row within the bank.
+    pub row: RowId,
+    /// Column (cache-line) within the row.
+    pub col: u16,
+}
+
+/// A memory request queued at a channel controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemRequest {
+    /// Unique id (used by the LLC to match completions).
+    pub id: u64,
+    /// Decoded DRAM coordinates.
+    pub addr: Decoded,
+    /// True for writes (writebacks); writes complete fire-and-forget.
+    pub is_write: bool,
+    /// Memory cycle at which the request entered the queue.
+    pub arrived: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_are_plain_data() {
+        let d = Decoded { channel: 0, rank: 0, bank: 3, bank_group: 1, row: RowId(9), col: 17 };
+        let r = MemRequest { id: 1, addr: d, is_write: false, arrived: 0 };
+        let r2 = r;
+        assert_eq!(r, r2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Whole-system assembly: cores + shared LLC + memory channels.
+
+use crate::clock::{MEM_PER_CPU_DEN, MEM_PER_CPU_NUM};
+use crate::config::SystemConfig;
+use crate::controller::Channel;
+use crate::core_model::{Core, CoreRequest};
+use crate::llc::{Access, Llc, Waiter};
+use crate::mapping::decode;
+use crate::metrics::SimResult;
+use crate::request::MemRequest;
+use crate::workloads::{Mix, TraceGen};
+use std::collections::HashMap;
+
+/// A fully-assembled simulated system.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    llc: Llc,
+    channels: Vec<Channel>,
+    /// Outstanding memory fetches: request id → line address.
+    inflight: HashMap<u64, u64>,
+    next_req_id: u64,
+    mem_tick_acc: u64,
+    mem_cycle: u64,
+}
+
+impl System {
+    /// Builds a system running `mix` (one benchmark per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix does not provide one benchmark per configured core.
+    pub fn new(cfg: SystemConfig, mix: &Mix) -> Self {
+        assert_eq!(mix.benchmarks.len(), cfg.cores, "mix size must match core count");
+        let cores = mix
+            .benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Core::new(i, TraceGen::new(b, i, cfg.seed)))
+            .collect();
+        let llc = Llc::new(cfg.llc_bytes, cfg.llc_ways);
+        let channels = (0..cfg.channels).map(|c| Channel::new(&cfg, c)).collect();
+        System {
+            cores,
+            llc,
+            channels,
+            inflight: HashMap::new(),
+            next_req_id: 0,
+            mem_tick_acc: 0,
+            mem_cycle: 0,
+            cfg,
+        }
+    }
+
+    /// Runs until every core retires warmup + measurement instructions (or
+    /// the safety cycle cap triggers) and returns per-core IPC.
+    pub fn run(mut self) -> SimResult {
+        let warmup = self.cfg.warmup_insts;
+        let target = warmup + self.cfg.insts_per_core;
+        // Safety cap: even at IPC 0.01 the run terminates.
+        let cap = target * 120 + 4_000_000;
+
+        let mut warm_cycle = vec![None::<u64>; self.cores.len()];
+        let mut cycle = 0u64;
+        loop {
+            self.tick_cpu(cycle, target);
+            for (i, c) in self.cores.iter().enumerate() {
+                if warm_cycle[i].is_none() && c.retired >= warmup {
+                    warm_cycle[i] = Some(cycle);
+                }
+            }
+            // Memory clock: 3 ticks per 8 CPU cycles.
+            self.mem_tick_acc += MEM_PER_CPU_NUM;
+            while self.mem_tick_acc >= MEM_PER_CPU_DEN {
+                self.mem_tick_acc -= MEM_PER_CPU_DEN;
+                self.tick_mem();
+            }
+            cycle += 1;
+            let all_done = self.cores.iter().all(|c| c.finished_at.is_some());
+            if all_done || cycle >= cap {
+                break;
+            }
+        }
+
+        let ipc = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let start = warm_cycle[i].unwrap_or(0);
+                let end = c.finished_at.unwrap_or(cycle);
+                let insts = c.retired.min(target) - warmup.min(c.retired);
+                insts as f64 / (end.saturating_sub(start).max(1)) as f64
+            })
+            .collect();
+        SimResult {
+            ipc,
+            benchmarks: self.cores.iter().map(Core::benchmark_name).collect(),
+            cycles: cycle,
+            channel_stats: self.channels.iter().map(Channel::stats).collect(),
+            mc_stats: self.channels.iter().flat_map(Channel::mc_stats).collect(),
+        }
+    }
+
+    fn tick_cpu(&mut self, cycle: u64, target: u64) {
+        // Split borrows: cores vs the memory side.
+        let System { cores, llc, channels, inflight, next_req_id, cfg, mem_cycle, .. } = self;
+        for core in cores.iter_mut() {
+            let core_id = core.id;
+            core.tick(cycle, target, |c, req| match req {
+                CoreRequest::Load { line, entry } => {
+                    match llc.access(line, false, Some((core_id, entry))) {
+                        Access::Hit => {
+                            c.complete_at(cycle + Llc::HIT_LATENCY, entry);
+                            true
+                        }
+                        Access::Miss => true,
+                        Access::Busy => false,
+                    }
+                }
+                CoreRequest::Store { line } => {
+                    matches!(llc.access(line, true, None), Access::Hit | Access::Miss)
+                }
+            });
+        }
+        // Move LLC fetches/writebacks into channel queues (with back-pressure).
+        llc.fetch_queue.retain(|&line| {
+            let addr = decode(cfg, line * 64);
+            let ch = &mut channels[addr.channel];
+            if ch.can_accept_read() {
+                let id = *next_req_id;
+                *next_req_id += 1;
+                inflight.insert(id, line);
+                ch.enqueue(MemRequest { id, addr, is_write: false, arrived: *mem_cycle });
+                false
+            } else {
+                true
+            }
+        });
+        llc.writeback_queue.retain(|&line| {
+            let addr = decode(cfg, line * 64);
+            let ch = &mut channels[addr.channel];
+            if ch.can_accept_write() {
+                let id = *next_req_id;
+                *next_req_id += 1;
+                ch.enqueue(MemRequest { id, addr, is_write: true, arrived: *mem_cycle });
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn tick_mem(&mut self) {
+        self.mem_cycle += 1;
+        let now = self.mem_cycle;
+        for ch in &mut self.channels {
+            for req_id in ch.tick(now) {
+                if let Some(line) = self.inflight.remove(&req_id) {
+                    let waiters: Vec<Waiter> = self.llc.fill(line);
+                    for (core, entry) in waiters {
+                        self.cores[core].complete(entry);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RefreshScheme, SystemConfig};
+    use crate::workloads::mixes;
+    use hira_core::config::HiraConfig;
+
+    fn tiny(refresh: RefreshScheme) -> SystemConfig {
+        SystemConfig::table3(8.0, refresh).with_insts(4_000, 500)
+    }
+
+    #[test]
+    fn a_mix_runs_to_completion_and_reports_ipc() {
+        let mix = &mixes(1, 8, 3)[0];
+        let r = System::new(tiny(RefreshScheme::NoRefresh), mix).run();
+        assert_eq!(r.ipc.len(), 8);
+        assert!(r.ipc.iter().all(|&x| x > 0.0 && x <= 4.0), "ipc {:?}", r.ipc);
+        assert!(r.total_reads() > 0);
+    }
+
+    #[test]
+    fn refresh_overhead_orders_the_schemes() {
+        // NoRefresh ≥ HiRA ≥ Baseline in weighted speedup at high capacity.
+        let mix = &mixes(1, 8, 9)[0];
+        let capacity = 64.0;
+        let mk = |r| {
+            SystemConfig::table3(capacity, r).with_insts(4_000, 500)
+        };
+        let ideal = System::new(mk(RefreshScheme::NoRefresh), mix).run();
+        let alone: Vec<f64> = vec![1.0; 8]; // common weights: ratios only
+        let ws_ideal = ideal.weighted_speedup(&alone);
+        let base = System::new(mk(RefreshScheme::Baseline), mix).run();
+        let ws_base = base.weighted_speedup(&alone);
+        let hira = System::new(mk(RefreshScheme::Hira(HiraConfig::hira_n(2))), mix).run();
+        let ws_hira = hira.weighted_speedup(&alone);
+        assert!(ws_ideal > ws_base, "ideal {ws_ideal} vs baseline {ws_base}");
+        assert!(
+            ws_hira > ws_base,
+            "HiRA {ws_hira} should beat baseline {ws_base} at {capacity} Gb"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let mix = &mixes(1, 8, 5)[0];
+        let a = System::new(tiny(RefreshScheme::Baseline), mix).run();
+        let b = System::new(tiny(RefreshScheme::Baseline), mix).run();
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn hira_mc_refreshes_rows_in_the_background() {
+        let mix = &mixes(1, 8, 7)[0];
+        let r = System::new(tiny(RefreshScheme::Hira(HiraConfig::hira_n(4))), mix).run();
+        let mc = r.mc_stats.first().expect("HiRA-MC configured");
+        assert!(mc.periodic_generated > 0);
+        let served = mc.refresh_access + mc.refresh_refresh + mc.singles;
+        assert!(
+            served + 80 >= mc.periodic_generated,
+            "served {served} of {} generated",
+            mc.periodic_generated
+        );
+    }
+}

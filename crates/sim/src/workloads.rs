@@ -1,0 +1,267 @@
+//! Synthetic SPEC CPU2006-like workloads (§7).
+//!
+//! The paper runs 125 8-core multiprogrammed mixes of SPEC CPU2006. The
+//! traces themselves are not redistributable, so each benchmark is modelled
+//! by its published first-order memory behaviour — LLC misses per
+//! kilo-instruction, row-buffer locality, store fraction, stream count and
+//! footprint — and a deterministic generator reproduces an instruction
+//! stream with those properties. Relative weighted-speedup trends (which is
+//! what every figure plots) depend on exactly these properties.
+
+use hira_dram::rng::Stream;
+
+/// One benchmark's memory-behaviour profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Benchmark {
+    /// SPEC-like name.
+    pub name: &'static str,
+    /// Memory operations (LLC-level accesses) per kilo-instruction.
+    pub mem_per_kinst: f64,
+    /// Probability that an access continues its stream sequentially
+    /// (row-buffer locality).
+    pub locality: f64,
+    /// Fraction of memory operations that are stores.
+    pub store_frac: f64,
+    /// Concurrent access streams (bank-level parallelism).
+    pub streams: usize,
+    /// Footprint in 64 B lines.
+    pub footprint_lines: u64,
+}
+
+/// The benchmark roster (SPEC CPU2006-inspired; higher rows are more
+/// memory-intensive).
+pub const BENCHMARKS: &[Benchmark] = &[
+    Benchmark { name: "mcf", mem_per_kinst: 33.0, locality: 0.25, store_frac: 0.18, streams: 6, footprint_lines: 1 << 22 },
+    Benchmark { name: "lbm", mem_per_kinst: 31.0, locality: 0.80, store_frac: 0.45, streams: 4, footprint_lines: 1 << 22 },
+    Benchmark { name: "soplex", mem_per_kinst: 27.0, locality: 0.60, store_frac: 0.20, streams: 5, footprint_lines: 1 << 21 },
+    Benchmark { name: "milc", mem_per_kinst: 25.0, locality: 0.50, store_frac: 0.30, streams: 4, footprint_lines: 1 << 21 },
+    Benchmark { name: "libquantum", mem_per_kinst: 25.0, locality: 0.90, store_frac: 0.25, streams: 2, footprint_lines: 1 << 20 },
+    Benchmark { name: "omnetpp", mem_per_kinst: 20.0, locality: 0.30, store_frac: 0.30, streams: 8, footprint_lines: 1 << 21 },
+    Benchmark { name: "gemsfdtd", mem_per_kinst: 18.0, locality: 0.60, store_frac: 0.35, streams: 6, footprint_lines: 1 << 21 },
+    Benchmark { name: "leslie3d", mem_per_kinst: 15.0, locality: 0.70, store_frac: 0.35, streams: 6, footprint_lines: 1 << 20 },
+    Benchmark { name: "bwaves", mem_per_kinst: 15.0, locality: 0.75, store_frac: 0.30, streams: 4, footprint_lines: 1 << 21 },
+    Benchmark { name: "sphinx3", mem_per_kinst: 12.0, locality: 0.60, store_frac: 0.10, streams: 4, footprint_lines: 1 << 19 },
+    Benchmark { name: "astar", mem_per_kinst: 8.0, locality: 0.35, store_frac: 0.25, streams: 4, footprint_lines: 1 << 20 },
+    Benchmark { name: "zeusmp", mem_per_kinst: 6.0, locality: 0.55, store_frac: 0.30, streams: 4, footprint_lines: 1 << 19 },
+    Benchmark { name: "cactusadm", mem_per_kinst: 5.0, locality: 0.50, store_frac: 0.35, streams: 4, footprint_lines: 1 << 19 },
+    Benchmark { name: "wrf", mem_per_kinst: 5.0, locality: 0.60, store_frac: 0.30, streams: 4, footprint_lines: 1 << 18 },
+    Benchmark { name: "bzip2", mem_per_kinst: 3.0, locality: 0.50, store_frac: 0.30, streams: 2, footprint_lines: 1 << 18 },
+    Benchmark { name: "gcc", mem_per_kinst: 2.0, locality: 0.50, store_frac: 0.30, streams: 3, footprint_lines: 1 << 17 },
+    Benchmark { name: "hmmer", mem_per_kinst: 1.0, locality: 0.60, store_frac: 0.25, streams: 2, footprint_lines: 1 << 15 },
+    Benchmark { name: "gobmk", mem_per_kinst: 0.8, locality: 0.40, store_frac: 0.25, streams: 2, footprint_lines: 1 << 15 },
+    Benchmark { name: "perlbench", mem_per_kinst: 0.8, locality: 0.40, store_frac: 0.30, streams: 2, footprint_lines: 1 << 15 },
+    Benchmark { name: "h264ref", mem_per_kinst: 0.7, locality: 0.60, store_frac: 0.25, streams: 2, footprint_lines: 1 << 14 },
+    Benchmark { name: "gromacs", mem_per_kinst: 0.6, locality: 0.50, store_frac: 0.30, streams: 2, footprint_lines: 1 << 14 },
+    Benchmark { name: "sjeng", mem_per_kinst: 0.5, locality: 0.40, store_frac: 0.25, streams: 2, footprint_lines: 1 << 14 },
+    Benchmark { name: "calculix", mem_per_kinst: 0.5, locality: 0.60, store_frac: 0.25, streams: 2, footprint_lines: 1 << 14 },
+    Benchmark { name: "tonto", mem_per_kinst: 0.3, locality: 0.50, store_frac: 0.25, streams: 2, footprint_lines: 1 << 13 },
+    Benchmark { name: "namd", mem_per_kinst: 0.2, locality: 0.50, store_frac: 0.25, streams: 2, footprint_lines: 1 << 13 },
+    Benchmark { name: "povray", mem_per_kinst: 0.05, locality: 0.50, store_frac: 0.25, streams: 1, footprint_lines: 1 << 12 },
+];
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+/// An 8-core multiprogrammed mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    /// Mix index (0-124 for the paper's 125 mixes).
+    pub id: usize,
+    /// One benchmark per core.
+    pub benchmarks: Vec<&'static Benchmark>,
+}
+
+/// Generates the `n`-mix suite: benchmarks drawn uniformly at random from
+/// the roster, as the paper draws its 125 mixes from SPEC CPU2006 (§7).
+pub fn mixes(n: usize, cores: usize, seed: u64) -> Vec<Mix> {
+    (0..n)
+        .map(|id| {
+            let mut s = Stream::from_words(&[seed, 0x4D49_58, id as u64]);
+            let benchmarks = (0..cores)
+                .map(|_| &BENCHMARKS[s.next_below(BENCHMARKS.len() as u64) as usize])
+                .collect();
+            Mix { id, benchmarks }
+        })
+        .collect()
+}
+
+/// One instruction-stream event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `n` non-memory instructions.
+    Compute(u32),
+    /// A load of the 64 B line at this byte address.
+    Load(u64),
+    /// A store to the 64 B line at this byte address.
+    Store(u64),
+}
+
+/// Deterministic instruction-stream generator for one core.
+#[derive(Debug, Clone)]
+pub struct TraceGen {
+    bench: &'static Benchmark,
+    rng: Stream,
+    /// Current line index per stream.
+    streams: Vec<u64>,
+    /// Byte offset isolating this core's address space.
+    base: u64,
+    /// Set once the compute gap has been emitted and a memory op is owed.
+    mem_pending: bool,
+}
+
+impl TraceGen {
+    /// Builds the generator for `bench` on core `core`.
+    pub fn new(bench: &'static Benchmark, core: usize, seed: u64) -> Self {
+        let mut rng = Stream::from_words(&[seed, 0x5452_43, core as u64]);
+        let streams = (0..bench.streams)
+            .map(|_| rng.next_below(bench.footprint_lines))
+            .collect();
+        TraceGen {
+            bench,
+            rng,
+            streams,
+            // 1 GiB per core keeps multiprogrammed address spaces disjoint.
+            base: (core as u64) << 30,
+            mem_pending: false,
+        }
+    }
+
+    /// The benchmark this generator replays.
+    pub fn benchmark(&self) -> &'static Benchmark {
+        self.bench
+    }
+
+    /// Next event. Memory events are separated by geometric compute gaps
+    /// whose mean matches `mem_per_kinst` (gap then access, so the
+    /// inter-arrival expectation is exactly `1000 / mem_per_kinst`).
+    pub fn next_op(&mut self) -> Op {
+        if !self.mem_pending {
+            self.mem_pending = true;
+            let per_inst = self.bench.mem_per_kinst / 1000.0;
+            let u = self.rng.next_f64().max(1e-12);
+            let gap = ((u.ln() / (1.0 - per_inst.min(0.99)).ln()).floor() as u32).min(60_000);
+            if gap > 0 {
+                return Op::Compute(gap);
+            }
+        }
+        self.mem_pending = false;
+        // A memory access: pick a stream, continue or jump.
+        let s = self.rng.next_below(self.streams.len() as u64) as usize;
+        if self.rng.next_bool(self.bench.locality) {
+            self.streams[s] = (self.streams[s] + 1) % self.bench.footprint_lines;
+        } else {
+            self.streams[s] = self.rng.next_below(self.bench.footprint_lines);
+        }
+        let addr = self.base + self.streams[s] * 64;
+        if self.rng.next_bool(self.bench.store_frac) {
+            Op::Store(addr)
+        } else {
+            Op::Load(addr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_is_sorted_by_intensity_and_named_uniquely() {
+        assert!(BENCHMARKS.windows(2).all(|w| w[0].mem_per_kinst >= w[1].mem_per_kinst));
+        let names: std::collections::HashSet<_> = BENCHMARKS.iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), BENCHMARKS.len());
+        assert!(benchmark("mcf").is_some());
+        assert!(benchmark("nonesuch").is_none());
+    }
+
+    #[test]
+    fn mixes_are_deterministic_and_sized() {
+        let a = mixes(125, 8, 42);
+        let b = mixes(125, 8, 42);
+        assert_eq!(a.len(), 125);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|m| m.benchmarks.len() == 8));
+        // Different seeds give different suites.
+        assert_ne!(a, mixes(125, 8, 43));
+    }
+
+    #[test]
+    fn trace_memory_rate_matches_profile() {
+        let bench = benchmark("milc").unwrap();
+        let mut gen = TraceGen::new(bench, 0, 7);
+        let mut insts = 0u64;
+        let mut mems = 0u64;
+        while insts < 2_000_000 {
+            match gen.next_op() {
+                Op::Compute(n) => insts += u64::from(n),
+                Op::Load(_) | Op::Store(_) => {
+                    insts += 1;
+                    mems += 1;
+                }
+            }
+        }
+        let per_kinst = mems as f64 * 1000.0 / insts as f64;
+        assert!(
+            (per_kinst - bench.mem_per_kinst).abs() < bench.mem_per_kinst * 0.15,
+            "measured {per_kinst} vs profile {}",
+            bench.mem_per_kinst
+        );
+    }
+
+    #[test]
+    fn store_fraction_tracks_profile() {
+        let bench = benchmark("lbm").unwrap();
+        let mut gen = TraceGen::new(bench, 1, 7);
+        let (mut loads, mut stores) = (0u64, 0u64);
+        for _ in 0..200_000 {
+            match gen.next_op() {
+                Op::Load(_) => loads += 1,
+                Op::Store(_) => stores += 1,
+                Op::Compute(_) => {}
+            }
+        }
+        let frac = stores as f64 / (loads + stores) as f64;
+        assert!((frac - bench.store_frac).abs() < 0.05, "store frac {frac}");
+    }
+
+    #[test]
+    fn cores_use_disjoint_address_spaces() {
+        let bench = benchmark("mcf").unwrap();
+        let mut g0 = TraceGen::new(bench, 0, 7);
+        let mut g1 = TraceGen::new(bench, 1, 7);
+        for _ in 0..1000 {
+            if let Op::Load(a) | Op::Store(a) = g0.next_op() {
+                assert!(a < 1 << 30);
+            }
+            if let Op::Load(a) | Op::Store(a) = g1.next_op() {
+                assert!((1 << 30..2 << 30).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn locality_produces_sequential_runs() {
+        let streaming = benchmark("libquantum").unwrap();
+        let scattered = benchmark("mcf").unwrap();
+        let seq_frac = |b: &'static Benchmark| {
+            let mut gen = TraceGen::new(b, 0, 9);
+            let mut last: Option<u64> = None;
+            let (mut seq, mut total) = (0u64, 0u64);
+            for _ in 0..400_000 {
+                if let Op::Load(a) | Op::Store(a) = gen.next_op() {
+                    if let Some(l) = last {
+                        total += 1;
+                        if a == l + 64 {
+                            seq += 1;
+                        }
+                    }
+                    last = Some(a);
+                }
+            }
+            seq as f64 / total as f64
+        };
+        assert!(seq_frac(streaming) > seq_frac(scattered) + 0.2);
+    }
+}

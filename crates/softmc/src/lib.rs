@@ -1,0 +1,46 @@
+//! # hira-softmc — SoftMC-style testing infrastructure
+//!
+//! The paper drives real DDR4 modules with SoftMC [43] on a Xilinx Alveo U200
+//! FPGA (§4.1): the host composes a *program* of precisely timed DRAM
+//! commands, the FPGA issues them on a 1.5 ns grid, and a MaxWell FT200
+//! temperature controller clamps the DIMM at the target temperature ±0.1 °C.
+//!
+//! This crate reproduces that stack in software against
+//! [`hira_dram::DramModule`]:
+//!
+//! * [`program`] — the command-program DSL (`act`, `pre`, `write_row`,
+//!   `read_row`, hammer loops, waits) with per-instruction `wait` latencies
+//!   like Algorithms 1 and 2 in the paper,
+//! * [`host`] — the program executor: quantizes timing to the FPGA command
+//!   grid, tracks the clock, collects read-back data,
+//! * [`patterns`] — the four data patterns used throughout §4
+//!   (`0xFF`, `0x00`, `0xAA`, `0x55`) and their inverses,
+//! * [`temperature`] — the FT200-style temperature controller model.
+//!
+//! ## Example: a HiRA probe as a SoftMC program
+//!
+//! ```rust
+//! use hira_softmc::host::SoftMc;
+//! use hira_softmc::program::Program;
+//! use hira_dram::{ModuleSpec, addr::{BankId, RowId}};
+//!
+//! let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(7));
+//! let bank = BankId(0);
+//! let t = *mc.module().timing();
+//! let mut p = Program::new();
+//! p.act_wait(bank, RowId(10), 3.0)          // ACT RowA, wait t1
+//!     .pre_wait(bank, 3.0)                  // PRE, wait t2
+//!     .act_wait(bank, RowId(4096), t.t_ras) // ACT RowB, wait tRAS
+//!     .pre_wait(bank, t.t_rp);              // close both rows
+//! mc.run(&p);
+//! ```
+
+pub mod host;
+pub mod patterns;
+pub mod program;
+pub mod temperature;
+
+pub use host::{RunResult, SoftMc};
+pub use patterns::DataPattern;
+pub use program::{Instruction, Program};
+pub use temperature::TemperatureController;

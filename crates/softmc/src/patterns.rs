@@ -1,0 +1,103 @@
+//! Data patterns used by the paper's experiments (§4.1).
+
+use std::fmt;
+
+/// One of the four test data patterns: all-ones, all-zeros, checkerboard and
+/// inverse checkerboard, as used by §4 and many prior characterization works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataPattern {
+    /// `0xFF` in every byte.
+    Ones,
+    /// `0x00` in every byte.
+    Zeros,
+    /// `0xAA` (alternating ones and zeros).
+    Checkerboard,
+    /// `0x55` (inverse checkerboard).
+    InverseCheckerboard,
+}
+
+impl DataPattern {
+    /// The four patterns in the order the paper lists them.
+    pub const ALL: [DataPattern; 4] = [
+        DataPattern::Ones,
+        DataPattern::Zeros,
+        DataPattern::Checkerboard,
+        DataPattern::InverseCheckerboard,
+    ];
+
+    /// The repeated byte of this pattern.
+    pub fn byte(self) -> u8 {
+        match self {
+            DataPattern::Ones => 0xFF,
+            DataPattern::Zeros => 0x00,
+            DataPattern::Checkerboard => 0xAA,
+            DataPattern::InverseCheckerboard => 0x55,
+        }
+    }
+
+    /// The bitwise-inverse pattern (`!datapattern` in Algorithms 1 and 2).
+    pub fn inverse(self) -> DataPattern {
+        match self {
+            DataPattern::Ones => DataPattern::Zeros,
+            DataPattern::Zeros => DataPattern::Ones,
+            DataPattern::Checkerboard => DataPattern::InverseCheckerboard,
+            DataPattern::InverseCheckerboard => DataPattern::Checkerboard,
+        }
+    }
+
+    /// Fills a row-sized buffer with the pattern.
+    pub fn fill(self, len: usize) -> Vec<u8> {
+        vec![self.byte(); len]
+    }
+
+    /// Counts bit flips between this pattern and observed data.
+    pub fn count_flips(self, observed: &[u8]) -> u64 {
+        let expect = self.byte();
+        observed.iter().map(|&b| u64::from((b ^ expect).count_ones())).sum()
+    }
+
+    /// True when the observed data matches the pattern exactly.
+    pub fn matches(self, observed: &[u8]) -> bool {
+        let expect = self.byte();
+        observed.iter().all(|&b| b == expect)
+    }
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:02X}", self.byte())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverses_pair_up() {
+        for p in DataPattern::ALL {
+            assert_eq!(p.inverse().inverse(), p);
+            assert_eq!(p.byte() ^ p.inverse().byte(), 0xFF);
+        }
+    }
+
+    #[test]
+    fn fill_and_match() {
+        let buf = DataPattern::Checkerboard.fill(16);
+        assert!(DataPattern::Checkerboard.matches(&buf));
+        assert!(!DataPattern::Ones.matches(&buf));
+    }
+
+    #[test]
+    fn flip_counting() {
+        let mut buf = DataPattern::Zeros.fill(8);
+        assert_eq!(DataPattern::Zeros.count_flips(&buf), 0);
+        buf[3] = 0b0000_0101;
+        assert_eq!(DataPattern::Zeros.count_flips(&buf), 2);
+    }
+
+    #[test]
+    fn display_shows_hex() {
+        assert_eq!(DataPattern::InverseCheckerboard.to_string(), "0x55");
+    }
+}

@@ -1,0 +1,168 @@
+//! SoftMC command programs.
+//!
+//! A [`Program`] is a linear sequence of [`Instruction`]s, mirroring how the
+//! paper's Algorithms 1 and 2 are written: each command carries a `wait`
+//! latency to the next command (e.g. `act(BankX, RowA, wait=t1)`). Host-level
+//! composite instructions (`WriteRow`, `ReadRow`) stand in for the
+//! ACT/WR-burst/PRE sequences the real infrastructure generates, and
+//! `HammerPair` mirrors SoftMC's hardware loop support for high-rate
+//! hammering.
+
+use crate::patterns::DataPattern;
+use hira_dram::addr::{BankId, RowId};
+
+/// One SoftMC program instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instruction {
+    /// `ACT bank/row`, then wait `wait_ns` before the next instruction.
+    Act { bank: BankId, row: RowId, wait_ns: f64 },
+    /// `PRE bank`, then wait `wait_ns`.
+    Pre { bank: BankId, wait_ns: f64 },
+    /// Write a full row with `pattern` (nominally timed composite).
+    WriteRow { bank: BankId, row: RowId, pattern: DataPattern },
+    /// Read a full row back and record it in the run results.
+    ReadRow { bank: BankId, row: RowId },
+    /// Pure delay.
+    Wait { ns: f64 },
+    /// `count` iterations of `ACT a / PRE / ACT b / PRE` at nominal timing
+    /// (the FPGA-side hammer loop; Algorithm 2 steps 2 and 4).
+    HammerPair { bank: BankId, aggr_a: RowId, aggr_b: RowId, count: u32 },
+}
+
+/// A buildable sequence of instructions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// The instructions in issue order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.instructions.push(inst);
+        self
+    }
+
+    /// `ACT` then wait (`act(bank, row, wait=...)` in the paper's listings).
+    pub fn act_wait(&mut self, bank: BankId, row: RowId, wait_ns: f64) -> &mut Self {
+        self.push(Instruction::Act { bank, row, wait_ns })
+    }
+
+    /// `PRE` then wait (`pre(bank, wait=...)`).
+    pub fn pre_wait(&mut self, bank: BankId, wait_ns: f64) -> &mut Self {
+        self.push(Instruction::Pre { bank, wait_ns })
+    }
+
+    /// Initialize a row with a data pattern (`initialize(row, pattern)`).
+    pub fn write_row(&mut self, bank: BankId, row: RowId, pattern: DataPattern) -> &mut Self {
+        self.push(Instruction::WriteRow { bank, row, pattern })
+    }
+
+    /// Read a row back for later comparison.
+    pub fn read_row(&mut self, bank: BankId, row: RowId) -> &mut Self {
+        self.push(Instruction::ReadRow { bank, row })
+    }
+
+    /// Idle wait.
+    pub fn wait(&mut self, ns: f64) -> &mut Self {
+        self.push(Instruction::Wait { ns })
+    }
+
+    /// Double-sided hammer loop.
+    pub fn hammer_pair(
+        &mut self,
+        bank: BankId,
+        aggr_a: RowId,
+        aggr_b: RowId,
+        count: u32,
+    ) -> &mut Self {
+        self.push(Instruction::HammerPair { bank, aggr_a, aggr_b, count })
+    }
+
+    /// Appends the HiRA command sequence of §3/Fig. 2:
+    /// `ACT RowA —t1→ PRE —t2→ ACT RowB —tRAS→ PRE —tRP→`.
+    pub fn hira(
+        &mut self,
+        bank: BankId,
+        row_a: RowId,
+        row_b: RowId,
+        t1: f64,
+        t2: f64,
+        t_ras: f64,
+        t_rp: f64,
+    ) -> &mut Self {
+        self.act_wait(bank, row_a, t1)
+            .pre_wait(bank, t2)
+            .act_wait(bank, row_b, t_ras)
+            .pre_wait(bank, t_rp)
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program { instructions: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_in_order() {
+        let mut p = Program::new();
+        p.write_row(BankId(0), RowId(1), DataPattern::Ones)
+            .act_wait(BankId(0), RowId(1), 3.0)
+            .pre_wait(BankId(0), 3.0)
+            .read_row(BankId(0), RowId(1));
+        assert_eq!(p.len(), 4);
+        assert!(matches!(p.instructions()[0], Instruction::WriteRow { .. }));
+        assert!(matches!(p.instructions()[3], Instruction::ReadRow { .. }));
+    }
+
+    #[test]
+    fn hira_helper_emits_four_commands() {
+        let mut p = Program::new();
+        p.hira(BankId(1), RowId(5), RowId(600), 3.0, 3.0, 32.0, 14.25);
+        assert_eq!(p.len(), 4);
+        assert!(matches!(
+            p.instructions()[0],
+            Instruction::Act { row: RowId(5), wait_ns, .. } if wait_ns == 3.0
+        ));
+        assert!(matches!(p.instructions()[2], Instruction::Act { row: RowId(600), .. }));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let p: Program = [Instruction::Wait { ns: 5.0 }].into_iter().collect();
+        assert_eq!(p.len(), 1);
+        let mut q = Program::new();
+        q.extend(p.instructions().iter().copied());
+        assert_eq!(q, p);
+    }
+}

@@ -1,0 +1,65 @@
+//! Temperature-controller model (the MaxWell FT200 of §4.1).
+//!
+//! The real rig clamps the DIMM between heater pads and holds the chips at
+//! ±0.1 °C of the target. The model exposes the same contract: after
+//! `set_target`, `current_c` settles within the tolerance band, with a small
+//! deterministic dither standing in for the control loop's ripple.
+
+/// A settled heater/controller pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperatureController {
+    target_c: f64,
+    dither_seed: u64,
+}
+
+impl TemperatureController {
+    /// Controller tolerance in °C (±0.1 °C per the FT200 datasheet).
+    pub const TOLERANCE_C: f64 = 0.1;
+
+    /// A controller already settled at `target_c`.
+    pub fn new(target_c: f64) -> Self {
+        TemperatureController { target_c, dither_seed: 0 }
+    }
+
+    /// Retargets the controller (the model settles instantly; real settling
+    /// time is irrelevant to the experiments, which wait for it).
+    pub fn set_target(&mut self, target_c: f64) {
+        self.target_c = target_c;
+        self.dither_seed = self.dither_seed.wrapping_add(1);
+    }
+
+    /// The configured target in °C.
+    pub fn target_c(&self) -> f64 {
+        self.target_c
+    }
+
+    /// The settled chip temperature: target plus in-tolerance ripple.
+    pub fn current_c(&self) -> f64 {
+        let u = hira_dram::rng::Stream::from_words(&[
+            self.dither_seed,
+            self.target_c.to_bits(),
+        ])
+        .next_f64();
+        self.target_c + (u * 2.0 - 1.0) * Self::TOLERANCE_C
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settles_within_tolerance() {
+        let mut c = TemperatureController::new(45.0);
+        for t in [30.0, 45.0, 60.0, 85.0] {
+            c.set_target(t);
+            assert!((c.current_c() - t).abs() <= TemperatureController::TOLERANCE_C);
+        }
+    }
+
+    #[test]
+    fn ripple_is_deterministic() {
+        let c = TemperatureController::new(55.0);
+        assert_eq!(c.current_c(), c.current_c());
+    }
+}

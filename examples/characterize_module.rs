@@ -1,0 +1,30 @@
+//! Runs the paper's §4 characterization on one module: HiRA coverage
+//! (Algorithm 1), threshold verification (Algorithm 2), and the
+//! HiRA-capability verdict — including a HiRA-inert Micron-style part.
+//!
+//! Run with: `cargo run --release --example characterize_module`
+
+use hira::characterize::config::CharacterizeConfig;
+use hira::characterize::modules::characterize_module;
+use hira::dram::ModuleSpec;
+
+fn main() {
+    let cfg = CharacterizeConfig {
+        rows_per_region: 32,
+        row_a_stride: 2,
+        row_b_stride: 2,
+        nrh_victims: 12,
+        ..CharacterizeConfig::fast()
+    };
+    for spec in [ModuleSpec::c0(), ModuleSpec::micron_4gb(5)] {
+        let label = spec.label.clone();
+        let vendor = spec.manufacturer;
+        let m = characterize_module(spec, &cfg);
+        println!("module {label} ({vendor}):");
+        println!("  HiRA coverage : min {:.1}%  avg {:.1}%  max {:.1}%",
+            m.coverage.min * 100.0, m.coverage.mean * 100.0, m.coverage.max * 100.0);
+        println!("  norm. NRH     : min {:.2}  avg {:.2}  max {:.2}",
+            m.norm_nrh.min, m.norm_nrh.mean, m.norm_nrh.max);
+        println!("  HiRA capable  : {}\n", if m.hira_capable { "yes" } else { "no (second ACT ignored)" });
+    }
+}

@@ -1,0 +1,37 @@
+//! Periodic-refresh case study (§8, one data point of Fig. 9): simulates an
+//! 8-core system on 64 Gb chips under Baseline REF vs HiRA-2 vs no refresh.
+//!
+//! Run with: `cargo run --release --example refresh_study`
+
+use hira::core::config::HiraConfig;
+use hira::sim::config::{RefreshScheme, SystemConfig};
+use hira::sim::system::System;
+use hira::sim::workloads::{benchmark, Mix};
+
+fn main() {
+    // A memory-intensive mix — where refresh interference actually shows.
+    let names = ["mcf", "lbm", "milc", "libquantum", "soplex", "omnetpp", "gemsfdtd", "bwaves"];
+    let mix = &Mix { id: 0, benchmarks: names.iter().map(|n| benchmark(n).unwrap()).collect() };
+    println!("workload mix: {:?}\n", mix.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>());
+    let mut ws = Vec::new();
+    for (name, scheme) in [
+        ("No-Refresh (ideal)", RefreshScheme::NoRefresh),
+        ("Baseline REF", RefreshScheme::Baseline),
+        ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
+    ] {
+        let cfg = SystemConfig::table3(64.0, scheme).with_insts(40_000, 8_000);
+        let r = System::new(cfg, mix).run();
+        let ipc_sum: f64 = r.ipc.iter().sum();
+        println!("{name:<20} IPC-sum {ipc_sum:>6.3}  row-hit {:>5.1}%  avg-read-latency {:>6.1} cyc",
+            r.row_hit_rate() * 100.0, r.avg_read_latency());
+        if let Some(mc) = r.mc_stats.first() {
+            println!("{:<20} refreshes: {} absorbed by accesses, {} paired, {} singles",
+                "", mc.refresh_access, mc.refresh_refresh, mc.singles);
+        }
+        ws.push((name, ipc_sum));
+    }
+    let base = ws.iter().find(|(n, _)| n.starts_with("Baseline")).unwrap().1;
+    for (name, v) in &ws {
+        println!("{name:<20} throughput vs Baseline: {:+.1} %", (v / base - 1.0) * 100.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! RowHammer-defense case study (§9, one data point of Fig. 12): configures
+//! PARA for a vulnerable chip (NRH = 256) via the security analysis, then
+//! compares plain PARA against PARA + HiRA-4.
+//!
+//! Run with: `cargo run --release --example rowhammer_defense`
+
+use hira::core::config::HiraConfig;
+use hira::core::security::{solve_pth, SecurityParams};
+use hira::sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
+use hira::sim::system::System;
+use hira::sim::workloads::mixes;
+
+fn main() {
+    let nrh = 256;
+    let pth0 = solve_pth(&SecurityParams::paper_defaults(0), nrh);
+    let pth4 = solve_pth(&SecurityParams::paper_defaults(4), nrh);
+    println!("NRH = {nrh}: p_th = {pth0:.4} (immediate) / {pth4:.4} (with 4*tRC slack)\n");
+
+    let mix = &mixes(1, 8, 11)[0];
+    let mut results = Vec::new();
+    for (name, preventive) in [
+        ("no defense", None),
+        ("PARA", Some((pth0, PreventiveMode::Immediate))),
+        ("PARA + HiRA-4", Some((pth4, PreventiveMode::Hira(HiraConfig::hira_n(4))))),
+    ] {
+        let mut cfg = SystemConfig::table3(8.0, RefreshScheme::Baseline).with_insts(25_000, 5_000);
+        if let Some((pth, mode)) = preventive {
+            cfg = cfg.with_preventive(pth, mode);
+        }
+        let r = System::new(cfg, mix).run();
+        let ipc_sum: f64 = r.ipc.iter().sum();
+        println!("{name:<15} IPC-sum {ipc_sum:>6.3}");
+        results.push((name, ipc_sum));
+    }
+    let para = results[1].1;
+    println!("\nHiRA-4 speedup over plain PARA: {:.2}x", results[2].1 / para);
+}

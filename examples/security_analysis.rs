@@ -1,0 +1,24 @@
+//! Reproduces the §9.1 security analysis numbers standalone: the k-factor
+//! examples, the Fig. 11a p_th curve, and the slack sensitivity at NRH=128.
+//!
+//! Run with: `cargo run --release --example security_analysis`
+
+use hira::core::security::{k_factor, legacy_pth, solve_pth, SecurityParams};
+
+fn main() {
+    let p0 = SecurityParams::paper_defaults(0);
+    println!("k factors at legacy p_th (paper: 1.0331 at NRH=1024, 1.3212 at NRH=64):");
+    for nrh in [1024u32, 64] {
+        let k = k_factor(&p0, nrh, legacy_pth(nrh, 1e-15));
+        println!("  NRH {nrh:>5}: k = {k:.4}");
+    }
+    println!("\np_th for a 1e-15 target (Fig. 11a; paper: 0.068 at 1024 rising to ~0.84 at 64):");
+    for nrh in [1024u32, 512, 256, 128, 64] {
+        println!("  NRH {nrh:>5}: p_th = {:.4}", solve_pth(&p0, nrh));
+    }
+    println!("\nslack sensitivity at NRH = 128 (paper: 0.48 / 0.49 / 0.50 / 0.52):");
+    for slack in [0u32, 2, 4, 8] {
+        let p = SecurityParams::paper_defaults(slack);
+        println!("  tRefSlack = {slack} tRC: p_th = {:.4}", solve_pth(&p, 128));
+    }
+}

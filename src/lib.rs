@@ -1,0 +1,28 @@
+//! # hira — facade crate for the HiRA (MICRO 2022) reproduction
+//!
+//! Re-exports the workspace crates under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`dram`] — circuit-behavioural DDR4 chip/module model,
+//! * [`softmc`] — SoftMC-style testing infrastructure,
+//! * [`characterize`] — §4's characterization experiments (Algorithms 1 & 2),
+//! * [`core`] — the HiRA operation, HiRA-MC, PARA and the security analysis,
+//! * [`sim`] — the cycle-level system simulator behind §7-§10.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use hira::core::hira_op::HiraOperation;
+//! use hira::dram::timing::TimingParams;
+//!
+//! let timing = TimingParams::ddr4_2400();
+//! let op = HiraOperation::nominal();
+//! // HiRA refreshes two rows in 38 ns instead of 78.25 ns (−51.4 %).
+//! assert!(op.two_row_refresh_ns(&timing) < timing.two_row_refresh_ns());
+//! ```
+
+pub use hira_characterize as characterize;
+pub use hira_core as core;
+pub use hira_dram as dram;
+pub use hira_sim as sim;
+pub use hira_softmc as softmc;

@@ -1,0 +1,70 @@
+//! Cross-crate integration: the §4 characterization pipeline end to end,
+//! from module spec through SoftMC programs to Table 4-style statistics.
+
+use hira::characterize::config::CharacterizeConfig;
+use hira::characterize::coverage;
+use hira::characterize::verify;
+use hira::dram::addr::{BankId, RowId};
+use hira::dram::timing::HiraTimings;
+use hira::dram::ModuleSpec;
+use hira::softmc::SoftMc;
+
+fn small_cfg() -> CharacterizeConfig {
+    CharacterizeConfig {
+        rows_per_region: 24,
+        row_a_stride: 3,
+        row_b_stride: 2,
+        nrh_victims: 6,
+        ..CharacterizeConfig::fast()
+    }
+}
+
+#[test]
+fn coverage_orders_match_table4_across_modules() {
+    // A0 (lowest) < C1 (highest) in Table 4.
+    let cov = |spec: ModuleSpec| {
+        let mut mc = SoftMc::new(spec);
+        coverage::measure(&mut mc, BankId(0), &small_cfg()).stats().mean
+    };
+    let a0 = cov(ModuleSpec::a0());
+    let c1 = cov(ModuleSpec::c1());
+    assert!(a0 > 0.1 && c1 < 0.5, "a0 {a0} c1 {c1}");
+    assert!(a0 < c1, "Table 4 ordering violated: A0 {a0} vs C1 {c1}");
+}
+
+#[test]
+fn figure4_extremes_collapse_but_nominal_works() {
+    let mut mc = SoftMc::new(ModuleSpec::c0());
+    let cfg = small_cfg();
+    let nominal = coverage::measure(&mut mc, BankId(0), &cfg).stats().mean;
+    let bad_t1 = coverage::measure(
+        &mut mc,
+        BankId(0),
+        &cfg.with_hira(HiraTimings { t1: 1.5, t2: 3.0 }),
+    )
+    .stats()
+    .mean;
+    let bad_t2 = coverage::measure(
+        &mut mc,
+        BankId(0),
+        &cfg.with_hira(HiraTimings { t1: 3.0, t2: 6.0 }),
+    )
+    .stats()
+    .mean;
+    assert!(nominal > 0.15, "nominal coverage {nominal}");
+    assert!(bad_t1 < nominal / 3.0, "t1=1.5 coverage {bad_t1} vs nominal {nominal}");
+    assert!(bad_t2 < nominal / 3.0, "t2=6.0 coverage {bad_t2} vs nominal {nominal}");
+}
+
+#[test]
+fn verification_separates_real_and_inert_modules() {
+    let cfg = small_cfg();
+    let norm = |spec: ModuleSpec| {
+        let mut mc = SoftMc::new(spec);
+        verify::measure_victim(&mut mc, BankId(0), RowId(900), &cfg)
+            .expect("victim measurable")
+            .normalized()
+    };
+    assert!(norm(ModuleSpec::c0()) > 1.5);
+    assert!(norm(ModuleSpec::samsung_4gb(3)) < 1.2);
+}

@@ -1,0 +1,76 @@
+//! Cross-crate integration: HiRA-MC inside the cycle simulator.
+
+use hira::core::config::HiraConfig;
+use hira::sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
+use hira::sim::system::System;
+use hira::sim::workloads::mixes;
+
+fn tiny(cap: f64, refresh: RefreshScheme) -> SystemConfig {
+    SystemConfig::table3(cap, refresh).with_insts(4_000, 800)
+}
+
+#[test]
+fn hira_beats_baseline_at_high_capacity() {
+    let mix = &mixes(1, 8, 21)[0];
+    let ws = |r| {
+        let res = System::new(tiny(128.0, r), mix).run();
+        res.ipc.iter().sum::<f64>()
+    };
+    let baseline = ws(RefreshScheme::Baseline);
+    let hira = ws(RefreshScheme::Hira(HiraConfig::hira_n(4)));
+    assert!(
+        hira > baseline,
+        "HiRA-4 ({hira}) must beat Baseline ({baseline}) at 128 Gb"
+    );
+}
+
+#[test]
+fn hira_refreshes_every_generated_request() {
+    let mix = &mixes(1, 8, 22)[0];
+    let res = System::new(tiny(8.0, RefreshScheme::Hira(HiraConfig::hira_n(2))), mix).run();
+    let mc = res.mc_stats.first().expect("mc stats");
+    let served = mc.refresh_access + mc.refresh_refresh + mc.singles;
+    // Everything generated is served, modulo requests still in flight at
+    // the end of the run (bounded by the table capacity).
+    assert!(
+        mc.periodic_generated.saturating_sub(served) <= 80,
+        "generated {} served {served}",
+        mc.periodic_generated
+    );
+    assert_eq!(mc.worst_window_deficit, 0, "refresh window incomplete");
+}
+
+#[test]
+fn para_with_hira_outperforms_immediate_para_at_low_thresholds() {
+    let mix = &mixes(1, 8, 23)[0];
+    let pth = hira::core::security::solve_pth(
+        &hira::core::security::SecurityParams::paper_defaults(0),
+        64,
+    );
+    let ws = |mode| {
+        let cfg = tiny(8.0, RefreshScheme::Baseline).with_preventive(pth, mode);
+        System::new(cfg, mix).run().ipc.iter().sum::<f64>()
+    };
+    let plain = ws(PreventiveMode::Immediate);
+    let hira = ws(PreventiveMode::Hira(HiraConfig::hira_n(4)));
+    assert!(
+        hira > plain * 1.5,
+        "HiRA-4 ({hira}) should be far ahead of plain PARA ({plain}) at NRH=64"
+    );
+}
+
+#[test]
+fn preventive_refreshes_track_para_triggers() {
+    let mix = &mixes(1, 8, 24)[0];
+    let cfg = tiny(8.0, RefreshScheme::Baseline)
+        .with_preventive(0.3, PreventiveMode::Hira(HiraConfig::hira_n(4)));
+    let res = System::new(cfg, mix).run();
+    let mc = res.mc_stats.first().expect("mc stats");
+    assert!(mc.preventive_generated > 0);
+    let served = mc.refresh_access + mc.refresh_refresh + mc.singles;
+    assert!(
+        mc.preventive_generated.saturating_sub(served) <= 80,
+        "generated {} served {served}",
+        mc.preventive_generated
+    );
+}

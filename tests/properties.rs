@@ -1,0 +1,110 @@
+//! Property-based tests over the core data structures and invariants.
+
+use hira::core::refresh_table::{RefreshEntry, RefreshKind, RefreshTable};
+use hira::core::security::{p_rh, solve_pth, SecurityParams};
+use hira::dram::addr::{BankId, RowId};
+use hira::dram::isolation::IsolationMap;
+use hira::dram::mapping::RowMapping;
+use hira::dram::rng::Stream;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn isolation_is_symmetric_and_excludes_neighbors(
+        seed in any::<u64>(),
+        a in 0u32..32_768,
+        b in 0u32..32_768,
+    ) {
+        let m = IsolationMap::new(seed, 32 * 1024, 512, 0.32, 0.03);
+        let ab = m.isolated(RowId(a), RowId(b));
+        prop_assert_eq!(ab, m.isolated(RowId(b), RowId(a)));
+        if (a / 512).abs_diff(b / 512) <= 1 {
+            prop_assert!(!ab);
+        }
+    }
+
+    #[test]
+    fn row_mapping_is_bijective(seed in any::<u64>(), block in 0u32..64) {
+        let m = RowMapping::for_module(seed);
+        let mut seen = std::collections::HashSet::new();
+        for r in block * 512..(block + 1) * 512 {
+            let p = m.to_physical(RowId(r));
+            prop_assert!(seen.insert(p.0));
+            prop_assert_eq!(m.to_logical(p), RowId(r));
+        }
+    }
+
+    #[test]
+    fn refresh_table_never_exceeds_capacity_and_pops_in_deadline_order(
+        deadlines in proptest::collection::vec(0.0f64..1e6, 1..200),
+    ) {
+        let mut t = RefreshTable::new(68);
+        let mut accepted = 0usize;
+        for (i, d) in deadlines.iter().enumerate() {
+            let e = RefreshEntry {
+                deadline: *d,
+                bank: BankId((i % 16) as u16),
+                kind: RefreshKind::Periodic,
+                victim: None,
+            };
+            if t.insert(e) {
+                accepted += 1;
+            }
+            prop_assert!(t.len() <= 68);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut popped = 0usize;
+        while let Some(e) = t.pop_due(f64::INFINITY) {
+            prop_assert!(e.deadline >= last);
+            last = e.deadline;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, accepted);
+    }
+
+    #[test]
+    fn security_pth_is_monotone_and_holds_target(nrh in 64u32..4096) {
+        let params = SecurityParams::paper_defaults(0);
+        let pth = solve_pth(&params, nrh);
+        prop_assert!((0.0..=1.0).contains(&pth));
+        let achieved = p_rh(&params, nrh, pth);
+        prop_assert!((achieved / 1e-15 - 1.0).abs() < 1e-4);
+        // A weaker threshold must not hold the target.
+        let weaker = p_rh(&params, nrh, (pth * 0.8).max(1e-6));
+        prop_assert!(weaker >= achieved);
+    }
+
+    #[test]
+    fn deterministic_stream_is_stable(words in proptest::collection::vec(any::<u64>(), 1..6)) {
+        let mut a = Stream::from_words(&words);
+        let mut b = Stream::from_words(&words);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn chip_never_corrupts_under_nominal_timing(
+        rows in proptest::collection::vec(0u32..32_768, 1..12),
+        pattern in any::<u8>(),
+    ) {
+        use hira::dram::{DramModule, ModuleSpec};
+        use hira::dram::command::DramCommand;
+        let mut m = DramModule::new(ModuleSpec::sk_hynix_4gb(0xBEE));
+        let t = *m.timing();
+        let data = vec![pattern; m.geometry().row_bytes];
+        for &r in &rows {
+            m.write_row(BankId(0), RowId(r), &data);
+        }
+        // A burst of nominally-timed activate/precharge cycles.
+        for &r in &rows {
+            let now = m.now();
+            m.execute(DramCommand::Act { bank: BankId(0), row: RowId(r) }, now);
+            m.execute(DramCommand::Pre { bank: BankId(0) }, now + t.t_ras);
+            m.wait(t.t_rp);
+        }
+        for &r in &rows {
+            prop_assert_eq!(m.read_row(BankId(0), RowId(r)), data.clone());
+        }
+    }
+}
