@@ -2,32 +2,53 @@
 //!
 //! Runs HiRA-4 on 64 Gb chips with refresh-access and refresh-refresh
 //! pairing individually disabled, against the full configuration, the
-//! Baseline and the ideal No-Refresh system.
+//! Baseline and the ideal No-Refresh system — one engine sweep over the
+//! `scheme` axis.
 
-use hira_bench::{mean_ws, print_series, Scale};
+use hira_bench::{print_series, run_ws, Scale};
 use hira_core::config::HiraConfig;
+use hira_engine::{Executor, Sweep};
 use hira_sim::config::{RefreshScheme, SystemConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    let ex = Executor::from_env();
     let cap = 64.0;
-    println!("== Ablation: HiRA-4 mechanisms at {cap} Gb, {} mixes x {} insts ==", scale.mixes, scale.insts);
-    let ideal = mean_ws(&SystemConfig::table3(cap, RefreshScheme::NoRefresh), scale);
-    let configs = [
+    let schemes = vec![
+        ("NoRefresh", RefreshScheme::NoRefresh),
         ("Baseline", RefreshScheme::Baseline),
         ("HiRA-4 full", RefreshScheme::Hira(HiraConfig::hira_n(4))),
-        ("no refresh-access", RefreshScheme::Hira(HiraConfig::hira_n(4).without_refresh_access())),
-        ("no refresh-refresh", RefreshScheme::Hira(HiraConfig::hira_n(4).without_refresh_refresh())),
+        (
+            "no refresh-access",
+            RefreshScheme::Hira(HiraConfig::hira_n(4).without_refresh_access()),
+        ),
+        (
+            "no refresh-refresh",
+            RefreshScheme::Hira(HiraConfig::hira_n(4).without_refresh_refresh()),
+        ),
         (
             "singles only",
             RefreshScheme::Hira(
-                HiraConfig::hira_n(4).without_refresh_access().without_refresh_refresh(),
+                HiraConfig::hira_n(4)
+                    .without_refresh_access()
+                    .without_refresh_refresh(),
             ),
         ),
     ];
+    let names: Vec<&str> = schemes.iter().skip(1).map(|(n, _)| *n).collect();
+
+    println!(
+        "== Ablation: HiRA-4 mechanisms at {cap} Gb, {} mixes x {} insts ==",
+        scale.mixes, scale.insts
+    );
+    let sweep = Sweep::new("ablation_mechanisms")
+        .axis("scheme", schemes, |_, s| SystemConfig::table3(cap, *s));
+    let t = run_ws(&ex, sweep, scale);
+    let ideal = t.mean(&[("scheme", "NoRefresh")]);
+
     println!("(weighted speedup normalized to the ideal No-Refresh system)");
-    for (name, scheme) in configs {
-        let ws = mean_ws(&SystemConfig::table3(cap, scheme), scale);
-        print_series(name, &[ws / ideal]);
+    for name in names {
+        print_series(name, &[t.mean(&[("scheme", name)]) / ideal]);
     }
+    t.emit();
 }

@@ -1,0 +1,53 @@
+//! Engine smoke sweep: a fast end-to-end exercise of the orchestration
+//! subsystem — a small `scheme × capacity` weighted-speedup grid run twice,
+//! at 1 thread and at the configured thread count, asserting the canonical
+//! result sets are byte-identical. Prints the engine's own result table.
+//!
+//! This is the cheap CI-facing proof that scheduling never leaks into
+//! results; the figure binaries then scale the same machinery up.
+
+use hira_bench::{run_ws, Scale};
+use hira_engine::{flabel, Executor, Sweep};
+use hira_sim::config::{RefreshScheme, SystemConfig};
+
+fn sweep() -> Sweep<SystemConfig> {
+    Sweep::new("engine_smoke")
+        .axis(
+            "scheme",
+            [
+                ("NoRefresh", RefreshScheme::NoRefresh),
+                ("Baseline", RefreshScheme::Baseline),
+            ],
+            |_, s| *s,
+        )
+        .axis("cap", [8.0, 64.0].map(|c| (flabel(c), c)), |s, c| {
+            SystemConfig::table3(*c, *s)
+        })
+}
+
+fn main() {
+    let scale = Scale {
+        mixes: 2,
+        insts: 4_000,
+        warmup: 800,
+        rows: 16,
+    };
+    let ex = Executor::from_env();
+
+    println!("== engine smoke: {} worker thread(s) vs 1 ==", ex.threads());
+    let parallel = run_ws(&ex, sweep(), scale);
+    let serial = run_ws(&Executor::with_threads(1), sweep(), scale);
+    assert_eq!(
+        parallel.run.canonical_json(),
+        serial.run.canonical_json(),
+        "engine results must be independent of thread count"
+    );
+    println!("canonical result sets byte-identical: yes");
+    println!(
+        "sweep wall time: {:.0} ms at {} thread(s), {:.0} ms at 1",
+        parallel.run.wall_ms, parallel.run.threads, serial.run.wall_ms
+    );
+    println!();
+    print!("{}", parallel.run.table());
+    parallel.emit();
+}

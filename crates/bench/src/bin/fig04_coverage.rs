@@ -1,11 +1,14 @@
-//! Fig. 4: HiRA coverage across the t1 × t2 grid (box plots).
+//! Fig. 4: HiRA coverage across the t1 × t2 grid (box plots) — one engine
+//! task per grid cell, each against its own software chip.
 
 use hira_bench::Scale;
 use hira_characterize::config::CharacterizeConfig;
-use hira_characterize::coverage::figure4_grid;
+use hira_characterize::coverage::{self, CoverageGridPoint};
 use hira_characterize::report::render_figure4;
 use hira_dram::addr::BankId;
+use hira_dram::timing::HiraTimings;
 use hira_dram::ModuleSpec;
+use hira_engine::{metric, Executor, ScenarioKey, Sweep};
 use hira_softmc::SoftMc;
 
 fn main() {
@@ -18,7 +21,35 @@ fn main() {
     };
     println!("== Fig. 4: coverage vs (t1, t2), module C0, bank 0 ==");
     println!("(paper: ~32 % at t1=3,t2∈{{3,4.5}}; ~0 at t1∈{{1.5,6}}; min 25 %)");
-    let mut mc = SoftMc::new(ModuleSpec::c0());
-    let grid = figure4_grid(&mut mc, BankId(0), &cfg);
+
+    let points = HiraTimings::figure4_grid()
+        .into_iter()
+        .map(|h| {
+            let key = ScenarioKey::root()
+                .with("t1", format!("{}", h.t1))
+                .with("t2", format!("{}", h.t2));
+            (key, h)
+        })
+        .collect();
+    let sweep = Sweep::from_points("fig04_coverage", hira_engine::DEFAULT_BASE_SEED, points);
+    let (grid, run): (Vec<CoverageGridPoint>, _) = Executor::from_env().run_with(&sweep, |sc| {
+        let mut mc = SoftMc::new(ModuleSpec::c0());
+        let result = coverage::measure(&mut mc, BankId(0), &cfg.with_hira(*sc.params));
+        let stats = result.stats();
+        let metrics = vec![
+            metric("coverage_mean", stats.mean),
+            metric("coverage_min", stats.min),
+            metric("coverage_max", stats.max),
+        ];
+        (
+            CoverageGridPoint {
+                hira: *sc.params,
+                stats,
+            },
+            metrics,
+        )
+    });
+
     print!("{}", render_figure4(&grid));
+    run.emit_if_requested();
 }

@@ -1,37 +1,80 @@
 //! Fig. 5: RowHammer thresholds with/without HiRA (absolute histograms and
-//! the normalized distribution).
+//! the normalized distribution) — one engine task per victim row, each
+//! against its own software chip.
 
 use hira_characterize::config::CharacterizeConfig;
 use hira_characterize::report::render_histogram;
 use hira_characterize::stats::{BoxStats, Histogram};
-use hira_characterize::verify::measure_many;
-use hira_dram::addr::BankId;
+use hira_characterize::verify::{measure_victim, victim_spread, NrhMeasurement};
+use hira_dram::addr::{BankId, RowId};
 use hira_dram::ModuleSpec;
+use hira_engine::{metric, Executor, ScenarioKey, Sweep};
 use hira_softmc::SoftMc;
 
 fn main() {
-    let cfg = CharacterizeConfig { nrh_victims: 48, ..CharacterizeConfig::fast() };
-    let mut mc = SoftMc::new(ModuleSpec::c0());
-    let ms = measure_many(&mut mc, BankId(0), &cfg);
+    let cfg = CharacterizeConfig {
+        nrh_victims: 48,
+        ..CharacterizeConfig::fast()
+    };
+    let spec = ModuleSpec::c0();
+
+    // The same victim spread `verify::measure_many` uses, as sweep points.
+    let points = victim_spread(&spec.geometry, cfg.rows_per_region, cfg.nrh_victims)
+        .into_iter()
+        .map(|v| (ScenarioKey::root().with("victim", v.0.to_string()), v))
+        .collect::<Vec<(ScenarioKey, RowId)>>();
+    let sweep = Sweep::from_points("fig05_rowhammer", hira_engine::DEFAULT_BASE_SEED, points);
+
+    let (measured, run): (Vec<Option<NrhMeasurement>>, _) =
+        Executor::from_env().run_with(&sweep, |sc| {
+            let mut mc = SoftMc::new(ModuleSpec::c0());
+            let m = measure_victim(&mut mc, BankId(0), *sc.params, &cfg);
+            let metrics = m
+                .map(|m| {
+                    vec![
+                        metric("nrh_without", f64::from(m.without_hira)),
+                        metric("nrh_with", f64::from(m.with_hira)),
+                        metric("nrh_normalized", m.normalized()),
+                    ]
+                })
+                .unwrap_or_default();
+            (m, metrics)
+        });
+    let ms: Vec<NrhMeasurement> = measured.into_iter().flatten().collect();
     let without: Vec<f64> = ms.iter().map(|m| f64::from(m.without_hira)).collect();
     let with: Vec<f64> = ms.iter().map(|m| f64::from(m.with_hira)).collect();
-    let norm: Vec<f64> = ms.iter().map(|m| m.normalized()).collect();
+    let norm: Vec<f64> = ms.iter().map(NrhMeasurement::normalized).collect();
 
     println!("== Fig. 5a: absolute RowHammer threshold (units of aggressor ACTs) ==");
     let mut h = Histogram::new(0.0, 100_000.0, 10);
     h.extend(&without);
-    print!("{}", render_histogram("without HiRA (K):", &h.normalized(), 1000.0));
+    print!(
+        "{}",
+        render_histogram("without HiRA (K):", &h.normalized(), 1000.0)
+    );
     let mut h = Histogram::new(0.0, 100_000.0, 10);
     h.extend(&with);
-    print!("{}", render_histogram("with HiRA (K):", &h.normalized(), 1000.0));
+    print!(
+        "{}",
+        render_histogram("with HiRA (K):", &h.normalized(), 1000.0)
+    );
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("means: without {:.1}K / with {:.1}K  (paper: 27.2K / 51.0K)",
-        avg(&without) / 1000.0, avg(&with) / 1000.0);
+    println!(
+        "means: without {:.1}K / with {:.1}K  (paper: 27.2K / 51.0K)",
+        avg(&without) / 1000.0,
+        avg(&with) / 1000.0
+    );
 
     println!("\n== Fig. 5b: normalized threshold ==");
     let s = BoxStats::from_samples(&norm);
-    println!("min {:.2}  q1 {:.2}  median {:.2}  q3 {:.2}  max {:.2}  mean {:.2}  (paper mean: 1.9x)",
-        s.min, s.q1, s.median, s.q3, s.max, s.mean);
+    println!(
+        "min {:.2}  q1 {:.2}  median {:.2}  q3 {:.2}  max {:.2}  mean {:.2}  (paper mean: 1.9x)",
+        s.min, s.q1, s.median, s.q3, s.max, s.mean
+    );
     let over_17 = norm.iter().filter(|&&x| x > 1.7).count() as f64 / norm.len() as f64;
-    println!("fraction above 1.7x: {:.1} % (paper: 88.1 %)", over_17 * 100.0);
+    println!(
+        "fraction above 1.7x: {:.1} % (paper: 88.1 %)",
+        over_17 * 100.0
+    );
+    run.emit_if_requested();
 }

@@ -1,31 +1,100 @@
 //! Fig. 6: normalized RowHammer threshold across all 16 banks of modules
-//! A0, B0 and C0, plus the §4.4.1 pair-invariance check.
+//! A0, B0 and C0, plus the §4.4.1 pair-invariance check. The per-bank
+//! measurements run as one engine sweep over `module × bank` (48 tasks);
+//! the invariance checks as a second sweep over modules.
 
-use hira_characterize::banks::{pair_invariance, per_bank_normalized_nrh};
+use hira_characterize::banks::pair_invariance;
 use hira_characterize::config::CharacterizeConfig;
+use hira_characterize::stats::BoxStats;
+use hira_characterize::verify;
+use hira_dram::addr::BankId;
 use hira_dram::ModuleSpec;
+use hira_engine::{metric, Executor, Sweep};
 use hira_softmc::SoftMc;
 
+/// Normalized-threshold distribution of one bank, on a fresh chip model —
+/// the single-bank slice of `banks::per_bank_normalized_nrh`; victim count
+/// comes from `cfg.nrh_victims` like every other threshold study.
+fn bank_stats(spec: &ModuleSpec, bank: BankId, cfg: &CharacterizeConfig) -> BoxStats {
+    let mut mc = SoftMc::new(spec.clone());
+    let victims =
+        verify::victim_spread(mc.module().geometry(), cfg.rows_per_region, cfg.nrh_victims);
+    let norms: Vec<f64> = victims
+        .iter()
+        .filter_map(|&v| verify::measure_victim(&mut mc, bank, v, cfg))
+        .map(|m| m.normalized())
+        .collect();
+    BoxStats::from_samples(&norms)
+}
+
 fn main() {
-    let cfg = CharacterizeConfig { nrh_victims: 6, rows_per_region: 24, ..CharacterizeConfig::fast() };
-    for spec in [ModuleSpec::a0(), ModuleSpec::b0(), ModuleSpec::c0()] {
-        let label = spec.label.clone();
-        let mut mc = SoftMc::new(spec);
+    let cfg = CharacterizeConfig {
+        nrh_victims: 6,
+        rows_per_region: 24,
+        ..CharacterizeConfig::fast()
+    };
+    let ex = Executor::from_env();
+    let modules = [ModuleSpec::a0(), ModuleSpec::b0(), ModuleSpec::c0()];
+    let labels: Vec<String> = modules.iter().map(|s| s.label.clone()).collect();
+    let module_axis: Vec<(String, ModuleSpec)> = modules
+        .iter()
+        .map(|s| (s.label.clone(), s.clone()))
+        .collect();
+    let banks = modules[0].geometry.banks;
+
+    let inv_sweep =
+        Sweep::new("fig06_invariance").axis("module", module_axis.clone(), |_, s| s.clone());
+    let (invariances, inv_run) = ex.run_with(&inv_sweep, |sc| {
+        let mut mc = SoftMc::new(sc.params.clone());
         let inv = pair_invariance(&mut mc, &cfg, 16);
+        let metrics = vec![
+            metric("pairs_probed", inv.pairs_probed as f64),
+            metric("divergent_banks", inv.divergent_banks.len() as f64),
+        ];
+        (inv, metrics)
+    });
+
+    let bank_sweep = Sweep::new("fig06_banks")
+        .axis("module", module_axis, |_, s| s.clone())
+        .axis("bank", (0..banks).map(|b| (b.to_string(), b)), |spec, b| {
+            (spec.clone(), BankId(*b))
+        });
+    let (stats, bank_run) = ex.run_with(&bank_sweep, |sc| {
+        let (spec, bank) = sc.params;
+        let s = bank_stats(spec, *bank, &cfg);
+        (
+            s,
+            vec![
+                metric("norm_nrh_median", s.median),
+                metric("norm_nrh_min", s.min),
+            ],
+        )
+    });
+
+    for (m, (label, inv)) in labels.iter().zip(invariances.iter()).enumerate() {
         println!("== Fig. 6: DIMM {label} ==");
         println!(
             "working-pair sets identical across banks: {} ({} pairs probed; paper: identical)",
-            if inv.divergent_banks.is_empty() { "yes" } else { "NO" },
+            if inv.divergent_banks.is_empty() {
+                "yes"
+            } else {
+                "NO"
+            },
             inv.pairs_probed
         );
-        println!("{:>4} {:>6} {:>6} {:>6} {:>6} {:>6}", "bank", "min", "q1", "med", "q3", "max");
-        for b in per_bank_normalized_nrh(&mut mc, &cfg, 6) {
-            let s = b.normalized;
+        println!(
+            "{:>4} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "bank", "min", "q1", "med", "q3", "max"
+        );
+        for b in 0..banks as usize {
+            let s = stats[m * banks as usize + b];
             println!(
                 "{:>4} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
-                b.bank.0, s.min, s.q1, s.median, s.q3, s.max
+                b, s.min, s.q1, s.median, s.q3, s.max
             );
         }
         println!("(paper: all-bank minimum > 1.56x, per-bank averages 1.80-1.97x)\n");
     }
+    inv_run.emit_if_requested();
+    bank_run.emit_if_requested();
 }

@@ -1,47 +1,64 @@
 //! Fig. 9: periodic-refresh performance vs chip capacity (2-128 Gb):
 //! (a) normalized to the ideal No-Refresh system, (b) normalized to the
-//! Baseline (rank-level REF).
+//! Baseline (rank-level REF). One engine sweep over `scheme × capacity`.
 
-use hira_bench::{mean_ws, periodic_schemes, print_series, Scale};
+use hira_bench::{periodic_schemes, print_series, run_ws, Scale};
+use hira_engine::{flabel, Executor, Sweep};
 use hira_sim::config::{RefreshScheme, SystemConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    let ex = Executor::from_env();
     let no_ra = std::env::args().any(|a| a == "--no-refresh-access");
     let caps = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
-    println!("== Fig. 9: periodic refresh, capacities 2..128 Gb, {} mixes x {} insts ==",
-        scale.mixes, scale.insts);
-    println!("capacity (Gb): {:?}", caps);
 
-    let ideal: Vec<f64> = caps
-        .iter()
-        .map(|&c| mean_ws(&SystemConfig::table3(c, RefreshScheme::NoRefresh), scale))
-        .collect();
-
-    let mut by_scheme = Vec::new();
+    let mut schemes = vec![("NoRefresh", RefreshScheme::NoRefresh)];
     for (name, mut scheme) in periodic_schemes() {
         if no_ra {
             if let RefreshScheme::Hira(h) = scheme {
                 scheme = RefreshScheme::Hira(h.without_refresh_access());
             }
         }
-        let ws: Vec<f64> = caps
-            .iter()
-            .map(|&c| mean_ws(&SystemConfig::table3(c, scheme), scale))
-            .collect();
-        by_scheme.push((name, ws));
+        schemes.push((name, scheme));
     }
+    let names: Vec<&str> = schemes.iter().skip(1).map(|(n, _)| *n).collect();
 
-    println!("\n-- Fig. 9a: WS normalized to No-Refresh (paper: baseline drops to ~0.74 at 128 Gb) --");
-    for (name, ws) in &by_scheme {
-        let norm: Vec<f64> = ws.iter().zip(&ideal).map(|(w, i)| w / i).collect();
+    println!(
+        "== Fig. 9: periodic refresh, capacities 2..128 Gb, {} mixes x {} insts ==",
+        scale.mixes, scale.insts
+    );
+    println!("capacity (Gb): {caps:?}");
+
+    let sweep = Sweep::new("fig09_periodic")
+        .axis("scheme", schemes, |_, s| *s)
+        .axis("cap", caps.map(|c| (flabel(c), c)), |s, c| {
+            SystemConfig::table3(*c, *s)
+        });
+    let t = run_ws(&ex, sweep, scale);
+    let series = |name: &str| -> Vec<f64> {
+        caps.iter()
+            .map(|&c| t.mean(&[("scheme", name), ("cap", &flabel(c))]))
+            .collect()
+    };
+    let ideal = series("NoRefresh");
+    let base = series("Baseline");
+
+    println!(
+        "\n-- Fig. 9a: WS normalized to No-Refresh (paper: baseline drops to ~0.74 at 128 Gb) --"
+    );
+    for name in &names {
+        let norm: Vec<f64> = series(name)
+            .iter()
+            .zip(&ideal)
+            .map(|(w, i)| w / i)
+            .collect();
         print_series(name, &norm);
     }
 
     println!("\n-- Fig. 9b: WS normalized to Baseline (paper: HiRA-2 reaches ~1.126 at 128 Gb) --");
-    let base = by_scheme[0].1.clone();
-    for (name, ws) in &by_scheme {
-        let norm: Vec<f64> = ws.iter().zip(&base).map(|(w, b)| w / b).collect();
+    for name in &names {
+        let norm: Vec<f64> = series(name).iter().zip(&base).map(|(w, b)| w / b).collect();
         print_series(name, &norm);
     }
+    t.emit();
 }

@@ -3,24 +3,49 @@
 //! {0,2,4,8}tRC plus PARA-Legacy.
 
 use hira_core::security::{figure11, legacy_pth};
+use hira_engine::{metric, Executor, Sweep};
+
+const TARGET: f64 = 1e-15;
 
 fn main() {
     let nrhs = [1024u32, 512, 256, 128, 64];
     let slacks = [0u32, 2, 4, 8];
-    let pts = figure11(&nrhs, &slacks, 1e-15);
+
+    let sweep = Sweep::new("fig11_security")
+        .axis("slack", slacks.map(|s| (s.to_string(), s)), |_, s| *s)
+        .axis("nrh", nrhs.map(|n| (n.to_string(), n)), |s, n| (*s, *n));
+    let run = Executor::from_env().run(&sweep, |sc| {
+        let &(slack, nrh) = sc.params;
+        let p = figure11(&[nrh], &[slack], TARGET).remove(0);
+        vec![
+            metric("pth", p.pth),
+            metric("p_rh_x1e15", p.p_rh / TARGET),
+            metric("p_rh_legacy_x1e15", p.p_rh_of_legacy / TARGET),
+        ]
+    });
+
+    let at = |slack: u32, nrh: u32, m: &str| {
+        run.value(
+            &[("slack", &slack.to_string()), ("nrh", &nrh.to_string())],
+            m,
+        )
+    };
 
     println!("== Fig. 11a: PARA probability threshold p_th ==");
     print!("{:>22}", "NRH:");
-    for n in nrhs { print!(" {n:>9}"); }
+    for n in nrhs {
+        print!(" {n:>9}");
+    }
     println!();
     print!("{:>22}", "PARA-Legacy");
-    for n in nrhs { print!(" {:>9.4}", legacy_pth(n, 1e-15)); }
+    for n in nrhs {
+        print!(" {:>9.4}", legacy_pth(n, TARGET));
+    }
     println!();
     for slack in slacks {
         print!("tRefSlack = {slack:>2} tRC    ");
         for n in nrhs {
-            let p = pts.iter().find(|p| p.nrh == n && p.slack_acts == slack).unwrap();
-            print!(" {:>9.4}", p.pth);
+            print!(" {:>9.4}", at(slack, n, "pth"));
         }
         println!();
     }
@@ -28,17 +53,16 @@ fn main() {
     println!("\n== Fig. 11b: overall RowHammer success probability (x 1e-15) ==");
     print!("{:>22}", "PARA-Legacy");
     for n in nrhs {
-        let p = pts.iter().find(|p| p.nrh == n && p.slack_acts == 0).unwrap();
-        print!(" {:>9.4}", p.p_rh_of_legacy / 1e-15);
+        print!(" {:>9.4}", at(0, n, "p_rh_legacy_x1e15"));
     }
     println!("   <- exceeds the 1e-15 target as NRH falls (paper: 1.03..1.32)");
     for slack in slacks {
         print!("tRefSlack = {slack:>2} tRC    ");
         for n in nrhs {
-            let p = pts.iter().find(|p| p.nrh == n && p.slack_acts == slack).unwrap();
-            print!(" {:>9.4}", p.p_rh / 1e-15);
+            print!(" {:>9.4}", at(slack, n, "p_rh_x1e15"));
         }
         println!();
     }
     println!("(our configuration holds 1.0000 across the sweep, as in the paper)");
+    run.emit_if_requested();
 }

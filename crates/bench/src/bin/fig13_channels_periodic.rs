@@ -1,26 +1,46 @@
-//! Fig. 13: channel-count sweep (1-8) for periodic refresh at 2/8/32 Gb.
+//! Fig. 13: channel-count sweep (1-8) for periodic refresh at 2/8/32 Gb —
+//! one engine sweep over `capacity × scheme × channels`.
 
-use hira_bench::{mean_ws, print_series, Scale};
+use hira_bench::{print_series, run_ws, Scale};
 use hira_core::config::HiraConfig;
+use hira_engine::{flabel, Executor, Sweep};
 use hira_sim::config::{RefreshScheme, SystemConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    let ex = Executor::from_env();
     let channels = [1usize, 2, 4, 8];
+    let caps = [2.0, 8.0, 32.0];
     let schemes = [
         ("Baseline", RefreshScheme::Baseline),
         ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
         ("HiRA-4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
     ];
-    for cap in [2.0, 8.0, 32.0] {
-        println!("== Fig. 13: {cap} Gb chips, channels {:?} (normalized to Baseline 1ch/1rk) ==", channels);
-        let base_ref = mean_ws(&SystemConfig::table3(cap, RefreshScheme::Baseline), scale);
-        for (name, scheme) in schemes {
+
+    let sweep = Sweep::new("fig13_channels_periodic")
+        .axis("cap", caps.map(|c| (flabel(c), c)), |_, c| *c)
+        .axis("scheme", schemes, |c, s| (*c, *s))
+        .axis(
+            "ch",
+            channels.map(|c| (c.to_string(), c)),
+            |&(cap, scheme), ch| SystemConfig::table3(cap, scheme).with_geometry(*ch, 1),
+        );
+    let t = run_ws(&ex, sweep, scale);
+
+    for cap in caps {
+        println!(
+            "== Fig. 13: {cap} Gb chips, channels {channels:?} (normalized to Baseline 1ch/1rk) =="
+        );
+        let base_ref = t.mean(&[("cap", &flabel(cap)), ("scheme", "Baseline"), ("ch", "1")]);
+        for (name, _) in schemes {
             let ws: Vec<f64> = channels
                 .iter()
                 .map(|&ch| {
-                    mean_ws(&SystemConfig::table3(cap, scheme).with_geometry(ch, 1), scale)
-                        / base_ref
+                    t.mean(&[
+                        ("cap", &flabel(cap)),
+                        ("scheme", name),
+                        ("ch", &ch.to_string()),
+                    ]) / base_ref
                 })
                 .collect();
             print_series(name, &ws);
@@ -28,4 +48,5 @@ fn main() {
         println!();
     }
     println!("(paper: performance rises with channels; HiRA > Baseline at every channel count)");
+    t.emit();
 }

@@ -1,31 +1,54 @@
-//! Fig. 14: rank-count sweep (1-8, shared command bus) for periodic refresh.
+//! Fig. 14: rank-count sweep (1-8, shared command bus) for periodic refresh
+//! — one engine sweep over `capacity × scheme × ranks`.
 
-use hira_bench::{mean_ws, print_series, Scale};
+use hira_bench::{print_series, run_ws, Scale};
 use hira_core::config::HiraConfig;
+use hira_engine::{flabel, Executor, Sweep};
 use hira_sim::config::{RefreshScheme, SystemConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    let ex = Executor::from_env();
     let ranks = [1usize, 2, 4, 8];
+    let caps = [2.0, 8.0, 32.0];
     let schemes = [
         ("Baseline", RefreshScheme::Baseline),
         ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
         ("HiRA-4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
     ];
-    for cap in [2.0, 8.0, 32.0] {
-        println!("== Fig. 14: {cap} Gb chips, ranks/channel {:?} (normalized to Baseline 1ch/1rk) ==", ranks);
-        let base_ref = mean_ws(&SystemConfig::table3(cap, RefreshScheme::Baseline), scale);
-        for (name, scheme) in schemes {
+
+    let sweep = Sweep::new("fig14_ranks_periodic")
+        .axis("cap", caps.map(|c| (flabel(c), c)), |_, c| *c)
+        .axis("scheme", schemes, |c, s| (*c, *s))
+        .axis(
+            "rk",
+            ranks.map(|r| (r.to_string(), r)),
+            |&(cap, scheme), rk| SystemConfig::table3(cap, scheme).with_geometry(1, *rk),
+        );
+    let t = run_ws(&ex, sweep, scale);
+
+    for cap in caps {
+        println!(
+            "== Fig. 14: {cap} Gb chips, ranks/channel {ranks:?} (normalized to Baseline 1ch/1rk) =="
+        );
+        let base_ref = t.mean(&[("cap", &flabel(cap)), ("scheme", "Baseline"), ("rk", "1")]);
+        for (name, _) in schemes {
             let ws: Vec<f64> = ranks
                 .iter()
-                .map(|&r| {
-                    mean_ws(&SystemConfig::table3(cap, scheme).with_geometry(1, r), scale)
-                        / base_ref
+                .map(|&rk| {
+                    t.mean(&[
+                        ("cap", &flabel(cap)),
+                        ("scheme", name),
+                        ("rk", &rk.to_string()),
+                    ]) / base_ref
                 })
                 .collect();
             print_series(name, &ws);
         }
         println!();
     }
-    println!("(paper: 1->2 ranks helps; beyond 2 the shared command bus erodes gains; HiRA stays ahead)");
+    println!(
+        "(paper: 1->2 ranks helps; beyond 2 the shared command bus erodes gains; HiRA stays ahead)"
+    );
+    t.emit();
 }

@@ -1,28 +1,70 @@
-//! Fig. 15: channel-count sweep for PARA with and without HiRA.
+//! Fig. 15: channel-count sweep for PARA with and without HiRA — one engine
+//! sweep over `NRH × scheme × channels`, where each scheme's `p_th` depends
+//! on the NRH axis (point-dependent expansion), plus one no-defense
+//! baseline point.
 
-use hira_bench::{mean_ws, pth_for, print_series, Scale};
+use hira_bench::{print_series, pth_for, run_ws, Scale};
 use hira_core::config::HiraConfig;
+use hira_engine::{Executor, ScenarioKey, Sweep};
 use hira_sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    let ex = Executor::from_env();
     let channels = [1usize, 2, 4, 8];
-    for nrh in [1024u32, 256, 64] {
-        println!("== Fig. 15: NRH = {nrh}, channels {:?} (normalized to no-defense 1ch/1rk) ==", channels);
-        let base = mean_ws(&SystemConfig::table3(8.0, RefreshScheme::Baseline), scale);
-        let schemes: [(&str, f64, PreventiveMode); 3] = [
-            ("PARA", pth_for(nrh, 0), PreventiveMode::Immediate),
-            ("HiRA-2", pth_for(nrh, 2), PreventiveMode::Hira(HiraConfig::hira_n(2))),
-            ("HiRA-4", pth_for(nrh, 4), PreventiveMode::Hira(HiraConfig::hira_n(4))),
-        ];
-        for (name, pth, mode) in schemes {
+    let nrhs = [1024u32, 256, 64];
+    let names = ["PARA", "HiRA-2", "HiRA-4"];
+
+    let mut sweep = Sweep::new("fig15_channels_para")
+        .axis("nrh", nrhs.map(|n| (n.to_string(), n)), |_, n| *n)
+        .expand("scheme", |_, &nrh| {
+            let schemes: [(&str, f64, PreventiveMode); 3] = [
+                ("PARA", pth_for(nrh, 0), PreventiveMode::Immediate),
+                (
+                    "HiRA-2",
+                    pth_for(nrh, 2),
+                    PreventiveMode::Hira(HiraConfig::hira_n(2)),
+                ),
+                (
+                    "HiRA-4",
+                    pth_for(nrh, 4),
+                    PreventiveMode::Hira(HiraConfig::hira_n(4)),
+                ),
+            ];
+            schemes
+                .into_iter()
+                .map(|(n, pth, mode)| (n.to_string(), (pth, mode)))
+                .collect()
+        })
+        .axis(
+            "ch",
+            channels.map(|c| (c.to_string(), c)),
+            |&(pth, mode), ch| {
+                SystemConfig::table3(8.0, RefreshScheme::Baseline)
+                    .with_geometry(*ch, 1)
+                    .with_preventive(pth, mode)
+            },
+        );
+    sweep.push(
+        ScenarioKey::root().with("scheme", "no-defense"),
+        SystemConfig::table3(8.0, RefreshScheme::Baseline),
+    );
+    let t = run_ws(&ex, sweep, scale);
+    let base = t.mean(&[("scheme", "no-defense")]);
+
+    for nrh in nrhs {
+        println!(
+            "== Fig. 15: NRH = {nrh}, channels {channels:?} (normalized to no-defense 1ch/1rk) =="
+        );
+        for name in names {
             let ws: Vec<f64> = channels
                 .iter()
                 .map(|&ch| {
-                    let cfg = SystemConfig::table3(8.0, RefreshScheme::Baseline)
-                        .with_geometry(ch, 1)
-                        .with_preventive(pth, mode);
-                    mean_ws(&cfg, scale) / base
+                    t.mean(&[
+                        ("nrh", &nrh.to_string()),
+                        ("scheme", name),
+                        ("ch", &ch.to_string()),
+                    ]) / base
                 })
                 .collect();
             print_series(name, &ws);
@@ -30,4 +72,5 @@ fn main() {
         println!();
     }
     println!("(paper: more channels help; HiRA beats PARA at every channel count and gap widens at low NRH)");
+    t.emit();
 }

@@ -1,28 +1,66 @@
-//! Fig. 16: rank-count sweep for PARA with and without HiRA.
+//! Fig. 16: rank-count sweep for PARA with and without HiRA — one engine
+//! sweep over `NRH × scheme × ranks` plus one no-defense baseline point.
 
-use hira_bench::{mean_ws, pth_for, print_series, Scale};
+use hira_bench::{print_series, pth_for, run_ws, Scale};
 use hira_core::config::HiraConfig;
+use hira_engine::{Executor, ScenarioKey, Sweep};
 use hira_sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
 
 fn main() {
     let scale = Scale::from_env();
+    let ex = Executor::from_env();
     let ranks = [1usize, 2, 4, 8];
-    for nrh in [1024u32, 256, 64] {
-        println!("== Fig. 16: NRH = {nrh}, ranks/channel {:?} (normalized to no-defense 1ch/1rk) ==", ranks);
-        let base = mean_ws(&SystemConfig::table3(8.0, RefreshScheme::Baseline), scale);
-        let schemes: [(&str, f64, PreventiveMode); 3] = [
-            ("PARA", pth_for(nrh, 0), PreventiveMode::Immediate),
-            ("HiRA-2", pth_for(nrh, 2), PreventiveMode::Hira(HiraConfig::hira_n(2))),
-            ("HiRA-4", pth_for(nrh, 4), PreventiveMode::Hira(HiraConfig::hira_n(4))),
-        ];
-        for (name, pth, mode) in schemes {
+    let nrhs = [1024u32, 256, 64];
+    let names = ["PARA", "HiRA-2", "HiRA-4"];
+
+    let mut sweep = Sweep::new("fig16_ranks_para")
+        .axis("nrh", nrhs.map(|n| (n.to_string(), n)), |_, n| *n)
+        .expand("scheme", |_, &nrh| {
+            let schemes: [(&str, f64, PreventiveMode); 3] = [
+                ("PARA", pth_for(nrh, 0), PreventiveMode::Immediate),
+                (
+                    "HiRA-2",
+                    pth_for(nrh, 2),
+                    PreventiveMode::Hira(HiraConfig::hira_n(2)),
+                ),
+                (
+                    "HiRA-4",
+                    pth_for(nrh, 4),
+                    PreventiveMode::Hira(HiraConfig::hira_n(4)),
+                ),
+            ];
+            schemes
+                .into_iter()
+                .map(|(n, pth, mode)| (n.to_string(), (pth, mode)))
+                .collect()
+        })
+        .axis(
+            "rk",
+            ranks.map(|r| (r.to_string(), r)),
+            |&(pth, mode), rk| {
+                SystemConfig::table3(8.0, RefreshScheme::Baseline)
+                    .with_geometry(1, *rk)
+                    .with_preventive(pth, mode)
+            },
+        );
+    sweep.push(
+        ScenarioKey::root().with("scheme", "no-defense"),
+        SystemConfig::table3(8.0, RefreshScheme::Baseline),
+    );
+    let t = run_ws(&ex, sweep, scale);
+    let base = t.mean(&[("scheme", "no-defense")]);
+
+    for nrh in nrhs {
+        println!("== Fig. 16: NRH = {nrh}, ranks/channel {ranks:?} (normalized to no-defense 1ch/1rk) ==");
+        for name in names {
             let ws: Vec<f64> = ranks
                 .iter()
-                .map(|&r| {
-                    let cfg = SystemConfig::table3(8.0, RefreshScheme::Baseline)
-                        .with_geometry(1, r)
-                        .with_preventive(pth, mode);
-                    mean_ws(&cfg, scale) / base
+                .map(|&rk| {
+                    t.mean(&[
+                        ("nrh", &nrh.to_string()),
+                        ("scheme", name),
+                        ("rk", &rk.to_string()),
+                    ]) / base
                 })
                 .collect();
             print_series(name, &ws);
@@ -30,4 +68,5 @@ fn main() {
         println!();
     }
     println!("(paper: HiRA-2/4 improve over PARA by 30.5 %/42.9 % even at 8 ranks, NRH=64)");
+    t.emit();
 }

@@ -1,10 +1,12 @@
 //! Table 1 / Table 4: per-module HiRA coverage and normalized RowHammer
-//! thresholds for the seven tested DIMMs.
+//! thresholds for the seven tested DIMMs — one engine task per module.
 
 use hira_bench::Scale;
 use hira_characterize::config::CharacterizeConfig;
-use hira_characterize::modules::characterize_table1;
+use hira_characterize::modules::{characterize_module, ModuleCharacterization};
 use hira_characterize::report::render_table1;
+use hira_dram::ModuleSpec;
+use hira_engine::{metric, Executor, Sweep};
 
 fn main() {
     let scale = Scale::from_env();
@@ -18,6 +20,25 @@ fn main() {
     println!("== Table 1 / Table 4: tested DDR4 modules (t1=t2=3 ns) ==");
     println!("(paper coverage averages: A0 25.0  A1 26.6  B0 32.6  B1 31.6  C0 35.3  C1 38.4  C2 36.1 %)");
     println!("(paper normalized NRH averages: 1.88-1.96)");
-    let rows = characterize_table1(&cfg);
+
+    let sweep = Sweep::new("table1_modules").axis(
+        "module",
+        ModuleSpec::table1_modules()
+            .into_iter()
+            .map(|s| (s.label.clone(), s)),
+        |_, s| s.clone(),
+    );
+    let (rows, run): (Vec<ModuleCharacterization>, _) =
+        Executor::from_env().run_with(&sweep, |sc| {
+            let m = characterize_module(sc.params.clone(), &cfg);
+            let metrics = vec![
+                metric("coverage_mean", m.coverage.mean),
+                metric("norm_nrh_mean", m.norm_nrh.mean),
+                metric("hira_capable", f64::from(u8::from(m.hira_capable))),
+            ];
+            (m, metrics)
+        });
+
     print!("{}", render_table1(&rows));
+    run.emit_if_requested();
 }

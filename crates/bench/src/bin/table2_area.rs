@@ -1,20 +1,51 @@
 //! Table 2: HiRA-MC hardware complexity (area + access latency) and the
 //! §6.2 worst-case search latency.
 
-use hira_core::area::table2_default;
+use hira_core::area::{table2_default, AreaReport};
+use hira_engine::{metric, Executor, ScenarioKey, Sweep};
 
 fn main() {
-    let r = table2_default();
+    let mut sweep = Sweep::from_points("table2_area", hira_engine::DEFAULT_BASE_SEED, Vec::new());
+    sweep.push(ScenarioKey::root().with("process", "22nm"), ());
+    let (reports, run): (Vec<AreaReport>, _) = Executor::from_env().run_with(&sweep, |_| {
+        let r = table2_default();
+        let mut ms = vec![
+            metric("total_mm2", r.total_mm2),
+            metric("die_fraction_pct", r.die_fraction * 100.0),
+            metric("worst_case_search_ns", r.worst_case_search_ns),
+        ];
+        for s in &r.structures {
+            ms.push(metric(format!("area_mm2/{}", s.name), s.area_mm2));
+            ms.push(metric(format!("access_ns/{}", s.name), s.access_ns));
+        }
+        (r, ms)
+    });
+    let r = &reports[0];
+
     println!("== Table 2: HiRA-MC components (per rank, analytic 22 nm SRAM model) ==");
-    println!("{:<28} {:>10} {:>12} {:>12}", "component", "bits", "area (mm^2)", "access (ns)");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12}",
+        "component", "bits", "area (mm^2)", "access (ns)"
+    );
     for s in &r.structures {
-        println!("{:<28} {:>10} {:>12.5} {:>12.3}", s.name, s.bits, s.area_mm2, s.access_ns);
+        println!(
+            "{:<28} {:>10} {:>12.5} {:>12.3}",
+            s.name, s.bits, s.area_mm2, s.access_ns
+        );
     }
     println!("{:<28} {:>10} {:>12.5}", "overall", "", r.total_mm2);
-    println!("fraction of reference die: {:.5} %  (paper: 0.0023 %)", r.die_fraction * 100.0);
+    println!(
+        "fraction of reference die: {:.5} %  (paper: 0.0023 %)",
+        r.die_fraction * 100.0
+    );
     println!(
         "worst-case search latency: {:.2} ns (paper: 6.31 ns; must be < tRP 14.25 ns: {})",
         r.worst_case_search_ns,
-        if r.worst_case_search_ns < 14.25 { "ok" } else { "VIOLATED" }
+        if r.worst_case_search_ns < 14.25 {
+            "ok"
+        } else {
+            "VIOLATED"
+        }
     );
+    run.emit_if_requested();
 }

@@ -1,19 +1,44 @@
 //! Extension experiment: RowHammer thresholds vs temperature, with and
-//! without HiRA (the §4.1 heater rig, exercised).
+//! without HiRA (the §4.1 heater rig, exercised) — one engine task per
+//! heater setpoint, each against its own software chip.
 
 use hira_characterize::config::CharacterizeConfig;
-use hira_characterize::temperature::sweep;
+use hira_characterize::temperature::{sweep as temp_sweep, TemperaturePoint};
 use hira_dram::addr::BankId;
 use hira_dram::ModuleSpec;
+use hira_engine::{flabel, metric, Executor, Sweep};
 use hira_softmc::SoftMc;
 
 fn main() {
-    let mut mc = SoftMc::new(ModuleSpec::c0());
-    let cfg = CharacterizeConfig { nrh_victims: 12, ..CharacterizeConfig::fast() };
+    let cfg = CharacterizeConfig {
+        nrh_victims: 12,
+        ..CharacterizeConfig::fast()
+    };
+    let temps = [35.0, 45.0, 55.0, 65.0, 75.0, 85.0];
+
+    let sweep =
+        Sweep::new("temperature_sweep").axis("temp_c", temps.map(|t| (flabel(t), t)), |_, t| *t);
+    let (points, run): (Vec<TemperaturePoint>, _) = Executor::from_env().run_with(&sweep, |sc| {
+        let mut mc = SoftMc::new(ModuleSpec::c0());
+        let p = temp_sweep(&mut mc, BankId(0), &[*sc.params], &cfg).remove(0);
+        let metrics = vec![
+            metric("abs_nrh_mean", p.absolute.mean),
+            metric("norm_nrh_mean", p.normalized.mean),
+        ];
+        (p, metrics)
+    });
+
     println!("== Extension: thresholds vs heater setpoint (module C0) ==");
-    println!("{:>6} {:>14} {:>14}", "deg C", "abs NRH mean", "normalized mean");
-    for p in sweep(&mut mc, BankId(0), &[35.0, 45.0, 55.0, 65.0, 75.0, 85.0], &cfg) {
-        println!("{:>6.1} {:>14.0} {:>14.2}", p.temp_c, p.absolute.mean, p.normalized.mean);
+    println!(
+        "{:>6} {:>14} {:>14}",
+        "deg C", "abs NRH mean", "normalized mean"
+    );
+    for p in &points {
+        println!(
+            "{:>6.1} {:>14.0} {:>14.2}",
+            p.temp_c, p.absolute.mean, p.normalized.mean
+        );
     }
     println!("(threshold falls with temperature; HiRA's 1.9x ratio is temperature-invariant)");
+    run.emit_if_requested();
 }

@@ -1,9 +1,11 @@
 //! # hira-bench — the figure/table regeneration harness
 //!
-//! One binary per table and figure of the paper (see `src/bin/`), built on
-//! the shared sweep helpers here. Every binary prints the same rows/series
-//! the paper reports; absolute values come from our simulator/model, the
-//! *shape* (orderings, trends, crossovers) is the reproduction target.
+//! One binary per table and figure of the paper (see `src/bin/`), each of
+//! which declares its experiment space as a [`hira_engine::Sweep`] and runs
+//! it through the engine's deterministic multi-threaded [`Executor`]. Every
+//! binary prints the same rows/series the paper reports; absolute values
+//! come from our simulator/model, the *shape* (orderings, trends,
+//! crossovers) is the reproduction target.
 //!
 //! Scale knobs (all binaries):
 //!
@@ -11,14 +13,21 @@
 //! * `HIRA_INSTS` — measured instructions per core (default 60 000;
 //!   paper: 200 M),
 //! * `HIRA_ROWS` — characterization rows per region (default 48;
-//!   paper: 2 048).
+//!   paper: 2 048),
+//! * `HIRA_THREADS` — engine worker threads (default: available
+//!   parallelism); results are bit-identical for any value,
+//! * `HIRA_BENCH_DIR` — when set, every binary additionally writes its
+//!   machine-readable `BENCH_<sweep>.json` result set there.
 
 use hira_core::config::HiraConfig;
+use hira_engine::{metric, Executor, ScenarioKey, Sweep};
 use hira_sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
 use hira_sim::system::System;
 use hira_sim::workloads::{mixes, Benchmark, Mix};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Mutex;
+
+pub use hira_engine::RunSet;
 
 /// Experiment scale options, read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +46,10 @@ impl Scale {
     /// Reads `HIRA_MIXES` / `HIRA_INSTS` / `HIRA_ROWS` with defaults.
     pub fn from_env() -> Self {
         let get = |k: &str, d: u64| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         let insts = get("HIRA_INSTS", 60_000);
         Scale {
@@ -49,56 +61,212 @@ impl Scale {
     }
 }
 
-/// Global cache of alone-IPC values, keyed by benchmark name and geometry.
-static ALONE_IPC: Mutex<Option<HashMap<(String, usize, usize), f64>>> = Mutex::new(None);
+/// Alone-IPC cache key: benchmark name, channels, ranks, and the Scale
+/// dimensions the simulation depends on (measured + warmup instructions) —
+/// so runs at different scales in one process never share stale values.
+type AloneKey = (String, usize, usize, u64, u64);
 
-/// IPC of `bench` running alone on an ideal (no-refresh, no-PARA) system of
-/// the given geometry — the denominator of weighted speedup.
-pub fn alone_ipc(bench: &'static Benchmark, channels: usize, ranks: usize, scale: Scale) -> f64 {
-    let key = (bench.name.to_owned(), channels, ranks);
-    if let Some(v) = ALONE_IPC.lock().unwrap().as_ref().and_then(|m| m.get(&key).copied()) {
-        return v;
-    }
+fn alone_key(bench: &Benchmark, channels: usize, ranks: usize, scale: Scale) -> AloneKey {
+    (
+        bench.name.to_owned(),
+        channels,
+        ranks,
+        scale.insts,
+        scale.warmup,
+    )
+}
+
+/// Global cache of alone-IPC values, keyed by benchmark name and geometry.
+static ALONE_IPC: Mutex<Option<HashMap<AloneKey, f64>>> = Mutex::new(None);
+
+fn cached_alone_ipc(key: &AloneKey) -> Option<f64> {
+    ALONE_IPC
+        .lock()
+        .unwrap()
+        .as_ref()
+        .and_then(|m| m.get(key).copied())
+}
+
+fn store_alone_ipc(key: AloneKey, ipc: f64) {
+    ALONE_IPC
+        .lock()
+        .unwrap()
+        .get_or_insert_with(HashMap::new)
+        .insert(key, ipc);
+}
+
+/// The (pure, deterministic) computation behind [`alone_ipc`].
+fn compute_alone_ipc(
+    bench: &'static Benchmark,
+    channels: usize,
+    ranks: usize,
+    scale: Scale,
+) -> f64 {
     let mut cfg = SystemConfig::table3(8.0, RefreshScheme::NoRefresh)
         .with_geometry(channels, ranks)
         .with_insts(scale.insts, scale.warmup);
     cfg.cores = 1;
-    let mix = Mix { id: 0, benchmarks: vec![bench] };
-    let ipc = System::new(cfg, &mix).run().ipc[0];
-    let mut guard = ALONE_IPC.lock().unwrap();
-    guard.get_or_insert_with(HashMap::new).insert(key, ipc);
+    let mix = Mix {
+        id: 0,
+        benchmarks: vec![bench],
+    };
+    System::new(cfg, &mix).run().ipc[0]
+}
+
+/// IPC of `bench` running alone on an ideal (no-refresh, no-PARA) system of
+/// the given geometry — the denominator of weighted speedup. Memoized; the
+/// value is a pure function of its arguments, so concurrent computation of
+/// the same key is merely redundant, never divergent.
+pub fn alone_ipc(bench: &'static Benchmark, channels: usize, ranks: usize, scale: Scale) -> f64 {
+    let key = alone_key(bench, channels, ranks, scale);
+    if let Some(v) = cached_alone_ipc(&key) {
+        return v;
+    }
+    let ipc = compute_alone_ipc(bench, channels, ranks, scale);
+    store_alone_ipc(key, ipc);
     ipc
 }
 
-/// Runs one configuration over the mix suite (in parallel) and returns the
-/// mean weighted speedup.
-pub fn mean_ws(base_cfg: &SystemConfig, scale: Scale) -> f64 {
-    let suite = mixes(scale.mixes, base_cfg.cores, 0xA11CE);
-    // Warm the alone-IPC cache serially (it locks).
-    for m in &suite {
-        for b in &m.benchmarks {
-            alone_ipc(b, base_cfg.channels, base_cfg.ranks, scale);
+/// Pre-computes every alone-IPC value a weighted-speedup sweep will need —
+/// one engine task per distinct `(benchmark, geometry)` pair — so the main
+/// sweep's tasks only ever hit the cache.
+fn warm_alone_cache(ex: &Executor, sweep: &Sweep<SystemConfig>, suite: &[Mix], scale: Scale) {
+    let geoms: BTreeSet<(usize, usize)> = sweep
+        .points()
+        .iter()
+        .map(|(_, c)| (c.channels, c.ranks))
+        .collect();
+    let mut benches: Vec<&'static Benchmark> = Vec::new();
+    for mix in suite {
+        for b in &mix.benchmarks {
+            if !benches.iter().any(|have| have.name == b.name) {
+                benches.push(b);
+            }
         }
     }
-    let results: Vec<f64> = std::thread::scope(|s| {
-        let handles: Vec<_> = suite
-            .iter()
-            .map(|mix| {
-                let cfg = base_cfg.clone().with_insts(scale.insts, scale.warmup);
-                s.spawn(move || {
-                    let r = System::new(cfg, mix).run();
-                    let alone: Vec<f64> = mix
-                        .benchmarks
-                        .iter()
-                        .map(|b| alone_ipc(b, base_cfg.channels, base_cfg.ranks, scale))
-                        .collect();
-                    r.weighted_speedup(&alone)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+    let mut points = Vec::new();
+    for &(ch, rk) in &geoms {
+        for &b in &benches {
+            if cached_alone_ipc(&alone_key(b, ch, rk, scale)).is_none() {
+                let key = ScenarioKey::root()
+                    .with("bench", b.name)
+                    .with("ch", ch.to_string())
+                    .with("rk", rk.to_string());
+                points.push((key, (b, ch, rk)));
+            }
+        }
+    }
+    let warm = Sweep::from_points("alone_ipc", sweep.base_seed(), points);
+    let ipcs = ex.map(&warm, |sc| {
+        let &(b, ch, rk) = sc.params;
+        compute_alone_ipc(b, ch, rk, scale)
     });
-    results.iter().sum::<f64>() / results.len() as f64
+    for ((_, (b, ch, rk)), ipc) in warm.points().iter().zip(ipcs) {
+        store_alone_ipc(alone_key(b, *ch, *rk, scale), ipc);
+    }
+}
+
+/// One executed point of a weighted-speedup sweep: a system configuration
+/// paired with the mix it runs.
+#[derive(Debug, Clone)]
+struct WsPoint {
+    cfg: SystemConfig,
+    mix: Mix,
+}
+
+/// A weighted-speedup table: the raw per-mix [`RunSet`] plus the per-config
+/// means (the numbers every figure plots).
+#[derive(Debug, Clone)]
+pub struct WsTable {
+    /// Per-`(config, mix)` records (`ws` metric), for emission/inspection.
+    pub run: RunSet,
+    means: Vec<(ScenarioKey, f64)>,
+}
+
+impl WsTable {
+    /// Mean weighted speedup of the first config point matching `filters`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no config point matches — a missing point in a figure
+    /// binary is a programming error.
+    pub fn mean(&self, filters: &[(&str, &str)]) -> f64 {
+        self.means
+            .iter()
+            .find(|(k, _)| k.matches(filters))
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("no ws point matches {filters:?}"))
+    }
+
+    /// All per-config means, in sweep order.
+    pub fn means(&self) -> &[(ScenarioKey, f64)] {
+        &self.means
+    }
+
+    /// Writes `BENCH_<sweep>.json` when `HIRA_BENCH_DIR` is set.
+    pub fn emit(&self) {
+        self.run.emit_if_requested();
+    }
+}
+
+/// Runs a sweep of system configurations over the mix suite and returns the
+/// mean weighted speedup per configuration.
+///
+/// The sweep is expanded with a `mix` axis (cartesian: every configuration ×
+/// every mix), every resulting point is simulated by the engine executor,
+/// and the `mix` axis is then averaged away. All parallelism — including the
+/// alone-IPC warm-up — goes through the engine; results are bit-identical
+/// for any `HIRA_THREADS`.
+///
+/// # Panics
+///
+/// Panics if `sweep` is empty or its configurations disagree on core count.
+pub fn run_ws(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTable {
+    assert!(!sweep.is_empty(), "weighted-speedup sweep has no points");
+    assert!(
+        scale.mixes >= 1,
+        "HIRA_MIXES must be >= 1 (a data point needs at least one mix)"
+    );
+    let cores = sweep.points()[0].1.cores;
+    assert!(
+        sweep.points().iter().all(|(_, c)| c.cores == cores),
+        "all configurations of one sweep must share a core count"
+    );
+    let suite = mixes(scale.mixes, cores, 0xA11CE);
+    warm_alone_cache(ex, &sweep, &suite, scale);
+
+    let full = sweep.expand("mix", |_, cfg| {
+        suite
+            .iter()
+            .map(|m| {
+                let point = WsPoint {
+                    cfg: cfg.clone().with_insts(scale.insts, scale.warmup),
+                    mix: m.clone(),
+                };
+                (m.id.to_string(), point)
+            })
+            .collect()
+    });
+    let run = ex.run(&full, |sc| {
+        let WsPoint { cfg, mix } = sc.params;
+        let r = System::new(cfg.clone(), mix).run();
+        let alone: Vec<f64> = mix
+            .benchmarks
+            .iter()
+            .map(|b| alone_ipc(b, cfg.channels, cfg.ranks, scale))
+            .collect();
+        vec![metric("ws", r.weighted_speedup(&alone))]
+    });
+    let means = run.mean_over("mix", "ws");
+    WsTable { run, means }
+}
+
+/// Mean weighted speedup of a single configuration over the mix suite —
+/// a one-point [`run_ws`] sweep.
+pub fn mean_ws(base_cfg: &SystemConfig, scale: Scale) -> f64 {
+    let mut sweep = Sweep::from_points("mean_ws", hira_engine::DEFAULT_BASE_SEED, Vec::new());
+    sweep.push(ScenarioKey::root(), base_cfg.clone());
+    run_ws(&Executor::from_env(), sweep, scale).mean(&[])
 }
 
 /// The periodic-refresh configurations of Fig. 9 for one chip capacity.
@@ -117,10 +285,26 @@ pub fn periodic_schemes() -> Vec<(&'static str, RefreshScheme)> {
 pub fn preventive_schemes(nrh: u32) -> Vec<(&'static str, f64, PreventiveMode)> {
     vec![
         ("PARA", pth_for(nrh, 0), PreventiveMode::Immediate),
-        ("HiRA-0", pth_for(nrh, 0), PreventiveMode::Hira(HiraConfig::hira_n(0))),
-        ("HiRA-2", pth_for(nrh, 2), PreventiveMode::Hira(HiraConfig::hira_n(2))),
-        ("HiRA-4", pth_for(nrh, 4), PreventiveMode::Hira(HiraConfig::hira_n(4))),
-        ("HiRA-8", pth_for(nrh, 8), PreventiveMode::Hira(HiraConfig::hira_n(8))),
+        (
+            "HiRA-0",
+            pth_for(nrh, 0),
+            PreventiveMode::Hira(HiraConfig::hira_n(0)),
+        ),
+        (
+            "HiRA-2",
+            pth_for(nrh, 2),
+            PreventiveMode::Hira(HiraConfig::hira_n(2)),
+        ),
+        (
+            "HiRA-4",
+            pth_for(nrh, 4),
+            PreventiveMode::Hira(HiraConfig::hira_n(4)),
+        ),
+        (
+            "HiRA-8",
+            pth_for(nrh, 8),
+            PreventiveMode::Hira(HiraConfig::hira_n(8)),
+        ),
     ]
 }
 
@@ -158,5 +342,50 @@ mod tests {
     #[test]
     fn pth_is_monotone_in_nrh() {
         assert!(pth_for(64, 0) > pth_for(1024, 0));
+    }
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            mixes: 2,
+            insts: 2_000,
+            warmup: 400,
+            rows: 16,
+        }
+    }
+
+    #[test]
+    fn run_ws_means_match_engine_records() {
+        let sweep = Sweep::new("ws_smoke").axis(
+            "scheme",
+            [
+                ("NoRefresh", RefreshScheme::NoRefresh),
+                ("Baseline", RefreshScheme::Baseline),
+            ],
+            |_, s| SystemConfig::table3(8.0, *s),
+        );
+        let t = run_ws(&Executor::with_threads(2), sweep, tiny_scale());
+        assert_eq!(t.means().len(), 2);
+        // The mean over the mix axis really is the average of the records.
+        let per_mix: Vec<f64> = t
+            .run
+            .records
+            .iter()
+            .filter(|r| r.metric == "ws" && r.key.matches(&[("scheme", "NoRefresh")]))
+            .map(|r| r.value)
+            .collect();
+        assert_eq!(per_mix.len(), 2);
+        let mean = per_mix.iter().sum::<f64>() / per_mix.len() as f64;
+        assert!((t.mean(&[("scheme", "NoRefresh")]) - mean).abs() < 1e-12);
+        // Refresh can only cost performance relative to the ideal system.
+        assert!(t.mean(&[("scheme", "Baseline")]) <= t.mean(&[("scheme", "NoRefresh")]));
+    }
+
+    #[test]
+    fn mean_ws_agrees_with_single_point_sweep() {
+        let scale = tiny_scale();
+        let cfg = SystemConfig::table3(8.0, RefreshScheme::Baseline);
+        let a = mean_ws(&cfg, scale);
+        let b = mean_ws(&cfg, scale);
+        assert_eq!(a, b, "mean_ws must be deterministic");
     }
 }

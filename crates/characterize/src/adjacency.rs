@@ -62,7 +62,11 @@ pub fn reverse_engineer_aggressors(
 /// bulk experiments once `reverse_engineer_aggressors` has validated it.
 pub fn aggressors_via_mapping(mc: &SoftMc, victim: RowId) -> Vec<RowId> {
     let rows_per_bank = mc.module().geometry().rows_per_bank;
-    let mut a = mc.module().spec().mapping.logical_aggressors(victim, rows_per_bank);
+    let mut a = mc
+        .module()
+        .spec()
+        .mapping
+        .logical_aggressors(victim, rows_per_bank);
     a.sort();
     a
 }
@@ -78,7 +82,10 @@ mod tests {
         let victim = RowId(1_024 + 17);
         let expected = aggressors_via_mapping(&mc, victim);
         let found = reverse_engineer_aggressors(&mut mc, BankId(0), victim, 512);
-        assert_eq!(found, expected, "single-sided discovery disagrees with mapping");
+        assert_eq!(
+            found, expected,
+            "single-sided discovery disagrees with mapping"
+        );
         assert_eq!(found.len(), 2);
     }
 
@@ -86,7 +93,11 @@ mod tests {
     fn edge_row_has_single_neighbor() {
         let mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x78));
         // Physical row 0's logical address:
-        let log0 = mc.module().spec().mapping.to_logical(hira_dram::addr::PhysRowId(0));
+        let log0 = mc
+            .module()
+            .spec()
+            .mapping
+            .to_logical(hira_dram::addr::PhysRowId(0));
         let a = aggressors_via_mapping(&mc, log0);
         assert_eq!(a.len(), 1);
     }

@@ -9,7 +9,7 @@ use crate::config::CharacterizeConfig;
 use crate::coverage::pair_works;
 use crate::stats::BoxStats;
 use crate::verify;
-use hira_dram::addr::{BankId, RowId};
+use hira_dram::addr::BankId;
 use hira_softmc::SoftMc;
 
 /// Result of the §4.4.1 invariance check.
@@ -23,7 +23,11 @@ pub struct PairInvariance {
 
 /// Probes a sample of row pairs in every bank and checks that the set of
 /// working pairs is identical across banks.
-pub fn pair_invariance(mc: &mut SoftMc, cfg: &CharacterizeConfig, sample_pairs: usize) -> PairInvariance {
+pub fn pair_invariance(
+    mc: &mut SoftMc,
+    cfg: &CharacterizeConfig,
+    sample_pairs: usize,
+) -> PairInvariance {
     let geom = *mc.module().geometry();
     let banks = geom.banks;
     let tested = geom.tested_rows(cfg.rows_per_region);
@@ -54,7 +58,10 @@ pub fn pair_invariance(mc: &mut SoftMc, cfg: &CharacterizeConfig, sample_pairs: 
             divergent.push(bank);
         }
     }
-    PairInvariance { pairs_probed: pairs.len(), divergent_banks: divergent }
+    PairInvariance {
+        pairs_probed: pairs.len(),
+        divergent_banks: divergent,
+    }
 }
 
 /// Per-bank normalized RowHammer threshold distribution (one Fig. 6 box).
@@ -73,9 +80,7 @@ pub fn per_bank_normalized_nrh(
     victims_per_bank: usize,
 ) -> Vec<BankNrh> {
     let geom = *mc.module().geometry();
-    let tested = geom.tested_rows(cfg.rows_per_region);
-    let step = (tested.len() / victims_per_bank.max(1)).max(1);
-    let victims: Vec<RowId> = tested.iter().copied().step_by(step).take(victims_per_bank).collect();
+    let victims = verify::victim_spread(&geom, cfg.rows_per_region, victims_per_bank);
 
     (0..geom.banks)
         .map(|bank_idx| {
@@ -85,7 +90,10 @@ pub fn per_bank_normalized_nrh(
                 .filter_map(|&v| verify::measure_victim(mc, bank, v, cfg))
                 .map(|m| m.normalized())
                 .collect();
-            BankNrh { bank, normalized: BoxStats::from_samples(&norms) }
+            BankNrh {
+                bank,
+                normalized: BoxStats::from_samples(&norms),
+            }
         })
         .collect()
 }
@@ -98,7 +106,10 @@ mod tests {
     #[test]
     fn working_pairs_are_identical_across_banks() {
         let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x31));
-        let cfg = CharacterizeConfig { rows_per_region: 32, ..CharacterizeConfig::fast() };
+        let cfg = CharacterizeConfig {
+            rows_per_region: 32,
+            ..CharacterizeConfig::fast()
+        };
         let inv = pair_invariance(&mut mc, &cfg, 12);
         assert!(inv.pairs_probed >= 10);
         assert!(
@@ -111,7 +122,10 @@ mod tests {
     #[test]
     fn every_bank_shows_a_real_second_activation() {
         let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x32));
-        let cfg = CharacterizeConfig { nrh_victims: 3, ..CharacterizeConfig::fast() };
+        let cfg = CharacterizeConfig {
+            nrh_victims: 3,
+            ..CharacterizeConfig::fast()
+        };
         let per_bank = per_bank_normalized_nrh(&mut mc, &cfg, 3);
         assert_eq!(per_bank.len(), 16);
         for b in &per_bank {

@@ -35,7 +35,11 @@ impl CoverageResult {
 
     /// The set of rows with zero coverage (§4.2 observation 3).
     pub fn zero_coverage_rows(&self) -> Vec<RowId> {
-        self.per_row.iter().filter(|&&(_, c)| c == 0.0).map(|&(r, _)| r).collect()
+        self.per_row
+            .iter()
+            .filter(|&&(_, c)| c == 0.0)
+            .map(|&(r, _)| r)
+            .collect()
     }
 }
 
@@ -67,7 +71,9 @@ pub fn pair_works(
             .read_row(bank, row_b);
         let r = mc.run(&p);
         let flips_a = r.flips_of(bank, row_a, pattern).expect("row A read back");
-        let flips_b = r.flips_of(bank, row_b, pattern.inverse()).expect("row B read back");
+        let flips_b = r
+            .flips_of(bank, row_b, pattern.inverse())
+            .expect("row B read back");
         if flips_a + flips_b > 0 {
             return false;
         }
@@ -79,8 +85,16 @@ pub fn pair_works(
 /// (Algorithm 1, outer loops).
 pub fn measure(mc: &mut SoftMc, bank: BankId, cfg: &CharacterizeConfig) -> CoverageResult {
     let tested = mc.module().geometry().tested_rows(cfg.rows_per_region);
-    let row_as: Vec<RowId> = tested.iter().copied().step_by(cfg.row_a_stride.max(1)).collect();
-    let row_bs: Vec<RowId> = tested.iter().copied().step_by(cfg.row_b_stride.max(1)).collect();
+    let row_as: Vec<RowId> = tested
+        .iter()
+        .copied()
+        .step_by(cfg.row_a_stride.max(1))
+        .collect();
+    let row_bs: Vec<RowId> = tested
+        .iter()
+        .copied()
+        .step_by(cfg.row_b_stride.max(1))
+        .collect();
 
     let mut per_row = Vec::with_capacity(row_as.len());
     for &row_a in &row_as {
@@ -95,19 +109,34 @@ pub fn measure(mc: &mut SoftMc, bank: BankId, cfg: &CharacterizeConfig) -> Cover
                 works += 1;
             }
         }
-        let coverage = if probed == 0 { 0.0 } else { works as f64 / probed as f64 };
+        let coverage = if probed == 0 {
+            0.0
+        } else {
+            works as f64 / probed as f64
+        };
         per_row.push((row_a, coverage));
     }
-    CoverageResult { hira: cfg.hira, bank, per_row }
+    CoverageResult {
+        hira: cfg.hira,
+        bank,
+        per_row,
+    }
 }
 
 /// Sweeps the Fig. 4 `t1 × t2` grid on one module/bank.
-pub fn figure4_grid(mc: &mut SoftMc, bank: BankId, cfg: &CharacterizeConfig) -> Vec<CoverageGridPoint> {
+pub fn figure4_grid(
+    mc: &mut SoftMc,
+    bank: BankId,
+    cfg: &CharacterizeConfig,
+) -> Vec<CoverageGridPoint> {
     HiraTimings::figure4_grid()
         .into_iter()
         .map(|hira| {
             let result = measure(mc, bank, &cfg.with_hira(hira));
-            CoverageGridPoint { hira, stats: result.stats() }
+            CoverageGridPoint {
+                hira,
+                stats: result.stats(),
+            }
         })
         .collect()
 }
@@ -141,7 +170,10 @@ mod tests {
             "coverage mean {} vs expected {expected}",
             s.mean
         );
-        assert!(r.zero_coverage_rows().is_empty(), "no zero-coverage rows at t1=t2=3ns");
+        assert!(
+            r.zero_coverage_rows().is_empty(),
+            "no zero-coverage rows at t1=t2=3ns"
+        );
     }
 
     #[test]
@@ -151,7 +183,10 @@ mod tests {
         let r = measure(&mut mc, BankId(0), &cfg);
         let s = r.stats();
         assert!(s.mean < 0.1, "t1=1.5ns coverage mean {}", s.mean);
-        assert!(!r.zero_coverage_rows().is_empty(), "expected zero-coverage rows");
+        assert!(
+            !r.zero_coverage_rows().is_empty(),
+            "expected zero-coverage rows"
+        );
     }
 
     #[test]
@@ -159,7 +194,11 @@ mod tests {
         let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x13));
         let cfg = tiny_cfg().with_hira(HiraTimings { t1: 6.0, t2: 3.0 });
         let r = measure(&mut mc, BankId(0), &cfg);
-        assert!(r.stats().mean < 0.1, "t1=6ns coverage mean {}", r.stats().mean);
+        assert!(
+            r.stats().mean < 0.1,
+            "t1=6ns coverage mean {}",
+            r.stats().mean
+        );
     }
 
     #[test]

@@ -126,6 +126,10 @@ mod tests {
     #[test]
     fn micron_module_is_flagged_hira_incapable() {
         let m = characterize_module(ModuleSpec::micron_4gb(5), &quick_cfg());
-        assert!(!m.hira_capable, "normalized NRH median {}", m.norm_nrh.median);
+        assert!(
+            !m.hira_capable,
+            "normalized NRH median {}",
+            m.norm_nrh.median
+        );
     }
 }

@@ -11,7 +11,14 @@ pub fn render_table1(rows: &[ModuleCharacterization]) -> String {
     let _ = writeln!(
         s,
         "{:<6} {:<10} {:>5} {:>4} {:>8}   {:>24}   {:>24}   {:<5}",
-        "Module", "Vendor", "Cap", "Die", "Date", "HiRA Cov (min/avg/max)", "Norm NRH (min/avg/max)", "HiRA?"
+        "Module",
+        "Vendor",
+        "Cap",
+        "Die",
+        "Date",
+        "HiRA Cov (min/avg/max)",
+        "Norm NRH (min/avg/max)",
+        "HiRA?"
     );
     let _ = writeln!(s, "{}", "-".repeat(104));
     for m in rows {

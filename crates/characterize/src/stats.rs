@@ -83,7 +83,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "need at least one bin");
         assert!(hi > lo, "hi must exceed lo");
-        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Adds one observation (out-of-range values clamp to the edge bins).
@@ -113,7 +118,11 @@ impl Histogram {
             .enumerate()
             .map(|(i, &c)| {
                 let center = self.lo + (i as f64 + 0.5) * width;
-                let frac = if self.total == 0 { 0.0 } else { c as f64 / self.total as f64 };
+                let frac = if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                };
                 (center, frac)
             })
             .collect()

@@ -15,7 +15,7 @@
 use crate::config::CharacterizeConfig;
 use crate::stats::BoxStats;
 use crate::verify;
-use hira_dram::addr::{BankId, RowId};
+use hira_dram::addr::BankId;
 use hira_softmc::SoftMc;
 
 /// One temperature point of the sweep.
@@ -36,10 +36,8 @@ pub fn sweep(
     temps_c: &[f64],
     cfg: &CharacterizeConfig,
 ) -> Vec<TemperaturePoint> {
-    let tested = mc.module().geometry().tested_rows(cfg.rows_per_region);
-    let step = (tested.len() / cfg.nrh_victims.max(1)).max(1);
-    let victims: Vec<RowId> =
-        tested.iter().copied().step_by(step).take(cfg.nrh_victims).collect();
+    let victims =
+        verify::victim_spread(mc.module().geometry(), cfg.rows_per_region, cfg.nrh_victims);
 
     temps_c
         .iter()
@@ -68,7 +66,10 @@ mod tests {
     #[test]
     fn thresholds_fall_with_temperature_but_hira_ratio_holds() {
         let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x71));
-        let cfg = CharacterizeConfig { nrh_victims: 6, ..CharacterizeConfig::fast() };
+        let cfg = CharacterizeConfig {
+            nrh_victims: 6,
+            ..CharacterizeConfig::fast()
+        };
         let pts = sweep(&mut mc, BankId(0), &[45.0, 85.0], &cfg);
         assert_eq!(pts.len(), 2);
         assert!(

@@ -10,6 +10,7 @@
 use crate::adjacency::aggressors_via_mapping;
 use crate::config::CharacterizeConfig;
 use hira_dram::addr::{BankId, RowId};
+use hira_dram::geometry::ChipGeometry;
 use hira_dram::timing::HiraTimings;
 use hira_softmc::patterns::DataPattern;
 use hira_softmc::program::Program;
@@ -123,7 +124,12 @@ pub fn search_threshold(
 /// knowledge: we probe isolated partners with the Algorithm-1 pair test and
 /// take the first that works reliably — a partner being *isolated* is
 /// necessary but not sufficient (its own analog margins must also pass).
-pub fn pick_dummy(mc: &mut SoftMc, bank: BankId, victim: RowId, hira: HiraTimings) -> Option<RowId> {
+pub fn pick_dummy(
+    mc: &mut SoftMc,
+    bank: BankId,
+    victim: RowId,
+    hira: HiraTimings,
+) -> Option<RowId> {
     let geom = *mc.module().geometry();
     let subarrays = geom.rows_per_bank / geom.rows_per_subarray;
     let candidates: Vec<RowId> = (0..subarrays)
@@ -148,21 +154,33 @@ pub fn measure_victim(
         return None; // edge rows: skip, as the paper implicitly does
     }
     let dummy = pick_dummy(mc, bank, victim, cfg.hira)?;
-    let without_hira =
-        search_threshold(mc, bank, victim, dummy, &aggressors, cfg.hira, false, cfg);
+    let without_hira = search_threshold(mc, bank, victim, dummy, &aggressors, cfg.hira, false, cfg);
     let with_hira = search_threshold(mc, bank, victim, dummy, &aggressors, cfg.hira, true, cfg);
-    Some(NrhMeasurement { victim, without_hira, with_hira })
+    Some(NrhMeasurement {
+        victim,
+        without_hira,
+        with_hira,
+    })
+}
+
+/// `n` victim rows spread evenly over the tested regions — the one victim
+/// selection every threshold study (and the figure binaries) uses.
+pub fn victim_spread(geom: &ChipGeometry, rows_per_region: u32, n: usize) -> Vec<RowId> {
+    let tested = geom.tested_rows(rows_per_region);
+    let step = (tested.len() / n.max(1)).max(1);
+    tested.iter().copied().step_by(step).take(n).collect()
 }
 
 /// Measures `cfg.nrh_victims` victims spread over the tested rows.
-pub fn measure_many(mc: &mut SoftMc, bank: BankId, cfg: &CharacterizeConfig) -> Vec<NrhMeasurement> {
-    let tested = mc.module().geometry().tested_rows(cfg.rows_per_region);
-    let step = (tested.len() / cfg.nrh_victims.max(1)).max(1);
-    tested
-        .iter()
-        .step_by(step)
-        .take(cfg.nrh_victims)
-        .filter_map(|&v| measure_victim(mc, bank, v, cfg))
+pub fn measure_many(
+    mc: &mut SoftMc,
+    bank: BankId,
+    cfg: &CharacterizeConfig,
+) -> Vec<NrhMeasurement> {
+    let victims = victim_spread(mc.module().geometry(), cfg.rows_per_region, cfg.nrh_victims);
+    victims
+        .into_iter()
+        .filter_map(|v| measure_victim(mc, bank, v, cfg))
         .collect()
 }
 
@@ -203,15 +221,17 @@ mod tests {
         let cfg = CharacterizeConfig::fast();
         let m = measure_victim(&mut mc, BankId(0), RowId(900), &cfg).unwrap();
         let norm = m.normalized();
-        assert!(norm < 1.15, "HiRA-inert module showed normalized NRH {norm}");
+        assert!(
+            norm < 1.15,
+            "HiRA-inert module showed normalized NRH {norm}"
+        );
     }
 
     #[test]
     fn dummy_row_is_isolated_from_victim_and_pair_works() {
         let mut mc = SoftMc::new(ModuleSpec::sk_hynix_4gb(0x24));
         let victim = RowId(300);
-        let dummy =
-            pick_dummy(&mut mc, BankId(0), victim, HiraTimings::nominal()).unwrap();
+        let dummy = pick_dummy(&mut mc, BankId(0), victim, HiraTimings::nominal()).unwrap();
         assert!(mc.module().isolation().isolated(victim, dummy));
         assert!(crate::coverage::pair_works(
             &mut mc,

@@ -116,10 +116,19 @@ pub const SEARCH_ITERATIONS: u64 = 68;
 /// Evaluates Table 2 for the given model and sizing.
 pub fn table2(model: &SramModel, sizing: &StructureSizing) -> AreaReport {
     let entries = [
-        ("Refresh Table", sizing.refresh_table_entries * sizing.refresh_table_entry_bits),
-        ("RefPtr Table", sizing.refptr_entries * sizing.refptr_entry_bits),
+        (
+            "Refresh Table",
+            sizing.refresh_table_entries * sizing.refresh_table_entry_bits,
+        ),
+        (
+            "RefPtr Table",
+            sizing.refptr_entries * sizing.refptr_entry_bits,
+        ),
         ("PR-FIFO", sizing.prfifo_entries * sizing.prfifo_entry_bits),
-        ("Subarray Pairs Table (SPT)", sizing.spt_entries * sizing.spt_entry_bits),
+        (
+            "Subarray Pairs Table (SPT)",
+            sizing.spt_entries * sizing.spt_entry_bits,
+        ),
     ];
     let structures: Vec<StructureReport> = entries
         .iter()
@@ -180,7 +189,11 @@ mod tests {
     fn total_area_is_tiny_like_the_paper() {
         // Table 2 total: 0.00923 mm², 0.0023% of the reference die.
         let r = table2_default();
-        assert!((0.006..0.013).contains(&r.total_mm2), "total {}", r.total_mm2);
+        assert!(
+            (0.006..0.013).contains(&r.total_mm2),
+            "total {}",
+            r.total_mm2
+        );
         assert!(r.die_fraction < 1e-4, "fraction {}", r.die_fraction);
     }
 

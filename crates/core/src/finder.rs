@@ -181,7 +181,9 @@ impl HiraMc {
         let periodic = params
             .periodic_via_hira
             .then(|| PeriodicRc::new(params.t_refw_ns, params.rows_per_bank, params.banks));
-        let para = params.para_pth.map(|pth| Para::new(pth, params.seed ^ 0xACE));
+        let para = params
+            .para_pth
+            .map(|pth| Para::new(pth, params.seed ^ 0xACE));
         // Refresh Table sizing (§6 generalized): enough for the periodic
         // requests generated within tRefSlack at this capacity's rate, plus
         // one PR-FIFO's worth of preventive entries per bank. The paper's
@@ -249,7 +251,9 @@ impl HiraMc {
     /// demand rows, HiRA hidden rows, and preventive-refresh rows alike.
     pub fn on_row_activated(&mut self, now: f64, bank: BankId, row: RowId) {
         let Some(para) = &mut self.para else { return };
-        let Some(side) = para.on_activate() else { return };
+        let Some(side) = para.on_activate() else {
+            return;
+        };
         self.stats.preventive_generated += 1;
         let victim = Para::victim(row, side, self.params.rows_per_bank);
         let slack = self.params.config.slack_ns(&self.params.timing);
@@ -277,26 +281,35 @@ impl HiraMc {
             return McAction::Plain;
         }
         // Walk this bank's queued requests in deadline order (§5.1.3 a).
-        let mut candidates: Vec<RefreshEntry> =
-            self.table.iter().filter(|e| e.bank == bank).copied().collect();
+        let mut candidates: Vec<RefreshEntry> = self
+            .table
+            .iter()
+            .filter(|e| e.bank == bank)
+            .copied()
+            .collect();
         candidates.sort_by(|a, b| a.deadline.total_cmp(&b.deadline));
         for entry in candidates {
             match entry.kind {
                 RefreshKind::Periodic => {
                     // Find a compatible subarray with the least progress.
-                    let pick = self
-                        .refptr
-                        .select(bank, |row| row != demand_row && self.spt.compatible(row, demand_row));
+                    let pick = self.refptr.select(bank, |row| {
+                        row != demand_row && self.spt.compatible(row, demand_row)
+                    });
                     if let Some((sa, row)) = pick {
                         self.consume(now, &entry);
                         self.refptr.advance(bank, sa);
                         self.stats.refresh_access += 1;
-                        return McAction::Hira { refresh_row: row, kind: RefreshKind::Periodic };
+                        return McAction::Hira {
+                            refresh_row: row,
+                            kind: RefreshKind::Periodic,
+                        };
                     }
                 }
                 RefreshKind::Preventive => {
                     // Only the PR-FIFO head may be served (§5.1.3 c).
-                    let Some(head) = self.prfifo[bank.index()].head() else { continue };
+                    let Some(head) = self.prfifo[bank.index()].head() else {
+                        continue;
+                    };
                     if entry.victim == Some(head)
                         && head != demand_row
                         && self.spt.compatible(head, demand_row)
@@ -304,7 +317,10 @@ impl HiraMc {
                         self.consume(now, &entry);
                         self.prfifo[bank.index()].pop();
                         self.stats.refresh_access += 1;
-                        return McAction::Hira { refresh_row: head, kind: RefreshKind::Preventive };
+                        return McAction::Hira {
+                            refresh_row: head,
+                            kind: RefreshKind::Preventive,
+                        };
                     }
                 }
             }
@@ -329,7 +345,11 @@ impl HiraMc {
         if self.params.config.refresh_refresh {
             if let Some(second) = self.pair_partner(bank, first) {
                 self.stats.refresh_refresh += 2;
-                return Some(DeadlineWork::Pair { bank, first, second });
+                return Some(DeadlineWork::Pair {
+                    bank,
+                    first,
+                    second,
+                });
             }
         }
         self.stats.singles += 1;
@@ -358,7 +378,11 @@ impl HiraMc {
         if self.params.config.refresh_refresh {
             if let Some(second) = self.pair_partner(bank, first) {
                 self.stats.refresh_refresh += 2;
-                return Some(DeadlineWork::Pair { bank, first, second });
+                return Some(DeadlineWork::Pair {
+                    bank,
+                    first,
+                    second,
+                });
             }
         }
         self.stats.singles += 1;
@@ -436,8 +460,12 @@ impl HiraMc {
     /// Finds a second refresh for `bank` compatible with `first`.
     fn pair_partner(&mut self, bank: BankId, first: RowId) -> Option<RowId> {
         let candidates: Vec<RefreshEntry> = {
-            let mut v: Vec<RefreshEntry> =
-                self.table.iter().filter(|e| e.bank == bank).copied().collect();
+            let mut v: Vec<RefreshEntry> = self
+                .table
+                .iter()
+                .filter(|e| e.bank == bank)
+                .copied()
+                .collect();
             v.sort_by(|a, b| a.deadline.total_cmp(&b.deadline));
             v
         };
@@ -454,7 +482,9 @@ impl HiraMc {
                     }
                 }
                 RefreshKind::Preventive => {
-                    let Some(head) = self.prfifo[bank.index()].head() else { continue };
+                    let Some(head) = self.prfifo[bank.index()].head() else {
+                        continue;
+                    };
                     if entry.victim == Some(head)
                         && head != first
                         && self.spt.compatible(head, first)
@@ -494,7 +524,10 @@ mod tests {
         mc.tick(200.0);
         // 200 ns / (976 ns / 16 banks) ≈ 3-4 staggered requests.
         let s = mc.stats();
-        assert!(s.periodic_generated >= 3 && s.periodic_generated <= 5, "{s:?}");
+        assert!(
+            s.periodic_generated >= 3 && s.periodic_generated <= 5,
+            "{s:?}"
+        );
     }
 
     #[test]
@@ -520,7 +553,10 @@ mod tests {
         let p = HiraMcParams::table3(64 * 1024, HiraConfig::hira_n(4).without_refresh_access());
         let mut mc = HiraMc::new(p);
         mc.tick(200.0);
-        assert_eq!(mc.on_demand_act(210.0, BankId(0), RowId(40_000)), McAction::Plain);
+        assert_eq!(
+            mc.on_demand_act(210.0, BankId(0), RowId(40_000)),
+            McAction::Plain
+        );
     }
 
     #[test]
@@ -550,12 +586,18 @@ mod tests {
         let mut mc = HiraMc::new(params(0)); // immediate service: no pairing
         mc.tick(4_000.0);
         while let Some(w) = mc.deadline_work(4_000.0) {
-            assert!(matches!(w, DeadlineWork::Single { .. }), "HiRA-0 paired: {w:?}");
+            assert!(
+                matches!(w, DeadlineWork::Single { .. }),
+                "HiRA-0 paired: {w:?}"
+            );
         }
         assert_eq!(mc.stats().refresh_refresh, 0);
         // And Case 1 is inert too.
         mc.tick(5_000.0);
-        assert_eq!(mc.on_demand_act(5_000.0, BankId(0), RowId(40_000)), McAction::Plain);
+        assert_eq!(
+            mc.on_demand_act(5_000.0, BankId(0), RowId(40_000)),
+            McAction::Plain
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub struct ScheduledCommand {
 impl HiraOperation {
     /// The best experimentally-validated configuration (`t1 = t2 = 3 ns`).
     pub fn nominal() -> Self {
-        HiraOperation { timings: HiraTimings::nominal() }
+        HiraOperation {
+            timings: HiraTimings::nominal(),
+        }
     }
 
     /// Builds an operation with explicit timings.
@@ -65,11 +67,23 @@ impl HiraOperation {
         access_row: RowId,
     ) -> [ScheduledCommand; 3] {
         [
-            ScheduledCommand { offset_ns: 0.0, command: DramCommand::Act { bank, row: refresh_row } },
-            ScheduledCommand { offset_ns: self.timings.t1, command: DramCommand::Pre { bank } },
+            ScheduledCommand {
+                offset_ns: 0.0,
+                command: DramCommand::Act {
+                    bank,
+                    row: refresh_row,
+                },
+            },
+            ScheduledCommand {
+                offset_ns: self.timings.t1,
+                command: DramCommand::Pre { bank },
+            },
             ScheduledCommand {
                 offset_ns: self.timings.t1 + self.timings.t2,
-                command: DramCommand::Act { bank, row: access_row },
+                command: DramCommand::Act {
+                    bank,
+                    row: access_row,
+                },
             },
         ]
     }
@@ -86,10 +100,22 @@ impl HiraOperation {
     ) -> [ScheduledCommand; 4] {
         let second_act = self.timings.t1 + self.timings.t2;
         [
-            ScheduledCommand { offset_ns: 0.0, command: DramCommand::Act { bank, row: row_c } },
-            ScheduledCommand { offset_ns: self.timings.t1, command: DramCommand::Pre { bank } },
-            ScheduledCommand { offset_ns: second_act, command: DramCommand::Act { bank, row: row_d } },
-            ScheduledCommand { offset_ns: second_act + t.t_ras, command: DramCommand::Pre { bank } },
+            ScheduledCommand {
+                offset_ns: 0.0,
+                command: DramCommand::Act { bank, row: row_c },
+            },
+            ScheduledCommand {
+                offset_ns: self.timings.t1,
+                command: DramCommand::Pre { bank },
+            },
+            ScheduledCommand {
+                offset_ns: second_act,
+                command: DramCommand::Act { bank, row: row_d },
+            },
+            ScheduledCommand {
+                offset_ns: second_act + t.t_ras,
+                command: DramCommand::Pre { bank },
+            },
         ]
     }
 
@@ -130,9 +156,18 @@ mod tests {
         let cmds = op.refresh_access(BankId(2), RowId(10), RowId(900));
         assert_eq!(cmds.len(), 3);
         assert!(cmds.windows(2).all(|w| w[0].offset_ns < w[1].offset_ns));
-        assert!(matches!(cmds[0].command, DramCommand::Act { row: RowId(10), .. }));
+        assert!(matches!(
+            cmds[0].command,
+            DramCommand::Act { row: RowId(10), .. }
+        ));
         assert!(matches!(cmds[1].command, DramCommand::Pre { .. }));
-        assert!(matches!(cmds[2].command, DramCommand::Act { row: RowId(900), .. }));
+        assert!(matches!(
+            cmds[2].command,
+            DramCommand::Act {
+                row: RowId(900),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -34,7 +34,12 @@ impl Para {
     /// Panics if `pth` is not a probability.
     pub fn new(pth: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&pth), "p_th must be in [0,1]");
-        Para { pth, stream: Stream::from_words(&[seed, 0x5041_5241]), triggers: 0, activations: 0 }
+        Para {
+            pth,
+            stream: Stream::from_words(&[seed, 0x5041_5241]),
+            triggers: 0,
+            activations: 0,
+        }
     }
 
     /// The configured probability threshold.
@@ -51,7 +56,11 @@ impl Para {
             return None;
         }
         self.triggers += 1;
-        Some(if self.stream.next_bool(0.5) { Side::Below } else { Side::Above })
+        Some(if self.stream.next_bool(0.5) {
+            Side::Below
+        } else {
+            Side::Above
+        })
     }
 
     /// Resolves the victim row for a trigger, clamped to the bank.

@@ -76,7 +76,11 @@ mod tests {
         // §5.1.1: 64K rows in 64 ms ⇒ one refresh per bank per 975 ns, one
         // request per rank every ~61 ns across 16 banks.
         let rc = PeriodicRc::new(64.0e6, 64 * 1024, 16);
-        assert!((rc.period_ns() - 976.56).abs() < 1.0, "period {}", rc.period_ns());
+        assert!(
+            (rc.period_ns() - 976.56).abs() < 1.0,
+            "period {}",
+            rc.period_ns()
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl PrFifo {
 
     /// An empty FIFO with the given capacity.
     pub fn new(capacity: usize) -> Self {
-        PrFifo { queue: VecDeque::with_capacity(capacity), capacity }
+        PrFifo {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Queued victim count.

@@ -30,7 +30,7 @@ impl RefPtrTable {
     /// Builds the table for `banks` banks of `rows_per_bank` rows split into
     /// subarrays of `rows_per_subarray`.
     pub fn new(banks: u16, rows_per_bank: u32, rows_per_subarray: u32) -> Self {
-        assert!(rows_per_subarray > 0 && rows_per_bank % rows_per_subarray == 0);
+        assert!(rows_per_subarray > 0 && rows_per_bank.is_multiple_of(rows_per_subarray));
         let subarrays = rows_per_bank / rows_per_subarray;
         RefPtrTable {
             banks: (0..banks)
@@ -80,7 +80,8 @@ impl RefPtrTable {
     /// The globally least-advanced subarray's candidate row (deadline path:
     /// no compatibility constraint).
     pub fn select_any(&self, bank: BankId) -> (SubarrayId, RowId) {
-        self.select(bank, |_| true).expect("at least one subarray exists")
+        self.select(bank, |_| true)
+            .expect("at least one subarray exists")
     }
 
     /// Advances the pointer of `(bank, subarray)` after its row is refreshed.

@@ -44,7 +44,10 @@ impl RefreshTable {
 
     /// An empty table with the given capacity.
     pub fn new(capacity: usize) -> Self {
-        RefreshTable { entries: Vec::with_capacity(capacity), capacity }
+        RefreshTable {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Number of queued requests.
@@ -138,7 +141,12 @@ mod tests {
     use super::*;
 
     fn entry(deadline: f64, bank: u16, kind: RefreshKind) -> RefreshEntry {
-        RefreshEntry { deadline, bank: BankId(bank), kind, victim: None }
+        RefreshEntry {
+            deadline,
+            bank: BankId(bank),
+            kind,
+            victim: None,
+        }
     }
 
     #[test]

@@ -142,7 +142,10 @@ pub fn figure11(nrh_values: &[u32], slacks: &[u32], target: f64) -> Vec<Fig11Poi
     let mut out = Vec::new();
     for &nrh in nrh_values {
         for &slack in slacks {
-            let params = SecurityParams { target_p_rh: target, ..SecurityParams::paper_defaults(slack) };
+            let params = SecurityParams {
+                target_p_rh: target,
+                ..SecurityParams::paper_defaults(slack)
+            };
             let pth = solve_pth(&params, nrh);
             let pth_legacy = legacy_pth(nrh, target);
             out.push(Fig11Point {
@@ -223,10 +226,15 @@ mod tests {
     fn pth_increases_with_slack() {
         // §9.1.3: at NRH=128, pth ≈ 0.48 / 0.49 / 0.50 / 0.52 for slack
         // 0 / 2 / 4 / 8 tRC.
-        let values: Vec<f64> =
-            [0u32, 2, 4, 8].iter().map(|&s| solve_pth(&params(s), 128)).collect();
+        let values: Vec<f64> = [0u32, 2, 4, 8]
+            .iter()
+            .map(|&s| solve_pth(&params(s), 128))
+            .collect();
         assert!((values[0] - 0.48).abs() < 0.02, "slack 0: {}", values[0]);
-        assert!(values.windows(2).all(|w| w[1] >= w[0]), "not monotone: {values:?}");
+        assert!(
+            values.windows(2).all(|w| w[1] >= w[0]),
+            "not monotone: {values:?}"
+        );
         assert!((values[3] - 0.52).abs() < 0.03, "slack 8: {}", values[3]);
     }
 

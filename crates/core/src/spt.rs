@@ -17,8 +17,8 @@
 //!   concurrently with a refresh or an access to 32 % of the rows within the
 //!   same DRAM bank" (§7).
 
-use hira_dram::isolation::IsolationMap;
 use hira_dram::addr::RowId;
+use hira_dram::isolation::IsolationMap;
 
 /// The controller's isolation knowledge.
 #[derive(Debug, Clone)]
@@ -29,13 +29,19 @@ pub struct Spt {
 #[derive(Debug, Clone)]
 enum Source {
     Map(IsolationMap),
-    Probabilistic { seed: u64, fraction: f64, rows_per_subarray: u32 },
+    Probabilistic {
+        seed: u64,
+        fraction: f64,
+        rows_per_subarray: u32,
+    },
 }
 
 impl Spt {
     /// Builds the SPT from a characterized module's isolation map.
     pub fn from_map(map: IsolationMap) -> Self {
-        Spt { source: Source::Map(map) }
+        Spt {
+            source: Source::Map(map),
+        }
     }
 
     /// Builds a synthetic SPT where a row pair is compatible with the given
@@ -46,24 +52,36 @@ impl Spt {
     ///
     /// Panics if `fraction` is outside `(0, 1)`.
     pub fn probabilistic(seed: u64, fraction: f64, rows_per_subarray: u32) -> Self {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1)"
+        );
         assert!(rows_per_subarray > 0);
-        Spt { source: Source::Probabilistic { seed, fraction, rows_per_subarray } }
+        Spt {
+            source: Source::Probabilistic {
+                seed,
+                fraction,
+                rows_per_subarray,
+            },
+        }
     }
 
     /// Whether `a` and `b` can be concurrently activated by HiRA.
     pub fn compatible(&self, a: RowId, b: RowId) -> bool {
         match &self.source {
             Source::Map(map) => map.isolated(a, b),
-            Source::Probabilistic { seed, fraction, rows_per_subarray } => {
+            Source::Probabilistic {
+                seed,
+                fraction,
+                rows_per_subarray,
+            } => {
                 let sa = a.0 / rows_per_subarray;
                 let sb = b.0 / rows_per_subarray;
                 if sa.abs_diff(sb) <= 1 {
                     return false;
                 }
                 let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
-                hira_dram::rng::unit_at(&[*seed, 0x5054, u64::from(lo), u64::from(hi)])
-                    < *fraction
+                hira_dram::rng::unit_at(&[*seed, 0x5054, u64::from(lo), u64::from(hi)]) < *fraction
             }
         }
     }

@@ -111,13 +111,12 @@ impl AnalogModel {
         // Design-induced skew: rows farther from the center of the bank have
         // slightly slower sensing and faster latching (shorter wiring to I/O).
         let design = (row_pos - 0.5).abs() * 2.0; // 0 at center, 1 at edges
-        let mut s = Stream::from_words(&[seed, 0xA7A1_06, u64::from(row.0)]);
+        let mut s = Stream::from_words(&[seed, 0x00A7_A106, u64::from(row.0)]);
         RowAnalog {
             sa_enable: (self.sa_enable_mean + 0.1 * design + self.sa_enable_sd * s.next_normal())
                 .max(0.8),
-            act_latch: (self.act_latch_mean - 0.15 * design
-                + self.act_latch_sd * s.next_normal())
-            .max(self.act_latch_min),
+            act_latch: (self.act_latch_mean - 0.15 * design + self.act_latch_sd * s.next_normal())
+                .max(self.act_latch_min),
             wl_off: (self.wl_off_mean + self.wl_off_sd * s.next_normal()).max(2.0),
             lrb_disc: (self.lrb_disc_mean + self.lrb_disc_sd * s.next_normal()).max(0.5),
             restore_target: (self.restore_mean + self.restore_sd * s.next_normal()).max(12.0),
@@ -221,7 +220,11 @@ mod tests {
         let f = |x: u32| f64::from(x) / f64::from(n);
         assert!(f(wl_ok_45) > 0.95, "t2=4.5 wl ok {}", f(wl_ok_45));
         assert!(f(wl_ok_60) < 0.05, "t2=6 wl ok {}", f(wl_ok_60));
-        assert!(f(disc_ok_15) > 0.3 && f(disc_ok_15) < 0.9, "t2=1.5 disc {}", f(disc_ok_15));
+        assert!(
+            f(disc_ok_15) > 0.3 && f(disc_ok_15) < 0.9,
+            "t2=1.5 disc {}",
+            f(disc_ok_15)
+        );
         assert!(f(disc_ok_30) > 0.99, "t2=3 disc {}", f(disc_ok_30));
     }
 
@@ -241,7 +244,11 @@ mod tests {
         let m = model();
         for r in 0..2000u32 {
             let a = m.sample(11, BankId(1), RowId(r), 32768);
-            assert!(a.restore_target < 32.0, "row {r} target {}", a.restore_target);
+            assert!(
+                a.restore_target < 32.0,
+                "row {r} target {}",
+                a.restore_target
+            );
         }
     }
 }

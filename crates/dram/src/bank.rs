@@ -117,7 +117,9 @@ impl BankCircuit {
     /// A bank in the precharged state, ready immediately.
     pub fn new() -> Self {
         BankCircuit {
-            phase: Phase::Precharged { ready_at: f64::NEG_INFINITY },
+            phase: Phase::Precharged {
+                ready_at: f64::NEG_INFINITY,
+            },
             engaged: Vec::with_capacity(2),
             pre_events: 0,
             last_pre_at: f64::NEG_INFINITY,
@@ -126,7 +128,11 @@ impl BankCircuit {
 
     /// Rows currently engaged (connected to their local row buffers).
     pub fn open_rows(&self) -> Vec<RowId> {
-        self.engaged.iter().filter(|e| !e.dead).map(|e| e.row).collect()
+        self.engaged
+            .iter()
+            .filter(|e| !e.dead)
+            .map(|e| e.row)
+            .collect()
     }
 
     /// Whether `row` is open (engaged and sensed) at time `t`.
@@ -139,7 +145,7 @@ impl BankCircuit {
     fn bitline_ready_sample(&self, ctx: &CircuitCtx<'_>, pre_at: f64) -> f64 {
         let mut s = Stream::from_words(&[
             ctx.seed,
-            0x424C_52,
+            0x0042_4C52,
             u64::from(ctx.bank.0),
             self.pre_events,
         ]);
@@ -156,21 +162,33 @@ impl BankCircuit {
             // own word-line-off point (base value; pair jitter only applies
             // to interrupt races).
             let all_closed = self.engaged.iter().all(|e| {
-                let off = if e.committed { COMMITTED_WL_OFF_NS } else { e.wl_off };
+                let off = if e.committed {
+                    COMMITTED_WL_OFF_NS
+                } else {
+                    e.wl_off
+                };
                 e.dead || t >= pre_at + off
             });
             if all_closed {
                 for e in self.engaged.drain(..) {
-                    let off = if e.committed { COMMITTED_WL_OFF_NS } else { e.wl_off };
+                    let off = if e.committed {
+                        COMMITTED_WL_OFF_NS
+                    } else {
+                        e.wl_off
+                    };
                     close_row(&e, pre_at + off, out);
                 }
-                self.phase = Phase::Precharged { ready_at: self.bitline_ready_sample(ctx, pre_at) };
+                self.phase = Phase::Precharged {
+                    ready_at: self.bitline_ready_sample(ctx, pre_at),
+                };
             }
         }
     }
 
     fn engage(&mut self, ctx: &CircuitCtx<'_>, row: RowId, t: f64) -> Engaged {
-        let a = ctx.analog.sample(ctx.seed, ctx.bank, row, ctx.rows_per_bank);
+        let a = ctx
+            .analog
+            .sample(ctx.seed, ctx.bank, row, ctx.rows_per_bank);
         Engaged {
             row,
             act_at: t,
@@ -207,7 +225,10 @@ impl BankCircuit {
             }
             Phase::Precharged { ready_at } => {
                 let e = self.engage(ctx, row, t);
-                out.push(CircuitEffect::Sensed { row, at: t + e.sa_enable });
+                out.push(CircuitEffect::Sensed {
+                    row,
+                    at: t + e.sa_enable,
+                });
                 if t < ready_at {
                     // Activation during bitline equalization (tRP violation):
                     // sensing is unreliable and the row's content is lost.
@@ -268,7 +289,10 @@ impl BankCircuit {
                 }
                 self.engaged = survivors;
                 let e = self.engage(ctx, row, t);
-                out.push(CircuitEffect::Sensed { row, at: t + e.sa_enable });
+                out.push(CircuitEffect::Sensed {
+                    row,
+                    at: t + e.sa_enable,
+                });
                 if corrupt_new {
                     out.push(CircuitEffect::Corrupt { row });
                 }
@@ -333,7 +357,11 @@ fn close_row(e: &Engaged, close_t: f64, out: &mut Vec<CircuitEffect>) {
     }
     let restore_time = close_t - e.act_at;
     let frac = ((restore_time - e.sa_enable) / (e.restore_target - e.sa_enable)).max(0.0);
-    out.push(CircuitEffect::Restored { row: e.row, frac, at: close_t });
+    out.push(CircuitEffect::Restored {
+        row: e.row,
+        frac,
+        at: close_t,
+    });
 }
 
 #[cfg(test)]
@@ -448,7 +476,10 @@ mod tests {
         all.extend(b.pre(&c, 3.0));
         all.extend(b.act(&c, row_b, 6.0));
         let bad = corrupted(&all);
-        assert!(bad.contains(&row_a) && bad.contains(&row_b), "effects: {all:?}");
+        assert!(
+            bad.contains(&row_a) && bad.contains(&row_b),
+            "effects: {all:?}"
+        );
     }
 
     #[test]

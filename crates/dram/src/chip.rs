@@ -79,7 +79,9 @@ impl DramModule {
     /// (identical across banks, §4.4.1).
     pub fn new(spec: ModuleSpec) -> Self {
         let isolation = spec.isolation_map();
-        let banks = (0..spec.geometry.banks).map(|_| BankCircuit::new()).collect();
+        let banks = (0..spec.geometry.banks)
+            .map(|_| BankCircuit::new())
+            .collect();
         let timing = TimingParams::ddr4_2400_with_capacity(spec.geometry.chip_gbit());
         DramModule {
             spec,
@@ -163,7 +165,10 @@ impl DramModule {
 
     fn check_bank(&self, bank: BankId) -> Result<(), DramError> {
         if bank.index() >= self.banks.len() {
-            return Err(DramError::BankOutOfRange { bank, banks: self.spec.geometry.banks });
+            return Err(DramError::BankOutOfRange {
+                bank,
+                banks: self.spec.geometry.banks,
+            });
         }
         Ok(())
     }
@@ -196,8 +201,9 @@ impl DramModule {
                 self.check_bank(bank).expect("bank in range");
                 self.check_row(row).expect("row in range");
                 let effects = self.with_bank(bank, |b, ctx| b.act(ctx, row, at));
-                let activated =
-                    effects.iter().any(|e| matches!(e, CircuitEffect::Sensed { .. }));
+                let activated = effects
+                    .iter()
+                    .any(|e| matches!(e, CircuitEffect::Sensed { .. }));
                 self.apply_effects(bank, &effects, at);
                 if activated {
                     self.hammer_neighbors(bank, row, 1);
@@ -235,9 +241,11 @@ impl DramModule {
             match *eff {
                 CircuitEffect::Sensed { row, .. } => self.on_sense(bank, row, at),
                 CircuitEffect::Corrupt { row } => self.corrupt_row(bank, row, at),
-                CircuitEffect::Restored { row, frac, at: close_t } => {
-                    self.on_restore(bank, row, frac, close_t)
-                }
+                CircuitEffect::Restored {
+                    row,
+                    frac,
+                    at: close_t,
+                } => self.on_restore(bank, row, frac, close_t),
                 CircuitEffect::ActIgnored { .. } => self.stats.acts_ignored += 1,
                 CircuitEffect::PreIgnored => self.stats.pres_ignored += 1,
             }
@@ -246,7 +254,8 @@ impl DramModule {
 
     fn hammer_neighbors(&mut self, bank: BankId, row: RowId, count: u32) {
         let phys = self.spec.mapping.to_physical(row);
-        for p in crate::mapping::RowMapping::physical_neighbors(phys, self.spec.geometry.rows_per_bank)
+        for p in
+            crate::mapping::RowMapping::physical_neighbors(phys, self.spec.geometry.rows_per_bank)
         {
             let victim = self.spec.mapping.to_logical(PhysRowId(p.0));
             let state = self.rows.entry(Self::key(bank, victim)).or_default();
@@ -265,14 +274,16 @@ impl DramModule {
         let senses = state.senses;
         let hammer = state.hammer;
         let elapsed = at - state.last_restore;
-        let retention_hit =
-            state.data.is_some() && ret.expired(seed, bank, row, temp, elapsed);
-        let rh_hit = state.data.is_some()
-            && hammer >= rh.nrh_instance(seed, bank, row, senses, temp);
+        let retention_hit = state.data.is_some() && ret.expired(seed, bank, row, temp, elapsed);
+        let rh_hit =
+            state.data.is_some() && hammer >= rh.nrh_instance(seed, bank, row, senses, temp);
         if retention_hit || rh_hit {
             let cells = rh.weak_cells(seed, bank, row, row_bytes);
             let polarity = crate::rng::splitmix64(seed ^ u64::from(row.0)) & 1 == 1;
-            let state = self.rows.get_mut(&Self::key(bank, row)).expect("row exists");
+            let state = self
+                .rows
+                .get_mut(&Self::key(bank, row))
+                .expect("row exists");
             if let Some(data) = state.data.as_deref_mut() {
                 flip_cells(data, &cells, polarity);
             }
@@ -301,7 +312,10 @@ impl DramModule {
         } else {
             // Partial restoration: some weak cells lose enough margin to flip
             // and the disturbance scrub is proportionally weaker.
-            let cells = self.spec.rowhammer.weak_cells(seed, bank, row, self.spec.geometry.row_bytes);
+            let cells =
+                self.spec
+                    .rowhammer
+                    .weak_cells(seed, bank, row, self.spec.geometry.row_bytes);
             let k = ((1.0 - frac) * cells.len() as f64).ceil() as usize;
             let polarity = crate::rng::splitmix64(seed ^ u64::from(row.0)) & 1 == 1;
             let state = self.rows.entry(Self::key(bank, row)).or_default();
@@ -349,12 +363,18 @@ impl DramModule {
     /// # Errors
     ///
     /// Returns an error for out-of-range addresses or wrong buffer length.
-    pub fn write_row(&mut self, bank: BankId, row: RowId, data: &[u8]) -> () {
-        self.try_write_row(bank, row, data).expect("write_row arguments valid")
+    pub fn write_row(&mut self, bank: BankId, row: RowId, data: &[u8]) {
+        self.try_write_row(bank, row, data)
+            .expect("write_row arguments valid")
     }
 
     /// Fallible variant of [`DramModule::write_row`].
-    pub fn try_write_row(&mut self, bank: BankId, row: RowId, data: &[u8]) -> Result<(), DramError> {
+    pub fn try_write_row(
+        &mut self,
+        bank: BankId,
+        row: RowId,
+        data: &[u8],
+    ) -> Result<(), DramError> {
         self.check_bank(bank)?;
         self.check_row(row)?;
         if data.len() != self.spec.geometry.row_bytes {
@@ -372,7 +392,10 @@ impl DramModule {
         state.data = Some(data.to_vec().into_boxed_slice());
         state.hammer = 0.0;
         state.last_restore = write_done;
-        self.execute(DramCommand::Pre { bank }, t0 + t.t_rp + t.t_ras.max(t.t_rcd + t.t_cwl + t.t_wr));
+        self.execute(
+            DramCommand::Pre { bank },
+            t0 + t.t_rp + t.t_ras.max(t.t_rcd + t.t_cwl + t.t_wr),
+        );
         self.now += t.t_rp;
         Ok(())
     }
@@ -380,7 +403,8 @@ impl DramModule {
     /// Reads a full row with a nominal `PRE`/`ACT`/read/`PRE` sequence.
     /// Unwritten rows read as zeros.
     pub fn read_row(&mut self, bank: BankId, row: RowId) -> Vec<u8> {
-        self.try_read_row(bank, row).expect("read_row arguments valid")
+        self.try_read_row(bank, row)
+            .expect("read_row arguments valid")
     }
 
     /// Fallible variant of [`DramModule::read_row`].
@@ -462,12 +486,16 @@ impl DramModule {
 
     /// The sampled analog profile of a row (diagnostics / reporting).
     pub fn analog_profile(&self, bank: BankId, row: RowId) -> crate::analog::RowAnalog {
-        self.spec.analog.sample(self.spec.seed, bank, row, self.spec.geometry.rows_per_bank)
+        self.spec
+            .analog
+            .sample(self.spec.seed, bank, row, self.spec.geometry.rows_per_bank)
     }
 
     /// Current accumulated hammer count of a row (test/diagnostic hook).
     pub fn hammer_count(&self, bank: BankId, row: RowId) -> f64 {
-        self.rows.get(&Self::key(bank, row)).map_or(0.0, |s| s.hammer)
+        self.rows
+            .get(&Self::key(bank, row))
+            .map_or(0.0, |s| s.hammer)
     }
 }
 
@@ -533,7 +561,10 @@ mod tests {
         let mut m = module();
         let bank = BankId(0);
         let row_a = RowId(10);
-        let row_b = m.isolation().find_partner(row_a).expect("row has a partner");
+        let row_b = m
+            .isolation()
+            .find_partner(row_a)
+            .expect("row has a partner");
         let pa = pattern(&m, 0xAA);
         let pb = pattern(&m, 0x55);
         m.write_row(bank, row_a, &pa);
@@ -564,7 +595,10 @@ mod tests {
         let victim = RowId(1000);
         let mut slow = module();
         let mut fast = module();
-        let aggr = slow.spec().mapping.logical_aggressors(victim, slow.geometry().rows_per_bank);
+        let aggr = slow
+            .spec()
+            .mapping
+            .logical_aggressors(victim, slow.geometry().rows_per_bank);
         let (a, b) = (aggr[0], aggr[1]);
         let iters = 40u32;
         // Slow path: explicit command stream.
@@ -572,9 +606,21 @@ mod tests {
         slow.execute(DramCommand::Pre { bank: BankId(0) }, slow.now());
         let mut at = slow.now() + t.t_rp;
         for _ in 0..iters {
-            slow.execute(DramCommand::Act { bank: BankId(0), row: a }, at);
+            slow.execute(
+                DramCommand::Act {
+                    bank: BankId(0),
+                    row: a,
+                },
+                at,
+            );
             slow.execute(DramCommand::Pre { bank: BankId(0) }, at + t.t_ras);
-            slow.execute(DramCommand::Act { bank: BankId(0), row: b }, at + t.t_rc);
+            slow.execute(
+                DramCommand::Act {
+                    bank: BankId(0),
+                    row: b,
+                },
+                at + t.t_rc,
+            );
             slow.execute(DramCommand::Pre { bank: BankId(0) }, at + t.t_rc + t.t_ras);
             at += 2.0 * t.t_rc;
         }
@@ -594,7 +640,10 @@ mod tests {
         let mut m = module();
         let bank = BankId(0);
         let victim = RowId(2000);
-        let aggr = m.spec().mapping.logical_aggressors(victim, m.geometry().rows_per_bank);
+        let aggr = m
+            .spec()
+            .mapping
+            .logical_aggressors(victim, m.geometry().rows_per_bank);
         let data = pattern(&m, 0xAA);
         m.write_row(bank, victim, &data);
         // Hammer far past any plausible threshold.
@@ -609,7 +658,10 @@ mod tests {
         let mut m = module();
         let bank = BankId(0);
         let victim = RowId(3000);
-        let aggr = m.spec().mapping.logical_aggressors(victim, m.geometry().rows_per_bank);
+        let aggr = m
+            .spec()
+            .mapping
+            .logical_aggressors(victim, m.geometry().rows_per_bank);
         let nrh = m.spec().rowhammer.nrh_base(m.spec().seed, bank, victim) as u32;
         let data = pattern(&m, 0x55);
 
@@ -651,7 +703,13 @@ mod tests {
     #[test]
     fn commands_must_be_time_ordered() {
         let mut m = module();
-        m.execute(DramCommand::Act { bank: BankId(0), row: RowId(0) }, 100.0);
+        m.execute(
+            DramCommand::Act {
+                bank: BankId(0),
+                row: RowId(0),
+            },
+            100.0,
+        );
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             m.execute(DramCommand::Pre { bank: BankId(0) }, 50.0);
         }));

@@ -96,7 +96,10 @@ mod tests {
 
     #[test]
     fn bank_extraction_matches_scope() {
-        let act = DramCommand::Act { bank: BankId(2), row: RowId(5) };
+        let act = DramCommand::Act {
+            bank: BankId(2),
+            row: RowId(5),
+        };
         assert_eq!(act.bank(), Some(BankId(2)));
         assert_eq!(DramCommand::Ref.bank(), None);
         assert_eq!(DramCommand::PreAll.bank(), None);
@@ -104,17 +107,30 @@ mod tests {
 
     #[test]
     fn classification_predicates() {
-        let rd = DramCommand::Rd { bank: BankId(0), col: ColId(1) };
-        let rda = DramCommand::RdA { bank: BankId(0), col: ColId(1) };
+        let rd = DramCommand::Rd {
+            bank: BankId(0),
+            col: ColId(1),
+        };
+        let rda = DramCommand::RdA {
+            bank: BankId(0),
+            col: ColId(1),
+        };
         assert!(rd.is_column() && !rd.is_precharge());
         assert!(rda.is_column() && rda.is_precharge());
-        assert!(DramCommand::Act { bank: BankId(0), row: RowId(0) }.is_activate());
+        assert!(DramCommand::Act {
+            bank: BankId(0),
+            row: RowId(0)
+        }
+        .is_activate());
         assert!(DramCommand::PreAll.is_precharge());
     }
 
     #[test]
     fn display_is_compact() {
-        let act = DramCommand::Act { bank: BankId(1), row: RowId(7) };
+        let act = DramCommand::Act {
+            bank: BankId(1),
+            row: RowId(7),
+        };
         assert_eq!(format!("{act}"), "ACT b1 r7");
     }
 }

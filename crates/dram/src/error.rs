@@ -35,7 +35,10 @@ impl fmt::Display for DramError {
                 write!(f, "column access to bank {bank} with no open row")
             }
             DramError::BadRowBuffer { expected, got } => {
-                write!(f, "row buffer length {got} does not match row size {expected}")
+                write!(
+                    f,
+                    "row buffer length {got} does not match row size {expected}"
+                )
             }
         }
     }
@@ -58,6 +61,9 @@ mod tests {
     #[test]
     fn error_trait_is_implemented() {
         fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
-        takes_err(DramError::BadRowBuffer { expected: 8192, got: 0 });
+        takes_err(DramError::BadRowBuffer {
+            expected: 8192,
+            got: 0,
+        });
     }
 }

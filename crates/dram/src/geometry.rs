@@ -41,7 +41,7 @@ impl ChipGeometry {
         let row_bits_per_chip = 8 * 1024u64; // 8 Kb row slice per chip
         let total_bits = chip_mbit * 1024 * 1024;
         assert!(
-            total_bits % (u64::from(banks) * row_bits_per_chip) == 0,
+            total_bits.is_multiple_of(u64::from(banks) * row_bits_per_chip),
             "capacity must divide into whole rows"
         );
         let rows_per_bank = (total_bits / (u64::from(banks) * row_bits_per_chip)) as u32;

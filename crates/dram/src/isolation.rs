@@ -63,7 +63,13 @@ impl IsolationMap {
                 (target + spread * z).clamp(0.02, 0.95)
             })
             .collect();
-        IsolationMap { seed, rows_per_bank, rows_per_subarray, target, per_subarray }
+        IsolationMap {
+            seed,
+            rows_per_bank,
+            rows_per_subarray,
+            target,
+            per_subarray,
+        }
     }
 
     /// Subarray index of a row.
@@ -164,7 +170,10 @@ mod tests {
                 .map(|i| m.isolated_fraction(RowId(i * 500 + 3), 256))
                 .sum::<f64>()
                 / 64.0;
-            assert!((mean - target).abs() < 0.04, "target {target} realized {mean}");
+            assert!(
+                (mean - target).abs() < 0.04,
+                "target {target} realized {mean}"
+            );
         }
     }
 
@@ -172,11 +181,11 @@ mod tests {
     fn spread_controls_per_row_variation() {
         let measure_sd = |spread: f64| {
             let m = IsolationMap::new(7, 32 * 1024, 512, 0.32, spread);
-            let fracs: Vec<f64> =
-                (0..48).map(|i| m.isolated_fraction(RowId(i * 683 + 1), 512)).collect();
+            let fracs: Vec<f64> = (0..48)
+                .map(|i| m.isolated_fraction(RowId(i * 683 + 1), 512))
+                .collect();
             let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
-            (fracs.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / fracs.len() as f64)
-                .sqrt()
+            (fracs.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / fracs.len() as f64).sqrt()
         };
         let tight = measure_sd(0.003);
         let wide = measure_sd(0.08);

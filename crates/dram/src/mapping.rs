@@ -46,7 +46,11 @@ impl RowMapping {
             RowMapping::Identity => PhysRowId(row.0),
             RowMapping::BitSwizzle { mask } => {
                 let low = row.0 & 0x1FF;
-                let swz = if low & 1 == 1 { low ^ u32::from(mask) } else { low };
+                let swz = if low & 1 == 1 {
+                    low ^ u32::from(mask)
+                } else {
+                    low
+                };
                 PhysRowId((row.0 & !0x1FF) | swz)
             }
         }
@@ -60,7 +64,11 @@ impl RowMapping {
             RowMapping::BitSwizzle { mask } => {
                 // Self-inverse because the trigger bit is outside the mask.
                 let low = row.0 & 0x1FF;
-                let swz = if low & 1 == 1 { low ^ u32::from(mask) } else { low };
+                let swz = if low & 1 == 1 {
+                    low ^ u32::from(mask)
+                } else {
+                    low
+                };
                 RowId((row.0 & !0x1FF) | swz)
             }
         }

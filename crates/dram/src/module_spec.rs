@@ -62,6 +62,7 @@ impl ModuleSpec {
         )
     }
 
+    #[allow(clippy::too_many_arguments)] // one flat row of Table 4 per call site
     fn sk_hynix_die(
         label: &str,
         dimm_vendor: &str,
@@ -73,8 +74,10 @@ impl ModuleSpec {
         isolation_spread: f64,
         eff_mean: f64,
     ) -> Self {
-        let mut rowhammer = RowHammerModel::default();
-        rowhammer.eff_mean = eff_mean;
+        let rowhammer = RowHammerModel {
+            eff_mean,
+            ..RowHammerModel::default()
+        };
         ModuleSpec {
             label: label.to_owned(),
             dimm_vendor: dimm_vendor.to_owned(),
@@ -95,38 +98,108 @@ impl ModuleSpec {
     /// Module A0: G.SKill F4-2400C17S-8GNT, 4 Gb B-die (Table 4:
     /// measured coverage 24.8/25.0/25.5 %, normalized NRH avg 1.90).
     pub fn a0() -> Self {
-        Self::sk_hynix_die("A0", "G.SKill", 'B', (42, 2020), ChipGeometry::module_4gb(), 0xA0, 0.317, 0.004, 0.947)
+        Self::sk_hynix_die(
+            "A0",
+            "G.SKill",
+            'B',
+            (42, 2020),
+            ChipGeometry::module_4gb(),
+            0xA0,
+            0.317,
+            0.004,
+            0.947,
+        )
     }
 
     /// Module A1: second G.SKill 4 Gb B-die DIMM (coverage avg 26.6 %).
     pub fn a1() -> Self {
-        Self::sk_hynix_die("A1", "G.SKill", 'B', (42, 2020), ChipGeometry::module_4gb(), 0xA1, 0.337, 0.012, 0.950)
+        Self::sk_hynix_die(
+            "A1",
+            "G.SKill",
+            'B',
+            (42, 2020),
+            ChipGeometry::module_4gb(),
+            0xA1,
+            0.337,
+            0.012,
+            0.950,
+        )
     }
 
     /// Module B0: Kingston KSM32RD8/16HDR, 8 Gb D-die (coverage avg 32.6 %).
     pub fn b0() -> Self {
-        Self::sk_hynix_die("B0", "Kingston", 'D', (48, 2020), ChipGeometry::module_8gb(), 0xB0, 0.413, 0.032, 0.946)
+        Self::sk_hynix_die(
+            "B0",
+            "Kingston",
+            'D',
+            (48, 2020),
+            ChipGeometry::module_8gb(),
+            0xB0,
+            0.413,
+            0.032,
+            0.946,
+        )
     }
 
     /// Module B1: second Kingston 8 Gb D-die DIMM (coverage avg 31.6 %).
     pub fn b1() -> Self {
-        Self::sk_hynix_die("B1", "Kingston", 'D', (48, 2020), ChipGeometry::module_8gb(), 0xB1, 0.400, 0.028, 0.948)
+        Self::sk_hynix_die(
+            "B1",
+            "Kingston",
+            'D',
+            (48, 2020),
+            ChipGeometry::module_8gb(),
+            0xB1,
+            0.400,
+            0.028,
+            0.948,
+        )
     }
 
     /// Module C0: SK Hynix HMAA4GU6AJR8N-XN, 4 Gb F-die (coverage avg 35.3 %).
     pub fn c0() -> Self {
-        Self::sk_hynix_die("C0", "SK Hynix", 'F', (51, 2020), ChipGeometry::module_4gb(), 0xC0, 0.447, 0.040, 0.946)
+        Self::sk_hynix_die(
+            "C0",
+            "SK Hynix",
+            'F',
+            (51, 2020),
+            ChipGeometry::module_4gb(),
+            0xC0,
+            0.447,
+            0.040,
+            0.946,
+        )
     }
 
     /// Module C1: second SK Hynix F-die DIMM (coverage avg 38.4 %, widest
     /// spread in Table 4: 29.2-49.9 %).
     pub fn c1() -> Self {
-        Self::sk_hynix_die("C1", "SK Hynix", 'F', (51, 2020), ChipGeometry::module_4gb(), 0xC1, 0.486, 0.060, 0.945)
+        Self::sk_hynix_die(
+            "C1",
+            "SK Hynix",
+            'F',
+            (51, 2020),
+            ChipGeometry::module_4gb(),
+            0xC1,
+            0.486,
+            0.060,
+            0.945,
+        )
     }
 
     /// Module C2: third SK Hynix F-die DIMM (coverage avg 36.1 %).
     pub fn c2() -> Self {
-        Self::sk_hynix_die("C2", "SK Hynix", 'F', (51, 2020), ChipGeometry::module_4gb(), 0xC2, 0.457, 0.045, 0.951)
+        Self::sk_hynix_die(
+            "C2",
+            "SK Hynix",
+            'F',
+            (51, 2020),
+            ChipGeometry::module_4gb(),
+            0xC2,
+            0.457,
+            0.045,
+            0.951,
+        )
     }
 
     /// All seven HiRA-capable modules of Table 1/4, in label order.
@@ -145,7 +218,17 @@ impl ModuleSpec {
     /// A representative Samsung part (§12: HiRA-inert; the timing-violating
     /// commands are ignored by the decoder).
     pub fn samsung_4gb(seed: u64) -> Self {
-        let mut spec = Self::sk_hynix_die("S0", "Samsung", 'B', (30, 2020), ChipGeometry::module_4gb(), seed, 0.41, 0.03, 0.947);
+        let mut spec = Self::sk_hynix_die(
+            "S0",
+            "Samsung",
+            'B',
+            (30, 2020),
+            ChipGeometry::module_4gb(),
+            seed,
+            0.41,
+            0.03,
+            0.947,
+        );
         spec.manufacturer = Manufacturer::Samsung;
         spec.dimm_vendor = "Samsung".to_owned();
         spec
@@ -153,7 +236,17 @@ impl ModuleSpec {
 
     /// A representative Micron part (§12: HiRA-inert).
     pub fn micron_4gb(seed: u64) -> Self {
-        let mut spec = Self::sk_hynix_die("M0", "Micron", 'E', (25, 2020), ChipGeometry::module_4gb(), seed, 0.41, 0.03, 0.947);
+        let mut spec = Self::sk_hynix_die(
+            "M0",
+            "Micron",
+            'E',
+            (25, 2020),
+            ChipGeometry::module_4gb(),
+            seed,
+            0.41,
+            0.03,
+            0.947,
+        );
         spec.manufacturer = Manufacturer::Micron;
         spec.dimm_vendor = "Micron".to_owned();
         spec
@@ -162,7 +255,17 @@ impl ModuleSpec {
     /// A generic SK Hynix-style module with the paper's average behaviour,
     /// handy for examples and tests.
     pub fn sk_hynix_4gb(seed: u64) -> Self {
-        Self::sk_hynix_die("X0", "Generic", 'F', (51, 2020), ChipGeometry::module_4gb(), seed, 0.405, 0.03, 0.947)
+        Self::sk_hynix_die(
+            "X0",
+            "Generic",
+            'F',
+            (51, 2020),
+            ChipGeometry::module_4gb(),
+            seed,
+            0.405,
+            0.03,
+            0.947,
+        )
     }
 }
 
@@ -174,8 +277,7 @@ mod tests {
     fn table1_has_seven_modules_with_unique_labels() {
         let mods = ModuleSpec::table1_modules();
         assert_eq!(mods.len(), 7);
-        let labels: std::collections::HashSet<_> =
-            mods.iter().map(|m| m.label.clone()).collect();
+        let labels: std::collections::HashSet<_> = mods.iter().map(|m| m.label.clone()).collect();
         assert_eq!(labels.len(), 7);
     }
 

@@ -39,7 +39,7 @@ impl Default for RetentionModel {
 impl RetentionModel {
     /// The row's weakest-cell retention time in ms at the given temperature.
     pub fn retention_ms(&self, seed: u64, bank: BankId, row: RowId, temp_c: f64) -> f64 {
-        let base = Stream::from_words(&[seed, 0x5245_54, u64::from(bank.0), u64::from(row.0)])
+        let base = Stream::from_words(&[seed, 0x0052_4554, u64::from(bank.0), u64::from(row.0)])
             .next_lognormal(self.ln_median_ms, self.ln_sigma)
             .max(self.floor_ms);
         let derate = 2f64.powf(-(temp_c - 45.0) / self.halving_c);
@@ -47,7 +47,14 @@ impl RetentionModel {
     }
 
     /// Whether a row last restored `elapsed_ns` ago has lost charge.
-    pub fn expired(&self, seed: u64, bank: BankId, row: RowId, temp_c: f64, elapsed_ns: f64) -> bool {
+    pub fn expired(
+        &self,
+        seed: u64,
+        bank: BankId,
+        row: RowId,
+        temp_c: f64,
+        elapsed_ns: f64,
+    ) -> bool {
         elapsed_ns / 1.0e6 > self.retention_ms(seed, bank, row, temp_c)
     }
 }

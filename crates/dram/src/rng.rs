@@ -41,7 +41,9 @@ pub struct Stream {
 impl Stream {
     /// Creates a stream keyed by the given coordinate words.
     pub fn from_words(words: &[u64]) -> Self {
-        Stream { state: hash_words(words) }
+        Stream {
+            state: hash_words(words),
+        }
     }
 
     /// Next raw 64-bit value.

@@ -55,8 +55,9 @@ impl RowHammerModel {
     /// The row's intrinsic threshold (activations of neighbours within a
     /// refresh window before first bit flip), before measurement noise.
     pub fn nrh_base(&self, seed: u64, bank: BankId, row: RowId) -> f64 {
-        let mut s = Stream::from_words(&[seed, 0x4E52_48, u64::from(bank.0), u64::from(row.0)]);
-        s.next_lognormal(self.nrh_ln_median, self.nrh_ln_sigma).max(1_000.0)
+        let mut s = Stream::from_words(&[seed, 0x004E_5248, u64::from(bank.0), u64::from(row.0)]);
+        s.next_lognormal(self.nrh_ln_median, self.nrh_ln_sigma)
+            .max(1_000.0)
     }
 
     /// The threshold seen by one particular sensing event (adds measurement
@@ -72,7 +73,7 @@ impl RowHammerModel {
         let base = self.nrh_base(seed, bank, row);
         let noise = Stream::from_words(&[
             seed,
-            0x4E4F_49,
+            0x004E_4F49,
             u64::from(bank.0),
             u64::from(row.0),
             sense_event,
@@ -84,16 +85,21 @@ impl RowHammerModel {
 
     /// The row's restore efficiency (stable per row).
     pub fn restore_eff(&self, seed: u64, bank: BankId, row: RowId) -> f64 {
-        Stream::from_words(&[seed, 0x4546_46, u64::from(bank.0), u64::from(row.0)])
+        Stream::from_words(&[seed, 0x0045_4646, u64::from(bank.0), u64::from(row.0)])
             .next_gauss(self.eff_mean, self.eff_sd)
             .clamp(0.75, 0.995)
     }
 
     /// Bit positions (byte index, bit index) of the row's RowHammer-weak
     /// cells. Deterministic per row; between 1 and `weak_cells_max` cells.
-    pub fn weak_cells(&self, seed: u64, bank: BankId, row: RowId, row_bytes: usize) -> Vec<(usize, u8)> {
-        let mut s =
-            Stream::from_words(&[seed, 0x5745_41, u64::from(bank.0), u64::from(row.0)]);
+    pub fn weak_cells(
+        &self,
+        seed: u64,
+        bank: BankId,
+        row: RowId,
+        row_bytes: usize,
+    ) -> Vec<(usize, u8)> {
+        let mut s = Stream::from_words(&[seed, 0x0057_4541, u64::from(bank.0), u64::from(row.0)]);
         let count = 1 + s.next_below(u64::from(self.weak_cells_max)) as usize;
         (0..count)
             .map(|_| {
@@ -133,7 +139,10 @@ mod tests {
             })
             .sum::<f64>()
             / n as f64;
-        assert!((mean_ratio - 1.9).abs() < 0.05, "mean normalized NRH {mean_ratio}");
+        assert!(
+            (mean_ratio - 1.9).abs() < 0.05,
+            "mean normalized NRH {mean_ratio}"
+        );
     }
 
     #[test]

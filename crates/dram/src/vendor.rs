@@ -78,8 +78,10 @@ mod tests {
 
     #[test]
     fn guard_bands_are_below_jedec_but_above_hira_timings() {
-        if let ViolationBehavior::IgnoreViolating { t_ras_guard, t_rp_guard } =
-            Manufacturer::Micron.violation_behavior()
+        if let ViolationBehavior::IgnoreViolating {
+            t_ras_guard,
+            t_rp_guard,
+        } = Manufacturer::Micron.violation_behavior()
         {
             // HiRA's t1=3 ns / t2=3 ns must fall inside the guard (dropped),
             // while nominal tRAS=32 / tRP=14.25 must be honoured.

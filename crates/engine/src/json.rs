@@ -1,0 +1,97 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The engine serializes run results without external dependencies, and the
+//! output doubles as the determinism fingerprint: the canonical form must be
+//! byte-identical across thread counts and runs, so formatting is fully
+//! specified here (shortest round-trip `f64` rendering, no whitespace,
+//! insertion-ordered objects).
+
+use std::fmt::Write as _;
+
+/// Appends the JSON string literal for `s` (quotes included).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends the JSON rendering of `v`: shortest round-trip decimal for finite
+/// values, `null` for NaN/infinities (JSON has no encoding for them).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends an object from pre-rendered `(key, raw_json_value)` entries.
+pub fn write_object<'a>(out: &mut String, entries: impl IntoIterator<Item = (&'a str, String)>) {
+    out.push('{');
+    for (i, (k, v)) in entries.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        out.push_str(&v);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn str_of(s: &str) -> String {
+        let mut out = String::new();
+        write_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(str_of("plain"), "\"plain\"");
+        assert_eq!(str_of("a\"b"), "\"a\\\"b\"");
+        assert_eq!(str_of("a\\b"), "\"a\\\\b\"");
+        assert_eq!(str_of("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(str_of("\u{1}"), "\"\\u0001\"");
+        assert_eq!(str_of("µ-ops"), "\"µ-ops\"");
+    }
+
+    #[test]
+    fn floats_render_shortest_and_nonfinite_as_null() {
+        let f = |v: f64| {
+            let mut out = String::new();
+            write_f64(&mut out, v);
+            out
+        };
+        assert_eq!(f(1.5), "1.5");
+        assert_eq!(f(3.0), "3");
+        assert_eq!(f(-0.25), "-0.25");
+        assert_eq!(f(f64::NAN), "null");
+        assert_eq!(f(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_preserve_entry_order() {
+        let mut out = String::new();
+        write_object(
+            &mut out,
+            [("b", "1".to_string()), ("a", "\"x\"".to_string())],
+        );
+        assert_eq!(out, "{\"b\":1,\"a\":\"x\"}");
+    }
+}

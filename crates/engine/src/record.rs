@@ -1,0 +1,370 @@
+//! The structured result store: metrics, run records and run sets.
+//!
+//! Executor tasks return [`Metric`]s; the executor stamps them with their
+//! scenario key and wall time into [`RunRecord`]s and bundles a sweep's
+//! records into a [`RunSet`]. The run set offers:
+//!
+//! * keyed lookup ([`RunSet::get`] / [`RunSet::value`]) and axis aggregation
+//!   ([`RunSet::mean_over`]) for the figure binaries,
+//! * a canonical JSON form ([`RunSet::canonical_json`]) that excludes
+//!   timing/thread metadata and is byte-identical across thread counts —
+//!   the determinism fingerprint,
+//! * a `BENCH_<sweep>.json` emitter ([`RunSet::write_bench_json`]) carrying
+//!   wall-clock data for the perf trajectory, plus the env-gated
+//!   [`RunSet::emit_if_requested`] convenience,
+//! * a tabular pretty-printer ([`RunSet::table`]).
+
+use crate::json;
+use crate::scenario::ScenarioKey;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One named measurement produced by a task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (e.g. `"ws"`, `"coverage_mean"`).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// Shorthand constructor for a [`Metric`].
+pub fn metric(name: impl Into<String>, value: f64) -> Metric {
+    Metric {
+        name: name.into(),
+        value,
+    }
+}
+
+/// One measurement of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The scenario the measurement belongs to.
+    pub key: ScenarioKey,
+    /// Metric name.
+    pub metric: String,
+    /// Metric value.
+    pub value: f64,
+    /// Wall time of the scenario's task in milliseconds. Excluded from the
+    /// canonical serialization — it varies run to run by nature.
+    pub wall_ms: f64,
+}
+
+/// All records of one executed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSet {
+    /// The sweep's name.
+    pub sweep: String,
+    /// Worker threads the executor used (metadata, not part of the results).
+    pub threads: usize,
+    /// Total wall time of the sweep in milliseconds.
+    pub wall_ms: f64,
+    /// Records in point order, metrics in task-emission order.
+    pub records: Vec<RunRecord>,
+}
+
+impl RunSet {
+    /// The first record matching every filter and the metric name.
+    pub fn get(&self, filters: &[(&str, &str)], metric: &str) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.metric == metric && r.key.matches(filters))
+            .map(|r| r.value)
+    }
+
+    /// [`RunSet::get`] that panics with a descriptive message on a miss —
+    /// for figure binaries where an absent point is a programming error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no record matches.
+    pub fn value(&self, filters: &[(&str, &str)], metric: &str) -> f64 {
+        self.get(filters, metric).unwrap_or_else(|| {
+            panic!(
+                "sweep `{}` has no record for {filters:?} metric `{metric}`",
+                self.sweep
+            )
+        })
+    }
+
+    /// Collapses one axis by arithmetic mean: records of `metric` whose keys
+    /// differ only in `axis` are grouped (first-seen order) and averaged.
+    pub fn mean_over(&self, axis: &str, metric: &str) -> Vec<(ScenarioKey, f64)> {
+        let mut groups: Vec<(ScenarioKey, f64, usize)> = Vec::new();
+        for r in self.records.iter().filter(|r| r.metric == metric) {
+            let k = r.key.without(axis);
+            match groups.iter_mut().find(|(g, _, _)| *g == k) {
+                Some((_, sum, n)) => {
+                    *sum += r.value;
+                    *n += 1;
+                }
+                None => groups.push((k, r.value, 1)),
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(k, sum, n)| (k, sum / n as f64))
+            .collect()
+    }
+
+    fn key_json(key: &ScenarioKey) -> String {
+        let mut out = String::new();
+        json::write_object(
+            &mut out,
+            key.axes().map(|(a, v)| {
+                let mut s = String::new();
+                json::write_str(&mut s, v);
+                (a, s)
+            }),
+        );
+        out
+    }
+
+    fn record_json(r: &RunRecord, with_wall: bool) -> String {
+        let mut value = String::new();
+        json::write_f64(&mut value, r.value);
+        let mut m = String::new();
+        json::write_str(&mut m, &r.metric);
+        let mut entries = vec![
+            ("key", Self::key_json(&r.key)),
+            ("metric", m),
+            ("value", value),
+        ];
+        if with_wall {
+            let mut w = String::new();
+            json::write_f64(&mut w, r.wall_ms);
+            entries.push(("wall_ms", w));
+        }
+        let mut out = String::new();
+        json::write_object(&mut out, entries);
+        out
+    }
+
+    fn json(&self, with_wall: bool) -> String {
+        let mut name = String::new();
+        json::write_str(&mut name, &self.sweep);
+        let mut records = String::from("[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                records.push(',');
+            }
+            records.push_str(&Self::record_json(r, with_wall));
+        }
+        records.push(']');
+        let mut entries = vec![("sweep", name)];
+        if with_wall {
+            entries.push(("threads", self.threads.to_string()));
+            let mut w = String::new();
+            json::write_f64(&mut w, self.wall_ms);
+            entries.push(("wall_ms", w));
+        }
+        entries.push(("records", records));
+        let mut out = String::new();
+        json::write_object(&mut out, entries);
+        out.push('\n');
+        out
+    }
+
+    /// The canonical serialization: sweep name + records without any timing
+    /// or thread metadata. Byte-identical across thread counts and runs.
+    pub fn canonical_json(&self) -> String {
+        self.json(false)
+    }
+
+    /// The full serialization with per-record and total wall times plus the
+    /// thread count — the `BENCH_*.json` payload.
+    pub fn bench_json(&self) -> String {
+        self.json(true)
+    }
+
+    /// Writes `BENCH_<sweep>.json` into `dir` and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_bench_json(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.sweep));
+        std::fs::write(&path, self.bench_json())?;
+        Ok(path)
+    }
+
+    /// Writes the `BENCH_*.json` into `$HIRA_BENCH_DIR` when that variable
+    /// is set; returns the path written, if any. Figure binaries call this
+    /// unconditionally so any sweep can join the perf trajectory on demand.
+    pub fn emit_if_requested(&self) -> Option<PathBuf> {
+        let dir = std::env::var_os("HIRA_BENCH_DIR")?;
+        match self.write_bench_json(Path::new(&dir)) {
+            Ok(path) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write BENCH_{}.json: {e}", self.sweep);
+                None
+            }
+        }
+    }
+
+    /// Renders the records as an aligned text table (axes, metric, value,
+    /// wall time).
+    pub fn table(&self) -> String {
+        let mut axes: Vec<&str> = Vec::new();
+        for r in &self.records {
+            for (a, _) in r.key.axes() {
+                if !axes.contains(&a) {
+                    axes.push(a);
+                }
+            }
+        }
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.records.len() + 1);
+        let mut header: Vec<String> = axes.iter().map(|a| (*a).to_string()).collect();
+        header.extend(["metric".to_string(), "value".to_string(), "ms".to_string()]);
+        rows.push(header);
+        for r in &self.records {
+            let mut row: Vec<String> = axes
+                .iter()
+                .map(|a| r.key.get(a).unwrap_or("-").to_string())
+                .collect();
+            row.push(r.metric.clone());
+            row.push(format!("{:.6}", r.value));
+            row.push(format!("{:.1}", r.wall_ms));
+            rows.push(row);
+        }
+        let cols = rows[0].len();
+        let widths: Vec<usize> = (0..cols)
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}", width = widths[c]));
+            }
+            out.push('\n');
+            if i == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Formats an axis label for a float value: integral values render without
+/// a fractional part (`8` not `8.0`), so labels match `to_string()` lookups.
+pub fn flabel(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSet {
+        let k = |m: &str| ScenarioKey::root().with("scheme", "B").with("mix", m);
+        RunSet {
+            sweep: "demo".into(),
+            threads: 2,
+            wall_ms: 12.5,
+            records: vec![
+                RunRecord {
+                    key: k("0"),
+                    metric: "ws".into(),
+                    value: 2.0,
+                    wall_ms: 3.0,
+                },
+                RunRecord {
+                    key: k("1"),
+                    metric: "ws".into(),
+                    value: 4.0,
+                    wall_ms: 4.0,
+                },
+                RunRecord {
+                    key: k("0"),
+                    metric: "ipc".into(),
+                    value: 1.0,
+                    wall_ms: 3.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_by_filters_and_metric() {
+        let rs = sample();
+        assert_eq!(rs.get(&[("mix", "1")], "ws"), Some(4.0));
+        assert_eq!(rs.get(&[("mix", "2")], "ws"), None);
+        assert_eq!(rs.value(&[("scheme", "B"), ("mix", "0")], "ipc"), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no record")]
+    fn value_panics_on_miss() {
+        sample().value(&[("mix", "9")], "ws");
+    }
+
+    #[test]
+    fn mean_over_collapses_one_axis() {
+        let rs = sample();
+        let means = rs.mean_over("mix", "ws");
+        assert_eq!(means.len(), 1);
+        assert_eq!(means[0].0.to_string(), "scheme=B");
+        assert_eq!(means[0].1, 3.0);
+    }
+
+    #[test]
+    fn canonical_json_is_wall_free_and_ordered() {
+        let rs = sample();
+        let json = rs.canonical_json();
+        assert!(json.starts_with("{\"sweep\":\"demo\",\"records\":["));
+        assert!(json
+            .contains("{\"key\":{\"scheme\":\"B\",\"mix\":\"0\"},\"metric\":\"ws\",\"value\":2}"));
+        assert!(!json.contains("wall"));
+        assert!(!json.contains("threads"));
+        // Identical results at different thread counts serialize identically.
+        let mut other = rs.clone();
+        other.threads = 8;
+        other.wall_ms = 99.0;
+        other.records[0].wall_ms = 1.0;
+        assert_eq!(json, other.canonical_json());
+        assert_ne!(rs.bench_json(), other.bench_json());
+    }
+
+    #[test]
+    fn bench_json_carries_timing_metadata() {
+        let json = sample().bench_json();
+        assert!(json.contains("\"threads\":2"));
+        assert!(json.contains("\"wall_ms\""));
+    }
+
+    #[test]
+    fn bench_json_roundtrips_to_disk() {
+        let dir = std::env::temp_dir().join("hira-engine-test-emit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample().write_bench_json(&dir).unwrap();
+        assert!(path.ends_with("BENCH_demo.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, sample().bench_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_lists_axes_and_values() {
+        let table = sample().table();
+        assert!(table.contains("scheme"));
+        assert!(table.contains("mix"));
+        assert!(table.contains("ws"));
+        assert!(table.contains("4.000000"));
+    }
+
+    #[test]
+    fn float_labels_drop_trailing_zero() {
+        assert_eq!(flabel(8.0), "8");
+        assert_eq!(flabel(0.5), "0.5");
+        assert_eq!(flabel(-2.0), "-2");
+    }
+}

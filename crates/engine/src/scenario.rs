@@ -1,0 +1,386 @@
+//! The declarative experiment model: scenario keys, sweeps and deterministic
+//! per-point seeds.
+//!
+//! A [`Sweep`] is an ordered list of experiment points. Each point carries a
+//! [`ScenarioKey`] — the ordered `axis=value` coordinates that identify it —
+//! and a typed parameter payload `P` (a `SystemConfig`, a `ModuleSpec`, a
+//! characterization timing, …). Sweeps are grown declaratively:
+//!
+//! * [`Sweep::axis`] performs cartesian-product expansion: every existing
+//!   point is crossed with every value of the new axis,
+//! * [`Sweep::expand`] is the general form where the new axis's values may
+//!   depend on the point being expanded (e.g. a `p_th` that depends on the
+//!   RowHammer threshold axis),
+//! * [`Sweep::map`] transforms payloads without changing the key structure,
+//! * [`Sweep::push`] adds a singleton point (reference baselines).
+//!
+//! Every point gets a deterministic seed derived from the sweep's base seed
+//! and its key ([`derive_seed`]), so a scenario's randomness is a pure
+//! function of *what* it is, never of scheduling, thread count or insertion
+//! order of unrelated points.
+
+use std::fmt;
+
+/// Ordered `axis=value` coordinates identifying one experiment point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ScenarioKey {
+    pairs: Vec<(String, String)>,
+}
+
+impl ScenarioKey {
+    /// The empty key (the root of a sweep before any axis is added).
+    pub fn root() -> Self {
+        ScenarioKey::default()
+    }
+
+    /// Returns this key extended with one more `axis=value` coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis is already present: a coordinate must identify a
+    /// point unambiguously.
+    pub fn with(mut self, axis: impl Into<String>, value: impl Into<String>) -> Self {
+        let axis = axis.into();
+        assert!(
+            self.get(&axis).is_none(),
+            "axis `{axis}` already present in key {self}"
+        );
+        self.pairs.push((axis, value.into()));
+        self
+    }
+
+    /// The coordinates, in the order their axes were added.
+    pub fn axes(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(a, v)| (a.as_str(), v.as_str()))
+    }
+
+    /// The value of one axis, if present.
+    pub fn get(&self, axis: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(a, _)| a == axis)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether every `(axis, value)` filter matches this key.
+    pub fn matches(&self, filters: &[(&str, &str)]) -> bool {
+        filters.iter().all(|&(a, v)| self.get(a) == Some(v))
+    }
+
+    /// This key with one axis removed (used when aggregating an axis away).
+    pub fn without(&self, axis: &str) -> ScenarioKey {
+        ScenarioKey {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|(a, _)| a != axis)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of coordinates.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether this is the root (coordinate-free) key.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+impl fmt::Display for ScenarioKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pairs.is_empty() {
+            return write!(f, "(root)");
+        }
+        for (i, (a, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{a}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A borrowed view of one sweep point, handed to executor tasks.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario<'a, P> {
+    /// The point's coordinates.
+    pub key: &'a ScenarioKey,
+    /// The point's deterministic seed ([`derive_seed`]).
+    pub seed: u64,
+    /// The typed parameter payload.
+    pub params: &'a P,
+}
+
+/// SplitMix64 finalizer — the same mixer the DRAM model's RNG builds on.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the deterministic seed of the point `key` under `base_seed`:
+/// FNV-1a over the coordinates, finalized with SplitMix64. Stable across
+/// runs, platforms, thread counts and the presence of other points.
+pub fn derive_seed(base_seed: u64, key: &ScenarioKey) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ splitmix64(base_seed);
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (axis, value) in key.axes() {
+        eat(axis.as_bytes());
+        eat(&[0x1F]); // unit separator: "a=bc" != "ab=c"
+        eat(value.as_bytes());
+        eat(&[0x1E]); // record separator between coordinates
+    }
+    splitmix64(h)
+}
+
+/// Default base seed ("HIRA" in ASCII).
+pub const DEFAULT_BASE_SEED: u64 = 0x4849_5241;
+
+/// A named, ordered collection of experiment points.
+#[derive(Debug, Clone)]
+pub struct Sweep<P> {
+    name: String,
+    base_seed: u64,
+    points: Vec<(ScenarioKey, P)>,
+}
+
+impl Sweep<()> {
+    /// A new sweep holding the single root point, ready for axis expansion.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_seed(name, DEFAULT_BASE_SEED)
+    }
+
+    /// [`Sweep::new`] with an explicit base seed.
+    pub fn with_seed(name: impl Into<String>, base_seed: u64) -> Self {
+        Sweep {
+            name: name.into(),
+            base_seed,
+            points: vec![(ScenarioKey::root(), ())],
+        }
+    }
+}
+
+impl<P> Sweep<P> {
+    /// Builds a sweep directly from `(key, payload)` points.
+    pub fn from_points(
+        name: impl Into<String>,
+        base_seed: u64,
+        points: Vec<(ScenarioKey, P)>,
+    ) -> Self {
+        Sweep {
+            name: name.into(),
+            base_seed,
+            points,
+        }
+    }
+
+    /// The sweep's name (also names its `BENCH_<name>.json` emission).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The seed all point seeds are derived from.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points, in execution order.
+    pub fn points(&self) -> &[(ScenarioKey, P)] {
+        &self.points
+    }
+
+    /// The borrowed scenario view of point `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn scenario(&self, idx: usize) -> Scenario<'_, P> {
+        let (key, params) = &self.points[idx];
+        Scenario {
+            key,
+            seed: derive_seed(self.base_seed, key),
+            params,
+        }
+    }
+
+    /// Cartesian-product expansion: crosses every existing point with every
+    /// `(label, value)` of the new axis, combining payloads with `combine`.
+    pub fn axis<V, Q>(
+        self,
+        axis: &str,
+        values: impl IntoIterator<Item = (impl Into<String>, V)>,
+        combine: impl Fn(&P, &V) -> Q,
+    ) -> Sweep<Q> {
+        let values: Vec<(String, V)> = values.into_iter().map(|(l, v)| (l.into(), v)).collect();
+        self.expand(axis, |_, p| {
+            values
+                .iter()
+                .map(|(l, v)| (l.clone(), combine(p, v)))
+                .collect()
+        })
+    }
+
+    /// General expansion: the new axis's `(label, payload)` values may depend
+    /// on the point being expanded. A point mapping to an empty list is
+    /// dropped (axis-dependent filtering).
+    pub fn expand<Q>(
+        self,
+        axis: &str,
+        f: impl Fn(&ScenarioKey, &P) -> Vec<(String, Q)>,
+    ) -> Sweep<Q> {
+        let mut points = Vec::new();
+        for (key, p) in &self.points {
+            for (label, q) in f(key, p) {
+                points.push((key.clone().with(axis, label), q));
+            }
+        }
+        Sweep {
+            name: self.name,
+            base_seed: self.base_seed,
+            points,
+        }
+    }
+
+    /// Transforms every payload, keeping keys and order.
+    pub fn map<Q>(self, f: impl Fn(&ScenarioKey, P) -> Q) -> Sweep<Q> {
+        let name = self.name;
+        let base_seed = self.base_seed;
+        let points = self.points.into_iter().map(|(k, p)| {
+            let q = f(&k, p);
+            (k, q)
+        });
+        Sweep {
+            name,
+            base_seed,
+            points: points.collect(),
+        }
+    }
+
+    /// Keeps only the points whose key satisfies `pred`.
+    pub fn retain(mut self, pred: impl Fn(&ScenarioKey, &P) -> bool) -> Self {
+        self.points.retain(|(k, p)| pred(k, p));
+        self
+    }
+
+    /// Adds one singleton point (e.g. a normalization baseline that sits
+    /// outside the cartesian grid).
+    pub fn push(&mut self, key: ScenarioKey, params: P) {
+        self.points.push((key, params));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_expansion_is_cartesian_in_declaration_order() {
+        let sweep = Sweep::new("t")
+            .axis("a", [("1", 1u32), ("2", 2)], |_, v| *v)
+            .axis("b", [("x", 10u32), ("y", 20)], |a, b| a + b);
+        assert_eq!(sweep.len(), 4);
+        let got: Vec<(String, u32)> = sweep
+            .points()
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a=1 b=x".into(), 11),
+                ("a=1 b=y".into(), 21),
+                ("a=2 b=x".into(), 12),
+                ("a=2 b=y".into(), 22),
+            ]
+        );
+    }
+
+    #[test]
+    fn expand_supports_point_dependent_axes_and_drops_empty() {
+        let sweep = Sweep::new("t")
+            .axis("n", [("1", 1u32), ("2", 2), ("3", 3)], |_, v| *v)
+            .expand("half", |_, &n| {
+                if n % 2 == 0 {
+                    vec![("lo".to_string(), n), ("hi".to_string(), n * 10)]
+                } else {
+                    vec![]
+                }
+            });
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep.points()[0].0.to_string(), "n=2 half=lo");
+        assert_eq!(sweep.points()[1].1, 20);
+    }
+
+    #[test]
+    fn key_lookup_filters_and_removal() {
+        let k = ScenarioKey::root()
+            .with("scheme", "HiRA-4")
+            .with("cap", "8");
+        assert_eq!(k.get("scheme"), Some("HiRA-4"));
+        assert_eq!(k.get("nope"), None);
+        assert!(k.matches(&[("cap", "8")]));
+        assert!(k.matches(&[("cap", "8"), ("scheme", "HiRA-4")]));
+        assert!(!k.matches(&[("cap", "2")]));
+        assert_eq!(k.without("cap").to_string(), "scheme=HiRA-4");
+        assert!(ScenarioKey::root().matches(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_axis_is_rejected() {
+        let _ = ScenarioKey::root().with("a", "1").with("a", "2");
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct_per_key() {
+        let k1 = ScenarioKey::root().with("a", "1");
+        let k2 = ScenarioKey::root().with("a", "2");
+        let k3 = ScenarioKey::root().with("a", "1").with("b", "1");
+        assert_eq!(derive_seed(7, &k1), derive_seed(7, &k1));
+        assert_ne!(derive_seed(7, &k1), derive_seed(7, &k2));
+        assert_ne!(derive_seed(7, &k1), derive_seed(7, &k3));
+        assert_ne!(derive_seed(7, &k1), derive_seed(8, &k1));
+        // Coordinate boundaries matter: "a=bc" must differ from "ab=c".
+        let kx = ScenarioKey::root().with("a", "bc");
+        let ky = ScenarioKey::root().with("ab", "c");
+        assert_ne!(derive_seed(7, &kx), derive_seed(7, &ky));
+    }
+
+    #[test]
+    fn scenario_view_exposes_derived_seed() {
+        let sweep = Sweep::with_seed("t", 99).axis("a", [("1", 1u32)], |_, v| *v);
+        let sc = sweep.scenario(0);
+        assert_eq!(sc.seed, derive_seed(99, sc.key));
+        assert_eq!(*sc.params, 1);
+    }
+
+    #[test]
+    fn push_and_retain_edit_the_point_set() {
+        let mut sweep = Sweep::new("t").axis("a", [("1", 1u32), ("2", 2)], |_, v| *v);
+        sweep.push(ScenarioKey::root().with("baseline", "yes"), 0);
+        assert_eq!(sweep.len(), 3);
+        let kept = sweep.retain(|k, _| k.get("a") != Some("1"));
+        assert_eq!(kept.len(), 2);
+    }
+}

@@ -41,7 +41,9 @@ mod tests {
 
     #[test]
     fn ratio_matches_frequencies() {
-        assert!((CPU_GHZ / MEM_GHZ - MEM_PER_CPU_DEN as f64 / MEM_PER_CPU_NUM as f64).abs() < 1e-12);
+        assert!(
+            (CPU_GHZ / MEM_GHZ - MEM_PER_CPU_DEN as f64 / MEM_PER_CPU_NUM as f64).abs() < 1e-12
+        );
     }
 
     #[test]

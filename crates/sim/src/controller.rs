@@ -16,8 +16,8 @@ use hira_core::config::HiraConfig;
 use hira_core::finder::{DeadlineWork, HiraMc, HiraMcParams, McAction, McStats};
 use hira_core::para::Para;
 use hira_dram::addr::{BankId, RowId};
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// How far into the future a service may be committed (cycles). Loose
 /// enough that a refresh-busy bank still accepts demand work behind the
@@ -150,18 +150,12 @@ impl CmdBus {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Bank {
     open_row: Option<u32>,
     next_act: MemCycle,
     next_pre: MemCycle,
     next_cas: MemCycle,
-}
-
-impl Default for Bank {
-    fn default() -> Self {
-        Bank { open_row: None, next_act: 0, next_pre: 0, next_cas: 0 }
-    }
 }
 
 #[derive(Debug)]
@@ -241,7 +235,10 @@ impl Channel {
                 let periodic_via_hira = matches!(cfg.refresh, RefreshScheme::Hira(_));
                 let preventive_hira = matches!(
                     cfg.preventive,
-                    Some(crate::config::PreventiveConfig { mode: PreventiveMode::Hira(_), .. })
+                    Some(crate::config::PreventiveConfig {
+                        mode: PreventiveMode::Hira(_),
+                        ..
+                    })
                 );
                 let mc = (periodic_via_hira || preventive_hira).then(|| {
                     let params = HiraMcParams {
@@ -260,7 +257,10 @@ impl Channel {
                 });
                 let para = matches!(
                     cfg.preventive,
-                    Some(crate::config::PreventiveConfig { mode: PreventiveMode::Immediate, .. })
+                    Some(crate::config::PreventiveConfig {
+                        mode: PreventiveMode::Immediate,
+                        ..
+                    })
                 )
                 .then(|| {
                     Para::new(
@@ -307,7 +307,10 @@ impl Channel {
 
     /// Per-rank HiRA-MC statistics, where configured.
     pub fn mc_stats(&self) -> Vec<McStats> {
-        self.ranks.iter().filter_map(|r| r.mc.as_ref().map(HiraMc::stats)).collect()
+        self.ranks
+            .iter()
+            .filter_map(|r| r.mc.as_ref().map(HiraMc::stats))
+            .collect()
     }
 
     /// True when the read queue can accept another request.
@@ -339,9 +342,7 @@ impl Channel {
     /// honouring tRRD and tFAW.
     fn act_constraint(&self, rank: usize, bg: u16, earliest: MemCycle) -> MemCycle {
         let r = &self.ranks[rank];
-        let mut a = earliest
-            .max(r.next_act_any)
-            .max(r.next_act_bg[bg as usize]);
+        let mut a = earliest.max(r.next_act_any).max(r.next_act_bg[bg as usize]);
         // tFAW: the 4th-most-recent ACT before `a` must be faw-old.
         loop {
             let recent: Vec<MemCycle> = r.acts.iter().copied().filter(|&t| t <= a).collect();
@@ -415,7 +416,14 @@ impl Channel {
     }
 
     /// Issues a HiRA refresh-refresh pair on `bank`.
-    fn issue_pair_refresh(&mut self, now: MemCycle, rank: usize, bank: u16, first: u32, second: u32) {
+    fn issue_pair_refresh(
+        &mut self,
+        now: MemCycle,
+        rank: usize,
+        bank: u16,
+        first: u32,
+        second: u32,
+    ) {
         let t = self.timing;
         let bg = bank / (self.banks_per_rank / self.bank_groups);
         let bi = self.bank_index(rank, bank);
@@ -531,7 +539,11 @@ impl Channel {
                         Some(DeadlineWork::Single { bank, row }) => {
                             self.issue_single_refresh(now, rank, bank.0, row.0);
                         }
-                        Some(DeadlineWork::Pair { bank, first, second }) => {
+                        Some(DeadlineWork::Pair {
+                            bank,
+                            first,
+                            second,
+                        }) => {
                             self.issue_pair_refresh(now, rank, bank.0, first.0, second.0);
                         }
                         None => break,
@@ -576,7 +588,11 @@ impl Channel {
                     Some(DeadlineWork::Single { bank, row }) => {
                         self.issue_single_refresh(now, rank, bank.0, row.0);
                     }
-                    Some(DeadlineWork::Pair { bank, first, second }) => {
+                    Some(DeadlineWork::Pair {
+                        bank,
+                        first,
+                        second,
+                    }) => {
                         self.issue_pair_refresh(now, rank, bank.0, first.0, second.0);
                     }
                     None => {}
@@ -591,14 +607,21 @@ impl Channel {
             if self.write_q.len() <= WQ_LOW {
                 self.write_mode = false;
             }
-        } else if self.write_q.len() >= WQ_HIGH || (self.read_q.is_empty() && !self.write_q.is_empty())
+        } else if self.write_q.len() >= WQ_HIGH
+            || (self.read_q.is_empty() && !self.write_q.is_empty())
         {
             self.write_mode = true;
         }
 
         let from_writes = self.write_mode || self.read_q.is_empty();
-        let Some(idx) = self.pick_frfcfs(now, from_writes) else { return };
-        let req = if from_writes { self.write_q[idx] } else { self.read_q[idx] };
+        let Some(idx) = self.pick_frfcfs(now, from_writes) else {
+            return;
+        };
+        let req = if from_writes {
+            self.write_q[idx]
+        } else {
+            self.read_q[idx]
+        };
         if self.commit(now, &req) {
             if from_writes {
                 self.write_q.swap_remove(idx);
@@ -612,7 +635,11 @@ impl Channel {
     /// request whose bank can start its service within the commit horizon.
     /// Requests to refresh- or REF-blocked banks do not stall the channel.
     fn pick_frfcfs(&self, now: MemCycle, from_writes: bool) -> Option<usize> {
-        let q = if from_writes { &self.write_q } else { &self.read_q };
+        let q = if from_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         if q.is_empty() {
             return None;
         }
@@ -654,7 +681,11 @@ impl Channel {
         // Feasibility first: no side effects on a refused commit.
         if !hit {
             let b = &self.banks[bi];
-            let start = if b.open_row.is_some() { b.next_pre } else { b.next_act };
+            let start = if b.open_row.is_some() {
+                b.next_pre
+            } else {
+                b.next_act
+            };
             if start.max(now) > now + COMMIT_HORIZON {
                 return false;
             }
@@ -734,7 +765,12 @@ impl Channel {
         cas = burst_start - data_lat;
         let cas = self.bus.alloc(cas);
         let b = &mut self.banks[bi];
-        b.next_cas = cas + if self.ranks[rank].last_cas_bg == Some(bg) { t.ccd_l } else { t.ccd_s };
+        b.next_cas = cas
+            + if self.ranks[rank].last_cas_bg == Some(bg) {
+                t.ccd_l
+            } else {
+                t.ccd_s
+            };
         self.ranks[rank].last_cas_bg = Some(bg);
         if hit {
             self.stats.row_hits += 1;
@@ -765,10 +801,20 @@ mod tests {
     }
 
     fn read_at(cfg: &SystemConfig, id: u64, addr: u64, now: MemCycle) -> MemRequest {
-        MemRequest { id, addr: decode(cfg, addr), is_write: false, arrived: now }
+        MemRequest {
+            id,
+            addr: decode(cfg, addr),
+            is_write: false,
+            arrived: now,
+        }
     }
 
-    fn run_until_done(ch: &mut Channel, mut now: MemCycle, ids: &[u64], limit: MemCycle) -> Vec<(u64, MemCycle)> {
+    fn run_until_done(
+        ch: &mut Channel,
+        mut now: MemCycle,
+        ids: &[u64],
+        limit: MemCycle,
+    ) -> Vec<(u64, MemCycle)> {
         let mut done = Vec::new();
         while done.len() < ids.len() && now < limit {
             for id in ch.tick(now) {
@@ -916,16 +962,12 @@ mod tests {
         }
         let s = ch.stats();
         assert!(done > 0);
-        assert!(
-            s.hira_access_ops > 0,
-            "no refresh-access pairings: {s:?}"
-        );
+        assert!(s.hira_access_ops > 0, "no refresh-access pairings: {s:?}");
     }
 
     #[test]
     fn immediate_para_amplifies_activations() {
-        let cfg = config(RefreshScheme::NoRefresh)
-            .with_preventive(0.5, PreventiveMode::Immediate);
+        let cfg = config(RefreshScheme::NoRefresh).with_preventive(0.5, PreventiveMode::Immediate);
         let mut ch = Channel::new(&cfg, 0);
         let mut now = 0;
         let mut id = 0;

@@ -101,7 +101,9 @@ impl Core {
         // Retire up to WIDTH from the head.
         let mut retired_now = 0;
         while retired_now < WIDTH {
-            let Some(head) = self.window.front().copied() else { break };
+            let Some(head) = self.window.front().copied() else {
+                break;
+            };
             let done = head.done || self.completed.contains(&head.id);
             if !done {
                 break;
@@ -135,8 +137,17 @@ impl Core {
                 }
                 Op::Load(addr) => {
                     let entry = self.bump();
-                    if issue(self, CoreRequest::Load { line: addr / 64, entry }) {
-                        self.window.push_back(Slot { id: entry, done: false });
+                    if issue(
+                        self,
+                        CoreRequest::Load {
+                            line: addr / 64,
+                            entry,
+                        },
+                    ) {
+                        self.window.push_back(Slot {
+                            id: entry,
+                            done: false,
+                        });
                         dispatched += 1;
                     } else {
                         // Back-pressure: retry the same op next cycle.
@@ -201,10 +212,16 @@ mod tests {
     fn unanswered_loads_stall_the_window() {
         let mut c = core("mcf");
         for cycle in 0..5_000 {
-            c.tick(cycle, u64::MAX, |_c, req| matches!(req, CoreRequest::Store { .. } | CoreRequest::Load { .. }));
+            c.tick(cycle, u64::MAX, |_c, req| {
+                matches!(req, CoreRequest::Store { .. } | CoreRequest::Load { .. })
+            });
         }
         // Loads never complete: the window fills and retirement stops.
-        assert!(c.window_occupancy() == WINDOW, "window {}", c.window_occupancy());
+        assert!(
+            c.window_occupancy() == WINDOW,
+            "window {}",
+            c.window_occupancy()
+        );
         let stuck = c.retired;
         for cycle in 5_000..6_000 {
             c.tick(cycle, u64::MAX, |_, _| true);

@@ -61,7 +61,18 @@ impl Llc {
         let sets = bytes / 64 / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Llc {
-            sets: vec![vec![Line { tag: 0, dirty: false, used: 0, valid: false }; ways]; sets],
+            sets: vec![
+                vec![
+                    Line {
+                        tag: 0,
+                        dirty: false,
+                        used: 0,
+                        valid: false
+                    };
+                    ways
+                ];
+                sets
+            ],
             set_mask: sets as u64 - 1,
             stamp: 0,
             mshrs: HashMap::new(),
@@ -102,7 +113,10 @@ impl Llc {
             return Access::Busy;
         }
         self.misses += 1;
-        let mut m = Mshr { waiters: Vec::new(), mark_dirty: is_store };
+        let mut m = Mshr {
+            waiters: Vec::new(),
+            mark_dirty: is_store,
+        };
         if let Some(w) = waiter {
             m.waiters.push(w);
         }
@@ -116,7 +130,9 @@ impl Llc {
     pub fn fill(&mut self, line: u64) -> Vec<Waiter> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let Some(m) = self.mshrs.remove(&line) else { return Vec::new() };
+        let Some(m) = self.mshrs.remove(&line) else {
+            return Vec::new();
+        };
         let set = self.set_of(line);
         let victim = self.sets[set]
             .iter_mut()
@@ -125,7 +141,12 @@ impl Llc {
         if victim.valid && victim.dirty {
             self.writeback_queue.push(victim.tag);
         }
-        *victim = Line { tag: line, dirty: m.mark_dirty, used: stamp, valid: true };
+        *victim = Line {
+            tag: line,
+            dirty: m.mark_dirty,
+            used: stamp,
+            valid: true,
+        };
         m.waiters
     }
 
@@ -212,7 +233,11 @@ mod tests {
         assert_eq!(c.access(a, false, None), Access::Hit);
         c.access(x, false, None);
         c.fill(x);
-        assert_eq!(c.access(a, false, None), Access::Hit, "recently used line evicted");
+        assert_eq!(
+            c.access(a, false, None),
+            Access::Hit,
+            "recently used line evicted"
+        );
         assert_eq!(c.access(b, false, None), Access::Miss, "LRU line survived");
     }
 }

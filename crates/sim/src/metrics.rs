@@ -41,8 +41,11 @@ impl SimResult {
     /// Row-buffer hit rate over demand accesses.
     pub fn row_hit_rate(&self) -> f64 {
         let hits: u64 = self.channel_stats.iter().map(|s| s.row_hits).sum();
-        let total: u64 =
-            self.channel_stats.iter().map(|s| s.reads_done + s.writes_done).sum();
+        let total: u64 = self
+            .channel_stats
+            .iter()
+            .map(|s| s.reads_done + s.writes_done)
+            .sum();
         if total == 0 {
             0.0
         } else {

@@ -38,8 +38,20 @@ mod tests {
 
     #[test]
     fn requests_are_plain_data() {
-        let d = Decoded { channel: 0, rank: 0, bank: 3, bank_group: 1, row: RowId(9), col: 17 };
-        let r = MemRequest { id: 1, addr: d, is_write: false, arrived: 0 };
+        let d = Decoded {
+            channel: 0,
+            rank: 0,
+            bank: 3,
+            bank_group: 1,
+            row: RowId(9),
+            col: 17,
+        };
+        let r = MemRequest {
+            id: 1,
+            addr: d,
+            is_write: false,
+            arrived: 0,
+        };
         let r2 = r;
         assert_eq!(r, r2);
     }

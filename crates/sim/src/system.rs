@@ -32,7 +32,11 @@ impl System {
     ///
     /// Panics if the mix does not provide one benchmark per configured core.
     pub fn new(cfg: SystemConfig, mix: &Mix) -> Self {
-        assert_eq!(mix.benchmarks.len(), cfg.cores, "mix size must match core count");
+        assert_eq!(
+            mix.benchmarks.len(),
+            cfg.cores,
+            "mix size must match core count"
+        );
         let cores = mix
             .benchmarks
             .iter()
@@ -105,7 +109,16 @@ impl System {
 
     fn tick_cpu(&mut self, cycle: u64, target: u64) {
         // Split borrows: cores vs the memory side.
-        let System { cores, llc, channels, inflight, next_req_id, cfg, mem_cycle, .. } = self;
+        let System {
+            cores,
+            llc,
+            channels,
+            inflight,
+            next_req_id,
+            cfg,
+            mem_cycle,
+            ..
+        } = self;
         for core in cores.iter_mut() {
             let core_id = core.id;
             core.tick(cycle, target, |c, req| match req {
@@ -132,7 +145,12 @@ impl System {
                 let id = *next_req_id;
                 *next_req_id += 1;
                 inflight.insert(id, line);
-                ch.enqueue(MemRequest { id, addr, is_write: false, arrived: *mem_cycle });
+                ch.enqueue(MemRequest {
+                    id,
+                    addr,
+                    is_write: false,
+                    arrived: *mem_cycle,
+                });
                 false
             } else {
                 true
@@ -144,7 +162,12 @@ impl System {
             if ch.can_accept_write() {
                 let id = *next_req_id;
                 *next_req_id += 1;
-                ch.enqueue(MemRequest { id, addr, is_write: true, arrived: *mem_cycle });
+                ch.enqueue(MemRequest {
+                    id,
+                    addr,
+                    is_write: true,
+                    arrived: *mem_cycle,
+                });
                 false
             } else {
                 true
@@ -184,7 +207,11 @@ mod tests {
         let mix = &mixes(1, 8, 3)[0];
         let r = System::new(tiny(RefreshScheme::NoRefresh), mix).run();
         assert_eq!(r.ipc.len(), 8);
-        assert!(r.ipc.iter().all(|&x| x > 0.0 && x <= 4.0), "ipc {:?}", r.ipc);
+        assert!(
+            r.ipc.iter().all(|&x| x > 0.0 && x <= 4.0),
+            "ipc {:?}",
+            r.ipc
+        );
         assert!(r.total_reads() > 0);
     }
 
@@ -193,9 +220,7 @@ mod tests {
         // NoRefresh ≥ HiRA ≥ Baseline in weighted speedup at high capacity.
         let mix = &mixes(1, 8, 9)[0];
         let capacity = 64.0;
-        let mk = |r| {
-            SystemConfig::table3(capacity, r).with_insts(4_000, 500)
-        };
+        let mk = |r| SystemConfig::table3(capacity, r).with_insts(4_000, 500);
         let ideal = System::new(mk(RefreshScheme::NoRefresh), mix).run();
         let alone: Vec<f64> = vec![1.0; 8]; // common weights: ratios only
         let ws_ideal = ideal.weighted_speedup(&alone);

@@ -31,32 +31,214 @@ pub struct Benchmark {
 /// The benchmark roster (SPEC CPU2006-inspired; higher rows are more
 /// memory-intensive).
 pub const BENCHMARKS: &[Benchmark] = &[
-    Benchmark { name: "mcf", mem_per_kinst: 33.0, locality: 0.25, store_frac: 0.18, streams: 6, footprint_lines: 1 << 22 },
-    Benchmark { name: "lbm", mem_per_kinst: 31.0, locality: 0.80, store_frac: 0.45, streams: 4, footprint_lines: 1 << 22 },
-    Benchmark { name: "soplex", mem_per_kinst: 27.0, locality: 0.60, store_frac: 0.20, streams: 5, footprint_lines: 1 << 21 },
-    Benchmark { name: "milc", mem_per_kinst: 25.0, locality: 0.50, store_frac: 0.30, streams: 4, footprint_lines: 1 << 21 },
-    Benchmark { name: "libquantum", mem_per_kinst: 25.0, locality: 0.90, store_frac: 0.25, streams: 2, footprint_lines: 1 << 20 },
-    Benchmark { name: "omnetpp", mem_per_kinst: 20.0, locality: 0.30, store_frac: 0.30, streams: 8, footprint_lines: 1 << 21 },
-    Benchmark { name: "gemsfdtd", mem_per_kinst: 18.0, locality: 0.60, store_frac: 0.35, streams: 6, footprint_lines: 1 << 21 },
-    Benchmark { name: "leslie3d", mem_per_kinst: 15.0, locality: 0.70, store_frac: 0.35, streams: 6, footprint_lines: 1 << 20 },
-    Benchmark { name: "bwaves", mem_per_kinst: 15.0, locality: 0.75, store_frac: 0.30, streams: 4, footprint_lines: 1 << 21 },
-    Benchmark { name: "sphinx3", mem_per_kinst: 12.0, locality: 0.60, store_frac: 0.10, streams: 4, footprint_lines: 1 << 19 },
-    Benchmark { name: "astar", mem_per_kinst: 8.0, locality: 0.35, store_frac: 0.25, streams: 4, footprint_lines: 1 << 20 },
-    Benchmark { name: "zeusmp", mem_per_kinst: 6.0, locality: 0.55, store_frac: 0.30, streams: 4, footprint_lines: 1 << 19 },
-    Benchmark { name: "cactusadm", mem_per_kinst: 5.0, locality: 0.50, store_frac: 0.35, streams: 4, footprint_lines: 1 << 19 },
-    Benchmark { name: "wrf", mem_per_kinst: 5.0, locality: 0.60, store_frac: 0.30, streams: 4, footprint_lines: 1 << 18 },
-    Benchmark { name: "bzip2", mem_per_kinst: 3.0, locality: 0.50, store_frac: 0.30, streams: 2, footprint_lines: 1 << 18 },
-    Benchmark { name: "gcc", mem_per_kinst: 2.0, locality: 0.50, store_frac: 0.30, streams: 3, footprint_lines: 1 << 17 },
-    Benchmark { name: "hmmer", mem_per_kinst: 1.0, locality: 0.60, store_frac: 0.25, streams: 2, footprint_lines: 1 << 15 },
-    Benchmark { name: "gobmk", mem_per_kinst: 0.8, locality: 0.40, store_frac: 0.25, streams: 2, footprint_lines: 1 << 15 },
-    Benchmark { name: "perlbench", mem_per_kinst: 0.8, locality: 0.40, store_frac: 0.30, streams: 2, footprint_lines: 1 << 15 },
-    Benchmark { name: "h264ref", mem_per_kinst: 0.7, locality: 0.60, store_frac: 0.25, streams: 2, footprint_lines: 1 << 14 },
-    Benchmark { name: "gromacs", mem_per_kinst: 0.6, locality: 0.50, store_frac: 0.30, streams: 2, footprint_lines: 1 << 14 },
-    Benchmark { name: "sjeng", mem_per_kinst: 0.5, locality: 0.40, store_frac: 0.25, streams: 2, footprint_lines: 1 << 14 },
-    Benchmark { name: "calculix", mem_per_kinst: 0.5, locality: 0.60, store_frac: 0.25, streams: 2, footprint_lines: 1 << 14 },
-    Benchmark { name: "tonto", mem_per_kinst: 0.3, locality: 0.50, store_frac: 0.25, streams: 2, footprint_lines: 1 << 13 },
-    Benchmark { name: "namd", mem_per_kinst: 0.2, locality: 0.50, store_frac: 0.25, streams: 2, footprint_lines: 1 << 13 },
-    Benchmark { name: "povray", mem_per_kinst: 0.05, locality: 0.50, store_frac: 0.25, streams: 1, footprint_lines: 1 << 12 },
+    Benchmark {
+        name: "mcf",
+        mem_per_kinst: 33.0,
+        locality: 0.25,
+        store_frac: 0.18,
+        streams: 6,
+        footprint_lines: 1 << 22,
+    },
+    Benchmark {
+        name: "lbm",
+        mem_per_kinst: 31.0,
+        locality: 0.80,
+        store_frac: 0.45,
+        streams: 4,
+        footprint_lines: 1 << 22,
+    },
+    Benchmark {
+        name: "soplex",
+        mem_per_kinst: 27.0,
+        locality: 0.60,
+        store_frac: 0.20,
+        streams: 5,
+        footprint_lines: 1 << 21,
+    },
+    Benchmark {
+        name: "milc",
+        mem_per_kinst: 25.0,
+        locality: 0.50,
+        store_frac: 0.30,
+        streams: 4,
+        footprint_lines: 1 << 21,
+    },
+    Benchmark {
+        name: "libquantum",
+        mem_per_kinst: 25.0,
+        locality: 0.90,
+        store_frac: 0.25,
+        streams: 2,
+        footprint_lines: 1 << 20,
+    },
+    Benchmark {
+        name: "omnetpp",
+        mem_per_kinst: 20.0,
+        locality: 0.30,
+        store_frac: 0.30,
+        streams: 8,
+        footprint_lines: 1 << 21,
+    },
+    Benchmark {
+        name: "gemsfdtd",
+        mem_per_kinst: 18.0,
+        locality: 0.60,
+        store_frac: 0.35,
+        streams: 6,
+        footprint_lines: 1 << 21,
+    },
+    Benchmark {
+        name: "leslie3d",
+        mem_per_kinst: 15.0,
+        locality: 0.70,
+        store_frac: 0.35,
+        streams: 6,
+        footprint_lines: 1 << 20,
+    },
+    Benchmark {
+        name: "bwaves",
+        mem_per_kinst: 15.0,
+        locality: 0.75,
+        store_frac: 0.30,
+        streams: 4,
+        footprint_lines: 1 << 21,
+    },
+    Benchmark {
+        name: "sphinx3",
+        mem_per_kinst: 12.0,
+        locality: 0.60,
+        store_frac: 0.10,
+        streams: 4,
+        footprint_lines: 1 << 19,
+    },
+    Benchmark {
+        name: "astar",
+        mem_per_kinst: 8.0,
+        locality: 0.35,
+        store_frac: 0.25,
+        streams: 4,
+        footprint_lines: 1 << 20,
+    },
+    Benchmark {
+        name: "zeusmp",
+        mem_per_kinst: 6.0,
+        locality: 0.55,
+        store_frac: 0.30,
+        streams: 4,
+        footprint_lines: 1 << 19,
+    },
+    Benchmark {
+        name: "cactusadm",
+        mem_per_kinst: 5.0,
+        locality: 0.50,
+        store_frac: 0.35,
+        streams: 4,
+        footprint_lines: 1 << 19,
+    },
+    Benchmark {
+        name: "wrf",
+        mem_per_kinst: 5.0,
+        locality: 0.60,
+        store_frac: 0.30,
+        streams: 4,
+        footprint_lines: 1 << 18,
+    },
+    Benchmark {
+        name: "bzip2",
+        mem_per_kinst: 3.0,
+        locality: 0.50,
+        store_frac: 0.30,
+        streams: 2,
+        footprint_lines: 1 << 18,
+    },
+    Benchmark {
+        name: "gcc",
+        mem_per_kinst: 2.0,
+        locality: 0.50,
+        store_frac: 0.30,
+        streams: 3,
+        footprint_lines: 1 << 17,
+    },
+    Benchmark {
+        name: "hmmer",
+        mem_per_kinst: 1.0,
+        locality: 0.60,
+        store_frac: 0.25,
+        streams: 2,
+        footprint_lines: 1 << 15,
+    },
+    Benchmark {
+        name: "gobmk",
+        mem_per_kinst: 0.8,
+        locality: 0.40,
+        store_frac: 0.25,
+        streams: 2,
+        footprint_lines: 1 << 15,
+    },
+    Benchmark {
+        name: "perlbench",
+        mem_per_kinst: 0.8,
+        locality: 0.40,
+        store_frac: 0.30,
+        streams: 2,
+        footprint_lines: 1 << 15,
+    },
+    Benchmark {
+        name: "h264ref",
+        mem_per_kinst: 0.7,
+        locality: 0.60,
+        store_frac: 0.25,
+        streams: 2,
+        footprint_lines: 1 << 14,
+    },
+    Benchmark {
+        name: "gromacs",
+        mem_per_kinst: 0.6,
+        locality: 0.50,
+        store_frac: 0.30,
+        streams: 2,
+        footprint_lines: 1 << 14,
+    },
+    Benchmark {
+        name: "sjeng",
+        mem_per_kinst: 0.5,
+        locality: 0.40,
+        store_frac: 0.25,
+        streams: 2,
+        footprint_lines: 1 << 14,
+    },
+    Benchmark {
+        name: "calculix",
+        mem_per_kinst: 0.5,
+        locality: 0.60,
+        store_frac: 0.25,
+        streams: 2,
+        footprint_lines: 1 << 14,
+    },
+    Benchmark {
+        name: "tonto",
+        mem_per_kinst: 0.3,
+        locality: 0.50,
+        store_frac: 0.25,
+        streams: 2,
+        footprint_lines: 1 << 13,
+    },
+    Benchmark {
+        name: "namd",
+        mem_per_kinst: 0.2,
+        locality: 0.50,
+        store_frac: 0.25,
+        streams: 2,
+        footprint_lines: 1 << 13,
+    },
+    Benchmark {
+        name: "povray",
+        mem_per_kinst: 0.05,
+        locality: 0.50,
+        store_frac: 0.25,
+        streams: 1,
+        footprint_lines: 1 << 12,
+    },
 ];
 
 /// Looks a benchmark up by name.
@@ -78,7 +260,7 @@ pub struct Mix {
 pub fn mixes(n: usize, cores: usize, seed: u64) -> Vec<Mix> {
     (0..n)
         .map(|id| {
-            let mut s = Stream::from_words(&[seed, 0x4D49_58, id as u64]);
+            let mut s = Stream::from_words(&[seed, 0x004D_4958, id as u64]);
             let benchmarks = (0..cores)
                 .map(|_| &BENCHMARKS[s.next_below(BENCHMARKS.len() as u64) as usize])
                 .collect();
@@ -114,7 +296,7 @@ pub struct TraceGen {
 impl TraceGen {
     /// Builds the generator for `bench` on core `core`.
     pub fn new(bench: &'static Benchmark, core: usize, seed: u64) -> Self {
-        let mut rng = Stream::from_words(&[seed, 0x5452_43, core as u64]);
+        let mut rng = Stream::from_words(&[seed, 0x0054_5243, core as u64]);
         let streams = (0..bench.streams)
             .map(|_| rng.next_below(bench.footprint_lines))
             .collect();
@@ -169,7 +351,9 @@ mod tests {
 
     #[test]
     fn roster_is_sorted_by_intensity_and_named_uniquely() {
-        assert!(BENCHMARKS.windows(2).all(|w| w[0].mem_per_kinst >= w[1].mem_per_kinst));
+        assert!(BENCHMARKS
+            .windows(2)
+            .all(|w| w[0].mem_per_kinst >= w[1].mem_per_kinst));
         let names: std::collections::HashSet<_> = BENCHMARKS.iter().map(|b| b.name).collect();
         assert_eq!(names.len(), BENCHMARKS.len());
         assert!(benchmark("mcf").is_some());

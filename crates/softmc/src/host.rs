@@ -112,7 +112,12 @@ impl SoftMc {
                 Instruction::Wait { ns } => {
                     self.module.wait(ns.max(0.0));
                 }
-                Instruction::HammerPair { bank, aggr_a, aggr_b, count } => {
+                Instruction::HammerPair {
+                    bank,
+                    aggr_a,
+                    aggr_b,
+                    count,
+                } => {
                     self.module.hammer_pair(bank, aggr_a, aggr_b, count);
                 }
             }
@@ -144,7 +149,10 @@ mod tests {
         p.write_row(BankId(0), RowId(9), DataPattern::Checkerboard)
             .read_row(BankId(0), RowId(9));
         let r = mc.run(&p);
-        assert_eq!(r.flips_of(BankId(0), RowId(9), DataPattern::Checkerboard), Some(0));
+        assert_eq!(
+            r.flips_of(BankId(0), RowId(9), DataPattern::Checkerboard),
+            Some(0)
+        );
         assert_eq!(
             r.flips_of(BankId(0), RowId(9), DataPattern::InverseCheckerboard),
             Some(8 * 8192)

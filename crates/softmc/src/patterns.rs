@@ -53,7 +53,10 @@ impl DataPattern {
     /// Counts bit flips between this pattern and observed data.
     pub fn count_flips(self, observed: &[u8]) -> u64 {
         let expect = self.byte();
-        observed.iter().map(|&b| u64::from((b ^ expect).count_ones())).sum()
+        observed
+            .iter()
+            .map(|&b| u64::from((b ^ expect).count_ones()))
+            .sum()
     }
 
     /// True when the observed data matches the pattern exactly.

@@ -15,18 +15,31 @@ use hira_dram::addr::{BankId, RowId};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instruction {
     /// `ACT bank/row`, then wait `wait_ns` before the next instruction.
-    Act { bank: BankId, row: RowId, wait_ns: f64 },
+    Act {
+        bank: BankId,
+        row: RowId,
+        wait_ns: f64,
+    },
     /// `PRE bank`, then wait `wait_ns`.
     Pre { bank: BankId, wait_ns: f64 },
     /// Write a full row with `pattern` (nominally timed composite).
-    WriteRow { bank: BankId, row: RowId, pattern: DataPattern },
+    WriteRow {
+        bank: BankId,
+        row: RowId,
+        pattern: DataPattern,
+    },
     /// Read a full row back and record it in the run results.
     ReadRow { bank: BankId, row: RowId },
     /// Pure delay.
     Wait { ns: f64 },
     /// `count` iterations of `ACT a / PRE / ACT b / PRE` at nominal timing
     /// (the FPGA-side hammer loop; Algorithm 2 steps 2 and 4).
-    HammerPair { bank: BankId, aggr_a: RowId, aggr_b: RowId, count: u32 },
+    HammerPair {
+        bank: BankId,
+        aggr_a: RowId,
+        aggr_b: RowId,
+        count: u32,
+    },
 }
 
 /// A buildable sequence of instructions.
@@ -95,11 +108,17 @@ impl Program {
         aggr_b: RowId,
         count: u32,
     ) -> &mut Self {
-        self.push(Instruction::HammerPair { bank, aggr_a, aggr_b, count })
+        self.push(Instruction::HammerPair {
+            bank,
+            aggr_a,
+            aggr_b,
+            count,
+        })
     }
 
     /// Appends the HiRA command sequence of §3/Fig. 2:
     /// `ACT RowA —t1→ PRE —t2→ ACT RowB —tRAS→ PRE —tRP→`.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's command-sequence listing
     pub fn hira(
         &mut self,
         bank: BankId,
@@ -119,7 +138,9 @@ impl Program {
 
 impl FromIterator<Instruction> for Program {
     fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
-        Program { instructions: iter.into_iter().collect() }
+        Program {
+            instructions: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -154,7 +175,13 @@ mod tests {
             p.instructions()[0],
             Instruction::Act { row: RowId(5), wait_ns, .. } if wait_ns == 3.0
         ));
-        assert!(matches!(p.instructions()[2], Instruction::Act { row: RowId(600), .. }));
+        assert!(matches!(
+            p.instructions()[2],
+            Instruction::Act {
+                row: RowId(600),
+                ..
+            }
+        ));
     }
 
     #[test]

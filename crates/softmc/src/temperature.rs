@@ -18,7 +18,10 @@ impl TemperatureController {
 
     /// A controller already settled at `target_c`.
     pub fn new(target_c: f64) -> Self {
-        TemperatureController { target_c, dither_seed: 0 }
+        TemperatureController {
+            target_c,
+            dither_seed: 0,
+        }
     }
 
     /// Retargets the controller (the model settles instantly; real settling
@@ -35,11 +38,8 @@ impl TemperatureController {
 
     /// The settled chip temperature: target plus in-tolerance ripple.
     pub fn current_c(&self) -> f64 {
-        let u = hira_dram::rng::Stream::from_words(&[
-            self.dither_seed,
-            self.target_c.to_bits(),
-        ])
-        .next_f64();
+        let u = hira_dram::rng::Stream::from_words(&[self.dither_seed, self.target_c.to_bits()])
+            .next_f64();
         self.target_c + (u * 2.0 - 1.0) * Self::TOLERANCE_C
     }
 }

@@ -21,10 +21,23 @@ fn main() {
         let vendor = spec.manufacturer;
         let m = characterize_module(spec, &cfg);
         println!("module {label} ({vendor}):");
-        println!("  HiRA coverage : min {:.1}%  avg {:.1}%  max {:.1}%",
-            m.coverage.min * 100.0, m.coverage.mean * 100.0, m.coverage.max * 100.0);
-        println!("  norm. NRH     : min {:.2}  avg {:.2}  max {:.2}",
-            m.norm_nrh.min, m.norm_nrh.mean, m.norm_nrh.max);
-        println!("  HiRA capable  : {}\n", if m.hira_capable { "yes" } else { "no (second ACT ignored)" });
+        println!(
+            "  HiRA coverage : min {:.1}%  avg {:.1}%  max {:.1}%",
+            m.coverage.min * 100.0,
+            m.coverage.mean * 100.0,
+            m.coverage.max * 100.0
+        );
+        println!(
+            "  norm. NRH     : min {:.2}  avg {:.2}  max {:.2}",
+            m.norm_nrh.min, m.norm_nrh.mean, m.norm_nrh.max
+        );
+        println!(
+            "  HiRA capable  : {}\n",
+            if m.hira_capable {
+                "yes"
+            } else {
+                "no (second ACT ignored)"
+            }
+        );
     }
 }

@@ -24,7 +24,9 @@ fn main() {
     let mut chosen = None;
     'search: for a in 0..64u32 {
         let row_a = RowId(a);
-        let Some(row_b) = module.isolation().find_partner(row_a) else { continue };
+        let Some(row_b) = module.isolation().find_partner(row_a) else {
+            continue;
+        };
         module.write_row(bank, row_a, &ones);
         module.write_row(bank, row_b, &zeros);
         module.hira(bank, row_a, row_b, HiraTimings::nominal());
@@ -41,7 +43,9 @@ fn main() {
     let op = HiraOperation::nominal();
     println!("\ntwo-row refresh latency:");
     println!("  conventional: {:>6.2} ns", t.two_row_refresh_ns());
-    println!("  HiRA        : {:>6.2} ns  ({:.1} % lower)",
+    println!(
+        "  HiRA        : {:>6.2} ns  ({:.1} % lower)",
         op.two_row_refresh_ns(t),
-        op.refresh_latency_reduction(t) * 100.0);
+        op.refresh_latency_reduction(t) * 100.0
+    );
 }

@@ -10,9 +10,24 @@ use hira::sim::workloads::{benchmark, Mix};
 
 fn main() {
     // A memory-intensive mix — where refresh interference actually shows.
-    let names = ["mcf", "lbm", "milc", "libquantum", "soplex", "omnetpp", "gemsfdtd", "bwaves"];
-    let mix = &Mix { id: 0, benchmarks: names.iter().map(|n| benchmark(n).unwrap()).collect() };
-    println!("workload mix: {:?}\n", mix.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>());
+    let names = [
+        "mcf",
+        "lbm",
+        "milc",
+        "libquantum",
+        "soplex",
+        "omnetpp",
+        "gemsfdtd",
+        "bwaves",
+    ];
+    let mix = &Mix {
+        id: 0,
+        benchmarks: names.iter().map(|n| benchmark(n).unwrap()).collect(),
+    };
+    println!(
+        "workload mix: {:?}\n",
+        mix.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
+    );
     let mut ws = Vec::new();
     for (name, scheme) in [
         ("No-Refresh (ideal)", RefreshScheme::NoRefresh),
@@ -22,16 +37,28 @@ fn main() {
         let cfg = SystemConfig::table3(64.0, scheme).with_insts(40_000, 8_000);
         let r = System::new(cfg, mix).run();
         let ipc_sum: f64 = r.ipc.iter().sum();
-        println!("{name:<20} IPC-sum {ipc_sum:>6.3}  row-hit {:>5.1}%  avg-read-latency {:>6.1} cyc",
-            r.row_hit_rate() * 100.0, r.avg_read_latency());
+        println!(
+            "{name:<20} IPC-sum {ipc_sum:>6.3}  row-hit {:>5.1}%  avg-read-latency {:>6.1} cyc",
+            r.row_hit_rate() * 100.0,
+            r.avg_read_latency()
+        );
         if let Some(mc) = r.mc_stats.first() {
-            println!("{:<20} refreshes: {} absorbed by accesses, {} paired, {} singles",
-                "", mc.refresh_access, mc.refresh_refresh, mc.singles);
+            println!(
+                "{:<20} refreshes: {} absorbed by accesses, {} paired, {} singles",
+                "", mc.refresh_access, mc.refresh_refresh, mc.singles
+            );
         }
         ws.push((name, ipc_sum));
     }
-    let base = ws.iter().find(|(n, _)| n.starts_with("Baseline")).unwrap().1;
+    let base = ws
+        .iter()
+        .find(|(n, _)| n.starts_with("Baseline"))
+        .unwrap()
+        .1;
     for (name, v) in &ws {
-        println!("{name:<20} throughput vs Baseline: {:+.1} %", (v / base - 1.0) * 100.0);
+        println!(
+            "{name:<20} throughput vs Baseline: {:+.1} %",
+            (v / base - 1.0) * 100.0
+        );
     }
 }

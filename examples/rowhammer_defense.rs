@@ -21,7 +21,10 @@ fn main() {
     for (name, preventive) in [
         ("no defense", None),
         ("PARA", Some((pth0, PreventiveMode::Immediate))),
-        ("PARA + HiRA-4", Some((pth4, PreventiveMode::Hira(HiraConfig::hira_n(4))))),
+        (
+            "PARA + HiRA-4",
+            Some((pth4, PreventiveMode::Hira(HiraConfig::hira_n(4)))),
+        ),
     ] {
         let mut cfg = SystemConfig::table3(8.0, RefreshScheme::Baseline).with_insts(25_000, 5_000);
         if let Some((pth, mode)) = preventive {
@@ -33,5 +36,8 @@ fn main() {
         results.push((name, ipc_sum));
     }
     let para = results[1].1;
-    println!("\nHiRA-4 speedup over plain PARA: {:.2}x", results[2].1 / para);
+    println!(
+        "\nHiRA-4 speedup over plain PARA: {:.2}x",
+        results[2].1 / para
+    );
 }

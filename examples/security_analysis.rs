@@ -19,6 +19,9 @@ fn main() {
     println!("\nslack sensitivity at NRH = 128 (paper: 0.48 / 0.49 / 0.50 / 0.52):");
     for slack in [0u32, 2, 4, 8] {
         let p = SecurityParams::paper_defaults(slack);
-        println!("  tRefSlack = {slack} tRC: p_th = {:.4}", solve_pth(&p, 128));
+        println!(
+            "  tRefSlack = {slack} tRC: p_th = {:.4}",
+            solve_pth(&p, 128)
+        );
     }
 }

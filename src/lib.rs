@@ -7,7 +7,9 @@
 //! * [`softmc`] — SoftMC-style testing infrastructure,
 //! * [`characterize`] — §4's characterization experiments (Algorithms 1 & 2),
 //! * [`core`] — the HiRA operation, HiRA-MC, PARA and the security analysis,
-//! * [`sim`] — the cycle-level system simulator behind §7-§10.
+//! * [`sim`] — the cycle-level system simulator behind §7-§10,
+//! * [`engine`] — the deterministic parallel experiment-orchestration
+//!   subsystem every `hira-bench` figure binary runs on.
 //!
 //! ## Quickstart
 //!
@@ -24,5 +26,6 @@
 pub use hira_characterize as characterize;
 pub use hira_core as core;
 pub use hira_dram as dram;
+pub use hira_engine as engine;
 pub use hira_sim as sim;
 pub use hira_softmc as softmc;

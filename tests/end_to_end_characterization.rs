@@ -24,7 +24,9 @@ fn coverage_orders_match_table4_across_modules() {
     // A0 (lowest) < C1 (highest) in Table 4.
     let cov = |spec: ModuleSpec| {
         let mut mc = SoftMc::new(spec);
-        coverage::measure(&mut mc, BankId(0), &small_cfg()).stats().mean
+        coverage::measure(&mut mc, BankId(0), &small_cfg())
+            .stats()
+            .mean
     };
     let a0 = cov(ModuleSpec::a0());
     let c1 = cov(ModuleSpec::c1());
@@ -52,8 +54,14 @@ fn figure4_extremes_collapse_but_nominal_works() {
     .stats()
     .mean;
     assert!(nominal > 0.15, "nominal coverage {nominal}");
-    assert!(bad_t1 < nominal / 3.0, "t1=1.5 coverage {bad_t1} vs nominal {nominal}");
-    assert!(bad_t2 < nominal / 3.0, "t2=6.0 coverage {bad_t2} vs nominal {nominal}");
+    assert!(
+        bad_t1 < nominal / 3.0,
+        "t1=1.5 coverage {bad_t1} vs nominal {nominal}"
+    );
+    assert!(
+        bad_t2 < nominal / 3.0,
+        "t2=6.0 coverage {bad_t2} vs nominal {nominal}"
+    );
 }
 
 #[test]

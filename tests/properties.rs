@@ -1,4 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Cases are generated from the repo's own deterministic [`Stream`] RNG
+//! (fixed seeds, many random cases per property) rather than an external
+//! property-testing dependency — the workspace must build offline with the
+//! standard library only. Every failure message includes the case inputs,
+//! so a red run reproduces exactly.
 
 use hira::core::refresh_table::{RefreshEntry, RefreshKind, RefreshTable};
 use hira::core::security::{p_rh, solve_pth, SecurityParams};
@@ -6,43 +12,69 @@ use hira::dram::addr::{BankId, RowId};
 use hira::dram::isolation::IsolationMap;
 use hira::dram::mapping::RowMapping;
 use hira::dram::rng::Stream;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn isolation_is_symmetric_and_excludes_neighbors(
-        seed in any::<u64>(),
-        a in 0u32..32_768,
-        b in 0u32..32_768,
-    ) {
+/// Deterministic case source for one property.
+fn cases(property_tag: u64) -> Stream {
+    Stream::from_words(&[0x5052_4F50_5354, property_tag])
+}
+
+#[test]
+fn isolation_is_symmetric_and_excludes_neighbors() {
+    let mut rng = cases(1);
+    for case in 0..64 {
+        let seed = rng.next_u64();
+        let a = rng.next_below(32_768) as u32;
+        let b = rng.next_below(32_768) as u32;
         let m = IsolationMap::new(seed, 32 * 1024, 512, 0.32, 0.03);
         let ab = m.isolated(RowId(a), RowId(b));
-        prop_assert_eq!(ab, m.isolated(RowId(b), RowId(a)));
+        assert_eq!(
+            ab,
+            m.isolated(RowId(b), RowId(a)),
+            "case {case}: asymmetric for seed={seed:#x} a={a} b={b}"
+        );
         if (a / 512).abs_diff(b / 512) <= 1 {
-            prop_assert!(!ab);
+            assert!(
+                !ab,
+                "case {case}: same/adjacent subarray pair a={a} b={b} isolated"
+            );
         }
     }
+}
 
-    #[test]
-    fn row_mapping_is_bijective(seed in any::<u64>(), block in 0u32..64) {
+#[test]
+fn row_mapping_is_bijective() {
+    let mut rng = cases(2);
+    for case in 0..24 {
+        let seed = rng.next_u64();
+        let block = rng.next_below(64) as u32;
         let m = RowMapping::for_module(seed);
         let mut seen = std::collections::HashSet::new();
         for r in block * 512..(block + 1) * 512 {
             let p = m.to_physical(RowId(r));
-            prop_assert!(seen.insert(p.0));
-            prop_assert_eq!(m.to_logical(p), RowId(r));
+            assert!(
+                seen.insert(p.0),
+                "case {case}: collision at logical {r} (seed={seed:#x} block={block})"
+            );
+            assert_eq!(
+                m.to_logical(p),
+                RowId(r),
+                "case {case}: not invertible at {r}"
+            );
         }
     }
+}
 
-    #[test]
-    fn refresh_table_never_exceeds_capacity_and_pops_in_deadline_order(
-        deadlines in proptest::collection::vec(0.0f64..1e6, 1..200),
-    ) {
+#[test]
+fn refresh_table_never_exceeds_capacity_and_pops_in_deadline_order() {
+    let mut rng = cases(3);
+    for case in 0..32 {
+        let len = rng.next_below(199) as usize + 1;
+        let deadlines: Vec<f64> = (0..len).map(|_| rng.next_f64() * 1e6).collect();
         let mut t = RefreshTable::new(68);
         let mut accepted = 0usize;
-        for (i, d) in deadlines.iter().enumerate() {
+        for (i, &d) in deadlines.iter().enumerate() {
             let e = RefreshEntry {
-                deadline: *d,
+                deadline: d,
                 bank: BankId((i % 16) as u16),
                 kind: RefreshKind::Periodic,
                 victim: None,
@@ -50,46 +82,75 @@ proptest! {
             if t.insert(e) {
                 accepted += 1;
             }
-            prop_assert!(t.len() <= 68);
+            assert!(t.len() <= 68, "case {case}: table overflow at insert {i}");
         }
         let mut last = f64::NEG_INFINITY;
         let mut popped = 0usize;
         while let Some(e) = t.pop_due(f64::INFINITY) {
-            prop_assert!(e.deadline >= last);
+            assert!(
+                e.deadline >= last,
+                "case {case}: deadline order violated ({} after {last})",
+                e.deadline
+            );
             last = e.deadline;
             popped += 1;
         }
-        prop_assert_eq!(popped, accepted);
+        assert_eq!(popped, accepted, "case {case}: popped != accepted");
     }
+}
 
-    #[test]
-    fn security_pth_is_monotone_and_holds_target(nrh in 64u32..4096) {
+#[test]
+fn security_pth_is_monotone_and_holds_target() {
+    let mut rng = cases(4);
+    for case in 0..48 {
+        let nrh = rng.next_below(4096 - 64) as u32 + 64;
         let params = SecurityParams::paper_defaults(0);
         let pth = solve_pth(&params, nrh);
-        prop_assert!((0.0..=1.0).contains(&pth));
+        assert!(
+            (0.0..=1.0).contains(&pth),
+            "case {case}: pth {pth} out of range (nrh={nrh})"
+        );
         let achieved = p_rh(&params, nrh, pth);
-        prop_assert!((achieved / 1e-15 - 1.0).abs() < 1e-4);
+        assert!(
+            (achieved / 1e-15 - 1.0).abs() < 1e-4,
+            "case {case}: target missed at nrh={nrh}: {achieved}"
+        );
         // A weaker threshold must not hold the target.
         let weaker = p_rh(&params, nrh, (pth * 0.8).max(1e-6));
-        prop_assert!(weaker >= achieved);
+        assert!(
+            weaker >= achieved,
+            "case {case}: weaker pth held the target (nrh={nrh})"
+        );
     }
+}
 
-    #[test]
-    fn deterministic_stream_is_stable(words in proptest::collection::vec(any::<u64>(), 1..6)) {
+#[test]
+fn deterministic_stream_is_stable() {
+    let mut rng = cases(5);
+    for case in 0..32 {
+        let len = rng.next_below(5) as usize + 1;
+        let words: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
         let mut a = Stream::from_words(&words);
         let mut b = Stream::from_words(&words);
-        for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+        for step in 0..16 {
+            assert_eq!(
+                a.next_u64(),
+                b.next_u64(),
+                "case {case}: streams diverged at step {step} (words={words:#x?})"
+            );
         }
     }
+}
 
-    #[test]
-    fn chip_never_corrupts_under_nominal_timing(
-        rows in proptest::collection::vec(0u32..32_768, 1..12),
-        pattern in any::<u8>(),
-    ) {
-        use hira::dram::{DramModule, ModuleSpec};
-        use hira::dram::command::DramCommand;
+#[test]
+fn chip_never_corrupts_under_nominal_timing() {
+    use hira::dram::command::DramCommand;
+    use hira::dram::{DramModule, ModuleSpec};
+    let mut rng = cases(6);
+    for case in 0..12 {
+        let n_rows = rng.next_below(11) as usize + 1;
+        let rows: Vec<u32> = (0..n_rows).map(|_| rng.next_below(32_768) as u32).collect();
+        let pattern = rng.next_below(256) as u8;
         let mut m = DramModule::new(ModuleSpec::sk_hynix_4gb(0xBEE));
         let t = *m.timing();
         let data = vec![pattern; m.geometry().row_bytes];
@@ -99,12 +160,22 @@ proptest! {
         // A burst of nominally-timed activate/precharge cycles.
         for &r in &rows {
             let now = m.now();
-            m.execute(DramCommand::Act { bank: BankId(0), row: RowId(r) }, now);
+            m.execute(
+                DramCommand::Act {
+                    bank: BankId(0),
+                    row: RowId(r),
+                },
+                now,
+            );
             m.execute(DramCommand::Pre { bank: BankId(0) }, now + t.t_ras);
             m.wait(t.t_rp);
         }
         for &r in &rows {
-            prop_assert_eq!(m.read_row(BankId(0), RowId(r)), data.clone());
+            assert_eq!(
+                m.read_row(BankId(0), RowId(r)),
+                data,
+                "case {case}: row {r} corrupted (rows={rows:?} pattern={pattern:#x})"
+            );
         }
     }
 }
