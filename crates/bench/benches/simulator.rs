@@ -1,25 +1,27 @@
 //! Criterion benches for the cycle simulator: steady-state simulation
-//! throughput under each refresh scheme (also an ablation of the refresh
+//! throughput under each refresh policy (also an ablation of the refresh
 //! machinery's bookkeeping cost).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hira_core::config::HiraConfig;
-use hira_sim::config::{RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
 use hira_sim::system::System;
 use hira_sim::workloads::mixes;
 
 fn bench_schemes(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim/2k_insts_8core");
     g.sample_size(10);
-    for (name, scheme) in [
-        ("no_refresh", RefreshScheme::NoRefresh),
-        ("baseline_ref", RefreshScheme::Baseline),
-        ("hira4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
+    for (name, handle) in [
+        ("no_refresh", policy::noref()),
+        ("baseline_ref", policy::baseline()),
+        ("refpb", policy::refpb()),
+        ("raidr", policy::raidr()),
+        ("hira4", policy::hira(4)),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &handle, |b, handle| {
             let mix = &mixes(1, 8, 1)[0];
             b.iter(|| {
-                let cfg = SystemConfig::table3(32.0, scheme).with_insts(2_000, 200);
+                let cfg = SystemConfig::table3(32.0, handle.clone()).with_insts(2_000, 200);
                 System::new(cfg, mix).run()
             });
         });

@@ -3,32 +3,37 @@
 //! Runs HiRA-4 on 64 Gb chips with refresh-access and refresh-refresh
 //! pairing individually disabled, against the full configuration, the
 //! Baseline and the ideal No-Refresh system — one engine sweep over the
-//! `scheme` axis.
+//! `scheme` axis, every point a registered-or-custom policy handle.
 
 use hira_bench::{print_series, run_ws, Scale};
 use hira_core::config::HiraConfig;
 use hira_engine::{Executor, Sweep};
-use hira_sim::config::{RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
 
 fn main() {
     let scale = Scale::from_env();
     let ex = Executor::from_env();
     let cap = 64.0;
     let schemes = vec![
-        ("NoRefresh", RefreshScheme::NoRefresh),
-        ("Baseline", RefreshScheme::Baseline),
-        ("HiRA-4 full", RefreshScheme::Hira(HiraConfig::hira_n(4))),
+        ("NoRefresh", policy::noref()),
+        ("Baseline", policy::baseline()),
+        ("HiRA-4 full", policy::hira(4)),
         (
             "no refresh-access",
-            RefreshScheme::Hira(HiraConfig::hira_n(4).without_refresh_access()),
+            policy::hira_custom("hira4-noRA", HiraConfig::hira_n(4).without_refresh_access()),
         ),
         (
             "no refresh-refresh",
-            RefreshScheme::Hira(HiraConfig::hira_n(4).without_refresh_refresh()),
+            policy::hira_custom(
+                "hira4-noRR",
+                HiraConfig::hira_n(4).without_refresh_refresh(),
+            ),
         ),
         (
             "singles only",
-            RefreshScheme::Hira(
+            policy::hira_custom(
+                "hira4-singles",
                 HiraConfig::hira_n(4)
                     .without_refresh_access()
                     .without_refresh_refresh(),
@@ -41,8 +46,9 @@ fn main() {
         "== Ablation: HiRA-4 mechanisms at {cap} Gb, {} mixes x {} insts ==",
         scale.mixes, scale.insts
     );
-    let sweep = Sweep::new("ablation_mechanisms")
-        .axis("scheme", schemes, |_, s| SystemConfig::table3(cap, *s));
+    let sweep = Sweep::new("ablation_mechanisms").axis("scheme", schemes, |_, s| {
+        SystemConfig::table3(cap, s.clone())
+    });
     let t = run_ws(&ex, sweep, scale);
     let ideal = t.mean(&[("scheme", "NoRefresh")]);
 

@@ -8,20 +8,21 @@
 
 use hira_bench::{run_ws, Scale};
 use hira_engine::{flabel, Executor, Sweep};
-use hira_sim::config::{RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
 
 fn sweep() -> Sweep<SystemConfig> {
     Sweep::new("engine_smoke")
         .axis(
             "scheme",
             [
-                ("NoRefresh", RefreshScheme::NoRefresh),
-                ("Baseline", RefreshScheme::Baseline),
+                ("NoRefresh", policy::noref()),
+                ("Baseline", policy::baseline()),
             ],
-            |_, s| *s,
+            |_, s| s.clone(),
         )
         .axis("cap", [8.0, 64.0].map(|c| (flabel(c), c)), |s, c| {
-            SystemConfig::table3(*c, *s)
+            SystemConfig::table3(*c, s.clone())
         })
 }
 

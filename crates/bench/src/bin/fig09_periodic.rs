@@ -2,9 +2,10 @@
 //! (a) normalized to the ideal No-Refresh system, (b) normalized to the
 //! Baseline (rank-level REF). One engine sweep over `scheme × capacity`.
 
-use hira_bench::{periodic_schemes, print_series, run_ws, Scale};
+use hira_bench::{periodic_schemes_ablated, print_series, run_ws, Scale};
 use hira_engine::{flabel, Executor, Sweep};
-use hira_sim::config::{RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
 
 fn main() {
     let scale = Scale::from_env();
@@ -12,15 +13,8 @@ fn main() {
     let no_ra = std::env::args().any(|a| a == "--no-refresh-access");
     let caps = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 
-    let mut schemes = vec![("NoRefresh", RefreshScheme::NoRefresh)];
-    for (name, mut scheme) in periodic_schemes() {
-        if no_ra {
-            if let RefreshScheme::Hira(h) = scheme {
-                scheme = RefreshScheme::Hira(h.without_refresh_access());
-            }
-        }
-        schemes.push((name, scheme));
-    }
+    let mut schemes = vec![("NoRefresh", policy::noref())];
+    schemes.extend(periodic_schemes_ablated(no_ra));
     let names: Vec<&str> = schemes.iter().skip(1).map(|(n, _)| *n).collect();
 
     println!(
@@ -30,9 +24,9 @@ fn main() {
     println!("capacity (Gb): {caps:?}");
 
     let sweep = Sweep::new("fig09_periodic")
-        .axis("scheme", schemes, |_, s| *s)
+        .axis("scheme", schemes, |_, s| s.clone())
         .axis("cap", caps.map(|c| (flabel(c), c)), |s, c| {
-            SystemConfig::table3(*c, *s)
+            SystemConfig::table3(*c, s.clone())
         });
     let t = run_ws(&ex, sweep, scale);
     let series = |name: &str| -> Vec<f64> {

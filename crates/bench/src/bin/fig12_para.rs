@@ -5,7 +5,8 @@
 
 use hira_bench::{preventive_schemes, print_series, run_ws, Scale};
 use hira_engine::{Executor, ScenarioKey, Sweep};
-use hira_sim::config::{RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
 
 fn main() {
     let scale = Scale::from_env();
@@ -13,7 +14,7 @@ fn main() {
     let nrhs = [1024u32, 512, 256, 128, 64];
     let names: Vec<&str> = preventive_schemes(nrhs[0])
         .iter()
-        .map(|(n, _, _)| *n)
+        .map(|(n, _)| *n)
         .collect();
     println!(
         "== Fig. 12: PARA +- HiRA, NRH sweep {:?}, {} mixes x {} insts ==",
@@ -25,17 +26,13 @@ fn main() {
         .expand("scheme", |_, &nrh| {
             preventive_schemes(nrh)
                 .into_iter()
-                .map(|(name, pth, mode)| {
-                    let cfg = SystemConfig::table3(8.0, RefreshScheme::Baseline)
-                        .with_preventive(pth, mode);
-                    (name.to_string(), cfg)
-                })
+                .map(|(name, handle)| (name.to_string(), SystemConfig::table3(8.0, handle)))
                 .collect()
         });
     // The normalization baseline: periodic refresh only, no RowHammer defense.
     sweep.push(
         ScenarioKey::root().with("scheme", "no-defense"),
-        SystemConfig::table3(8.0, RefreshScheme::Baseline),
+        SystemConfig::table3(8.0, policy::baseline()),
     );
     let t = run_ws(&ex, sweep, scale);
 

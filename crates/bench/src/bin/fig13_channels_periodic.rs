@@ -2,9 +2,9 @@
 //! one engine sweep over `capacity × scheme × channels`.
 
 use hira_bench::{print_series, run_ws, Scale};
-use hira_core::config::HiraConfig;
 use hira_engine::{flabel, Executor, Sweep};
-use hira_sim::config::{RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
 
 fn main() {
     let scale = Scale::from_env();
@@ -12,18 +12,18 @@ fn main() {
     let channels = [1usize, 2, 4, 8];
     let caps = [2.0, 8.0, 32.0];
     let schemes = [
-        ("Baseline", RefreshScheme::Baseline),
-        ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
-        ("HiRA-4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
+        ("Baseline", policy::baseline()),
+        ("HiRA-2", policy::hira(2)),
+        ("HiRA-4", policy::hira(4)),
     ];
 
     let sweep = Sweep::new("fig13_channels_periodic")
         .axis("cap", caps.map(|c| (flabel(c), c)), |_, c| *c)
-        .axis("scheme", schemes, |c, s| (*c, *s))
+        .axis("scheme", schemes.clone(), |c, s| (*c, s.clone()))
         .axis(
             "ch",
             channels.map(|c| (c.to_string(), c)),
-            |&(cap, scheme), ch| SystemConfig::table3(cap, scheme).with_geometry(*ch, 1),
+            |(cap, scheme), ch| SystemConfig::table3(*cap, scheme.clone()).with_geometry(*ch, 1),
         );
     let t = run_ws(&ex, sweep, scale);
 
@@ -32,7 +32,7 @@ fn main() {
             "== Fig. 13: {cap} Gb chips, channels {channels:?} (normalized to Baseline 1ch/1rk) =="
         );
         let base_ref = t.mean(&[("cap", &flabel(cap)), ("scheme", "Baseline"), ("ch", "1")]);
-        for (name, _) in schemes {
+        for (name, _) in &schemes {
             let ws: Vec<f64> = channels
                 .iter()
                 .map(|&ch| {

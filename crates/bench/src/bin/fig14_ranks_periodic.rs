@@ -2,9 +2,9 @@
 //! — one engine sweep over `capacity × scheme × ranks`.
 
 use hira_bench::{print_series, run_ws, Scale};
-use hira_core::config::HiraConfig;
 use hira_engine::{flabel, Executor, Sweep};
-use hira_sim::config::{RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
 
 fn main() {
     let scale = Scale::from_env();
@@ -12,18 +12,18 @@ fn main() {
     let ranks = [1usize, 2, 4, 8];
     let caps = [2.0, 8.0, 32.0];
     let schemes = [
-        ("Baseline", RefreshScheme::Baseline),
-        ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
-        ("HiRA-4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
+        ("Baseline", policy::baseline()),
+        ("HiRA-2", policy::hira(2)),
+        ("HiRA-4", policy::hira(4)),
     ];
 
     let sweep = Sweep::new("fig14_ranks_periodic")
         .axis("cap", caps.map(|c| (flabel(c), c)), |_, c| *c)
-        .axis("scheme", schemes, |c, s| (*c, *s))
+        .axis("scheme", schemes.clone(), |c, s| (*c, s.clone()))
         .axis(
             "rk",
             ranks.map(|r| (r.to_string(), r)),
-            |&(cap, scheme), rk| SystemConfig::table3(cap, scheme).with_geometry(1, *rk),
+            |(cap, scheme), rk| SystemConfig::table3(*cap, scheme.clone()).with_geometry(1, *rk),
         );
     let t = run_ws(&ex, sweep, scale);
 
@@ -32,7 +32,7 @@ fn main() {
             "== Fig. 14: {cap} Gb chips, ranks/channel {ranks:?} (normalized to Baseline 1ch/1rk) =="
         );
         let base_ref = t.mean(&[("cap", &flabel(cap)), ("scheme", "Baseline"), ("rk", "1")]);
-        for (name, _) in schemes {
+        for (name, _) in &schemes {
             let ws: Vec<f64> = ranks
                 .iter()
                 .map(|&rk| {

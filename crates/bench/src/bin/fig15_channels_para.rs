@@ -3,10 +3,10 @@
 //! on the NRH axis (point-dependent expansion), plus one no-defense
 //! baseline point.
 
-use hira_bench::{print_series, pth_for, run_ws, Scale};
-use hira_core::config::HiraConfig;
+use hira_bench::{preventive_schemes_geometry, print_series, run_ws, Scale};
 use hira_engine::{Executor, ScenarioKey, Sweep};
-use hira_sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
 
 fn main() {
     let scale = Scale::from_env();
@@ -18,36 +18,17 @@ fn main() {
     let mut sweep = Sweep::new("fig15_channels_para")
         .axis("nrh", nrhs.map(|n| (n.to_string(), n)), |_, n| *n)
         .expand("scheme", |_, &nrh| {
-            let schemes: [(&str, f64, PreventiveMode); 3] = [
-                ("PARA", pth_for(nrh, 0), PreventiveMode::Immediate),
-                (
-                    "HiRA-2",
-                    pth_for(nrh, 2),
-                    PreventiveMode::Hira(HiraConfig::hira_n(2)),
-                ),
-                (
-                    "HiRA-4",
-                    pth_for(nrh, 4),
-                    PreventiveMode::Hira(HiraConfig::hira_n(4)),
-                ),
-            ];
-            schemes
+            preventive_schemes_geometry(nrh)
                 .into_iter()
-                .map(|(n, pth, mode)| (n.to_string(), (pth, mode)))
+                .map(|(n, handle)| (n.to_string(), handle))
                 .collect()
         })
-        .axis(
-            "ch",
-            channels.map(|c| (c.to_string(), c)),
-            |&(pth, mode), ch| {
-                SystemConfig::table3(8.0, RefreshScheme::Baseline)
-                    .with_geometry(*ch, 1)
-                    .with_preventive(pth, mode)
-            },
-        );
+        .axis("ch", channels.map(|c| (c.to_string(), c)), |handle, ch| {
+            SystemConfig::table3(8.0, handle.clone()).with_geometry(*ch, 1)
+        });
     sweep.push(
         ScenarioKey::root().with("scheme", "no-defense"),
-        SystemConfig::table3(8.0, RefreshScheme::Baseline),
+        SystemConfig::table3(8.0, policy::baseline()),
     );
     let t = run_ws(&ex, sweep, scale);
     let base = t.mean(&[("scheme", "no-defense")]);

@@ -1,10 +1,10 @@
 //! Fig. 16: rank-count sweep for PARA with and without HiRA — one engine
 //! sweep over `NRH × scheme × ranks` plus one no-defense baseline point.
 
-use hira_bench::{print_series, pth_for, run_ws, Scale};
-use hira_core::config::HiraConfig;
+use hira_bench::{preventive_schemes_geometry, print_series, run_ws, Scale};
 use hira_engine::{Executor, ScenarioKey, Sweep};
-use hira_sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
 
 fn main() {
     let scale = Scale::from_env();
@@ -16,36 +16,17 @@ fn main() {
     let mut sweep = Sweep::new("fig16_ranks_para")
         .axis("nrh", nrhs.map(|n| (n.to_string(), n)), |_, n| *n)
         .expand("scheme", |_, &nrh| {
-            let schemes: [(&str, f64, PreventiveMode); 3] = [
-                ("PARA", pth_for(nrh, 0), PreventiveMode::Immediate),
-                (
-                    "HiRA-2",
-                    pth_for(nrh, 2),
-                    PreventiveMode::Hira(HiraConfig::hira_n(2)),
-                ),
-                (
-                    "HiRA-4",
-                    pth_for(nrh, 4),
-                    PreventiveMode::Hira(HiraConfig::hira_n(4)),
-                ),
-            ];
-            schemes
+            preventive_schemes_geometry(nrh)
                 .into_iter()
-                .map(|(n, pth, mode)| (n.to_string(), (pth, mode)))
+                .map(|(n, handle)| (n.to_string(), handle))
                 .collect()
         })
-        .axis(
-            "rk",
-            ranks.map(|r| (r.to_string(), r)),
-            |&(pth, mode), rk| {
-                SystemConfig::table3(8.0, RefreshScheme::Baseline)
-                    .with_geometry(1, *rk)
-                    .with_preventive(pth, mode)
-            },
-        );
+        .axis("rk", ranks.map(|r| (r.to_string(), r)), |handle, rk| {
+            SystemConfig::table3(8.0, handle.clone()).with_geometry(1, *rk)
+        });
     sweep.push(
         ScenarioKey::root().with("scheme", "no-defense"),
-        SystemConfig::table3(8.0, RefreshScheme::Baseline),
+        SystemConfig::table3(8.0, policy::baseline()),
     );
     let t = run_ws(&ex, sweep, scale);
     let base = t.mean(&[("scheme", "no-defense")]);

@@ -1,0 +1,90 @@
+//! Policy matrix: every registered refresh policy × chip capacity, through
+//! one engine weighted-speedup sweep — the comparison surface the open
+//! [`hira_sim::policy`] API exists for. Where Fig. 9 compares the paper's
+//! three arrangements, this matrix spans the whole registry: `noref`,
+//! `baseline`, `refpb`, `raidr` and the `hira<N>` family side by side (and
+//! any `--policy=` subset of them).
+//!
+//! Always writes `BENCH_policy_matrix.json` (into `HIRA_BENCH_DIR`, or the
+//! working directory when unset): the tracked perf baseline for the policy
+//! comparison surface.
+//!
+//! Flags:
+//!
+//! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis by
+//!   registry name; default: the full standard registry,
+//! * `--check-determinism` — re-run the sweep single-threaded and assert
+//!   the canonical result sets are byte-identical (the engine's guarantee,
+//!   enforced end-to-end through every policy object).
+
+use hira_bench::{policy_axis_from_args, print_series, run_ws, Scale};
+use hira_engine::{flabel, Executor, Sweep};
+use hira_sim::config::SystemConfig;
+use std::path::Path;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ex = Executor::from_env();
+    let caps = [8.0, 64.0];
+    let policies = policy_axis_from_args();
+    assert!(
+        !policies.is_empty(),
+        "policy_matrix needs at least one policy"
+    );
+    let names: Vec<String> = policies.iter().map(|(n, _)| n.clone()).collect();
+
+    println!(
+        "== policy matrix: {} policies x capacities {caps:?}, {} mixes x {} insts ==",
+        policies.len(),
+        scale.mixes,
+        scale.insts
+    );
+    println!("policies: {}", names.join(", "));
+
+    let mk_sweep = || {
+        Sweep::new("policy_matrix")
+            .axis("policy", policies.clone(), |_, h| h.clone())
+            .axis("cap", caps.map(|c| (flabel(c), c)), |h, c| {
+                SystemConfig::table3(*c, h.clone())
+            })
+    };
+    let t = run_ws(&ex, mk_sweep(), scale);
+
+    if std::env::args().any(|a| a == "--check-determinism") {
+        let serial = run_ws(&Executor::with_threads(1), mk_sweep(), scale);
+        assert_eq!(
+            t.run.canonical_json(),
+            serial.run.canonical_json(),
+            "policy sweep results must be independent of HIRA_THREADS"
+        );
+        println!("determinism check: canonical result sets byte-identical at 1 thread");
+    }
+
+    let series = |name: &str| -> Vec<f64> {
+        caps.iter()
+            .map(|&c| t.mean(&[("policy", name), ("cap", &flabel(c))]))
+            .collect()
+    };
+    println!("\n-- weighted speedup by capacity (Gb): {caps:?} --");
+    for name in &names {
+        print_series(name, &series(name));
+    }
+    if let Some(ideal_name) = names.iter().find(|n| *n == "noref") {
+        let ideal = series(ideal_name);
+        println!("\n-- normalized to noref (refresh-interference cost) --");
+        for name in &names {
+            let norm: Vec<f64> = series(name)
+                .iter()
+                .zip(&ideal)
+                .map(|(w, i)| w / i)
+                .collect();
+            print_series(name, &norm);
+        }
+    }
+
+    let dir = std::env::var("HIRA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    match t.run.write_bench_json(Path::new(&dir)) {
+        Ok(path) => println!("(result store written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_policy_matrix.json: {e}"),
+    }
+}

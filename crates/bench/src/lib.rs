@@ -18,10 +18,14 @@
 //!   parallelism); results are bit-identical for any value,
 //! * `HIRA_BENCH_DIR` — when set, every binary additionally writes its
 //!   machine-readable `BENCH_<sweep>.json` result set there.
+//!
+//! Binaries that sweep refresh policies also accept `--policy=<name>[,..]`
+//! (repeatable) to subset the policy axis by registry name — see
+//! [`policy_axis_from_args`].
 
-use hira_core::config::HiraConfig;
 use hira_engine::{metric, Executor, ScenarioKey, Sweep};
-use hira_sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy::{self, PolicyHandle, PolicyRegistry};
 use hira_sim::system::System;
 use hira_sim::workloads::{mixes, Benchmark, Mix};
 use std::collections::{BTreeSet, HashMap};
@@ -102,7 +106,7 @@ fn compute_alone_ipc(
     ranks: usize,
     scale: Scale,
 ) -> f64 {
-    let mut cfg = SystemConfig::table3(8.0, RefreshScheme::NoRefresh)
+    let mut cfg = SystemConfig::table3(8.0, policy::noref())
         .with_geometry(channels, ranks)
         .with_insts(scale.insts, scale.warmup);
     cfg.cores = 1;
@@ -269,43 +273,98 @@ pub fn mean_ws(base_cfg: &SystemConfig, scale: Scale) -> f64 {
     run_ws(&Executor::from_env(), sweep, scale).mean(&[])
 }
 
-/// The periodic-refresh configurations of Fig. 9 for one chip capacity.
-pub fn periodic_schemes() -> Vec<(&'static str, RefreshScheme)> {
+/// The periodic-refresh policies of Fig. 9 (display label, registry
+/// handle). The HiRA variants can be ablated through
+/// [`periodic_schemes_ablated`].
+pub fn periodic_schemes() -> Vec<(&'static str, PolicyHandle)> {
+    periodic_schemes_ablated(false)
+}
+
+/// [`periodic_schemes`] with refresh-access pairing optionally disabled on
+/// every HiRA point (the `--no-refresh-access` ablation of Fig. 9).
+pub fn periodic_schemes_ablated(no_refresh_access: bool) -> Vec<(&'static str, PolicyHandle)> {
+    let hira = |n: u32| {
+        if no_refresh_access {
+            policy::hira_custom(
+                format!("hira{n}-noRA"),
+                hira_core::config::HiraConfig::hira_n(n).without_refresh_access(),
+            )
+        } else {
+            policy::hira(n)
+        }
+    };
     vec![
-        ("Baseline", RefreshScheme::Baseline),
-        ("HiRA-0", RefreshScheme::Hira(HiraConfig::hira_n(0))),
-        ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
-        ("HiRA-4", RefreshScheme::Hira(HiraConfig::hira_n(4))),
-        ("HiRA-8", RefreshScheme::Hira(HiraConfig::hira_n(8))),
+        ("Baseline", policy::baseline()),
+        ("HiRA-0", hira(0)),
+        ("HiRA-2", hira(2)),
+        ("HiRA-4", hira(4)),
+        ("HiRA-8", hira(8)),
     ]
 }
 
-/// The preventive-refresh configurations of Fig. 12 (PARA ± HiRA). `p_th`
-/// is resolved per configuration from the §9.1 analysis (slack-aware).
-pub fn preventive_schemes(nrh: u32) -> Vec<(&'static str, f64, PreventiveMode)> {
+/// The preventive-refresh arrangements of Fig. 12 (PARA ± HiRA), layered
+/// over Baseline periodic refresh. `p_th` is resolved per arrangement from
+/// the §9.1 analysis (slack-aware).
+pub fn preventive_schemes(nrh: u32) -> Vec<(&'static str, PolicyHandle)> {
+    let base = policy::baseline();
     vec![
-        ("PARA", pth_for(nrh, 0), PreventiveMode::Immediate),
-        (
-            "HiRA-0",
-            pth_for(nrh, 0),
-            PreventiveMode::Hira(HiraConfig::hira_n(0)),
-        ),
-        (
-            "HiRA-2",
-            pth_for(nrh, 2),
-            PreventiveMode::Hira(HiraConfig::hira_n(2)),
-        ),
-        (
-            "HiRA-4",
-            pth_for(nrh, 4),
-            PreventiveMode::Hira(HiraConfig::hira_n(4)),
-        ),
-        (
-            "HiRA-8",
-            pth_for(nrh, 8),
-            PreventiveMode::Hira(HiraConfig::hira_n(8)),
-        ),
+        ("PARA", base.clone().with_para_immediate(pth_for(nrh, 0))),
+        ("HiRA-0", base.clone().with_para_hira(pth_for(nrh, 0), 0)),
+        ("HiRA-2", base.clone().with_para_hira(pth_for(nrh, 2), 2)),
+        ("HiRA-4", base.clone().with_para_hira(pth_for(nrh, 4), 4)),
+        ("HiRA-8", base.with_para_hira(pth_for(nrh, 8), 8)),
     ]
+}
+
+/// The three-arrangement subset of [`preventive_schemes`] the geometry
+/// sweeps plot (Figs. 15/16: PARA, HiRA-2, HiRA-4).
+pub fn preventive_schemes_geometry(nrh: u32) -> Vec<(&'static str, PolicyHandle)> {
+    preventive_schemes(nrh)
+        .into_iter()
+        .filter(|(name, _)| matches!(*name, "PARA" | "HiRA-2" | "HiRA-4"))
+        .collect()
+}
+
+/// The policy axis of a sweep, from `--policy=` CLI arguments: every
+/// `--policy=name[,name...]` argument adds registry lookups (label =
+/// registry key), and with no such argument every policy in the standard
+/// registry is swept. This is how bench binaries select refresh policies —
+/// an open, string-keyed axis instead of enum plumbing.
+///
+/// # Panics
+///
+/// Panics (with the registered names) when an argument names an unknown
+/// policy.
+pub fn policy_axis_from_args() -> Vec<(String, PolicyHandle)> {
+    let registry = PolicyRegistry::standard();
+    let selected: Vec<String> = std::env::args()
+        .filter_map(|a| a.strip_prefix("--policy=").map(str::to_owned))
+        .flat_map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if selected.is_empty() {
+        return registry
+            .handles()
+            .map(|h| (h.name().to_owned(), h.clone()))
+            .collect();
+    }
+    selected
+        .into_iter()
+        .map(|name| {
+            let handle = registry.lookup(&name).unwrap_or_else(|| {
+                panic!(
+                    "unknown --policy `{name}`; registered: {} (plus hira<N>)",
+                    registry.names().join(", ")
+                )
+            });
+            (name, handle)
+        })
+        .collect()
 }
 
 /// `p_th` for a RowHammer threshold under the §9.1 analysis, with the slack
@@ -358,10 +417,10 @@ mod tests {
         let sweep = Sweep::new("ws_smoke").axis(
             "scheme",
             [
-                ("NoRefresh", RefreshScheme::NoRefresh),
-                ("Baseline", RefreshScheme::Baseline),
+                ("NoRefresh", policy::noref()),
+                ("Baseline", policy::baseline()),
             ],
-            |_, s| SystemConfig::table3(8.0, *s),
+            |_, s| SystemConfig::table3(8.0, s.clone()),
         );
         let t = run_ws(&Executor::with_threads(2), sweep, tiny_scale());
         assert_eq!(t.means().len(), 2);
@@ -381,9 +440,28 @@ mod tests {
     }
 
     #[test]
+    fn policy_handles_carry_their_pth_in_the_identity() {
+        let a = preventive_schemes(64);
+        let b = preventive_schemes(1024);
+        // Same label, different p_th: the handles must not compare equal,
+        // or a sweep would silently collapse distinct configurations.
+        assert_ne!(a[0].1, b[0].1);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn ablated_schemes_rename_their_hira_points() {
+        let plain = periodic_schemes();
+        let ablated = periodic_schemes_ablated(true);
+        assert_eq!(plain[1].1.name(), "hira0");
+        assert_eq!(ablated[1].1.name(), "hira0-noRA");
+        assert_eq!(plain[0].1, ablated[0].1, "Baseline is not ablatable");
+    }
+
+    #[test]
     fn mean_ws_agrees_with_single_point_sweep() {
         let scale = tiny_scale();
-        let cfg = SystemConfig::table3(8.0, RefreshScheme::Baseline);
+        let cfg = SystemConfig::table3(8.0, policy::baseline());
         let a = mean_ws(&cfg, scale);
         let b = mean_ws(&cfg, scale);
         assert_eq!(a, b, "mean_ws must be deterministic");

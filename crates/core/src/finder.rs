@@ -212,6 +212,20 @@ impl HiraMc {
         &self.params.config
     }
 
+    /// Full construction parameters (hosts size analytic budgets off them).
+    pub fn params(&self) -> &HiraMcParams {
+        &self.params
+    }
+
+    /// Enables the PARA preventive-request generator on an existing
+    /// controller — the hook refresh-policy layers use to fold a preventive
+    /// layer into a HiRA-MC that already performs periodic refresh, instead
+    /// of instantiating a second controller per rank.
+    pub fn enable_para(&mut self, pth: f64) {
+        self.params.para_pth = Some(pth);
+        self.para = Some(Para::new(pth, self.params.seed ^ 0xACE));
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> McStats {
         self.stats

@@ -1,0 +1,501 @@
+//! Validated construction of [`SystemConfig`]: fluent setters, geometry and
+//! timing cross-checks, typed errors.
+//!
+//! The builder replaces the hand-assembled struct literals the harness used
+//! to carry: every field has a Table 3 default, every setter is chainable,
+//! and [`SystemBuilder::build`] refuses configurations a real controller
+//! could not operate (zero banks, `tRFC ≥ tREFI`, bank groups that do not
+//! divide the bank count, …) with a [`BuildError`] naming the violation.
+//!
+//! ```rust
+//! use hira_sim::builder::SystemBuilder;
+//! use hira_sim::policy;
+//!
+//! let cfg = SystemBuilder::new()
+//!     .chip_gbit(64.0)
+//!     .policy(policy::hira(4))
+//!     .geometry(2, 2)
+//!     .insts(40_000, 8_000)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(cfg.channels, 2);
+//! assert_eq!(cfg.refresh.name(), "hira4");
+//! ```
+
+use crate::config::SystemConfig;
+use crate::policy::{baseline, PolicyHandle};
+use hira_dram::timing::{trfc_for_capacity, TimingParams};
+use std::fmt;
+
+/// A validation failure from [`SystemBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A structural count (cores, channels, ranks, banks, bank groups,
+    /// queue depth) was zero.
+    ZeroCount {
+        /// Which count was zero.
+        what: &'static str,
+    },
+    /// `banks` is not a multiple of `bank_groups`.
+    BankGroupMismatch {
+        /// Banks per rank.
+        banks: u16,
+        /// Bank groups per rank.
+        bank_groups: u16,
+    },
+    /// Chip capacity must be positive and finite.
+    InvalidCapacity {
+        /// The offending capacity in Gb.
+        chip_gbit: f64,
+    },
+    /// `tRFC` must leave room inside `tREFI` — a refresh that outlasts its
+    /// own interval can never complete the window.
+    RefreshWindowTooTight {
+        /// All-bank refresh latency, ns.
+        t_rfc: f64,
+        /// Refresh interval, ns.
+        t_refi: f64,
+    },
+    /// `tRC` must cover `tRAS + tRP` — the row cycle is their sum.
+    RowCycleInconsistent {
+        /// Row cycle, ns.
+        t_rc: f64,
+        /// Charge restoration, ns.
+        t_ras: f64,
+        /// Precharge, ns.
+        t_rp: f64,
+    },
+    /// The warmup budget must be strictly below the measured budget.
+    WarmupExceedsBudget {
+        /// Warmup instructions per core.
+        warmup: u64,
+        /// Total measured instructions per core.
+        insts: u64,
+    },
+    /// The SPT compatibility fraction must be a probability.
+    SptFractionOutOfRange {
+        /// The offending fraction.
+        spt_fraction: f64,
+    },
+    /// The LLC must hold at least one set of the configured associativity.
+    LlcTooSmall {
+        /// LLC capacity in bytes.
+        bytes: usize,
+        /// Associativity.
+        ways: usize,
+    },
+    /// A [`SystemBuilder::policy_name`] lookup did not resolve against the
+    /// standard registry.
+    UnknownPolicy {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroCount { what } => write!(f, "{what} must be at least 1"),
+            BuildError::BankGroupMismatch { banks, bank_groups } => write!(
+                f,
+                "{bank_groups} bank groups do not evenly divide {banks} banks"
+            ),
+            BuildError::InvalidCapacity { chip_gbit } => {
+                write!(f, "chip capacity {chip_gbit} Gb is not positive and finite")
+            }
+            BuildError::RefreshWindowTooTight { t_rfc, t_refi } => {
+                write!(f, "tRFC {t_rfc} ns does not fit inside tREFI {t_refi} ns")
+            }
+            BuildError::RowCycleInconsistent { t_rc, t_ras, t_rp } => {
+                write!(f, "tRC {t_rc} ns is below tRAS {t_ras} + tRP {t_rp} ns")
+            }
+            BuildError::WarmupExceedsBudget { warmup, insts } => write!(
+                f,
+                "warmup {warmup} insts must be below the measured budget {insts}"
+            ),
+            BuildError::SptFractionOutOfRange { spt_fraction } => {
+                write!(f, "SPT fraction {spt_fraction} is not in [0, 1]")
+            }
+            BuildError::LlcTooSmall { bytes, ways } => write!(
+                f,
+                "LLC of {bytes} B cannot hold one {ways}-way set of 64 B lines"
+            ),
+            BuildError::UnknownPolicy { name } => write!(
+                f,
+                "no refresh policy named `{name}` in the standard registry"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Fluent, validated constructor for [`SystemConfig`]. Defaults are the
+/// paper's Table 3 system at 8 Gb chips with Baseline refresh.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    cores: usize,
+    channels: usize,
+    ranks: usize,
+    banks: u16,
+    bank_groups: u16,
+    chip_gbit: f64,
+    timing: Option<TimingParams>,
+    refresh: PolicyHandle,
+    /// A pending by-name policy selection, resolved (and validated) at
+    /// [`SystemBuilder::build`]; overrides `refresh` when set.
+    refresh_by_name: Option<String>,
+    para: Option<ParaLayer>,
+    llc_bytes: usize,
+    llc_ways: usize,
+    queue_depth: usize,
+    insts_per_core: u64,
+    warmup_insts: u64,
+    spt_fraction: f64,
+    seed: u64,
+}
+
+/// The preventive layer a builder composes onto the policy at build time.
+#[derive(Debug, Clone, Copy)]
+struct ParaLayer {
+    pth: f64,
+    /// `None`: serve victims immediately; `Some(n)`: queue with HiRA-N.
+    slack_acts: Option<u32>,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemBuilder {
+    /// The Table 3 defaults: 8 cores, one channel/rank, 16 banks in 4
+    /// groups, 8 Gb chips, DDR4-2400, Baseline refresh, 8 MB LLC.
+    pub fn new() -> Self {
+        SystemBuilder {
+            cores: 8,
+            channels: 1,
+            ranks: 1,
+            banks: 16,
+            bank_groups: 4,
+            chip_gbit: 8.0,
+            timing: None,
+            refresh: baseline(),
+            refresh_by_name: None,
+            para: None,
+            llc_bytes: 8 << 20,
+            llc_ways: 8,
+            queue_depth: 64,
+            insts_per_core: 100_000,
+            warmup_insts: 20_000,
+            spt_fraction: 0.32,
+            seed: 0x5157,
+        }
+    }
+
+    /// [`SystemBuilder::new`] at a given chip capacity.
+    pub fn table3(chip_gbit: f64) -> Self {
+        Self::new().chip_gbit(chip_gbit)
+    }
+
+    /// Number of cores.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Channel and rank geometry (§10 sweeps).
+    pub fn geometry(mut self, channels: usize, ranks: usize) -> Self {
+        self.channels = channels;
+        self.ranks = ranks;
+        self
+    }
+
+    /// Banks per rank and bank groups per rank.
+    pub fn banks(mut self, banks: u16, bank_groups: u16) -> Self {
+        self.banks = banks;
+        self.bank_groups = bank_groups;
+        self
+    }
+
+    /// Chip capacity in Gb. Unless [`SystemBuilder::timing`] overrides it,
+    /// `tRFC` is projected from the capacity by Expression 1.
+    pub fn chip_gbit(mut self, chip_gbit: f64) -> Self {
+        self.chip_gbit = chip_gbit;
+        self
+    }
+
+    /// Explicit DDR timing parameters (replaces the DDR4-2400 +
+    /// Expression 1 default).
+    pub fn timing(mut self, timing: TimingParams) -> Self {
+        self.timing = Some(timing);
+        self
+    }
+
+    /// The periodic refresh policy.
+    pub fn policy(mut self, refresh: PolicyHandle) -> Self {
+        self.refresh = refresh;
+        self.refresh_by_name = None;
+        self
+    }
+
+    /// Selects the policy by standard-registry name (`--policy=` axes).
+    /// The lookup happens in [`SystemBuilder::build`], so an unknown name
+    /// surfaces as [`BuildError::UnknownPolicy`] like every other invalid
+    /// input — the panicking shortcut for CLI use is
+    /// [`crate::policy::policy`].
+    pub fn policy_name(mut self, name: &str) -> Self {
+        self.refresh_by_name = Some(name.to_owned());
+        self
+    }
+
+    /// Layers immediately-served PARA (plain "PARA") onto the policy.
+    pub fn preventive_immediate(mut self, pth: f64) -> Self {
+        self.para = Some(ParaLayer {
+            pth,
+            slack_acts: None,
+        });
+        self
+    }
+
+    /// Layers HiRA-N-queued PARA onto the policy.
+    pub fn preventive_hira(mut self, pth: f64, slack_acts: u32) -> Self {
+        self.para = Some(ParaLayer {
+            pth,
+            slack_acts: Some(slack_acts),
+        });
+        self
+    }
+
+    /// LLC capacity and associativity.
+    pub fn llc(mut self, bytes: usize, ways: usize) -> Self {
+        self.llc_bytes = bytes;
+        self.llc_ways = ways;
+        self
+    }
+
+    /// Per-channel read/write queue capacity.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Measured and warmup instruction budgets per core.
+    pub fn insts(mut self, insts: u64, warmup: u64) -> Self {
+        self.insts_per_core = insts;
+        self.warmup_insts = warmup;
+        self
+    }
+
+    /// SPT compatibility fraction (§7).
+    pub fn spt_fraction(mut self, fraction: f64) -> Self {
+        self.spt_fraction = fraction;
+        self
+    }
+
+    /// Deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and assembles the configuration.
+    pub fn build(self) -> Result<SystemConfig, BuildError> {
+        for (what, n) in [
+            ("cores", self.cores),
+            ("channels", self.channels),
+            ("ranks", self.ranks),
+            ("banks", self.banks as usize),
+            ("bank_groups", self.bank_groups as usize),
+            ("queue_depth", self.queue_depth),
+            ("llc_ways", self.llc_ways),
+            ("insts_per_core", self.insts_per_core as usize),
+        ] {
+            if n == 0 {
+                return Err(BuildError::ZeroCount { what });
+            }
+        }
+        if !self.banks.is_multiple_of(self.bank_groups) {
+            return Err(BuildError::BankGroupMismatch {
+                banks: self.banks,
+                bank_groups: self.bank_groups,
+            });
+        }
+        if !(self.chip_gbit.is_finite() && self.chip_gbit > 0.0) {
+            return Err(BuildError::InvalidCapacity {
+                chip_gbit: self.chip_gbit,
+            });
+        }
+        let timing = self.timing.unwrap_or_else(|| {
+            let mut t = TimingParams::ddr4_2400();
+            t.t_rfc = trfc_for_capacity(self.chip_gbit);
+            t
+        });
+        if timing.t_rfc >= timing.t_refi {
+            return Err(BuildError::RefreshWindowTooTight {
+                t_rfc: timing.t_rfc,
+                t_refi: timing.t_refi,
+            });
+        }
+        if timing.t_rc + 1e-9 < timing.t_ras + timing.t_rp {
+            return Err(BuildError::RowCycleInconsistent {
+                t_rc: timing.t_rc,
+                t_ras: timing.t_ras,
+                t_rp: timing.t_rp,
+            });
+        }
+        if self.warmup_insts >= self.insts_per_core {
+            return Err(BuildError::WarmupExceedsBudget {
+                warmup: self.warmup_insts,
+                insts: self.insts_per_core,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.spt_fraction) {
+            return Err(BuildError::SptFractionOutOfRange {
+                spt_fraction: self.spt_fraction,
+            });
+        }
+        if self.llc_bytes < 64 * self.llc_ways {
+            return Err(BuildError::LlcTooSmall {
+                bytes: self.llc_bytes,
+                ways: self.llc_ways,
+            });
+        }
+        let refresh = match self.refresh_by_name {
+            None => self.refresh,
+            Some(name) => crate::policy::PolicyRegistry::standard()
+                .lookup(&name)
+                .ok_or(BuildError::UnknownPolicy { name })?,
+        };
+        let refresh = match self.para {
+            None => refresh,
+            Some(ParaLayer {
+                pth,
+                slack_acts: None,
+            }) => refresh.with_para_immediate(pth),
+            Some(ParaLayer {
+                pth,
+                slack_acts: Some(n),
+            }) => refresh.with_para_hira(pth, n),
+        };
+        Ok(SystemConfig {
+            cores: self.cores,
+            channels: self.channels,
+            ranks: self.ranks,
+            banks: self.banks,
+            bank_groups: self.bank_groups,
+            chip_gbit: self.chip_gbit,
+            timing,
+            refresh,
+            llc_bytes: self.llc_bytes,
+            llc_ways: self.llc_ways,
+            queue_depth: self.queue_depth,
+            insts_per_core: self.insts_per_core,
+            warmup_insts: self.warmup_insts,
+            spt_fraction: self.spt_fraction,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{hira, noref};
+
+    #[test]
+    fn defaults_build_the_table3_system() {
+        let cfg = SystemBuilder::new().build().unwrap();
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.banks, 16);
+        assert_eq!(cfg.refresh.name(), "baseline");
+        assert_eq!(cfg, SystemConfig::table3(8.0, baseline()));
+    }
+
+    #[test]
+    fn zero_counts_are_rejected_with_the_offending_field() {
+        let err = SystemBuilder::new().banks(0, 4).build().unwrap_err();
+        assert_eq!(err, BuildError::ZeroCount { what: "banks" });
+        let err = SystemBuilder::new().cores(0).build().unwrap_err();
+        assert_eq!(err, BuildError::ZeroCount { what: "cores" });
+    }
+
+    #[test]
+    fn bank_groups_must_divide_banks() {
+        let err = SystemBuilder::new().banks(16, 3).build().unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::BankGroupMismatch {
+                banks: 16,
+                bank_groups: 3
+            }
+        );
+    }
+
+    #[test]
+    fn trfc_beyond_trefi_is_rejected() {
+        let mut t = TimingParams::ddr4_2400();
+        t.t_rfc = t.t_refi + 1.0;
+        let err = SystemBuilder::new().timing(t).build().unwrap_err();
+        assert!(matches!(err, BuildError::RefreshWindowTooTight { .. }));
+        // Expression 1 crosses tREFI=7800 ns only beyond real capacities,
+        // but an absurd capacity must still be caught through the timing.
+        let err = SystemBuilder::new()
+            .chip_gbit(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidCapacity { .. }));
+    }
+
+    #[test]
+    fn preventive_layers_compose_at_build_time() {
+        let cfg = SystemBuilder::new()
+            .policy(noref())
+            .preventive_immediate(0.25)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.refresh.name(), "noref+para(p=0.2500)");
+        let cfg = SystemBuilder::new()
+            .policy(hira(4))
+            .preventive_hira(0.5, 4)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.refresh.name(), "hira4+para@hira4(p=0.5000)");
+    }
+
+    #[test]
+    fn policy_name_resolves_through_the_registry() {
+        let cfg = SystemBuilder::new().policy_name("hira2").build().unwrap();
+        assert_eq!(cfg.refresh.name(), "hira2");
+        // An unknown name is a typed build error, not a panic — by-name
+        // selection is the field most likely to carry unvalidated input.
+        let err = SystemBuilder::new()
+            .policy_name("nope")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnknownPolicy {
+                name: "nope".into()
+            }
+        );
+        // A later explicit policy() overrides a pending name.
+        let cfg = SystemBuilder::new()
+            .policy_name("nope")
+            .policy(noref())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.refresh.name(), "noref");
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        let msg = BuildError::RefreshWindowTooTight {
+            t_rfc: 9000.0,
+            t_refi: 7800.0,
+        }
+        .to_string();
+        assert!(msg.contains("9000") && msg.contains("7800"), "{msg}");
+    }
+}

@@ -1,40 +1,19 @@
 //! Simulated system configuration (Table 3).
+//!
+//! The refresh arrangement is an open [`PolicyHandle`] (see
+//! [`crate::policy`]) rather than a closed enum: any registered policy —
+//! the paper's three arrangements or a third-party one — slots into the
+//! same configuration. Preventive (PARA) layers are part of the handle,
+//! composed with [`PolicyHandle::with_para_immediate`] /
+//! [`PolicyHandle::with_para_hira`].
 
-use hira_core::config::HiraConfig;
-use hira_dram::timing::{trfc_for_capacity, TimingParams};
+use crate::builder::SystemBuilder;
+use crate::policy::PolicyHandle;
+use hira_dram::timing::TimingParams;
 
-/// How periodic refresh is performed.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum RefreshScheme {
-    /// No periodic refresh at all (the ideal bound of Fig. 9a).
-    NoRefresh,
-    /// Conventional all-bank `REF` every `tREFI`, blocking the rank for
-    /// `tRFC` (scaled with chip capacity by Expression 1).
-    Baseline,
-    /// Per-row refresh through HiRA-MC with the given HiRA-N configuration.
-    Hira(HiraConfig),
-}
-
-/// How PARA's preventive refreshes are served (§9).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum PreventiveMode {
-    /// Refresh the victim immediately after the triggering activation
-    /// ("PARA" in Fig. 12 — no HiRA).
-    Immediate,
-    /// Queue with `tRefSlack` and let HiRA-MC parallelize (HiRA-N).
-    Hira(HiraConfig),
-}
-
-/// Preventive-refresh configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PreventiveConfig {
-    /// PARA's probability threshold (from the §9.1 security analysis).
-    pub pth: f64,
-    /// Service mode.
-    pub mode: PreventiveMode,
-}
-
-/// Full system configuration.
+/// Full system configuration. Hand-assembly is possible (all fields are
+/// public) but [`SystemBuilder`] is the supported construction path — it
+/// cross-checks geometry and timing and returns typed errors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Number of cores (Table 3: 8).
@@ -51,10 +30,8 @@ pub struct SystemConfig {
     pub chip_gbit: f64,
     /// DDR timing parameters.
     pub timing: TimingParams,
-    /// Periodic refresh scheme.
-    pub refresh: RefreshScheme,
-    /// Optional PARA layer.
-    pub preventive: Option<PreventiveConfig>,
+    /// Periodic refresh policy (plus any composed preventive layer).
+    pub refresh: PolicyHandle,
     /// LLC capacity in bytes (Table 3: 8 MB).
     pub llc_bytes: usize,
     /// LLC associativity.
@@ -73,28 +50,12 @@ pub struct SystemConfig {
 
 impl SystemConfig {
     /// The Table 3 configuration for a given chip capacity and refresh
-    /// scheme, at a scaled-down default instruction budget.
-    pub fn table3(chip_gbit: f64, refresh: RefreshScheme) -> Self {
-        let mut timing = TimingParams::ddr4_2400();
-        timing.t_rfc = trfc_for_capacity(chip_gbit);
-        SystemConfig {
-            cores: 8,
-            channels: 1,
-            ranks: 1,
-            banks: 16,
-            bank_groups: 4,
-            chip_gbit,
-            timing,
-            refresh,
-            preventive: None,
-            llc_bytes: 8 << 20,
-            llc_ways: 8,
-            queue_depth: 64,
-            insts_per_core: 100_000,
-            warmup_insts: 20_000,
-            spt_fraction: 0.32,
-            seed: 0x5157,
-        }
+    /// policy, at a scaled-down default instruction budget.
+    pub fn table3(chip_gbit: f64, refresh: PolicyHandle) -> Self {
+        SystemBuilder::table3(chip_gbit)
+            .policy(refresh)
+            .build()
+            .expect("Table 3 presets are valid")
     }
 
     /// Rows per bank. Table 3 fixes this at 64 K for every simulated
@@ -106,9 +67,22 @@ impl SystemConfig {
         64 * 1024
     }
 
-    /// Adds a PARA layer.
-    pub fn with_preventive(mut self, pth: f64, mode: PreventiveMode) -> Self {
-        self.preventive = Some(PreventiveConfig { pth, mode });
+    /// Replaces the refresh policy.
+    pub fn with_policy(mut self, refresh: PolicyHandle) -> Self {
+        self.refresh = refresh;
+        self
+    }
+
+    /// Layers immediately-served PARA onto the current policy (§9's plain
+    /// "PARA" baseline).
+    pub fn with_para(mut self, pth: f64) -> Self {
+        self.refresh = self.refresh.with_para_immediate(pth);
+        self
+    }
+
+    /// Layers HiRA-N-queued PARA onto the current policy.
+    pub fn with_para_hira(mut self, pth: f64, slack_acts: u32) -> Self {
+        self.refresh = self.refresh.with_para_hira(pth, slack_acts);
         self
     }
 
@@ -131,31 +105,41 @@ impl SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{baseline, noref};
+    use hira_dram::timing::trfc_for_capacity;
 
     #[test]
     fn rows_per_bank_is_table3_fixed() {
         // Table 3: 64 K rows/bank at every capacity (density = wider rows).
-        let c8 = SystemConfig::table3(8.0, RefreshScheme::Baseline);
+        let c8 = SystemConfig::table3(8.0, baseline());
         assert_eq!(c8.rows_per_bank(), 64 * 1024);
-        let c128 = SystemConfig::table3(128.0, RefreshScheme::Baseline);
+        let c128 = SystemConfig::table3(128.0, baseline());
         assert_eq!(c128.rows_per_bank(), 64 * 1024);
     }
 
     #[test]
     fn trfc_follows_expression_1() {
-        let c = SystemConfig::table3(32.0, RefreshScheme::Baseline);
+        let c = SystemConfig::table3(32.0, baseline());
         assert!((c.timing.t_rfc - trfc_for_capacity(32.0)).abs() < 1e-9);
     }
 
     #[test]
     fn builders_compose() {
-        let c = SystemConfig::table3(8.0, RefreshScheme::NoRefresh)
+        let c = SystemConfig::table3(8.0, noref())
             .with_geometry(4, 2)
-            .with_preventive(0.5, PreventiveMode::Immediate)
+            .with_para(0.5)
             .with_insts(1000, 100);
         assert_eq!(c.channels, 4);
         assert_eq!(c.ranks, 2);
-        assert!(c.preventive.is_some());
+        assert_eq!(c.refresh.name(), "noref+para(p=0.5000)");
         assert_eq!(c.insts_per_core, 1000);
+    }
+
+    #[test]
+    fn configs_compare_by_policy_identity() {
+        let a = SystemConfig::table3(8.0, baseline());
+        let b = SystemConfig::table3(8.0, baseline());
+        assert_eq!(a, b);
+        assert_ne!(a, SystemConfig::table3(8.0, noref()));
     }
 }

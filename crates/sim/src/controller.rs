@@ -1,6 +1,6 @@
 //! Per-channel memory controller: FR-FCFS scheduling over a detailed DDR4
-//! timing model, with pluggable refresh machinery (baseline `REF`, HiRA-MC,
-//! immediate PARA).
+//! timing model, with refresh machinery driven entirely through the open
+//! [`RefreshPolicy`] interface.
 //!
 //! The timing model enforces, in command-clock cycles: `tRCD`, `tRAS`,
 //! `tRP`, `tRC`, `tRRD_S/L`, `tFAW`, `tCCD_S/L`, `tCL/tCWL/tBL`, `tWR`,
@@ -8,13 +8,24 @@
 //! the shared data bus. HiRA operations occupy their real command slots
 //! (`ACT`, `PRE`, `ACT` at `t1`/`t2` offsets) and count both activations
 //! against `tFAW`/`tRRD`, as §5.2 requires.
+//!
+//! The controller/policy protocol: each rank owns one boxed
+//! [`RefreshPolicy`]. Every memory tick the controller calls the policy's
+//! `tick`, then polls `next_action` (against a fresh [`RankView`] of bank
+//! readiness and demand pressure) and executes each returned
+//! [`RefreshAction`] on the command/data-bus model. Demand activations
+//! consult `on_demand_act` for refresh-access expansion, and *every*
+//! executed activation — demand, refresh, preventive — is reported back
+//! through `on_act_executed`.
 
 use crate::clock::{cycles_to_ns, ns_to_cycles, MemCycle};
-use crate::config::{PreventiveMode, RefreshScheme, SystemConfig};
+use crate::config::SystemConfig;
+use crate::policy::{
+    DemandDecision, PolicyEnv, PolicyStats, RankView, RefreshAction, RefreshPolicy,
+};
 use crate::request::MemRequest;
-use hira_core::config::HiraConfig;
-use hira_core::finder::{DeadlineWork, HiraMc, HiraMcParams, McAction, McStats};
-use hira_core::para::Para;
+use hira_core::finder::McStats;
+use hira_core::hira_op::HiraOperation;
 use hira_dram::addr::{BankId, RowId};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
@@ -55,7 +66,9 @@ pub struct TimingC {
 
 impl TimingC {
     /// Converts the ns-denominated parameters onto the command-clock grid.
-    pub fn from_ns(t: &hira_dram::timing::TimingParams, hira: &HiraConfig) -> Self {
+    /// `t1`/`t2` are the HiRA lead timings in ns (policies that issue HiRA
+    /// operations supply their own; anything else gets the nominal pair).
+    pub fn from_ns(t: &hira_dram::timing::TimingParams, t1_ns: f64, t2_ns: f64) -> Self {
         TimingC {
             rcd: ns_to_cycles(t.t_rcd),
             ras: ns_to_cycles(t.t_ras),
@@ -74,8 +87,8 @@ impl TimingC {
             rtp: ns_to_cycles(t.t_rtp),
             rfc: ns_to_cycles(t.t_rfc),
             refi: ns_to_cycles(t.t_refi),
-            t1: ns_to_cycles(hira.op.timings.t1),
-            t2: ns_to_cycles(hira.op.timings.t2),
+            t1: ns_to_cycles(t1_ns),
+            t2: ns_to_cycles(t2_ns),
         }
     }
 }
@@ -170,14 +183,8 @@ struct Rank {
     next_rd: MemCycle,
     /// Last CAS bank group + end (tCCD_L/S resolution).
     last_cas_bg: Option<u16>,
-    /// Baseline REF bookkeeping.
-    ref_due: MemCycle,
-    /// HiRA-MC instance (periodic and/or preventive), if configured.
-    mc: Option<HiraMc>,
-    /// Immediate-mode PARA, if configured.
-    para: Option<Para>,
-    /// Victims awaiting an immediate preventive refresh.
-    para_queue: VecDeque<(u16, u32)>,
+    /// The rank's refresh arrangement.
+    policy: Box<dyn RefreshPolicy>,
 }
 
 /// Aggregate controller statistics.
@@ -196,6 +203,8 @@ pub struct ChannelStats {
     pub refresh_acts: u64,
     /// Rank-level `REF` commands issued.
     pub ref_commands: u64,
+    /// Per-bank `REFpb` commands issued.
+    pub refpb_commands: u64,
     /// Demand ACTs converted into HiRA refresh-access operations.
     pub hira_access_ops: u64,
     /// Sum of read queueing latencies (cycles), for average latency.
@@ -217,71 +226,43 @@ pub struct Channel {
     data_bus: DataBus,
     completions: BinaryHeap<Reverse<(MemCycle, u64)>>,
     write_mode: bool,
-    refresh_scheme: RefreshScheme,
     stats: ChannelStats,
+    /// Scratch behind the [`RankView`] handed to policies (reused across
+    /// ticks to keep the refresh poll allocation-free). Demand flags cover
+    /// every bank of every rank and are rebuilt once per tick (one queue
+    /// scan); the bank-state slices are per-rank and refreshed per poll.
+    view_next_act: Vec<MemCycle>,
+    view_demand: Vec<bool>,
+    view_open: Vec<bool>,
 }
 
 impl Channel {
-    /// Builds the channel from the system config.
+    /// Builds the channel from the system config, instantiating one policy
+    /// object per rank through the config's [`crate::policy::PolicyHandle`].
     pub fn new(cfg: &SystemConfig, channel_idx: usize) -> Self {
-        let hira_cfg = match (&cfg.refresh, cfg.preventive.as_ref().map(|p| p.mode)) {
-            (RefreshScheme::Hira(h), _) => *h,
-            (_, Some(PreventiveMode::Hira(h))) => h,
-            _ => HiraConfig::hira_n(0),
-        };
-        let timing = TimingC::from_ns(&cfg.timing, &hira_cfg);
-        let ranks = (0..cfg.ranks)
+        let ranks: Vec<Rank> = (0..cfg.ranks)
             .map(|r| {
-                let periodic_via_hira = matches!(cfg.refresh, RefreshScheme::Hira(_));
-                let preventive_hira = matches!(
-                    cfg.preventive,
-                    Some(crate::config::PreventiveConfig {
-                        mode: PreventiveMode::Hira(_),
-                        ..
-                    })
-                );
-                let mc = (periodic_via_hira || preventive_hira).then(|| {
-                    let params = HiraMcParams {
-                        banks: cfg.banks,
-                        rows_per_bank: cfg.rows_per_bank(),
-                        rows_per_subarray: 512,
-                        t_refw_ns: cfg.timing.t_refw,
-                        timing: cfg.timing,
-                        config: hira_cfg,
-                        periodic_via_hira,
-                        para_pth: preventive_hira.then(|| cfg.preventive.unwrap().pth),
-                        spt_fraction: cfg.spt_fraction,
-                        seed: cfg.seed ^ ((channel_idx as u64) << 32) ^ (r as u64),
-                    };
-                    HiraMc::new(params)
-                });
-                let para = matches!(
-                    cfg.preventive,
-                    Some(crate::config::PreventiveConfig {
-                        mode: PreventiveMode::Immediate,
-                        ..
-                    })
-                )
-                .then(|| {
-                    Para::new(
-                        cfg.preventive.unwrap().pth,
-                        cfg.seed ^ 0xBEEF ^ ((channel_idx as u64) << 24) ^ (r as u64),
-                    )
-                });
+                let env = PolicyEnv::for_rank(cfg, channel_idx, r);
                 Rank {
                     acts: VecDeque::with_capacity(8),
                     next_act_any: 0,
                     next_act_bg: vec![0; cfg.bank_groups as usize],
                     next_rd: 0,
                     last_cas_bg: None,
-                    // Stagger REF phases across ranks.
-                    ref_due: (timing.refi * r as u64) / cfg.ranks as u64,
-                    mc,
-                    para,
-                    para_queue: VecDeque::new(),
+                    policy: cfg.refresh.build(&env),
                 }
             })
             .collect();
+        // HiRA lead timing comes from the policy when it issues HiRA
+        // operations; nominal t1 = t2 = 3 ns otherwise (unused then).
+        let (t1, t2) = ranks
+            .iter()
+            .find_map(|r| r.policy.hira_lead())
+            .unwrap_or_else(|| {
+                let t = HiraOperation::nominal().timings;
+                (t.t1, t.t2)
+            });
+        let timing = TimingC::from_ns(&cfg.timing, t1, t2);
         Channel {
             timing,
             banks_per_rank: cfg.banks,
@@ -295,8 +276,10 @@ impl Channel {
             data_bus: DataBus::default(),
             completions: BinaryHeap::new(),
             write_mode: false,
-            refresh_scheme: cfg.refresh,
             stats: ChannelStats::default(),
+            view_next_act: vec![0; cfg.banks as usize],
+            view_demand: vec![false; cfg.ranks * cfg.banks as usize],
+            view_open: vec![false; cfg.banks as usize],
         }
     }
 
@@ -305,12 +288,18 @@ impl Channel {
         self.stats
     }
 
-    /// Per-rank HiRA-MC statistics, where configured.
+    /// Per-rank HiRA-MC statistics, where a HiRA-MC-backed policy is
+    /// configured.
     pub fn mc_stats(&self) -> Vec<McStats> {
         self.ranks
             .iter()
-            .filter_map(|r| r.mc.as_ref().map(HiraMc::stats))
+            .flat_map(|r| r.policy.mc_stats())
             .collect()
+    }
+
+    /// Per-rank policy service counters.
+    pub fn policy_stats(&self) -> Vec<PolicyStats> {
+        self.ranks.iter().map(|r| r.policy.stats()).collect()
     }
 
     /// True when the read queue can accept another request.
@@ -370,25 +359,26 @@ impl Channel {
         r.next_act_bg[bg as usize] = r.next_act_bg[bg as usize].max(at + t.rrd_l);
     }
 
-    /// Reports an executed activation to the rank's PARA machinery.
+    /// Reports an executed activation to the rank's policy (PARA sampling,
+    /// HiRA-MC bookkeeping).
     fn notify_act(&mut self, rank: usize, at: MemCycle, bank: u16, row: u32) {
         let now_ns = cycles_to_ns(at);
-        if let Some(mc) = self.ranks[rank].mc.as_mut() {
-            mc.on_row_activated(now_ns, BankId(bank), RowId(row));
-        }
-        let rows_per_bank = self.rows_per_bank_hint();
-        if let Some(para) = self.ranks[rank].para.as_mut() {
-            if let Some(side) = para.on_activate() {
-                let victim = Para::victim(RowId(row), side, rows_per_bank);
-                self.ranks[rank].para_queue.push_back((bank, victim.0));
-            }
-        }
+        self.ranks[rank]
+            .policy
+            .on_act_executed(now_ns, BankId(bank), RowId(row));
     }
 
-    fn rows_per_bank_hint(&self) -> u32 {
-        // All configs in this simulator use ≥ 32 K rows; the victim clamp
-        // only needs a bank-edge bound.
-        u32::MAX
+    /// Closes `bi`'s open row if any (PRE on the command bus) and returns
+    /// the earliest cycle the bank can start a new row operation at or
+    /// after `now` — the common prologue of every bank-granular refresh.
+    fn close_open_row(&mut self, now: MemCycle, bi: usize) -> MemCycle {
+        let mut start = now.max(self.banks[bi].next_act);
+        if self.banks[bi].open_row.is_some() {
+            let pre_at = self.bus.alloc(now.max(self.banks[bi].next_pre));
+            self.banks[bi].open_row = None;
+            start = start.max(pre_at + self.timing.rp);
+        }
+        start
     }
 
     /// Issues a standalone single-row refresh (ACT + PRE) on `bank`.
@@ -396,13 +386,7 @@ impl Channel {
         let t = self.timing;
         let bg = bank / (self.banks_per_rank / self.bank_groups);
         let bi = self.bank_index(rank, bank);
-        let mut start = now.max(self.banks[bi].next_act);
-        // Close an open row first if needed.
-        if self.banks[bi].open_row.is_some() {
-            let pre_at = self.bus.alloc(now.max(self.banks[bi].next_pre));
-            self.banks[bi].open_row = None;
-            start = start.max(pre_at + t.rp);
-        }
+        let start = self.close_open_row(now, bi);
         let start = self.act_constraint(rank, bg, start);
         let act_at = self.bus.alloc(start);
         let _pre = self.bus.alloc(act_at + t.ras);
@@ -427,12 +411,7 @@ impl Channel {
         let t = self.timing;
         let bg = bank / (self.banks_per_rank / self.bank_groups);
         let bi = self.bank_index(rank, bank);
-        let mut start = now.max(self.banks[bi].next_act);
-        if self.banks[bi].open_row.is_some() {
-            let pre_at = self.bus.alloc(now.max(self.banks[bi].next_pre));
-            self.banks[bi].open_row = None;
-            start = start.max(pre_at + t.rp);
-        }
+        let start = self.close_open_row(now, bi);
         // Both activations must clear tRRD/tFAW.
         let lead = t.t1 + t.t2;
         let mut a1 = self.act_constraint(rank, bg, start);
@@ -458,7 +437,7 @@ impl Channel {
         self.notify_act(rank, a2, bank, second);
     }
 
-    /// Baseline rank-level REF: close every bank, issue REF, block `tRFC`.
+    /// Rank-level REF: close every bank, issue REF, block `tRFC`.
     fn issue_rank_ref(&mut self, now: MemCycle, rank: usize) {
         let t = self.timing;
         // Precharge-all once every bank may be precharged.
@@ -476,8 +455,57 @@ impl Channel {
             self.banks[bi].open_row = None;
             self.banks[bi].next_act = self.banks[bi].next_act.max(ref_at + t.rfc);
         }
-        self.ranks[rank].ref_due += t.refi;
         self.stats.ref_commands += 1;
+    }
+
+    /// Per-bank REFpb: close `bank`, issue the refresh once the bank has
+    /// finished its in-flight row cycle, block it for the policy-supplied
+    /// `tRFCpb` while the rest of the rank keeps working.
+    fn issue_bank_ref(&mut self, now: MemCycle, rank: usize, bank: u16, t_rfc_pb_ns: f64) {
+        let bi = self.bank_index(rank, bank);
+        let ready = self.close_open_row(now, bi);
+        let ref_at = self.bus.alloc(ready);
+        let b = &mut self.banks[bi];
+        b.next_act = b.next_act.max(ref_at + ns_to_cycles(t_rfc_pb_ns));
+        self.stats.refpb_commands += 1;
+    }
+
+    /// Executes one policy-requested refresh action.
+    fn execute_action(&mut self, now: MemCycle, rank: usize, action: RefreshAction) {
+        match action {
+            RefreshAction::RankRef => self.issue_rank_ref(now, rank),
+            RefreshAction::BankRef { bank, t_rfc_pb_ns } => {
+                self.issue_bank_ref(now, rank, bank.0, t_rfc_pb_ns);
+            }
+            RefreshAction::Single { bank, row } => {
+                self.issue_single_refresh(now, rank, bank.0, row.0);
+            }
+            RefreshAction::Pair {
+                bank,
+                first,
+                second,
+            } => self.issue_pair_refresh(now, rank, bank.0, first.0, second.0),
+        }
+    }
+
+    /// Rebuilds the all-rank demand flags (one pass over both queues).
+    /// Refresh actions never touch the queues, so once per tick suffices.
+    fn fill_demand(&mut self) {
+        self.view_demand.fill(false);
+        for r in self.read_q.iter().chain(self.write_q.iter()) {
+            self.view_demand[r.addr.rank * self.banks_per_rank as usize + r.addr.bank as usize] =
+                true;
+        }
+    }
+
+    /// Refills the per-rank bank-state slices behind the [`RankView`]
+    /// (these *do* change as the tick's earlier actions execute).
+    fn fill_bank_view(&mut self, rank: usize) {
+        for b in 0..self.banks_per_rank as usize {
+            let bank = &self.banks[rank * self.banks_per_rank as usize + b];
+            self.view_next_act[b] = bank.next_act;
+            self.view_open[b] = bank.open_row.is_some();
+        }
     }
 
     /// Advances the controller by one command-clock cycle. Returns request
@@ -502,100 +530,36 @@ impl Channel {
 
     fn refresh_step(&mut self, now: MemCycle) {
         let now_ns = cycles_to_ns(now);
-        // Baseline REF engine.
-        if matches!(self.refresh_scheme, RefreshScheme::Baseline) {
-            for rank in 0..self.ranks.len() {
-                if now >= self.ranks[rank].ref_due {
-                    self.issue_rank_ref(now, rank);
-                }
-            }
+        if self.ranks.iter().all(|r| r.policy.inert()) {
+            return;
         }
-        // HiRA-MC engines.
+        self.fill_demand();
         for rank in 0..self.ranks.len() {
-            if self.ranks[rank].mc.is_some() {
-                if let Some(mc) = self.ranks[rank].mc.as_mut() {
-                    mc.tick(now_ns);
-                }
-                // Pace refresh issue: at most one work item per bank per
-                // tick, and none onto a bank whose schedule is already deep
-                // (the entry stays queued; its deadline forces it later).
-                let mut pops = 0;
-                while pops < self.banks_per_rank {
-                    let gate = {
-                        let mc = self.ranks[rank].mc.as_ref().expect("checked above");
-                        mc.next_due_bank(now_ns)
-                    };
-                    let Some(due_bank) = gate else { break };
-                    let bi = self.bank_index(rank, due_bank.0);
-                    if self.banks[bi].next_act > now + 4 * self.timing.rc {
-                        break; // bank backlogged; revisit next tick
-                    }
-                    let work = {
-                        let mc = self.ranks[rank].mc.as_mut().expect("checked above");
-                        mc.deadline_work(now_ns)
-                    };
-                    pops += 1;
-                    match work {
-                        Some(DeadlineWork::Single { bank, row }) => {
-                            self.issue_single_refresh(now, rank, bank.0, row.0);
-                        }
-                        Some(DeadlineWork::Pair {
-                            bank,
-                            first,
-                            second,
-                        }) => {
-                            self.issue_pair_refresh(now, rank, bank.0, first.0, second.0);
-                        }
-                        None => break,
-                    }
-                }
-            }
-            // Immediate-mode PARA victims.
-            while let Some((bank, row)) = self.ranks[rank].para_queue.pop_front() {
-                self.issue_single_refresh(now, rank, bank, row);
-            }
-        }
-        self.opportunistic_step(now, now_ns);
-    }
-
-    /// Serves queued refreshes on banks that are idle and demand-free
-    /// (zero-interference slots).
-    fn opportunistic_step(&mut self, now: MemCycle, now_ns: f64) {
-        // Banks with queued demand keep their refreshes queued (absorption
-        // and row-hit locality are worth more there).
-        let mut demand = vec![false; self.banks.len()];
-        for r in self.read_q.iter().chain(self.write_q.iter()) {
-            demand[self.bank_index(r.addr.rank, r.addr.bank)] = true;
-        }
-        for rank in 0..self.ranks.len() {
-            if self.ranks[rank].mc.is_none() {
+            self.ranks[rank].policy.tick(now_ns);
+            if self.ranks[rank].policy.inert() {
                 continue;
             }
-            for bank in 0..self.banks_per_rank {
-                let bi = self.bank_index(rank, bank);
-                let b = &self.banks[bi];
-                if demand[bi] || b.open_row.is_some() || b.next_act > now {
-                    continue;
-                }
-                let work = {
-                    let mc = self.ranks[rank].mc.as_mut().expect("checked above");
-                    if !mc.has_queued(BankId(bank)) {
-                        continue;
-                    }
-                    mc.opportunistic_work(now_ns, BankId(bank))
+            // Safety bound: a policy may issue a burst (deadline pile-up,
+            // drained preventive queue) but never an unbounded stream in
+            // one tick.
+            let budget = 3 * self.banks_per_rank as usize + 16;
+            let demand_base = rank * self.banks_per_rank as usize;
+            for _ in 0..budget {
+                self.fill_bank_view(rank);
+                let action = {
+                    let view = RankView {
+                        now,
+                        t_rc: self.timing.rc,
+                        bank_next_act: &self.view_next_act,
+                        bank_has_demand: &self.view_demand
+                            [demand_base..demand_base + self.banks_per_rank as usize],
+                        bank_open: &self.view_open,
+                    };
+                    self.ranks[rank].policy.next_action(now_ns, &view)
                 };
-                match work {
-                    Some(DeadlineWork::Single { bank, row }) => {
-                        self.issue_single_refresh(now, rank, bank.0, row.0);
-                    }
-                    Some(DeadlineWork::Pair {
-                        bank,
-                        first,
-                        second,
-                    }) => {
-                        self.issue_pair_refresh(now, rank, bank.0, first.0, second.0);
-                    }
-                    None => {}
+                match action {
+                    Some(a) => self.execute_action(now, rank, a),
+                    None => break,
                 }
             }
         }
@@ -704,20 +668,21 @@ impl Channel {
             }
             let act_at = self.act_constraint(rank, bg, act_earliest);
 
-            // HiRA Case-1 consultation.
-            let action = match self.ranks[rank].mc.as_mut() {
-                Some(mc) => mc.on_demand_act(cycles_to_ns(act_at), BankId(bank), req.addr.row),
-                None => McAction::Plain,
-            };
-            let demand_act = match action {
-                McAction::Plain => {
+            // HiRA Case-1 consultation (refresh-access parallelization).
+            let decision = self.ranks[rank].policy.on_demand_act(
+                cycles_to_ns(act_at),
+                BankId(bank),
+                req.addr.row,
+            );
+            let demand_act = match decision {
+                DemandDecision::Plain => {
                     let a = self.bus.alloc(act_at);
                     self.record_act(rank, bg, a);
                     self.stats.demand_acts += 1;
                     self.notify_act(rank, a, bank, req.addr.row.0);
                     a
                 }
-                McAction::Hira { refresh_row, .. } => {
+                DemandDecision::Hira { refresh_row } => {
                     let lead = t.t1 + t.t2;
                     let mut a1 = act_at;
                     loop {
@@ -793,10 +758,11 @@ impl Channel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{RefreshScheme, SystemConfig};
+    use crate::config::SystemConfig;
     use crate::mapping::decode;
+    use crate::policy::{self, PolicyHandle};
 
-    fn config(refresh: RefreshScheme) -> SystemConfig {
+    fn config(refresh: PolicyHandle) -> SystemConfig {
         SystemConfig::table3(8.0, refresh)
     }
 
@@ -827,7 +793,7 @@ mod tests {
 
     #[test]
     fn single_read_completes_with_act_plus_cas_latency() {
-        let cfg = config(RefreshScheme::NoRefresh);
+        let cfg = config(policy::noref());
         let mut ch = Channel::new(&cfg, 0);
         ch.enqueue(read_at(&cfg, 1, 0x10000, 0));
         let done = run_until_done(&mut ch, 0, &[1], 500);
@@ -845,7 +811,7 @@ mod tests {
 
     #[test]
     fn row_hit_is_faster_than_row_miss() {
-        let cfg = config(RefreshScheme::NoRefresh);
+        let cfg = config(policy::noref());
         let mut ch = Channel::new(&cfg, 0);
         ch.enqueue(read_at(&cfg, 1, 0x10000, 0));
         let first = run_until_done(&mut ch, 0, &[1], 500)[0].1;
@@ -858,7 +824,7 @@ mod tests {
 
     #[test]
     fn same_bank_misses_pay_trc() {
-        let cfg = config(RefreshScheme::NoRefresh);
+        let cfg = config(policy::noref());
         let mut ch = Channel::new(&cfg, 0);
         // Two different rows in the same bank: row stride of the mapping.
         let d0 = decode(&cfg, 0);
@@ -881,7 +847,7 @@ mod tests {
 
     #[test]
     fn tfaw_limits_activation_bursts() {
-        let cfg = config(RefreshScheme::NoRefresh);
+        let cfg = config(policy::noref());
         let mut ch = Channel::new(&cfg, 0);
         // 6 misses to 6 different banks: the 5th+ ACT must wait for tFAW.
         let mut addrs = Vec::new();
@@ -909,7 +875,7 @@ mod tests {
 
     #[test]
     fn baseline_refresh_blocks_the_rank_for_trfc() {
-        let mut cfg = config(RefreshScheme::Baseline);
+        let mut cfg = config(policy::baseline());
         cfg.timing.t_refi = 1000.0; // dense refresh for the test
         let mut ch = Channel::new(&cfg, 0);
         let t_refi_c = ch.timing.refi;
@@ -931,8 +897,43 @@ mod tests {
     }
 
     #[test]
+    fn refpb_blocks_one_bank_not_the_rank() {
+        let mut cfg = config(policy::refpb());
+        cfg.timing.t_refi = 1600.0; // dense refresh for the test
+        let mut ch = Channel::new(&cfg, 0);
+        // A tREFI of ticks drives one REFpb per bank.
+        let mut now = 0;
+        while now < ch.timing.refi + 2 {
+            ch.tick(now);
+            now += 1;
+        }
+        let s = ch.stats();
+        assert!(s.refpb_commands >= 8, "refpb commands {}", s.refpb_commands);
+        assert_eq!(s.ref_commands, 0, "REFpb must not issue rank-level REF");
+        // Banks later in the rotation are still unblocked right now.
+        let free = (0..16).filter(|&b| ch.banks[b].next_act <= now).count();
+        assert!(free >= 4, "only {free} banks free after staggered REFpb");
+    }
+
+    #[test]
+    fn raidr_refreshes_rows_without_ref_commands() {
+        let cfg = config(policy::raidr());
+        let mut ch = Channel::new(&cfg, 0);
+        for now in 0..3600 {
+            ch.tick(now);
+        }
+        let s = ch.stats();
+        assert!(s.refresh_acts > 10, "refresh acts {}", s.refresh_acts);
+        assert_eq!(s.ref_commands + s.refpb_commands, 0);
+        // The binned schedule skips nothing in window 0 but still tracks
+        // per-policy counters.
+        let ps = &ch.policy_stats()[0];
+        assert_eq!(ps.rows_refreshed, s.refresh_acts);
+    }
+
+    #[test]
     fn hira_scheme_issues_refresh_acts() {
-        let cfg = config(RefreshScheme::Hira(HiraConfig::hira_n(2)));
+        let cfg = config(policy::hira(2));
         let mut ch = Channel::new(&cfg, 0);
         // Run 3 µs of idle time: periodic requests must be served as
         // singles/pairs by their deadlines.
@@ -946,7 +947,7 @@ mod tests {
 
     #[test]
     fn hira_refresh_access_rides_demand_activations() {
-        let cfg = config(RefreshScheme::Hira(HiraConfig::hira_n(8)));
+        let cfg = config(policy::hira(8));
         let mut ch = Channel::new(&cfg, 0);
         let mut now = 0;
         let mut id = 0u64;
@@ -967,7 +968,7 @@ mod tests {
 
     #[test]
     fn immediate_para_amplifies_activations() {
-        let cfg = config(RefreshScheme::NoRefresh).with_preventive(0.5, PreventiveMode::Immediate);
+        let cfg = config(policy::noref().with_para_immediate(0.5));
         let mut ch = Channel::new(&cfg, 0);
         let mut now = 0;
         let mut id = 0;

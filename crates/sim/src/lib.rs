@@ -6,21 +6,33 @@
 //! mapping, per-bank/rank/channel timing including `tFAW`, command-bus and
 //! data-bus contention, and `tRFC`-scaled rank-level refresh).
 //!
-//! Three refresh arrangements reproduce the paper's studies:
+//! Refresh arrangements are **open**: any type implementing
+//! [`policy::RefreshPolicy`] plugs into the controller, and the standard
+//! [`policy::PolicyRegistry`] ships the paper's three arrangements plus the
+//! related-work policies the open API enables:
 //!
-//! * **NoRefresh** — the ideal upper bound of Fig. 9a,
-//! * **Baseline** — conventional all-bank `REF` every `tREFI` with
+//! * **`noref`** — the ideal upper bound of Fig. 9a,
+//! * **`baseline`** — conventional all-bank `REF` every `tREFI` with
 //!   `tRFC = 110·C^0.6` ns (Expression 1),
-//! * **HiRA-N** — per-row refresh through [`hira_core::HiraMc`], with
+//! * **`refpb`** — staggered per-bank `REFpb` (refresh-access parallelism à
+//!   la Chang et al.),
+//! * **`raidr`** — RAIDR-style retention-binned per-row refresh over the
+//!   `hira-dram` retention model,
+//! * **`hira<N>`** — per-row refresh through [`hira_core::HiraMc`], with
 //!   refresh-access and refresh-refresh parallelization.
 //!
 //! PARA preventive refreshes (§9) can be layered on any arrangement, either
 //! served immediately (the "PARA" baseline) or queued and parallelized by
-//! HiRA-MC.
+//! HiRA-MC — see [`policy::PolicyHandle::with_para_immediate`] /
+//! [`policy::PolicyHandle::with_para_hira`].
+//!
+//! System configurations are assembled through the validated
+//! [`builder::SystemBuilder`].
 //!
 //! Time bases: CPU cycles at 3.2 GHz; the memory controller ticks at the
 //! DDR4-2400 command clock (1.2 GHz), i.e. 3 memory ticks per 8 CPU cycles.
 
+pub mod builder;
 pub mod clock;
 pub mod config;
 pub mod controller;
@@ -28,12 +40,15 @@ pub mod core_model;
 pub mod llc;
 pub mod mapping;
 pub mod metrics;
+pub mod policy;
 pub mod refresh;
 pub mod request;
 pub mod system;
 pub mod workloads;
 
-pub use config::{PreventiveMode, RefreshScheme, SystemConfig};
+pub use builder::{BuildError, SystemBuilder};
+pub use config::SystemConfig;
 pub use metrics::SimResult;
+pub use policy::{PolicyHandle, PolicyRegistry, RefreshPolicy};
 pub use system::System;
 pub use workloads::{Benchmark, Mix};

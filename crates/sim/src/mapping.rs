@@ -53,10 +53,10 @@ pub fn decode(cfg: &SystemConfig, addr: u64) -> Decoded {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::RefreshScheme;
+    use crate::policy;
 
     fn cfg() -> SystemConfig {
-        SystemConfig::table3(8.0, RefreshScheme::Baseline).with_geometry(2, 2)
+        SystemConfig::table3(8.0, policy::baseline()).with_geometry(2, 2)
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Performance metrics (§7: weighted speedup [31, 156]).
 
 use crate::controller::ChannelStats;
+use crate::policy::PolicyStats;
 use hira_core::finder::McStats;
 
 /// Result of one simulation run.
@@ -16,6 +17,8 @@ pub struct SimResult {
     pub channel_stats: Vec<ChannelStats>,
     /// HiRA-MC statistics per (channel, rank), where configured.
     pub mc_stats: Vec<McStats>,
+    /// Refresh-policy service counters per (channel, rank).
+    pub policy_stats: Vec<PolicyStats>,
 }
 
 impl SimResult {
@@ -76,6 +79,7 @@ mod tests {
             cycles: 1000,
             channel_stats: vec![ChannelStats::default()],
             mc_stats: vec![],
+            policy_stats: vec![],
         }
     }
 

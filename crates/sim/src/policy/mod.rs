@@ -1,0 +1,531 @@
+//! The open refresh-policy API.
+//!
+//! The paper's evaluation compares refresh *arrangements* — NoRefresh,
+//! conventional all-bank `REF`, HiRA-N — and this module turns that closed
+//! three-way choice into an open interface: a refresh arrangement is any
+//! type implementing [`RefreshPolicy`], selected through a [`PolicyHandle`]
+//! and (for sweeps and CLI axes) the string-keyed [`PolicyRegistry`].
+//!
+//! The controller/policy split mirrors the paper's Fig. 7: the *policy*
+//! decides **what** to refresh and **when** (request generation, deadlines,
+//! pairing decisions); the channel controller in [`crate::controller`]
+//! decides **how** (command scheduling, `tRRD`/`tFAW`/bus arbitration) by
+//! executing the [`RefreshAction`]s the policy emits and reporting every
+//! executed activation back.
+//!
+//! ## Shipped policies
+//!
+//! | registry key | type | arrangement |
+//! |--------------|------|-------------|
+//! | `noref` | [`noref()`] | no periodic refresh (Fig. 9a's ideal bound) |
+//! | `baseline` | [`baseline()`] | all-bank `REF` every `tREFI`, rank blocked `tRFC` |
+//! | `refpb` | [`refpb()`] | per-bank `REFpb`, staggered round-robin, one bank blocked `tRFCpb` |
+//! | `raidr` | [`raidr()`] | RAIDR-style retention-binned per-row refresh |
+//! | `hira<N>` | [`hira()`] | per-row refresh through HiRA-MC with `tRefSlack = N·tRC` |
+//!
+//! PARA preventive refreshes (§9) layer onto *any* policy through
+//! [`PolicyHandle::with_para_immediate`] (serve victims at once — the
+//! "PARA" baseline) or [`PolicyHandle::with_para_hira`] (queue with slack
+//! and let HiRA-MC parallelize).
+//!
+//! ## Adding a policy
+//!
+//! Implement the trait, wrap a factory in a handle, register it:
+//!
+//! ```rust
+//! use hira_sim::policy::{
+//!     DemandDecision, PolicyHandle, PolicyProfile, PolicyRegistry, PolicyStats,
+//!     RankView, RefreshAction, RefreshPolicy,
+//! };
+//! use hira_dram::addr::{BankId, RowId};
+//!
+//! /// Refreshes row 0 of bank 0 once every microsecond. Useless — but a
+//! /// complete policy.
+//! #[derive(Debug)]
+//! struct Metronome {
+//!     next_due_ns: f64,
+//! }
+//!
+//! impl RefreshPolicy for Metronome {
+//!     fn name(&self) -> &str {
+//!         "metronome"
+//!     }
+//!     fn next_action(&mut self, now_ns: f64, _view: &RankView<'_>) -> Option<RefreshAction> {
+//!         (now_ns >= self.next_due_ns).then(|| {
+//!             self.next_due_ns += 1_000.0;
+//!             RefreshAction::Single { bank: BankId(0), row: RowId(0) }
+//!         })
+//!     }
+//!     fn profile(&self) -> PolicyProfile {
+//!         PolicyProfile { performs_refresh: true, ..PolicyProfile::none() }
+//!     }
+//!     fn stats(&self) -> PolicyStats {
+//!         PolicyStats::default()
+//!     }
+//! }
+//!
+//! let mut registry = PolicyRegistry::standard();
+//! registry.register(PolicyHandle::new("metronome", |_env| {
+//!     Box::new(Metronome { next_due_ns: 0.0 })
+//! }));
+//! let cfg = hira_sim::SystemConfig::table3(8.0, registry.lookup("metronome").unwrap());
+//! assert!(hira_sim::refresh::refreshes(&cfg));
+//! ```
+
+mod allbank;
+mod hira;
+mod noref;
+mod perbank;
+mod preventive;
+mod raidr;
+mod registry;
+
+pub use allbank::{baseline, AllBankRef};
+pub use hira::{hira, hira_custom, HiraPolicy};
+pub use noref::{noref, NoRefresh};
+pub use perbank::{refpb, PerBankRef, REFPB_TRFC_FRACTION};
+pub use preventive::{ImmediatePara, QueuedPara};
+pub use raidr::{raidr, RaidrBinned, RAIDR_REFERENCE_TEMP_C};
+pub use registry::{policy, PolicyRegistry};
+
+use crate::clock::MemCycle;
+use crate::config::SystemConfig;
+use hira_core::finder::McStats;
+use hira_dram::addr::{BankId, RowId};
+use hira_dram::timing::TimingParams;
+use std::fmt;
+use std::sync::Arc;
+
+/// Construction context handed to a policy factory: everything a per-rank
+/// refresh engine may need to size its structures and seed its randomness.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyEnv {
+    /// Channel index of the controller instantiating the policy.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Ranks sharing the channel (REF-phase staggering).
+    pub ranks_per_channel: usize,
+    /// Banks in the rank.
+    pub banks: u16,
+    /// Bank groups in the rank.
+    pub bank_groups: u16,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Rows per subarray (HiRA-MC RefPtr granularity).
+    pub rows_per_subarray: u32,
+    /// Chip capacity in Gb.
+    pub chip_gbit: f64,
+    /// DDR timing parameters (ns).
+    pub timing: TimingParams,
+    /// Fraction of row pairs the SPT reports compatible (§7).
+    pub spt_fraction: f64,
+    /// Deterministic seed, already mixed with channel and rank so two
+    /// instances of one policy never share a random stream.
+    pub seed: u64,
+}
+
+impl PolicyEnv {
+    /// The environment of rank `rank` on channel `channel` of `cfg`.
+    pub fn for_rank(cfg: &SystemConfig, channel: usize, rank: usize) -> Self {
+        PolicyEnv {
+            channel,
+            rank,
+            ranks_per_channel: cfg.ranks,
+            banks: cfg.banks,
+            bank_groups: cfg.bank_groups,
+            rows_per_bank: cfg.rows_per_bank(),
+            rows_per_subarray: 512,
+            chip_gbit: cfg.chip_gbit,
+            timing: cfg.timing,
+            spt_fraction: cfg.spt_fraction,
+            seed: cfg.seed ^ ((channel as u64) << 32) ^ (rank as u64),
+        }
+    }
+}
+
+/// Builds a throwaway instance of `cfg`'s policy (channel 0, rank 0) for
+/// analytic queries — [`crate::refresh::budget`] and
+/// [`crate::refresh::refreshes`] use this so accounting works for *any*
+/// registered policy, not just the built-ins.
+pub fn probe(cfg: &SystemConfig) -> Box<dyn RefreshPolicy> {
+    cfg.refresh.build(&PolicyEnv::for_rank(cfg, 0, 0))
+}
+
+/// A scheduling request the policy asks the controller to execute. The
+/// controller owns all command-level timing (`tRRD`, `tFAW`, bus slots);
+/// the action names rows and banks, plus the one duration — `tRFCpb` —
+/// that is a property of the policy's refresh command, not of the shared
+/// DDR timing set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefreshAction {
+    /// All-bank `REF`: precharge-all, then block every bank for `tRFC`.
+    RankRef,
+    /// Per-bank `REFpb`: precharge `bank`, then block it for `t_rfc_pb_ns`
+    /// while the rest of the rank keeps serving demand. The duration is
+    /// policy-supplied so arrangements with different per-bank refresh
+    /// latencies (LPDDR4's 90 ns vs DDR5's scaling) coexist.
+    BankRef {
+        /// Target bank.
+        bank: BankId,
+        /// Bank-blocked duration, ns.
+        t_rfc_pb_ns: f64,
+    },
+    /// Single-row refresh: `ACT row — tRAS — PRE` on `bank`.
+    Single {
+        /// Target bank.
+        bank: BankId,
+        /// Refreshed row.
+        row: RowId,
+    },
+    /// HiRA refresh-refresh pair: one operation refreshing both rows in
+    /// `t1 + t2 + tRAS` (§5.2) — both activations count toward
+    /// `tRRD`/`tFAW`.
+    Pair {
+        /// Target bank.
+        bank: BankId,
+        /// Row refreshed by the hidden first activation.
+        first: RowId,
+        /// Row refreshed by the second activation.
+        second: RowId,
+    },
+}
+
+/// Case-1 verdict for a demand activation the scheduler is about to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandDecision {
+    /// Issue a plain `ACT`.
+    Plain,
+    /// Expand the `ACT` into a HiRA refresh-access operation: the first
+    /// activation refreshes `refresh_row`, the second (after `t1 + t2`)
+    /// opens the demand row.
+    Hira {
+        /// Row refreshed by the hidden activation.
+        refresh_row: RowId,
+    },
+}
+
+/// Read-only per-rank scheduling state the controller exposes while polling
+/// [`RefreshPolicy::next_action`].
+#[derive(Debug, Clone, Copy)]
+pub struct RankView<'a> {
+    /// Current command-clock cycle.
+    pub now: MemCycle,
+    /// `tRC` in command-clock cycles (the backlog unit).
+    pub t_rc: MemCycle,
+    /// Earliest cycle each bank can start an `ACT`.
+    pub bank_next_act: &'a [MemCycle],
+    /// Whether demand requests are queued per bank.
+    pub bank_has_demand: &'a [bool],
+    /// Whether each bank holds an open row.
+    pub bank_open: &'a [bool],
+}
+
+impl RankView<'_> {
+    /// Banks in the rank.
+    pub fn banks(&self) -> u16 {
+        self.bank_next_act.len() as u16
+    }
+
+    /// True when `bank`'s schedule is already several row-cycles deep —
+    /// deadline-driven policies should hold that bank's work for a later
+    /// tick rather than pile further onto it.
+    pub fn backlogged(&self, bank: BankId) -> bool {
+        self.bank_next_act[bank.index()] > self.now + 4 * self.t_rc
+    }
+
+    /// True when `bank` is demand-free, closed and ready — the
+    /// zero-interference slot opportunistic refresh targets.
+    pub fn idle(&self, bank: BankId) -> bool {
+        let b = bank.index();
+        !self.bank_has_demand[b] && !self.bank_open[b] && self.bank_next_act[b] <= self.now
+    }
+}
+
+/// Static, analytic cost facts about a policy instance (no simulation) —
+/// the open-API replacement for the `RefreshScheme`-matching arithmetic the
+/// refresh-budget helpers used to hardcode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyProfile {
+    /// Whether the policy performs periodic refresh at all.
+    pub performs_refresh: bool,
+    /// Fraction of time the whole rank is refresh-blocked.
+    pub rank_blocked_frac: f64,
+    /// Fraction of time an individual bank is refresh-busy.
+    pub bank_busy_frac: f64,
+    /// Command-bus slots per second the policy's refreshes consume.
+    pub cmd_per_sec: f64,
+}
+
+impl PolicyProfile {
+    /// The profile of a policy that refreshes nothing.
+    pub fn none() -> Self {
+        PolicyProfile {
+            performs_refresh: false,
+            rank_blocked_frac: 0.0,
+            bank_busy_frac: 0.0,
+            cmd_per_sec: 0.0,
+        }
+    }
+}
+
+/// Per-policy service counters, aggregated across composition layers (a
+/// PARA wrapper folds its own counters into its inner policy's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// All-bank `REF` commands requested.
+    pub rank_refs: u64,
+    /// Per-bank `REFpb` commands requested.
+    pub bank_refs: u64,
+    /// Rows refreshed through row-granular actions (a pair counts two, a
+    /// refresh-access ride-along counts one).
+    pub rows_refreshed: u64,
+    /// Rows a binned policy skipped because their retention bin was not
+    /// due this window.
+    pub rows_skipped: u64,
+    /// Preventive (PARA) victims queued.
+    pub preventive_queued: u64,
+}
+
+impl PolicyStats {
+    /// Component-wise sum (composition layers aggregate with this).
+    pub fn merge(self, other: PolicyStats) -> PolicyStats {
+        PolicyStats {
+            rank_refs: self.rank_refs + other.rank_refs,
+            bank_refs: self.bank_refs + other.bank_refs,
+            rows_refreshed: self.rows_refreshed + other.rows_refreshed,
+            rows_skipped: self.rows_skipped + other.rows_skipped,
+            preventive_queued: self.preventive_queued + other.preventive_queued,
+        }
+    }
+}
+
+/// A per-rank refresh arrangement: request generation, deadline tracking
+/// and pairing decisions, driven by the channel controller.
+///
+/// ## Timing contract
+///
+/// All `now_ns` arguments are nanoseconds on the memory-controller command
+/// clock, monotonically non-decreasing across calls. Per controller tick
+/// (one command-clock cycle) the controller:
+///
+/// 1. calls [`tick`](Self::tick) exactly once — advance request generation
+///    to `now_ns` here; the controller guarantees at least one call per
+///    `tRC`, so generators may emit several requests per call after a gap;
+/// 2. calls [`next_action`](Self::next_action) repeatedly until it returns
+///    `None` (or a safety bound of a few actions per bank is hit). Every
+///    returned action **is executed**: the policy must commit its
+///    bookkeeping (deadlines met, pointers advanced, stats counted) when it
+///    returns the action, and must eventually return `None` so the tick
+///    terminates. The [`RankView`] is refreshed after every executed action,
+///    so `bank_next_act` already reflects earlier actions of the same tick.
+///
+/// During demand scheduling the controller additionally calls:
+///
+/// * [`on_demand_act`](Self::on_demand_act) — *before* issuing a demand
+///   `ACT`, at the activation's scheduled time. Returning
+///   [`DemandDecision::Hira`] converts the `ACT` into a refresh-access HiRA
+///   operation (§5.1.3 Case 1); the policy must treat the returned refresh
+///   row as served.
+/// * [`on_act_executed`](Self::on_act_executed) — *after* every executed
+///   activation on the rank: demand rows, refresh singles, both rows of a
+///   pair, and preventive victims alike. This is PARA's sampling point
+///   (preventive refreshes disturb their own neighbours, §9), so the
+///   controller never filters it.
+pub trait RefreshPolicy: fmt::Debug + Send {
+    /// Display name (diagnostics and stats attribution).
+    fn name(&self) -> &str;
+
+    /// Advances request generation to `now_ns`. Called once per controller
+    /// tick, before any [`next_action`](Self::next_action) poll.
+    fn tick(&mut self, _now_ns: f64) {}
+
+    /// The next refresh the controller should execute now, or `None` when
+    /// the policy has nothing (more) to issue this tick.
+    fn next_action(&mut self, now_ns: f64, view: &RankView<'_>) -> Option<RefreshAction>;
+
+    /// Case-1 hook: the scheduler is about to activate `row` in `bank`.
+    fn on_demand_act(&mut self, _now_ns: f64, _bank: BankId, _row: RowId) -> DemandDecision {
+        DemandDecision::Plain
+    }
+
+    /// Reports an executed activation (demand, refresh or preventive).
+    fn on_act_executed(&mut self, _now_ns: f64, _bank: BankId, _row: RowId) {}
+
+    /// Asks the policy to absorb a PARA layer natively (HiRA-MC-backed
+    /// policies host PARA inside their Preventive Refresh Controller).
+    /// `slack_acts` is the victim queueing slack (in `tRC`) the layer's
+    /// `p_th` was certified for; a policy must refuse (return `false`, so
+    /// the caller wraps it instead) unless it can honour exactly that
+    /// slack — absorbing under a different deadline would void the §9.1
+    /// security analysis behind `pth`.
+    fn attach_para(&mut self, _pth: f64, _slack_acts: u32) -> bool {
+        false
+    }
+
+    /// The `(t1, t2)` ns timings the controller should use for HiRA
+    /// operations issued on this policy's behalf; `None` when the policy
+    /// never emits [`RefreshAction::Pair`] or [`DemandDecision::Hira`].
+    fn hira_lead(&self) -> Option<(f64, f64)> {
+        None
+    }
+
+    /// True when the policy never emits actions nor consumes callbacks —
+    /// lets the controller skip the polling machinery entirely.
+    fn inert(&self) -> bool {
+        false
+    }
+
+    /// Whether the policy performs periodic refresh at all. The default
+    /// answers from [`profile`](Self::profile), so there is one source of
+    /// truth; override only when the profile is expensive to compute.
+    fn performs_refresh(&self) -> bool {
+        self.profile().performs_refresh
+    }
+
+    /// Analytic cost profile of this instance.
+    fn profile(&self) -> PolicyProfile;
+
+    /// HiRA-MC statistics, for HiRA-MC-backed policies (composition layers
+    /// concatenate).
+    fn mc_stats(&self) -> Vec<McStats> {
+        Vec::new()
+    }
+
+    /// Service counters, aggregated across composition layers.
+    fn stats(&self) -> PolicyStats;
+}
+
+/// Factory signature behind a [`PolicyHandle`].
+pub type PolicyFactory = dyn Fn(&PolicyEnv) -> Box<dyn RefreshPolicy> + Send + Sync;
+
+/// A cloneable, comparable *selection* of a refresh policy: the registry
+/// key plus the factory that builds per-rank instances. This is what
+/// [`crate::config::SystemConfig`] stores and what sweeps pass around —
+/// equality and hashing go by name, so two configs selecting the same
+/// registered policy compare (and bucket) equal.
+#[derive(Clone)]
+pub struct PolicyHandle {
+    name: Arc<str>,
+    factory: Arc<PolicyFactory>,
+}
+
+impl PolicyHandle {
+    /// Wraps a factory under a registry name. Parameterized policies must
+    /// encode their parameters in the name (e.g. `hira4`,
+    /// `baseline+para(p=0.5157)`): the name is the identity.
+    pub fn new(
+        name: impl Into<String>,
+        factory: impl Fn(&PolicyEnv) -> Box<dyn RefreshPolicy> + Send + Sync + 'static,
+    ) -> Self {
+        PolicyHandle {
+            name: Arc::from(name.into()),
+            factory: Arc::new(factory),
+        }
+    }
+
+    /// The policy's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builds one per-rank instance.
+    pub fn build(&self, env: &PolicyEnv) -> Box<dyn RefreshPolicy> {
+        (self.factory)(env)
+    }
+
+    /// Layers immediately-served PARA preventive refreshes (§9's plain
+    /// "PARA" baseline) onto this policy: every executed activation
+    /// triggers with probability `pth`, and victims are refreshed as
+    /// standalone singles on the very next tick.
+    pub fn with_para_immediate(self, pth: f64) -> PolicyHandle {
+        let name = preventive::immediate_name(&self.name, pth);
+        PolicyHandle::new(name, move |env| {
+            Box::new(ImmediatePara::new(self.build(env), pth, env))
+        })
+    }
+
+    /// Layers HiRA-queued PARA preventive refreshes onto this policy:
+    /// victims queue with `tRefSlack = slack_acts × tRC` and are served
+    /// through HiRA-MC (refresh-access and refresh-refresh parallelized).
+    /// A policy that already hosts a HiRA-MC absorbs the layer natively
+    /// ([`RefreshPolicy::attach_para`]); anything else is wrapped.
+    pub fn with_para_hira(self, pth: f64, slack_acts: u32) -> PolicyHandle {
+        let name = preventive::queued_name(&self.name, pth, slack_acts);
+        PolicyHandle::new(name, move |env| {
+            let mut inner = self.build(env);
+            if inner.attach_para(pth, slack_acts) {
+                inner
+            } else {
+                Box::new(QueuedPara::new(inner, pth, slack_acts, env))
+            }
+        })
+    }
+}
+
+impl fmt::Debug for PolicyHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("PolicyHandle").field(&self.name).finish()
+    }
+}
+
+impl PartialEq for PolicyHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for PolicyHandle {}
+
+impl std::hash::Hash for PolicyHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_compare_by_name() {
+        assert_eq!(baseline(), baseline());
+        assert_ne!(baseline(), noref());
+        assert_ne!(hira(2), hira(4));
+        // Parameters are part of the identity through the name.
+        assert_ne!(
+            baseline().with_para_immediate(0.25),
+            baseline().with_para_immediate(0.5)
+        );
+    }
+
+    #[test]
+    fn probe_reflects_the_selected_policy() {
+        let cfg = |h| SystemConfig::table3(8.0, h);
+        assert!(!probe(&cfg(noref())).performs_refresh());
+        assert!(probe(&cfg(baseline())).performs_refresh());
+        assert!(probe(&cfg(refpb())).performs_refresh());
+        assert!(probe(&cfg(raidr())).performs_refresh());
+        assert!(probe(&cfg(hira(4))).performs_refresh());
+    }
+
+    #[test]
+    fn para_composition_names_encode_parameters() {
+        let h = baseline().with_para_hira(0.5, 4);
+        assert_eq!(h.name(), "baseline+para@hira4(p=0.5000)");
+        let h = noref().with_para_immediate(0.125);
+        assert_eq!(h.name(), "noref+para(p=0.1250)");
+    }
+
+    #[test]
+    fn hira_handles_absorb_a_para_layer_natively() {
+        let cfg = SystemConfig::table3(8.0, hira(4).with_para_hira(0.5, 4));
+        let p = probe(&cfg);
+        // Absorbed: one HiraMc, not a wrapper around a second one.
+        assert_eq!(p.mc_stats().len(), 1);
+        // A baseline inner requires the wrapper (its own HiRA-MC).
+        let cfg = SystemConfig::table3(8.0, baseline().with_para_hira(0.5, 4));
+        assert_eq!(probe(&cfg).mc_stats().len(), 1);
+        assert!(probe(&cfg).hira_lead().is_some());
+    }
+}

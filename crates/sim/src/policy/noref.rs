@@ -1,0 +1,57 @@
+//! The ideal no-refresh arrangement (upper bound of Fig. 9a).
+
+use super::{PolicyHandle, PolicyProfile, PolicyStats, RankView, RefreshAction, RefreshPolicy};
+
+/// Performs no periodic refresh at all. The retention model in `hira-dram`
+/// says what that would cost in data integrity; here it is the
+/// interference-free performance bound every figure normalizes against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRefresh;
+
+impl RefreshPolicy for NoRefresh {
+    fn name(&self) -> &str {
+        "noref"
+    }
+
+    fn next_action(&mut self, _now_ns: f64, _view: &RankView<'_>) -> Option<RefreshAction> {
+        None
+    }
+
+    fn inert(&self) -> bool {
+        true
+    }
+
+    fn profile(&self) -> PolicyProfile {
+        PolicyProfile::none()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+}
+
+/// Handle for the registry key `noref`.
+pub fn noref() -> PolicyHandle {
+    PolicyHandle::new("noref", |_env| Box::new(NoRefresh))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noref_is_inert_and_refresh_free() {
+        let mut p = NoRefresh;
+        assert!(p.inert());
+        assert!(!p.performs_refresh());
+        let view = RankView {
+            now: 0,
+            t_rc: 56,
+            bank_next_act: &[0; 4],
+            bank_has_demand: &[false; 4],
+            bank_open: &[false; 4],
+        };
+        assert_eq!(p.next_action(0.0, &view), None);
+        assert_eq!(p.profile(), PolicyProfile::none());
+    }
+}

@@ -1,0 +1,290 @@
+//! PARA preventive-refresh layers (§9), composable over any periodic
+//! policy through [`super::PolicyHandle::with_para_immediate`] and
+//! [`super::PolicyHandle::with_para_hira`].
+
+use super::hira::{build_mc, poll_mc};
+use super::{
+    DemandDecision, PolicyEnv, PolicyProfile, PolicyStats, RankView, RefreshAction, RefreshPolicy,
+};
+use hira_core::config::HiraConfig;
+use hira_core::finder::{HiraMc, McAction, McStats};
+use hira_core::para::Para;
+use hira_dram::addr::{BankId, RowId};
+use std::collections::VecDeque;
+
+/// Immediately-served PARA (the plain "PARA" baseline of Fig. 12): every
+/// executed activation triggers with probability `p_th`; victims are
+/// refreshed as standalone singles on the next controller tick, ahead of
+/// the inner policy's own work and regardless of bank pressure — exactly
+/// the interference the queued variants exist to avoid.
+pub struct ImmediatePara {
+    name: String,
+    inner: Box<dyn RefreshPolicy>,
+    para: Para,
+    queue: VecDeque<(BankId, RowId)>,
+    rows_per_bank: u32,
+    queued: u64,
+    served: u64,
+}
+
+/// The composed-handle name of an immediate-PARA layer over `inner` —
+/// single-sourced so [`super::PolicyHandle::with_para_immediate`] (handle
+/// identity) and [`ImmediatePara::new`] (instance attribution) can never
+/// disagree.
+pub(super) fn immediate_name(inner: &str, pth: f64) -> String {
+    format!("{inner}+para(p={pth:.4})")
+}
+
+/// The composed-handle name of a HiRA-queued PARA layer over `inner` (see
+/// [`immediate_name`]). Also used for the absorb path, where the inner
+/// policy hosts the layer itself.
+pub(super) fn queued_name(inner: &str, pth: f64, slack_acts: u32) -> String {
+    format!("{inner}+para@hira{slack_acts}(p={pth:.4})")
+}
+
+impl ImmediatePara {
+    /// Wraps `inner` with an immediate PARA layer.
+    pub fn new(inner: Box<dyn RefreshPolicy>, pth: f64, env: &PolicyEnv) -> Self {
+        ImmediatePara {
+            name: immediate_name(inner.name(), pth),
+            inner,
+            para: Para::new(pth, env.seed ^ 0xBEEF),
+            queue: VecDeque::new(),
+            rows_per_bank: env.rows_per_bank,
+            queued: 0,
+            served: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for ImmediatePara {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImmediatePara")
+            .field("name", &self.name)
+            .field("queued", &self.queued)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl RefreshPolicy for ImmediatePara {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, now_ns: f64) {
+        self.inner.tick(now_ns);
+    }
+
+    fn next_action(&mut self, now_ns: f64, view: &RankView<'_>) -> Option<RefreshAction> {
+        // Victims first: "immediate" means ahead of everything queued.
+        if let Some((bank, row)) = self.queue.pop_front() {
+            self.served += 1;
+            return Some(RefreshAction::Single { bank, row });
+        }
+        self.inner.next_action(now_ns, view)
+    }
+
+    fn on_demand_act(&mut self, now_ns: f64, bank: BankId, row: RowId) -> DemandDecision {
+        self.inner.on_demand_act(now_ns, bank, row)
+    }
+
+    fn on_act_executed(&mut self, now_ns: f64, bank: BankId, row: RowId) {
+        self.inner.on_act_executed(now_ns, bank, row);
+        if let Some(side) = self.para.on_activate() {
+            let victim = Para::victim(row, side, self.rows_per_bank);
+            self.queue.push_back((bank, victim));
+            self.queued += 1;
+        }
+    }
+
+    fn hira_lead(&self) -> Option<(f64, f64)> {
+        self.inner.hira_lead()
+    }
+
+    fn performs_refresh(&self) -> bool {
+        self.inner.performs_refresh()
+    }
+
+    fn profile(&self) -> PolicyProfile {
+        // Preventive load is workload-dependent; the analytic profile is
+        // the periodic layer's.
+        self.inner.profile()
+    }
+
+    fn mc_stats(&self) -> Vec<McStats> {
+        self.inner.mc_stats()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.inner.stats().merge(PolicyStats {
+            rows_refreshed: self.served,
+            preventive_queued: self.queued,
+            ..PolicyStats::default()
+        })
+    }
+}
+
+/// HiRA-queued PARA over a non-HiRA periodic policy: victims queue in a
+/// dedicated HiRA-MC (PR-FIFOs + Refresh Table, `periodic_via_hira` off)
+/// with `tRefSlack = N·tRC`, and are served as refresh-access ride-alongs,
+/// refresh-refresh pairs or deadline singles. HiRA-backed inner policies
+/// never see this wrapper — they absorb the layer natively through
+/// [`RefreshPolicy::attach_para`].
+pub struct QueuedPara {
+    name: String,
+    inner: Box<dyn RefreshPolicy>,
+    mc: HiraMc,
+}
+
+impl QueuedPara {
+    /// Wraps `inner` with a HiRA-N-queued PARA layer.
+    pub fn new(inner: Box<dyn RefreshPolicy>, pth: f64, slack_acts: u32, env: &PolicyEnv) -> Self {
+        let mut mc = build_mc(env, HiraConfig::hira_n(slack_acts), false);
+        mc.enable_para(pth);
+        QueuedPara {
+            name: queued_name(inner.name(), pth, slack_acts),
+            inner,
+            mc,
+        }
+    }
+}
+
+impl std::fmt::Debug for QueuedPara {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueuedPara")
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl RefreshPolicy for QueuedPara {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, now_ns: f64) {
+        self.inner.tick(now_ns);
+        self.mc.tick(now_ns);
+    }
+
+    fn next_action(&mut self, now_ns: f64, view: &RankView<'_>) -> Option<RefreshAction> {
+        // The periodic engine first (its REF cadence is a hard schedule),
+        // then the preventive queue.
+        if let Some(action) = self.inner.next_action(now_ns, view) {
+            return Some(action);
+        }
+        poll_mc(&mut self.mc, now_ns, view)
+    }
+
+    fn on_demand_act(&mut self, now_ns: f64, bank: BankId, row: RowId) -> DemandDecision {
+        match self.mc.on_demand_act(now_ns, bank, row) {
+            McAction::Hira { refresh_row, .. } => DemandDecision::Hira { refresh_row },
+            McAction::Plain => self.inner.on_demand_act(now_ns, bank, row),
+        }
+    }
+
+    fn on_act_executed(&mut self, now_ns: f64, bank: BankId, row: RowId) {
+        self.inner.on_act_executed(now_ns, bank, row);
+        self.mc.on_row_activated(now_ns, bank, row);
+    }
+
+    fn hira_lead(&self) -> Option<(f64, f64)> {
+        let t = self.mc.config().op.timings;
+        Some((t.t1, t.t2))
+    }
+
+    fn performs_refresh(&self) -> bool {
+        self.inner.performs_refresh()
+    }
+
+    fn profile(&self) -> PolicyProfile {
+        self.inner.profile()
+    }
+
+    fn mc_stats(&self) -> Vec<McStats> {
+        let mut v = vec![self.mc.stats()];
+        v.extend(self.inner.mc_stats());
+        v
+    }
+
+    fn stats(&self) -> PolicyStats {
+        let s = self.mc.stats();
+        self.inner.stats().merge(PolicyStats {
+            rows_refreshed: s.refresh_access + s.refresh_refresh + s.singles,
+            preventive_queued: s.preventive_generated,
+            ..PolicyStats::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::policy::{baseline, noref};
+
+    fn env() -> PolicyEnv {
+        PolicyEnv::for_rank(&SystemConfig::table3(8.0, noref()), 0, 0)
+    }
+
+    fn idle_view() -> RankView<'static> {
+        RankView {
+            now: 1_000_000,
+            t_rc: 56,
+            bank_next_act: &[0; 16],
+            bank_has_demand: &[false; 16],
+            bank_open: &[false; 16],
+        }
+    }
+
+    #[test]
+    fn immediate_para_serves_victims_next_poll() {
+        let e = env();
+        let mut p = ImmediatePara::new(noref().build(&e), 1.0, &e);
+        p.on_act_executed(100.0, BankId(2), RowId(500));
+        assert_eq!(p.stats().preventive_queued, 1);
+        let act = p.next_action(101.0, &idle_view()).expect("victim served");
+        match act {
+            RefreshAction::Single { bank, row } => {
+                assert_eq!(bank, BankId(2));
+                assert_eq!(row.0.abs_diff(500), 1, "victim {row:?}");
+            }
+            other => panic!("expected a single, got {other:?}"),
+        }
+        assert_eq!(p.next_action(102.0, &idle_view()), None);
+    }
+
+    #[test]
+    fn queued_para_holds_victims_for_their_slack() {
+        let e = env();
+        let mut p = QueuedPara::new(noref().build(&e), 1.0, 8, &e);
+        p.on_act_executed(100.0, BankId(1), RowId(300));
+        assert_eq!(p.stats().preventive_queued, 1);
+        // Slack = 8·tRC = 370 ns: nothing due yet at t=110 on busy banks.
+        let busy = RankView {
+            now: 0,
+            t_rc: 56,
+            bank_next_act: &[u64::MAX; 16],
+            bank_has_demand: &[true; 16],
+            bank_open: &[false; 16],
+        };
+        assert_eq!(p.next_action(110.0, &busy), None);
+        // By the deadline it must go out even on a loaded rank view.
+        assert!(p.next_action(480.0, &idle_view()).is_some());
+        assert_eq!(p.stats().rows_refreshed, 1);
+    }
+
+    #[test]
+    fn queued_para_keeps_the_inner_periodic_engine_running() {
+        let e = env();
+        let mut p = QueuedPara::new(baseline().build(&e), 1.0, 4, &e);
+        assert_eq!(
+            p.next_action(0.0, &idle_view()),
+            Some(RefreshAction::RankRef)
+        );
+        assert!(p.performs_refresh());
+        assert_eq!(p.stats().rank_refs, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! The string-keyed policy registry: the bridge between CLI/sweep axes
+//! (`--policy=hira4`) and [`PolicyHandle`]s.
+
+use super::{baseline, hira, noref, raidr, refpb, PolicyHandle};
+
+/// An ordered, string-keyed collection of refresh policies. Order is
+/// preserved so sweeps and the `policy_matrix` figure present policies in
+/// registration order, not alphabetically.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyRegistry {
+    entries: Vec<PolicyHandle>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PolicyRegistry::default()
+    }
+
+    /// The registry every binary starts from: the paper's three
+    /// arrangements plus the related-work policies the open API enables.
+    pub fn standard() -> Self {
+        let mut r = PolicyRegistry::new();
+        r.register(noref());
+        r.register(baseline());
+        r.register(refpb());
+        r.register(raidr());
+        for n in [0, 2, 4, 8] {
+            r.register(hira(n));
+        }
+        r
+    }
+
+    /// Registers (or replaces, by name) a policy.
+    pub fn register(&mut self, handle: PolicyHandle) {
+        if let Some(existing) = self.entries.iter_mut().find(|h| h.name() == handle.name()) {
+            *existing = handle;
+        } else {
+            self.entries.push(handle);
+        }
+    }
+
+    /// Resolves a name. Exact registered names win; `hira<N>` is resolved
+    /// for any `N` even when that slack point is not pre-registered.
+    pub fn lookup(&self, name: &str) -> Option<PolicyHandle> {
+        if let Some(h) = self.entries.iter().find(|h| h.name() == name) {
+            return Some(h.clone());
+        }
+        name.strip_prefix("hira")
+            .and_then(|n| n.parse::<u32>().ok())
+            .map(hira)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(PolicyHandle::name).collect()
+    }
+
+    /// Registered handles, in registration order.
+    pub fn handles(&self) -> impl Iterator<Item = &PolicyHandle> {
+        self.entries.iter()
+    }
+
+    /// Number of registered policies.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Resolves `name` against the standard registry.
+///
+/// # Panics
+///
+/// Panics with the list of known names when `name` does not resolve — a
+/// typo'd `--policy=` axis is a usage error, not a recoverable state.
+pub fn policy(name: &str) -> PolicyHandle {
+    let registry = PolicyRegistry::standard();
+    registry.lookup(name).unwrap_or_else(|| {
+        panic!(
+            "unknown refresh policy `{name}`; registered: {} (plus hira<N> for any N)",
+            registry.names().join(", ")
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_covers_the_matrix_policies() {
+        let r = PolicyRegistry::standard();
+        for name in [
+            "noref", "baseline", "refpb", "raidr", "hira0", "hira2", "hira4", "hira8",
+        ] {
+            assert!(r.lookup(name).is_some(), "{name} missing");
+        }
+        assert!(r.len() >= 5, "policy_matrix needs at least 5 policies");
+        // Registration order is preserved (noref leads, as the bound).
+        assert_eq!(r.names()[0], "noref");
+    }
+
+    #[test]
+    fn hira_n_resolves_dynamically() {
+        let r = PolicyRegistry::standard();
+        assert_eq!(r.lookup("hira3").unwrap().name(), "hira3");
+        assert!(r.lookup("hiraX").is_none());
+        assert!(r.lookup("nope").is_none());
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        let mut r = PolicyRegistry::new();
+        r.register(PolicyHandle::new("x", |_| {
+            Box::new(super::super::NoRefresh)
+        }));
+        r.register(PolicyHandle::new("x", |_| {
+            Box::new(super::super::NoRefresh)
+        }));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown refresh policy")]
+    fn unknown_policy_panics_with_the_known_list() {
+        let _ = policy("definitely-not-a-policy");
+    }
+}

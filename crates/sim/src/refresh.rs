@@ -1,11 +1,15 @@
 //! Refresh accounting helpers shared by the harness binaries.
 //!
-//! The refresh engines themselves live inside [`crate::controller`] (the
-//! baseline `REF` state machine and the HiRA-MC glue); this module provides
-//! the bookkeeping used to sanity-check refresh *completeness* in tests and
-//! benches.
+//! The refresh engines themselves are [`crate::policy`] objects driven by
+//! [`crate::controller`]; this module provides the bookkeeping used to
+//! sanity-check refresh *cost* in tests and benches. The per-policy numbers
+//! come from the policy instance itself ([`RefreshPolicy::profile`]), so
+//! third-party policies get correct accounting without this module knowing
+//! them; the named `baseline_*`/`hira_*` fields keep the paper's closed-form
+//! comparison arithmetic (§8) available for any configuration.
 
-use crate::config::{RefreshScheme, SystemConfig};
+use crate::config::SystemConfig;
+use crate::policy::{probe, PolicyProfile};
 
 /// Static refresh-cost figures for a configuration (no simulation).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,9 +23,13 @@ pub struct RefreshBudget {
     pub hira_paired_bank_busy_frac: f64,
     /// Command-bus slots per second consumed by HiRA periodic refresh.
     pub hira_cmd_per_sec: f64,
+    /// The analytic profile of the *configured* policy, whatever it is.
+    pub policy: PolicyProfile,
 }
 
-/// Computes the analytic refresh budget of a configuration.
+/// Computes the analytic refresh budget of a configuration. The
+/// scheme-independent fields come from the paper's closed forms; the
+/// `policy` field is reported by the configured policy object.
 pub fn budget(cfg: &SystemConfig) -> RefreshBudget {
     let t = &cfg.timing;
     let rows = f64::from(cfg.rows_per_bank());
@@ -31,23 +39,26 @@ pub fn budget(cfg: &SystemConfig) -> RefreshBudget {
         hira_single_bank_busy_frac: single,
         hira_paired_bank_busy_frac: rows * (38.0 + t.t_rp) / 2.0 / t.t_refw,
         hira_cmd_per_sec: rows * f64::from(cfg.banks) * 2.0 / (t.t_refw * 1e-9),
+        policy: probe(cfg).profile(),
     }
 }
 
-/// True when a configuration performs periodic refresh at all.
+/// True when a configuration performs periodic refresh at all — answered by
+/// the policy object, not by matching a scheme list.
 pub fn refreshes(cfg: &SystemConfig) -> bool {
-    !matches!(cfg.refresh, RefreshScheme::NoRefresh)
+    probe(cfg).performs_refresh()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
+    use crate::policy;
 
     #[test]
     fn baseline_blocked_fraction_grows_with_capacity() {
-        let b8 = budget(&SystemConfig::table3(8.0, RefreshScheme::Baseline));
-        let b128 = budget(&SystemConfig::table3(128.0, RefreshScheme::Baseline));
+        let b8 = budget(&SystemConfig::table3(8.0, policy::baseline()));
+        let b128 = budget(&SystemConfig::table3(128.0, policy::baseline()));
         assert!(b128.baseline_rank_blocked_frac > b8.baseline_rank_blocked_frac);
         // §1/§8: ~26% rank-blocked at 128 Gb.
         assert!(
@@ -55,11 +66,13 @@ mod tests {
             "blocked {}",
             b128.baseline_rank_blocked_frac
         );
+        // The policy profile agrees with the closed form for Baseline.
+        assert!((b128.policy.rank_blocked_frac - b128.baseline_rank_blocked_frac).abs() < 1e-12);
     }
 
     #[test]
     fn pairing_halves_the_hira_bank_cost() {
-        let b = budget(&SystemConfig::table3(32.0, RefreshScheme::Baseline));
+        let b = budget(&SystemConfig::table3(32.0, policy::baseline()));
         assert!(b.hira_paired_bank_busy_frac < b.hira_single_bank_busy_frac * 0.6);
     }
 
@@ -67,7 +80,50 @@ mod tests {
     fn hira_command_rate_is_within_bus_capacity() {
         // Even at 128 Gb, the ACT/PRE stream must fit in the 1.2 G-slot/s
         // command bus of one channel (§12 discusses this pressure).
-        let b = budget(&SystemConfig::table3(128.0, RefreshScheme::Baseline));
+        let b = budget(&SystemConfig::table3(128.0, policy::baseline()));
         assert!(b.hira_cmd_per_sec < 1.2e9, "cmd/s {}", b.hira_cmd_per_sec);
+        let h = budget(&SystemConfig::table3(128.0, policy::hira(4)));
+        assert!((h.policy.cmd_per_sec - h.hira_cmd_per_sec).abs() < 1.0);
+    }
+
+    #[test]
+    fn refreshes_queries_the_policy_object() {
+        assert!(!refreshes(&SystemConfig::table3(8.0, policy::noref())));
+        for p in [
+            policy::baseline(),
+            policy::refpb(),
+            policy::raidr(),
+            policy::hira(2),
+        ] {
+            assert!(
+                refreshes(&SystemConfig::table3(8.0, p.clone())),
+                "{}",
+                p.name()
+            );
+        }
+        // A preventive layer alone does not make a no-refresh system
+        // periodically refreshed.
+        assert!(!refreshes(&SystemConfig::table3(
+            8.0,
+            policy::noref().with_para_immediate(0.5)
+        )));
+    }
+
+    #[test]
+    fn per_policy_profiles_differ_where_the_arrangements_do() {
+        let mk = |p| budget(&SystemConfig::table3(32.0, p)).policy;
+        let baseline = mk(policy::baseline());
+        let refpb = mk(policy::refpb());
+        let raidr = mk(policy::raidr());
+        let hira = mk(policy::hira(4));
+        // Only the all-bank REF blocks the whole rank.
+        assert!(baseline.rank_blocked_frac > 0.0);
+        assert_eq!(refpb.rank_blocked_frac, 0.0);
+        assert_eq!(raidr.rank_blocked_frac, 0.0);
+        assert_eq!(hira.rank_blocked_frac, 0.0);
+        // Retention binning refreshes fewer rows than unbinned per-row HiRA
+        // singles would.
+        assert!(raidr.cmd_per_sec < hira.cmd_per_sec);
+        assert!(raidr.bank_busy_frac > 0.0);
     }
 }

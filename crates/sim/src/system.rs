@@ -104,6 +104,11 @@ impl System {
             cycles: cycle,
             channel_stats: self.channels.iter().map(Channel::stats).collect(),
             mc_stats: self.channels.iter().flat_map(Channel::mc_stats).collect(),
+            policy_stats: self
+                .channels
+                .iter()
+                .flat_map(Channel::policy_stats)
+                .collect(),
         }
     }
 
@@ -194,18 +199,18 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{RefreshScheme, SystemConfig};
+    use crate::config::SystemConfig;
+    use crate::policy::{self, PolicyHandle};
     use crate::workloads::mixes;
-    use hira_core::config::HiraConfig;
 
-    fn tiny(refresh: RefreshScheme) -> SystemConfig {
+    fn tiny(refresh: PolicyHandle) -> SystemConfig {
         SystemConfig::table3(8.0, refresh).with_insts(4_000, 500)
     }
 
     #[test]
     fn a_mix_runs_to_completion_and_reports_ipc() {
         let mix = &mixes(1, 8, 3)[0];
-        let r = System::new(tiny(RefreshScheme::NoRefresh), mix).run();
+        let r = System::new(tiny(policy::noref()), mix).run();
         assert_eq!(r.ipc.len(), 8);
         assert!(
             r.ipc.iter().all(|&x| x > 0.0 && x <= 4.0),
@@ -221,12 +226,12 @@ mod tests {
         let mix = &mixes(1, 8, 9)[0];
         let capacity = 64.0;
         let mk = |r| SystemConfig::table3(capacity, r).with_insts(4_000, 500);
-        let ideal = System::new(mk(RefreshScheme::NoRefresh), mix).run();
+        let ideal = System::new(mk(policy::noref()), mix).run();
         let alone: Vec<f64> = vec![1.0; 8]; // common weights: ratios only
         let ws_ideal = ideal.weighted_speedup(&alone);
-        let base = System::new(mk(RefreshScheme::Baseline), mix).run();
+        let base = System::new(mk(policy::baseline()), mix).run();
         let ws_base = base.weighted_speedup(&alone);
-        let hira = System::new(mk(RefreshScheme::Hira(HiraConfig::hira_n(2))), mix).run();
+        let hira = System::new(mk(policy::hira(2)), mix).run();
         let ws_hira = hira.weighted_speedup(&alone);
         assert!(ws_ideal > ws_base, "ideal {ws_ideal} vs baseline {ws_base}");
         assert!(
@@ -238,8 +243,8 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_result() {
         let mix = &mixes(1, 8, 5)[0];
-        let a = System::new(tiny(RefreshScheme::Baseline), mix).run();
-        let b = System::new(tiny(RefreshScheme::Baseline), mix).run();
+        let a = System::new(tiny(policy::baseline()), mix).run();
+        let b = System::new(tiny(policy::baseline()), mix).run();
         assert_eq!(a.ipc, b.ipc);
         assert_eq!(a.cycles, b.cycles);
     }
@@ -247,7 +252,7 @@ mod tests {
     #[test]
     fn hira_mc_refreshes_rows_in_the_background() {
         let mix = &mixes(1, 8, 7)[0];
-        let r = System::new(tiny(RefreshScheme::Hira(HiraConfig::hira_n(4))), mix).run();
+        let r = System::new(tiny(policy::hira(4)), mix).run();
         let mc = r.mc_stats.first().expect("HiRA-MC configured");
         assert!(mc.periodic_generated > 0);
         let served = mc.refresh_access + mc.refresh_refresh + mc.singles;
@@ -256,5 +261,30 @@ mod tests {
             "served {served} of {} generated",
             mc.periodic_generated
         );
+        // The policy-level counters agree with the HiRA-MC view.
+        let ps = r.policy_stats.first().expect("policy stats");
+        assert_eq!(ps.rows_refreshed, served);
+    }
+
+    #[test]
+    fn new_policies_run_end_to_end() {
+        // The open API's genuinely new arrangements simulate and land
+        // between the ideal and nothing: refresh costs, never gains.
+        let mix = &mixes(1, 8, 13)[0];
+        let ideal: f64 = System::new(tiny(policy::noref()), mix)
+            .run()
+            .ipc
+            .iter()
+            .sum();
+        for p in [policy::refpb(), policy::raidr()] {
+            let name = p.name().to_owned();
+            let r = System::new(tiny(p), mix).run();
+            let ipc: f64 = r.ipc.iter().sum();
+            assert!(ipc > 0.0, "{name}: no forward progress");
+            assert!(
+                ipc <= ideal * 1.001,
+                "{name}: refresh ({ipc}) beat the ideal bound ({ideal})"
+            );
+        }
     }
 }

@@ -6,7 +6,7 @@
 
 use hira::characterize::config::CharacterizeConfig;
 use hira::characterize::modules::characterize_module;
-use hira::dram::ModuleSpec;
+use hira::prelude::*;
 
 fn main() {
     let cfg = CharacterizeConfig {

@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use hira::core::hira_op::HiraOperation;
-use hira::dram::addr::{BankId, RowId};
-use hira::dram::timing::HiraTimings;
-use hira::dram::{DramModule, ModuleSpec};
+use hira::prelude::*;
 
 fn main() {
     // A 4 Gb SK Hynix-style module (the HiRA-capable parts of §4).

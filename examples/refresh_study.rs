@@ -1,12 +1,11 @@
 //! Periodic-refresh case study (§8, one data point of Fig. 9): simulates an
-//! 8-core system on 64 Gb chips under Baseline REF vs HiRA-2 vs no refresh.
+//! 8-core system on 64 Gb chips under every periodic policy in the standard
+//! registry — the paper's three arrangements plus the related-work policies
+//! the open API enables (per-bank REFpb, RAIDR retention binning).
 //!
 //! Run with: `cargo run --release --example refresh_study`
 
-use hira::core::config::HiraConfig;
-use hira::sim::config::{RefreshScheme, SystemConfig};
-use hira::sim::system::System;
-use hira::sim::workloads::{benchmark, Mix};
+use hira::prelude::*;
 
 fn main() {
     // A memory-intensive mix — where refresh interference actually shows.
@@ -29,35 +28,38 @@ fn main() {
         mix.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
     );
     let mut ws = Vec::new();
-    for (name, scheme) in [
-        ("No-Refresh (ideal)", RefreshScheme::NoRefresh),
-        ("Baseline REF", RefreshScheme::Baseline),
-        ("HiRA-2", RefreshScheme::Hira(HiraConfig::hira_n(2))),
-    ] {
-        let cfg = SystemConfig::table3(64.0, scheme).with_insts(40_000, 8_000);
+    for handle in PolicyRegistry::standard().handles() {
+        let cfg = SystemBuilder::table3(64.0)
+            .policy(handle.clone())
+            .insts(40_000, 8_000)
+            .build()
+            .unwrap();
+        let name = handle.name().to_owned();
         let r = System::new(cfg, mix).run();
         let ipc_sum: f64 = r.ipc.iter().sum();
         println!(
-            "{name:<20} IPC-sum {ipc_sum:>6.3}  row-hit {:>5.1}%  avg-read-latency {:>6.1} cyc",
+            "{name:<12} IPC-sum {ipc_sum:>6.3}  row-hit {:>5.1}%  avg-read-latency {:>6.1} cyc",
             r.row_hit_rate() * 100.0,
             r.avg_read_latency()
         );
         if let Some(mc) = r.mc_stats.first() {
             println!(
-                "{:<20} refreshes: {} absorbed by accesses, {} paired, {} singles",
+                "{:<12} refreshes: {} absorbed by accesses, {} paired, {} singles",
                 "", mc.refresh_access, mc.refresh_refresh, mc.singles
+            );
+        } else if let Some(ps) = r.policy_stats.first() {
+            println!(
+                "{:<12} refreshes: {} REF, {} REFpb, {} rows ({} skipped by binning)",
+                "", ps.rank_refs, ps.bank_refs, ps.rows_refreshed, ps.rows_skipped
             );
         }
         ws.push((name, ipc_sum));
     }
-    let base = ws
-        .iter()
-        .find(|(n, _)| n.starts_with("Baseline"))
-        .unwrap()
-        .1;
+    let base = ws.iter().find(|(n, _)| n == "baseline").unwrap().1;
+    println!();
     for (name, v) in &ws {
         println!(
-            "{name:<20} throughput vs Baseline: {:+.1} %",
+            "{name:<12} throughput vs baseline: {:+.1} %",
             (v / base - 1.0) * 100.0
         );
     }

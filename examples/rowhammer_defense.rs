@@ -1,14 +1,11 @@
 //! RowHammer-defense case study (§9, one data point of Fig. 12): configures
 //! PARA for a vulnerable chip (NRH = 256) via the security analysis, then
-//! compares plain PARA against PARA + HiRA-4.
+//! compares plain PARA against PARA + HiRA-4 — both composed onto the
+//! Baseline policy through the builder's preventive layers.
 //!
 //! Run with: `cargo run --release --example rowhammer_defense`
 
-use hira::core::config::HiraConfig;
-use hira::core::security::{solve_pth, SecurityParams};
-use hira::sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
-use hira::sim::system::System;
-use hira::sim::workloads::mixes;
+use hira::prelude::*;
 
 fn main() {
     let nrh = 256;
@@ -17,20 +14,18 @@ fn main() {
     println!("NRH = {nrh}: p_th = {pth0:.4} (immediate) / {pth4:.4} (with 4*tRC slack)\n");
 
     let mix = &mixes(1, 8, 11)[0];
+    let base = || {
+        SystemBuilder::new()
+            .policy(policy::baseline())
+            .insts(25_000, 5_000)
+    };
     let mut results = Vec::new();
-    for (name, preventive) in [
-        ("no defense", None),
-        ("PARA", Some((pth0, PreventiveMode::Immediate))),
-        (
-            "PARA + HiRA-4",
-            Some((pth4, PreventiveMode::Hira(HiraConfig::hira_n(4)))),
-        ),
+    for (name, builder) in [
+        ("no defense", base()),
+        ("PARA", base().preventive_immediate(pth0)),
+        ("PARA + HiRA-4", base().preventive_hira(pth4, 4)),
     ] {
-        let mut cfg = SystemConfig::table3(8.0, RefreshScheme::Baseline).with_insts(25_000, 5_000);
-        if let Some((pth, mode)) = preventive {
-            cfg = cfg.with_preventive(pth, mode);
-        }
-        let r = System::new(cfg, mix).run();
+        let r = System::new(builder.build().unwrap(), mix).run();
         let ipc_sum: f64 = r.ipc.iter().sum();
         println!("{name:<15} IPC-sum {ipc_sum:>6.3}");
         results.push((name, ipc_sum));

@@ -3,7 +3,8 @@
 //!
 //! Run with: `cargo run --release --example security_analysis`
 
-use hira::core::security::{k_factor, legacy_pth, solve_pth, SecurityParams};
+use hira::core::security::{k_factor, legacy_pth};
+use hira::prelude::*;
 
 fn main() {
     let p0 = SecurityParams::paper_defaults(0);

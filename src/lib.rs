@@ -29,3 +29,40 @@ pub use hira_dram as dram;
 pub use hira_engine as engine;
 pub use hira_sim as sim;
 pub use hira_softmc as softmc;
+
+/// The one-stop import for examples, tests and downstream users: system
+/// construction ([`prelude::SystemBuilder`]), the open refresh-policy API
+/// ([`prelude::policy`], [`prelude::PolicyRegistry`]), the simulator, the
+/// workload roster, and the experiment-orchestration engine.
+///
+/// ```rust
+/// use hira::prelude::*;
+///
+/// let cfg = SystemBuilder::new()
+///     .chip_gbit(32.0)
+///     .policy(policy::hira(4))
+///     .insts(2_000, 400)
+///     .build()
+///     .unwrap();
+/// let mix = &mixes(1, 8, 1)[0];
+/// let result = System::new(cfg, mix).run();
+/// assert_eq!(result.ipc.len(), 8);
+/// ```
+pub mod prelude {
+    pub use hira_core::config::HiraConfig;
+    pub use hira_core::finder::McStats;
+    pub use hira_core::security::{solve_pth, SecurityParams};
+    pub use hira_dram::addr::{BankId, RowId};
+    pub use hira_dram::timing::{HiraTimings, TimingParams};
+    pub use hira_dram::{DramModule, ModuleSpec};
+    pub use hira_engine::{
+        derive_seed, flabel, metric, Executor, RunRecord, RunSet, Scenario, ScenarioKey, Sweep,
+    };
+    pub use hira_sim::builder::{BuildError, SystemBuilder};
+    pub use hira_sim::policy::{
+        self, DemandDecision, PolicyEnv, PolicyHandle, PolicyProfile, PolicyRegistry, PolicyStats,
+        RankView, RefreshAction, RefreshPolicy,
+    };
+    pub use hira_sim::workloads::{benchmark, mixes, Benchmark, Mix};
+    pub use hira_sim::{SimResult, System, SystemConfig};
+}

@@ -1,11 +1,8 @@
-//! Cross-crate integration: HiRA-MC inside the cycle simulator.
+//! Cross-crate integration: refresh policies inside the cycle simulator.
 
-use hira::core::config::HiraConfig;
-use hira::sim::config::{PreventiveMode, RefreshScheme, SystemConfig};
-use hira::sim::system::System;
-use hira::sim::workloads::mixes;
+use hira::prelude::*;
 
-fn tiny(cap: f64, refresh: RefreshScheme) -> SystemConfig {
+fn tiny(cap: f64, refresh: PolicyHandle) -> SystemConfig {
     SystemConfig::table3(cap, refresh).with_insts(4_000, 800)
 }
 
@@ -16,8 +13,8 @@ fn hira_beats_baseline_at_high_capacity() {
         let res = System::new(tiny(128.0, r), mix).run();
         res.ipc.iter().sum::<f64>()
     };
-    let baseline = ws(RefreshScheme::Baseline);
-    let hira = ws(RefreshScheme::Hira(HiraConfig::hira_n(4)));
+    let baseline = ws(policy::baseline());
+    let hira = ws(policy::hira(4));
     assert!(
         hira > baseline,
         "HiRA-4 ({hira}) must beat Baseline ({baseline}) at 128 Gb"
@@ -27,7 +24,7 @@ fn hira_beats_baseline_at_high_capacity() {
 #[test]
 fn hira_refreshes_every_generated_request() {
     let mix = &mixes(1, 8, 22)[0];
-    let res = System::new(tiny(8.0, RefreshScheme::Hira(HiraConfig::hira_n(2))), mix).run();
+    let res = System::new(tiny(8.0, policy::hira(2)), mix).run();
     let mc = res.mc_stats.first().expect("mc stats");
     let served = mc.refresh_access + mc.refresh_refresh + mc.singles;
     // Everything generated is served, modulo requests still in flight at
@@ -43,16 +40,13 @@ fn hira_refreshes_every_generated_request() {
 #[test]
 fn para_with_hira_outperforms_immediate_para_at_low_thresholds() {
     let mix = &mixes(1, 8, 23)[0];
-    let pth = hira::core::security::solve_pth(
-        &hira::core::security::SecurityParams::paper_defaults(0),
-        64,
-    );
-    let ws = |mode| {
-        let cfg = tiny(8.0, RefreshScheme::Baseline).with_preventive(pth, mode);
+    let pth = solve_pth(&SecurityParams::paper_defaults(0), 64);
+    let ws = |handle: PolicyHandle| {
+        let cfg = tiny(8.0, handle);
         System::new(cfg, mix).run().ipc.iter().sum::<f64>()
     };
-    let plain = ws(PreventiveMode::Immediate);
-    let hira = ws(PreventiveMode::Hira(HiraConfig::hira_n(4)));
+    let plain = ws(policy::baseline().with_para_immediate(pth));
+    let hira = ws(policy::baseline().with_para_hira(pth, 4));
     assert!(
         hira > plain * 1.5,
         "HiRA-4 ({hira}) should be far ahead of plain PARA ({plain}) at NRH=64"
@@ -62,8 +56,7 @@ fn para_with_hira_outperforms_immediate_para_at_low_thresholds() {
 #[test]
 fn preventive_refreshes_track_para_triggers() {
     let mix = &mixes(1, 8, 24)[0];
-    let cfg = tiny(8.0, RefreshScheme::Baseline)
-        .with_preventive(0.3, PreventiveMode::Hira(HiraConfig::hira_n(4)));
+    let cfg = tiny(8.0, policy::baseline().with_para_hira(0.3, 4));
     let res = System::new(cfg, mix).run();
     let mc = res.mc_stats.first().expect("mc stats");
     assert!(mc.preventive_generated > 0);
@@ -73,4 +66,26 @@ fn preventive_refreshes_track_para_triggers() {
         "generated {} served {served}",
         mc.preventive_generated
     );
+}
+
+#[test]
+fn registry_policies_all_simulate() {
+    // Every standard-registry policy runs end to end through the facade,
+    // and refresh interference orders them below the ideal bound.
+    let mix = &mixes(1, 8, 25)[0];
+    let ideal: f64 = System::new(tiny(64.0, policy::noref()), mix)
+        .run()
+        .ipc
+        .iter()
+        .sum();
+    for handle in PolicyRegistry::standard().handles() {
+        let name = handle.name().to_owned();
+        let r = System::new(tiny(64.0, handle.clone()), mix).run();
+        let ipc: f64 = r.ipc.iter().sum();
+        assert!(ipc > 0.0, "{name}: no forward progress");
+        assert!(
+            ipc <= ideal * 1.001,
+            "{name}: {ipc} beat the no-refresh bound {ideal}"
+        );
+    }
 }

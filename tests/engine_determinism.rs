@@ -4,7 +4,7 @@
 //! figure binaries run.
 
 use hira::engine::{derive_seed, metric, Executor, ScenarioKey, Sweep};
-use hira::sim::config::{RefreshScheme, SystemConfig};
+use hira::prelude::{policy, SystemConfig};
 use hira_bench::{run_ws, Scale};
 
 fn tiny_scale() -> Scale {
@@ -20,10 +20,10 @@ fn ws_sweep() -> Sweep<SystemConfig> {
     Sweep::new("determinism").axis(
         "scheme",
         [
-            ("NoRefresh", RefreshScheme::NoRefresh),
-            ("Baseline", RefreshScheme::Baseline),
+            ("NoRefresh", policy::noref()),
+            ("Baseline", policy::baseline()),
         ],
-        |_, s| SystemConfig::table3(8.0, *s),
+        |_, s| SystemConfig::table3(8.0, s.clone()),
     )
 }
 
@@ -40,6 +40,36 @@ fn simulator_sweep_is_byte_identical_across_1_2_and_8_threads() {
     assert_eq!(single, canonical(8), "8 threads diverged from 1");
     // 2 schemes × 3 mixes, one `ws` record each.
     assert_eq!(single.matches("\"metric\":\"ws\"").count(), 6);
+}
+
+#[test]
+fn policy_sweep_is_byte_identical_across_thread_counts() {
+    // The policy_matrix axis: every standard policy through the engine.
+    // Stateful policy objects (HiRA-MC tables, RAIDR cursors) must never
+    // leak scheduling into results.
+    let sweep = || {
+        Sweep::new("policy_axis").axis(
+            "policy",
+            hira::prelude::PolicyRegistry::standard()
+                .handles()
+                .map(|h| (h.name().to_owned(), h.clone()))
+                .collect::<Vec<_>>(),
+            |_, h| SystemConfig::table3(8.0, h.clone()),
+        )
+    };
+    let scale = Scale {
+        mixes: 1,
+        insts: 1_500,
+        warmup: 300,
+        rows: 16,
+    };
+    let canonical = |threads: usize| {
+        run_ws(&Executor::with_threads(threads), sweep(), scale)
+            .run
+            .canonical_json()
+    };
+    let single = canonical(1);
+    assert_eq!(single, canonical(4), "4 threads diverged from 1");
 }
 
 #[test]
