@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hira_sim::config::SystemConfig;
 use hira_sim::policy;
 use hira_sim::system::System;
-use hira_sim::workloads::mixes;
+use hira_workload::mix_with_seed;
 
 fn bench_schemes(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim/2k_insts_8core");
@@ -19,10 +19,12 @@ fn bench_schemes(c: &mut Criterion) {
         ("hira4", policy::hira(4)),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &handle, |b, handle| {
-            let mix = &mixes(1, 8, 1)[0];
+            let wl = mix_with_seed(0, 1);
             b.iter(|| {
-                let cfg = SystemConfig::table3(32.0, handle.clone()).with_insts(2_000, 200);
-                System::new(cfg, mix).run()
+                let cfg = SystemConfig::table3(32.0, handle.clone())
+                    .with_insts(2_000, 200)
+                    .with_workload(wl.clone());
+                System::new(cfg).run()
             });
         });
     }

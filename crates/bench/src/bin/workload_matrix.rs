@@ -1,0 +1,125 @@
+//! Workload matrix: workload × refresh policy, through one engine
+//! weighted-speedup sweep — the comparison surface the open
+//! [`hira_workload`] frontend exists for. Where `policy_matrix` holds the
+//! workload fixed and sweeps policies, this grid crosses both axes: how
+//! much each refresh arrangement costs under streaming, random, pointer-
+//! chasing, skewed, write-heavy, open-loop and multiprogrammed-mix
+//! traffic, side by side.
+//!
+//! Always writes `BENCH_workload_matrix.json` (into `HIRA_BENCH_DIR`, or
+//! the working directory when unset): the tracked perf baseline for the
+//! workload comparison surface.
+//!
+//! Flags:
+//!
+//! * `--workload=<name>[,<name>...]` (repeatable) — subset the workload
+//!   axis by registry name (including the dynamic `mix<N>`, `zipf<N>`,
+//!   `rw<N>`, `open<N>` and `trace:<path>` forms); default: a
+//!   representative point per family,
+//! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis;
+//!   default: the full standard registry,
+//! * `--list` — print both registries with their profile one-liners and
+//!   exit,
+//! * `--check-determinism` — re-run the sweep single-threaded and assert
+//!   the canonical result sets are byte-identical (the engine's guarantee,
+//!   enforced end-to-end through every workload frontend).
+
+use hira_bench::{
+    policy_axis_from_args, print_policy_list, print_workload_list, run_ws_as_configured,
+    workload_axis_from_args_or, Scale,
+};
+use hira_engine::{Executor, Sweep};
+use hira_sim::config::SystemConfig;
+use std::path::Path;
+
+/// One representative point per family: two roster benchmarks and a mix
+/// (synthetic), the pattern generators, and the embedded trace replay.
+const DEFAULT_WORKLOADS: &[&str] = &[
+    "mix0",
+    "mcf",
+    "libquantum",
+    "stream",
+    "random",
+    "chase",
+    "hotspot",
+    "zipf80",
+    "rw50",
+    "open25",
+    "demo-trace",
+];
+
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        print_workload_list();
+        println!();
+        print_policy_list();
+        return;
+    }
+    let scale = Scale::from_env();
+    let ex = Executor::from_env();
+    let cap = 8.0;
+    let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
+    let policies = policy_axis_from_args();
+    assert!(
+        !workloads.is_empty() && !policies.is_empty(),
+        "workload_matrix needs at least one workload and one policy"
+    );
+    let wl_names: Vec<String> = workloads.iter().map(|(n, _)| n.clone()).collect();
+    let pol_names: Vec<String> = policies.iter().map(|(n, _)| n.clone()).collect();
+
+    println!(
+        "== workload matrix: {} workloads x {} policies at {cap} Gb, {} insts ==",
+        workloads.len(),
+        policies.len(),
+        scale.insts
+    );
+    println!("workloads: {}", wl_names.join(", "));
+    println!("policies:  {}", pol_names.join(", "));
+
+    let mk_sweep = || {
+        Sweep::new("workload_matrix")
+            .axis("wl", workloads.clone(), |_, w| w.clone())
+            .axis("policy", policies.clone(), |w, p| {
+                SystemConfig::table3(cap, p.clone()).with_workload(w.clone())
+            })
+    };
+    let t = run_ws_as_configured(&ex, mk_sweep(), scale);
+
+    if std::env::args().any(|a| a == "--check-determinism") {
+        let serial = run_ws_as_configured(&Executor::with_threads(1), mk_sweep(), scale);
+        assert_eq!(
+            t.run.canonical_json(),
+            serial.run.canonical_json(),
+            "workload sweep results must be independent of HIRA_THREADS"
+        );
+        println!("determinism check: canonical result sets byte-identical at 1 thread");
+    }
+
+    println!("\n-- weighted speedup, rows = workloads, columns = policies --");
+    let header: Vec<String> = pol_names.iter().map(|n| format!("{n:>8}")).collect();
+    println!("{:<12} {}", "", header.join(" "));
+    for wl in &wl_names {
+        let row: Vec<f64> = pol_names
+            .iter()
+            .map(|p| t.mean(&[("wl", wl), ("policy", p)]))
+            .collect();
+        hira_bench::print_series(wl, &row);
+    }
+    if let Some(ideal) = pol_names.iter().find(|n| *n == "noref") {
+        println!("\n-- normalized to noref (refresh-interference cost per workload) --");
+        for wl in &wl_names {
+            let bound = t.mean(&[("wl", wl), ("policy", ideal)]);
+            let row: Vec<f64> = pol_names
+                .iter()
+                .map(|p| t.mean(&[("wl", wl), ("policy", p)]) / bound)
+                .collect();
+            hira_bench::print_series(wl, &row);
+        }
+    }
+
+    let dir = std::env::var("HIRA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    match t.run.write_bench_json(Path::new(&dir)) {
+        Ok(path) => println!("(result store written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_workload_matrix.json: {e}"),
+    }
+}

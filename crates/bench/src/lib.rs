@@ -21,14 +21,17 @@
 //!
 //! Binaries that sweep refresh policies also accept `--policy=<name>[,..]`
 //! (repeatable) to subset the policy axis by registry name — see
-//! [`policy_axis_from_args`].
+//! [`policy_axis_from_args`] — and binaries that sweep workloads accept
+//! `--workload=<name>[,..]` the same way ([`workload_axis_from_args`]).
+//! Passing `--list` to either axis prints every registered name with its
+//! one-line profile and exits, so sweep binaries are self-documenting.
 
 use hira_engine::{metric, Executor, ScenarioKey, Sweep};
 use hira_sim::config::SystemConfig;
 use hira_sim::policy::{self, PolicyHandle, PolicyRegistry};
 use hira_sim::system::System;
-use hira_sim::workloads::{mixes, Benchmark, Mix};
-use std::collections::{BTreeSet, HashMap};
+use hira_workload::{mix, WorkloadHandle, WorkloadRegistry};
+use std::collections::HashMap;
 use std::sync::Mutex;
 
 pub use hira_engine::RunSet;
@@ -65,22 +68,17 @@ impl Scale {
     }
 }
 
-/// Alone-IPC cache key: benchmark name, channels, ranks, and the Scale
-/// dimensions the simulation depends on (measured + warmup instructions) —
-/// so runs at different scales in one process never share stale values.
+/// Alone-IPC cache key: workload *instance* name (for a mix, the member
+/// benchmark a core runs), channels, ranks, and the Scale dimensions the
+/// simulation depends on (measured + warmup instructions) — so runs at
+/// different scales in one process never share stale values.
 type AloneKey = (String, usize, usize, u64, u64);
 
-fn alone_key(bench: &Benchmark, channels: usize, ranks: usize, scale: Scale) -> AloneKey {
-    (
-        bench.name.to_owned(),
-        channels,
-        ranks,
-        scale.insts,
-        scale.warmup,
-    )
+fn alone_key(name: &str, channels: usize, ranks: usize, scale: Scale) -> AloneKey {
+    (name.to_owned(), channels, ranks, scale.insts, scale.warmup)
 }
 
-/// Global cache of alone-IPC values, keyed by benchmark name and geometry.
+/// Global cache of alone-IPC values, keyed by instance name and geometry.
 static ALONE_IPC: Mutex<Option<HashMap<AloneKey, f64>>> = Mutex::new(None);
 
 fn cached_alone_ipc(key: &AloneKey) -> Option<f64> {
@@ -99,83 +97,70 @@ fn store_alone_ipc(key: AloneKey, ipc: f64) {
         .insert(key, ipc);
 }
 
-/// The (pure, deterministic) computation behind [`alone_ipc`].
-fn compute_alone_ipc(
-    bench: &'static Benchmark,
-    channels: usize,
-    ranks: usize,
-    scale: Scale,
-) -> f64 {
+/// The (pure, deterministic) computation behind [`alone_ipc`]: the
+/// workload instance alone on a single core of an ideal (no-refresh,
+/// no-PARA) 8 Gb system of the given geometry.
+fn compute_alone_ipc(handle: &WorkloadHandle, channels: usize, ranks: usize, scale: Scale) -> f64 {
     let mut cfg = SystemConfig::table3(8.0, policy::noref())
         .with_geometry(channels, ranks)
-        .with_insts(scale.insts, scale.warmup);
+        .with_insts(scale.insts, scale.warmup)
+        .with_workload(handle.clone());
     cfg.cores = 1;
-    let mix = Mix {
-        id: 0,
-        benchmarks: vec![bench],
-    };
-    System::new(cfg, &mix).run().ipc[0]
+    System::new(cfg).run().ipc[0]
 }
 
-/// IPC of `bench` running alone on an ideal (no-refresh, no-PARA) system of
-/// the given geometry — the denominator of weighted speedup. Memoized; the
-/// value is a pure function of its arguments, so concurrent computation of
-/// the same key is merely redundant, never divergent.
-pub fn alone_ipc(bench: &'static Benchmark, channels: usize, ranks: usize, scale: Scale) -> f64 {
-    let key = alone_key(bench, channels, ranks, scale);
+/// IPC of the workload instance `name` running alone on an ideal
+/// (no-refresh, no-PARA) system of the given geometry — the denominator of
+/// weighted speedup. Memoized; the value is a pure function of its
+/// arguments, so concurrent computation of the same key is merely
+/// redundant, never divergent.
+///
+/// # Panics
+///
+/// Panics when `name` does not resolve against the standard workload
+/// registry: weighted-speedup sweeps require registry-resolvable instance
+/// names (custom unregistered workloads can still be simulated directly,
+/// just not normalized by [`run_ws`]).
+pub fn alone_ipc(name: &str, channels: usize, ranks: usize, scale: Scale) -> f64 {
+    let key = alone_key(name, channels, ranks, scale);
     if let Some(v) = cached_alone_ipc(&key) {
         return v;
     }
-    let ipc = compute_alone_ipc(bench, channels, ranks, scale);
+    let ipc = compute_alone_ipc(&hira_workload::workload(name), channels, ranks, scale);
     store_alone_ipc(key, ipc);
     ipc
 }
 
 /// Pre-computes every alone-IPC value a weighted-speedup sweep will need —
-/// one engine task per distinct `(benchmark, geometry)` pair — so the main
-/// sweep's tasks only ever hit the cache.
-fn warm_alone_cache(ex: &Executor, sweep: &Sweep<SystemConfig>, suite: &[Mix], scale: Scale) {
-    let geoms: BTreeSet<(usize, usize)> = sweep
-        .points()
-        .iter()
-        .map(|(_, c)| (c.channels, c.ranks))
-        .collect();
-    let mut benches: Vec<&'static Benchmark> = Vec::new();
-    for mix in suite {
-        for b in &mix.benchmarks {
-            if !benches.iter().any(|have| have.name == b.name) {
-                benches.push(b);
-            }
-        }
-    }
+/// one engine task per distinct `(instance name, geometry)` pair — so the
+/// main sweep's tasks only ever hit the cache. Instance names come from
+/// each point's workload handle (building an instance is cheap and does
+/// not simulate).
+fn warm_alone_cache(ex: &Executor, sweep: &Sweep<SystemConfig>, scale: Scale) {
     let mut points = Vec::new();
-    for &(ch, rk) in &geoms {
-        for &b in &benches {
-            if cached_alone_ipc(&alone_key(b, ch, rk, scale)).is_none() {
-                let key = ScenarioKey::root()
-                    .with("bench", b.name)
-                    .with("ch", ch.to_string())
-                    .with("rk", rk.to_string());
-                points.push((key, (b, ch, rk)));
+    let mut seen: Vec<AloneKey> = Vec::new();
+    for (_, cfg) in sweep.points() {
+        for name in cfg.workload.instance_names(cfg.cores, cfg.seed) {
+            let key = alone_key(&name, cfg.channels, cfg.ranks, scale);
+            if cached_alone_ipc(&key).is_some() || seen.contains(&key) {
+                continue;
             }
+            seen.push(key);
+            let sc_key = ScenarioKey::root()
+                .with("wl", &name)
+                .with("ch", cfg.channels.to_string())
+                .with("rk", cfg.ranks.to_string());
+            points.push((sc_key, (name, cfg.channels, cfg.ranks)));
         }
     }
     let warm = Sweep::from_points("alone_ipc", sweep.base_seed(), points);
     let ipcs = ex.map(&warm, |sc| {
-        let &(b, ch, rk) = sc.params;
-        compute_alone_ipc(b, ch, rk, scale)
+        let (name, ch, rk) = sc.params;
+        compute_alone_ipc(&hira_workload::workload(name), *ch, *rk, scale)
     });
-    for ((_, (b, ch, rk)), ipc) in warm.points().iter().zip(ipcs) {
-        store_alone_ipc(alone_key(b, *ch, *rk, scale), ipc);
+    for ((_, (name, ch, rk)), ipc) in warm.points().iter().zip(ipcs) {
+        store_alone_ipc(alone_key(name, *ch, *rk, scale), ipc);
     }
-}
-
-/// One executed point of a weighted-speedup sweep: a system configuration
-/// paired with the mix it runs.
-#[derive(Debug, Clone)]
-struct WsPoint {
-    cfg: SystemConfig,
-    mix: Mix,
 }
 
 /// A weighted-speedup table: the raw per-mix [`RunSet`] plus the per-config
@@ -213,55 +198,74 @@ impl WsTable {
     }
 }
 
-/// Runs a sweep of system configurations over the mix suite and returns the
-/// mean weighted speedup per configuration.
+/// Runs a sweep of system configurations over the standard mix suite and
+/// returns the mean weighted speedup per configuration.
 ///
 /// The sweep is expanded with a `mix` axis (cartesian: every configuration ×
-/// every mix), every resulting point is simulated by the engine executor,
-/// and the `mix` axis is then averaged away. All parallelism — including the
-/// alone-IPC warm-up — goes through the engine; results are bit-identical
-/// for any `HIRA_THREADS`.
+/// every mix handle `mix0..mixN`), every resulting point is simulated by
+/// the engine executor, and the `mix` axis is then averaged away. All
+/// parallelism — including the alone-IPC warm-up — goes through the engine;
+/// results are bit-identical for any `HIRA_THREADS`.
 ///
 /// # Panics
 ///
-/// Panics if `sweep` is empty or its configurations disagree on core count.
+/// Panics if `sweep` is empty.
 pub fn run_ws(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTable {
-    assert!(!sweep.is_empty(), "weighted-speedup sweep has no points");
     assert!(
         scale.mixes >= 1,
         "HIRA_MIXES must be >= 1 (a data point needs at least one mix)"
     );
-    let cores = sweep.points()[0].1.cores;
-    assert!(
-        sweep.points().iter().all(|(_, c)| c.cores == cores),
-        "all configurations of one sweep must share a core count"
-    );
-    let suite = mixes(scale.mixes, cores, 0xA11CE);
-    warm_alone_cache(ex, &sweep, &suite, scale);
-
     let full = sweep.expand("mix", |_, cfg| {
-        suite
-            .iter()
-            .map(|m| {
-                let point = WsPoint {
-                    cfg: cfg.clone().with_insts(scale.insts, scale.warmup),
-                    mix: m.clone(),
-                };
-                (m.id.to_string(), point)
+        (0..scale.mixes)
+            .map(|id| {
+                let cfg = cfg
+                    .clone()
+                    .with_insts(scale.insts, scale.warmup)
+                    .with_workload(mix(id));
+                (id.to_string(), cfg)
             })
             .collect()
     });
+    run_ws_points(ex, full, "mix", scale)
+}
+
+/// Runs a sweep of system configurations **as configured**: every point
+/// keeps its own workload handle (a `--workload=` axis, a trace replay, a
+/// custom generator) instead of being crossed with the mix suite. The
+/// `workload_matrix` binary's path.
+///
+/// # Panics
+///
+/// Panics if `sweep` is empty, or if a point's workload yields instance
+/// names the standard registry cannot resolve (see [`alone_ipc`]).
+pub fn run_ws_as_configured(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTable {
+    let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
+    run_ws_points(ex, full, "mix", scale)
+}
+
+/// Shared runner: simulates every point, normalizes each core by its
+/// workload's alone-IPC, and collapses `mean_axis` (collapsing an absent
+/// axis is the identity grouping, so per-point tables fall out of the same
+/// path).
+fn run_ws_points(
+    ex: &Executor,
+    full: Sweep<SystemConfig>,
+    mean_axis: &str,
+    scale: Scale,
+) -> WsTable {
+    assert!(!full.is_empty(), "weighted-speedup sweep has no points");
+    warm_alone_cache(ex, &full, scale);
     let run = ex.run(&full, |sc| {
-        let WsPoint { cfg, mix } = sc.params;
-        let r = System::new(cfg.clone(), mix).run();
-        let alone: Vec<f64> = mix
-            .benchmarks
+        let cfg = sc.params;
+        let r = System::new(cfg.clone()).run();
+        let alone: Vec<f64> = r
+            .workloads
             .iter()
-            .map(|b| alone_ipc(b, cfg.channels, cfg.ranks, scale))
+            .map(|name| alone_ipc(name, cfg.channels, cfg.ranks, scale))
             .collect();
         vec![metric("ws", r.weighted_speedup(&alone))]
     });
-    let means = run.mean_over("mix", "ws");
+    let means = run.mean_over(mean_axis, "ws");
     WsTable { run, means }
 }
 
@@ -325,20 +329,57 @@ pub fn preventive_schemes_geometry(nrh: u32) -> Vec<(&'static str, PolicyHandle)
         .collect()
 }
 
-/// The policy axis of a sweep, from `--policy=` CLI arguments: every
-/// `--policy=name[,name...]` argument adds registry lookups (label =
-/// registry key), and with no such argument every policy in the standard
-/// registry is swept. This is how bench binaries select refresh policies —
-/// an open, string-keyed axis instead of enum plumbing.
-///
-/// # Panics
-///
-/// Panics (with the registered names) when an argument names an unknown
-/// policy.
-pub fn policy_axis_from_args() -> Vec<(String, PolicyHandle)> {
-    let registry = PolicyRegistry::standard();
-    let selected: Vec<String> = std::env::args()
-        .filter_map(|a| a.strip_prefix("--policy=").map(str::to_owned))
+/// Prints every registered refresh policy with its one-line summary (the
+/// `--list` output of [`policy_axis_from_args`]).
+pub fn print_policy_list() {
+    println!("registered refresh policies (--policy=<name>):");
+    for h in PolicyRegistry::standard().handles() {
+        println!("  {:<12} {}", h.name(), h.summary());
+    }
+    println!(
+        "  {:<12} (dynamic) any slack point: tRefSlack = N*tRC",
+        "hira<N>"
+    );
+}
+
+/// Prints every registered workload with its family and one-line summary
+/// (the `--list` output of [`workload_axis_from_args`]).
+pub fn print_workload_list() {
+    println!("registered workloads (--workload=<name>):");
+    for h in WorkloadRegistry::standard().handles() {
+        println!("  {:<12} [{}] {}", h.name(), h.family(), h.summary());
+    }
+    for (form, what) in [
+        (
+            "mix<N>",
+            "multiprogrammed roster mix N of the standard suite",
+        ),
+        ("zipf<N>", "zipfian generator with theta = N/100"),
+        (
+            "rw<N>",
+            "uniform-random generator with N% stores (N <= 100)",
+        ),
+        (
+            "open<N>",
+            "open-loop generator at N accesses per kinst (N >= 1)",
+        ),
+        ("trace:<path>", "replay of the .trace file at <path>"),
+    ] {
+        println!("  {form:<12} (dynamic) {what}");
+    }
+}
+
+/// True when `--list` was passed: the caller's axis helper prints its
+/// registry and exits.
+fn list_requested() -> bool {
+    std::env::args().any(|a| a == "--list")
+}
+
+/// Collects the comma-separated values of every `--<flag>=` argument.
+fn axis_args(flag: &str) -> Vec<String> {
+    let prefix = format!("--{flag}=");
+    std::env::args()
+        .filter_map(|a| a.strip_prefix(&prefix).map(str::to_owned))
         .flat_map(|list| {
             list.split(',')
                 .map(str::trim)
@@ -346,7 +387,27 @@ pub fn policy_axis_from_args() -> Vec<(String, PolicyHandle)> {
                 .map(str::to_owned)
                 .collect::<Vec<_>>()
         })
-        .collect();
+        .collect()
+}
+
+/// The policy axis of a sweep, from `--policy=` CLI arguments: every
+/// `--policy=name[,name...]` argument adds registry lookups (label =
+/// registry key), and with no such argument every policy in the standard
+/// registry is swept. This is how bench binaries select refresh policies —
+/// an open, string-keyed axis instead of enum plumbing. With `--list`,
+/// prints every registered policy (name + profile one-liner) and exits.
+///
+/// # Panics
+///
+/// Panics (with the registered names) when an argument names an unknown
+/// policy.
+pub fn policy_axis_from_args() -> Vec<(String, PolicyHandle)> {
+    if list_requested() {
+        print_policy_list();
+        std::process::exit(0);
+    }
+    let registry = PolicyRegistry::standard();
+    let selected = axis_args("policy");
     if selected.is_empty() {
         return registry
             .handles()
@@ -365,6 +426,48 @@ pub fn policy_axis_from_args() -> Vec<(String, PolicyHandle)> {
             (name, handle)
         })
         .collect()
+}
+
+/// The workload axis of a sweep, from `--workload=` CLI arguments, with
+/// `defaults` (registry names) when no argument selects one. With
+/// `--list`, prints every registered workload (name, family, profile
+/// one-liner, plus the dynamic forms) and exits.
+///
+/// # Panics
+///
+/// Panics (with the registered names) when an argument — or a default —
+/// names an unknown workload.
+pub fn workload_axis_from_args_or(defaults: &[&str]) -> Vec<(String, WorkloadHandle)> {
+    if list_requested() {
+        print_workload_list();
+        std::process::exit(0);
+    }
+    let mut selected = axis_args("workload");
+    if selected.is_empty() {
+        selected = defaults.iter().map(|s| (*s).to_owned()).collect();
+    }
+    selected
+        .into_iter()
+        .map(|name| {
+            let handle = hira_workload::workload(&name);
+            (name, handle)
+        })
+        .collect()
+}
+
+/// [`workload_axis_from_args_or`] defaulting to the full standard registry.
+pub fn workload_axis_from_args() -> Vec<(String, WorkloadHandle)> {
+    if list_requested() {
+        print_workload_list();
+        std::process::exit(0);
+    }
+    if axis_args("workload").is_empty() {
+        return WorkloadRegistry::standard()
+            .handles()
+            .map(|h| (h.name().to_owned(), h.clone()))
+            .collect();
+    }
+    workload_axis_from_args_or(&[])
 }
 
 /// `p_th` for a RowHammer threshold under the §9.1 analysis, with the slack

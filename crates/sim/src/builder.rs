@@ -25,6 +25,7 @@
 use crate::config::SystemConfig;
 use crate::policy::{baseline, PolicyHandle};
 use hira_dram::timing::{trfc_for_capacity, TimingParams};
+use hira_workload::WorkloadHandle;
 use std::fmt;
 
 /// A validation failure from [`SystemBuilder::build`].
@@ -90,6 +91,12 @@ pub enum BuildError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A [`SystemBuilder::workload_name`] lookup did not resolve against
+    /// the standard workload registry.
+    UnknownWorkload {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -124,6 +131,11 @@ impl fmt::Display for BuildError {
                 f,
                 "no refresh policy named `{name}` in the standard registry"
             ),
+            BuildError::UnknownWorkload { name } => write!(
+                f,
+                "no workload named `{name}` in the standard registry \
+                 (nor a resolvable mix<N>/zipf<N>/rw<N>/open<N>/trace:<path> form)"
+            ),
         }
     }
 }
@@ -145,6 +157,10 @@ pub struct SystemBuilder {
     /// A pending by-name policy selection, resolved (and validated) at
     /// [`SystemBuilder::build`]; overrides `refresh` when set.
     refresh_by_name: Option<String>,
+    workload: WorkloadHandle,
+    /// A pending by-name workload selection, resolved at
+    /// [`SystemBuilder::build`]; overrides `workload` when set.
+    workload_by_name: Option<String>,
     para: Option<ParaLayer>,
     llc_bytes: usize,
     llc_ways: usize,
@@ -183,6 +199,8 @@ impl SystemBuilder {
             timing: None,
             refresh: baseline(),
             refresh_by_name: None,
+            workload: hira_workload::mix(0),
+            workload_by_name: None,
             para: None,
             llc_bytes: 8 << 20,
             llc_ways: 8,
@@ -247,6 +265,24 @@ impl SystemBuilder {
     /// [`crate::policy::policy`].
     pub fn policy_name(mut self, name: &str) -> Self {
         self.refresh_by_name = Some(name.to_owned());
+        self
+    }
+
+    /// The demand workload frontend.
+    pub fn workload(mut self, workload: WorkloadHandle) -> Self {
+        self.workload = workload;
+        self.workload_by_name = None;
+        self
+    }
+
+    /// Selects the workload by standard-registry name (`--workload=`
+    /// axes), including the dynamic `mix<N>`/`zipf<N>`/`rw<N>`/`open<N>`/
+    /// `trace:<path>` forms. The lookup happens in
+    /// [`SystemBuilder::build`], so an unknown name surfaces as
+    /// [`BuildError::UnknownWorkload`]; the panicking shortcut for CLI use
+    /// is [`hira_workload::workload`].
+    pub fn workload_name(mut self, name: &str) -> Self {
+        self.workload_by_name = Some(name.to_owned());
         self
     }
 
@@ -368,6 +404,12 @@ impl SystemBuilder {
                 .lookup(&name)
                 .ok_or(BuildError::UnknownPolicy { name })?,
         };
+        let workload = match self.workload_by_name {
+            None => self.workload,
+            Some(name) => hira_workload::WorkloadRegistry::standard()
+                .lookup(&name)
+                .ok_or(BuildError::UnknownWorkload { name })?,
+        };
         let refresh = match self.para {
             None => refresh,
             Some(ParaLayer {
@@ -388,6 +430,7 @@ impl SystemBuilder {
             chip_gbit: self.chip_gbit,
             timing,
             refresh,
+            workload,
             llc_bytes: self.llc_bytes,
             llc_ways: self.llc_ways,
             queue_depth: self.queue_depth,
@@ -462,6 +505,35 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.refresh.name(), "hira4+para@hira4(p=0.5000)");
+    }
+
+    #[test]
+    fn workload_name_resolves_through_the_registry() {
+        let cfg = SystemBuilder::new()
+            .workload_name("zipf80")
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workload.name(), "zipf80");
+        // Dynamic parameterized forms resolve too.
+        let cfg = SystemBuilder::new().workload_name("mix7").build().unwrap();
+        assert_eq!(cfg.workload.name(), "mix7");
+        let err = SystemBuilder::new()
+            .workload_name("nope")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnknownWorkload {
+                name: "nope".into()
+            }
+        );
+        // A later explicit workload() overrides a pending name.
+        let cfg = SystemBuilder::new()
+            .workload_name("nope")
+            .workload(hira_workload::stream())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workload.name(), "stream");
     }
 
     #[test]

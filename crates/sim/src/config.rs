@@ -6,10 +6,17 @@
 //! same configuration. Preventive (PARA) layers are part of the handle,
 //! composed with [`PolicyHandle::with_para_immediate`] /
 //! [`PolicyHandle::with_para_hira`].
+//!
+//! Demand traffic is equally open: `workload` is a
+//! [`hira_workload::WorkloadHandle`] resolved from the
+//! [`hira_workload::WorkloadRegistry`] — the SPEC-like roster mixes, any
+//! parametric generator, or a `.trace` replay all slot into the same
+//! field. The default is the standard suite's `mix0`.
 
 use crate::builder::SystemBuilder;
 use crate::policy::PolicyHandle;
 use hira_dram::timing::TimingParams;
+use hira_workload::WorkloadHandle;
 
 /// Full system configuration. Hand-assembly is possible (all fields are
 /// public) but [`SystemBuilder`] is the supported construction path — it
@@ -32,6 +39,9 @@ pub struct SystemConfig {
     pub timing: TimingParams,
     /// Periodic refresh policy (plus any composed preventive layer).
     pub refresh: PolicyHandle,
+    /// Demand-traffic frontend: one per-core instance is built from this
+    /// handle (see [`hira_workload::Workload`]).
+    pub workload: WorkloadHandle,
     /// LLC capacity in bytes (Table 3: 8 MB).
     pub llc_bytes: usize,
     /// LLC associativity.
@@ -70,6 +80,12 @@ impl SystemConfig {
     /// Replaces the refresh policy.
     pub fn with_policy(mut self, refresh: PolicyHandle) -> Self {
         self.refresh = refresh;
+        self
+    }
+
+    /// Replaces the demand workload.
+    pub fn with_workload(mut self, workload: WorkloadHandle) -> Self {
+        self.workload = workload;
         self
     }
 
@@ -141,5 +157,14 @@ mod tests {
         let b = SystemConfig::table3(8.0, baseline());
         assert_eq!(a, b);
         assert_ne!(a, SystemConfig::table3(8.0, noref()));
+    }
+
+    #[test]
+    fn configs_compare_by_workload_identity() {
+        let a = SystemConfig::table3(8.0, baseline());
+        assert_eq!(a.workload.name(), "mix0");
+        let b = a.clone().with_workload(hira_workload::stream());
+        assert_ne!(a, b);
+        assert_eq!(b.workload.name(), "stream");
     }
 }

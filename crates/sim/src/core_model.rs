@@ -7,7 +7,7 @@
 //! instructions complete immediately; loads complete when the cache/memory
 //! hierarchy answers; stores retire through a write buffer without waiting.
 
-use crate::workloads::{Op, TraceGen};
+use hira_workload::{Op, Workload};
 use std::collections::{HashSet, VecDeque};
 
 /// Issue/retire width.
@@ -35,7 +35,7 @@ pub enum CoreRequest {
 pub struct Core {
     /// Core index.
     pub id: usize,
-    gen: TraceGen,
+    wl: Box<dyn Workload>,
     window: VecDeque<Slot>,
     next_id: u64,
     completed: HashSet<u64>,
@@ -52,11 +52,11 @@ pub struct Core {
 }
 
 impl Core {
-    /// Builds a core replaying `gen`.
-    pub fn new(id: usize, gen: TraceGen) -> Self {
+    /// Builds a core driven by the workload frontend `wl`.
+    pub fn new(id: usize, wl: Box<dyn Workload>) -> Self {
         Core {
             id,
-            gen,
+            wl,
             window: VecDeque::with_capacity(WINDOW),
             next_id: 0,
             completed: HashSet::new(),
@@ -68,9 +68,22 @@ impl Core {
         }
     }
 
-    /// The benchmark this core runs.
-    pub fn benchmark_name(&self) -> &'static str {
-        self.gen.benchmark().name
+    /// The per-core workload instance name (for a multiprogrammed mix,
+    /// the member benchmark this core runs).
+    pub fn workload_name(&self) -> &str {
+        self.wl.name()
+    }
+
+    /// Forwards the region-of-interest start to the workload frontend
+    /// (called by the system when this core finishes warmup).
+    pub fn begin_roi(&mut self) {
+        self.wl.on_roi_begin();
+    }
+
+    /// Forwards the region-of-interest end to the workload frontend
+    /// (called by the system when this core retires its budget).
+    pub fn end_roi(&mut self) {
+        self.wl.on_roi_end();
     }
 
     /// Marks a load entry complete (memory response).
@@ -129,7 +142,7 @@ impl Core {
             }
             let op = match self.stalled_op.take() {
                 Some(op) => op,
-                None => self.gen.next_op(),
+                None => self.wl.next_access(),
             };
             match op {
                 Op::Compute(n) => {
@@ -185,10 +198,15 @@ impl Core {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workloads::{benchmark, TraceGen};
+    use hira_workload::{spec, WorkloadEnv};
 
     fn core(name: &str) -> Core {
-        Core::new(0, TraceGen::new(benchmark(name).unwrap(), 0, 1))
+        let env = WorkloadEnv {
+            core: 0,
+            cores: 1,
+            seed: 1,
+        };
+        Core::new(0, spec(name).build(&env))
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! # hira-sim — cycle-level system simulation (paper §7-§10)
 //!
-//! A from-scratch Ramulator-style simulator: trace-driven out-of-order cores
-//! (4-wide, 128-entry instruction window), a shared 8 MB LLC, and a detailed
-//! DDR4 memory system (FR-FCFS scheduling, open-row policy, MOP address
-//! mapping, per-bank/rank/channel timing including `tFAW`, command-bus and
-//! data-bus contention, and `tRFC`-scaled rank-level refresh).
+//! A from-scratch Ramulator-style simulator: workload-driven out-of-order
+//! cores (4-wide, 128-entry instruction window), a shared 8 MB LLC, and a
+//! detailed DDR4 memory system (FR-FCFS scheduling, open-row policy, MOP
+//! address mapping, per-bank/rank/channel timing including `tFAW`,
+//! command-bus and data-bus contention, and `tRFC`-scaled rank-level
+//! refresh).
+//!
+//! Demand traffic comes from the **open workload frontend**
+//! ([`hira_workload`]): `SystemConfig.workload` is a
+//! [`hira_workload::WorkloadHandle`], and each core runs its own
+//! [`hira_workload::Workload`] instance — the SPEC-like roster mixes,
+//! parametric generators, or `.trace` replays, all selected by registry
+//! name.
 //!
 //! Refresh arrangements are **open**: any type implementing
 //! [`policy::RefreshPolicy`] plugs into the controller, and the standard
@@ -44,11 +52,10 @@ pub mod policy;
 pub mod refresh;
 pub mod request;
 pub mod system;
-pub mod workloads;
 
 pub use builder::{BuildError, SystemBuilder};
 pub use config::SystemConfig;
+pub use hira_workload::{Workload, WorkloadHandle, WorkloadRegistry};
 pub use metrics::SimResult;
 pub use policy::{PolicyHandle, PolicyRegistry, RefreshPolicy};
 pub use system::System;
-pub use workloads::{Benchmark, Mix};

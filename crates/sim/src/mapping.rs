@@ -40,14 +40,22 @@ pub fn decode(cfg: &SystemConfig, addr: u64) -> Decoded {
     x /= 128 / MOP_WIDTH;
     let row = (x % u64::from(cfg.rows_per_bank())) as u32;
 
-    Decoded {
+    let decoded = Decoded {
         channel,
         rank,
         bank: bank_group * banks_per_group + bank_in_group,
         bank_group,
         row: RowId(row),
         col: (col_high * MOP_WIDTH + mop) as u16,
-    }
+    };
+    // The flat-bank / bank-group invariant documented on `Decoded`: the
+    // redundant group field must always agree with the flat index.
+    debug_assert_eq!(
+        decoded.bank_group,
+        decoded.bank / banks_per_group,
+        "decode broke the flat-bank/bank-group invariant at addr {addr:#x}"
+    );
+    decoded
 }
 
 #[cfg(test)]
@@ -101,6 +109,27 @@ mod tests {
             assert!(d.col < 128);
             let banks_per_group = c.banks / c.bank_groups;
             assert_eq!(d.bank / banks_per_group, d.bank_group);
+        }
+    }
+
+    #[test]
+    fn decode_round_trip_upholds_the_flat_bank_invariant() {
+        // The invariant documented on `Decoded`: bank_group is redundant
+        // with the flat bank index, for every geometry we sweep.
+        for (banks, groups) in [(16u16, 4u16), (8, 2), (8, 4), (4, 1)] {
+            let mut c = cfg();
+            c.banks = banks;
+            c.bank_groups = groups;
+            let per_group = banks / groups;
+            for i in 0..4_096u64 {
+                let d = decode(&c, i * 64 * 131);
+                assert_eq!(
+                    d.bank_group,
+                    d.bank / per_group,
+                    "banks={banks} groups={groups} addr={i}"
+                );
+                assert!(d.bank < banks);
+            }
         }
     }
 

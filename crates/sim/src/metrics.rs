@@ -9,8 +9,10 @@ use hira_core::finder::McStats;
 pub struct SimResult {
     /// Per-core IPC over the measurement region.
     pub ipc: Vec<f64>,
-    /// Benchmark names per core.
-    pub benchmarks: Vec<&'static str>,
+    /// Per-core workload instance names (for a multiprogrammed mix, the
+    /// member benchmark each core ran) — the keys weighted-speedup
+    /// denominators resolve by.
+    pub workloads: Vec<String>,
     /// CPU cycles simulated (to the last core's finish line).
     pub cycles: u64,
     /// Aggregated channel statistics.
@@ -74,7 +76,7 @@ mod tests {
 
     fn result(ipc: Vec<f64>) -> SimResult {
         SimResult {
-            benchmarks: vec!["x"; ipc.len()],
+            workloads: vec!["x".to_owned(); ipc.len()],
             ipc,
             cycles: 1000,
             channel_stats: vec![ChannelStats::default()],

@@ -61,6 +61,7 @@ impl RefreshPolicy for AllBankRef {
 /// Handle for the registry key `baseline`.
 pub fn baseline() -> PolicyHandle {
     PolicyHandle::new("baseline", |env| Box::new(AllBankRef::new(env)))
+        .with_summary("all-bank REF every tREFI, rank blocked for tRFC")
 }
 
 #[cfg(test)]

@@ -164,7 +164,9 @@ impl RefreshPolicy for HiraPolicy {
 
 /// Handle for the registry keys `hira<N>` (HiRA-N: `tRefSlack = N·tRC`).
 pub fn hira(n: u32) -> PolicyHandle {
-    hira_custom(format!("hira{n}"), HiraConfig::hira_n(n))
+    hira_custom(format!("hira{n}"), HiraConfig::hira_n(n)).with_summary(format!(
+        "per-row refresh through HiRA-MC, tRefSlack = {n}*tRC"
+    ))
 }
 
 /// Handle for an explicitly-configured HiRA-MC (ablations, custom `t1/t2`).

@@ -407,6 +407,7 @@ pub type PolicyFactory = dyn Fn(&PolicyEnv) -> Box<dyn RefreshPolicy> + Send + S
 #[derive(Clone)]
 pub struct PolicyHandle {
     name: Arc<str>,
+    summary: Arc<str>,
     factory: Arc<PolicyFactory>,
 }
 
@@ -420,13 +421,26 @@ impl PolicyHandle {
     ) -> Self {
         PolicyHandle {
             name: Arc::from(name.into()),
+            summary: Arc::from(""),
             factory: Arc::new(factory),
         }
+    }
+
+    /// Attaches a one-line description (registry `--list` output). Not
+    /// part of the identity: equality stays by name.
+    pub fn with_summary(mut self, summary: impl Into<String>) -> Self {
+        self.summary = Arc::from(summary.into());
+        self
     }
 
     /// The policy's registry name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// One-line description (empty when the registrant set none).
+    pub fn summary(&self) -> &str {
+        &self.summary
     }
 
     /// Builds one per-rank instance.
@@ -440,9 +454,11 @@ impl PolicyHandle {
     /// standalone singles on the very next tick.
     pub fn with_para_immediate(self, pth: f64) -> PolicyHandle {
         let name = preventive::immediate_name(&self.name, pth);
+        let summary = format!("{} + immediate PARA (p_th = {pth:.4})", self.name);
         PolicyHandle::new(name, move |env| {
             Box::new(ImmediatePara::new(self.build(env), pth, env))
         })
+        .with_summary(summary)
     }
 
     /// Layers HiRA-queued PARA preventive refreshes onto this policy:
@@ -452,6 +468,10 @@ impl PolicyHandle {
     /// ([`RefreshPolicy::attach_para`]); anything else is wrapped.
     pub fn with_para_hira(self, pth: f64, slack_acts: u32) -> PolicyHandle {
         let name = preventive::queued_name(&self.name, pth, slack_acts);
+        let summary = format!(
+            "{} + HiRA-{slack_acts}-queued PARA (p_th = {pth:.4})",
+            self.name
+        );
         PolicyHandle::new(name, move |env| {
             let mut inner = self.build(env);
             if inner.attach_para(pth, slack_acts) {
@@ -460,6 +480,7 @@ impl PolicyHandle {
                 Box::new(QueuedPara::new(inner, pth, slack_acts, env))
             }
         })
+        .with_summary(summary)
     }
 }
 

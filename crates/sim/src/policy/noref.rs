@@ -33,6 +33,7 @@ impl RefreshPolicy for NoRefresh {
 /// Handle for the registry key `noref`.
 pub fn noref() -> PolicyHandle {
     PolicyHandle::new("noref", |_env| Box::new(NoRefresh))
+        .with_summary("no periodic refresh — the Fig. 9a ideal upper bound")
 }
 
 #[cfg(test)]

@@ -83,6 +83,7 @@ impl RefreshPolicy for PerBankRef {
 /// Handle for the registry key `refpb`.
 pub fn refpb() -> PolicyHandle {
     PolicyHandle::new("refpb", |env| Box::new(PerBankRef::new(env)))
+        .with_summary("staggered per-bank REFpb, one bank blocked tRFCpb = tRFC/2")
 }
 
 #[cfg(test)]

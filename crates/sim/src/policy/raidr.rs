@@ -166,6 +166,7 @@ impl RefreshPolicy for RaidrBinned {
 /// Handle for the registry key `raidr`.
 pub fn raidr() -> PolicyHandle {
     PolicyHandle::new("raidr", |env| Box::new(RaidrBinned::new(env)))
+        .with_summary("RAIDR-style retention-binned per-row refresh")
 }
 
 #[cfg(test)]

@@ -3,15 +3,27 @@
 use hira_dram::addr::RowId;
 
 /// A physical cache-line address decoded into DRAM coordinates.
+///
+/// ## The flat-bank / bank-group invariant
+///
+/// `bank` is the **flat** bank index within the rank (`0..banks`), laid
+/// out group-major: `bank = bank_group * banks_per_group + bank_in_group`,
+/// where `banks_per_group = banks / bank_groups`. `bank_group` is therefore
+/// fully redundant with `bank` — it is carried separately only so
+/// `tCCD_S`/`tRRD_S` same-group checks need no division on the scheduling
+/// hot path. Every producer must uphold
+/// `bank_group == bank / banks_per_group`; [`crate::mapping::decode`]
+/// asserts it (debug builds) and the mapping round-trip test enforces it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Decoded {
     /// Channel index.
     pub channel: usize,
     /// Rank within the channel.
     pub rank: usize,
-    /// Bank within the rank (flat across bank groups).
+    /// Flat bank index within the rank (group-major; see the invariant
+    /// above).
     pub bank: u16,
-    /// Bank group of `bank`.
+    /// Bank group of `bank` — always `bank / (banks / bank_groups)`.
     pub bank_group: u16,
     /// Row within the bank.
     pub row: RowId,

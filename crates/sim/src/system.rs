@@ -8,7 +8,7 @@ use crate::llc::{Access, Llc, Waiter};
 use crate::mapping::decode;
 use crate::metrics::SimResult;
 use crate::request::MemRequest;
-use crate::workloads::{Mix, TraceGen};
+use hira_workload::WorkloadEnv;
 use std::collections::HashMap;
 
 /// A fully-assembled simulated system.
@@ -26,22 +26,19 @@ pub struct System {
 }
 
 impl System {
-    /// Builds a system running `mix` (one benchmark per core).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the mix does not provide one benchmark per configured core.
-    pub fn new(cfg: SystemConfig, mix: &Mix) -> Self {
-        assert_eq!(
-            mix.benchmarks.len(),
-            cfg.cores,
-            "mix size must match core count"
-        );
-        let cores = mix
-            .benchmarks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| Core::new(i, TraceGen::new(b, i, cfg.seed)))
+    /// Builds a system whose demand traffic comes from `cfg.workload`: one
+    /// frontend instance per core, built from a per-core [`WorkloadEnv`]
+    /// (core index, core count, configuration seed).
+    pub fn new(cfg: SystemConfig) -> Self {
+        let cores = (0..cfg.cores)
+            .map(|i| {
+                let env = WorkloadEnv {
+                    core: i,
+                    cores: cfg.cores,
+                    seed: cfg.seed,
+                };
+                Core::new(i, cfg.workload.build(&env))
+            })
             .collect();
         let llc = Llc::new(cfg.llc_bytes, cfg.llc_ways);
         let channels = (0..cfg.channels).map(|c| Channel::new(&cfg, c)).collect();
@@ -66,12 +63,18 @@ impl System {
         let cap = target * 120 + 4_000_000;
 
         let mut warm_cycle = vec![None::<u64>; self.cores.len()];
+        let mut roi_ended = vec![false; self.cores.len()];
         let mut cycle = 0u64;
         loop {
             self.tick_cpu(cycle, target);
-            for (i, c) in self.cores.iter().enumerate() {
+            for (i, c) in self.cores.iter_mut().enumerate() {
                 if warm_cycle[i].is_none() && c.retired >= warmup {
                     warm_cycle[i] = Some(cycle);
+                    c.begin_roi();
+                }
+                if !roi_ended[i] && c.finished_at.is_some() {
+                    roi_ended[i] = true;
+                    c.end_roi();
                 }
             }
             // Memory clock: 3 ticks per 8 CPU cycles.
@@ -100,7 +103,11 @@ impl System {
             .collect();
         SimResult {
             ipc,
-            benchmarks: self.cores.iter().map(Core::benchmark_name).collect(),
+            workloads: self
+                .cores
+                .iter()
+                .map(|c| c.workload_name().to_owned())
+                .collect(),
             cycles: cycle,
             channel_stats: self.channels.iter().map(Channel::stats).collect(),
             mc_stats: self.channels.iter().flat_map(Channel::mc_stats).collect(),
@@ -201,7 +208,13 @@ mod tests {
     use super::*;
     use crate::config::SystemConfig;
     use crate::policy::{self, PolicyHandle};
-    use crate::workloads::mixes;
+    use hira_workload::{mix_with_seed, random, stream, WorkloadHandle};
+
+    /// The legacy `mixes(1, 8, seed)[0]` workloads, bit-identical through
+    /// the handle frontend.
+    fn legacy_mix(seed: u64) -> WorkloadHandle {
+        mix_with_seed(0, seed)
+    }
 
     fn tiny(refresh: PolicyHandle) -> SystemConfig {
         SystemConfig::table3(8.0, refresh).with_insts(4_000, 500)
@@ -209,8 +222,8 @@ mod tests {
 
     #[test]
     fn a_mix_runs_to_completion_and_reports_ipc() {
-        let mix = &mixes(1, 8, 3)[0];
-        let r = System::new(tiny(policy::noref()), mix).run();
+        let cfg = tiny(policy::noref()).with_workload(legacy_mix(3));
+        let r = System::new(cfg).run();
         assert_eq!(r.ipc.len(), 8);
         assert!(
             r.ipc.iter().all(|&x| x > 0.0 && x <= 4.0),
@@ -218,20 +231,29 @@ mod tests {
             r.ipc
         );
         assert!(r.total_reads() > 0);
+        // Per-core workload names are the mix members.
+        assert_eq!(r.workloads.len(), 8);
+        assert!(r
+            .workloads
+            .iter()
+            .all(|n| hira_workload::benchmark(n).is_some()));
     }
 
     #[test]
     fn refresh_overhead_orders_the_schemes() {
         // NoRefresh ≥ HiRA ≥ Baseline in weighted speedup at high capacity.
-        let mix = &mixes(1, 8, 9)[0];
         let capacity = 64.0;
-        let mk = |r| SystemConfig::table3(capacity, r).with_insts(4_000, 500);
-        let ideal = System::new(mk(policy::noref()), mix).run();
+        let mk = |r| {
+            SystemConfig::table3(capacity, r)
+                .with_insts(4_000, 500)
+                .with_workload(legacy_mix(9))
+        };
+        let ideal = System::new(mk(policy::noref())).run();
         let alone: Vec<f64> = vec![1.0; 8]; // common weights: ratios only
         let ws_ideal = ideal.weighted_speedup(&alone);
-        let base = System::new(mk(policy::baseline()), mix).run();
+        let base = System::new(mk(policy::baseline())).run();
         let ws_base = base.weighted_speedup(&alone);
-        let hira = System::new(mk(policy::hira(2)), mix).run();
+        let hira = System::new(mk(policy::hira(2))).run();
         let ws_hira = hira.weighted_speedup(&alone);
         assert!(ws_ideal > ws_base, "ideal {ws_ideal} vs baseline {ws_base}");
         assert!(
@@ -242,17 +264,35 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_result() {
-        let mix = &mixes(1, 8, 5)[0];
-        let a = System::new(tiny(policy::baseline()), mix).run();
-        let b = System::new(tiny(policy::baseline()), mix).run();
+        let cfg = || tiny(policy::baseline()).with_workload(legacy_mix(5));
+        let a = System::new(cfg()).run();
+        let b = System::new(cfg()).run();
         assert_eq!(a.ipc, b.ipc);
         assert_eq!(a.cycles, b.cycles);
     }
 
     #[test]
+    fn generator_workloads_drive_the_memory_system() {
+        // The parametric family flows through the same frontend: streaming
+        // traffic row-hits far more than uniform-random traffic.
+        let run =
+            |wl: WorkloadHandle| System::new(tiny(policy::baseline()).with_workload(wl)).run();
+        let seq = run(stream());
+        let rnd = run(random());
+        assert!(seq.total_reads() > 0 && rnd.total_reads() > 0);
+        assert!(
+            seq.row_hit_rate() > rnd.row_hit_rate() + 0.2,
+            "stream {} vs random {}",
+            seq.row_hit_rate(),
+            rnd.row_hit_rate()
+        );
+        assert_eq!(rnd.workloads, vec!["random"; 8]);
+    }
+
+    #[test]
     fn hira_mc_refreshes_rows_in_the_background() {
-        let mix = &mixes(1, 8, 7)[0];
-        let r = System::new(tiny(policy::hira(4)), mix).run();
+        let cfg = tiny(policy::hira(4)).with_workload(legacy_mix(7));
+        let r = System::new(cfg).run();
         let mc = r.mc_stats.first().expect("HiRA-MC configured");
         assert!(mc.periodic_generated > 0);
         let served = mc.refresh_access + mc.refresh_refresh + mc.singles;
@@ -270,15 +310,11 @@ mod tests {
     fn new_policies_run_end_to_end() {
         // The open API's genuinely new arrangements simulate and land
         // between the ideal and nothing: refresh costs, never gains.
-        let mix = &mixes(1, 8, 13)[0];
-        let ideal: f64 = System::new(tiny(policy::noref()), mix)
-            .run()
-            .ipc
-            .iter()
-            .sum();
+        let mk = |p| tiny(p).with_workload(legacy_mix(13));
+        let ideal: f64 = System::new(mk(policy::noref())).run().ipc.iter().sum();
         for p in [policy::refpb(), policy::raidr()] {
             let name = p.name().to_owned();
-            let r = System::new(tiny(p), mix).run();
+            let r = System::new(mk(p)).run();
             let ipc: f64 = r.ipc.iter().sum();
             assert!(ipc > 0.0, "{name}: no forward progress");
             assert!(

@@ -1,0 +1,25 @@
+//! Dumps a generator to the trace format on stdout — the writer half of the
+//! trace round-trip, and the tool that (re)generates the embedded
+//! `data/demo.trace`:
+//!
+//! ```sh
+//! cargo run -p hira-workload --example dump_trace -- random 128 \
+//!     > crates/workload/data/demo.trace
+//! ```
+
+use hira_workload::{workload, Trace, WorkloadEnv};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "random".to_owned());
+    let records: usize = args.next().and_then(|n| n.parse().ok()).unwrap_or(128);
+    let mut wl = workload(&name).build(&WorkloadEnv {
+        core: 0,
+        cores: 1,
+        seed: 0x5157,
+    });
+    let trace = Trace::capture(wl.as_mut(), records);
+    trace
+        .write_to(std::io::stdout().lock())
+        .expect("stdout write");
+}

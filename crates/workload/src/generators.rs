@@ -1,0 +1,508 @@
+//! Parametric access-pattern generators.
+//!
+//! Where the [`crate::spec`] roster models *programs*, these model
+//! *patterns*: each generator pins one first-order property of memory
+//! behaviour (spatial locality, temporal skew, dependence, write ratio,
+//! arrival process) so sweeps can attribute a refresh policy's wins and
+//! losses to the property that causes them — the refresh-access-parallelism
+//! methodology of Chang et al.
+//!
+//! All randomness derives from one [`Stream`] keyed by
+//! `(seed, GEN, core, name-hash)`, so an instance's traffic is a pure
+//! function of its environment. Footprints are powers of two (cheap
+//! mask-scrambles for the chase/zipf bijections).
+
+use crate::{Family, Op, Workload, WorkloadEnv, WorkloadHandle, WorkloadProfile};
+use hira_dram::rng::{splitmix64, Stream};
+
+/// Stream tag for generator RNGs ("GEN").
+const GEN_TAG: u64 = 0x0047_454E;
+
+/// FNV-1a of a name, folding the generator identity into its RNG key so
+/// distinct generators never share a random stream.
+fn name_key(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Spatial/temporal address pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Sequential streams advancing `stride_lines` per access — maximal
+    /// row-buffer locality at stride 1.
+    Stream {
+        /// Lines advanced per access.
+        stride_lines: u64,
+    },
+    /// Uniform-random lines over the footprint — zero locality.
+    Random,
+    /// Dependent pointer chase: a full-period walk through a pseudorandom
+    /// permutation of the footprint (single stream, zero locality, no
+    /// address ever repeats within a lap).
+    Chase,
+    /// Hot/cold skew: `hot_prob` of accesses hit the first `hot_frac` of
+    /// the footprint.
+    Hotspot {
+        /// Fraction of the footprint that is hot.
+        hot_frac: f64,
+        /// Probability an access targets the hot region.
+        hot_prob: f64,
+    },
+    /// Zipfian popularity with exponent `theta` over a scrambled footprint.
+    Zipf {
+        /// Skew exponent (0 = uniform; 1 ≈ classic Zipf).
+        theta: f64,
+    },
+}
+
+/// Arrival process separating memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Geometric compute gaps with mean `1000 / mem_per_kinst` — the
+    /// closed-loop model the roster uses (demand throttles with the core).
+    ClosedLoop {
+        /// Memory operations per kilo-instruction.
+        mem_per_kinst: f64,
+    },
+    /// A fixed `gap_insts` compute gap before every access — a constant
+    /// arrival rate the core sustains regardless of memory latency, the
+    /// open-loop mode bandwidth studies use.
+    OpenLoop {
+        /// Non-memory instructions between consecutive accesses.
+        gap_insts: u32,
+    },
+}
+
+impl Arrival {
+    /// Expected memory operations per kilo-instruction.
+    pub fn mem_per_kinst(&self) -> f64 {
+        match *self {
+            Arrival::ClosedLoop { mem_per_kinst } => mem_per_kinst,
+            Arrival::OpenLoop { gap_insts } => 1000.0 / f64::from(gap_insts + 1),
+        }
+    }
+}
+
+/// Full description of one parametric generator. [`GeneratorSpec::handle`]
+/// wraps it into a registrable [`WorkloadHandle`]; the constructors below
+/// ([`stream`], [`random`], …) cover the standard registry's points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorSpec {
+    /// Registry name (the identity — encode parameters here).
+    pub name: String,
+    /// One-line description for listings.
+    pub summary: String,
+    /// Address pattern.
+    pub pattern: Pattern,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Fraction of accesses that are stores.
+    pub store_frac: f64,
+    /// Footprint in 64 B lines (rounded up to a power of two).
+    pub footprint_lines: u64,
+    /// Concurrent streams (bank-level parallelism) for `Pattern::Stream`.
+    pub streams: usize,
+}
+
+impl GeneratorSpec {
+    /// Wraps the spec into a handle building per-core instances.
+    pub fn handle(self) -> WorkloadHandle {
+        WorkloadHandle::new(
+            self.name.clone(),
+            Family::Generator,
+            self.summary.clone(),
+            move |env| Box::new(Generator::new(self.clone(), env)),
+        )
+    }
+}
+
+/// A running generator instance (one core).
+#[derive(Debug, Clone)]
+pub struct Generator {
+    spec: GeneratorSpec,
+    rng: Stream,
+    /// Per-stream line cursors (chase keeps its walk state in `cursors[0]`).
+    cursors: Vec<u64>,
+    /// Footprint rounded up to a power of two; `footprint - 1` is the mask.
+    footprint: u64,
+    /// Scramble key for the chase/zipf bijections.
+    scramble: u64,
+    base: u64,
+    mem_pending: bool,
+}
+
+impl Generator {
+    /// Builds the instance for `env`.
+    pub fn new(spec: GeneratorSpec, env: &WorkloadEnv) -> Self {
+        let mut rng =
+            Stream::from_words(&[env.seed, GEN_TAG, env.core as u64, name_key(&spec.name)]);
+        let footprint = spec.footprint_lines.max(2).next_power_of_two();
+        let streams = spec.streams.max(1);
+        let cursors = (0..streams).map(|_| rng.next_below(footprint)).collect();
+        let scramble = rng.next_u64() | 1;
+        Generator {
+            spec,
+            rng,
+            cursors,
+            footprint,
+            scramble,
+            base: env.base_addr(),
+            mem_pending: false,
+        }
+    }
+
+    fn next_line(&mut self) -> u64 {
+        let mask = self.footprint - 1;
+        match self.spec.pattern {
+            Pattern::Stream { stride_lines } => {
+                let s = self.rng.next_below(self.cursors.len() as u64) as usize;
+                self.cursors[s] = (self.cursors[s] + stride_lines) & mask;
+                self.cursors[s]
+            }
+            Pattern::Random => self.rng.next_below(self.footprint),
+            Pattern::Chase => {
+                // Full-period LCG walk (a ≡ 1 mod 4, c odd over 2^k),
+                // emitted through a masked bijection (odd multiply +
+                // xorshift, both invertible mod 2^k) so successors look
+                // like pointer targets but never collide within a lap.
+                self.cursors[0] = self.cursors[0]
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(self.scramble)
+                    & mask;
+                let t = self.cursors[0].wrapping_mul(self.scramble) & mask;
+                t ^ (t >> 7)
+            }
+            Pattern::Hotspot { hot_frac, hot_prob } => {
+                let hot = ((self.footprint as f64 * hot_frac) as u64).clamp(1, self.footprint - 1);
+                if self.rng.next_bool(hot_prob) {
+                    self.rng.next_below(hot)
+                } else {
+                    hot + self.rng.next_below(self.footprint - hot)
+                }
+            }
+            Pattern::Zipf { theta } => {
+                let u = self.rng.next_f64();
+                let n = self.footprint as f64;
+                let a = 1.0 - theta;
+                let rank = if a.abs() < 1e-9 {
+                    // theta = 1: harmonic CDF, rank = (n+1)^u - 1.
+                    (n + 1.0).powf(u) - 1.0
+                } else {
+                    ((n.powf(a) - 1.0) * u + 1.0).powf(1.0 / a) - 1.0
+                };
+                let rank = (rank as u64).min(self.footprint - 1);
+                // Scramble rank → line so popular lines spread over banks.
+                splitmix64(rank ^ self.scramble) & mask
+            }
+        }
+    }
+}
+
+impl Workload for Generator {
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    fn next_access(&mut self) -> Op {
+        if !self.mem_pending {
+            self.mem_pending = true;
+            let gap = match self.spec.arrival {
+                Arrival::ClosedLoop { mem_per_kinst } => {
+                    crate::geometric_gap(&mut self.rng, mem_per_kinst)
+                }
+                Arrival::OpenLoop { gap_insts } => gap_insts,
+            };
+            if gap > 0 {
+                return Op::Compute(gap);
+            }
+        }
+        self.mem_pending = false;
+        let addr = self.base + self.next_line() * 64;
+        if self.rng.next_bool(self.spec.store_frac) {
+            Op::Store(addr)
+        } else {
+            Op::Load(addr)
+        }
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            family: Family::Generator,
+            summary: self.spec.summary.clone(),
+            mem_per_kinst: self.spec.arrival.mem_per_kinst(),
+            store_frac: self.spec.store_frac,
+            footprint_lines: self.footprint,
+        }
+    }
+}
+
+/// Pure sequential streaming: 4 stride-1 streams, read-only — maximal
+/// row-buffer locality, the friendliest traffic refresh can hide under.
+pub fn stream() -> WorkloadHandle {
+    GeneratorSpec {
+        name: "stream".into(),
+        summary: "pure sequential streams (stride 1, read-only, max row locality)".into(),
+        pattern: Pattern::Stream { stride_lines: 1 },
+        arrival: Arrival::ClosedLoop {
+            mem_per_kinst: 30.0,
+        },
+        store_frac: 0.0,
+        footprint_lines: 1 << 22,
+        streams: 4,
+    }
+    .handle()
+}
+
+/// Uniform-random lines over 256 MiB — zero locality, every access a row
+/// miss; the traffic most exposed to rank/bank blocking.
+pub fn random() -> WorkloadHandle {
+    GeneratorSpec {
+        name: "random".into(),
+        summary: "uniform-random lines over 256 MiB (zero locality)".into(),
+        pattern: Pattern::Random,
+        arrival: Arrival::ClosedLoop {
+            mem_per_kinst: 30.0,
+        },
+        store_frac: 0.25,
+        footprint_lines: 1 << 22,
+        streams: 1,
+    }
+    .handle()
+}
+
+/// Dependent pointer chase over 64 MiB: a permutation walk with no reuse
+/// within a lap — latency-bound traffic.
+pub fn chase() -> WorkloadHandle {
+    GeneratorSpec {
+        name: "chase".into(),
+        summary: "pointer chase through a 64 MiB permutation (latency-bound)".into(),
+        pattern: Pattern::Chase,
+        arrival: Arrival::ClosedLoop {
+            mem_per_kinst: 33.0,
+        },
+        store_frac: 0.0,
+        footprint_lines: 1 << 20,
+        streams: 1,
+    }
+    .handle()
+}
+
+/// 90 % of accesses to 10 % of a 256 MiB footprint — cache-filtered
+/// hot/cold skew.
+pub fn hotspot() -> WorkloadHandle {
+    GeneratorSpec {
+        name: "hotspot".into(),
+        summary: "90% of accesses to the hot 10% of 256 MiB".into(),
+        pattern: Pattern::Hotspot {
+            hot_frac: 0.1,
+            hot_prob: 0.9,
+        },
+        arrival: Arrival::ClosedLoop {
+            mem_per_kinst: 25.0,
+        },
+        store_frac: 0.3,
+        footprint_lines: 1 << 22,
+        streams: 1,
+    }
+    .handle()
+}
+
+/// Zipfian popularity with `theta = theta_pct / 100` (named `zipf<pct>`, so
+/// `zipf80` is θ = 0.8). Any `zipf<N>` resolves dynamically through the
+/// registry.
+pub fn zipf(theta_pct: u32) -> WorkloadHandle {
+    GeneratorSpec {
+        name: format!("zipf{theta_pct}"),
+        summary: format!(
+            "zipfian line popularity, theta = {:.2}, over 128 MiB",
+            f64::from(theta_pct) / 100.0
+        ),
+        pattern: Pattern::Zipf {
+            theta: f64::from(theta_pct) / 100.0,
+        },
+        arrival: Arrival::ClosedLoop {
+            mem_per_kinst: 25.0,
+        },
+        store_frac: 0.25,
+        footprint_lines: 1 << 21,
+        streams: 1,
+    }
+    .handle()
+}
+
+/// Read/write-ratio sweep point: uniform-random traffic with
+/// `write_pct` % stores (named `rw<pct>`; any `rw<N>` with N ≤ 100
+/// resolves dynamically through the registry).
+pub fn rw(write_pct: u32) -> WorkloadHandle {
+    assert!(write_pct <= 100, "write percentage must be ≤ 100");
+    GeneratorSpec {
+        name: format!("rw{write_pct}"),
+        summary: format!("uniform-random with {write_pct}% stores (write-ratio sweep)"),
+        pattern: Pattern::Random,
+        arrival: Arrival::ClosedLoop {
+            mem_per_kinst: 25.0,
+        },
+        store_frac: f64::from(write_pct) / 100.0,
+        footprint_lines: 1 << 21,
+        streams: 1,
+    }
+    .handle()
+}
+
+/// Open-loop arrival mode: exactly `per_kinst` accesses per
+/// kilo-instruction at a fixed gap (named `open<rate>`). `per_kinst` must
+/// divide 1000 evenly so the gap quantization cannot make the actual rate
+/// diverge from the rate the name advertises; the registry's dynamic
+/// `open<N>` form enforces the same domain.
+pub fn open_loop(per_kinst: u32) -> WorkloadHandle {
+    assert!(
+        (1..=1000).contains(&per_kinst) && 1000 % per_kinst == 0,
+        "open-loop rate must be a divisor of 1000 accesses/kinst, got {per_kinst}"
+    );
+    let gap_insts = 1000 / per_kinst - 1;
+    GeneratorSpec {
+        name: format!("open{per_kinst}"),
+        summary: format!("open-loop fixed arrivals: {per_kinst} accesses per kinst"),
+        pattern: Pattern::Random,
+        arrival: Arrival::OpenLoop { gap_insts },
+        store_frac: 0.25,
+        footprint_lines: 1 << 21,
+        streams: 1,
+    }
+    .handle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(core: usize, seed: u64) -> WorkloadEnv {
+        WorkloadEnv {
+            core,
+            cores: 8,
+            seed,
+        }
+    }
+
+    fn collect_lines(h: &WorkloadHandle, n: usize) -> Vec<u64> {
+        let mut wl = h.build(&env(0, 7));
+        let mut lines = Vec::with_capacity(n);
+        while lines.len() < n {
+            if let Op::Load(a) | Op::Store(a) = wl.next_access() {
+                lines.push(a / 64);
+            }
+        }
+        lines
+    }
+
+    #[test]
+    fn instances_are_deterministic_per_env() {
+        for h in [stream(), random(), chase(), hotspot(), zipf(80), rw(50)] {
+            let (mut a, mut b) = (h.build(&env(2, 9)), h.build(&env(2, 9)));
+            for _ in 0..2_000 {
+                assert_eq!(a.next_access(), b.next_access(), "{}", h.name());
+            }
+            // A different core diverges (per-core Stream seeding).
+            let mut c = h.build(&env(3, 9));
+            let diverged = (0..2_000).any(|_| a.next_access() != c.next_access());
+            assert!(diverged, "{}: cores share a stream", h.name());
+        }
+    }
+
+    #[test]
+    fn stream_is_sequential_and_random_is_not() {
+        let seq = |lines: &[u64]| {
+            lines.windows(2).filter(|w| w[1] == w[0] + 1).count() as f64 / (lines.len() - 1) as f64
+        };
+        // 4 interleaved stride-1 streams still land far above random.
+        assert!(seq(&collect_lines(&stream(), 4_000)) > 0.15);
+        assert!(seq(&collect_lines(&random(), 4_000)) < 0.01);
+    }
+
+    #[test]
+    fn chase_never_repeats_within_a_lap() {
+        let lines = collect_lines(&chase(), 20_000);
+        let distinct: std::collections::HashSet<_> = lines.iter().collect();
+        // A permutation walk: 20k accesses over a 1M-line footprint must
+        // all be distinct (a random function would collide long before).
+        assert_eq!(distinct.len(), lines.len());
+    }
+
+    #[test]
+    fn hotspot_skews_accesses_into_the_hot_region() {
+        let lines = collect_lines(&hotspot(), 20_000);
+        let footprint = 1u64 << 22;
+        let hot = footprint / 10;
+        let in_hot = lines.iter().filter(|&&l| l < hot).count() as f64;
+        let frac = in_hot / lines.len() as f64;
+        assert!((frac - 0.9).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_concentrates_mass_more_at_higher_theta() {
+        let top_share = |pct: u32| {
+            let lines = collect_lines(&zipf(pct), 30_000);
+            let mut counts = std::collections::HashMap::new();
+            for l in lines {
+                *counts.entry(l).or_insert(0u64) += 1;
+            }
+            let mut freqs: Vec<u64> = counts.into_values().collect();
+            freqs.sort_unstable_by(|a, b| b.cmp(a));
+            freqs.iter().take(100).sum::<u64>() as f64 / 30_000.0
+        };
+        assert!(top_share(99) > top_share(40) + 0.05);
+    }
+
+    #[test]
+    fn rw_ratio_tracks_the_requested_percentage() {
+        let mut wl = rw(70).build(&env(0, 3));
+        let (mut loads, mut stores) = (0u64, 0u64);
+        for _ in 0..60_000 {
+            match wl.next_access() {
+                Op::Load(_) => loads += 1,
+                Op::Store(_) => stores += 1,
+                Op::Compute(_) => {}
+            }
+        }
+        let frac = stores as f64 / (loads + stores) as f64;
+        assert!((frac - 0.7).abs() < 0.02, "store frac {frac}");
+    }
+
+    #[test]
+    fn open_loop_paces_accesses_at_a_fixed_gap() {
+        let mut wl = open_loop(25).build(&env(0, 3));
+        for _ in 0..200 {
+            match wl.next_access() {
+                Op::Compute(gap) => assert_eq!(gap, 39),
+                Op::Load(_) | Op::Store(_) => {}
+            }
+        }
+        assert!((open_loop(25).build(&env(0, 3)).profile().mem_per_kinst - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaps_never_repeat_back_to_back() {
+        // The trait contract trace capture relies on: at most one Compute
+        // between memory events.
+        for h in [
+            stream(),
+            random(),
+            chase(),
+            hotspot(),
+            zipf(80),
+            open_loop(10),
+        ] {
+            let mut wl = h.build(&env(0, 5));
+            let mut last_was_gap = false;
+            for _ in 0..20_000 {
+                let gap = matches!(wl.next_access(), Op::Compute(_));
+                assert!(!(gap && last_was_gap), "{}: double gap", h.name());
+                last_was_gap = gap;
+            }
+        }
+    }
+}

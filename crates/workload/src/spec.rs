@@ -1,4 +1,5 @@
-//! Synthetic SPEC CPU2006-like workloads (§7).
+//! The SPEC CPU2006-like synthetic roster and its multiprogrammed mixes
+//! (§7), ported onto the open [`Workload`] trait.
 //!
 //! The paper runs 125 8-core multiprogrammed mixes of SPEC CPU2006. The
 //! traces themselves are not redistributable, so each benchmark is modelled
@@ -7,8 +8,25 @@
 //! footprint — and a deterministic generator reproduces an instruction
 //! stream with those properties. Relative weighted-speedup trends (which is
 //! what every figure plots) depend on exactly these properties.
+//!
+//! The generator's RNG keying is **bit-identical** to the pre-trait
+//! implementation (`Stream::from_words(&[seed, TRC, core])`, mix draws from
+//! `Stream::from_words(&[suite_seed, MIX, id])`), so every previously
+//! published figure and the tracked `BENCH_*.json` baselines reproduce
+//! unchanged through the new frontend.
 
+use crate::{Family, Op, Workload, WorkloadEnv, WorkloadHandle, WorkloadProfile};
 use hira_dram::rng::Stream;
+
+/// The suite seed behind the default [`mix`] handles — the seed the bench
+/// harness has always drawn its mix suite from.
+pub const MIX_SUITE_SEED: u64 = 0xA11CE;
+
+/// Stream tag for per-core instruction-stream RNGs ("TRC").
+const TRC_TAG: u64 = 0x0054_5243;
+
+/// Stream tag for mix composition draws ("MIX").
+const MIX_TAG: u64 = 0x004D_4958;
 
 /// One benchmark's memory-behaviour profile.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -246,43 +264,10 @@ pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
     BENCHMARKS.iter().find(|b| b.name == name)
 }
 
-/// An 8-core multiprogrammed mix.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Mix {
-    /// Mix index (0-124 for the paper's 125 mixes).
-    pub id: usize,
-    /// One benchmark per core.
-    pub benchmarks: Vec<&'static Benchmark>,
-}
-
-/// Generates the `n`-mix suite: benchmarks drawn uniformly at random from
-/// the roster, as the paper draws its 125 mixes from SPEC CPU2006 (§7).
-pub fn mixes(n: usize, cores: usize, seed: u64) -> Vec<Mix> {
-    (0..n)
-        .map(|id| {
-            let mut s = Stream::from_words(&[seed, 0x004D_4958, id as u64]);
-            let benchmarks = (0..cores)
-                .map(|_| &BENCHMARKS[s.next_below(BENCHMARKS.len() as u64) as usize])
-                .collect();
-            Mix { id, benchmarks }
-        })
-        .collect()
-}
-
-/// One instruction-stream event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Op {
-    /// `n` non-memory instructions.
-    Compute(u32),
-    /// A load of the 64 B line at this byte address.
-    Load(u64),
-    /// A store to the 64 B line at this byte address.
-    Store(u64),
-}
-
-/// Deterministic instruction-stream generator for one core.
+/// Deterministic instruction-stream generator for one roster benchmark on
+/// one core.
 #[derive(Debug, Clone)]
-pub struct TraceGen {
+pub struct SpecGen {
     bench: &'static Benchmark,
     rng: Stream,
     /// Current line index per stream.
@@ -293,19 +278,18 @@ pub struct TraceGen {
     mem_pending: bool,
 }
 
-impl TraceGen {
-    /// Builds the generator for `bench` on core `core`.
-    pub fn new(bench: &'static Benchmark, core: usize, seed: u64) -> Self {
-        let mut rng = Stream::from_words(&[seed, 0x0054_5243, core as u64]);
+impl SpecGen {
+    /// Builds the generator for `bench` in `env`.
+    pub fn new(bench: &'static Benchmark, env: &WorkloadEnv) -> Self {
+        let mut rng = Stream::from_words(&[env.seed, TRC_TAG, env.core as u64]);
         let streams = (0..bench.streams)
             .map(|_| rng.next_below(bench.footprint_lines))
             .collect();
-        TraceGen {
+        SpecGen {
             bench,
             rng,
             streams,
-            // 1 GiB per core keeps multiprogrammed address spaces disjoint.
-            base: (core as u64) << 30,
+            base: env.base_addr(),
             mem_pending: false,
         }
     }
@@ -314,16 +298,19 @@ impl TraceGen {
     pub fn benchmark(&self) -> &'static Benchmark {
         self.bench
     }
+}
+
+impl Workload for SpecGen {
+    fn name(&self) -> &str {
+        self.bench.name
+    }
 
     /// Next event. Memory events are separated by geometric compute gaps
-    /// whose mean matches `mem_per_kinst` (gap then access, so the
-    /// inter-arrival expectation is exactly `1000 / mem_per_kinst`).
-    pub fn next_op(&mut self) -> Op {
+    /// (see [`crate::geometric_gap`]).
+    fn next_access(&mut self) -> Op {
         if !self.mem_pending {
             self.mem_pending = true;
-            let per_inst = self.bench.mem_per_kinst / 1000.0;
-            let u = self.rng.next_f64().max(1e-12);
-            let gap = ((u.ln() / (1.0 - per_inst.min(0.99)).ln()).floor() as u32).min(60_000);
+            let gap = crate::geometric_gap(&mut self.rng, self.bench.mem_per_kinst);
             if gap > 0 {
                 return Op::Compute(gap);
             }
@@ -343,11 +330,124 @@ impl TraceGen {
             Op::Load(addr)
         }
     }
+
+    fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            family: Family::Synthetic,
+            summary: format!(
+                "SPEC-like {}: {} mem/kinst, locality {:.2}",
+                self.bench.name, self.bench.mem_per_kinst, self.bench.locality
+            ),
+            mem_per_kinst: self.bench.mem_per_kinst,
+            store_frac: self.bench.store_frac,
+            footprint_lines: self.bench.footprint_lines,
+        }
+    }
+}
+
+/// A handle running `bench` on every core.
+pub fn spec_handle(bench: &'static Benchmark) -> WorkloadHandle {
+    WorkloadHandle::new(
+        bench.name,
+        Family::Synthetic,
+        format!(
+            "SPEC-like roster benchmark ({} mem/kinst, locality {:.2}, {:.0}% stores)",
+            bench.mem_per_kinst,
+            bench.locality,
+            bench.store_frac * 100.0
+        ),
+        move |env| Box::new(SpecGen::new(bench, env)),
+    )
+}
+
+/// A handle running the named roster benchmark on every core.
+///
+/// # Panics
+///
+/// Panics when `name` is not on the roster — a typo'd benchmark name is a
+/// usage error (use [`benchmark`] for fallible lookup).
+pub fn spec(name: &str) -> WorkloadHandle {
+    spec_handle(benchmark(name).unwrap_or_else(|| {
+        panic!(
+            "unknown roster benchmark `{name}`; roster: {}",
+            BENCHMARKS
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }))
+}
+
+/// The benchmark core `core` runs in mix `id` of the suite drawn from
+/// `suite_seed`: benchmarks are drawn uniformly at random from the roster,
+/// as the paper draws its 125 mixes from SPEC CPU2006 (§7). The draw
+/// sequence reproduces the legacy `mixes()` suite exactly.
+fn mix_member(suite_seed: u64, id: usize, core: usize) -> &'static Benchmark {
+    let mut s = Stream::from_words(&[suite_seed, MIX_TAG, id as u64]);
+    let mut pick = 0;
+    for _ in 0..=core {
+        pick = s.next_below(BENCHMARKS.len() as u64) as usize;
+    }
+    &BENCHMARKS[pick]
+}
+
+/// Multiprogrammed mix `id` of the standard suite ([`MIX_SUITE_SEED`]):
+/// each core runs its own roster benchmark. Instance names are the
+/// per-core benchmark names, so weighted-speedup denominators resolve per
+/// member.
+pub fn mix(id: usize) -> WorkloadHandle {
+    mix_named(format!("mix{id}"), MIX_SUITE_SEED, id)
+}
+
+/// [`mix`] from an explicit suite seed (named `mix<id>@<seed:x>`), for
+/// experiments that need a suite disjoint from the standard one.
+pub fn mix_with_seed(id: usize, suite_seed: u64) -> WorkloadHandle {
+    mix_named(format!("mix{id}@{suite_seed:x}"), suite_seed, id)
+}
+
+fn mix_named(name: String, suite_seed: u64, id: usize) -> WorkloadHandle {
+    WorkloadHandle::new(
+        name,
+        Family::Synthetic,
+        format!("8-core-style multiprogrammed roster mix #{id} (one benchmark per core)"),
+        move |env| Box::new(SpecGen::new(mix_member(suite_seed, id, env.core), env)),
+    )
+}
+
+/// An explicit multiprogrammed roster: core `i` runs `names[i % len]`.
+/// The handle name encodes the roster, so two configs selecting the same
+/// roster compare equal.
+///
+/// # Panics
+///
+/// Panics when `names` is empty or contains a name not on the roster.
+pub fn roster(names: &[&str]) -> WorkloadHandle {
+    assert!(!names.is_empty(), "a roster needs at least one benchmark");
+    let members: Vec<&'static Benchmark> = names.iter().map(|n| spec_member(n)).collect();
+    WorkloadHandle::new(
+        format!("roster({})", names.join(",")),
+        Family::Synthetic,
+        "explicit multiprogrammed roster (core i runs names[i % len])",
+        move |env| Box::new(SpecGen::new(members[env.core % members.len()], env)),
+    )
+}
+
+fn spec_member(name: &str) -> &'static Benchmark {
+    benchmark(name).unwrap_or_else(|| panic!("unknown roster benchmark `{name}`"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn env(core: usize, seed: u64) -> WorkloadEnv {
+        WorkloadEnv {
+            core,
+            cores: 8,
+            seed,
+        }
+    }
 
     #[test]
     fn roster_is_sorted_by_intensity_and_named_uniquely() {
@@ -361,24 +461,26 @@ mod tests {
     }
 
     #[test]
-    fn mixes_are_deterministic_and_sized() {
-        let a = mixes(125, 8, 42);
-        let b = mixes(125, 8, 42);
-        assert_eq!(a.len(), 125);
+    fn mix_members_are_deterministic_and_suite_dependent() {
+        let a = mix(3).instance_names(8, 42);
+        let b = mix(3).instance_names(8, 99);
+        // Composition depends on the suite draw, not on the config seed.
         assert_eq!(a, b);
-        assert!(a.iter().all(|m| m.benchmarks.len() == 8));
-        // Different seeds give different suites.
-        assert_ne!(a, mixes(125, 8, 43));
+        // Different mixes and different suite seeds each give different
+        // rosters (two separate assertions: either keying regressing must
+        // fail the test on its own).
+        assert_ne!(a, mix(4).instance_names(8, 42));
+        assert_ne!(a, mix_with_seed(3, 0xBEEF).instance_names(8, 42));
     }
 
     #[test]
     fn trace_memory_rate_matches_profile() {
         let bench = benchmark("milc").unwrap();
-        let mut gen = TraceGen::new(bench, 0, 7);
+        let mut gen = SpecGen::new(bench, &env(0, 7));
         let mut insts = 0u64;
         let mut mems = 0u64;
         while insts < 2_000_000 {
-            match gen.next_op() {
+            match gen.next_access() {
                 Op::Compute(n) => insts += u64::from(n),
                 Op::Load(_) | Op::Store(_) => {
                     insts += 1;
@@ -397,10 +499,10 @@ mod tests {
     #[test]
     fn store_fraction_tracks_profile() {
         let bench = benchmark("lbm").unwrap();
-        let mut gen = TraceGen::new(bench, 1, 7);
+        let mut gen = SpecGen::new(bench, &env(1, 7));
         let (mut loads, mut stores) = (0u64, 0u64);
         for _ in 0..200_000 {
-            match gen.next_op() {
+            match gen.next_access() {
                 Op::Load(_) => loads += 1,
                 Op::Store(_) => stores += 1,
                 Op::Compute(_) => {}
@@ -413,13 +515,13 @@ mod tests {
     #[test]
     fn cores_use_disjoint_address_spaces() {
         let bench = benchmark("mcf").unwrap();
-        let mut g0 = TraceGen::new(bench, 0, 7);
-        let mut g1 = TraceGen::new(bench, 1, 7);
+        let mut g0 = SpecGen::new(bench, &env(0, 7));
+        let mut g1 = SpecGen::new(bench, &env(1, 7));
         for _ in 0..1000 {
-            if let Op::Load(a) | Op::Store(a) = g0.next_op() {
+            if let Op::Load(a) | Op::Store(a) = g0.next_access() {
                 assert!(a < 1 << 30);
             }
-            if let Op::Load(a) | Op::Store(a) = g1.next_op() {
+            if let Op::Load(a) | Op::Store(a) = g1.next_access() {
                 assert!((1 << 30..2 << 30).contains(&a));
             }
         }
@@ -430,11 +532,11 @@ mod tests {
         let streaming = benchmark("libquantum").unwrap();
         let scattered = benchmark("mcf").unwrap();
         let seq_frac = |b: &'static Benchmark| {
-            let mut gen = TraceGen::new(b, 0, 9);
+            let mut gen = SpecGen::new(b, &env(0, 9));
             let mut last: Option<u64> = None;
             let (mut seq, mut total) = (0u64, 0u64);
             for _ in 0..400_000 {
-                if let Op::Load(a) | Op::Store(a) = gen.next_op() {
+                if let Op::Load(a) | Op::Store(a) = gen.next_access() {
                     if let Some(l) = last {
                         total += 1;
                         if a == l + 64 {
@@ -447,5 +549,19 @@ mod tests {
             seq as f64 / total as f64
         };
         assert!(seq_frac(streaming) > seq_frac(scattered) + 0.2);
+    }
+
+    #[test]
+    fn explicit_roster_assigns_round_robin() {
+        let h = roster(&["mcf", "lbm"]);
+        let names = h.instance_names(4, 1);
+        assert_eq!(names, ["mcf", "lbm", "mcf", "lbm"]);
+        assert_eq!(h.name(), "roster(mcf,lbm)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown roster benchmark")]
+    fn unknown_spec_name_panics_with_the_roster() {
+        let _ = spec("nonesuch");
     }
 }

@@ -8,7 +8,8 @@
 use hira::prelude::*;
 
 fn main() {
-    // A memory-intensive mix — where refresh interference actually shows.
+    // A memory-intensive mix — where refresh interference actually shows —
+    // assembled as an explicit workload roster (core i runs names[i]).
     let names = [
         "mcf",
         "lbm",
@@ -19,23 +20,18 @@ fn main() {
         "gemsfdtd",
         "bwaves",
     ];
-    let mix = &Mix {
-        id: 0,
-        benchmarks: names.iter().map(|n| benchmark(n).unwrap()).collect(),
-    };
-    println!(
-        "workload mix: {:?}\n",
-        mix.benchmarks.iter().map(|b| b.name).collect::<Vec<_>>()
-    );
+    let workload = roster(&names);
+    println!("workload mix: {names:?}\n");
     let mut ws = Vec::new();
     for handle in PolicyRegistry::standard().handles() {
         let cfg = SystemBuilder::table3(64.0)
             .policy(handle.clone())
+            .workload(workload.clone())
             .insts(40_000, 8_000)
             .build()
             .unwrap();
         let name = handle.name().to_owned();
-        let r = System::new(cfg, mix).run();
+        let r = System::new(cfg).run();
         let ipc_sum: f64 = r.ipc.iter().sum();
         println!(
             "{name:<12} IPC-sum {ipc_sum:>6.3}  row-hit {:>5.1}%  avg-read-latency {:>6.1} cyc",

@@ -13,10 +13,12 @@ fn main() {
     let pth4 = solve_pth(&SecurityParams::paper_defaults(4), nrh);
     println!("NRH = {nrh}: p_th = {pth0:.4} (immediate) / {pth4:.4} (with 4*tRC slack)\n");
 
-    let mix = &mixes(1, 8, 11)[0];
+    // The legacy `mixes(1, 8, 11)[0]` workload, through the handle
+    // frontend.
     let base = || {
         SystemBuilder::new()
             .policy(policy::baseline())
+            .workload(mix_with_seed(0, 11))
             .insts(25_000, 5_000)
     };
     let mut results = Vec::new();
@@ -25,7 +27,7 @@ fn main() {
         ("PARA", base().preventive_immediate(pth0)),
         ("PARA + HiRA-4", base().preventive_hira(pth4, 4)),
     ] {
-        let r = System::new(builder.build().unwrap(), mix).run();
+        let r = System::new(builder.build().unwrap()).run();
         let ipc_sum: f64 = r.ipc.iter().sum();
         println!("{name:<15} IPC-sum {ipc_sum:>6.3}");
         results.push((name, ipc_sum));

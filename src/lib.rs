@@ -7,6 +7,9 @@
 //! * [`softmc`] — SoftMC-style testing infrastructure,
 //! * [`characterize`] — §4's characterization experiments (Algorithms 1 & 2),
 //! * [`core`] — the HiRA operation, HiRA-MC, PARA and the security analysis,
+//! * [`workload`] — the open workload frontend: the SPEC-like roster and
+//!   its mixes, parametric generators, and `.trace` replay behind one
+//!   trait + registry,
 //! * [`sim`] — the cycle-level system simulator behind §7-§10,
 //! * [`engine`] — the deterministic parallel experiment-orchestration
 //!   subsystem every `hira-bench` figure binary runs on.
@@ -29,11 +32,13 @@ pub use hira_dram as dram;
 pub use hira_engine as engine;
 pub use hira_sim as sim;
 pub use hira_softmc as softmc;
+pub use hira_workload as workload;
 
 /// The one-stop import for examples, tests and downstream users: system
 /// construction ([`prelude::SystemBuilder`]), the open refresh-policy API
-/// ([`prelude::policy`], [`prelude::PolicyRegistry`]), the simulator, the
-/// workload roster, and the experiment-orchestration engine.
+/// ([`prelude::policy`], [`prelude::PolicyRegistry`]), the open workload
+/// frontend ([`prelude::WorkloadRegistry`], [`prelude::mix`], generators,
+/// trace replay), the simulator, and the experiment-orchestration engine.
 ///
 /// ```rust
 /// use hira::prelude::*;
@@ -41,11 +46,11 @@ pub use hira_softmc as softmc;
 /// let cfg = SystemBuilder::new()
 ///     .chip_gbit(32.0)
 ///     .policy(policy::hira(4))
+///     .workload(mix(1)) // or .workload_name("zipf80"), "trace:<path>", …
 ///     .insts(2_000, 400)
 ///     .build()
 ///     .unwrap();
-/// let mix = &mixes(1, 8, 1)[0];
-/// let result = System::new(cfg, mix).run();
+/// let result = System::new(cfg).run();
 /// assert_eq!(result.ipc.len(), 8);
 /// ```
 pub mod prelude {
@@ -63,6 +68,9 @@ pub mod prelude {
         self, DemandDecision, PolicyEnv, PolicyHandle, PolicyProfile, PolicyRegistry, PolicyStats,
         RankView, RefreshAction, RefreshPolicy,
     };
-    pub use hira_sim::workloads::{benchmark, mixes, Benchmark, Mix};
     pub use hira_sim::{SimResult, System, SystemConfig};
+    pub use hira_workload::{
+        benchmark, mix, mix_with_seed, roster, spec, trace_file, Benchmark, Op, ParseError, Trace,
+        TraceRecord, Workload, WorkloadEnv, WorkloadHandle, WorkloadProfile, WorkloadRegistry,
+    };
 }

@@ -143,6 +143,7 @@ fn builder_reproduces_the_legacy_table3_struct_literals() {
                 chip_gbit: cap,
                 timing,
                 refresh: p.clone(),
+                workload: mix(0),
                 llc_bytes: 8 << 20,
                 llc_ways: 8,
                 queue_depth: 64,

@@ -2,15 +2,20 @@
 
 use hira::prelude::*;
 
+/// The legacy `mixes(1, 8, seed)[0]` workloads, bit-identical through the
+/// handle frontend.
+fn legacy_mix(seed: u64) -> WorkloadHandle {
+    mix_with_seed(0, seed)
+}
+
 fn tiny(cap: f64, refresh: PolicyHandle) -> SystemConfig {
     SystemConfig::table3(cap, refresh).with_insts(4_000, 800)
 }
 
 #[test]
 fn hira_beats_baseline_at_high_capacity() {
-    let mix = &mixes(1, 8, 21)[0];
     let ws = |r| {
-        let res = System::new(tiny(128.0, r), mix).run();
+        let res = System::new(tiny(128.0, r).with_workload(legacy_mix(21))).run();
         res.ipc.iter().sum::<f64>()
     };
     let baseline = ws(policy::baseline());
@@ -23,8 +28,7 @@ fn hira_beats_baseline_at_high_capacity() {
 
 #[test]
 fn hira_refreshes_every_generated_request() {
-    let mix = &mixes(1, 8, 22)[0];
-    let res = System::new(tiny(8.0, policy::hira(2)), mix).run();
+    let res = System::new(tiny(8.0, policy::hira(2)).with_workload(legacy_mix(22))).run();
     let mc = res.mc_stats.first().expect("mc stats");
     let served = mc.refresh_access + mc.refresh_refresh + mc.singles;
     // Everything generated is served, modulo requests still in flight at
@@ -39,11 +43,10 @@ fn hira_refreshes_every_generated_request() {
 
 #[test]
 fn para_with_hira_outperforms_immediate_para_at_low_thresholds() {
-    let mix = &mixes(1, 8, 23)[0];
     let pth = solve_pth(&SecurityParams::paper_defaults(0), 64);
     let ws = |handle: PolicyHandle| {
-        let cfg = tiny(8.0, handle);
-        System::new(cfg, mix).run().ipc.iter().sum::<f64>()
+        let cfg = tiny(8.0, handle).with_workload(legacy_mix(23));
+        System::new(cfg).run().ipc.iter().sum::<f64>()
     };
     let plain = ws(policy::baseline().with_para_immediate(pth));
     let hira = ws(policy::baseline().with_para_hira(pth, 4));
@@ -55,9 +58,8 @@ fn para_with_hira_outperforms_immediate_para_at_low_thresholds() {
 
 #[test]
 fn preventive_refreshes_track_para_triggers() {
-    let mix = &mixes(1, 8, 24)[0];
-    let cfg = tiny(8.0, policy::baseline().with_para_hira(0.3, 4));
-    let res = System::new(cfg, mix).run();
+    let cfg = tiny(8.0, policy::baseline().with_para_hira(0.3, 4)).with_workload(legacy_mix(24));
+    let res = System::new(cfg).run();
     let mc = res.mc_stats.first().expect("mc stats");
     assert!(mc.preventive_generated > 0);
     let served = mc.refresh_access + mc.refresh_refresh + mc.singles;
@@ -72,15 +74,11 @@ fn preventive_refreshes_track_para_triggers() {
 fn registry_policies_all_simulate() {
     // Every standard-registry policy runs end to end through the facade,
     // and refresh interference orders them below the ideal bound.
-    let mix = &mixes(1, 8, 25)[0];
-    let ideal: f64 = System::new(tiny(64.0, policy::noref()), mix)
-        .run()
-        .ipc
-        .iter()
-        .sum();
+    let mk = |p| tiny(64.0, p).with_workload(legacy_mix(25));
+    let ideal: f64 = System::new(mk(policy::noref())).run().ipc.iter().sum();
     for handle in PolicyRegistry::standard().handles() {
         let name = handle.name().to_owned();
-        let r = System::new(tiny(64.0, handle.clone()), mix).run();
+        let r = System::new(mk(handle.clone())).run();
         let ipc: f64 = r.ipc.iter().sum();
         assert!(ipc > 0.0, "{name}: no forward progress");
         assert!(
