@@ -1,0 +1,218 @@
+//! Device matrix: device × refresh policy × workload, through one engine
+//! weighted-speedup sweep — the comparison surface the open
+//! [`hira_sim::device`] API exists for. Where `policy_matrix` holds the
+//! device fixed and sweeps policies, and `workload_matrix` crosses
+//! workloads with policies, this grid adds the third axis: how each
+//! refresh arrangement costs on each DRAM part, under each traffic shape.
+//! Weighted speedup is normalized per device (each cell's alone-IPC
+//! denominators run on that cell's device), so the numbers isolate
+//! refresh interference rather than raw inter-device speed.
+//!
+//! Besides `ws`, every record set carries the channel metrics: `read_lat`
+//! / `write_lat` (average demand latencies, memory cycles) and `dbus`
+//! (mean per-channel data-bus busy fraction).
+//!
+//! Combos the builder refuses with
+//! [`hira_sim::builder::BuildError::DeviceLacksHira`] (a HiRA policy on a
+//! HiRA-inert part) are skipped and reported explicitly — absent cells
+//! print as `-`, never as silent zeros.
+//!
+//! Always writes `BENCH_device_matrix.json` (into `HIRA_BENCH_DIR`, or
+//! the working directory when unset): the tracked perf baseline for the
+//! device comparison surface.
+//!
+//! Flags:
+//!
+//! * `--device=<name>[,<name>...]` (repeatable) — subset the device axis
+//!   by registry name (including the dynamic `ddr4-2400@<Gb>` form);
+//!   default: the HiRA-capable presets plus a pinned 32 Gb part,
+//! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy
+//!   axis; default: a representative arrangement per family,
+//! * `--workload=<name>[,<name>...]` (repeatable) — subset the workload
+//!   axis; default: a mix, a streaming and a random generator,
+//! * `--list` — print all three registries with their one-liners and
+//!   exit,
+//! * `--check-determinism` — re-run the sweep single-threaded and assert
+//!   the canonical result sets are byte-identical.
+
+use hira_bench::{
+    device_axis_from_args_or, policy_axis_from_args_or, print_device_list, print_policy_list,
+    print_workload_list, run_ws_with_stats, workload_axis_from_args_or, Scale, WsTable,
+};
+use hira_engine::{Executor, ScenarioKey, Sweep};
+use hira_sim::builder::{BuildError, SystemBuilder};
+use hira_sim::config::SystemConfig;
+use hira_sim::device::DeviceHandle;
+use hira_sim::policy::PolicyHandle;
+use hira_workload::WorkloadHandle;
+use std::path::Path;
+
+/// The HiRA-capable presets plus the dynamic capacity form's 32 Gb point.
+const DEFAULT_DEVICES: &[&str] = &["ddr4-2400", "ddr4-3200", "lpddr4-3200", "ddr4-2400@32"];
+
+/// One representative refresh arrangement per family: the ideal bound,
+/// the all-bank baseline, per-bank parallelism, and HiRA.
+const DEFAULT_POLICIES: &[&str] = &["noref", "baseline", "refpb", "hira4"];
+
+/// A multiprogrammed mix, a streaming, a random and a write-heavy
+/// generator (the last keeps `write_lat` a live column).
+const DEFAULT_WORKLOADS: &[&str] = &["mix0", "stream", "random", "rw50"];
+
+type Axis<T> = [(String, T)];
+
+/// Builds the cartesian grid, skipping device × policy combos the builder
+/// rejects as HiRA-incompatible (returned separately for reporting).
+fn grid(
+    devices: &Axis<DeviceHandle>,
+    policies: &Axis<PolicyHandle>,
+    workloads: &Axis<WorkloadHandle>,
+) -> (Sweep<SystemConfig>, Vec<String>) {
+    let mut points = Vec::new();
+    let mut skipped = Vec::new();
+    for (dn, d) in devices {
+        for (pn, p) in policies {
+            let mut combo_ok = true;
+            for (wn, w) in workloads {
+                if !combo_ok {
+                    break;
+                }
+                let built = SystemBuilder::new()
+                    .device(d.clone())
+                    .policy(p.clone())
+                    .workload(w.clone())
+                    .build();
+                match built {
+                    Ok(cfg) => points.push((
+                        ScenarioKey::root()
+                            .with("dev", dn)
+                            .with("policy", pn)
+                            .with("wl", wn),
+                        cfg,
+                    )),
+                    Err(BuildError::DeviceLacksHira { .. }) => {
+                        skipped.push(format!("{dn} x {pn} (HiRA-inert device)"));
+                        combo_ok = false;
+                    }
+                    Err(e) => panic!("device_matrix point {dn} x {pn} x {wn}: {e}"),
+                }
+            }
+        }
+    }
+    (
+        Sweep::from_points("device_matrix", hira_engine::DEFAULT_BASE_SEED, points),
+        skipped,
+    )
+}
+
+fn print_grid(t: &WsTable, devices: &[String], policies: &[String], workloads: &[String]) {
+    println!("\n-- weighted speedup, rows = device x policy, columns = workloads --");
+    let header: Vec<String> = workloads.iter().map(|n| format!("{n:>8}")).collect();
+    println!("{:<30} {}", "", header.join(" "));
+    for d in devices {
+        for p in policies {
+            let row: Vec<String> = workloads
+                .iter()
+                .map(
+                    |w| match t.try_mean(&[("dev", d), ("policy", p), ("wl", w)]) {
+                        Some(v) => format!("{v:>8.4}"),
+                        None => format!("{:>8}", "-"),
+                    },
+                )
+                .collect();
+            println!("{:<30} {}", format!("{d} / {p}"), row.join(" "));
+        }
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        print_device_list();
+        println!();
+        print_policy_list();
+        println!();
+        print_workload_list();
+        return;
+    }
+    let scale = Scale::from_env();
+    let ex = Executor::from_env();
+    let devices = device_axis_from_args_or(DEFAULT_DEVICES);
+    let policies = policy_axis_from_args_or(DEFAULT_POLICIES);
+    let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
+    assert!(
+        !devices.is_empty() && !policies.is_empty() && !workloads.is_empty(),
+        "device_matrix needs at least one device, one policy and one workload"
+    );
+    let dev_names: Vec<String> = devices.iter().map(|(n, _)| n.clone()).collect();
+    let pol_names: Vec<String> = policies.iter().map(|(n, _)| n.clone()).collect();
+    let wl_names: Vec<String> = workloads.iter().map(|(n, _)| n.clone()).collect();
+
+    println!(
+        "== device matrix: {} devices x {} policies x {} workloads, {} insts ==",
+        devices.len(),
+        policies.len(),
+        workloads.len(),
+        scale.insts
+    );
+    println!("devices:   {}", dev_names.join(", "));
+    println!("policies:  {}", pol_names.join(", "));
+    println!("workloads: {}", wl_names.join(", "));
+
+    let (sweep, skipped) = grid(&devices, &policies, &workloads);
+    for s in &skipped {
+        println!("skipping {s}");
+    }
+    assert!(!sweep.is_empty(), "every device x policy combo was skipped");
+    let t = run_ws_with_stats(&ex, sweep, scale);
+
+    if std::env::args().any(|a| a == "--check-determinism") {
+        let (sweep, _) = grid(&devices, &policies, &workloads);
+        let serial = run_ws_with_stats(&Executor::with_threads(1), sweep, scale);
+        assert_eq!(
+            t.run.canonical_json(),
+            serial.run.canonical_json(),
+            "device sweep results must be independent of HIRA_THREADS"
+        );
+        println!("determinism check: canonical result sets byte-identical at 1 thread");
+    }
+
+    print_grid(&t, &dev_names, &pol_names, &wl_names);
+
+    // Channel metrics under one representative policy: `baseline` when it
+    // is on the axis, the first selected policy otherwise.
+    let metrics_policy = pol_names
+        .iter()
+        .find(|n| *n == "baseline")
+        .unwrap_or(&pol_names[0]);
+    println!("\n-- channel metrics per device ({metrics_policy} policy, mean over workloads) --");
+    println!(
+        "{:<18} {:>10} {:>10} {:>8}",
+        "", "read_lat", "write_lat", "dbus"
+    );
+    for d in &dev_names {
+        let mean_of = |metric: &str| -> Option<f64> {
+            let vals: Vec<f64> = t
+                .run
+                .records
+                .iter()
+                .filter(|r| {
+                    r.metric == metric && r.key.matches(&[("dev", d), ("policy", metrics_policy)])
+                })
+                .map(|r| r.value)
+                .collect();
+            (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+        };
+        match (mean_of("read_lat"), mean_of("write_lat"), mean_of("dbus")) {
+            (Some(rl), Some(wl), Some(db)) => {
+                println!("{d:<18} {rl:>10.2} {wl:>10.2} {db:>8.4}");
+            }
+            // A skipped device x policy combo has no records: say so.
+            _ => println!("{d:<18} {:>10} {:>10} {:>8}", "-", "-", "-"),
+        }
+    }
+
+    let dir = std::env::var("HIRA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    match t.run.write_bench_json(Path::new(&dir)) {
+        Ok(path) => println!("(result store written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_device_matrix.json: {e}"),
+    }
+}

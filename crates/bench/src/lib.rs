@@ -21,13 +21,17 @@
 //!
 //! Binaries that sweep refresh policies also accept `--policy=<name>[,..]`
 //! (repeatable) to subset the policy axis by registry name — see
-//! [`policy_axis_from_args`] — and binaries that sweep workloads accept
-//! `--workload=<name>[,..]` the same way ([`workload_axis_from_args`]).
-//! Passing `--list` to either axis prints every registered name with its
-//! one-line profile and exits, so sweep binaries are self-documenting.
+//! [`policy_axis_from_args`] — binaries that sweep workloads accept
+//! `--workload=<name>[,..]` the same way ([`workload_axis_from_args`]),
+//! and binaries that sweep devices accept `--device=<name>[,..]`
+//! ([`device_axis_from_args_or`], including the dynamic `ddr4-2400@<Gb>`
+//! form). Passing `--list` to any axis prints every registered name with
+//! its one-line profile and exits, so sweep binaries are self-documenting.
 
 use hira_engine::{metric, Executor, ScenarioKey, Sweep};
+use hira_sim::builder::SystemBuilder;
 use hira_sim::config::SystemConfig;
+use hira_sim::device::{DeviceHandle, DeviceRegistry};
 use hira_sim::policy::{self, PolicyHandle, PolicyRegistry};
 use hira_sim::system::System;
 use hira_workload::{mix, WorkloadHandle, WorkloadRegistry};
@@ -69,13 +73,27 @@ impl Scale {
 }
 
 /// Alone-IPC cache key: workload *instance* name (for a mix, the member
-/// benchmark a core runs), channels, ranks, and the Scale dimensions the
-/// simulation depends on (measured + warmup instructions) — so runs at
-/// different scales in one process never share stale values.
-type AloneKey = (String, usize, usize, u64, u64);
+/// benchmark a core runs), device, channels, ranks, and the Scale
+/// dimensions the simulation depends on (measured + warmup instructions)
+/// — so runs at different scales or on different devices in one process
+/// never share stale values.
+type AloneKey = (String, String, usize, usize, u64, u64);
 
-fn alone_key(name: &str, channels: usize, ranks: usize, scale: Scale) -> AloneKey {
-    (name.to_owned(), channels, ranks, scale.insts, scale.warmup)
+fn alone_key(
+    name: &str,
+    device: &DeviceHandle,
+    channels: usize,
+    ranks: usize,
+    scale: Scale,
+) -> AloneKey {
+    (
+        name.to_owned(),
+        device.name().to_owned(),
+        channels,
+        ranks,
+        scale.insts,
+        scale.warmup,
+    )
 }
 
 /// Global cache of alone-IPC values, keyed by instance name and geometry.
@@ -99,21 +117,34 @@ fn store_alone_ipc(key: AloneKey, ipc: f64) {
 
 /// The (pure, deterministic) computation behind [`alone_ipc`]: the
 /// workload instance alone on a single core of an ideal (no-refresh,
-/// no-PARA) 8 Gb system of the given geometry.
-fn compute_alone_ipc(handle: &WorkloadHandle, channels: usize, ranks: usize, scale: Scale) -> f64 {
-    let mut cfg = SystemConfig::table3(8.0, policy::noref())
-        .with_geometry(channels, ranks)
-        .with_insts(scale.insts, scale.warmup)
-        .with_workload(handle.clone());
+/// no-PARA) 8 Gb system of the given device and geometry.
+fn compute_alone_ipc(
+    handle: &WorkloadHandle,
+    device: &DeviceHandle,
+    channels: usize,
+    ranks: usize,
+    scale: Scale,
+) -> f64 {
+    let mut cfg = SystemBuilder::new()
+        .device(device.clone())
+        .chip_gbit(8.0)
+        .policy(policy::noref())
+        .geometry(channels, ranks)
+        .insts(scale.insts, scale.warmup)
+        .workload(handle.clone())
+        .build()
+        .expect("alone-IPC reference system must be valid");
     cfg.cores = 1;
     System::new(cfg).run().ipc[0]
 }
 
 /// IPC of the workload instance `name` running alone on an ideal
-/// (no-refresh, no-PARA) system of the given geometry — the denominator of
-/// weighted speedup. Memoized; the value is a pure function of its
-/// arguments, so concurrent computation of the same key is merely
-/// redundant, never divergent.
+/// (no-refresh, no-PARA) system of the given device and geometry — the
+/// denominator of weighted speedup. The device matters: a speedup on
+/// `lpddr4-3200` is normalized by an `lpddr4-3200` alone run, so the
+/// metric isolates refresh interference, not inter-device raw speed.
+/// Memoized; the value is a pure function of its arguments, so concurrent
+/// computation of the same key is merely redundant, never divergent.
 ///
 /// # Panics
 ///
@@ -121,12 +152,24 @@ fn compute_alone_ipc(handle: &WorkloadHandle, channels: usize, ranks: usize, sca
 /// registry: weighted-speedup sweeps require registry-resolvable instance
 /// names (custom unregistered workloads can still be simulated directly,
 /// just not normalized by [`run_ws`]).
-pub fn alone_ipc(name: &str, channels: usize, ranks: usize, scale: Scale) -> f64 {
-    let key = alone_key(name, channels, ranks, scale);
+pub fn alone_ipc(
+    name: &str,
+    device: &DeviceHandle,
+    channels: usize,
+    ranks: usize,
+    scale: Scale,
+) -> f64 {
+    let key = alone_key(name, device, channels, ranks, scale);
     if let Some(v) = cached_alone_ipc(&key) {
         return v;
     }
-    let ipc = compute_alone_ipc(&hira_workload::workload(name), channels, ranks, scale);
+    let ipc = compute_alone_ipc(
+        &hira_workload::workload(name),
+        device,
+        channels,
+        ranks,
+        scale,
+    );
     store_alone_ipc(key, ipc);
     ipc
 }
@@ -141,25 +184,26 @@ fn warm_alone_cache(ex: &Executor, sweep: &Sweep<SystemConfig>, scale: Scale) {
     let mut seen: Vec<AloneKey> = Vec::new();
     for (_, cfg) in sweep.points() {
         for name in cfg.workload.instance_names(cfg.cores, cfg.seed) {
-            let key = alone_key(&name, cfg.channels, cfg.ranks, scale);
+            let key = alone_key(&name, &cfg.device, cfg.channels, cfg.ranks, scale);
             if cached_alone_ipc(&key).is_some() || seen.contains(&key) {
                 continue;
             }
             seen.push(key);
             let sc_key = ScenarioKey::root()
                 .with("wl", &name)
+                .with("dev", cfg.device.name())
                 .with("ch", cfg.channels.to_string())
                 .with("rk", cfg.ranks.to_string());
-            points.push((sc_key, (name, cfg.channels, cfg.ranks)));
+            points.push((sc_key, (name, cfg.device.clone(), cfg.channels, cfg.ranks)));
         }
     }
     let warm = Sweep::from_points("alone_ipc", sweep.base_seed(), points);
     let ipcs = ex.map(&warm, |sc| {
-        let (name, ch, rk) = sc.params;
-        compute_alone_ipc(&hira_workload::workload(name), *ch, *rk, scale)
+        let (name, dev, ch, rk) = sc.params;
+        compute_alone_ipc(&hira_workload::workload(name), dev, *ch, *rk, scale)
     });
-    for ((_, (name, ch, rk)), ipc) in warm.points().iter().zip(ipcs) {
-        store_alone_ipc(alone_key(name, *ch, *rk, scale), ipc);
+    for ((_, (name, dev, ch, rk)), ipc) in warm.points().iter().zip(ipcs) {
+        store_alone_ipc(alone_key(name, dev, *ch, *rk, scale), ipc);
     }
 }
 
@@ -180,11 +224,18 @@ impl WsTable {
     /// Panics if no config point matches — a missing point in a figure
     /// binary is a programming error.
     pub fn mean(&self, filters: &[(&str, &str)]) -> f64 {
+        self.try_mean(filters)
+            .unwrap_or_else(|| panic!("no ws point matches {filters:?}"))
+    }
+
+    /// [`WsTable::mean`], but `None` when no point matches — for grids
+    /// with legitimately absent cells (e.g. a HiRA policy on a HiRA-inert
+    /// device, skipped at build time).
+    pub fn try_mean(&self, filters: &[(&str, &str)]) -> Option<f64> {
         self.means
             .iter()
             .find(|(k, _)| k.matches(filters))
             .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("no ws point matches {filters:?}"))
     }
 
     /// All per-config means, in sweep order.
@@ -226,7 +277,7 @@ pub fn run_ws(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTabl
             })
             .collect()
     });
-    run_ws_points(ex, full, "mix", scale)
+    run_ws_points(ex, full, "mix", scale, false)
 }
 
 /// Runs a sweep of system configurations **as configured**: every point
@@ -240,18 +291,29 @@ pub fn run_ws(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTabl
 /// names the standard registry cannot resolve (see [`alone_ipc`]).
 pub fn run_ws_as_configured(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTable {
     let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
-    run_ws_points(ex, full, "mix", scale)
+    run_ws_points(ex, full, "mix", scale, false)
+}
+
+/// [`run_ws_as_configured`] plus the channel-level metrics: every record
+/// set carries `read_lat` / `write_lat` (average demand latencies in
+/// memory cycles) and `dbus` (mean per-channel data-bus busy fraction)
+/// alongside `ws`. The `device_matrix` binary's path.
+pub fn run_ws_with_stats(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTable {
+    let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
+    run_ws_points(ex, full, "mix", scale, true)
 }
 
 /// Shared runner: simulates every point, normalizes each core by its
 /// workload's alone-IPC, and collapses `mean_axis` (collapsing an absent
 /// axis is the identity grouping, so per-point tables fall out of the same
-/// path).
+/// path). `channel_stats` additionally records the latency/bus metrics of
+/// [`run_ws_with_stats`].
 fn run_ws_points(
     ex: &Executor,
     full: Sweep<SystemConfig>,
     mean_axis: &str,
     scale: Scale,
+    channel_stats: bool,
 ) -> WsTable {
     assert!(!full.is_empty(), "weighted-speedup sweep has no points");
     warm_alone_cache(ex, &full, scale);
@@ -261,9 +323,17 @@ fn run_ws_points(
         let alone: Vec<f64> = r
             .workloads
             .iter()
-            .map(|name| alone_ipc(name, cfg.channels, cfg.ranks, scale))
+            .map(|name| alone_ipc(name, &cfg.device, cfg.channels, cfg.ranks, scale))
             .collect();
-        vec![metric("ws", r.weighted_speedup(&alone))]
+        let mut ms = vec![metric("ws", r.weighted_speedup(&alone))];
+        if channel_stats {
+            ms.push(metric("read_lat", r.avg_read_latency()));
+            ms.push(metric("write_lat", r.avg_write_latency()));
+            let util = r.data_bus_utilization();
+            let mean_util = util.iter().sum::<f64>() / util.len().max(1) as f64;
+            ms.push(metric("dbus", mean_util));
+        }
+        ms
     });
     let means = run.mean_over(mean_axis, "ws");
     WsTable { run, means }
@@ -342,6 +412,19 @@ pub fn print_policy_list() {
     );
 }
 
+/// Prints every registered device with its one-line summary (the
+/// `--list` output of [`device_axis_from_args_or`]).
+pub fn print_device_list() {
+    println!("registered devices (--device=<name>):");
+    for h in DeviceRegistry::standard().handles() {
+        println!("  {:<18} {}", h.name(), h.summary());
+    }
+    println!(
+        "  {:<18} (dynamic) DDR4-2400 part pinned at <Gb> (tRFC fixed)",
+        "ddr4-2400@<Gb>"
+    );
+}
+
 /// Prints every registered workload with its family and one-line summary
 /// (the `--list` output of [`workload_axis_from_args`]).
 pub fn print_workload_list() {
@@ -390,6 +473,33 @@ fn axis_args(flag: &str) -> Vec<String> {
         .collect()
 }
 
+/// Shared implementation of every `--<flag>=` axis helper: print the
+/// registry and exit on `--list`, otherwise resolve the selected names —
+/// or `defaults` when none were passed — through `resolve` (which panics,
+/// with the registered names, on an unknown name).
+fn axis_from_args_or_with<T>(
+    flag: &str,
+    defaults: &[&str],
+    print_list: fn(),
+    resolve: impl Fn(&str) -> T,
+) -> Vec<(String, T)> {
+    if list_requested() {
+        print_list();
+        std::process::exit(0);
+    }
+    let mut selected = axis_args(flag);
+    if selected.is_empty() {
+        selected = defaults.iter().map(|s| (*s).to_owned()).collect();
+    }
+    selected
+        .into_iter()
+        .map(|name| {
+            let handle = resolve(&name);
+            (name, handle)
+        })
+        .collect()
+}
+
 /// The policy axis of a sweep, from `--policy=` CLI arguments: every
 /// `--policy=name[,name...]` argument adds registry lookups (label =
 /// registry key), and with no such argument every policy in the standard
@@ -402,30 +512,36 @@ fn axis_args(flag: &str) -> Vec<String> {
 /// Panics (with the registered names) when an argument names an unknown
 /// policy.
 pub fn policy_axis_from_args() -> Vec<(String, PolicyHandle)> {
-    if list_requested() {
-        print_policy_list();
-        std::process::exit(0);
-    }
     let registry = PolicyRegistry::standard();
-    let selected = axis_args("policy");
-    if selected.is_empty() {
-        return registry
-            .handles()
-            .map(|h| (h.name().to_owned(), h.clone()))
-            .collect();
-    }
-    selected
-        .into_iter()
-        .map(|name| {
-            let handle = registry.lookup(&name).unwrap_or_else(|| {
-                panic!(
-                    "unknown --policy `{name}`; registered: {} (plus hira<N>)",
-                    registry.names().join(", ")
-                )
-            });
-            (name, handle)
-        })
-        .collect()
+    let names = registry.names();
+    policy_axis_from_args_or(&names)
+}
+
+/// The policy axis of a sweep, from `--policy=` CLI arguments, with
+/// `defaults` (registry names) when no argument selects one — for
+/// binaries whose full-registry default would be too wide a grid.
+///
+/// # Panics
+///
+/// Panics (with the registered names) when an argument — or a default —
+/// names an unknown policy.
+pub fn policy_axis_from_args_or(defaults: &[&str]) -> Vec<(String, PolicyHandle)> {
+    axis_from_args_or_with("policy", defaults, print_policy_list, policy::policy)
+}
+
+/// The device axis of a sweep, from `--device=` CLI arguments, with
+/// `defaults` (registry names) when no argument selects one. With
+/// `--list`, prints every registered device (name + summary, plus the
+/// dynamic `ddr4-2400@<Gb>` form) and exits.
+///
+/// # Panics
+///
+/// Panics (with the registered names) when an argument — or a default —
+/// names an unknown device.
+pub fn device_axis_from_args_or(defaults: &[&str]) -> Vec<(String, DeviceHandle)> {
+    axis_from_args_or_with("device", defaults, print_device_list, |n| {
+        hira_sim::device::device(n)
+    })
 }
 
 /// The workload axis of a sweep, from `--workload=` CLI arguments, with
@@ -438,36 +554,16 @@ pub fn policy_axis_from_args() -> Vec<(String, PolicyHandle)> {
 /// Panics (with the registered names) when an argument — or a default —
 /// names an unknown workload.
 pub fn workload_axis_from_args_or(defaults: &[&str]) -> Vec<(String, WorkloadHandle)> {
-    if list_requested() {
-        print_workload_list();
-        std::process::exit(0);
-    }
-    let mut selected = axis_args("workload");
-    if selected.is_empty() {
-        selected = defaults.iter().map(|s| (*s).to_owned()).collect();
-    }
-    selected
-        .into_iter()
-        .map(|name| {
-            let handle = hira_workload::workload(&name);
-            (name, handle)
-        })
-        .collect()
+    axis_from_args_or_with("workload", defaults, print_workload_list, |n| {
+        hira_workload::workload(n)
+    })
 }
 
 /// [`workload_axis_from_args_or`] defaulting to the full standard registry.
 pub fn workload_axis_from_args() -> Vec<(String, WorkloadHandle)> {
-    if list_requested() {
-        print_workload_list();
-        std::process::exit(0);
-    }
-    if axis_args("workload").is_empty() {
-        return WorkloadRegistry::standard()
-            .handles()
-            .map(|h| (h.name().to_owned(), h.clone()))
-            .collect();
-    }
-    workload_axis_from_args_or(&[])
+    let registry = WorkloadRegistry::standard();
+    let names = registry.names();
+    workload_axis_from_args_or(&names)
 }
 
 /// `p_th` for a RowHammer threshold under the §9.1 analysis, with the slack
@@ -540,6 +636,36 @@ mod tests {
         assert!((t.mean(&[("scheme", "NoRefresh")]) - mean).abs() < 1e-12);
         // Refresh can only cost performance relative to the ideal system.
         assert!(t.mean(&[("scheme", "Baseline")]) <= t.mean(&[("scheme", "NoRefresh")]));
+    }
+
+    #[test]
+    fn run_ws_with_stats_emits_channel_metrics() {
+        let devices = [
+            ("ddr4-2400", hira_sim::device::ddr4_2400()),
+            ("lpddr4-3200", hira_sim::device::lpddr4_3200()),
+        ];
+        let sweep = Sweep::new("stats_smoke").axis("dev", devices, |_, d| {
+            SystemBuilder::new()
+                .device(d.clone())
+                .policy(policy::baseline())
+                .workload(hira_workload::stream())
+                .build()
+                .unwrap()
+        });
+        let t = run_ws_with_stats(&Executor::with_threads(2), sweep, tiny_scale());
+        for m in ["ws", "read_lat", "write_lat", "dbus"] {
+            assert!(
+                t.run.records.iter().any(|r| r.metric == m),
+                "{m} missing from the record set"
+            );
+        }
+        // The grid is addressable per device; absent cells answer None.
+        assert!(t.try_mean(&[("dev", "ddr4-2400")]).is_some());
+        assert!(t.try_mean(&[("dev", "nope")]).is_none());
+        // Streaming traffic keeps the bus meaningfully busy on both parts.
+        for r in t.run.records.iter().filter(|r| r.metric == "dbus") {
+            assert!(r.value > 0.0 && r.value <= 1.0, "dbus {}", r.value);
+        }
     }
 
     #[test]

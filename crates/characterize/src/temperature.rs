@@ -1,7 +1,8 @@
 //! Temperature sensitivity study (extension).
 //!
 //! The paper's rig clamps chips at a controlled temperature (§4.1) but only
-//! reports room-temperature results. Prior work the paper builds on ([129])
+//! reports room-temperature results. Prior work the paper builds on (ref
+//! \[129\])
 //! shows RowHammer thresholds fall as temperature rises, while HiRA's
 //! analog timing windows are design properties. This experiment sweeps the
 //! heater setpoint and verifies two things on the model:

@@ -64,7 +64,7 @@ pub struct AreaReport {
     pub structures: Vec<StructureReport>,
     /// Total area per rank in mm².
     pub total_mm2: f64,
-    /// Fraction of a 22 nm Intel processor die (177 mm², [172]).
+    /// Fraction of a 22 nm Intel processor die (177 mm², ref \[172\]).
     pub die_fraction: f64,
     /// §6.2 worst-case search latency in ns.
     pub worst_case_search_ns: f64,

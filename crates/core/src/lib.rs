@@ -13,7 +13,7 @@
 //!   balanced advancement; §5.1.1/§5.1.3),
 //! * [`prfifo`] — the PR-FIFO of queued preventive refreshes (§5.1.2),
 //! * [`spt`] — the Subarray Pairs Table (§5.1.4),
-//! * [`para`] + [`preventive`] — PARA [84] and the preventive-refresh flow
+//! * [`para`] — PARA \[84\] and the preventive-refresh flow
 //!   with `tRefSlack`-aware aggressiveness (folded into [`finder`]),
 //! * [`periodic`] — the Periodic Refresh Controller (per-bank staggered
 //!   request generation),

@@ -1,4 +1,4 @@
-//! PARA — Probabilistic Adjacent Row Activation [84] (§9).
+//! PARA — Probabilistic Adjacent Row Activation \[84\] (§9).
 //!
 //! Stateless RowHammer defense: on every row activation, with probability
 //! `p_th`, refresh one of the two physically adjacent rows (each side with

@@ -1,7 +1,7 @@
 //! §9.1: the revisited PARA security analysis (Expressions 2-9, Fig. 11).
 //!
 //! PARA refreshes one of the two neighbours of every activated row with
-//! probability `p_th`. The legacy configuration (Kim et al. [84]) assumes an
+//! probability `p_th`. The legacy configuration (Kim et al. \[84\]) assumes an
 //! attacker hammers exactly `N_RH` times; the paper shows that at modern
 //! thresholds an attacker can retry many times within a refresh window, and
 //! derives the exact success probability over *all* access patterns:
@@ -84,7 +84,7 @@ fn self_slack(params: &SecurityParams, nrh: u32) -> u32 {
 }
 
 /// PARA-Legacy's threshold: solves `(1 − p_th/2)^{N_RH} = target`
-/// (the original configuration methodology of Kim et al. [84]).
+/// (the original configuration methodology of Kim et al. \[84\]).
 pub fn legacy_pth(nrh: u32, target_p_rh: f64) -> f64 {
     assert!(nrh > 0, "threshold must be positive");
     assert!(target_p_rh > 0.0 && target_p_rh < 1.0);

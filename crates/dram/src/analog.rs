@@ -7,9 +7,9 @@
 //!
 //! * a **design-induced** component that varies systematically with the row's
 //!   position in the bank (rows far from the row decoder / I/O are slower,
-//!   after Lee et al. [93]), and
+//!   after Lee et al. \[93\]), and
 //! * a **process-variation** component (random per row, after Chang et al.
-//!   [19]).
+//!   \[19\]).
 //!
 //! All values are in nanoseconds from the relevant command edge.
 
@@ -103,7 +103,7 @@ impl AnalogModel {
     /// row pairs HiRA can activate are the same in all 16 banks, i.e. the
     /// analog envelope is a design-induced property of the die layout, not
     /// of individual bank instances (`bank` is accepted for API symmetry but
-    /// does not enter the hash). `row_pos` ∈ [0,1] drives the systematic
+    /// does not enter the hash). `row_pos` in \[0,1\] drives the systematic
     /// position component.
     pub fn sample(&self, seed: u64, bank: BankId, row: RowId, rows_per_bank: u32) -> RowAnalog {
         let _ = bank;

@@ -21,7 +21,7 @@
 //!    jitter`), otherwise both row buffers drive the bank I/O and corrupt
 //!    each other;
 //! 5. the two rows' subarrays must be electrically isolated
-//!    ([`IsolationMatrix`]), otherwise charge sharing on common
+//!    ([`crate::isolation::IsolationMap`]), otherwise charge sharing on common
 //!    bitlines/sense-amps garbles both rows.
 
 use crate::addr::{BankId, RowId};

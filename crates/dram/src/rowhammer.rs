@@ -33,7 +33,7 @@ pub struct RowHammerModel {
     /// Number of RowHammer-weak cells per row (upper bound of a small range).
     pub weak_cells_max: u32,
     /// Threshold derating per °C above the 45 °C reference (higher
-    /// temperature ⇒ more vulnerable, after [129]).
+    /// temperature ⇒ more vulnerable, after ref \[129\]).
     pub temp_slope_per_c: f64,
 }
 

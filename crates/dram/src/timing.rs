@@ -87,6 +87,65 @@ impl TimingParams {
         t
     }
 
+    /// DDR4-3200 parameters (JESD79-4, speed bin 3200AA). The faster
+    /// command clock (1.6 GHz) tightens most ns-denominated parameters
+    /// slightly while the analog core (`tRAS`, charge restoration) stays
+    /// put — which is exactly why the refresh/demand interference balance
+    /// shifts across speed bins.
+    pub fn ddr4_3200() -> Self {
+        TimingParams {
+            t_ck: 0.625,
+            t_rcd: 13.75,
+            t_ras: 32.0,
+            t_rp: 13.75,
+            t_rc: 45.75,
+            t_rrd_l: 4.9,
+            t_rrd_s: 2.5,
+            t_faw: 13.125,
+            t_ccd_l: 5.0,
+            t_ccd_s: 2.5,
+            t_cl: 13.75,
+            t_cwl: 10.0,
+            t_bl: 2.5,
+            t_wr: 15.0,
+            t_wtr: 7.5,
+            t_rtp: 7.5,
+            t_rfc: 260.0,
+            t_refi: 7800.0,
+            t_refw: 64_000_000.0,
+        }
+    }
+
+    /// LPDDR4-3200 parameters (JESD209-4). The mobile standard trades a
+    /// slower analog core (`tRC = 60 ns`) for *native per-bank refresh*:
+    /// `REFpb` is a first-class command with `tRFCpb = tRFC/2`, and the
+    /// refresh window is 32 ms — double DDR4's periodic-refresh rate.
+    /// Geometry differs too: 8 banks, no bank groups (`tCCD`/`tRRD` have a
+    /// single value each).
+    pub fn lpddr4_3200() -> Self {
+        TimingParams {
+            t_ck: 0.625,
+            t_rcd: 18.0,
+            t_ras: 42.0,
+            t_rp: 18.0,
+            t_rc: 60.0,
+            t_rrd_l: 10.0,
+            t_rrd_s: 10.0,
+            t_faw: 40.0,
+            t_ccd_l: 5.0,
+            t_ccd_s: 5.0,
+            t_cl: 17.5,
+            t_cwl: 8.75,
+            t_bl: 2.5,
+            t_wr: 18.0,
+            t_wtr: 10.0,
+            t_rtp: 7.5,
+            t_rfc: 280.0,
+            t_refi: 3904.0,
+            t_refw: 32_000_000.0,
+        }
+    }
+
     /// DDR5-4800 parameters (JESD79-5). The paper's §2.3 motivates HiRA
     /// partly through DDR5's tighter refresh regime: a 32 ms `tREFW` and
     /// 3.9 µs `tREFI` double the periodic-refresh rate relative to DDR4.
@@ -128,7 +187,7 @@ impl TimingParams {
 
 /// The paper's Expression (1): `tRFC = 110 × C_chip^0.6` ns, `C_chip` in Gb.
 ///
-/// This is the state-of-the-art regression model [124] the paper uses to
+/// This is the state-of-the-art regression model \[124\] the paper uses to
 /// project refresh latency for future high-capacity chips.
 pub fn trfc_for_capacity(chip_gbit: f64) -> f64 {
     assert!(chip_gbit > 0.0, "chip capacity must be positive");
@@ -210,6 +269,27 @@ mod tests {
         // Headline claim: 51.4% reduction (§1, §4.2).
         let reduction = 1.0 - h.two_row_refresh_ns(&t) / t.two_row_refresh_ns();
         assert!((reduction - 0.514).abs() < 0.002, "reduction {reduction}");
+    }
+
+    #[test]
+    fn ddr4_3200_tightens_the_grid_but_not_the_core() {
+        let slow = TimingParams::ddr4_2400();
+        let fast = TimingParams::ddr4_3200();
+        assert!(fast.t_ck < slow.t_ck);
+        // The analog charge-restoration core is speed-bin independent.
+        assert!((fast.t_ras - slow.t_ras).abs() < 1e-9);
+        assert!(fast.t_rc >= fast.t_ras + fast.t_rp);
+        assert!(fast.t_faw >= 4.0 * fast.t_rrd_s);
+    }
+
+    #[test]
+    fn lpddr4_is_per_bank_refresh_shaped() {
+        let t = TimingParams::lpddr4_3200();
+        assert!(t.t_rc >= t.t_ras + t.t_rp);
+        assert!(t.t_faw >= 4.0 * t.t_rrd_s);
+        // 32 ms window: double DDR4's periodic-refresh rate.
+        assert!((TimingParams::ddr4_2400().t_refw / t.t_refw - 2.0).abs() < 1e-9);
+        assert!(t.t_rfc < t.t_refi);
     }
 
     #[test]

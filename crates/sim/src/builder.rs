@@ -7,11 +7,18 @@
 //! could not operate (zero banks, `tRFC ≥ tREFI`, bank groups that do not
 //! divide the bank count, …) with a [`BuildError`] naming the violation.
 //!
+//! The DRAM part is selected like the policy and workload axes:
+//! [`SystemBuilder::device`] / [`SystemBuilder::device_name`] pick a
+//! [`crate::device::DeviceHandle`], which then supplies the bank
+//! geometry, chip capacity and timing-table defaults (each individually
+//! overridable).
+//!
 //! ```rust
 //! use hira_sim::builder::SystemBuilder;
 //! use hira_sim::policy;
 //!
 //! let cfg = SystemBuilder::new()
+//!     .device_name("ddr4-3200")
 //!     .chip_gbit(64.0)
 //!     .policy(policy::hira(4))
 //!     .geometry(2, 2)
@@ -20,11 +27,13 @@
 //!     .unwrap();
 //! assert_eq!(cfg.channels, 2);
 //! assert_eq!(cfg.refresh.name(), "hira4");
+//! assert_eq!(cfg.clock().mem_ticks_per_cpu_cycle(), (1, 2));
 //! ```
 
 use crate::config::SystemConfig;
+use crate::device::{ddr4_2400, DeviceHandle};
 use crate::policy::{baseline, PolicyHandle};
-use hira_dram::timing::{trfc_for_capacity, TimingParams};
+use hira_dram::timing::TimingParams;
 use hira_workload::WorkloadHandle;
 use std::fmt;
 
@@ -97,6 +106,35 @@ pub enum BuildError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A [`SystemBuilder::device_name`] lookup did not resolve against
+    /// the standard device registry.
+    UnknownDevice {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The policy's HiRA lead timings are inconsistent with the device's
+    /// timing table: `t1` and `t2` must be positive, `t1` must not exceed
+    /// `t2` (§4.2 finds reliable hidden activation only there), and `t2`
+    /// must stay *below* `tRAS` — at `t2 ≥ tRAS` the "violating"
+    /// precharge is no longer violating and the operation degenerates to
+    /// a nominal two-row refresh.
+    HiraLeadInvalid {
+        /// First-`ACT` → `PRE` gap, ns.
+        t1: f64,
+        /// `PRE` → second-`ACT` gap, ns.
+        t2: f64,
+        /// The device's charge-restoration latency, ns.
+        t_ras: f64,
+    },
+    /// The selected policy issues HiRA operations, but the selected
+    /// device's command decoder drops timing-violating commands (§12:
+    /// Samsung/Micron parts are HiRA-inert).
+    DeviceLacksHira {
+        /// The HiRA-inert device.
+        device: String,
+        /// The policy that needs HiRA operations.
+        policy: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -136,6 +174,21 @@ impl fmt::Display for BuildError {
                 "no workload named `{name}` in the standard registry \
                  (nor a resolvable mix<N>/zipf<N>/rw<N>/open<N>/trace:<path> form)"
             ),
+            BuildError::UnknownDevice { name } => write!(
+                f,
+                "no device named `{name}` in the standard registry \
+                 (nor a resolvable ddr4-2400@<Gb> form)"
+            ),
+            BuildError::HiraLeadInvalid { t1, t2, t_ras } => write!(
+                f,
+                "HiRA lead timings t1 = {t1} ns, t2 = {t2} ns are invalid: \
+                 need 0 < t1 <= t2 < tRAS ({t_ras} ns)"
+            ),
+            BuildError::DeviceLacksHira { device, policy } => write!(
+                f,
+                "policy `{policy}` issues HiRA operations but device `{device}` \
+                 drops timing-violating commands (HiRA-inert decoder)"
+            ),
         }
     }
 }
@@ -149,9 +202,15 @@ pub struct SystemBuilder {
     cores: usize,
     channels: usize,
     ranks: usize,
-    banks: u16,
-    bank_groups: u16,
-    chip_gbit: f64,
+    /// Explicit `(banks, bank_groups)` override; the device profile's
+    /// geometry otherwise.
+    banks: Option<(u16, u16)>,
+    /// Explicit chip capacity; the device profile's default otherwise.
+    chip_gbit: Option<f64>,
+    device: DeviceHandle,
+    /// A pending by-name device selection, resolved (and validated) at
+    /// [`SystemBuilder::build`]; overrides `device` when set.
+    device_by_name: Option<String>,
     timing: Option<TimingParams>,
     refresh: PolicyHandle,
     /// A pending by-name policy selection, resolved (and validated) at
@@ -193,9 +252,10 @@ impl SystemBuilder {
             cores: 8,
             channels: 1,
             ranks: 1,
-            banks: 16,
-            bank_groups: 4,
-            chip_gbit: 8.0,
+            banks: None,
+            chip_gbit: None,
+            device: ddr4_2400(),
+            device_by_name: None,
             timing: None,
             refresh: baseline(),
             refresh_by_name: None,
@@ -230,22 +290,41 @@ impl SystemBuilder {
         self
     }
 
-    /// Banks per rank and bank groups per rank.
+    /// Banks per rank and bank groups per rank (overrides the device
+    /// profile's geometry).
     pub fn banks(mut self, banks: u16, bank_groups: u16) -> Self {
-        self.banks = banks;
-        self.bank_groups = bank_groups;
+        self.banks = Some((banks, bank_groups));
         self
     }
 
-    /// Chip capacity in Gb. Unless [`SystemBuilder::timing`] overrides it,
-    /// `tRFC` is projected from the capacity by Expression 1.
+    /// Chip capacity in Gb. Unless [`SystemBuilder::timing`] overrides
+    /// it, the device projects its capacity-scaled timing table (for the
+    /// DDR4 presets: `tRFC` by Expression 1) from this value.
     pub fn chip_gbit(mut self, chip_gbit: f64) -> Self {
-        self.chip_gbit = chip_gbit;
+        self.chip_gbit = Some(chip_gbit);
         self
     }
 
-    /// Explicit DDR timing parameters (replaces the DDR4-2400 +
-    /// Expression 1 default).
+    /// The DRAM device (clock, geometry defaults, timing table,
+    /// capability flags). Default: the Table 3 `ddr4-2400` part.
+    pub fn device(mut self, device: DeviceHandle) -> Self {
+        self.device = device;
+        self.device_by_name = None;
+        self
+    }
+
+    /// Selects the device by standard-registry name (`--device=` axes),
+    /// including the dynamic `ddr4-2400@<Gb>` form. The lookup happens in
+    /// [`SystemBuilder::build`], so an unknown name surfaces as
+    /// [`BuildError::UnknownDevice`]; the panicking shortcut for CLI use
+    /// is [`crate::device::device`].
+    pub fn device_name(mut self, name: &str) -> Self {
+        self.device_by_name = Some(name.to_owned());
+        self
+    }
+
+    /// Explicit DDR timing parameters (replaces the device's
+    /// capacity-scaled table).
     pub fn timing(mut self, timing: TimingParams) -> Self {
         self.timing = Some(timing);
         self
@@ -338,12 +417,24 @@ impl SystemBuilder {
 
     /// Validates and assembles the configuration.
     pub fn build(self) -> Result<SystemConfig, BuildError> {
+        // The device resolves first: it supplies the geometry, capacity
+        // and timing defaults everything below validates against.
+        let device = match self.device_by_name {
+            None => self.device,
+            Some(name) => crate::device::DeviceRegistry::standard()
+                .lookup(&name)
+                .ok_or(BuildError::UnknownDevice { name })?,
+        };
+        let (banks, bank_groups) = self
+            .banks
+            .unwrap_or_else(|| (device.profile().banks, device.profile().bank_groups));
+        let chip_gbit = self.chip_gbit.unwrap_or(device.profile().default_chip_gbit);
         for (what, n) in [
             ("cores", self.cores),
             ("channels", self.channels),
             ("ranks", self.ranks),
-            ("banks", self.banks as usize),
-            ("bank_groups", self.bank_groups as usize),
+            ("banks", banks as usize),
+            ("bank_groups", bank_groups as usize),
             ("queue_depth", self.queue_depth),
             ("llc_ways", self.llc_ways),
             ("insts_per_core", self.insts_per_core as usize),
@@ -352,22 +443,13 @@ impl SystemBuilder {
                 return Err(BuildError::ZeroCount { what });
             }
         }
-        if !self.banks.is_multiple_of(self.bank_groups) {
-            return Err(BuildError::BankGroupMismatch {
-                banks: self.banks,
-                bank_groups: self.bank_groups,
-            });
+        if !banks.is_multiple_of(bank_groups) {
+            return Err(BuildError::BankGroupMismatch { banks, bank_groups });
         }
-        if !(self.chip_gbit.is_finite() && self.chip_gbit > 0.0) {
-            return Err(BuildError::InvalidCapacity {
-                chip_gbit: self.chip_gbit,
-            });
+        if !(chip_gbit.is_finite() && chip_gbit > 0.0) {
+            return Err(BuildError::InvalidCapacity { chip_gbit });
         }
-        let timing = self.timing.unwrap_or_else(|| {
-            let mut t = TimingParams::ddr4_2400();
-            t.t_rfc = trfc_for_capacity(self.chip_gbit);
-            t
-        });
+        let timing = self.timing.unwrap_or_else(|| device.timing(chip_gbit));
         if timing.t_rfc >= timing.t_refi {
             return Err(BuildError::RefreshWindowTooTight {
                 t_rfc: timing.t_rfc,
@@ -421,13 +503,14 @@ impl SystemBuilder {
                 slack_acts: Some(n),
             }) => refresh.with_para_hira(pth, n),
         };
-        Ok(SystemConfig {
+        let cfg = SystemConfig {
             cores: self.cores,
             channels: self.channels,
             ranks: self.ranks,
-            banks: self.banks,
-            bank_groups: self.bank_groups,
-            chip_gbit: self.chip_gbit,
+            banks,
+            bank_groups,
+            chip_gbit,
+            device,
             timing,
             refresh,
             workload,
@@ -438,7 +521,28 @@ impl SystemBuilder {
             warmup_insts: self.warmup_insts,
             spt_fraction: self.spt_fraction,
             seed: self.seed,
-        })
+        };
+        // HiRA capability cross-checks need a live policy instance (the
+        // lead pair is the policy's choice, the decoder behaviour the
+        // device's): probe one and validate the pairing.
+        if let Some((t1, t2)) = crate::policy::probe(&cfg).hira_lead() {
+            if !cfg.device.profile().supports_hira {
+                return Err(BuildError::DeviceLacksHira {
+                    device: cfg.device.name().to_owned(),
+                    policy: cfg.refresh.name().to_owned(),
+                });
+            }
+            let valid =
+                t1.is_finite() && t2.is_finite() && t1 > 0.0 && t1 <= t2 && t2 < cfg.timing.t_ras;
+            if !valid {
+                return Err(BuildError::HiraLeadInvalid {
+                    t1,
+                    t2,
+                    t_ras: cfg.timing.t_ras,
+                });
+            }
+        }
+        Ok(cfg)
     }
 }
 
@@ -559,6 +663,119 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.refresh.name(), "noref");
+    }
+
+    #[test]
+    fn device_name_resolves_through_the_registry() {
+        let cfg = SystemBuilder::new()
+            .device_name("lpddr4-3200")
+            .build()
+            .unwrap();
+        assert_eq!(cfg.device.name(), "lpddr4-3200");
+        // The dynamic capacity form resolves too.
+        let cfg = SystemBuilder::new()
+            .device_name("ddr4-2400@32")
+            .build()
+            .unwrap();
+        assert_eq!(cfg.device.name(), "ddr4-2400@32");
+        assert_eq!(cfg.chip_gbit, 32.0, "pinned parts fix the capacity");
+        let err = SystemBuilder::new()
+            .device_name("nope")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnknownDevice {
+                name: "nope".into()
+            }
+        );
+        // A later explicit device() overrides a pending name.
+        let cfg = SystemBuilder::new()
+            .device_name("nope")
+            .device(crate::device::ddr4_3200())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.device.name(), "ddr4-3200");
+    }
+
+    #[test]
+    fn device_supplies_geometry_clock_and_timing_defaults() {
+        let cfg = SystemBuilder::new()
+            .device(crate::device::lpddr4_3200())
+            .build()
+            .unwrap();
+        assert_eq!((cfg.banks, cfg.bank_groups), (8, 1));
+        assert_eq!(cfg.clock().mem_ticks_per_cpu_cycle(), (1, 2));
+        assert!((cfg.timing.t_rc - 60.0).abs() < 1e-9);
+        // An explicit geometry override wins (and is still validated).
+        let cfg = SystemBuilder::new()
+            .device(crate::device::lpddr4_3200())
+            .banks(16, 4)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.banks, cfg.bank_groups), (16, 4));
+        // The default device is the Table 3 part, bit-identical defaults.
+        let cfg = SystemBuilder::new().build().unwrap();
+        assert_eq!(cfg.device.name(), "ddr4-2400");
+        assert_eq!((cfg.banks, cfg.bank_groups), (16, 4));
+        assert_eq!(cfg.chip_gbit, 8.0);
+    }
+
+    #[test]
+    fn hira_policies_are_rejected_on_inert_devices() {
+        let err = SystemBuilder::new()
+            .device(crate::device::samsung_ddr4_2400())
+            .policy(hira(4))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::DeviceLacksHira {
+                device: "samsung-ddr4-2400".into(),
+                policy: "hira4".into()
+            }
+        );
+        // A PARA-over-HiRA layer needs HiRA operations just the same.
+        let err = SystemBuilder::new()
+            .device(crate::device::samsung_ddr4_2400())
+            .policy(noref())
+            .preventive_hira(0.5, 4)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::DeviceLacksHira { .. }));
+        // Non-HiRA arrangements run fine on the inert part.
+        for p in [baseline(), noref(), crate::policy::refpb()] {
+            assert!(SystemBuilder::new()
+                .device(crate::device::samsung_ddr4_2400())
+                .policy(p)
+                .build()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn invalid_hira_leads_are_rejected() {
+        use hira_core::config::HiraConfig;
+        use hira_core::hira_op::HiraOperation;
+        use hira_dram::timing::HiraTimings;
+        let with_lead = |t1, t2| {
+            let mut c = HiraConfig::hira_n(4);
+            c.op = HiraOperation::with_timings(HiraTimings { t1, t2 });
+            SystemBuilder::new()
+                .policy(crate::policy::hira_custom("hira4-custom", c))
+                .build()
+        };
+        // Nominal and the paper's swept grid upper corner are fine.
+        assert!(with_lead(3.0, 3.0).is_ok());
+        assert!(with_lead(1.5, 6.0).is_ok());
+        // t1 > t2, t2 beyond tRAS, and non-positive leads are typed errors.
+        for (t1, t2) in [(4.5, 3.0), (3.0, 32.0), (0.0, 3.0), (-1.0, 3.0)] {
+            let err = with_lead(t1, t2).unwrap_err();
+            assert!(
+                matches!(err, BuildError::HiraLeadInvalid { .. }),
+                "({t1}, {t2}): {err:?}"
+            );
+        }
     }
 
     #[test]

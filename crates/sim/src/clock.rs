@@ -1,38 +1,118 @@
 //! Clock domains and conversions.
 //!
-//! The CPU runs at 3.2 GHz and the DDR4-2400 command clock at 1.2 GHz —
-//! a ratio of 8:3. The simulator's outer loop runs in CPU cycles and
-//! accumulates fractional memory ticks; the memory side works in *memory
-//! cycles* and converts to nanoseconds when talking to `hira-core`.
-
-/// CPU clock frequency in GHz (Table 3).
-pub const CPU_GHZ: f64 = 3.2;
-
-/// DDR4-2400 command clock in GHz.
-pub const MEM_GHZ: f64 = 1.2;
-
-/// Memory command-clock period in ns.
-pub const T_CK_NS: f64 = 1.0 / MEM_GHZ;
-
-/// Memory ticks accumulated per CPU cycle, as a rational (3 per 8).
-pub const MEM_PER_CPU_NUM: u64 = 3;
-/// Denominator of the memory-per-CPU ratio.
-pub const MEM_PER_CPU_DEN: u64 = 8;
+//! The simulator's outer loop runs in CPU cycles; the memory side works in
+//! *memory cycles* (command-clock ticks) and converts to nanoseconds when
+//! talking to `hira-core`. Which command clock — and therefore which
+//! CPU↔memory ratio — is a property of the configured **device**
+//! ([`crate::device::DeviceProfile`]), not of this module: a DDR4-2400
+//! part ticks at 1.2 GHz (3 memory ticks per 8 CPU cycles at the Table 3
+//! 3.2 GHz CPU), a DDR4-3200 or LPDDR4-3200 part at 1.6 GHz (1 per 2).
+//!
+//! [`MemClock`] bundles both frequencies plus the exact rational tick
+//! ratio, so the outer loop can accumulate memory ticks in integer
+//! arithmetic (bit-identical across runs and thread counts) while the
+//! ns conversions stay in floating point.
 
 /// A timestamp or duration in memory cycles.
 pub type MemCycle = u64;
 
-/// Converts nanoseconds to memory cycles, rounding up (a constraint of
-/// `x` ns cannot be satisfied earlier than the covering command slot).
-#[inline]
-pub fn ns_to_cycles(ns: f64) -> MemCycle {
-    (ns * MEM_GHZ).ceil() as MemCycle
+/// One CPU-clock/command-clock pairing: frequencies plus the exact
+/// `memory ticks per CPU cycle` rational the outer simulation loop uses.
+///
+/// Constructed from a [`crate::device::DeviceProfile`] (the device is the
+/// source of truth for the command clock); [`MemClock::ddr4_2400`] is the
+/// Table 3 reference pairing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemClock {
+    cpu_ghz: f64,
+    mem_ghz: f64,
+    /// Command-clock period in ns (cached `1 / mem_ghz`).
+    t_ck_ns: f64,
+    /// Memory ticks accumulated per CPU cycle, as an exact rational.
+    ticks_num: u64,
+    ticks_den: u64,
 }
 
-/// Converts memory cycles to nanoseconds.
-#[inline]
-pub fn cycles_to_ns(c: MemCycle) -> f64 {
-    c as f64 * T_CK_NS
+impl MemClock {
+    /// Builds a clock pairing. `ticks` is the exact
+    /// `(numerator, denominator)` of memory-ticks-per-CPU-cycle; it is
+    /// supplied explicitly (rather than derived from the float
+    /// frequencies) so the integer tick accumulator is exact by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a frequency is non-positive, the rational is
+    /// degenerate, or the rational disagrees with `mem_ghz / cpu_ghz` by
+    /// more than float noise — a mismatched ratio would silently desync
+    /// the ns and cycle time bases.
+    pub fn new(cpu_ghz: f64, mem_ghz: f64, ticks: (u64, u64)) -> Self {
+        let (num, den) = ticks;
+        assert!(
+            cpu_ghz > 0.0 && mem_ghz > 0.0,
+            "clock rates must be positive"
+        );
+        assert!(num > 0 && den > 0, "tick ratio must be a positive rational");
+        let ratio = mem_ghz / cpu_ghz;
+        assert!(
+            (ratio - num as f64 / den as f64).abs() < 1e-9,
+            "tick ratio {num}/{den} does not match {mem_ghz}/{cpu_ghz} GHz"
+        );
+        MemClock {
+            cpu_ghz,
+            mem_ghz,
+            t_ck_ns: 1.0 / mem_ghz,
+            ticks_num: num,
+            ticks_den: den,
+        }
+    }
+
+    /// The Table 3 reference pairing: 3.2 GHz CPU over a DDR4-2400
+    /// command clock (1.2 GHz) — 3 memory ticks per 8 CPU cycles.
+    pub fn ddr4_2400() -> Self {
+        MemClock::new(3.2, 1.2, (3, 8))
+    }
+
+    /// CPU clock frequency in GHz.
+    pub fn cpu_ghz(&self) -> f64 {
+        self.cpu_ghz
+    }
+
+    /// Memory command-clock frequency in GHz.
+    pub fn mem_ghz(&self) -> f64 {
+        self.mem_ghz
+    }
+
+    /// Memory command-clock period in ns.
+    pub fn t_ck_ns(&self) -> f64 {
+        self.t_ck_ns
+    }
+
+    /// The exact `(numerator, denominator)` of memory ticks accumulated
+    /// per CPU cycle — the outer loop's integer accumulator constants.
+    pub fn mem_ticks_per_cpu_cycle(&self) -> (u64, u64) {
+        (self.ticks_num, self.ticks_den)
+    }
+
+    /// CPU cycles per memory tick (the [`crate::device::DeviceProfile`]'s
+    /// headline ratio, as a float for display).
+    pub fn cpu_cycles_per_mem_tick(&self) -> f64 {
+        self.cpu_ghz / self.mem_ghz
+    }
+
+    /// Converts nanoseconds to memory cycles, rounding up (a constraint
+    /// of `x` ns cannot be satisfied earlier than the covering command
+    /// slot).
+    #[inline]
+    pub fn ns_to_cycles(&self, ns: f64) -> MemCycle {
+        (ns * self.mem_ghz).ceil() as MemCycle
+    }
+
+    /// Converts memory cycles to nanoseconds.
+    #[inline]
+    pub fn cycles_to_ns(&self, c: MemCycle) -> f64 {
+        c as f64 * self.t_ck_ns
+    }
 }
 
 #[cfg(test)]
@@ -41,24 +121,46 @@ mod tests {
 
     #[test]
     fn ratio_matches_frequencies() {
-        assert!(
-            (CPU_GHZ / MEM_GHZ - MEM_PER_CPU_DEN as f64 / MEM_PER_CPU_NUM as f64).abs() < 1e-12
-        );
+        let c = MemClock::ddr4_2400();
+        assert!((c.cpu_ghz() / c.mem_ghz() - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.mem_ticks_per_cpu_cycle(), (3, 8));
+        let fast = MemClock::new(3.2, 1.6, (1, 2));
+        assert_eq!(fast.mem_ticks_per_cpu_cycle(), (1, 2));
+        assert!((fast.cpu_cycles_per_mem_tick() - 2.0).abs() < 1e-12);
     }
 
+    /// Regression pin: the DDR4-2400 conversions the whole tracked
+    /// baseline was produced under. These exact values must survive the
+    /// clock becoming device-parametric.
     #[test]
-    fn ns_round_trips_conservatively() {
+    fn ddr4_2400_conversions_are_pinned() {
+        let c = MemClock::ddr4_2400();
         // tRC = 46.25 ns → 56 cycles (46.67 ns): never early.
-        let c = ns_to_cycles(46.25);
-        assert_eq!(c, 56);
-        assert!(cycles_to_ns(c) >= 46.25);
+        assert_eq!(c.ns_to_cycles(46.25), 56);
+        assert!(c.cycles_to_ns(56) >= 46.25);
         // Exact multiples stay exact.
-        assert_eq!(ns_to_cycles(cycles_to_ns(40)), 40);
+        assert_eq!(c.ns_to_cycles(c.cycles_to_ns(40)), 40);
+        // t1 = 3 ns → 4 command cycles.
+        assert_eq!(c.ns_to_cycles(3.0), 4);
+        // Table 3 staples on the 1.2 GHz grid.
+        assert_eq!(c.ns_to_cycles(7800.0), 9360); // tREFI
+        assert_eq!(c.ns_to_cycles(32.0), 39); // tRAS
+        assert_eq!(c.ns_to_cycles(14.25), 18); // tRP / tRCD / tCL
+        assert_eq!(c.ns_to_cycles(16.0), 20); // tFAW
     }
 
     #[test]
-    fn hira_lead_rounds_to_command_slots() {
-        // t1 = 3 ns → 4 command cycles.
-        assert_eq!(ns_to_cycles(3.0), 4);
+    fn faster_grids_cover_ns_constraints_sooner() {
+        let slow = MemClock::ddr4_2400();
+        let fast = MemClock::new(3.2, 1.6, (1, 2));
+        // 46.25 ns on the 1.6 GHz grid: 74 cycles of 0.625 ns.
+        assert_eq!(fast.ns_to_cycles(46.25), 74);
+        assert!(fast.cycles_to_ns(fast.ns_to_cycles(46.25)) <= slow.cycles_to_ns(56));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_rationals_are_rejected() {
+        MemClock::new(3.2, 1.2, (1, 2));
     }
 }

@@ -12,8 +12,17 @@
 //! [`hira_workload::WorkloadRegistry`] — the SPEC-like roster mixes, any
 //! parametric generator, or a `.trace` replay all slot into the same
 //! field. The default is the standard suite's `mix0`.
+//!
+//! The DRAM part itself is the third open axis: `device` is a
+//! [`DeviceHandle`] resolved from the [`crate::device::DeviceRegistry`].
+//! The device supplies the command clock (and thereby the CPU↔memory
+//! tick ratio), the default bank geometry, the capacity-scaled timing
+//! table `timing` is seeded from, and the capability flags (HiRA
+//! `t1`/`t2` support, native `REFpb`).
 
 use crate::builder::SystemBuilder;
+use crate::clock::MemClock;
+use crate::device::DeviceHandle;
 use crate::policy::PolicyHandle;
 use hira_dram::timing::TimingParams;
 use hira_workload::WorkloadHandle;
@@ -35,7 +44,11 @@ pub struct SystemConfig {
     pub bank_groups: u16,
     /// Chip capacity in Gb (drives rows/bank and `tRFC`).
     pub chip_gbit: f64,
-    /// DDR timing parameters.
+    /// The DRAM part: clock ratio, geometry defaults, capacity-scaled
+    /// timing, capability flags (see [`crate::device`]).
+    pub device: DeviceHandle,
+    /// DDR timing parameters (seeded from `device` at build time; may be
+    /// overridden afterwards for targeted experiments).
     pub timing: TimingParams,
     /// Periodic refresh policy (plus any composed preventive layer).
     pub refresh: PolicyHandle,
@@ -75,6 +88,11 @@ impl SystemConfig {
     /// rank-blocking time balloons (§8).
     pub fn rows_per_bank(&self) -> u32 {
         64 * 1024
+    }
+
+    /// The CPU/command-clock pairing of the configured device.
+    pub fn clock(&self) -> MemClock {
+        self.device.profile().clock()
     }
 
     /// Replaces the refresh policy.
@@ -157,6 +175,16 @@ mod tests {
         let b = SystemConfig::table3(8.0, baseline());
         assert_eq!(a, b);
         assert_ne!(a, SystemConfig::table3(8.0, noref()));
+    }
+
+    #[test]
+    fn configs_compare_by_device_identity() {
+        let a = SystemConfig::table3(8.0, baseline());
+        assert_eq!(a.device.name(), "ddr4-2400");
+        assert_eq!(a.clock().mem_ticks_per_cpu_cycle(), (3, 8));
+        let mut b = a.clone();
+        b.device = crate::device::ddr4_3200();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Per-channel memory controller: FR-FCFS scheduling over a detailed DDR4
+//! Per-channel memory controller: FR-FCFS scheduling over a detailed DDR
 //! timing model, with refresh machinery driven entirely through the open
-//! [`RefreshPolicy`] interface.
+//! [`RefreshPolicy`] interface and all timing supplied by the configured
+//! device ([`crate::device::DeviceModel`]) as a [`CommandTable`] on the
+//! device's own command-clock grid.
 //!
 //! The timing model enforces, in command-clock cycles: `tRCD`, `tRAS`,
 //! `tRP`, `tRC`, `tRRD_S/L`, `tFAW`, `tCCD_S/L`, `tCL/tCWL/tBL`, `tWR`,
@@ -18,8 +20,9 @@
 //! executed activation — demand, refresh, preventive — is reported back
 //! through `on_act_executed`.
 
-use crate::clock::{cycles_to_ns, ns_to_cycles, MemCycle};
+use crate::clock::{MemClock, MemCycle};
 use crate::config::SystemConfig;
+use crate::device::CommandTable;
 use crate::policy::{
     DemandDecision, PolicyEnv, PolicyStats, RankView, RefreshAction, RefreshPolicy,
 };
@@ -38,60 +41,6 @@ const COMMIT_HORIZON: MemCycle = 360;
 /// Write-drain watermarks.
 const WQ_HIGH: usize = 48;
 const WQ_LOW: usize = 16;
-
-/// DDR timing in integer command-clock cycles.
-#[derive(Debug, Clone, Copy)]
-pub struct TimingC {
-    pub rcd: MemCycle,
-    pub ras: MemCycle,
-    pub rp: MemCycle,
-    pub rc: MemCycle,
-    pub rrd_l: MemCycle,
-    pub rrd_s: MemCycle,
-    pub faw: MemCycle,
-    pub ccd_l: MemCycle,
-    pub ccd_s: MemCycle,
-    pub cl: MemCycle,
-    pub cwl: MemCycle,
-    pub bl: MemCycle,
-    pub wr: MemCycle,
-    pub wtr: MemCycle,
-    pub rtp: MemCycle,
-    pub rfc: MemCycle,
-    pub refi: MemCycle,
-    /// HiRA `t1` and `t2` in command cycles.
-    pub t1: MemCycle,
-    pub t2: MemCycle,
-}
-
-impl TimingC {
-    /// Converts the ns-denominated parameters onto the command-clock grid.
-    /// `t1`/`t2` are the HiRA lead timings in ns (policies that issue HiRA
-    /// operations supply their own; anything else gets the nominal pair).
-    pub fn from_ns(t: &hira_dram::timing::TimingParams, t1_ns: f64, t2_ns: f64) -> Self {
-        TimingC {
-            rcd: ns_to_cycles(t.t_rcd),
-            ras: ns_to_cycles(t.t_ras),
-            rp: ns_to_cycles(t.t_rp),
-            rc: ns_to_cycles(t.t_rc),
-            rrd_l: ns_to_cycles(t.t_rrd_l),
-            rrd_s: ns_to_cycles(t.t_rrd_s),
-            faw: ns_to_cycles(t.t_faw),
-            ccd_l: ns_to_cycles(t.t_ccd_l),
-            ccd_s: ns_to_cycles(t.t_ccd_s),
-            cl: ns_to_cycles(t.t_cl),
-            cwl: ns_to_cycles(t.t_cwl),
-            bl: ns_to_cycles(t.t_bl),
-            wr: ns_to_cycles(t.t_wr),
-            wtr: ns_to_cycles(t.t_wtr),
-            rtp: ns_to_cycles(t.t_rtp),
-            rfc: ns_to_cycles(t.t_rfc),
-            refi: ns_to_cycles(t.t_refi),
-            t1: ns_to_cycles(t1_ns),
-            t2: ns_to_cycles(t2_ns),
-        }
-    }
-}
 
 /// Data bus: fixed-length burst reservations with gap filling, so a
 /// far-future burst (refresh-delayed bank) does not serialize earlier-ready
@@ -209,12 +158,18 @@ pub struct ChannelStats {
     pub hira_access_ops: u64,
     /// Sum of read queueing latencies (cycles), for average latency.
     pub read_latency_sum: u64,
+    /// Sum of write service latencies (arrival to end of write burst,
+    /// cycles), for average latency.
+    pub write_latency_sum: u64,
+    /// Command-clock cycles the data bus spent transferring bursts.
+    pub data_bus_busy: u64,
 }
 
 /// One memory channel and its controller.
 #[derive(Debug)]
 pub struct Channel {
-    timing: TimingC,
+    timing: CommandTable,
+    clock: MemClock,
     banks_per_rank: u16,
     bank_groups: u16,
     read_q: Vec<MemRequest>,
@@ -262,9 +217,14 @@ impl Channel {
                 let t = HiraOperation::nominal().timings;
                 (t.t1, t.t2)
             });
-        let timing = TimingC::from_ns(&cfg.timing, t1, t2);
+        // The integer table quantizes `cfg.timing` (which the device
+        // supplied at build time, but may have been overridden since)
+        // onto the device's command grid.
+        let clock = cfg.clock();
+        let timing = CommandTable::from_ns(&cfg.timing, &clock, t1, t2);
         Channel {
             timing,
+            clock,
             banks_per_rank: cfg.banks,
             bank_groups: cfg.bank_groups,
             read_q: Vec::with_capacity(cfg.queue_depth),
@@ -362,7 +322,7 @@ impl Channel {
     /// Reports an executed activation to the rank's policy (PARA sampling,
     /// HiRA-MC bookkeeping).
     fn notify_act(&mut self, rank: usize, at: MemCycle, bank: u16, row: u32) {
-        let now_ns = cycles_to_ns(at);
+        let now_ns = self.clock.cycles_to_ns(at);
         self.ranks[rank]
             .policy
             .on_act_executed(now_ns, BankId(bank), RowId(row));
@@ -465,8 +425,9 @@ impl Channel {
         let bi = self.bank_index(rank, bank);
         let ready = self.close_open_row(now, bi);
         let ref_at = self.bus.alloc(ready);
+        let blocked = self.clock.ns_to_cycles(t_rfc_pb_ns);
         let b = &mut self.banks[bi];
-        b.next_act = b.next_act.max(ref_at + ns_to_cycles(t_rfc_pb_ns));
+        b.next_act = b.next_act.max(ref_at + blocked);
         self.stats.refpb_commands += 1;
     }
 
@@ -529,7 +490,7 @@ impl Channel {
     }
 
     fn refresh_step(&mut self, now: MemCycle) {
-        let now_ns = cycles_to_ns(now);
+        let now_ns = self.clock.cycles_to_ns(now);
         if self.ranks.iter().all(|r| r.policy.inert()) {
             return;
         }
@@ -670,7 +631,7 @@ impl Channel {
 
             // HiRA Case-1 consultation (refresh-access parallelization).
             let decision = self.ranks[rank].policy.on_demand_act(
-                cycles_to_ns(act_at),
+                self.clock.cycles_to_ns(act_at),
                 BankId(bank),
                 req.addr.row,
             );
@@ -727,6 +688,7 @@ impl Channel {
         let _ = ccd; // tCCD folded into next_cas below
         let data_lat = if req.is_write { t.cwl } else { t.cl };
         let burst_start = self.data_bus.alloc(cas + data_lat, t.bl);
+        self.stats.data_bus_busy += t.bl;
         cas = burst_start - data_lat;
         let cas = self.bus.alloc(cas);
         let b = &mut self.banks[bi];
@@ -744,6 +706,7 @@ impl Channel {
             b.next_pre = b.next_pre.max(cas + t.cwl + t.bl + t.wr);
             self.ranks[rank].next_rd = self.ranks[rank].next_rd.max(cas + t.cwl + t.bl + t.wtr);
             self.stats.writes_done += 1;
+            self.stats.write_latency_sum += cas + t.cwl + t.bl - req.arrived;
         } else {
             b.next_pre = b.next_pre.max(cas + t.rtp);
             let done_at = cas + t.cl + t.bl;

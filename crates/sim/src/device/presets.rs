@@ -1,0 +1,238 @@
+//! The shipped device presets, sourced from `hira_dram`'s timing tables
+//! and vendor profiles — the dram crate is the single source of truth for
+//! ns values and HiRA capability; this module only packages them behind
+//! the [`DeviceModel`] API.
+
+use super::{DeviceHandle, DeviceModel, DeviceProfile};
+use hira_dram::timing::{trfc_for_capacity, TimingParams};
+use hira_dram::vendor::Manufacturer;
+
+/// How a device projects `tRFC` from chip capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrfcScaling {
+    /// The paper's Expression (1): `tRFC = 110 · C^0.6` ns.
+    Expression1,
+    /// Scale the base table's own `tRFC` by `(C / base_gbit)^0.6` — for
+    /// standards whose quoted `tRFC` sits below the Expression 1
+    /// regression (LPDDR4's 280 ns at 8 Gb).
+    ScaledFromBase {
+        /// Capacity (Gb) the base table's `tRFC` was quoted at.
+        base_gbit: f64,
+    },
+    /// Ignore the requested capacity: the table is a specific part whose
+    /// `tRFC` is pinned at `gbit` (the `ddr4-2400@<Gb>` dynamic form).
+    Pinned {
+        /// The part's fixed capacity in Gb.
+        gbit: f64,
+    },
+}
+
+/// A table-driven [`DeviceModel`]: a profile, a base ns timing table, and
+/// a `tRFC` capacity-scaling rule. All shipped presets are instances;
+/// downstream devices can either construct one or implement the trait
+/// directly.
+#[derive(Debug, Clone)]
+pub struct StandardDevice {
+    name: String,
+    profile: DeviceProfile,
+    base: TimingParams,
+    trfc: TrfcScaling,
+}
+
+impl StandardDevice {
+    /// Builds a table-driven device.
+    pub fn new(
+        name: impl Into<String>,
+        profile: DeviceProfile,
+        base: TimingParams,
+        trfc: TrfcScaling,
+    ) -> Self {
+        StandardDevice {
+            name: name.into(),
+            profile,
+            base,
+            trfc,
+        }
+    }
+}
+
+impl DeviceModel for StandardDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    fn timing(&self, chip_gbit: f64) -> TimingParams {
+        let mut t = self.base;
+        t.t_rfc = match self.trfc {
+            TrfcScaling::Expression1 => trfc_for_capacity(chip_gbit),
+            TrfcScaling::ScaledFromBase { base_gbit } => {
+                self.base.t_rfc * (chip_gbit / base_gbit).powf(0.6)
+            }
+            TrfcScaling::Pinned { gbit } => trfc_for_capacity(gbit),
+        };
+        t
+    }
+}
+
+fn ddr4_profile(manufacturer: Manufacturer) -> DeviceProfile {
+    DeviceProfile {
+        standard: "DDR4-2400".to_owned(),
+        cpu_ghz: 3.2,
+        mem_ghz: 1.2,
+        mem_ticks_per_cpu_cycle: (3, 8),
+        banks: 16,
+        bank_groups: 4,
+        default_chip_gbit: 8.0,
+        manufacturer,
+        supports_hira: manufacturer.hira_capable(),
+        native_refpb: false,
+        t_rfc_pb_frac: 0.5,
+    }
+}
+
+/// The Table 3 part: DDR4-2400 on SK Hynix dies, `tRFC` projected from
+/// capacity by Expression (1). Bit-identical to the pre-API simulator —
+/// the tracked `BENCH_policy_matrix.json` / `BENCH_workload_matrix.json`
+/// baselines are produced on this device.
+pub fn ddr4_2400() -> DeviceHandle {
+    DeviceHandle::new(
+        "ddr4-2400",
+        StandardDevice::new(
+            "ddr4-2400",
+            ddr4_profile(Manufacturer::SkHynix),
+            TimingParams::ddr4_2400(),
+            TrfcScaling::Expression1,
+        ),
+    )
+    .with_summary("Table 3 DDR4-2400 (1.2 GHz, 16 banks/4 groups), tRFC = 110*C^0.6")
+}
+
+/// DDR4-3200: the same analog core on a 1.6 GHz command grid (1 memory
+/// tick per 2 CPU cycles).
+pub fn ddr4_3200() -> DeviceHandle {
+    let profile = DeviceProfile {
+        standard: "DDR4-3200".to_owned(),
+        mem_ghz: 1.6,
+        mem_ticks_per_cpu_cycle: (1, 2),
+        ..ddr4_profile(Manufacturer::SkHynix)
+    };
+    DeviceHandle::new(
+        "ddr4-3200",
+        StandardDevice::new(
+            "ddr4-3200",
+            profile,
+            TimingParams::ddr4_3200(),
+            TrfcScaling::Expression1,
+        ),
+    )
+    .with_summary("DDR4-3200 speed bin (1.6 GHz, 16 banks/4 groups), same analog core")
+}
+
+/// LPDDR4-3200: 8 banks, no bank groups, native per-bank `REFpb` at
+/// `tRFCpb = tRFC/2`, and a 32 ms refresh window (double DDR4's periodic
+/// rate) — the standard whose native refresh-access parallelism the
+/// `refpb` policy models.
+pub fn lpddr4_3200() -> DeviceHandle {
+    let profile = DeviceProfile {
+        standard: "LPDDR4-3200".to_owned(),
+        cpu_ghz: 3.2,
+        mem_ghz: 1.6,
+        mem_ticks_per_cpu_cycle: (1, 2),
+        banks: 8,
+        bank_groups: 1,
+        default_chip_gbit: 8.0,
+        manufacturer: Manufacturer::SkHynix,
+        supports_hira: true,
+        native_refpb: true,
+        t_rfc_pb_frac: 0.5,
+    };
+    DeviceHandle::new(
+        "lpddr4-3200",
+        StandardDevice::new(
+            "lpddr4-3200",
+            profile,
+            TimingParams::lpddr4_3200(),
+            TrfcScaling::ScaledFromBase { base_gbit: 8.0 },
+        ),
+    )
+    .with_summary("LPDDR4-3200 (1.6 GHz, 8 banks/no groups), native REFpb, 32 ms window")
+}
+
+/// A Samsung DDR4-2400 part: identical JEDEC timings, but the command
+/// decoder drops HiRA's timing-violating sequences (§12), so HiRA-backed
+/// policies are rejected at build time with a typed error.
+pub fn samsung_ddr4_2400() -> DeviceHandle {
+    DeviceHandle::new(
+        "samsung-ddr4-2400",
+        StandardDevice::new(
+            "samsung-ddr4-2400",
+            ddr4_profile(Manufacturer::Samsung),
+            TimingParams::ddr4_2400(),
+            TrfcScaling::Expression1,
+        ),
+    )
+    .with_summary("HiRA-inert DDR4-2400 (Samsung decoder drops violating commands)")
+}
+
+/// The dynamic `ddr4-2400@<Gb>` form: a specific DDR4-2400 part whose
+/// `tRFC` is pinned at `gbit` regardless of the configuration's
+/// `chip_gbit` — the capacity-sweep axis as concrete parts.
+pub fn ddr4_2400_at(gbit: u32) -> DeviceHandle {
+    let name = format!("ddr4-2400@{gbit}");
+    let mut profile = ddr4_profile(Manufacturer::SkHynix);
+    profile.default_chip_gbit = f64::from(gbit);
+    DeviceHandle::new(
+        &name,
+        StandardDevice::new(
+            &name,
+            profile,
+            TimingParams::ddr4_2400(),
+            TrfcScaling::Pinned {
+                gbit: f64::from(gbit),
+            },
+        ),
+    )
+    .with_summary(format!(
+        "DDR4-2400 part pinned at {gbit} Gb (tRFC = {:.1} ns)",
+        trfc_for_capacity(f64::from(gbit))
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression1_presets_track_the_requested_capacity() {
+        for d in [ddr4_2400(), ddr4_3200(), samsung_ddr4_2400()] {
+            for cap in [4.0, 8.0, 64.0, 128.0] {
+                assert!(
+                    (d.timing(cap).t_rfc - trfc_for_capacity(cap)).abs() < 1e-9,
+                    "{} at {cap} Gb",
+                    d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lpddr4_scales_its_own_quoted_trfc() {
+        let d = lpddr4_3200();
+        assert!((d.timing(8.0).t_rfc - 280.0).abs() < 1e-9);
+        // Same ^0.6 exponent, lower base than Expression 1.
+        assert!((d.timing(64.0).t_rfc - 280.0 * 8f64.powf(0.6)).abs() < 1e-9);
+        assert!(d.timing(64.0).t_rfc < trfc_for_capacity(64.0));
+    }
+
+    #[test]
+    fn pinned_parts_ignore_the_requested_capacity() {
+        let d = ddr4_2400_at(32);
+        assert_eq!(d.timing(8.0).t_rfc, d.timing(128.0).t_rfc);
+        assert!((d.timing(8.0).t_rfc - trfc_for_capacity(32.0)).abs() < 1e-9);
+        assert_eq!(d.profile().default_chip_gbit, 32.0);
+    }
+}

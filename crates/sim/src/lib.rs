@@ -34,17 +34,29 @@
 //! HiRA-MC — see [`policy::PolicyHandle::with_para_immediate`] /
 //! [`policy::PolicyHandle::with_para_hira`].
 //!
+//! The DRAM part itself is the **third open axis** ([`device`]): any type
+//! implementing [`device::DeviceModel`] supplies the command clock (and
+//! the CPU↔memory tick ratio), bank geometry, a capacity-scaled timing
+//! table, and capability flags (HiRA `t1`/`t2` support, native `REFpb`).
+//! The standard [`device::DeviceRegistry`] ships `ddr4-2400` (the Table 3
+//! part, bit-identical to the pre-API simulator), `ddr4-3200`,
+//! `lpddr4-3200` (native per-bank refresh) and the HiRA-inert
+//! `samsung-ddr4-2400`, plus the dynamic `ddr4-2400@<Gb>` capacity form.
+//!
 //! System configurations are assembled through the validated
 //! [`builder::SystemBuilder`].
 //!
-//! Time bases: CPU cycles at 3.2 GHz; the memory controller ticks at the
-//! DDR4-2400 command clock (1.2 GHz), i.e. 3 memory ticks per 8 CPU cycles.
+//! Time bases: CPU cycles at the host clock (Table 3: 3.2 GHz); the
+//! memory controller ticks at the configured device's command clock —
+//! DDR4-2400: 1.2 GHz, i.e. 3 memory ticks per 8 CPU cycles; the
+//! 3200 MT/s parts: 1.6 GHz, 1 per 2 (see [`clock::MemClock`]).
 
 pub mod builder;
 pub mod clock;
 pub mod config;
 pub mod controller;
 pub mod core_model;
+pub mod device;
 pub mod llc;
 pub mod mapping;
 pub mod metrics;
@@ -55,6 +67,7 @@ pub mod system;
 
 pub use builder::{BuildError, SystemBuilder};
 pub use config::SystemConfig;
+pub use device::{DeviceHandle, DeviceModel, DeviceProfile, DeviceRegistry};
 pub use hira_workload::{Workload, WorkloadHandle, WorkloadRegistry};
 pub use metrics::SimResult;
 pub use policy::{PolicyHandle, PolicyRegistry, RefreshPolicy};

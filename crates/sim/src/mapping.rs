@@ -1,4 +1,4 @@
-//! MOP address mapping (Table 3; Kaseridis et al. [68]).
+//! MOP address mapping (Table 3; Kaseridis et al., ref \[68\]).
 //!
 //! Minimalist Open Page interleaves a small run of consecutive cache lines
 //! (the MOP width, 4 lines here) in the same row, then stripes across

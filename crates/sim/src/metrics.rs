@@ -15,6 +15,9 @@ pub struct SimResult {
     pub workloads: Vec<String>,
     /// CPU cycles simulated (to the last core's finish line).
     pub cycles: u64,
+    /// Memory command-clock cycles simulated (the device's clock domain —
+    /// the denominator of bus-utilization fractions).
+    pub mem_cycles: u64,
     /// Aggregated channel statistics.
     pub channel_stats: Vec<ChannelStats>,
     /// HiRA-MC statistics per (channel, rank), where configured.
@@ -68,6 +71,39 @@ impl SimResult {
             lat as f64 / n as f64
         }
     }
+
+    /// Total demand writes issued to DRAM.
+    pub fn total_writes(&self) -> u64 {
+        self.channel_stats.iter().map(|s| s.writes_done).sum()
+    }
+
+    /// Average write service latency (arrival to end of the write burst)
+    /// in memory cycles.
+    pub fn avg_write_latency(&self) -> f64 {
+        let lat: u64 = self.channel_stats.iter().map(|s| s.write_latency_sum).sum();
+        let n = self.total_writes();
+        if n == 0 {
+            0.0
+        } else {
+            lat as f64 / n as f64
+        }
+    }
+
+    /// Per-channel data-bus utilization: the fraction of simulated memory
+    /// cycles each channel's data bus spent transferring bursts (demand
+    /// reads and writes; refresh traffic never uses the data bus).
+    pub fn data_bus_utilization(&self) -> Vec<f64> {
+        self.channel_stats
+            .iter()
+            .map(|s| {
+                if self.mem_cycles == 0 {
+                    0.0
+                } else {
+                    s.data_bus_busy as f64 / self.mem_cycles as f64
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +115,7 @@ mod tests {
             workloads: vec!["x".to_owned(); ipc.len()],
             ipc,
             cycles: 1000,
+            mem_cycles: 375,
             channel_stats: vec![ChannelStats::default()],
             mc_stats: vec![],
             policy_stats: vec![],
@@ -102,5 +139,38 @@ mod tests {
     #[should_panic(expected = "alone-IPC")]
     fn mismatched_lengths_panic() {
         result(vec![1.0]).weighted_speedup(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn write_latency_averages_over_writes() {
+        let mut r = result(vec![1.0]);
+        assert_eq!(r.avg_write_latency(), 0.0, "no writes → 0, not NaN");
+        r.channel_stats[0].writes_done = 4;
+        r.channel_stats[0].write_latency_sum = 200;
+        assert!((r.avg_write_latency() - 50.0).abs() < 1e-12);
+        // Aggregates across channels like the read-side metric.
+        r.channel_stats.push(ChannelStats {
+            writes_done: 4,
+            write_latency_sum: 600,
+            ..ChannelStats::default()
+        });
+        assert!((r.avg_write_latency() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_bus_utilization_is_per_channel_busy_fraction() {
+        let mut r = result(vec![1.0]);
+        assert_eq!(r.data_bus_utilization(), vec![0.0]);
+        r.channel_stats[0].data_bus_busy = 75;
+        r.channel_stats.push(ChannelStats {
+            data_bus_busy: 150,
+            ..ChannelStats::default()
+        });
+        let util = r.data_bus_utilization();
+        assert!((util[0] - 0.2).abs() < 1e-12, "{util:?}");
+        assert!((util[1] - 0.4).abs() < 1e-12, "{util:?}");
+        // A zero-length run reports zeros, never NaN.
+        r.mem_cycles = 0;
+        assert!(r.data_bus_utilization().iter().all(|&u| u == 0.0));
     }
 }

@@ -118,6 +118,11 @@ pub struct PolicyEnv {
     pub chip_gbit: f64,
     /// DDR timing parameters (ns).
     pub timing: TimingParams,
+    /// Per-bank refresh latency `tRFCpb` in ns, quoted by the configured
+    /// device (`t_rfc_pb_frac × tRFC` — LPDDR4-class parts halve `tRFC`;
+    /// emulating parts inherit the same conservative fraction). The
+    /// duration [`RefreshAction::BankRef`]-issuing policies should quote.
+    pub t_rfc_pb_ns: f64,
     /// Fraction of row pairs the SPT reports compatible (§7).
     pub spt_fraction: f64,
     /// Deterministic seed, already mixed with channel and rank so two
@@ -138,6 +143,7 @@ impl PolicyEnv {
             rows_per_subarray: 512,
             chip_gbit: cfg.chip_gbit,
             timing: cfg.timing,
+            t_rfc_pb_ns: cfg.device.profile().t_rfc_pb_frac * cfg.timing.t_rfc,
             spt_fraction: cfg.spt_fraction,
             seed: cfg.seed ^ ((channel as u64) << 32) ^ (rank as u64),
         }

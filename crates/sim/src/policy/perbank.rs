@@ -6,10 +6,12 @@ use super::{
 };
 use hira_dram::addr::BankId;
 
-/// `tRFCpb / tRFC`: a per-bank refresh moves 1/`banks` of the row burst but
+/// The default `tRFCpb / tRFC` fraction a device quotes when it has no
+/// better number: a per-bank refresh moves 1/`banks` of the row burst but
 /// keeps the fixed command/charge-pump overhead, so it costs about half an
-/// all-bank `tRFC` rather than 1/16 of one (LPDDR4 8 Gb: 90 ns vs 210 ns;
-/// DDR5 scales similarly).
+/// all-bank `tRFC` rather than 1/16 of one (LPDDR4 8 Gb: 140 ns vs 280 ns;
+/// DDR5 scales similarly). The live value reaches the policy through
+/// [`PolicyEnv::t_rfc_pb_ns`], so REFpb-native devices can quote their own.
 pub const REFPB_TRFC_FRACTION: f64 = 0.5;
 
 /// Round-robin per-bank `REF` at the all-bank rate: one `REFpb` every
@@ -38,7 +40,7 @@ impl PerBankRef {
             interval_ns,
             cursor: 0,
             banks: env.banks,
-            t_rfc_pb: env.timing.t_rfc * REFPB_TRFC_FRACTION,
+            t_rfc_pb: env.t_rfc_pb_ns,
             stats: PolicyStats::default(),
         }
     }
@@ -123,6 +125,22 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..16).collect::<Vec<_>>());
         assert_eq!(p.stats().bank_refs, 16);
+    }
+
+    #[test]
+    fn native_refpb_devices_quote_their_own_trfcpb() {
+        // On LPDDR4 the device quotes tRFCpb = 140 ns at 8 Gb and the
+        // rotation spans the part's 8 banks, not DDR4's 16.
+        let cfg = crate::builder::SystemBuilder::new()
+            .device(crate::device::lpddr4_3200())
+            .policy(refpb())
+            .build()
+            .unwrap();
+        let e = PolicyEnv::for_rank(&cfg, 0, 0);
+        assert!((e.t_rfc_pb_ns - 140.0).abs() < 1e-9);
+        let p = PerBankRef::new(&e);
+        assert_eq!(p.banks, 8);
+        assert!((p.profile().bank_busy_frac - 140.0 / e.timing.t_refi).abs() < 1e-12);
     }
 
     #[test]

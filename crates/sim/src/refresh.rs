@@ -3,7 +3,8 @@
 //! The refresh engines themselves are [`crate::policy`] objects driven by
 //! [`crate::controller`]; this module provides the bookkeeping used to
 //! sanity-check refresh *cost* in tests and benches. The per-policy numbers
-//! come from the policy instance itself ([`RefreshPolicy::profile`]), so
+//! come from the policy instance itself
+//! ([`crate::policy::RefreshPolicy::profile`]), so
 //! third-party policies get correct accounting without this module knowing
 //! them; the named `baseline_*`/`hira_*` fields keep the paper's closed-form
 //! comparison arithmetic (§8) available for any configuration.

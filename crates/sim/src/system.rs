@@ -1,6 +1,5 @@
 //! Whole-system assembly: cores + shared LLC + memory channels.
 
-use crate::clock::{MEM_PER_CPU_DEN, MEM_PER_CPU_NUM};
 use crate::config::SystemConfig;
 use crate::controller::Channel;
 use crate::core_model::{Core, CoreRequest};
@@ -23,6 +22,10 @@ pub struct System {
     next_req_id: u64,
     mem_tick_acc: u64,
     mem_cycle: u64,
+    /// Exact memory-ticks-per-CPU-cycle rational, from the device's clock
+    /// pairing.
+    tick_num: u64,
+    tick_den: u64,
 }
 
 impl System {
@@ -42,6 +45,7 @@ impl System {
             .collect();
         let llc = Llc::new(cfg.llc_bytes, cfg.llc_ways);
         let channels = (0..cfg.channels).map(|c| Channel::new(&cfg, c)).collect();
+        let (tick_num, tick_den) = cfg.clock().mem_ticks_per_cpu_cycle();
         System {
             cores,
             llc,
@@ -50,6 +54,8 @@ impl System {
             next_req_id: 0,
             mem_tick_acc: 0,
             mem_cycle: 0,
+            tick_num,
+            tick_den,
             cfg,
         }
     }
@@ -77,10 +83,11 @@ impl System {
                     c.end_roi();
                 }
             }
-            // Memory clock: 3 ticks per 8 CPU cycles.
-            self.mem_tick_acc += MEM_PER_CPU_NUM;
-            while self.mem_tick_acc >= MEM_PER_CPU_DEN {
-                self.mem_tick_acc -= MEM_PER_CPU_DEN;
+            // Memory clock: the device's exact rational (DDR4-2400: 3
+            // ticks per 8 CPU cycles; the 3200 MT/s parts: 1 per 2).
+            self.mem_tick_acc += self.tick_num;
+            while self.mem_tick_acc >= self.tick_den {
+                self.mem_tick_acc -= self.tick_den;
                 self.tick_mem();
             }
             cycle += 1;
@@ -109,6 +116,7 @@ impl System {
                 .map(|c| c.workload_name().to_owned())
                 .collect(),
             cycles: cycle,
+            mem_cycles: self.mem_cycle,
             channel_stats: self.channels.iter().map(Channel::stats).collect(),
             mc_stats: self.channels.iter().flat_map(Channel::mc_stats).collect(),
             policy_stats: self

@@ -1,6 +1,6 @@
 //! # hira-softmc — SoftMC-style testing infrastructure
 //!
-//! The paper drives real DDR4 modules with SoftMC [43] on a Xilinx Alveo U200
+//! The paper drives real DDR4 modules with SoftMC \[43\] on a Xilinx Alveo U200
 //! FPGA (§4.1): the host composes a *program* of precisely timed DRAM
 //! commands, the FPGA issues them on a 1.5 ns grid, and a MaxWell FT200
 //! temperature controller clamps the DIMM at the target temperature ±0.1 °C.

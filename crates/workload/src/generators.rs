@@ -1,6 +1,6 @@
 //! Parametric access-pattern generators.
 //!
-//! Where the [`crate::spec`] roster models *programs*, these model
+//! Where the [`spec`](mod@crate::spec) roster models *programs*, these model
 //! *patterns*: each generator pins one first-order property of memory
 //! behaviour (spatial locality, temporal skew, dependence, write ratio,
 //! arrival process) so sweeps can attribute a refresh policy's wins and

@@ -10,7 +10,7 @@
 //!
 //! Three families ship out of the box:
 //!
-//! * [`spec`] — the SPEC CPU2006-like synthetic roster and its
+//! * [`spec`](mod@spec) — the SPEC CPU2006-like synthetic roster and its
 //!   multiprogrammed [`mix`]es (§7's 125-mix suite), ported onto the trait
 //!   bit-identically to the legacy generator,
 //! * [`generators`] — parametric access-pattern generators: pure streams,

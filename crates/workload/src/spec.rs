@@ -306,7 +306,7 @@ impl Workload for SpecGen {
     }
 
     /// Next event. Memory events are separated by geometric compute gaps
-    /// (see [`crate::geometric_gap`]).
+    /// (see `geometric_gap` in the crate root).
     fn next_access(&mut self) -> Op {
         if !self.mem_pending {
             self.mem_pending = true;

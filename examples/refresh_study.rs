@@ -25,6 +25,9 @@ fn main() {
     let mut ws = Vec::new();
     for handle in PolicyRegistry::standard().handles() {
         let cfg = SystemBuilder::table3(64.0)
+            // The Table 3 part; any registered device slots in here (see
+            // examples/device_sweep.rs for the cross-device comparison).
+            .device_name("ddr4-2400")
             .policy(handle.clone())
             .workload(workload.clone())
             .insts(40_000, 8_000)

@@ -38,7 +38,9 @@ pub use hira_workload as workload;
 /// construction ([`prelude::SystemBuilder`]), the open refresh-policy API
 /// ([`prelude::policy`], [`prelude::PolicyRegistry`]), the open workload
 /// frontend ([`prelude::WorkloadRegistry`], [`prelude::mix`], generators,
-/// trace replay), the simulator, and the experiment-orchestration engine.
+/// trace replay), the open device axis ([`prelude::device`],
+/// [`prelude::DeviceRegistry`], the standard presets), the simulator, and
+/// the experiment-orchestration engine.
 ///
 /// ```rust
 /// use hira::prelude::*;
@@ -64,6 +66,10 @@ pub mod prelude {
         derive_seed, flabel, metric, Executor, RunRecord, RunSet, Scenario, ScenarioKey, Sweep,
     };
     pub use hira_sim::builder::{BuildError, SystemBuilder};
+    pub use hira_sim::clock::MemClock;
+    pub use hira_sim::device::{
+        self, CommandTable, DeviceHandle, DeviceModel, DeviceProfile, DeviceRegistry,
+    };
     pub use hira_sim::policy::{
         self, DemandDecision, PolicyEnv, PolicyHandle, PolicyProfile, PolicyRegistry, PolicyStats,
         RankView, RefreshAction, RefreshPolicy,

@@ -141,6 +141,7 @@ fn builder_reproduces_the_legacy_table3_struct_literals() {
                 banks: 16,
                 bank_groups: 4,
                 chip_gbit: cap,
+                device: device::ddr4_2400(),
                 timing,
                 refresh: p.clone(),
                 workload: mix(0),
@@ -159,6 +160,76 @@ fn builder_reproduces_the_legacy_table3_struct_literals() {
             assert_eq!(built, legacy, "cap={cap} policy={}", p.name());
             assert_eq!(built, SystemConfig::table3(cap, p.clone()));
         }
+    }
+}
+
+#[test]
+fn hira_lead_timings_are_validated_against_the_device() {
+    // Property: a custom HiRA lead pair builds iff 0 < t1 <= t2 < tRAS.
+    // Random pairs on the SoftMC 1.5 ns grid (§4.1 fn. 5) plus sign and
+    // overshoot cases.
+    use hira::core::config::HiraConfig;
+    use hira::core::hira_op::HiraOperation;
+    let t_ras = TimingParams::ddr4_2400().t_ras;
+    let mut rng = cases(7);
+    for case in 0..64 {
+        let t1 = 1.5 * rng.next_below(30) as f64 - 4.5; // -4.5 .. 39
+        let t2 = 1.5 * rng.next_below(30) as f64 - 4.5;
+        let mut c = HiraConfig::hira_n(4);
+        c.op = HiraOperation::with_timings(HiraTimings { t1, t2 });
+        let result = SystemBuilder::new()
+            .policy(policy::hira_custom(format!("hira-case{case}"), c))
+            .build();
+        if t1 > 0.0 && t1 <= t2 && t2 < t_ras {
+            assert!(
+                result.is_ok(),
+                "case {case}: valid lead ({t1}, {t2}) rejected: {:?}",
+                result.unwrap_err()
+            );
+        } else {
+            assert_eq!(
+                result.unwrap_err(),
+                BuildError::HiraLeadInvalid { t1, t2, t_ras },
+                "case {case}: ({t1}, {t2})"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registered_device_satisfies_the_timing_invariants() {
+    // Registry-wide property: each device's capacity-scaled table must be
+    // internally consistent at every capacity — the contract documented
+    // on `DeviceModel::timing`.
+    let registry = DeviceRegistry::standard();
+    assert!(registry.len() >= 4, "need at least four device presets");
+    let mut devices: Vec<DeviceHandle> = registry.handles().cloned().collect();
+    devices.push(device::ddr4_2400_at(32)); // the dynamic form, too
+    for d in &devices {
+        for cap in [4.0, 8.0, 32.0, 64.0, 128.0] {
+            let t = d.timing(cap);
+            let tag = format!("{} at {cap} Gb", d.name());
+            assert!(t.t_rc + 1e-9 >= t.t_ras + t.t_rp, "{tag}: tRC < tRAS+tRP");
+            assert!(t.t_rfc < t.t_refi, "{tag}: tRFC {} >= tREFI", t.t_rfc);
+            assert!(
+                t.t_faw + 1e-9 >= 4.0 * t.t_rrd_s,
+                "{tag}: tFAW {} < 4*tRRD_S {}",
+                t.t_faw,
+                4.0 * t.t_rrd_s
+            );
+            // And the builder accepts the table it produced.
+            let cfg = SystemBuilder::new()
+                .device(d.clone())
+                .chip_gbit(cap)
+                .build()
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            assert_eq!(cfg.device.name(), d.name());
+        }
+        // The profile's clock rational is consistent with its frequencies
+        // (MemClock::new asserts it) and the geometry divides evenly.
+        let p = d.profile();
+        let _ = p.clock();
+        assert_eq!(p.banks % p.bank_groups, 0, "{}", d.name());
     }
 }
 
