@@ -30,18 +30,21 @@
 //!   axis; default: a representative arrangement per family,
 //! * `--workload=<name>[,<name>...]` (repeatable) — subset the workload
 //!   axis; default: a mix, a streaming and a random generator,
+//! * `--kernel=dense|event` — simulation kernel (default `event`; results
+//!   are bit-identical, `dense` is the reference escape hatch),
 //! * `--list` — print all three registries with their one-liners and
 //!   exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
 //!   the canonical result sets are byte-identical.
 
 use hira_bench::{
-    device_axis_from_args_or, policy_axis_from_args_or, print_device_list, print_policy_list,
-    print_workload_list, run_ws_with_stats, workload_axis_from_args_or, Scale, WsTable,
+    device_axis_from_args_or, kernel_from_args, policy_axis_from_args_or, print_device_list,
+    print_policy_list, print_workload_list, run_ws_with_stats, workload_axis_from_args_or, Scale,
+    WsTable,
 };
 use hira_engine::{Executor, ScenarioKey, Sweep};
 use hira_sim::builder::{BuildError, SystemBuilder};
-use hira_sim::config::SystemConfig;
+use hira_sim::config::{KernelMode, SystemConfig};
 use hira_sim::device::DeviceHandle;
 use hira_sim::policy::PolicyHandle;
 use hira_workload::WorkloadHandle;
@@ -66,6 +69,7 @@ fn grid(
     devices: &Axis<DeviceHandle>,
     policies: &Axis<PolicyHandle>,
     workloads: &Axis<WorkloadHandle>,
+    kernel: KernelMode,
 ) -> (Sweep<SystemConfig>, Vec<String>) {
     let mut points = Vec::new();
     let mut skipped = Vec::new();
@@ -80,6 +84,7 @@ fn grid(
                     .device(d.clone())
                     .policy(p.clone())
                     .workload(w.clone())
+                    .kernel(kernel)
                     .build();
                 match built {
                     Ok(cfg) => points.push((
@@ -135,6 +140,7 @@ fn main() {
     }
     let scale = Scale::from_env();
     let ex = Executor::from_env();
+    let kernel = kernel_from_args();
     let devices = device_axis_from_args_or(DEFAULT_DEVICES);
     let policies = policy_axis_from_args_or(DEFAULT_POLICIES);
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
@@ -157,7 +163,7 @@ fn main() {
     println!("policies:  {}", pol_names.join(", "));
     println!("workloads: {}", wl_names.join(", "));
 
-    let (sweep, skipped) = grid(&devices, &policies, &workloads);
+    let (sweep, skipped) = grid(&devices, &policies, &workloads, kernel);
     for s in &skipped {
         println!("skipping {s}");
     }
@@ -165,7 +171,7 @@ fn main() {
     let t = run_ws_with_stats(&ex, sweep, scale);
 
     if std::env::args().any(|a| a == "--check-determinism") {
-        let (sweep, _) = grid(&devices, &policies, &workloads);
+        let (sweep, _) = grid(&devices, &policies, &workloads, kernel);
         let serial = run_ws_with_stats(&Executor::with_threads(1), sweep, scale);
         assert_eq!(
             t.run.canonical_json(),

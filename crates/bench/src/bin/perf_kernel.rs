@@ -1,0 +1,132 @@
+//! Kernel A/B harness: times the event-driven kernel against the dense
+//! reference over the headline policy sweep (every registered refresh
+//! policy × the Table 3 capacity × the standard mix suite) and — point by
+//! point — asserts the two kernels' [`hira_sim::SimResult`]s are
+//! **identical**. This is the executable form of the
+//! [`hira_sim::policy::RefreshPolicy::next_wake`] contract: any policy
+//! whose wake declaration is too eager shows up here as a result mismatch,
+//! not as a silently wrong BENCH baseline.
+//!
+//! Timing is single-threaded and engine-free (`System::run` is called
+//! directly) so the wall-clock comparison measures the kernels, not the
+//! executor. Always writes `BENCH_perf_kernel.json` (into
+//! `HIRA_BENCH_DIR`, or the working directory when unset) with per-point
+//! `wall_dense_ms` / `wall_event_ms` / `speedup` records plus the
+//! aggregate `speedup_total`. The wall-clock figures naturally vary run
+//! to run — unlike the matrix baselines, this file is a snapshot, not a
+//! byte-reproducible artifact.
+//!
+//! Flags:
+//!
+//! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis;
+//!   default: the full standard registry,
+//! * `--list` — print the registered policies and exit.
+//!
+//! Scale: `HIRA_MIXES` × `HIRA_INSTS` as everywhere else.
+
+use hira_bench::{policy_axis_from_args, print_series, Scale};
+use hira_engine::{RunRecord, RunSet, ScenarioKey};
+use hira_sim::config::{KernelMode, SystemConfig};
+use hira_sim::{SimResult, System};
+use hira_workload::mix;
+use std::path::Path;
+use std::time::Instant;
+
+/// Runs one configuration under `kernel`, returning the result and the
+/// wall time in milliseconds.
+fn timed(cfg: &SystemConfig, kernel: KernelMode) -> (SimResult, f64) {
+    let cfg = cfg.clone().with_kernel(kernel);
+    let start = Instant::now();
+    let result = System::new(cfg).run();
+    (result, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cap = 8.0;
+    let policies = policy_axis_from_args();
+    assert!(
+        !policies.is_empty(),
+        "perf_kernel needs at least one policy"
+    );
+
+    println!(
+        "== perf_kernel: dense vs event over {} policies x {} mixes x {} insts at {cap} Gb ==",
+        policies.len(),
+        scale.mixes,
+        scale.insts
+    );
+
+    let t0 = Instant::now();
+    let mut records = Vec::new();
+    let mut total_dense = 0.0;
+    let mut total_event = 0.0;
+    let mut speedups = Vec::new();
+    for (name, policy) in &policies {
+        let mut policy_dense = 0.0;
+        let mut policy_event = 0.0;
+        for mix_id in 0..scale.mixes {
+            let cfg = SystemConfig::table3(cap, policy.clone())
+                .with_insts(scale.insts, scale.warmup)
+                .with_workload(mix(mix_id));
+            let (dense, wall_dense) = timed(&cfg, KernelMode::Dense);
+            let (event, wall_event) = timed(&cfg, KernelMode::Event);
+            assert_eq!(
+                dense, event,
+                "kernel divergence at policy {name}, mix {mix_id}: the \
+                 next_wake contract is violated somewhere"
+            );
+            policy_dense += wall_dense;
+            policy_event += wall_event;
+            let key = ScenarioKey::root()
+                .with("policy", name)
+                .with("mix", mix_id.to_string());
+            for (metric, value) in [
+                ("wall_dense_ms", wall_dense),
+                ("wall_event_ms", wall_event),
+                ("speedup", wall_dense / wall_event),
+            ] {
+                records.push(RunRecord {
+                    key: key.clone(),
+                    metric: metric.to_owned(),
+                    value,
+                    wall_ms: wall_dense + wall_event,
+                });
+            }
+        }
+        total_dense += policy_dense;
+        total_event += policy_event;
+        speedups.push(policy_dense / policy_event);
+        println!(
+            "{name:<12} dense {policy_dense:>9.1} ms   event {policy_event:>9.1} ms   \
+             speedup {:>5.2}x   (results identical)",
+            policy_dense / policy_event
+        );
+    }
+
+    let total = total_dense / total_event;
+    println!("\n-- speedup per policy --");
+    print_series("speedup", &speedups);
+    println!(
+        "\ntotal: dense {total_dense:.1} ms, event {total_event:.1} ms -> {total:.2}x \
+         over the headline sweep"
+    );
+    records.push(RunRecord {
+        key: ScenarioKey::root(),
+        metric: "speedup_total".to_owned(),
+        value: total,
+        wall_ms: total_dense + total_event,
+    });
+
+    let run = RunSet {
+        sweep: "perf_kernel".to_owned(),
+        threads: 1,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        records,
+    };
+    let dir = std::env::var("HIRA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    match run.write_bench_json(Path::new(&dir)) {
+        Ok(path) => println!("(result store written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_perf_kernel.json: {e}"),
+    }
+}

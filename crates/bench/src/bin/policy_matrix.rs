@@ -13,11 +13,13 @@
 //!
 //! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis by
 //!   registry name; default: the full standard registry,
+//! * `--kernel=dense|event` — simulation kernel (default `event`; results
+//!   are bit-identical, `dense` is the reference escape hatch),
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
 //!   the canonical result sets are byte-identical (the engine's guarantee,
 //!   enforced end-to-end through every policy object).
 
-use hira_bench::{policy_axis_from_args, print_series, run_ws, Scale};
+use hira_bench::{kernel_from_args, policy_axis_from_args, print_series, run_ws, Scale};
 use hira_engine::{flabel, Executor, Sweep};
 use hira_sim::config::SystemConfig;
 use std::path::Path;
@@ -26,6 +28,7 @@ fn main() {
     let scale = Scale::from_env();
     let ex = Executor::from_env();
     let caps = [8.0, 64.0];
+    let kernel = kernel_from_args();
     let policies = policy_axis_from_args();
     assert!(
         !policies.is_empty(),
@@ -44,8 +47,8 @@ fn main() {
     let mk_sweep = || {
         Sweep::new("policy_matrix")
             .axis("policy", policies.clone(), |_, h| h.clone())
-            .axis("cap", caps.map(|c| (flabel(c), c)), |h, c| {
-                SystemConfig::table3(*c, h.clone())
+            .axis("cap", caps.map(|c| (flabel(c), c)), move |h, c| {
+                SystemConfig::table3(*c, h.clone()).with_kernel(kernel)
             })
     };
     let t = run_ws(&ex, mk_sweep(), scale);

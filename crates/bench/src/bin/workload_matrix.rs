@@ -18,6 +18,8 @@
 //!   representative point per family,
 //! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis;
 //!   default: the full standard registry,
+//! * `--kernel=dense|event` — simulation kernel (default `event`; results
+//!   are bit-identical, `dense` is the reference escape hatch),
 //! * `--list` — print both registries with their profile one-liners and
 //!   exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
@@ -25,8 +27,8 @@
 //!   enforced end-to-end through every workload frontend).
 
 use hira_bench::{
-    policy_axis_from_args, print_policy_list, print_workload_list, run_ws_as_configured,
-    workload_axis_from_args_or, Scale,
+    kernel_from_args, policy_axis_from_args, print_policy_list, print_workload_list,
+    run_ws_as_configured, workload_axis_from_args_or, Scale,
 };
 use hira_engine::{Executor, Sweep};
 use hira_sim::config::SystemConfig;
@@ -58,6 +60,7 @@ fn main() {
     let scale = Scale::from_env();
     let ex = Executor::from_env();
     let cap = 8.0;
+    let kernel = kernel_from_args();
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
     let policies = policy_axis_from_args();
     assert!(
@@ -79,8 +82,10 @@ fn main() {
     let mk_sweep = || {
         Sweep::new("workload_matrix")
             .axis("wl", workloads.clone(), |_, w| w.clone())
-            .axis("policy", policies.clone(), |w, p| {
-                SystemConfig::table3(cap, p.clone()).with_workload(w.clone())
+            .axis("policy", policies.clone(), move |w, p| {
+                SystemConfig::table3(cap, p.clone())
+                    .with_workload(w.clone())
+                    .with_kernel(kernel)
             })
     };
     let t = run_ws_as_configured(&ex, mk_sweep(), scale);

@@ -30,7 +30,7 @@
 
 use hira_engine::{metric, Executor, ScenarioKey, Sweep};
 use hira_sim::builder::SystemBuilder;
-use hira_sim::config::SystemConfig;
+use hira_sim::config::{KernelMode, SystemConfig};
 use hira_sim::device::{DeviceHandle, DeviceRegistry};
 use hira_sim::policy::{self, PolicyHandle, PolicyRegistry};
 use hira_sim::system::System;
@@ -564,6 +564,28 @@ pub fn workload_axis_from_args() -> Vec<(String, WorkloadHandle)> {
     let registry = WorkloadRegistry::standard();
     let names = registry.names();
     workload_axis_from_args_or(&names)
+}
+
+/// The simulation kernel selected by `--kernel=dense|event` (default:
+/// [`KernelMode::Event`], the fast path). The dense kernel is the
+/// bit-identical legacy reference — `--kernel=dense` is the escape hatch
+/// for A/B-ing a result against it (see the `perf_kernel` binary for the
+/// systematic harness).
+///
+/// # Panics
+///
+/// Panics when the argument names an unknown kernel mode.
+pub fn kernel_from_args() -> KernelMode {
+    let selected = axis_args("kernel");
+    assert!(
+        selected.len() <= 1,
+        "--kernel selects the run's single kernel mode, not an axis: got {selected:?} \
+         (use the perf_kernel binary to A/B both kernels)"
+    );
+    selected
+        .first()
+        .map(|name| name.parse().expect("--kernel"))
+        .unwrap_or_default()
 }
 
 /// `p_th` for a RowHammer threshold under the §9.1 analysis, with the slack

@@ -422,6 +422,28 @@ impl HiraMc {
             .map(|e| e.bank)
     }
 
+    /// The next instant (ns) at which this controller may need attention:
+    /// before it, [`HiraMc::tick`] is a no-op, [`HiraMc::deadline_work`] /
+    /// [`HiraMc::opportunistic_work`] have nothing to serve, and
+    /// [`HiraMc::on_demand_act`] returns [`McAction::Plain`] without
+    /// mutating state — so a time-skipping host may safely not call them.
+    ///
+    /// With requests queued (or overflowed) the answer is `now`: service
+    /// opportunities depend on bank state the controller cannot see, so
+    /// the host must keep polling every tick. With the queues empty the
+    /// wake is the earliest of the next periodic generation instant and
+    /// the window-rollover accounting point.
+    pub fn next_wake(&self, now: f64) -> f64 {
+        if !self.table.is_empty() || !self.overflow.is_empty() {
+            return now;
+        }
+        let gen = self
+            .periodic
+            .as_ref()
+            .map_or(f64::INFINITY, PeriodicRc::next_due);
+        gen.min(self.window_end)
+    }
+
     /// Earliest queued deadline (scheduling hint).
     pub fn earliest_deadline(&self) -> Option<f64> {
         let table = self.table.earliest().map(|e| e.deadline);
@@ -690,5 +712,29 @@ mod tests {
         mc.tick(10.0);
         let _ = mc.deadline_work(500.0);
         assert!(mc.stats().max_lateness_ns > 0.0);
+    }
+
+    #[test]
+    fn next_wake_is_the_generation_instant_when_idle_and_now_when_loaded() {
+        let mut mc = HiraMc::new(params(4));
+        // Fresh controller: nothing queued, first generation at t = 0.
+        assert_eq!(mc.next_wake(0.0), 0.0);
+        // Generate: queued requests demand per-tick polls.
+        mc.tick(200.0);
+        assert_eq!(mc.next_wake(200.0), 200.0);
+        // Drain every queued request (opportunistic service ignores
+        // deadlines): the wake jumps to the next generation instant.
+        for b in 0..16 {
+            while mc.opportunistic_work(200.0, BankId(b)).is_some() {}
+        }
+        let wake = mc.next_wake(200.0);
+        assert!(wake > 200.0, "drained controller must sleep ({wake})");
+        // The declared wake really is the next generation instant: a tick
+        // just before it generates nothing, a tick at it does.
+        let before = mc.stats().periodic_generated;
+        mc.tick(wake - 1.0);
+        assert_eq!(mc.stats().periodic_generated, before);
+        mc.tick(wake);
+        assert!(mc.stats().periodic_generated > before);
     }
 }

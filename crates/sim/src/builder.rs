@@ -30,7 +30,7 @@
 //! assert_eq!(cfg.clock().mem_ticks_per_cpu_cycle(), (1, 2));
 //! ```
 
-use crate::config::SystemConfig;
+use crate::config::{KernelMode, SystemConfig};
 use crate::device::{ddr4_2400, DeviceHandle};
 use crate::policy::{baseline, PolicyHandle};
 use hira_dram::timing::TimingParams;
@@ -228,6 +228,7 @@ pub struct SystemBuilder {
     warmup_insts: u64,
     spt_fraction: f64,
     seed: u64,
+    kernel: KernelMode,
 }
 
 /// The preventive layer a builder composes onto the policy at build time.
@@ -269,6 +270,7 @@ impl SystemBuilder {
             warmup_insts: 20_000,
             spt_fraction: 0.32,
             seed: 0x5157,
+            kernel: KernelMode::default(),
         }
     }
 
@@ -415,6 +417,13 @@ impl SystemBuilder {
         self
     }
 
+    /// The simulation kernel ([`KernelMode::Event`] by default; results
+    /// are bit-identical either way).
+    pub fn kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Validates and assembles the configuration.
     pub fn build(self) -> Result<SystemConfig, BuildError> {
         // The device resolves first: it supplies the geometry, capacity
@@ -521,6 +530,8 @@ impl SystemBuilder {
             warmup_insts: self.warmup_insts,
             spt_fraction: self.spt_fraction,
             seed: self.seed,
+            kernel: self.kernel,
+            cycle_cap: None,
         };
         // HiRA capability cross-checks need a live policy instance (the
         // lead pair is the policy's choice, the decoder behaviour the

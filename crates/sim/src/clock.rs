@@ -113,6 +113,35 @@ impl MemClock {
     pub fn cycles_to_ns(&self, c: MemCycle) -> f64 {
         c as f64 * self.t_ck_ns
     }
+
+    /// The first command-clock cycle `c` whose timestamp satisfies
+    /// `cycles_to_ns(c) >= due_ns` — evaluated with the *same* float
+    /// expression the dense loop uses when it compares `now_ns` against a
+    /// policy deadline, so an event-driven kernel waking at this cycle
+    /// triggers on exactly the tick the dense loop would have.
+    ///
+    /// A naive `ceil(due_ns * mem_ghz)` can be off by one in either
+    /// direction (e.g. `7800.0 * 1.2` rounds to `9360.000000000002`, whose
+    /// ceiling overshoots the tick the dense comparison accepts), so the
+    /// float guess is corrected against the dense predicate itself.
+    /// Non-positive and NaN deadlines wake immediately; deadlines beyond
+    /// any simulatable horizon return [`MemCycle::MAX`] ("never").
+    pub fn wake_cycle(&self, due_ns: f64) -> MemCycle {
+        if due_ns.is_nan() || due_ns <= 0.0 {
+            return 0;
+        }
+        if due_ns > 1e18 {
+            return MemCycle::MAX;
+        }
+        let mut c = (due_ns * self.mem_ghz).ceil() as MemCycle;
+        while c > 0 && (c - 1) as f64 * self.t_ck_ns >= due_ns {
+            c -= 1;
+        }
+        while (c as f64) * self.t_ck_ns < due_ns {
+            c += 1;
+        }
+        c
+    }
 }
 
 #[cfg(test)]
@@ -162,5 +191,46 @@ mod tests {
     #[should_panic(expected = "does not match")]
     fn mismatched_rationals_are_rejected() {
         MemClock::new(3.2, 1.2, (1, 2));
+    }
+
+    /// The event kernel's wake conversion must agree with the dense loop's
+    /// trigger predicate (`c as f64 * t_ck_ns >= due`) on every deadline —
+    /// including the float-noise cases where `ceil(due * mem_ghz)` is off
+    /// by one (tREFI = 7800 ns on the 1.2 GHz grid is one such).
+    #[test]
+    fn wake_cycle_matches_the_dense_trigger_predicate() {
+        for clock in [MemClock::ddr4_2400(), MemClock::new(3.2, 1.6, (1, 2))] {
+            let dense_first = |due: f64| (0..).find(|&c| clock.cycles_to_ns(c) >= due).unwrap();
+            for due in [
+                0.0,
+                0.1,
+                3.0,
+                46.25,
+                975.5,
+                7800.0,
+                15600.0,
+                23400.0,
+                61.03515625,
+            ] {
+                assert_eq!(
+                    clock.wake_cycle(due),
+                    dense_first(due),
+                    "due {due} ns on {} GHz",
+                    clock.mem_ghz()
+                );
+            }
+            // Multiples of tREFI are where naive ceil rounding bites.
+            for k in 1..200u64 {
+                let due = 7800.0 * k as f64;
+                let c = clock.wake_cycle(due);
+                assert!(clock.cycles_to_ns(c) >= due);
+                assert!(c == 0 || clock.cycles_to_ns(c - 1) < due, "late at {due}");
+            }
+        }
+        // Degenerate deadlines: never-wakes and immediate wakes.
+        let c = MemClock::ddr4_2400();
+        assert_eq!(c.wake_cycle(f64::INFINITY), MemCycle::MAX);
+        assert_eq!(c.wake_cycle(f64::NAN), 0);
+        assert_eq!(c.wake_cycle(-5.0), 0);
     }
 }

@@ -26,6 +26,48 @@ use crate::device::DeviceHandle;
 use crate::policy::PolicyHandle;
 use hira_dram::timing::TimingParams;
 use hira_workload::WorkloadHandle;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which simulation kernel [`crate::system::System::run`] uses. Both
+/// produce bit-identical [`crate::metrics::SimResult`]s — the event kernel
+/// is the fast path, the dense kernel the reference the A/B equality
+/// harness (`perf_kernel`, `tests/kernel_equivalence.rs`) checks it
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelMode {
+    /// The legacy reference loop: every core ticks every CPU cycle, every
+    /// channel and policy ticks every memory cycle.
+    Dense,
+    /// Event-driven time skipping: the clock advances to the minimum of
+    /// the cores' and channels' next interesting instants (blocked cores
+    /// sleep until their fill, compute bubbles batch arithmetically,
+    /// policies sleep until their declared
+    /// [`crate::policy::RefreshPolicy::next_wake`]).
+    #[default]
+    Event,
+}
+
+impl fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KernelMode::Dense => "dense",
+            KernelMode::Event => "event",
+        })
+    }
+}
+
+impl FromStr for KernelMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(KernelMode::Dense),
+            "event" => Ok(KernelMode::Event),
+            other => Err(format!("unknown kernel mode `{other}` (dense|event)")),
+        }
+    }
+}
 
 /// Full system configuration. Hand-assembly is possible (all fields are
 /// public) but [`SystemBuilder`] is the supported construction path — it
@@ -69,6 +111,15 @@ pub struct SystemConfig {
     pub spt_fraction: f64,
     /// Deterministic seed.
     pub seed: u64,
+    /// Which simulation kernel drives the run (results are identical;
+    /// wall-clock is not).
+    pub kernel: KernelMode,
+    /// Explicit safety-cap override in CPU cycles. `None` uses the legacy
+    /// formula (`120 × (warmup + insts) + 4 M`). Both kernels stop the
+    /// moment the cycle counter reaches the cap — the event kernel clamps
+    /// its time skips to it, never overshooting — so a capped run reports
+    /// exactly the cap in [`crate::metrics::SimResult::cycles`].
+    pub cycle_cap: Option<u64>,
 }
 
 impl SystemConfig {
@@ -132,6 +183,18 @@ impl SystemConfig {
     pub fn with_insts(mut self, insts: u64, warmup: u64) -> Self {
         self.insts_per_core = insts;
         self.warmup_insts = warmup;
+        self
+    }
+
+    /// Selects the simulation kernel (`--kernel=` axes; A/B harnesses).
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Overrides the safety cycle cap (bounded runs, cap-semantics tests).
+    pub fn with_cycle_cap(mut self, cap: u64) -> Self {
+        self.cycle_cap = Some(cap);
         self
     }
 }

@@ -21,7 +21,7 @@
 //! through `on_act_executed`.
 
 use crate::clock::{MemClock, MemCycle};
-use crate::config::SystemConfig;
+use crate::config::{KernelMode, SystemConfig};
 use crate::device::CommandTable;
 use crate::policy::{
     DemandDecision, PolicyEnv, PolicyStats, RankView, RefreshAction, RefreshPolicy,
@@ -49,9 +49,23 @@ const WQ_LOW: usize = 16;
 struct DataBus {
     /// Burst start → end (non-overlapping; all bursts have equal length).
     bursts: std::collections::BTreeMap<MemCycle, MemCycle>,
+    /// Retention horizon behind `now` (see [`DataBus::with_horizon`]).
+    horizon: MemCycle,
 }
 
 impl DataBus {
+    /// A bus whose prune keeps reservations for `horizon` cycles past
+    /// their end. Every allocation starts at or after the current cycle,
+    /// so a burst that ended before `now` can never conflict again — the
+    /// horizon only needs to cover the bus's own reservation unit (one
+    /// burst length, as derived from the device's [`CommandTable`]).
+    fn with_horizon(horizon: MemCycle) -> Self {
+        DataBus {
+            bursts: std::collections::BTreeMap::new(),
+            horizon,
+        }
+    }
+
     /// Reserves the first `len`-cycle gap starting at or after `earliest`.
     fn alloc(&mut self, earliest: MemCycle, len: MemCycle) -> MemCycle {
         let mut s = earliest;
@@ -74,7 +88,7 @@ impl DataBus {
 
     fn prune(&mut self, now: MemCycle) {
         while let Some((&start, &end)) = self.bursts.first_key_value() {
-            if end + 64 < now {
+            if end + self.horizon < now {
                 self.bursts.remove(&start);
             } else {
                 break;
@@ -88,9 +102,23 @@ impl DataBus {
 #[derive(Debug, Default)]
 struct CmdBus {
     reserved: BTreeSet<MemCycle>,
+    /// Retention horizon behind `now` (see [`CmdBus::with_horizon`]).
+    horizon: MemCycle,
 }
 
 impl CmdBus {
+    /// A bus whose prune keeps slots for `horizon` cycles past their
+    /// reservation. As with [`DataBus`], allocations never start before
+    /// `now`, so the horizon only needs to cover the device's command
+    /// spacing — the widest mid-sequence gap a HiRA operation schedules
+    /// ahead (`t1 + t2` from the [`CommandTable`]).
+    fn with_horizon(horizon: MemCycle) -> Self {
+        CmdBus {
+            reserved: BTreeSet::new(),
+            horizon,
+        }
+    }
+
     /// Reserves the first free slot at or after `earliest`.
     fn alloc(&mut self, earliest: MemCycle) -> MemCycle {
         let mut c = earliest;
@@ -103,7 +131,7 @@ impl CmdBus {
 
     fn prune(&mut self, now: MemCycle) {
         while let Some(&c) = self.reserved.first() {
-            if c + 4 < now {
+            if c + self.horizon < now {
                 self.reserved.remove(&c);
             } else {
                 break;
@@ -137,7 +165,7 @@ struct Rank {
 }
 
 /// Aggregate controller statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Demand reads completed.
     pub reads_done: u64,
@@ -170,6 +198,7 @@ pub struct ChannelStats {
 pub struct Channel {
     timing: CommandTable,
     clock: MemClock,
+    kernel: KernelMode,
     banks_per_rank: u16,
     bank_groups: u16,
     read_q: Vec<MemRequest>,
@@ -189,6 +218,10 @@ pub struct Channel {
     view_next_act: Vec<MemCycle>,
     view_demand: Vec<bool>,
     view_open: Vec<bool>,
+    /// Event-kernel scratch: per-rank "policy wake has arrived" flags,
+    /// computed once per [`Channel::refresh_step`] (the gate and the rank
+    /// loop share them).
+    rank_due: Vec<bool>,
 }
 
 impl Channel {
@@ -225,6 +258,7 @@ impl Channel {
         Channel {
             timing,
             clock,
+            kernel: cfg.kernel,
             banks_per_rank: cfg.banks,
             bank_groups: cfg.bank_groups,
             read_q: Vec::with_capacity(cfg.queue_depth),
@@ -232,14 +266,15 @@ impl Channel {
             queue_depth: cfg.queue_depth,
             banks: vec![Bank::default(); cfg.ranks * cfg.banks as usize],
             ranks,
-            bus: CmdBus::default(),
-            data_bus: DataBus::default(),
+            bus: CmdBus::with_horizon(timing.t1 + timing.t2),
+            data_bus: DataBus::with_horizon(timing.bl),
             completions: BinaryHeap::new(),
             write_mode: false,
             stats: ChannelStats::default(),
             view_next_act: vec![0; cfg.banks as usize],
             view_demand: vec![false; cfg.ranks * cfg.banks as usize],
             view_open: vec![false; cfg.banks as usize],
+            rank_due: vec![false; cfg.ranks],
         }
     }
 
@@ -469,6 +504,40 @@ impl Channel {
         }
     }
 
+    /// The next memory cycle strictly after `now` at which ticking this
+    /// channel could do anything — the channel's contribution to the event
+    /// kernel's time skip. Ticks in `(now, next_event)` are provably
+    /// no-ops: with both queues empty and the write-drain hysteresis
+    /// settled, [`Channel::tick`] only pops due completions and polls
+    /// policies, and the policies' [`RefreshPolicy::next_wake`] contract
+    /// covers the latter. Returns [`MemCycle::MAX`] for a fully idle
+    /// channel. Bank/bus timestamps need no ticking — they are lazy.
+    pub fn next_event(&self, now: MemCycle) -> MemCycle {
+        if !self.read_q.is_empty() || !self.write_q.is_empty() {
+            // Demand scheduling commits (at most) one request per cycle:
+            // every cycle matters while work is queued.
+            return now + 1;
+        }
+        if self.write_mode {
+            // One more cycle for the write-drain hysteresis to observe the
+            // drained queue and flip back to read mode.
+            return now + 1;
+        }
+        let mut next = MemCycle::MAX;
+        if let Some(&Reverse((t, _))) = self.completions.peek() {
+            next = next.min(t.max(now + 1));
+        }
+        let now_ns = self.clock.cycles_to_ns(now);
+        for r in &self.ranks {
+            if r.policy.inert() {
+                continue;
+            }
+            let wake = self.clock.wake_cycle(r.policy.next_wake(now_ns));
+            next = next.min(wake.max(now + 1));
+        }
+        next
+    }
+
     /// Advances the controller by one command-clock cycle. Returns request
     /// ids whose data returned this cycle.
     pub fn tick(&mut self, now: MemCycle) -> Vec<u64> {
@@ -494,8 +563,28 @@ impl Channel {
         if self.ranks.iter().all(|r| r.policy.inert()) {
             return;
         }
+        // Event kernel: skip the tick/poll machinery for every rank whose
+        // policy declared a future wake (the `next_wake` contract makes
+        // those calls no-ops). The dense kernel runs the legacy path.
+        // Each rank's due flag is computed once and shared by this gate
+        // and the poll loop below.
+        if self.kernel == KernelMode::Event {
+            let mut any_due = false;
+            for (rank, due) in self.rank_due.iter_mut().enumerate() {
+                let r = &self.ranks[rank];
+                *due =
+                    !r.policy.inert() && self.clock.wake_cycle(r.policy.next_wake(now_ns)) <= now;
+                any_due |= *due;
+            }
+            if !any_due {
+                return;
+            }
+        }
         self.fill_demand();
         for rank in 0..self.ranks.len() {
+            if self.kernel == KernelMode::Event && !self.rank_due[rank] {
+                continue;
+            }
             self.ranks[rank].policy.tick(now_ns);
             if self.ranks[rank].policy.inert() {
                 continue;
@@ -752,6 +841,50 @@ mod tests {
             now += 1;
         }
         done
+    }
+
+    #[test]
+    fn data_bus_prune_horizon_derives_from_the_burst_length() {
+        let cfg = config(policy::noref());
+        let ch = Channel::new(&cfg, 0);
+        // The horizon is the device's burst length, not a magic constant.
+        assert_eq!(ch.data_bus.horizon, ch.timing.bl);
+        let mut bus = DataBus::with_horizon(ch.timing.bl);
+        let len = ch.timing.bl;
+        let first = bus.alloc(0, len);
+        assert_eq!(first, 0);
+        bus.alloc(1000, len);
+        // Within the horizon the old burst survives; past it, it is
+        // dropped — and allocation behaviour is unaffected either way,
+        // because new bursts never start before `now`.
+        bus.prune(len + ch.timing.bl);
+        assert!(bus.bursts.contains_key(&0), "pruned inside the horizon");
+        bus.prune(len + ch.timing.bl + 1);
+        assert!(!bus.bursts.contains_key(&0), "kept past the horizon");
+        assert!(bus.bursts.contains_key(&1000), "future burst dropped");
+        let now = len + ch.timing.bl + 1;
+        assert_eq!(bus.alloc(now, len), now, "prune changed allocation");
+    }
+
+    #[test]
+    fn cmd_bus_prune_horizon_derives_from_the_command_spacing() {
+        let cfg = config(policy::hira(4));
+        let ch = Channel::new(&cfg, 0);
+        // The widest ahead-of-time command spacing is a HiRA operation's
+        // mid-sequence window: t1 + t2 on the device's command grid.
+        assert_eq!(ch.bus.horizon, ch.timing.t1 + ch.timing.t2);
+        let horizon = ch.bus.horizon;
+        let mut bus = CmdBus::with_horizon(horizon);
+        assert_eq!(bus.alloc(0), 0);
+        bus.alloc(500);
+        bus.prune(horizon);
+        assert!(bus.reserved.contains(&0), "pruned inside the horizon");
+        bus.prune(horizon + 1);
+        assert!(!bus.reserved.contains(&0), "kept past the horizon");
+        assert!(bus.reserved.contains(&500), "future reservation dropped");
+        // A slot freed by pruning is never re-issued to the past: new
+        // commands allocate at or after `now`.
+        assert_eq!(bus.alloc(horizon + 1), horizon + 1);
     }
 
     #[test]

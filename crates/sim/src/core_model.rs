@@ -43,12 +43,20 @@ pub struct Core {
     compute_left: u32,
     /// A memory op that could not issue (back-pressure) and must retry.
     stalled_op: Option<Op>,
+    /// Window slots with `done == false` (outstanding loads). Maintained
+    /// incrementally so the event kernel's wake computation is O(1).
+    undone: usize,
     /// Retired instruction count.
     pub retired: u64,
     /// Cycle at which `retired` first reached the measurement target.
     pub finished_at: Option<u64>,
     /// Scheduled completion times for LLC hits `(cycle, entry)`.
     hit_returns: VecDeque<(u64, u64)>,
+    /// Event-kernel wake cache: the absolute cycle [`Core::next_wake`]
+    /// last reported. Until then this core's ticks are covered by
+    /// [`Core::skip`]; external completions reset it to 0 ("re-examine
+    /// me"). The dense kernel never reads it.
+    pub(crate) wake_cache: u64,
 }
 
 impl Core {
@@ -62,9 +70,11 @@ impl Core {
             completed: HashSet::new(),
             compute_left: 0,
             stalled_op: None,
+            undone: 0,
             retired: 0,
             finished_at: None,
             hit_returns: VecDeque::new(),
+            wake_cache: 0,
         }
     }
 
@@ -89,11 +99,13 @@ impl Core {
     /// Marks a load entry complete (memory response).
     pub fn complete(&mut self, entry: u64) {
         self.completed.insert(entry);
+        self.wake_cache = 0;
     }
 
     /// Schedules an LLC-hit completion.
     pub fn complete_at(&mut self, cycle: u64, entry: u64) {
         self.hit_returns.push_back((cycle, entry));
+        self.wake_cache = 0;
     }
 
     /// Advances one CPU cycle. `issue` receives at most one memory request
@@ -123,6 +135,9 @@ impl Core {
             }
             self.completed.remove(&head.id);
             self.window.pop_front();
+            if !head.done {
+                self.undone -= 1;
+            }
             self.retired += 1;
             retired_now += 1;
         }
@@ -161,6 +176,7 @@ impl Core {
                             id: entry,
                             done: false,
                         });
+                        self.undone += 1;
                         dispatched += 1;
                     } else {
                         // Back-pressure: retry the same op next cycle.
@@ -192,6 +208,83 @@ impl Core {
     /// Number of in-flight window entries.
     pub fn window_occupancy(&self) -> usize {
         self.window.len()
+    }
+
+    /// True when this core is in the *mechanical compute* state the event
+    /// kernel can advance arithmetically: every window slot retires
+    /// without consulting the completed set, at least a full issue width
+    /// is resident, a full width of compute remains to dispatch, and no
+    /// op is awaiting a back-pressure retry (retries touch LLC state
+    /// every cycle, so they must tick densely). In this state each tick
+    /// retires exactly [`WIDTH`] slots and dispatches exactly [`WIDTH`]
+    /// fresh compute slots — the window length is invariant and the slot
+    /// ids are dead state (done slots never match the completed set).
+    fn mechanical(&self) -> bool {
+        self.undone == 0
+            && self.stalled_op.is_none()
+            && self.compute_left as usize >= WIDTH
+            && self.window.len() >= WIDTH
+            && self.hit_returns.is_empty()
+    }
+
+    /// The first cycle at or after `now` whose [`Core::tick`] would do
+    /// anything the event kernel cannot reproduce with [`Core::skip`] —
+    /// the core's contribution to the kernel's next wake. Returns
+    /// `u64::MAX` when only an external event (a fill delivered through
+    /// [`Core::complete`]) can make this core progress; waking it earlier
+    /// is always safe (the tick is then a no-op, exactly as in the dense
+    /// kernel).
+    pub fn next_wake(&self, now: u64, target: u64, warmup: u64) -> u64 {
+        if self.mechanical() {
+            // Mechanical ticks retire WIDTH each; the tick that exhausts
+            // the compute burst (and so calls into the workload) and the
+            // ticks crossing the warmup/target retirement thresholds
+            // (observed by the run loop) must execute for real.
+            let w = WIDTH as u64;
+            let mut j = self.compute_left as u64 / w;
+            if self.retired < target {
+                j = j.min((target - self.retired).div_ceil(w) - 1);
+            }
+            if self.retired < warmup {
+                j = j.min((warmup - self.retired).div_ceil(w) - 1);
+            }
+            return now + j;
+        }
+        if self.window.len() == WINDOW {
+            let head = self.window.front().expect("full window has a head");
+            if !head.done && !self.completed.contains(&head.id) {
+                // Fully blocked: no retirement, no dispatch (the window-full
+                // check precedes any stalled-op retry), no LLC traffic —
+                // asleep until a hit return or an external fill.
+                return self
+                    .hit_returns
+                    .front()
+                    .map_or(u64::MAX, |&(t, _)| t.max(now));
+            }
+        }
+        // Anything else (dispatching, retiring, retrying a stalled op,
+        // draining a sub-width window) must tick densely.
+        now
+    }
+
+    /// Advances this core over `span` cycles the kernel has proven
+    /// uninteresting (every skipped cycle is strictly before the wake
+    /// [`Core::next_wake`] reported, and no external completion arrived).
+    /// A blocked core's state is untouched; a mechanical-compute core
+    /// retires and dispatches [`WIDTH`] instructions per cycle in O(1).
+    /// The window's slot ids intentionally go stale: done slots never
+    /// consult the completed set, so only the window *length* — which is
+    /// invariant here — and `next_id` are live state.
+    pub fn skip(&mut self, span: u64) {
+        if span == 0 || !self.mechanical() {
+            return;
+        }
+        let insts = WIDTH as u64 * span;
+        debug_assert!(self.compute_left as u64 >= insts, "skipped past a bubble");
+        debug_assert!(self.completed.is_empty());
+        self.retired += insts;
+        self.compute_left -= insts as u32;
+        self.next_id += insts;
     }
 }
 

@@ -66,7 +66,7 @@ pub mod request;
 pub mod system;
 
 pub use builder::{BuildError, SystemBuilder};
-pub use config::SystemConfig;
+pub use config::{KernelMode, SystemConfig};
 pub use device::{DeviceHandle, DeviceModel, DeviceProfile, DeviceRegistry};
 pub use hira_workload::{Workload, WorkloadHandle, WorkloadRegistry};
 pub use metrics::SimResult;

@@ -5,7 +5,12 @@ use crate::policy::PolicyStats;
 use hira_core::finder::McStats;
 
 /// Result of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Equality is exact (bit-level on the float fields): two runs of the same
+/// configuration compare equal regardless of thread count or
+/// [`crate::config::KernelMode`] — the property the dense-vs-event
+/// equality harness asserts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Per-core IPC over the measurement region.
     pub ipc: Vec<f64>,
@@ -13,7 +18,13 @@ pub struct SimResult {
     /// member benchmark each core ran) — the keys weighted-speedup
     /// denominators resolve by.
     pub workloads: Vec<String>,
-    /// CPU cycles simulated (to the last core's finish line).
+    /// CPU cycles simulated, up to the last core's finish line — or, when
+    /// the safety cap triggers first, exactly the cap. Under the
+    /// event-driven kernel this *includes* skipped cycles: time skipping
+    /// advances the clock, it does not compress it, so `cycles` (and the
+    /// per-core IPC denominators derived from it) are identical to the
+    /// dense kernel's count, and a capped run never reports a cycle
+    /// number past the cap however far the next wake lay.
     pub cycles: u64,
     /// Memory command-clock cycles simulated (the device's clock domain —
     /// the denominator of bus-utilization fractions).

@@ -42,6 +42,11 @@ impl RefreshPolicy for AllBankRef {
         })
     }
 
+    fn next_wake(&self, _now_ns: f64) -> f64 {
+        // Purely time-gated: nothing can happen before the next REF is due.
+        self.next_due_ns
+    }
+
     fn profile(&self) -> PolicyProfile {
         PolicyProfile {
             performs_refresh: true,

@@ -101,6 +101,10 @@ impl RefreshPolicy for HiraPolicy {
         poll_mc(&mut self.mc, now_ns, view)
     }
 
+    fn next_wake(&self, now_ns: f64) -> f64 {
+        self.mc.next_wake(now_ns)
+    }
+
     fn on_demand_act(&mut self, now_ns: f64, bank: BankId, row: RowId) -> DemandDecision {
         match self.mc.on_demand_act(now_ns, bank, row) {
             McAction::Plain => DemandDecision::Plain,

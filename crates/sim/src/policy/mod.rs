@@ -338,6 +338,13 @@ impl PolicyStats {
 ///   pair, and preventive victims alike. This is PARA's sampling point
 ///   (preventive refreshes disturb their own neighbours, §9), so the
 ///   controller never filters it.
+///
+/// Under the event-driven kernel ([`crate::config::KernelMode::Event`])
+/// steps 1–2 are elided on ticks the policy has declared uninteresting
+/// through [`next_wake`](Self::next_wake); the dense kernel
+/// ([`crate::config::KernelMode::Dense`]) always performs them, and the
+/// two must be observationally identical — the `next_wake` contract is
+/// exactly that guarantee.
 pub trait RefreshPolicy: fmt::Debug + Send {
     /// Display name (diagnostics and stats attribution).
     fn name(&self) -> &str;
@@ -345,6 +352,29 @@ pub trait RefreshPolicy: fmt::Debug + Send {
     /// Advances request generation to `now_ns`. Called once per controller
     /// tick, before any [`next_action`](Self::next_action) poll.
     fn tick(&mut self, _now_ns: f64) {}
+
+    /// The next instant (ns) at which this policy may need attention — the
+    /// contract that lets the event-driven simulation kernel skip time.
+    ///
+    /// By returning a wake `w > now_ns` the policy **guarantees** that at
+    /// every controller tick `t` with `now_ns <= t` *and* `t < w` (on the
+    /// dense tick grid), [`tick`](Self::tick) would not change its state
+    /// and [`next_action`](Self::next_action) would return `None` under
+    /// *any* [`RankView`] — so the controller may simply not call them.
+    /// The controller still delivers [`on_demand_act`](Self::on_demand_act)
+    /// and [`on_act_executed`](Self::on_act_executed) whenever demand work
+    /// executes, and re-queries the wake afterwards, so a policy whose
+    /// next action depends on those callbacks (e.g. a PARA layer) must
+    /// fold them in by returning `now_ns` while it holds serveable work.
+    ///
+    /// Waking *early* is always safe (the skipped calls are no-ops by the
+    /// same argument the dense kernel relies on); waking *late* breaks
+    /// bit-identity with the dense kernel. The default returns `now_ns` —
+    /// "poll me every tick" — which preserves exact legacy behavior for
+    /// out-of-tree policies that predate this hook.
+    fn next_wake(&self, now_ns: f64) -> f64 {
+        now_ns
+    }
 
     /// The next refresh the controller should execute now, or `None` when
     /// the policy has nothing (more) to issue this tick.

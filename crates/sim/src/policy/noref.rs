@@ -17,6 +17,10 @@ impl RefreshPolicy for NoRefresh {
         None
     }
 
+    fn next_wake(&self, _now_ns: f64) -> f64 {
+        f64::INFINITY
+    }
+
     fn inert(&self) -> bool {
         true
     }

@@ -64,6 +64,11 @@ impl RefreshPolicy for PerBankRef {
         })
     }
 
+    fn next_wake(&self, _now_ns: f64) -> f64 {
+        // Purely time-gated: the rotation fires on its own schedule.
+        self.next_due_ns
+    }
+
     fn profile(&self) -> PolicyProfile {
         let refi = self.interval_ns * f64::from(self.banks);
         PolicyProfile {

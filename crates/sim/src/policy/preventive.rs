@@ -98,6 +98,16 @@ impl RefreshPolicy for ImmediatePara {
         }
     }
 
+    fn next_wake(&self, now_ns: f64) -> f64 {
+        // Pending victims are served on the very next poll; otherwise the
+        // layer is transparent and the inner policy's schedule governs.
+        if self.queue.is_empty() {
+            self.inner.next_wake(now_ns)
+        } else {
+            now_ns
+        }
+    }
+
     fn hira_lead(&self) -> Option<(f64, f64)> {
         self.inner.hira_lead()
     }
@@ -188,6 +198,10 @@ impl RefreshPolicy for QueuedPara {
     fn on_act_executed(&mut self, now_ns: f64, bank: BankId, row: RowId) {
         self.inner.on_act_executed(now_ns, bank, row);
         self.mc.on_row_activated(now_ns, bank, row);
+    }
+
+    fn next_wake(&self, now_ns: f64) -> f64 {
+        self.inner.next_wake(now_ns).min(self.mc.next_wake(now_ns))
     }
 
     fn hira_lead(&self) -> Option<(f64, f64)> {

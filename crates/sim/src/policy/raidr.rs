@@ -146,6 +146,17 @@ impl RefreshPolicy for RaidrBinned {
         None
     }
 
+    fn next_wake(&self, now_ns: f64) -> f64 {
+        // Parked refreshes unblock on bank state this policy cannot see:
+        // keep polling every tick while any are held. Otherwise nothing
+        // can happen before the emission schedule's next row-slot.
+        if self.pending.is_empty() {
+            self.next_slot_ns
+        } else {
+            now_ns
+        }
+    }
+
     fn profile(&self) -> PolicyProfile {
         let rate = self.mean_refresh_rate();
         let rows = f64::from(self.rows_per_bank);

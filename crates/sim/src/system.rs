@@ -1,6 +1,22 @@
 //! Whole-system assembly: cores + shared LLC + memory channels.
+//!
+//! Two simulation kernels drive the same component models
+//! ([`crate::config::KernelMode`]):
+//!
+//! * **Dense** — the legacy reference loop: every core ticks every CPU
+//!   cycle, the memory side ticks on every command-clock edge.
+//! * **Event** — time skipping: between *interesting* cycles the clock
+//!   jumps. A cycle is interesting when a core can retire/dispatch for
+//!   real (cores blocked on a DRAM fill sleep; pure compute bubbles are
+//!   batched arithmetically at retire width), when a channel has queued
+//!   demand or a due completion, or when a refresh policy's declared
+//!   [`crate::policy::RefreshPolicy::next_wake`] arrives. The memory-tick
+//!   rational accumulator is advanced in closed form across skips, so the
+//!   observable cycle numbers — and therefore every statistic in
+//!   [`SimResult`] — are **bit-identical** between the two kernels (the
+//!   `perf_kernel` harness and `tests/kernel_equivalence.rs` enforce it).
 
-use crate::config::SystemConfig;
+use crate::config::{KernelMode, SystemConfig};
 use crate::controller::Channel;
 use crate::core_model::{Core, CoreRequest};
 use crate::llc::{Access, Llc, Waiter};
@@ -61,42 +77,160 @@ impl System {
     }
 
     /// Runs until every core retires warmup + measurement instructions (or
-    /// the safety cycle cap triggers) and returns per-core IPC.
-    pub fn run(mut self) -> SimResult {
+    /// the safety cycle cap triggers) and returns per-core IPC. Dispatches
+    /// on the configured [`KernelMode`]; results are identical either way.
+    pub fn run(self) -> SimResult {
+        match self.cfg.kernel {
+            KernelMode::Dense => self.run_dense(),
+            KernelMode::Event => self.run_event(),
+        }
+    }
+
+    /// The safety cycle cap: even at IPC 0.01 the run terminates. Both
+    /// kernels stop the moment the cycle counter *reaches* this value —
+    /// the event kernel clamps its time skips to it, so a capped run
+    /// reports exactly `cap` in [`SimResult::cycles`] regardless of how
+    /// far the next wake would have jumped.
+    fn safety_cap(&self, target: u64) -> u64 {
+        self.cfg.cycle_cap.unwrap_or(target * 120 + 4_000_000)
+    }
+
+    /// One full dense iteration at `cycle`: CPU side, warmup/ROI
+    /// bookkeeping, then every memory tick the rational accumulator
+    /// yields. Shared verbatim by both kernels — the event kernel merely
+    /// decides *which* cycles run it.
+    fn step(
+        &mut self,
+        cycle: u64,
+        target: u64,
+        warmup: u64,
+        warm_cycle: &mut [Option<u64>],
+        roi_ended: &mut [bool],
+    ) {
+        self.tick_cpu(cycle, target, warmup);
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if warm_cycle[i].is_none() && c.retired >= warmup {
+                warm_cycle[i] = Some(cycle);
+                c.begin_roi();
+            }
+            if !roi_ended[i] && c.finished_at.is_some() {
+                roi_ended[i] = true;
+                c.end_roi();
+            }
+        }
+        // Memory clock: the device's exact rational (DDR4-2400: 3
+        // ticks per 8 CPU cycles; the 3200 MT/s parts: 1 per 2).
+        self.mem_tick_acc += self.tick_num;
+        while self.mem_tick_acc >= self.tick_den {
+            self.mem_tick_acc -= self.tick_den;
+            self.tick_mem();
+        }
+    }
+
+    /// The legacy reference kernel: every cycle runs [`System::step`].
+    fn run_dense(mut self) -> SimResult {
         let warmup = self.cfg.warmup_insts;
         let target = warmup + self.cfg.insts_per_core;
-        // Safety cap: even at IPC 0.01 the run terminates.
-        let cap = target * 120 + 4_000_000;
-
+        let cap = self.safety_cap(target);
         let mut warm_cycle = vec![None::<u64>; self.cores.len()];
         let mut roi_ended = vec![false; self.cores.len()];
         let mut cycle = 0u64;
         loop {
-            self.tick_cpu(cycle, target);
-            for (i, c) in self.cores.iter_mut().enumerate() {
-                if warm_cycle[i].is_none() && c.retired >= warmup {
-                    warm_cycle[i] = Some(cycle);
-                    c.begin_roi();
-                }
-                if !roi_ended[i] && c.finished_at.is_some() {
-                    roi_ended[i] = true;
-                    c.end_roi();
-                }
-            }
-            // Memory clock: the device's exact rational (DDR4-2400: 3
-            // ticks per 8 CPU cycles; the 3200 MT/s parts: 1 per 2).
-            self.mem_tick_acc += self.tick_num;
-            while self.mem_tick_acc >= self.tick_den {
-                self.mem_tick_acc -= self.tick_den;
-                self.tick_mem();
-            }
+            self.step(cycle, target, warmup, &mut warm_cycle, &mut roi_ended);
             cycle += 1;
             let all_done = self.cores.iter().all(|c| c.finished_at.is_some());
             if all_done || cycle >= cap {
                 break;
             }
         }
+        self.collect(cycle, target, warmup, &warm_cycle)
+    }
 
+    /// The event-driven kernel: after each processed cycle, jump straight
+    /// to the next cycle at which anything observable can happen.
+    fn run_event(mut self) -> SimResult {
+        let warmup = self.cfg.warmup_insts;
+        let target = warmup + self.cfg.insts_per_core;
+        let cap = self.safety_cap(target);
+        let mut warm_cycle = vec![None::<u64>; self.cores.len()];
+        let mut roi_ended = vec![false; self.cores.len()];
+        let mut cycle = 0u64;
+        loop {
+            self.step(cycle, target, warmup, &mut warm_cycle, &mut roi_ended);
+            cycle += 1;
+            let all_done = self.cores.iter().all(|c| c.finished_at.is_some());
+            if all_done || cycle >= cap {
+                break;
+            }
+            // Skip the provably uninteresting span, never past the cap
+            // (the skipped cycles still count: SimResult::cycles and the
+            // mem-tick accumulator advance exactly as the dense loop's
+            // no-op iterations would have advanced them).
+            let next = self.next_interesting_cycle(cycle).min(cap);
+            if next > cycle {
+                let span = next - cycle;
+                for c in &mut self.cores {
+                    c.skip(span);
+                }
+                let acc = self.mem_tick_acc + span * self.tick_num;
+                self.mem_cycle += acc / self.tick_den;
+                self.mem_tick_acc = acc % self.tick_den;
+                cycle = next;
+                if cycle >= cap {
+                    break;
+                }
+            }
+        }
+        self.collect(cycle, target, warmup, &warm_cycle)
+    }
+
+    /// The earliest cycle at or after `cur` whose iteration can do
+    /// anything: the minimum of the cores' wakes and the CPU cycle
+    /// containing the channels' next memory-side event. Pending LLC→
+    /// channel transfers pin the answer to `cur` (their retry runs inside
+    /// every `tick_cpu`).
+    fn next_interesting_cycle(&self, cur: u64) -> u64 {
+        if !self.llc.fetch_queue.is_empty() || !self.llc.writeback_queue.is_empty() {
+            return cur;
+        }
+        let mut wake = u64::MAX;
+        for c in &self.cores {
+            // Caches are refreshed whenever a core ticks and zeroed by
+            // completions, so the minimum over them is always current.
+            wake = wake.min(c.wake_cache);
+            if wake <= cur {
+                return cur;
+            }
+        }
+        let mut tick = u64::MAX;
+        for ch in &self.channels {
+            tick = tick.min(ch.next_event(self.mem_cycle));
+        }
+        if tick != u64::MAX {
+            wake = wake.min(self.cycle_of_tick(cur, tick));
+        }
+        wake.max(cur)
+    }
+
+    /// The CPU cycle (at or after `cur`) whose iteration processes the
+    /// absolute memory tick `tick`, given the current accumulator state.
+    fn cycle_of_tick(&self, cur: u64, tick: u64) -> u64 {
+        debug_assert!(tick > self.mem_cycle);
+        let pending = (tick - self.mem_cycle) as u128;
+        // Smallest n >= 1 with acc + n * num >= pending * den; the tick
+        // then fires inside the iteration at cur + n - 1.
+        let need = pending * self.tick_den as u128 - self.mem_tick_acc as u128;
+        let n = need.div_ceil(self.tick_num as u128);
+        cur + n as u64 - 1
+    }
+
+    fn collect(
+        self,
+        cycle: u64,
+        target: u64,
+        warmup: u64,
+        warm_cycle: &[Option<u64>],
+    ) -> SimResult {
         let ipc = self
             .cores
             .iter()
@@ -127,7 +261,7 @@ impl System {
         }
     }
 
-    fn tick_cpu(&mut self, cycle: u64, target: u64) {
+    fn tick_cpu(&mut self, cycle: u64, target: u64, warmup: u64) {
         // Split borrows: cores vs the memory side.
         let System {
             cores,
@@ -139,7 +273,16 @@ impl System {
             mem_cycle,
             ..
         } = self;
+        let event = cfg.kernel == KernelMode::Event;
         for core in cores.iter_mut() {
+            // Event kernel: a core whose cached wake lies ahead takes its
+            // one-cycle mechanical advance (a no-op while blocked) instead
+            // of a full tick — this cycle is being processed for some
+            // other component's sake.
+            if event && core.wake_cache > cycle {
+                core.skip(1);
+                continue;
+            }
             let core_id = core.id;
             core.tick(cycle, target, |c, req| match req {
                 CoreRequest::Load { line, entry } => {
@@ -156,6 +299,9 @@ impl System {
                     matches!(llc.access(line, true, None), Access::Hit | Access::Miss)
                 }
             });
+            if event {
+                core.wake_cache = core.next_wake(cycle + 1, target, warmup);
+            }
         }
         // Move LLC fetches/writebacks into channel queues (with back-pressure).
         llc.fetch_queue.retain(|&line| {

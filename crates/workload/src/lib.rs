@@ -120,7 +120,12 @@ pub(crate) fn geometric_gap(rng: &mut Stream, mem_per_kinst: f64) -> u32 {
 /// One instruction-stream event a workload frontend emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
-    /// `n` non-memory instructions.
+    /// `n` non-memory instructions, delivered as a single **run-length
+    /// bubble** rather than one event per instruction. This is what lets
+    /// the event-driven simulation kernel batch a whole compute bubble
+    /// arithmetically (the core advances `n / width` cycles in O(1))
+    /// instead of ticking through it — see the trait-level contract:
+    /// frontends never emit two `Compute` events in a row.
     Compute(u32),
     /// A load of the 64 B line at this byte address.
     Load(u64),
@@ -199,7 +204,11 @@ impl WorkloadEnv {
 ///   dispatch and must always return an event; frontends are infinite
 ///   (generators never exhaust, traces wrap around). Memory events are
 ///   separated by at most one [`Op::Compute`] gap — never emit two gaps in
-///   a row, so captured traces replay bit-identically.
+///   a row. Two things depend on this run-length delivery: captured traces
+///   replay bit-identically, and the event-driven simulation kernel can
+///   treat each bubble as one closed-form skip (a gap split across several
+///   `Compute` events would force it back to per-cycle ticking at every
+///   seam).
 /// * All randomness must come from [`hira_dram::rng::Stream`]s keyed by the
 ///   [`WorkloadEnv`] coordinates: two instances built from equal
 ///   environments must emit identical event sequences.
@@ -345,6 +354,31 @@ mod tests {
         };
         assert_eq!(e0.base_addr(), 0);
         assert_eq!(e3.base_addr(), 3 << 30);
+    }
+
+    #[test]
+    fn every_registered_workload_delivers_bubbles_run_length() {
+        // The contract the event kernel's compute batching rides on: a
+        // compute gap arrives as ONE `Op::Compute(n)`, never split into
+        // consecutive events. Checked across the whole standard registry
+        // (all three families) over a long prefix of each stream.
+        for handle in registry::WorkloadRegistry::standard().handles() {
+            let mut wl = handle.build(&WorkloadEnv {
+                core: 0,
+                cores: 2,
+                seed: 11,
+            });
+            let mut prev_was_gap = false;
+            for i in 0..20_000 {
+                let gap = matches!(wl.next_access(), Op::Compute(_));
+                assert!(
+                    !(gap && prev_was_gap),
+                    "{}: consecutive Compute events at op {i}",
+                    handle.name()
+                );
+                prev_was_gap = gap;
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! the open API enables (per-bank REFpb, RAIDR retention binning).
 //!
 //! Run with: `cargo run --release --example refresh_study`
+//!
+//! All examples run on the event-driven kernel (the default). The dense
+//! reference loop is a builder flag away — `.kernel(KernelMode::Dense)`
+//! here, `--kernel=dense` on the matrix binaries — and produces
+//! bit-identical results, just slower (see the README's "Performance"
+//! section and the `perf_kernel` A/B harness).
 
 use hira::prelude::*;
 

@@ -74,7 +74,7 @@ pub mod prelude {
         self, DemandDecision, PolicyEnv, PolicyHandle, PolicyProfile, PolicyRegistry, PolicyStats,
         RankView, RefreshAction, RefreshPolicy,
     };
-    pub use hira_sim::{SimResult, System, SystemConfig};
+    pub use hira_sim::{KernelMode, SimResult, System, SystemConfig};
     pub use hira_workload::{
         benchmark, mix, mix_with_seed, roster, spec, trace_file, Benchmark, Op, ParseError, Trace,
         TraceRecord, Workload, WorkloadEnv, WorkloadHandle, WorkloadProfile, WorkloadRegistry,

@@ -152,6 +152,8 @@ fn builder_reproduces_the_legacy_table3_struct_literals() {
                 warmup_insts: 20_000,
                 spt_fraction: 0.32,
                 seed: 0x5157,
+                kernel: KernelMode::default(),
+                cycle_cap: None,
             };
             let built = SystemBuilder::table3(cap)
                 .policy(p.clone())

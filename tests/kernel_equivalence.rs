@@ -1,0 +1,161 @@
+//! Dense-vs-event kernel equality: the event-driven time-skipping kernel
+//! must produce **identical** [`SimResult`]s to the dense reference loop —
+//! bit-level on every IPC, cycle count, channel statistic, HiRA-MC counter
+//! and policy counter — for every registered refresh policy, a workload
+//! sample spanning the shipped families, and more than one device clock
+//! ratio. This is the integration-level enforcement of the
+//! [`RefreshPolicy::next_wake`] contract and of the core model's
+//! sleep/compute-batching arithmetic.
+
+use hira::engine::{Executor, Sweep};
+use hira::prelude::*;
+use hira::workload::workload;
+use hira_bench::{run_ws, Scale};
+
+fn build(
+    device: &DeviceHandle,
+    policy: &PolicyHandle,
+    workload: &WorkloadHandle,
+    kernel: KernelMode,
+) -> Option<SystemConfig> {
+    match SystemBuilder::new()
+        .device(device.clone())
+        .policy(policy.clone())
+        .workload(workload.clone())
+        .insts(2_500, 500)
+        .kernel(kernel)
+        .build()
+    {
+        Ok(cfg) => Some(cfg),
+        // A HiRA policy on a HiRA-inert part is a legitimately absent
+        // grid cell, same as in the device_matrix binary.
+        Err(BuildError::DeviceLacksHira { .. }) => None,
+        Err(e) => panic!("unexpected build failure: {e}"),
+    }
+}
+
+#[test]
+fn every_policy_workload_device_point_is_kernel_invariant() {
+    // Every registered policy × a sample of every workload family × two
+    // devices with different CPU↔memory tick rationals (3:8 and 1:2).
+    let devices = [device::ddr4_2400(), device::lpddr4_3200()];
+    let workloads = [workload("mix0"), workload("stream"), workload("random")];
+    let mut checked = 0;
+    for policy in PolicyRegistry::standard().handles() {
+        for dev in &devices {
+            for wl in &workloads {
+                let Some(dense_cfg) = build(dev, policy, wl, KernelMode::Dense) else {
+                    continue;
+                };
+                let event_cfg = build(dev, policy, wl, KernelMode::Event).unwrap();
+                let dense = System::new(dense_cfg).run();
+                let event = System::new(event_cfg).run();
+                assert_eq!(
+                    dense,
+                    event,
+                    "kernels diverged: policy {} x device {} x workload {}",
+                    policy.name(),
+                    dev.name(),
+                    wl.name()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 20, "grid unexpectedly small: {checked} points");
+}
+
+#[test]
+fn para_layers_are_kernel_invariant() {
+    // The composition layers have their own next_wake logic (immediate
+    // queues, a second HiRA-MC): cover both over a non-HiRA inner policy
+    // and the natively-absorbing HiRA inner.
+    let layered = [
+        policy::baseline().with_para_immediate(0.5),
+        policy::baseline().with_para_hira(0.5, 4),
+        policy::hira(4).with_para_hira(0.5, 4),
+    ];
+    for p in layered {
+        let run = |kernel| {
+            let cfg = SystemBuilder::new()
+                .policy(p.clone())
+                .insts(2_500, 500)
+                .kernel(kernel)
+                .build()
+                .unwrap();
+            System::new(cfg).run()
+        };
+        let dense = run(KernelMode::Dense);
+        let event = run(KernelMode::Event);
+        assert_eq!(dense, event, "kernels diverged under layer {}", p.name());
+        assert!(
+            dense.policy_stats[0].preventive_queued > 0,
+            "{}: the PARA layer never triggered — the point is untested",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn capped_runs_report_the_cap_under_both_kernels() {
+    // Pin the safety cap below the run's natural length: both kernels
+    // must stop at *exactly* the cap with equal results — the event
+    // kernel clamps its time skips to it (no overshoot however far the
+    // next wake lay; SimResult::cycles documents this).
+    let natural = System::new(
+        SystemBuilder::new()
+            .cores(1)
+            .policy(policy::baseline())
+            .workload(workload("chase"))
+            .insts(2_000, 400)
+            .build()
+            .unwrap(),
+    )
+    .run()
+    .cycles;
+    let cap = natural / 2;
+    let run = |kernel| {
+        let cfg = SystemBuilder::new()
+            .cores(1)
+            .policy(policy::baseline())
+            .workload(workload("chase"))
+            .insts(2_000, 400)
+            .kernel(kernel)
+            .build()
+            .unwrap()
+            .with_cycle_cap(cap);
+        System::new(cfg).run()
+    };
+    let dense = run(KernelMode::Dense);
+    let event = run(KernelMode::Event);
+    assert_eq!(dense.cycles, cap, "dense run must stop at the cap");
+    assert_eq!(event.cycles, cap, "event run must not overshoot the cap");
+    assert_eq!(dense, event);
+}
+
+#[test]
+fn engine_thread_count_determinism_holds_in_event_mode() {
+    // The engine determinism guarantee re-checked with the event kernel
+    // explicitly selected: results byte-identical at 1 vs 8 threads.
+    let scale = Scale {
+        mixes: 2,
+        insts: 2_000,
+        warmup: 400,
+        rows: 16,
+    };
+    let sweep = || {
+        Sweep::new("event_determinism").axis(
+            "policy",
+            [("baseline", policy::baseline()), ("hira4", policy::hira(4))],
+            |_, p| SystemConfig::table3(8.0, p.clone()).with_kernel(KernelMode::Event),
+        )
+    };
+    let canonical = |threads| {
+        run_ws(&Executor::with_threads(threads), sweep(), scale)
+            .run
+            .canonical_json()
+    };
+    let single = canonical(1);
+    assert!(!single.is_empty());
+    assert_eq!(single, canonical(8), "8 threads diverged from 1");
+}
