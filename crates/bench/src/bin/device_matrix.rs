@@ -32,15 +32,19 @@
 //!   axis; default: a mix, a streaming and a random generator,
 //! * `--kernel=dense|event` — simulation kernel (default `event`; results
 //!   are bit-identical, `dense` is the reference escape hatch),
-//! * `--list` — print all three registries with their one-liners and
-//!   exit,
+//! * `--probe=<form>` / `--cmdtrace=<prefix>` / `--stats-epoch=<cycles>` —
+//!   attach observers to every point (results stay bit-identical; output
+//!   paths are suffixed per point), `--telemetry` — print the per-point
+//!   run telemetry table,
+//! * `--list` — print all three registries (and the probe forms) with
+//!   their one-liners and exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
 //!   the canonical result sets are byte-identical.
 
 use hira_bench::{
-    device_axis_from_args_or, kernel_from_args, policy_axis_from_args_or, print_device_list,
-    print_policy_list, print_workload_list, run_ws_with_stats, workload_axis_from_args_or, Scale,
-    WsTable,
+    device_axis_from_args_or, kernel_from_args, maybe_print_telemetry, policy_axis_from_args_or,
+    print_device_list, print_policy_list, print_probe_list, print_workload_list,
+    run_ws_with_stats_probed, workload_axis_from_args_or, ProbeSpec, Scale, WsTable,
 };
 use hira_engine::{Executor, ScenarioKey, Sweep};
 use hira_sim::builder::{BuildError, SystemBuilder};
@@ -136,11 +140,14 @@ fn main() {
         print_policy_list();
         println!();
         print_workload_list();
+        println!();
+        print_probe_list();
         return;
     }
     let scale = Scale::from_env();
     let ex = Executor::from_env();
     let kernel = kernel_from_args();
+    let probes = ProbeSpec::from_args();
     let devices = device_axis_from_args_or(DEFAULT_DEVICES);
     let policies = policy_axis_from_args_or(DEFAULT_POLICIES);
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
@@ -168,11 +175,11 @@ fn main() {
         println!("skipping {s}");
     }
     assert!(!sweep.is_empty(), "every device x policy combo was skipped");
-    let t = run_ws_with_stats(&ex, sweep, scale);
+    let t = run_ws_with_stats_probed(&ex, sweep, scale, &probes);
 
     if std::env::args().any(|a| a == "--check-determinism") {
         let (sweep, _) = grid(&devices, &policies, &workloads, kernel);
-        let serial = run_ws_with_stats(&Executor::with_threads(1), sweep, scale);
+        let serial = run_ws_with_stats_probed(&Executor::with_threads(1), sweep, scale, &probes);
         assert_eq!(
             t.run.canonical_json(),
             serial.run.canonical_json(),
@@ -191,8 +198,8 @@ fn main() {
         .unwrap_or(&pol_names[0]);
     println!("\n-- channel metrics per device ({metrics_policy} policy, mean over workloads) --");
     println!(
-        "{:<18} {:>10} {:>10} {:>8}",
-        "", "read_lat", "write_lat", "dbus"
+        "{:<18} {:>10} {:>10} {:>8} {:>9} {:>9} {:>9}",
+        "", "read_lat", "write_lat", "dbus", "read_p50", "read_p99", "write_p99"
     );
     for d in &dev_names {
         let mean_of = |metric: &str| -> Option<f64> {
@@ -207,13 +214,30 @@ fn main() {
                 .collect();
             (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
         };
-        match (mean_of("read_lat"), mean_of("write_lat"), mean_of("dbus")) {
-            (Some(rl), Some(wl), Some(db)) => {
-                println!("{d:<18} {rl:>10.2} {wl:>10.2} {db:>8.4}");
+        match (
+            mean_of("read_lat"),
+            mean_of("write_lat"),
+            mean_of("dbus"),
+            mean_of("read_p50"),
+            mean_of("read_p99"),
+            mean_of("write_p99"),
+        ) {
+            (Some(rl), Some(wl), Some(db), Some(r50), Some(r99), Some(w99)) => {
+                println!(
+                    "{d:<18} {rl:>10.2} {wl:>10.2} {db:>8.4} {r50:>9.1} {r99:>9.1} {w99:>9.1}"
+                );
             }
             // A skipped device x policy combo has no records: say so.
-            _ => println!("{d:<18} {:>10} {:>10} {:>8}", "-", "-", "-"),
+            _ => println!(
+                "{d:<18} {:>10} {:>10} {:>8} {:>9} {:>9} {:>9}",
+                "-", "-", "-", "-", "-", "-"
+            ),
         }
+    }
+
+    maybe_print_telemetry(&t.run);
+    if probes.is_active() {
+        println!("\nprobes attached: {}", probes.specs().join(", "));
     }
 
     let dir = std::env::var("HIRA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());

@@ -20,11 +20,18 @@
 //!
 //! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis;
 //!   default: the full standard registry,
+//! * `--check-baseline=<path>` — after the sweep, compare `speedup_total`
+//!   against the one recorded in the `BENCH_perf_kernel.json` at `<path>`
+//!   and fail when it regressed by more than the tolerance — the CI guard
+//!   that the no-probe notification sites stay free,
+//! * `--baseline-tolerance=<frac>` — allowed fractional regression for
+//!   `--check-baseline` (default 0.35; wall-clock ratios are noisy on
+//!   shared runners),
 //! * `--list` — print the registered policies and exit.
 //!
 //! Scale: `HIRA_MIXES` × `HIRA_INSTS` as everywhere else.
 
-use hira_bench::{policy_axis_from_args, print_series, Scale};
+use hira_bench::{extract_metric_value, policy_axis_from_args, print_series, Scale};
 use hira_engine::{RunRecord, RunSet, ScenarioKey};
 use hira_sim::config::{KernelMode, SystemConfig};
 use hira_sim::{SimResult, System};
@@ -41,10 +48,27 @@ fn timed(cfg: &SystemConfig, kernel: KernelMode) -> (SimResult, f64) {
     (result, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// The single value of a `--<flag>=` argument, when passed.
+fn flag_value(flag: &str) -> Option<String> {
+    let prefix = format!("--{flag}=");
+    std::env::args().find_map(|a| a.strip_prefix(&prefix).map(str::to_owned))
+}
+
 fn main() {
     let scale = Scale::from_env();
     let cap = 8.0;
     let policies = policy_axis_from_args();
+    // Read the baseline before the sweep so a bad path fails fast.
+    let baseline = flag_value("check-baseline").map(|path| {
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check-baseline: cannot read {path}: {e}"));
+        let total = extract_metric_value(&body, "speedup_total")
+            .unwrap_or_else(|| panic!("--check-baseline: no speedup_total record in {path}"));
+        (path, total)
+    });
+    let tolerance: f64 = flag_value("baseline-tolerance")
+        .map(|v| v.parse().expect("--baseline-tolerance"))
+        .unwrap_or(0.35);
     assert!(
         !policies.is_empty(),
         "perf_kernel needs at least one policy"
@@ -91,6 +115,7 @@ fn main() {
                     metric: metric.to_owned(),
                     value,
                     wall_ms: wall_dense + wall_event,
+                    telemetry: None,
                 });
             }
         }
@@ -116,7 +141,22 @@ fn main() {
         metric: "speedup_total".to_owned(),
         value: total,
         wall_ms: total_dense + total_event,
+        telemetry: None,
     });
+
+    if let Some((path, expected)) = baseline {
+        let floor = expected * (1.0 - tolerance);
+        println!(
+            "baseline check: speedup_total {total:.2}x vs {expected:.2}x in {path} \
+             (floor {floor:.2}x at tolerance {tolerance})"
+        );
+        assert!(
+            total >= floor,
+            "event-kernel speedup regressed: {total:.2}x < {floor:.2}x \
+             ({expected:.2}x in {path} minus {tolerance} tolerance) — \
+             did the no-probe path grow overhead?"
+        );
+    }
 
     let run = RunSet {
         sweep: "perf_kernel".to_owned(),

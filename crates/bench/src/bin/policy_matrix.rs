@@ -15,20 +15,35 @@
 //!   registry name; default: the full standard registry,
 //! * `--kernel=dense|event` — simulation kernel (default `event`; results
 //!   are bit-identical, `dense` is the reference escape hatch),
+//! * `--probe=<form>` / `--cmdtrace=<prefix>` / `--stats-epoch=<cycles>` —
+//!   attach observers to every point (results stay bit-identical; output
+//!   paths are suffixed per point), `--telemetry` — print the per-point
+//!   run telemetry table,
+//! * `--list` — print the policy registry and the probe forms, then exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
 //!   the canonical result sets are byte-identical (the engine's guarantee,
 //!   enforced end-to-end through every policy object).
 
-use hira_bench::{kernel_from_args, policy_axis_from_args, print_series, run_ws, Scale};
+use hira_bench::{
+    kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_policy_list,
+    print_probe_list, print_series, run_ws_probed, ProbeSpec, Scale,
+};
 use hira_engine::{flabel, Executor, Sweep};
 use hira_sim::config::SystemConfig;
 use std::path::Path;
 
 fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        print_policy_list();
+        println!();
+        print_probe_list();
+        return;
+    }
     let scale = Scale::from_env();
     let ex = Executor::from_env();
     let caps = [8.0, 64.0];
     let kernel = kernel_from_args();
+    let probes = ProbeSpec::from_args();
     let policies = policy_axis_from_args();
     assert!(
         !policies.is_empty(),
@@ -51,10 +66,10 @@ fn main() {
                 SystemConfig::table3(*c, h.clone()).with_kernel(kernel)
             })
     };
-    let t = run_ws(&ex, mk_sweep(), scale);
+    let t = run_ws_probed(&ex, mk_sweep(), scale, &probes);
 
     if std::env::args().any(|a| a == "--check-determinism") {
-        let serial = run_ws(&Executor::with_threads(1), mk_sweep(), scale);
+        let serial = run_ws_probed(&Executor::with_threads(1), mk_sweep(), scale, &probes);
         assert_eq!(
             t.run.canonical_json(),
             serial.run.canonical_json(),
@@ -83,6 +98,11 @@ fn main() {
                 .collect();
             print_series(name, &norm);
         }
+    }
+
+    maybe_print_telemetry(&t.run);
+    if probes.is_active() {
+        println!("\nprobes attached: {}", probes.specs().join(", "));
     }
 
     let dir = std::env::var("HIRA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());

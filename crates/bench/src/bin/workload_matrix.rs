@@ -20,15 +20,20 @@
 //!   default: the full standard registry,
 //! * `--kernel=dense|event` — simulation kernel (default `event`; results
 //!   are bit-identical, `dense` is the reference escape hatch),
-//! * `--list` — print both registries with their profile one-liners and
-//!   exit,
+//! * `--probe=<form>` / `--cmdtrace=<prefix>` / `--stats-epoch=<cycles>` —
+//!   attach observers to every point (results stay bit-identical; output
+//!   paths are suffixed per point), `--telemetry` — print the per-point
+//!   run telemetry table,
+//! * `--list` — print both registries (and the probe forms) with their
+//!   profile one-liners and exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
 //!   the canonical result sets are byte-identical (the engine's guarantee,
 //!   enforced end-to-end through every workload frontend).
 
 use hira_bench::{
-    kernel_from_args, policy_axis_from_args, print_policy_list, print_workload_list,
-    run_ws_as_configured, workload_axis_from_args_or, Scale,
+    kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_policy_list,
+    print_probe_list, print_workload_list, run_ws_as_configured_probed, workload_axis_from_args_or,
+    ProbeSpec, Scale,
 };
 use hira_engine::{Executor, Sweep};
 use hira_sim::config::SystemConfig;
@@ -55,12 +60,15 @@ fn main() {
         print_workload_list();
         println!();
         print_policy_list();
+        println!();
+        print_probe_list();
         return;
     }
     let scale = Scale::from_env();
     let ex = Executor::from_env();
     let cap = 8.0;
     let kernel = kernel_from_args();
+    let probes = ProbeSpec::from_args();
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
     let policies = policy_axis_from_args();
     assert!(
@@ -88,10 +96,11 @@ fn main() {
                     .with_kernel(kernel)
             })
     };
-    let t = run_ws_as_configured(&ex, mk_sweep(), scale);
+    let t = run_ws_as_configured_probed(&ex, mk_sweep(), scale, &probes);
 
     if std::env::args().any(|a| a == "--check-determinism") {
-        let serial = run_ws_as_configured(&Executor::with_threads(1), mk_sweep(), scale);
+        let serial =
+            run_ws_as_configured_probed(&Executor::with_threads(1), mk_sweep(), scale, &probes);
         assert_eq!(
             t.run.canonical_json(),
             serial.run.canonical_json(),
@@ -120,6 +129,11 @@ fn main() {
                 .collect();
             hira_bench::print_series(wl, &row);
         }
+    }
+
+    maybe_print_telemetry(&t.run);
+    if probes.is_active() {
+        println!("\nprobes attached: {}", probes.specs().join(", "));
     }
 
     let dir = std::env::var("HIRA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());

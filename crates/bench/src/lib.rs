@@ -28,12 +28,14 @@
 //! form). Passing `--list` to any axis prints every registered name with
 //! its one-line profile and exits, so sweep binaries are self-documenting.
 
-use hira_engine::{metric, Executor, ScenarioKey, Sweep};
+use hira_engine::{metric, Executor, PointTelemetry, ScenarioKey, Sweep};
 use hira_sim::builder::SystemBuilder;
 use hira_sim::config::{KernelMode, SystemConfig};
 use hira_sim::device::{DeviceHandle, DeviceRegistry};
 use hira_sim::policy::{self, PolicyHandle, PolicyRegistry};
+use hira_sim::probe::ProbeRegistry;
 use hira_sim::system::System;
+use hira_sim::ProbeHandle;
 use hira_workload::{mix, WorkloadHandle, WorkloadRegistry};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -262,6 +264,18 @@ impl WsTable {
 ///
 /// Panics if `sweep` is empty.
 pub fn run_ws(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTable {
+    run_ws_probed(ex, sweep, scale, &ProbeSpec::default())
+}
+
+/// [`run_ws`] with probes from a [`ProbeSpec`] attached to every expanded
+/// point (after the `mix` axis exists, so per-point output files are
+/// distinct per mix). An inactive spec is a plain [`run_ws`].
+pub fn run_ws_probed(
+    ex: &Executor,
+    sweep: Sweep<SystemConfig>,
+    scale: Scale,
+    probes: &ProbeSpec,
+) -> WsTable {
     assert!(
         scale.mixes >= 1,
         "HIRA_MIXES must be >= 1 (a data point needs at least one mix)"
@@ -277,7 +291,7 @@ pub fn run_ws(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTabl
             })
             .collect()
     });
-    run_ws_points(ex, full, "mix", scale, false)
+    run_ws_points(ex, probes.attach(full), "mix", scale, false)
 }
 
 /// Runs a sweep of system configurations **as configured**: every point
@@ -290,17 +304,40 @@ pub fn run_ws(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTabl
 /// Panics if `sweep` is empty, or if a point's workload yields instance
 /// names the standard registry cannot resolve (see [`alone_ipc`]).
 pub fn run_ws_as_configured(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTable {
+    run_ws_as_configured_probed(ex, sweep, scale, &ProbeSpec::default())
+}
+
+/// [`run_ws_as_configured`] with probes from a [`ProbeSpec`] attached to
+/// every point.
+pub fn run_ws_as_configured_probed(
+    ex: &Executor,
+    sweep: Sweep<SystemConfig>,
+    scale: Scale,
+    probes: &ProbeSpec,
+) -> WsTable {
     let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
-    run_ws_points(ex, full, "mix", scale, false)
+    run_ws_points(ex, probes.attach(full), "mix", scale, false)
 }
 
 /// [`run_ws_as_configured`] plus the channel-level metrics: every record
 /// set carries `read_lat` / `write_lat` (average demand latencies in
-/// memory cycles) and `dbus` (mean per-channel data-bus busy fraction)
-/// alongside `ws`. The `device_matrix` binary's path.
+/// memory cycles), `dbus` (mean per-channel data-bus busy fraction) and
+/// the histogram quantiles `read_p50` / `read_p99` / `write_p50` /
+/// `write_p99` alongside `ws`. The `device_matrix` binary's path.
 pub fn run_ws_with_stats(ex: &Executor, sweep: Sweep<SystemConfig>, scale: Scale) -> WsTable {
+    run_ws_with_stats_probed(ex, sweep, scale, &ProbeSpec::default())
+}
+
+/// [`run_ws_with_stats`] with probes from a [`ProbeSpec`] attached to
+/// every point.
+pub fn run_ws_with_stats_probed(
+    ex: &Executor,
+    sweep: Sweep<SystemConfig>,
+    scale: Scale,
+    probes: &ProbeSpec,
+) -> WsTable {
     let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
-    run_ws_points(ex, full, "mix", scale, true)
+    run_ws_points(ex, probes.attach(full), "mix", scale, true)
 }
 
 /// Shared runner: simulates every point, normalizes each core by its
@@ -317,9 +354,9 @@ fn run_ws_points(
 ) -> WsTable {
     assert!(!full.is_empty(), "weighted-speedup sweep has no points");
     warm_alone_cache(ex, &full, scale);
-    let run = ex.run(&full, |sc| {
+    let (_, run) = ex.run_instrumented(&full, |sc| {
         let cfg = sc.params;
-        let r = System::new(cfg.clone()).run();
+        let (r, telemetry) = System::new(cfg.clone()).run_telemetered();
         let alone: Vec<f64> = r
             .workloads
             .iter()
@@ -332,8 +369,19 @@ fn run_ws_points(
             let util = r.data_bus_utilization();
             let mean_util = util.iter().sum::<f64>() / util.len().max(1) as f64;
             ms.push(metric("dbus", mean_util));
+            // Histogram quantiles (memory cycles); 0 on empty histograms,
+            // matching the documented empty-run convention of the means.
+            let q = |v: Option<u64>| v.map_or(0.0, |x| x as f64);
+            ms.push(metric("read_p50", q(r.read_latency_quantile(0.50))));
+            ms.push(metric("read_p99", q(r.read_latency_quantile(0.99))));
+            ms.push(metric("write_p50", q(r.write_latency_quantile(0.50))));
+            ms.push(metric("write_p99", q(r.write_latency_quantile(0.99))));
         }
-        ms
+        let t = PointTelemetry {
+            events: telemetry.events,
+            peak_queue: telemetry.peak_queue,
+        };
+        ((), ms, Some(t))
     });
     let means = run.mean_over(mean_axis, "ws");
     WsTable { run, means }
@@ -450,6 +498,186 @@ pub fn print_workload_list() {
     ] {
         println!("  {form:<12} (dynamic) {what}");
     }
+}
+
+/// Prints the accepted probe forms (the `--probe=` grammar of
+/// [`ProbeSpec::from_args`]) with the CLI shorthands.
+pub fn print_probe_list() {
+    println!("probe forms (--probe=<form>, repeatable):");
+    for (form, what) in ProbeRegistry::standard().forms() {
+        println!("  {form:<28} {what}");
+    }
+    for (short, what) in [
+        (
+            "--cmdtrace=<prefix>",
+            "shorthand for --probe=cmdtrace:<prefix>",
+        ),
+        (
+            "--stats-epoch=<cycles>",
+            "shorthand for --probe=epochs:<cycles>",
+        ),
+        ("--telemetry", "print the per-point run telemetry table"),
+    ] {
+        println!("  {short:<28} {what}");
+    }
+}
+
+/// The probe selection of a sweep binary: every `--probe=<form>` argument
+/// (repeatable; see [`hira_sim::ProbeRegistry`] for the grammar) plus the
+/// shorthands `--cmdtrace=<prefix>` and `--stats-epoch=<cycles>`. Probes
+/// are read-only observers — results are bit-identical with or without
+/// them — so any sweep binary can carry the same flags through one shared
+/// parsing path.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeSpec {
+    specs: Vec<String>,
+}
+
+impl ProbeSpec {
+    /// Parses the probe flags from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the accepted forms) when a spec does not resolve —
+    /// before any simulation runs.
+    pub fn from_args() -> Self {
+        let mut specs = axis_args("probe");
+        specs.extend(
+            axis_args("cmdtrace")
+                .into_iter()
+                .map(|p| format!("cmdtrace:{p}")),
+        );
+        specs.extend(
+            axis_args("stats-epoch")
+                .into_iter()
+                .map(|e| format!("epochs:{e}")),
+        );
+        for s in &specs {
+            let _ = hira_sim::probe::probe(s);
+        }
+        ProbeSpec { specs }
+    }
+
+    /// True when any probe flag was passed.
+    pub fn is_active(&self) -> bool {
+        !self.specs.is_empty()
+    }
+
+    /// The selected specs, as normalized registry forms.
+    pub fn specs(&self) -> &[String] {
+        &self.specs
+    }
+
+    /// Attaches the selected probes to every point of `sweep`. Each
+    /// point's output paths get the point's sanitized scenario key spliced
+    /// in (before the extension), so concurrently-running points never
+    /// write to the same file. A no-op when no probe flag was passed.
+    pub fn attach(&self, sweep: Sweep<SystemConfig>) -> Sweep<SystemConfig> {
+        if self.specs.is_empty() {
+            return sweep;
+        }
+        sweep.map(|key, cfg| cfg.with_probe(self.handle_for(key)))
+    }
+
+    /// The (possibly multi-) probe handle for one scenario key.
+    fn handle_for(&self, key: &ScenarioKey) -> ProbeHandle {
+        assert!(self.is_active(), "handle_for needs at least one probe");
+        let tag = sanitize_key(key);
+        let mut handles: Vec<ProbeHandle> = self
+            .specs
+            .iter()
+            .map(|s| hira_sim::probe::probe(&per_point_spec(s, &tag)))
+            .collect();
+        if handles.len() == 1 {
+            handles.pop().expect("one handle")
+        } else {
+            ProbeHandle::multi(handles)
+        }
+    }
+}
+
+/// A filesystem-safe rendering of a scenario key: `policy=hira4,cap=8`
+/// becomes `policy-hira4_cap-8`; the root key renders empty.
+fn sanitize_key(key: &ScenarioKey) -> String {
+    let mut out = String::new();
+    for (i, (a, v)) in key.axes().enumerate() {
+        if i > 0 {
+            out.push('_');
+        }
+        for c in a.chars().chain(std::iter::once('-')).chain(v.chars()) {
+            out.push(match c {
+                c if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' => c,
+                _ => '-',
+            });
+        }
+    }
+    out
+}
+
+/// Splices `tag` into a probe spec's output path so every sweep point
+/// writes distinct files. Specs without a path component (or an empty
+/// tag) pass through unchanged.
+fn per_point_spec(spec: &str, tag: &str) -> String {
+    if tag.is_empty() {
+        return spec.to_owned();
+    }
+    let Some((kind, rest)) = spec.split_once(':') else {
+        return spec.to_owned();
+    };
+    match kind {
+        "cmdtrace" | "latency" | "act-exposure" => format!("{kind}:{}", suffix_path(rest, tag)),
+        "epochs" => match rest.split_once(':') {
+            Some((every, path)) if !path.is_empty() => {
+                format!("epochs:{every}:{}", suffix_path(path, tag))
+            }
+            _ => format!("epochs:{rest}:{}", suffix_path("epochs.jsonl", tag)),
+        },
+        _ => spec.to_owned(),
+    }
+}
+
+/// Inserts `.tag` before the final extension (`out/epochs.jsonl` →
+/// `out/epochs.<tag>.jsonl`), or appends it when the path has none.
+fn suffix_path(path: &str, tag: &str) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => {
+            format!("{stem}.{tag}.{ext}")
+        }
+        _ => format!("{path}.{tag}"),
+    }
+}
+
+/// True when `--telemetry` was passed: the binary prints the per-point
+/// run telemetry table after its result tables.
+pub fn telemetry_requested() -> bool {
+    std::env::args().any(|a| a == "--telemetry")
+}
+
+/// Prints the run's telemetry table when `--telemetry` was passed (and
+/// the run carries any telemetry).
+pub fn maybe_print_telemetry(run: &RunSet) {
+    if !telemetry_requested() {
+        return;
+    }
+    let table = run.telemetry_table();
+    if table.is_empty() {
+        println!("\n(no run telemetry recorded)");
+    } else {
+        println!("\n-- run telemetry: wall time, kernel events, peak queue per point --");
+        print!("{table}");
+    }
+}
+
+/// Extracts the first `metric` record's value from a `BENCH_*.json`
+/// payload — a targeted scan for the perf-baseline check (the emitter
+/// writes `"metric":"<name>","value":<v>` adjacently), not a general JSON
+/// parser.
+pub fn extract_metric_value(json: &str, metric: &str) -> Option<f64> {
+    let needle = format!("\"metric\":\"{metric}\",\"value\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 /// True when `--list` was passed: the caller's axis helper prints its
@@ -707,6 +935,95 @@ mod tests {
         assert_eq!(plain[1].1.name(), "hira0");
         assert_eq!(ablated[1].1.name(), "hira0-noRA");
         assert_eq!(plain[0].1, ablated[0].1, "Baseline is not ablatable");
+    }
+
+    #[test]
+    fn run_ws_records_carry_run_telemetry() {
+        let mut sweep = Sweep::from_points("tel_smoke", hira_engine::DEFAULT_BASE_SEED, Vec::new());
+        sweep.push(
+            ScenarioKey::root(),
+            SystemConfig::table3(8.0, policy::baseline()),
+        );
+        let t = run_ws(&Executor::with_threads(1), sweep, tiny_scale());
+        for r in &t.run.records {
+            let tel = r.telemetry.expect("every ws record carries telemetry");
+            assert!(tel.events > 0);
+            assert!(tel.peak_queue > 0);
+        }
+        assert!(!t.run.telemetry_table().is_empty());
+    }
+
+    #[test]
+    fn per_point_specs_splice_the_key_tag_into_paths() {
+        assert_eq!(
+            suffix_path("out/epochs.jsonl", "mix-0"),
+            "out/epochs.mix-0.jsonl"
+        );
+        assert_eq!(suffix_path("trace", "mix-0"), "trace.mix-0");
+        assert_eq!(suffix_path("dir.d/file", "t"), "dir.d/file.t");
+        assert_eq!(
+            per_point_spec("cmdtrace:out/t", "policy-hira4"),
+            "cmdtrace:out/t.policy-hira4"
+        );
+        assert_eq!(
+            per_point_spec("epochs:5000", "mix-1"),
+            "epochs:5000:epochs.mix-1.jsonl"
+        );
+        assert_eq!(
+            per_point_spec("epochs:5000:e.jsonl", "mix-1"),
+            "epochs:5000:e.mix-1.jsonl"
+        );
+        assert_eq!(
+            per_point_spec("latency:lat.jsonl", ""),
+            "latency:lat.jsonl",
+            "an empty tag (root key) leaves the spec untouched"
+        );
+        let key = ScenarioKey::root().with("policy", "hira4").with("cap", "8");
+        assert_eq!(sanitize_key(&key), "policy-hira4_cap-8");
+        assert_eq!(sanitize_key(&ScenarioKey::root()), "");
+        let odd = ScenarioKey::root().with("wl", "trace:/tmp/a.trace");
+        assert_eq!(sanitize_key(&odd), "wl-trace--tmp-a.trace");
+    }
+
+    #[test]
+    fn probe_spec_attaches_distinct_handles_per_point() {
+        let spec = ProbeSpec {
+            specs: vec!["latency:lat.jsonl".into(), "epochs:5000".into()],
+        };
+        assert!(spec.is_active());
+        let sweep = Sweep::new("probe_attach").axis(
+            "policy",
+            [("noref", policy::noref()), ("baseline", policy::baseline())],
+            |_, p| SystemConfig::table3(8.0, p.clone()),
+        );
+        let attached = spec.attach(sweep);
+        let probes: Vec<_> = attached
+            .points()
+            .iter()
+            .map(|(_, cfg)| cfg.probe.clone().expect("probe attached"))
+            .collect();
+        assert_eq!(probes.len(), 2);
+        assert_ne!(probes[0], probes[1], "points must not share output files");
+        assert!(probes[0].name().contains("latency:lat.policy-noref.jsonl"));
+        assert!(probes[0].name().contains('+'), "multi-probe handle");
+        // An inactive spec leaves configs untouched.
+        let plain = ProbeSpec::default().attach(Sweep::from_points(
+            "noop",
+            0,
+            vec![(
+                ScenarioKey::root(),
+                SystemConfig::table3(8.0, policy::noref()),
+            )],
+        ));
+        assert!(plain.points()[0].1.probe.is_none());
+    }
+
+    #[test]
+    fn extract_metric_value_reads_bench_json() {
+        let json = r#"{"sweep":"x","records":[{"key":{},"metric":"speedup","value":2.5,"wall_ms":1},{"key":{},"metric":"speedup_total","value":3.25}]}"#;
+        assert_eq!(extract_metric_value(json, "speedup_total"), Some(3.25));
+        assert_eq!(extract_metric_value(json, "speedup"), Some(2.5));
+        assert_eq!(extract_metric_value(json, "nope"), None);
     }
 
     #[test]

@@ -12,14 +12,15 @@
 //! integer; zero or unparsable values (and an unset variable) fall back to
 //! [`std::thread::available_parallelism`].
 
-use crate::record::{Metric, RunRecord, RunSet};
+use crate::record::{Metric, PointTelemetry, RunRecord, RunSet};
 use crate::scenario::{Scenario, Sweep};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// One point's finished work: opaque output, metrics, and wall time in ms.
-type Slot<R> = Mutex<Option<(R, Vec<Metric>, f64)>>;
+/// One point's finished work: opaque output, metrics, optional telemetry,
+/// and wall time in ms.
+type Slot<R> = Mutex<Option<(R, Vec<Metric>, Option<PointTelemetry>, f64)>>;
 
 /// A sweep executor with a fixed worker-thread budget.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +72,26 @@ impl Executor {
         R: Send,
         F: Fn(Scenario<'_, P>) -> (R, Vec<Metric>) + Sync,
     {
+        self.run_instrumented(sweep, |sc| {
+            let (out, metrics) = task(sc);
+            (out, metrics, None)
+        })
+    }
+
+    /// [`Executor::run_with`] for tasks that additionally report per-point
+    /// [`PointTelemetry`] — kernel events processed and peak queue depth —
+    /// which lands on every record of that point (and in the `BENCH_*.json`
+    /// payload, never in the canonical serialization).
+    ///
+    /// # Panics
+    ///
+    /// Propagates task panics after all workers stop.
+    pub fn run_instrumented<P, R, F>(&self, sweep: &Sweep<P>, task: F) -> (Vec<R>, RunSet)
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(Scenario<'_, P>) -> (R, Vec<Metric>, Option<PointTelemetry>) + Sync,
+    {
         let t0 = Instant::now();
         let n = sweep.len();
         let workers = self.threads.min(n.max(1));
@@ -85,9 +106,10 @@ impl Executor {
                         break;
                     }
                     let w0 = Instant::now();
-                    let (out, metrics) = task(sweep.scenario(i));
+                    let (out, metrics, telemetry) = task(sweep.scenario(i));
                     let wall_ms = w0.elapsed().as_secs_f64() * 1e3;
-                    *slots[i].lock().expect("result slot") = Some((out, metrics, wall_ms));
+                    *slots[i].lock().expect("result slot") =
+                        Some((out, metrics, telemetry, wall_ms));
                 });
             }
         });
@@ -95,7 +117,7 @@ impl Executor {
         let mut outputs = Vec::with_capacity(n);
         let mut records = Vec::new();
         for (i, slot) in slots.into_iter().enumerate() {
-            let (out, metrics, wall_ms) = slot
+            let (out, metrics, telemetry, wall_ms) = slot
                 .into_inner()
                 .expect("result slot")
                 .expect("point executed");
@@ -106,6 +128,7 @@ impl Executor {
                     metric: m.name,
                     value: m.value,
                     wall_ms,
+                    telemetry,
                 });
             }
             outputs.push(out);
@@ -199,6 +222,35 @@ mod tests {
         let (outs, run) = Executor::with_threads(8).run_with(&one, |sc| (*sc.params, vec![]));
         assert_eq!(outs, vec![7]);
         assert_eq!(run.threads, 1);
+    }
+
+    #[test]
+    fn instrumented_tasks_stamp_telemetry_on_every_record() {
+        let sweep = demo_sweep(4);
+        let (_, run) = Executor::with_threads(2).run_instrumented(&sweep, |sc| {
+            let t = PointTelemetry {
+                events: *sc.params as u64 * 10,
+                peak_queue: 3,
+            };
+            ((), vec![metric("a", 1.0), metric("b", 2.0)], Some(t))
+        });
+        assert_eq!(run.records.len(), 8);
+        assert!(run
+            .records
+            .iter()
+            .all(|r| r.telemetry.map(|t| t.peak_queue) == Some(3)));
+        // Both records of point i=2 carry that point's event count.
+        let events: Vec<u64> = run
+            .records
+            .iter()
+            .filter(|r| r.key.matches(&[("i", "2")]))
+            .map(|r| r.telemetry.unwrap().events)
+            .collect();
+        assert_eq!(events, vec![20, 20]);
+        // Plain run_with leaves telemetry empty.
+        let (_, plain) =
+            Executor::with_threads(2).run_with(&sweep, |_| ((), vec![metric("a", 0.0)]));
+        assert!(plain.records.iter().all(|r| r.telemetry.is_none()));
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub mod record;
 pub mod scenario;
 
 pub use executor::Executor;
-pub use record::{flabel, metric, Metric, RunRecord, RunSet};
+pub use record::{flabel, metric, Metric, PointTelemetry, RunRecord, RunSet};
 pub use scenario::{derive_seed, Scenario, ScenarioKey, Sweep, DEFAULT_BASE_SEED};

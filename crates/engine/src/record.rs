@@ -36,6 +36,18 @@ pub fn metric(name: impl Into<String>, value: f64) -> Metric {
     }
 }
 
+/// Per-point run telemetry a task may report alongside its metrics: how
+/// much work the simulation kernel did, not what it measured. Like
+/// `wall_ms`, telemetry is excluded from the canonical serialization — it
+/// describes the execution, not the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PointTelemetry {
+    /// Kernel iterations processed (dense: cycles; event: wake events).
+    pub events: u64,
+    /// Peak combined read+write queue depth across channels.
+    pub peak_queue: u64,
+}
+
 /// One measurement of one scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -48,6 +60,22 @@ pub struct RunRecord {
     /// Wall time of the scenario's task in milliseconds. Excluded from the
     /// canonical serialization — it varies run to run by nature.
     pub wall_ms: f64,
+    /// Run telemetry of the scenario's task, when the task reported any.
+    /// Excluded from the canonical serialization alongside `wall_ms`.
+    pub telemetry: Option<PointTelemetry>,
+}
+
+impl RunRecord {
+    /// Kernel events per wall-clock second, when telemetry is present and
+    /// the wall time is non-zero.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        let t = self.telemetry?;
+        if self.wall_ms > 0.0 {
+            Some(t.events as f64 / (self.wall_ms / 1e3))
+        } else {
+            None
+        }
+    }
 }
 
 /// All records of one executed sweep.
@@ -134,6 +162,13 @@ impl RunSet {
             let mut w = String::new();
             json::write_f64(&mut w, r.wall_ms);
             entries.push(("wall_ms", w));
+            if let Some(t) = r.telemetry {
+                entries.push(("events", t.events.to_string()));
+                let mut eps = String::new();
+                json::write_f64(&mut eps, r.events_per_sec().unwrap_or(0.0));
+                entries.push(("events_per_sec", eps));
+                entries.push(("peak_queue", t.peak_queue.to_string()));
+            }
         }
         let mut out = String::new();
         json::write_object(&mut out, entries);
@@ -248,6 +283,60 @@ impl RunSet {
         }
         out
     }
+
+    /// Renders one row of run telemetry per sweep point (first-seen key
+    /// order): wall time, kernel events, events/sec, peak queue depth.
+    /// Points whose tasks reported no telemetry are skipped; the empty
+    /// string means no point reported any.
+    pub fn telemetry_table(&self) -> String {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut seen: Vec<&ScenarioKey> = Vec::new();
+        for r in &self.records {
+            let Some(t) = r.telemetry else { continue };
+            if seen.contains(&&r.key) {
+                continue;
+            }
+            seen.push(&r.key);
+            rows.push(vec![
+                r.key.to_string(),
+                format!("{:.1}", r.wall_ms),
+                t.events.to_string(),
+                match r.events_per_sec() {
+                    Some(eps) => format!("{:.0}", eps),
+                    None => "-".to_string(),
+                },
+                t.peak_queue.to_string(),
+            ]);
+        }
+        if rows.is_empty() {
+            return String::new();
+        }
+        let header: Vec<String> = ["point", "ms", "events", "events/s", "peak_q"]
+            .iter()
+            .map(|h| (*h).to_string())
+            .collect();
+        rows.insert(0, header);
+        let cols = rows[0].len();
+        let widths: Vec<usize> = (0..cols)
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}", width = widths[c]));
+            }
+            out.push('\n');
+            if i == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
 }
 
 /// Formats an axis label for a float value: integral values render without
@@ -276,18 +365,21 @@ mod tests {
                     metric: "ws".into(),
                     value: 2.0,
                     wall_ms: 3.0,
+                    telemetry: None,
                 },
                 RunRecord {
                     key: k("1"),
                     metric: "ws".into(),
                     value: 4.0,
                     wall_ms: 4.0,
+                    telemetry: None,
                 },
                 RunRecord {
                     key: k("0"),
                     metric: "ipc".into(),
                     value: 1.0,
                     wall_ms: 3.0,
+                    telemetry: None,
                 },
             ],
         }
@@ -359,6 +451,62 @@ mod tests {
         assert!(table.contains("mix"));
         assert!(table.contains("ws"));
         assert!(table.contains("4.000000"));
+    }
+
+    #[test]
+    fn telemetry_stays_out_of_canonical_json_but_lands_in_bench_json() {
+        let mut rs = sample();
+        let t = PointTelemetry {
+            events: 5000,
+            peak_queue: 12,
+        };
+        for r in &mut rs.records {
+            r.telemetry = Some(t);
+        }
+        let canonical = rs.canonical_json();
+        assert!(!canonical.contains("events"));
+        assert!(!canonical.contains("peak_queue"));
+        assert_eq!(canonical, sample().canonical_json());
+        let bench = rs.bench_json();
+        assert!(bench.contains("\"events\":5000"));
+        assert!(bench.contains("\"peak_queue\":12"));
+        assert!(bench.contains("\"events_per_sec\""));
+        // 5000 events over 3 ms.
+        let eps = rs.records[0].events_per_sec().unwrap();
+        assert!((eps - 5000.0 / 3e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn events_per_sec_guards_zero_wall_time() {
+        let mut rs = sample();
+        rs.records[0].telemetry = Some(PointTelemetry {
+            events: 10,
+            peak_queue: 1,
+        });
+        rs.records[0].wall_ms = 0.0;
+        assert_eq!(rs.records[0].events_per_sec(), None);
+        // No telemetry at all ⇒ also None.
+        assert_eq!(rs.records[1].events_per_sec(), None);
+        // Zero-wall records still serialize (events_per_sec falls to 0).
+        assert!(rs.bench_json().contains("\"events_per_sec\":0"));
+    }
+
+    #[test]
+    fn telemetry_table_lists_one_row_per_point() {
+        let mut rs = sample();
+        assert_eq!(rs.telemetry_table(), "");
+        for (i, r) in rs.records.iter_mut().enumerate() {
+            r.telemetry = Some(PointTelemetry {
+                events: 100 * (i as u64 + 1),
+                peak_queue: i as u64,
+            });
+        }
+        let table = rs.telemetry_table();
+        // Two distinct keys (mix=0, mix=1) even though mix=0 has 2 records.
+        assert_eq!(table.lines().count(), 2 + 2, "header + rule + 2 rows");
+        assert!(table.contains("events/s"));
+        assert!(table.contains("mix=0"));
+        assert!(table.contains("mix=1"));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 use crate::config::{KernelMode, SystemConfig};
 use crate::device::{ddr4_2400, DeviceHandle};
 use crate::policy::{baseline, PolicyHandle};
+use crate::probe::ProbeHandle;
 use hira_dram::timing::TimingParams;
 use hira_workload::WorkloadHandle;
 use std::fmt;
@@ -112,6 +113,12 @@ pub enum BuildError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A [`SystemBuilder::probe_name`] spec did not resolve against the
+    /// probe registry's accepted forms.
+    UnknownProbe {
+        /// The spec that failed to resolve.
+        name: String,
+    },
     /// The policy's HiRA lead timings are inconsistent with the device's
     /// timing table: `t1` and `t2` must be positive, `t1` must not exceed
     /// `t2` (§4.2 finds reliable hidden activation only there), and `t2`
@@ -179,6 +186,11 @@ impl fmt::Display for BuildError {
                 "no device named `{name}` in the standard registry \
                  (nor a resolvable ddr4-2400@<Gb> form)"
             ),
+            BuildError::UnknownProbe { name } => write!(
+                f,
+                "no probe form matches `{name}` (accepted: cmdtrace:<prefix>, \
+                 epochs:<cycles>[:<path>], latency:<path>, act-exposure:<path>)"
+            ),
             BuildError::HiraLeadInvalid { t1, t2, t_ras } => write!(
                 f,
                 "HiRA lead timings t1 = {t1} ns, t2 = {t2} ns are invalid: \
@@ -229,6 +241,10 @@ pub struct SystemBuilder {
     spt_fraction: f64,
     seed: u64,
     kernel: KernelMode,
+    probe: Option<ProbeHandle>,
+    /// A pending by-spec probe selection, resolved (and validated) at
+    /// [`SystemBuilder::build`]; overrides `probe` when set.
+    probe_by_name: Option<String>,
 }
 
 /// The preventive layer a builder composes onto the policy at build time.
@@ -271,6 +287,8 @@ impl SystemBuilder {
             spt_fraction: 0.32,
             seed: 0x5157,
             kernel: KernelMode::default(),
+            probe: None,
+            probe_by_name: None,
         }
     }
 
@@ -424,6 +442,25 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches a run observer (see [`crate::probe`]). Probes never change
+    /// the simulation: results are bit-identical with or without one.
+    pub fn probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = Some(probe);
+        self.probe_by_name = None;
+        self
+    }
+
+    /// Selects the probe by registry spec (`--probe=` axes):
+    /// `cmdtrace:<prefix>`, `epochs:<cycles>[:<path>]`, `latency:<path>`,
+    /// `act-exposure:<path>`. The lookup happens in
+    /// [`SystemBuilder::build`], so a malformed spec surfaces as
+    /// [`BuildError::UnknownProbe`]; the panicking shortcut for CLI use is
+    /// [`crate::probe::probe`].
+    pub fn probe_name(mut self, spec: &str) -> Self {
+        self.probe_by_name = Some(spec.to_owned());
+        self
+    }
+
     /// Validates and assembles the configuration.
     pub fn build(self) -> Result<SystemConfig, BuildError> {
         // The device resolves first: it supplies the geometry, capacity
@@ -501,6 +538,14 @@ impl SystemBuilder {
                 .lookup(&name)
                 .ok_or(BuildError::UnknownWorkload { name })?,
         };
+        let probe = match self.probe_by_name {
+            None => self.probe,
+            Some(name) => Some(
+                crate::probe::ProbeRegistry::standard()
+                    .lookup(&name)
+                    .ok_or(BuildError::UnknownProbe { name })?,
+            ),
+        };
         let refresh = match self.para {
             None => refresh,
             Some(ParaLayer {
@@ -532,6 +577,7 @@ impl SystemBuilder {
             seed: self.seed,
             kernel: self.kernel,
             cycle_cap: None,
+            probe,
         };
         // HiRA capability cross-checks need a live policy instance (the
         // lead pair is the policy's choice, the decoder behaviour the
@@ -707,6 +753,34 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.device.name(), "ddr4-3200");
+    }
+
+    #[test]
+    fn probe_name_resolves_through_the_registry() {
+        let cfg = SystemBuilder::new()
+            .probe_name("epochs:5000:ts.jsonl")
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg.probe.as_ref().map(|p| p.name()),
+            Some("epochs:5000:ts.jsonl")
+        );
+        let err = SystemBuilder::new().probe_name("nope").build().unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnknownProbe {
+                name: "nope".into()
+            }
+        );
+        // A later explicit probe() overrides a pending spec.
+        let cfg = SystemBuilder::new()
+            .probe_name("nope")
+            .probe(crate::probe::CmdTraceProbe::handle("t"))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.probe.as_ref().map(|p| p.name()), Some("cmdtrace:t"));
+        // The default carries no probe.
+        assert_eq!(SystemBuilder::new().build().unwrap().probe, None);
     }
 
     #[test]

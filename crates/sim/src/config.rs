@@ -24,6 +24,7 @@ use crate::builder::SystemBuilder;
 use crate::clock::MemClock;
 use crate::device::DeviceHandle;
 use crate::policy::PolicyHandle;
+use crate::probe::ProbeHandle;
 use hira_dram::timing::TimingParams;
 use hira_workload::WorkloadHandle;
 use std::fmt;
@@ -120,6 +121,10 @@ pub struct SystemConfig {
     /// its time skips to it, never overshooting — so a capped run reports
     /// exactly the cap in [`crate::metrics::SimResult::cycles`].
     pub cycle_cap: Option<u64>,
+    /// Optional run observer (see [`crate::probe`]). Probes are read-only:
+    /// the [`crate::metrics::SimResult`] is bit-identical with or without
+    /// one, and `None` costs a single branch per notification site.
+    pub probe: Option<ProbeHandle>,
 }
 
 impl SystemConfig {
@@ -195,6 +200,12 @@ impl SystemConfig {
     /// Overrides the safety cycle cap (bounded runs, cap-semantics tests).
     pub fn with_cycle_cap(mut self, cap: u64) -> Self {
         self.cycle_cap = Some(cap);
+        self
+    }
+
+    /// Attaches a probe (`--probe=` axes; see [`crate::probe`]).
+    pub fn with_probe(mut self, probe: ProbeHandle) -> Self {
+        self.probe = Some(probe);
         self
     }
 }

@@ -23,9 +23,11 @@
 use crate::clock::{MemClock, MemCycle};
 use crate::config::{KernelMode, SystemConfig};
 use crate::device::CommandTable;
+use crate::metrics::LatencyHistogram;
 use crate::policy::{
     DemandDecision, PolicyEnv, PolicyStats, RankView, RefreshAction, RefreshPolicy,
 };
+use crate::probe::{CmdEvent, DramCmd, ProbeHost, RefreshEvent, RefreshKind, ReqEvent};
 use crate::request::MemRequest;
 use hira_core::finder::McStats;
 use hira_core::hira_op::HiraOperation;
@@ -191,11 +193,23 @@ pub struct ChannelStats {
     pub write_latency_sum: u64,
     /// Command-clock cycles the data bus spent transferring bursts.
     pub data_bus_busy: u64,
+    /// Log2-bucketed distribution of the read latencies behind
+    /// [`ChannelStats::read_latency_sum`]. Always on: two array writes per
+    /// CAS, which is noise next to the scheduling work.
+    pub read_lat_hist: LatencyHistogram,
+    /// Log2-bucketed distribution of the write service latencies.
+    pub write_lat_hist: LatencyHistogram,
+    /// Bank-cycles spent blocked by refresh (a rank-level `REF` counts
+    /// `tRFC` once per bank; bank-granular actions count their own
+    /// blocking window), for refresh-occupancy rates.
+    pub refresh_busy: u64,
 }
 
 /// One memory channel and its controller.
 #[derive(Debug)]
 pub struct Channel {
+    /// This channel's index in the system (probe event addressing).
+    idx: usize,
     timing: CommandTable,
     clock: MemClock,
     kernel: KernelMode,
@@ -204,6 +218,8 @@ pub struct Channel {
     read_q: Vec<MemRequest>,
     write_q: Vec<MemRequest>,
     queue_depth: usize,
+    /// High-water mark of `read_q.len() + write_q.len()` (run telemetry).
+    peak_queue: usize,
     banks: Vec<Bank>,
     ranks: Vec<Rank>,
     bus: CmdBus,
@@ -256,6 +272,7 @@ impl Channel {
         let clock = cfg.clock();
         let timing = CommandTable::from_ns(&cfg.timing, &clock, t1, t2);
         Channel {
+            idx: channel_idx,
             timing,
             clock,
             kernel: cfg.kernel,
@@ -264,6 +281,7 @@ impl Channel {
             read_q: Vec::with_capacity(cfg.queue_depth),
             write_q: Vec::with_capacity(cfg.queue_depth),
             queue_depth: cfg.queue_depth,
+            peak_queue: 0,
             banks: vec![Bank::default(); cfg.ranks * cfg.banks as usize],
             ranks,
             bus: CmdBus::with_horizon(timing.t1 + timing.t2),
@@ -281,6 +299,16 @@ impl Channel {
     /// Statistics snapshot.
     pub fn stats(&self) -> ChannelStats {
         self.stats
+    }
+
+    /// Current read/write queue occupancy (epoch sampling).
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.read_q.len(), self.write_q.len())
+    }
+
+    /// High-water mark of the combined queue occupancy (run telemetry).
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
     }
 
     /// Per-rank HiRA-MC statistics, where a HiRA-MC-backed policy is
@@ -316,6 +344,7 @@ impl Channel {
             debug_assert!(self.can_accept_read());
             self.read_q.push(req);
         }
+        self.peak_queue = self.peak_queue.max(self.read_q.len() + self.write_q.len());
     }
 
     fn bank_index(&self, rank: usize, bank: u16) -> usize {
@@ -366,35 +395,85 @@ impl Channel {
     /// Closes `bi`'s open row if any (PRE on the command bus) and returns
     /// the earliest cycle the bank can start a new row operation at or
     /// after `now` — the common prologue of every bank-granular refresh.
-    fn close_open_row(&mut self, now: MemCycle, bi: usize) -> MemCycle {
+    fn close_open_row(
+        &mut self,
+        now: MemCycle,
+        bi: usize,
+        rank: usize,
+        bank: u16,
+        probes: &mut ProbeHost,
+    ) -> MemCycle {
         let mut start = now.max(self.banks[bi].next_act);
         if self.banks[bi].open_row.is_some() {
             let pre_at = self.bus.alloc(now.max(self.banks[bi].next_pre));
             self.banks[bi].open_row = None;
             start = start.max(pre_at + self.timing.rp);
+            let channel = self.idx;
+            probes.on_cmd(|| CmdEvent {
+                at: pre_at,
+                channel,
+                rank,
+                bank: Some(bank),
+                row: None,
+                cmd: DramCmd::Pre,
+            });
         }
         start
     }
 
     /// Issues a standalone single-row refresh (ACT + PRE) on `bank`.
-    fn issue_single_refresh(&mut self, now: MemCycle, rank: usize, bank: u16, row: u32) {
+    fn issue_single_refresh(
+        &mut self,
+        now: MemCycle,
+        rank: usize,
+        bank: u16,
+        row: u32,
+        probes: &mut ProbeHost,
+    ) {
         let t = self.timing;
         let bg = bank / (self.banks_per_rank / self.bank_groups);
         let bi = self.bank_index(rank, bank);
-        let start = self.close_open_row(now, bi);
+        let start = self.close_open_row(now, bi, rank, bank, probes);
         let start = self.act_constraint(rank, bg, start);
         let act_at = self.bus.alloc(start);
-        let _pre = self.bus.alloc(act_at + t.ras);
+        let pre_at = self.bus.alloc(act_at + t.ras);
         self.record_act(rank, bg, act_at);
         let b = &mut self.banks[bi];
         b.next_act = act_at + t.ras + t.rp;
         b.next_pre = act_at + t.ras;
         b.open_row = None;
         self.stats.refresh_acts += 1;
+        self.stats.refresh_busy += t.ras + t.rp;
+        let channel = self.idx;
+        probes.on_cmd(|| CmdEvent {
+            at: act_at,
+            channel,
+            rank,
+            bank: Some(bank),
+            row: Some(row),
+            cmd: DramCmd::Act,
+        });
+        probes.on_cmd(|| CmdEvent {
+            at: pre_at,
+            channel,
+            rank,
+            bank: Some(bank),
+            row: None,
+            cmd: DramCmd::Pre,
+        });
+        probes.on_refresh(|| RefreshEvent {
+            at: act_at,
+            channel,
+            rank,
+            bank: Some(bank),
+            kind: RefreshKind::Single,
+            duration: t.ras + t.rp,
+        });
         self.notify_act(rank, act_at, bank, row);
     }
 
     /// Issues a HiRA refresh-refresh pair on `bank`.
+    #[allow(clippy::too_many_arguments)]
     fn issue_pair_refresh(
         &mut self,
         now: MemCycle,
@@ -402,11 +481,12 @@ impl Channel {
         bank: u16,
         first: u32,
         second: u32,
+        probes: &mut ProbeHost,
     ) {
         let t = self.timing;
         let bg = bank / (self.banks_per_rank / self.bank_groups);
         let bi = self.bank_index(rank, bank);
-        let start = self.close_open_row(now, bi);
+        let start = self.close_open_row(now, bi, rank, bank, probes);
         // Both activations must clear tRRD/tFAW.
         let lead = t.t1 + t.t2;
         let mut a1 = self.act_constraint(rank, bg, start);
@@ -418,9 +498,9 @@ impl Channel {
             a1 = a2 - lead;
         }
         let a1 = self.bus.alloc(a1);
-        let _pre1 = self.bus.alloc(a1 + t.t1);
+        let pre1 = self.bus.alloc(a1 + t.t1);
         let a2 = self.bus.alloc(a1 + lead);
-        let _pre2 = self.bus.alloc(a2 + t.ras);
+        let pre2 = self.bus.alloc(a2 + t.ras);
         self.record_act(rank, bg, a1);
         self.record_act(rank, bg, a2);
         let b = &mut self.banks[bi];
@@ -428,12 +508,41 @@ impl Channel {
         b.next_pre = a2 + t.ras;
         b.open_row = None;
         self.stats.refresh_acts += 2;
+        self.stats.refresh_busy += lead + t.ras + t.rp;
+        let channel = self.idx;
+        for (at, row) in [
+            (a1, Some(first)),
+            (pre1, None),
+            (a2, Some(second)),
+            (pre2, None),
+        ] {
+            probes.on_cmd(|| CmdEvent {
+                at,
+                channel,
+                rank,
+                bank: Some(bank),
+                row,
+                cmd: if row.is_some() {
+                    DramCmd::Act
+                } else {
+                    DramCmd::Pre
+                },
+            });
+        }
+        probes.on_refresh(|| RefreshEvent {
+            at: a1,
+            channel,
+            rank,
+            bank: Some(bank),
+            kind: RefreshKind::Pair,
+            duration: lead + t.ras + t.rp,
+        });
         self.notify_act(rank, a1, bank, first);
         self.notify_act(rank, a2, bank, second);
     }
 
     /// Rank-level REF: close every bank, issue REF, block `tRFC`.
-    fn issue_rank_ref(&mut self, now: MemCycle, rank: usize) {
+    fn issue_rank_ref(&mut self, now: MemCycle, rank: usize, probes: &mut ProbeHost) {
         let t = self.timing;
         // Precharge-all once every bank may be precharged.
         let mut ready = now;
@@ -451,36 +560,93 @@ impl Channel {
             self.banks[bi].next_act = self.banks[bi].next_act.max(ref_at + t.rfc);
         }
         self.stats.ref_commands += 1;
+        self.stats.refresh_busy += t.rfc * self.banks_per_rank as u64;
+        let channel = self.idx;
+        probes.on_cmd(|| CmdEvent {
+            at: prea_at,
+            channel,
+            rank,
+            bank: None,
+            row: None,
+            cmd: DramCmd::PreA,
+        });
+        probes.on_cmd(|| CmdEvent {
+            at: ref_at,
+            channel,
+            rank,
+            bank: None,
+            row: None,
+            cmd: DramCmd::Ref,
+        });
+        probes.on_refresh(|| RefreshEvent {
+            at: ref_at,
+            channel,
+            rank,
+            bank: None,
+            kind: RefreshKind::RankRef,
+            duration: t.rfc,
+        });
     }
 
     /// Per-bank REFpb: close `bank`, issue the refresh once the bank has
     /// finished its in-flight row cycle, block it for the policy-supplied
     /// `tRFCpb` while the rest of the rank keeps working.
-    fn issue_bank_ref(&mut self, now: MemCycle, rank: usize, bank: u16, t_rfc_pb_ns: f64) {
+    fn issue_bank_ref(
+        &mut self,
+        now: MemCycle,
+        rank: usize,
+        bank: u16,
+        t_rfc_pb_ns: f64,
+        probes: &mut ProbeHost,
+    ) {
         let bi = self.bank_index(rank, bank);
-        let ready = self.close_open_row(now, bi);
+        let ready = self.close_open_row(now, bi, rank, bank, probes);
         let ref_at = self.bus.alloc(ready);
         let blocked = self.clock.ns_to_cycles(t_rfc_pb_ns);
         let b = &mut self.banks[bi];
         b.next_act = b.next_act.max(ref_at + blocked);
         self.stats.refpb_commands += 1;
+        self.stats.refresh_busy += blocked;
+        let channel = self.idx;
+        probes.on_cmd(|| CmdEvent {
+            at: ref_at,
+            channel,
+            rank,
+            bank: Some(bank),
+            row: None,
+            cmd: DramCmd::RefPb,
+        });
+        probes.on_refresh(|| RefreshEvent {
+            at: ref_at,
+            channel,
+            rank,
+            bank: Some(bank),
+            kind: RefreshKind::BankRef,
+            duration: blocked,
+        });
     }
 
     /// Executes one policy-requested refresh action.
-    fn execute_action(&mut self, now: MemCycle, rank: usize, action: RefreshAction) {
+    fn execute_action(
+        &mut self,
+        now: MemCycle,
+        rank: usize,
+        action: RefreshAction,
+        probes: &mut ProbeHost,
+    ) {
         match action {
-            RefreshAction::RankRef => self.issue_rank_ref(now, rank),
+            RefreshAction::RankRef => self.issue_rank_ref(now, rank, probes),
             RefreshAction::BankRef { bank, t_rfc_pb_ns } => {
-                self.issue_bank_ref(now, rank, bank.0, t_rfc_pb_ns);
+                self.issue_bank_ref(now, rank, bank.0, t_rfc_pb_ns, probes);
             }
             RefreshAction::Single { bank, row } => {
-                self.issue_single_refresh(now, rank, bank.0, row.0);
+                self.issue_single_refresh(now, rank, bank.0, row.0, probes);
             }
             RefreshAction::Pair {
                 bank,
                 first,
                 second,
-            } => self.issue_pair_refresh(now, rank, bank.0, first.0, second.0),
+            } => self.issue_pair_refresh(now, rank, bank.0, first.0, second.0, probes),
         }
     }
 
@@ -539,13 +705,20 @@ impl Channel {
     }
 
     /// Advances the controller by one command-clock cycle. Returns request
-    /// ids whose data returned this cycle.
+    /// ids whose data returned this cycle. Probe-free convenience over
+    /// [`Channel::tick_probed`].
     pub fn tick(&mut self, now: MemCycle) -> Vec<u64> {
+        self.tick_probed(now, &mut ProbeHost::disabled())
+    }
+
+    /// [`Channel::tick`] with an observer attached. Probes are read-only:
+    /// the schedule is identical whether `probes` is active or not.
+    pub fn tick_probed(&mut self, now: MemCycle, probes: &mut ProbeHost) -> Vec<u64> {
         self.bus.prune(now);
         self.data_bus.prune(now);
-        self.refresh_step(now);
+        self.refresh_step(now, probes);
         // One demand commitment per cycle keeps scheduling near-cycle-accurate.
-        self.demand_step(now);
+        self.demand_step(now, probes);
 
         let mut done = Vec::new();
         while let Some(&Reverse((t, id))) = self.completions.peek() {
@@ -558,7 +731,7 @@ impl Channel {
         done
     }
 
-    fn refresh_step(&mut self, now: MemCycle) {
+    fn refresh_step(&mut self, now: MemCycle, probes: &mut ProbeHost) {
         let now_ns = self.clock.cycles_to_ns(now);
         if self.ranks.iter().all(|r| r.policy.inert()) {
             return;
@@ -608,14 +781,14 @@ impl Channel {
                     self.ranks[rank].policy.next_action(now_ns, &view)
                 };
                 match action {
-                    Some(a) => self.execute_action(now, rank, a),
+                    Some(a) => self.execute_action(now, rank, a, probes),
                     None => break,
                 }
             }
         }
     }
 
-    fn demand_step(&mut self, now: MemCycle) {
+    fn demand_step(&mut self, now: MemCycle, probes: &mut ProbeHost) {
         // Write-drain policy.
         if self.write_mode {
             if self.write_q.len() <= WQ_LOW {
@@ -636,7 +809,7 @@ impl Channel {
         } else {
             self.read_q[idx]
         };
-        if self.commit(now, &req) {
+        if self.commit(now, &req, probes) {
             if from_writes {
                 self.write_q.swap_remove(idx);
             } else {
@@ -684,7 +857,7 @@ impl Channel {
 
     /// Commits the full service schedule for `req`. Returns false when the
     /// earliest possible start is beyond the commit horizon.
-    fn commit(&mut self, now: MemCycle, req: &MemRequest) -> bool {
+    fn commit(&mut self, now: MemCycle, req: &MemRequest, probes: &mut ProbeHost) -> bool {
         let t = self.timing;
         let rank = req.addr.rank;
         let bank = req.addr.bank;
@@ -710,11 +883,20 @@ impl Channel {
             self.banks[bi].next_cas
         } else {
             // PRE (if open) + ACT (+ possible HiRA expansion).
+            let channel = self.idx;
             let mut act_earliest = self.banks[bi].next_act.max(now);
             if self.banks[bi].open_row.is_some() {
                 let pre_at = self.bus.alloc(self.banks[bi].next_pre.max(now));
                 self.banks[bi].open_row = None;
                 act_earliest = act_earliest.max(pre_at + t.rp);
+                probes.on_cmd(|| CmdEvent {
+                    at: pre_at,
+                    channel,
+                    rank,
+                    bank: Some(bank),
+                    row: None,
+                    cmd: DramCmd::Pre,
+                });
             }
             let act_at = self.act_constraint(rank, bg, act_earliest);
 
@@ -729,6 +911,14 @@ impl Channel {
                     let a = self.bus.alloc(act_at);
                     self.record_act(rank, bg, a);
                     self.stats.demand_acts += 1;
+                    probes.on_cmd(|| CmdEvent {
+                        at: a,
+                        channel,
+                        rank,
+                        bank: Some(bank),
+                        row: Some(req.addr.row.0),
+                        cmd: DramCmd::Act,
+                    });
                     self.notify_act(rank, a, bank, req.addr.row.0);
                     a
                 }
@@ -743,13 +933,31 @@ impl Channel {
                         a1 = a2 - lead;
                     }
                     let a1 = self.bus.alloc(a1);
-                    let _pre = self.bus.alloc(a1 + t.t1);
+                    let pre = self.bus.alloc(a1 + t.t1);
                     let a2 = self.bus.alloc(a1 + lead);
                     self.record_act(rank, bg, a1);
                     self.record_act(rank, bg, a2);
                     self.stats.demand_acts += 1;
                     self.stats.refresh_acts += 1;
                     self.stats.hira_access_ops += 1;
+                    for (at, row) in [
+                        (a1, Some(refresh_row.0)),
+                        (pre, None),
+                        (a2, Some(req.addr.row.0)),
+                    ] {
+                        probes.on_cmd(|| CmdEvent {
+                            at,
+                            channel,
+                            rank,
+                            bank: Some(bank),
+                            row,
+                            cmd: if row.is_some() {
+                                DramCmd::Act
+                            } else {
+                                DramCmd::Pre
+                            },
+                        });
+                    }
                     self.notify_act(rank, a1, bank, refresh_row.0);
                     self.notify_act(rank, a2, bank, req.addr.row.0);
                     a2
@@ -791,17 +999,46 @@ impl Channel {
         if hit {
             self.stats.row_hits += 1;
         }
+        let channel = self.idx;
+        probes.on_cmd(|| CmdEvent {
+            at: cas,
+            channel,
+            rank,
+            bank: Some(bank),
+            row: Some(req.addr.row.0),
+            cmd: if req.is_write {
+                DramCmd::Wr
+            } else {
+                DramCmd::Rd
+            },
+        });
         if req.is_write {
             b.next_pre = b.next_pre.max(cas + t.cwl + t.bl + t.wr);
             self.ranks[rank].next_rd = self.ranks[rank].next_rd.max(cas + t.cwl + t.bl + t.wtr);
             self.stats.writes_done += 1;
-            self.stats.write_latency_sum += cas + t.cwl + t.bl - req.arrived;
+            let latency = cas + t.cwl + t.bl - req.arrived;
+            self.stats.write_latency_sum += latency;
+            self.stats.write_lat_hist.record(latency);
+            probes.on_req_complete(|| ReqEvent {
+                at: cas + t.cwl + t.bl,
+                channel,
+                is_write: true,
+                latency,
+            });
         } else {
             b.next_pre = b.next_pre.max(cas + t.rtp);
             let done_at = cas + t.cl + t.bl;
             self.completions.push(Reverse((done_at, req.id)));
             self.stats.reads_done += 1;
-            self.stats.read_latency_sum += done_at - req.arrived;
+            let latency = done_at - req.arrived;
+            self.stats.read_latency_sum += latency;
+            self.stats.read_lat_hist.record(latency);
+            probes.on_req_complete(|| ReqEvent {
+                at: done_at,
+                channel,
+                is_write: false,
+                latency,
+            });
         }
         true
     }

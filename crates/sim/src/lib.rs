@@ -46,6 +46,15 @@
 //! System configurations are assembled through the validated
 //! [`builder::SystemBuilder`].
 //!
+//! Every run can carry a **zero-cost observer** ([`probe`]): a
+//! [`probe::Probe`] installed via [`builder::SystemBuilder::probe`] sees
+//! every DRAM command, request completion, refresh action and periodic
+//! epoch sample — without perturbing the simulation (results are
+//! bit-identical with or without a probe, and the no-probe path costs one
+//! branch per notification site). Built-ins cover ramulator-style command
+//! traces, epoch time-series JSONL, latency histograms and per-row
+//! ACT-exposure counting.
+//!
 //! Time bases: CPU cycles at the host clock (Table 3: 3.2 GHz); the
 //! memory controller ticks at the configured device's command clock —
 //! DDR4-2400: 1.2 GHz, i.e. 3 memory ticks per 8 CPU cycles; the
@@ -61,6 +70,7 @@ pub mod llc;
 pub mod mapping;
 pub mod metrics;
 pub mod policy;
+pub mod probe;
 pub mod refresh;
 pub mod request;
 pub mod system;
@@ -71,4 +81,5 @@ pub use device::{DeviceHandle, DeviceModel, DeviceProfile, DeviceRegistry};
 pub use hira_workload::{Workload, WorkloadHandle, WorkloadRegistry};
 pub use metrics::SimResult;
 pub use policy::{PolicyHandle, PolicyRegistry, RefreshPolicy};
+pub use probe::{Probe, ProbeHandle, ProbeRegistry};
 pub use system::System;

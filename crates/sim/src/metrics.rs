@@ -1,8 +1,79 @@
-//! Performance metrics (§7: weighted speedup [31, 156]).
+//! Performance metrics (§7: weighted speedup [31, 156]) and the always-on
+//! log2-bucketed latency histograms behind the p50/p90/p99/p999 columns.
 
 use crate::controller::ChannelStats;
 use crate::policy::PolicyStats;
 use hira_core::finder::McStats;
+
+/// Number of log2 latency buckets. Bucket 0 holds zero-cycle latencies,
+/// bucket `b ≥ 1` the range `[2^(b-1), 2^b)`, and the last bucket absorbs
+/// everything at or beyond `2^(LATENCY_BUCKETS-2)` cycles — far past any
+/// latency the timing model can produce.
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// A log2-bucketed latency histogram, recorded unconditionally by the
+/// controller for demand reads and writes (one array increment per
+/// request — cheap enough to stay on even in the `perf_kernel` hot path,
+/// and entirely deterministic, so it never perturbs the dense-vs-event or
+/// probe-attached equality guarantees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts (see [`LATENCY_BUCKETS`]).
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample (in memory cycles).
+    #[inline]
+    pub fn record(&mut self, latency: u64) {
+        let b = (64 - latency.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[b] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds `other`'s counts into `self` (channel aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// The inclusive `[low, high]` cycle range of bucket `b`. The last
+    /// bucket is open-ended upward; its reported high end is the clamp
+    /// point every farther sample is folded into.
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        assert!(b < LATENCY_BUCKETS);
+        if b == 0 {
+            (0, 0)
+        } else {
+            (1 << (b - 1), (1u64 << b) - 1)
+        }
+    }
+
+    /// The `q`-quantile latency (`q` clamped into `[0, 1]`), reported as
+    /// the upper bound of the bucket containing the `⌈q·n⌉`-th sample —
+    /// a deterministic, conservative estimate. `None` when no samples
+    /// were recorded.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return Some(Self::bucket_bounds(b).1);
+            }
+        }
+        unreachable!("cumulative count reaches the total")
+    }
+}
 
 /// Result of one simulation run.
 ///
@@ -10,7 +81,10 @@ use hira_core::finder::McStats;
 /// configuration compare equal regardless of thread count or
 /// [`crate::config::KernelMode`] — the property the dense-vs-event
 /// equality harness asserts.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Default` is uniform: **every** collection field defaults empty (no
+/// phantom channel), and every scalar to zero.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimResult {
     /// Per-core IPC over the measurement region.
     pub ipc: Vec<f64>,
@@ -73,6 +147,11 @@ impl SimResult {
     }
 
     /// Average read latency in memory cycles.
+    ///
+    /// A run with zero completed reads reports `0.0` (documented
+    /// divide-by-zero guard — never `NaN`), matching
+    /// [`SimResult::avg_write_latency`] and
+    /// [`SimResult::data_bus_utilization`].
     pub fn avg_read_latency(&self) -> f64 {
         let lat: u64 = self.channel_stats.iter().map(|s| s.read_latency_sum).sum();
         let n = self.total_reads();
@@ -83,6 +162,37 @@ impl SimResult {
         }
     }
 
+    /// The run's read-latency histogram, aggregated across channels.
+    pub fn read_latency_histogram(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        for s in &self.channel_stats {
+            h.merge(&s.read_lat_hist);
+        }
+        h
+    }
+
+    /// The run's write-latency histogram, aggregated across channels.
+    pub fn write_latency_histogram(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        for s in &self.channel_stats {
+            h.merge(&s.write_lat_hist);
+        }
+        h
+    }
+
+    /// The `q`-quantile read latency in memory cycles (log2-bucket upper
+    /// bound; see [`LatencyHistogram::quantile`]). `None` on a run with no
+    /// completed reads.
+    pub fn read_latency_quantile(&self, q: f64) -> Option<u64> {
+        self.read_latency_histogram().quantile(q)
+    }
+
+    /// The `q`-quantile write service latency in memory cycles. `None` on
+    /// a run with no writes.
+    pub fn write_latency_quantile(&self, q: f64) -> Option<u64> {
+        self.write_latency_histogram().quantile(q)
+    }
+
     /// Total demand writes issued to DRAM.
     pub fn total_writes(&self) -> u64 {
         self.channel_stats.iter().map(|s| s.writes_done).sum()
@@ -90,6 +200,9 @@ impl SimResult {
 
     /// Average write service latency (arrival to end of the write burst)
     /// in memory cycles.
+    ///
+    /// A run with zero writes reports `0.0` (documented divide-by-zero
+    /// guard — never `NaN`).
     pub fn avg_write_latency(&self) -> f64 {
         let lat: u64 = self.channel_stats.iter().map(|s| s.write_latency_sum).sum();
         let n = self.total_writes();
@@ -103,6 +216,9 @@ impl SimResult {
     /// Per-channel data-bus utilization: the fraction of simulated memory
     /// cycles each channel's data bus spent transferring bursts (demand
     /// reads and writes; refresh traffic never uses the data bus).
+    ///
+    /// A zero-cycle run reports `0.0` for every channel (documented
+    /// divide-by-zero guard — never `NaN`).
     pub fn data_bus_utilization(&self) -> Vec<f64> {
         self.channel_stats
             .iter()
@@ -166,6 +282,91 @@ mod tests {
             ..ChannelStats::default()
         });
         assert!((r.avg_write_latency() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_uniformly_empty() {
+        // The satellite fix: every collection field defaults empty — no
+        // phantom single-channel asymmetry against mc/policy stats.
+        let d = SimResult::default();
+        assert!(d.ipc.is_empty());
+        assert!(d.workloads.is_empty());
+        assert_eq!(d.cycles, 0);
+        assert_eq!(d.mem_cycles, 0);
+        assert!(d.channel_stats.is_empty());
+        assert!(d.mc_stats.is_empty());
+        assert!(d.policy_stats.is_empty());
+    }
+
+    #[test]
+    fn read_latency_of_a_zero_read_run_is_zero() {
+        // Divide-by-zero guard: a run that completed no reads (and a fully
+        // empty default) reports 0.0, never NaN.
+        let r = result(vec![1.0]);
+        assert_eq!(r.avg_read_latency(), 0.0);
+        assert_eq!(SimResult::default().avg_read_latency(), 0.0);
+        assert_eq!(r.read_latency_quantile(0.99), None, "quantiles say None");
+    }
+
+    #[test]
+    fn zero_cycle_run_reports_zero_utilization_and_latency() {
+        let mut r = result(vec![1.0]);
+        r.mem_cycles = 0;
+        r.cycles = 0;
+        assert!(r.data_bus_utilization().iter().all(|&u| u == 0.0));
+        assert_eq!(r.avg_write_latency(), 0.0);
+        assert_eq!(r.write_latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2_and_merges() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        assert_eq!(h.buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(h.buckets[1], 1, "1 lands in [1,1]");
+        assert_eq!(h.buckets[2], 2, "2..=3 land in [2,3]");
+        assert_eq!(h.buckets[3], 1, "4 lands in [4,7]");
+        assert_eq!(h.count(), 5);
+        let mut other = LatencyHistogram::default();
+        other.record(u64::MAX); // clamps into the last bucket
+        assert_eq!(other.buckets[LATENCY_BUCKETS - 1], 1);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+        assert_eq!(LatencyHistogram::bucket_bounds(0), (0, 0));
+        assert_eq!(LatencyHistogram::bucket_bounds(3), (4, 7));
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets_deterministically() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        // 90 samples at latency 32 (bucket [32,63]), 10 at 1000 ([512,1023]).
+        for _ in 0..90 {
+            h.record(32);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.quantile(0.5), Some(63));
+        assert_eq!(h.quantile(0.90), Some(63));
+        assert_eq!(h.quantile(0.95), Some(1023));
+        assert_eq!(h.quantile(0.999), Some(1023));
+        assert_eq!(h.quantile(0.0), Some(63), "q=0 is the first sample");
+        assert_eq!(h.quantile(1.0), Some(1023));
+        // SimResult aggregates across channels before extracting.
+        let mut r = result(vec![1.0]);
+        r.channel_stats[0].read_lat_hist = h;
+        r.channel_stats.push(ChannelStats {
+            read_lat_hist: h,
+            ..ChannelStats::default()
+        });
+        let agg = r.read_latency_histogram();
+        assert_eq!(agg.count(), 200);
+        assert_eq!(r.read_latency_quantile(0.99), Some(1023));
     }
 
     #[test]

@@ -22,9 +22,46 @@ use crate::core_model::{Core, CoreRequest};
 use crate::llc::{Access, Llc, Waiter};
 use crate::mapping::decode;
 use crate::metrics::SimResult;
+use crate::probe::{EpochSample, ProbeHost};
 use crate::request::MemRequest;
 use hira_workload::WorkloadEnv;
 use std::collections::HashMap;
+
+/// How a run spent its time: the simulator-side half of the engine's
+/// per-point telemetry ([`System::run_telemetered`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunTelemetry {
+    /// Kernel loop iterations actually processed (the event kernel's
+    /// skipped cycles are not events — this is the number the kernel
+    /// speedup comes from).
+    pub events: u64,
+    /// High-water mark of any channel's combined read+write queue.
+    pub peak_queue: u64,
+}
+
+/// Cumulative channel-stat snapshot an epoch diffs against.
+#[derive(Debug, Clone, Copy, Default)]
+struct EpochAgg {
+    reads: u64,
+    writes: u64,
+    row_hits: u64,
+    dbus: u64,
+    refresh_busy: u64,
+}
+
+/// Epoch-sampling state ([`crate::probe::Probe::on_epoch`]): fires at
+/// every multiple of `every` CPU cycles, in both kernels, at the exact
+/// dense cycle — the event kernel clamps its time skips to the next
+/// boundary (processing extra cycles is always safe, so results stay
+/// bit-identical).
+#[derive(Debug)]
+struct EpochTracker {
+    every: u64,
+    index: u64,
+    last_insts: u64,
+    last_mem_cycle: u64,
+    last: EpochAgg,
+}
 
 /// A fully-assembled simulated system.
 #[derive(Debug)]
@@ -42,6 +79,10 @@ pub struct System {
     /// pairing.
     tick_num: u64,
     tick_den: u64,
+    /// The run's observer (inert unless `cfg.probe` is set).
+    probes: ProbeHost,
+    /// Epoch sampling, when the probe asked for a cadence.
+    epoch: Option<EpochTracker>,
 }
 
 impl System {
@@ -62,6 +103,14 @@ impl System {
         let llc = Llc::new(cfg.llc_bytes, cfg.llc_ways);
         let channels = (0..cfg.channels).map(|c| Channel::new(&cfg, c)).collect();
         let (tick_num, tick_den) = cfg.clock().mem_ticks_per_cpu_cycle();
+        let probes = ProbeHost::from_handle(cfg.probe.as_ref());
+        let epoch = probes.epoch_every().map(|every| EpochTracker {
+            every,
+            index: 0,
+            last_insts: 0,
+            last_mem_cycle: 0,
+            last: EpochAgg::default(),
+        });
         System {
             cores,
             llc,
@@ -72,6 +121,8 @@ impl System {
             mem_cycle: 0,
             tick_num,
             tick_den,
+            probes,
+            epoch,
             cfg,
         }
     }
@@ -80,6 +131,13 @@ impl System {
     /// the safety cycle cap triggers) and returns per-core IPC. Dispatches
     /// on the configured [`KernelMode`]; results are identical either way.
     pub fn run(self) -> SimResult {
+        self.run_telemetered().0
+    }
+
+    /// [`System::run`] plus run telemetry (events processed, peak queue
+    /// depth) — the engine's per-point instrumentation path. The telemetry
+    /// is observational: the [`SimResult`] is the same either way.
+    pub fn run_telemetered(self) -> (SimResult, RunTelemetry) {
         match self.cfg.kernel {
             KernelMode::Dense => self.run_dense(),
             KernelMode::Event => self.run_event(),
@@ -128,36 +186,42 @@ impl System {
     }
 
     /// The legacy reference kernel: every cycle runs [`System::step`].
-    fn run_dense(mut self) -> SimResult {
+    fn run_dense(mut self) -> (SimResult, RunTelemetry) {
         let warmup = self.cfg.warmup_insts;
         let target = warmup + self.cfg.insts_per_core;
         let cap = self.safety_cap(target);
         let mut warm_cycle = vec![None::<u64>; self.cores.len()];
         let mut roi_ended = vec![false; self.cores.len()];
         let mut cycle = 0u64;
+        let mut events = 0u64;
         loop {
             self.step(cycle, target, warmup, &mut warm_cycle, &mut roi_ended);
+            events += 1;
             cycle += 1;
+            self.maybe_epoch(cycle);
             let all_done = self.cores.iter().all(|c| c.finished_at.is_some());
             if all_done || cycle >= cap {
                 break;
             }
         }
-        self.collect(cycle, target, warmup, &warm_cycle)
+        self.collect(cycle, target, warmup, &warm_cycle, events)
     }
 
     /// The event-driven kernel: after each processed cycle, jump straight
     /// to the next cycle at which anything observable can happen.
-    fn run_event(mut self) -> SimResult {
+    fn run_event(mut self) -> (SimResult, RunTelemetry) {
         let warmup = self.cfg.warmup_insts;
         let target = warmup + self.cfg.insts_per_core;
         let cap = self.safety_cap(target);
         let mut warm_cycle = vec![None::<u64>; self.cores.len()];
         let mut roi_ended = vec![false; self.cores.len()];
         let mut cycle = 0u64;
+        let mut events = 0u64;
         loop {
             self.step(cycle, target, warmup, &mut warm_cycle, &mut roi_ended);
+            events += 1;
             cycle += 1;
+            self.maybe_epoch(cycle);
             let all_done = self.cores.iter().all(|c| c.finished_at.is_some());
             if all_done || cycle >= cap {
                 break;
@@ -166,7 +230,14 @@ impl System {
             // (the skipped cycles still count: SimResult::cycles and the
             // mem-tick accumulator advance exactly as the dense loop's
             // no-op iterations would have advanced them).
-            let next = self.next_interesting_cycle(cycle).min(cap);
+            let mut next = self.next_interesting_cycle(cycle).min(cap);
+            // Epoch sampling clamps the skip to the next boundary so the
+            // sample is taken at its exact dense cycle — processing the
+            // boundary cycle for real is safe (a no-op iteration, exactly
+            // as the dense kernel would have run it).
+            if let Some(ep) = &self.epoch {
+                next = next.min((cycle / ep.every + 1) * ep.every);
+            }
             if next > cycle {
                 let span = next - cycle;
                 for c in &mut self.cores {
@@ -176,12 +247,78 @@ impl System {
                 self.mem_cycle += acc / self.tick_den;
                 self.mem_tick_acc = acc % self.tick_den;
                 cycle = next;
+                self.maybe_epoch(cycle);
                 if cycle >= cap {
                     break;
                 }
             }
         }
-        self.collect(cycle, target, warmup, &warm_cycle)
+        self.collect(cycle, target, warmup, &warm_cycle, events)
+    }
+
+    /// Fires the epoch probe when `cycle` is a sampling boundary. Every
+    /// sample covers exactly `every` CPU cycles of history (its deltas are
+    /// against the previous boundary); a trailing partial epoch is not
+    /// sampled. Both kernels call this at every boundary — the dense loop
+    /// passes through every cycle, the event loop clamps its skips — so
+    /// the sequences match sample-for-sample.
+    fn maybe_epoch(&mut self, cycle: u64) {
+        let Some(ep) = &mut self.epoch else {
+            return;
+        };
+        if cycle == 0 || !cycle.is_multiple_of(ep.every) {
+            return;
+        }
+        let mut agg = EpochAgg::default();
+        let mut read_q = 0u64;
+        let mut write_q = 0u64;
+        for ch in &self.channels {
+            let s = ch.stats();
+            agg.reads += s.reads_done;
+            agg.writes += s.writes_done;
+            agg.row_hits += s.row_hits;
+            agg.dbus += s.data_bus_busy;
+            agg.refresh_busy += s.refresh_busy;
+            let (r, w) = ch.queue_depths();
+            read_q += r as u64;
+            write_q += w as u64;
+        }
+        let insts: u64 = self.cores.iter().map(|c| c.retired).sum();
+        let d_insts = insts - ep.last_insts;
+        let d_reads = agg.reads - ep.last.reads;
+        let d_writes = agg.writes - ep.last.writes;
+        let d_cas = d_reads + d_writes;
+        let d_mem = self.mem_cycle - ep.last_mem_cycle;
+        let epoch_ns = ep.every as f64 / self.cfg.clock().cpu_ghz();
+        let frac = |num: u64, den: f64| if den > 0.0 { num as f64 / den } else { 0.0 };
+        let banks = (self.cfg.channels * self.cfg.ranks * self.cfg.banks as usize) as f64;
+        let sample = EpochSample {
+            epoch: ep.index,
+            cycle,
+            mem_cycle: self.mem_cycle,
+            insts: d_insts,
+            ipc: d_insts as f64 / ep.every as f64,
+            reads: d_reads,
+            writes: d_writes,
+            read_gbps: d_reads as f64 * 64.0 / epoch_ns,
+            write_gbps: d_writes as f64 * 64.0 / epoch_ns,
+            dbus_util: frac(
+                agg.dbus - ep.last.dbus,
+                d_mem as f64 * self.cfg.channels as f64,
+            ),
+            row_hit_rate: frac(agg.row_hits - ep.last.row_hits, d_cas as f64),
+            read_q,
+            write_q,
+            refresh_occupancy: frac(
+                agg.refresh_busy - ep.last.refresh_busy,
+                d_mem as f64 * banks,
+            ),
+        };
+        ep.index += 1;
+        ep.last_insts = insts;
+        ep.last_mem_cycle = self.mem_cycle;
+        ep.last = agg;
+        self.probes.on_epoch(&sample);
     }
 
     /// The earliest cycle at or after `cur` whose iteration can do
@@ -225,12 +362,13 @@ impl System {
     }
 
     fn collect(
-        self,
+        mut self,
         cycle: u64,
         target: u64,
         warmup: u64,
         warm_cycle: &[Option<u64>],
-    ) -> SimResult {
+        events: u64,
+    ) -> (SimResult, RunTelemetry) {
         let ipc = self
             .cores
             .iter()
@@ -242,7 +380,7 @@ impl System {
                 insts as f64 / (end.saturating_sub(start).max(1)) as f64
             })
             .collect();
-        SimResult {
+        let result = SimResult {
             ipc,
             workloads: self
                 .cores
@@ -258,7 +396,18 @@ impl System {
                 .iter()
                 .flat_map(Channel::policy_stats)
                 .collect(),
-        }
+        };
+        self.probes.on_run_end(&result);
+        let telemetry = RunTelemetry {
+            events,
+            peak_queue: self
+                .channels
+                .iter()
+                .map(|ch| ch.peak_queue() as u64)
+                .max()
+                .unwrap_or(0),
+        };
+        (result, telemetry)
     }
 
     fn tick_cpu(&mut self, cycle: u64, target: u64, warmup: u64) {
@@ -344,12 +493,20 @@ impl System {
     fn tick_mem(&mut self) {
         self.mem_cycle += 1;
         let now = self.mem_cycle;
-        for ch in &mut self.channels {
-            for req_id in ch.tick(now) {
-                if let Some(line) = self.inflight.remove(&req_id) {
-                    let waiters: Vec<Waiter> = self.llc.fill(line);
+        let System {
+            cores,
+            llc,
+            channels,
+            inflight,
+            probes,
+            ..
+        } = self;
+        for ch in channels.iter_mut() {
+            for req_id in ch.tick_probed(now, probes) {
+                if let Some(line) = inflight.remove(&req_id) {
+                    let waiters: Vec<Waiter> = llc.fill(line);
                     for (core, entry) in waiters {
-                        self.cores[core].complete(entry);
+                        cores[core].complete(entry);
                     }
                 }
             }

@@ -39,8 +39,10 @@ pub use hira_workload as workload;
 /// ([`prelude::policy`], [`prelude::PolicyRegistry`]), the open workload
 /// frontend ([`prelude::WorkloadRegistry`], [`prelude::mix`], generators,
 /// trace replay), the open device axis ([`prelude::device`],
-/// [`prelude::DeviceRegistry`], the standard presets), the simulator, and
-/// the experiment-orchestration engine.
+/// [`prelude::DeviceRegistry`], the standard presets), the zero-cost
+/// observability layer ([`prelude::probe`], [`prelude::ProbeRegistry`],
+/// the collectors), the simulator, and the experiment-orchestration
+/// engine.
 ///
 /// ```rust
 /// use hira::prelude::*;
@@ -63,7 +65,8 @@ pub mod prelude {
     pub use hira_dram::timing::{HiraTimings, TimingParams};
     pub use hira_dram::{DramModule, ModuleSpec};
     pub use hira_engine::{
-        derive_seed, flabel, metric, Executor, RunRecord, RunSet, Scenario, ScenarioKey, Sweep,
+        derive_seed, flabel, metric, Executor, PointTelemetry, RunRecord, RunSet, Scenario,
+        ScenarioKey, Sweep,
     };
     pub use hira_sim::builder::{BuildError, SystemBuilder};
     pub use hira_sim::clock::MemClock;
@@ -74,6 +77,11 @@ pub mod prelude {
         self, DemandDecision, PolicyEnv, PolicyHandle, PolicyProfile, PolicyRegistry, PolicyStats,
         RankView, RefreshAction, RefreshPolicy,
     };
+    pub use hira_sim::probe::{
+        self, epoch_collector, latency_collector, CmdEvent, DramCmd, EpochSample, Probe,
+        ProbeHandle, ProbeRegistry, RefreshEvent, ReqEvent,
+    };
+    pub use hira_sim::system::RunTelemetry;
     pub use hira_sim::{KernelMode, SimResult, System, SystemConfig};
     pub use hira_workload::{
         benchmark, mix, mix_with_seed, roster, spec, trace_file, Benchmark, Op, ParseError, Trace,

@@ -154,6 +154,7 @@ fn builder_reproduces_the_legacy_table3_struct_literals() {
                 seed: 0x5157,
                 kernel: KernelMode::default(),
                 cycle_cap: None,
+                probe: None,
             };
             let built = SystemBuilder::table3(cap)
                 .policy(p.clone())

@@ -134,6 +134,87 @@ fn capped_runs_report_the_cap_under_both_kernels() {
 }
 
 #[test]
+fn epoch_samples_are_kernel_invariant_across_policies() {
+    // The epoch sampler fires at exact dense cycle boundaries; the event
+    // kernel clamps its time skips to them, so the recorded time series
+    // must match the dense one sample for sample — ipc, bandwidths, queue
+    // depths, refresh occupancy, everything — for every registered policy.
+    for policy in PolicyRegistry::standard().handles() {
+        let run = |kernel| {
+            let (handle, sink) = probe::epoch_collector(4_096);
+            let cfg = SystemBuilder::new()
+                .policy(policy.clone())
+                .insts(2_500, 500)
+                .kernel(kernel)
+                .probe(handle)
+                .build()
+                .unwrap();
+            let result = System::new(cfg).run();
+            let samples = sink.lock().unwrap().clone();
+            (result, samples)
+        };
+        let (dense, dense_samples) = run(KernelMode::Dense);
+        let (event, event_samples) = run(KernelMode::Event);
+        assert_eq!(dense, event, "results diverged under {}", policy.name());
+        assert!(
+            dense_samples.len() >= 2,
+            "{}: too few epochs ({}) — the boundary semantics are untested",
+            policy.name(),
+            dense_samples.len()
+        );
+        assert_eq!(
+            dense_samples,
+            event_samples,
+            "epoch time series diverged under {}",
+            policy.name()
+        );
+        // The samples land exactly on multiples of the epoch period, in
+        // order, and the cumulative view is consistent.
+        for (i, s) in dense_samples.iter().enumerate() {
+            assert_eq!(s.epoch as usize, i);
+            assert_eq!(s.cycle, (i as u64 + 1) * 4_096);
+        }
+    }
+}
+
+#[test]
+fn probe_attachment_leaves_results_bit_identical() {
+    // Probes are read-only observers: attaching the whole built-in kit at
+    // once must leave the SimResult bit-identical to the bare run, under
+    // both kernels and across policy families.
+    let dir = std::env::temp_dir().join("hira-probe-identity");
+    std::fs::create_dir_all(&dir).unwrap();
+    for policy in [policy::baseline(), policy::refpb(), policy::hira(4)] {
+        for kernel in [KernelMode::Dense, KernelMode::Event] {
+            let build = |probe_handle: Option<ProbeHandle>| {
+                let mut b = SystemBuilder::new()
+                    .policy(policy.clone())
+                    .insts(2_000, 400)
+                    .kernel(kernel);
+                if let Some(p) = probe_handle {
+                    b = b.probe(p);
+                }
+                System::new(b.build().unwrap()).run()
+            };
+            let bare = build(None);
+            let tag = format!("{}-{}", policy.name(), kernel);
+            let (latency, _) = latency_collector();
+            let (epochs, _) = epoch_collector(2_048);
+            let (acts, _) = probe::act_exposure_collector();
+            let trace = probe::probe(&format!("cmdtrace:{}", dir.join(&tag).display()));
+            let probed = build(Some(ProbeHandle::multi(vec![trace, epochs, latency, acts])));
+            assert_eq!(
+                bare,
+                probed,
+                "probes perturbed the run: policy {} x kernel {kernel}",
+                policy.name()
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn engine_thread_count_determinism_holds_in_event_mode() {
     // The engine determinism guarantee re-checked with the event kernel
     // explicitly selected: results byte-identical at 1 vs 8 threads.
