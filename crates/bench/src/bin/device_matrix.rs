@@ -36,15 +36,19 @@
 //!   attach observers to every point (results stay bit-identical; output
 //!   paths are suffixed per point), `--telemetry` — print the per-point
 //!   run telemetry table,
-//! * `--list` — print all three registries (and the probe forms) with
-//!   their one-liners and exit,
+//! * `--cache=<dir>` / `--no-cache` / `--cache-stats` — the shared sweep
+//!   cache: replay previously computed points from a `hira-store`
+//!   directory and simulate only the misses (see
+//!   [`hira_bench::CacheSpec`]),
+//! * `--list` — print all three registries (plus the probe forms and
+//!   kernel modes) with their one-liners and exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
 //!   the canonical result sets are byte-identical.
 
 use hira_bench::{
     device_axis_from_args_or, kernel_from_args, maybe_print_telemetry, policy_axis_from_args_or,
-    print_device_list, print_policy_list, print_probe_list, print_workload_list,
-    run_ws_with_stats_probed, workload_axis_from_args_or, ProbeSpec, Scale, WsTable,
+    print_device_list, print_kernel_list, print_policy_list, print_probe_list, print_workload_list,
+    run_ws_with_stats_cached, workload_axis_from_args_or, CacheSpec, ProbeSpec, Scale, WsTable,
 };
 use hira_engine::{Executor, ScenarioKey, Sweep};
 use hira_sim::builder::{BuildError, SystemBuilder};
@@ -142,12 +146,15 @@ fn main() {
         print_workload_list();
         println!();
         print_probe_list();
+        println!();
+        print_kernel_list();
         return;
     }
     let scale = Scale::from_env();
     let ex = Executor::from_env();
     let kernel = kernel_from_args();
     let probes = ProbeSpec::from_args();
+    let cache = CacheSpec::from_args();
     let devices = device_axis_from_args_or(DEFAULT_DEVICES);
     let policies = policy_axis_from_args_or(DEFAULT_POLICIES);
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
@@ -175,11 +182,19 @@ fn main() {
         println!("skipping {s}");
     }
     assert!(!sweep.is_empty(), "every device x policy combo was skipped");
-    let t = run_ws_with_stats_probed(&ex, sweep, scale, &probes);
+    let t = run_ws_with_stats_cached(&ex, sweep, scale, &probes, &cache);
 
     if std::env::args().any(|a| a == "--check-determinism") {
         let (sweep, _) = grid(&devices, &policies, &workloads, kernel);
-        let serial = run_ws_with_stats_probed(&Executor::with_threads(1), sweep, scale, &probes);
+        // Deliberately uncached: re-simulating also proves any cache
+        // replays above were bit-identical to fresh simulation.
+        let serial = run_ws_with_stats_cached(
+            &Executor::with_threads(1),
+            sweep,
+            scale,
+            &probes,
+            &CacheSpec::disabled(),
+        );
         assert_eq!(
             t.run.canonical_json(),
             serial.run.canonical_json(),

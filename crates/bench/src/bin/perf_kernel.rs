@@ -7,19 +7,23 @@
 //! whose wake declaration is too eager shows up here as a result mismatch,
 //! not as a silently wrong BENCH baseline.
 //!
-//! Timing is single-threaded and engine-free (`System::run` is called
-//! directly) so the wall-clock comparison measures the kernels, not the
-//! executor. Always writes `BENCH_perf_kernel.json` (into
-//! `HIRA_BENCH_DIR`, or the working directory when unset) with per-point
-//! `wall_dense_ms` / `wall_event_ms` / `speedup` records plus the
-//! aggregate `speedup_total`. The wall-clock figures naturally vary run
-//! to run — unlike the matrix baselines, this file is a snapshot, not a
-//! byte-reproducible artifact.
+//! Timing is single-threaded ([`hira_bench::run_perf_kernel`]) so the
+//! wall-clock comparison measures the kernels, not the executor. Always
+//! writes `BENCH_perf_kernel.json` (into `HIRA_BENCH_DIR`, or the working
+//! directory when unset) with per-point `wall_dense_ms` / `wall_event_ms`
+//! / `speedup` records plus the aggregate `speedup_total`. The wall-clock
+//! figures naturally vary run to run — unlike the matrix baselines, this
+//! file is a snapshot, not a byte-reproducible artifact — *except* under
+//! a warm `--cache`, which replays the stored walls verbatim (the
+//! kernel-identity assertion ran when each point was first computed).
 //!
 //! Flags:
 //!
 //! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis;
 //!   default: the full standard registry,
+//! * `--cache=<dir>` / `--no-cache` / `--cache-stats` — the shared sweep
+//!   cache: replay previously timed points and run only the misses (see
+//!   [`hira_bench::CacheSpec`]),
 //! * `--check-baseline=<path>` — after the sweep, compare `speedup_total`
 //!   against the one recorded in the `BENCH_perf_kernel.json` at `<path>`
 //!   and fail when it regressed by more than the tolerance — the CI guard
@@ -31,22 +35,11 @@
 //!
 //! Scale: `HIRA_MIXES` × `HIRA_INSTS` as everywhere else.
 
-use hira_bench::{extract_metric_value, policy_axis_from_args, print_series, Scale};
-use hira_engine::{RunRecord, RunSet, ScenarioKey};
-use hira_sim::config::{KernelMode, SystemConfig};
-use hira_sim::{SimResult, System};
-use hira_workload::mix;
+use hira_bench::{
+    extract_metric_value, policy_axis_from_args, print_series, run_perf_kernel, CacheSpec, Scale,
+};
+use hira_engine::{RunRecord, ScenarioKey};
 use std::path::Path;
-use std::time::Instant;
-
-/// Runs one configuration under `kernel`, returning the result and the
-/// wall time in milliseconds.
-fn timed(cfg: &SystemConfig, kernel: KernelMode) -> (SimResult, f64) {
-    let cfg = cfg.clone().with_kernel(kernel);
-    let start = Instant::now();
-    let result = System::new(cfg).run();
-    (result, start.elapsed().as_secs_f64() * 1e3)
-}
 
 /// The single value of a `--<flag>=` argument, when passed.
 fn flag_value(flag: &str) -> Option<String> {
@@ -58,6 +51,7 @@ fn main() {
     let scale = Scale::from_env();
     let cap = 8.0;
     let policies = policy_axis_from_args();
+    let cache = CacheSpec::from_args();
     // Read the baseline before the sweep so a bad path fails fast.
     let baseline = flag_value("check-baseline").map(|path| {
         let body = std::fs::read_to_string(&path)
@@ -81,50 +75,34 @@ fn main() {
         scale.insts
     );
 
-    let t0 = Instant::now();
-    let mut records = Vec::new();
+    let (mut run, stats) = run_perf_kernel(&policies, cap, scale, &cache);
+    // Replayed points skipped both kernel runs; their identity was
+    // asserted when they were first computed into the store.
+    let note = if stats.hits == 0 {
+        "results identical"
+    } else {
+        "identity verified at first computation for replayed points"
+    };
+
+    let sum_for = |name: &str, metric: &str| -> f64 {
+        run.records
+            .iter()
+            .filter(|r| r.metric == metric && r.key.matches(&[("policy", name)]))
+            .map(|r| r.value)
+            .sum()
+    };
     let mut total_dense = 0.0;
     let mut total_event = 0.0;
     let mut speedups = Vec::new();
-    for (name, policy) in &policies {
-        let mut policy_dense = 0.0;
-        let mut policy_event = 0.0;
-        for mix_id in 0..scale.mixes {
-            let cfg = SystemConfig::table3(cap, policy.clone())
-                .with_insts(scale.insts, scale.warmup)
-                .with_workload(mix(mix_id));
-            let (dense, wall_dense) = timed(&cfg, KernelMode::Dense);
-            let (event, wall_event) = timed(&cfg, KernelMode::Event);
-            assert_eq!(
-                dense, event,
-                "kernel divergence at policy {name}, mix {mix_id}: the \
-                 next_wake contract is violated somewhere"
-            );
-            policy_dense += wall_dense;
-            policy_event += wall_event;
-            let key = ScenarioKey::root()
-                .with("policy", name)
-                .with("mix", mix_id.to_string());
-            for (metric, value) in [
-                ("wall_dense_ms", wall_dense),
-                ("wall_event_ms", wall_event),
-                ("speedup", wall_dense / wall_event),
-            ] {
-                records.push(RunRecord {
-                    key: key.clone(),
-                    metric: metric.to_owned(),
-                    value,
-                    wall_ms: wall_dense + wall_event,
-                    telemetry: None,
-                });
-            }
-        }
+    for (name, _) in &policies {
+        let policy_dense = sum_for(name, "wall_dense_ms");
+        let policy_event = sum_for(name, "wall_event_ms");
         total_dense += policy_dense;
         total_event += policy_event;
         speedups.push(policy_dense / policy_event);
         println!(
             "{name:<12} dense {policy_dense:>9.1} ms   event {policy_event:>9.1} ms   \
-             speedup {:>5.2}x   (results identical)",
+             speedup {:>5.2}x   ({note})",
             policy_dense / policy_event
         );
     }
@@ -136,7 +114,7 @@ fn main() {
         "\ntotal: dense {total_dense:.1} ms, event {total_event:.1} ms -> {total:.2}x \
          over the headline sweep"
     );
-    records.push(RunRecord {
+    run.records.push(RunRecord {
         key: ScenarioKey::root(),
         metric: "speedup_total".to_owned(),
         value: total,
@@ -158,12 +136,6 @@ fn main() {
         );
     }
 
-    let run = RunSet {
-        sweep: "perf_kernel".to_owned(),
-        threads: 1,
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        records,
-    };
     let dir = std::env::var("HIRA_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
     match run.write_bench_json(Path::new(&dir)) {
         Ok(path) => println!("(result store written to {})", path.display()),

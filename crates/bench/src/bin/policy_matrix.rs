@@ -19,14 +19,20 @@
 //!   attach observers to every point (results stay bit-identical; output
 //!   paths are suffixed per point), `--telemetry` — print the per-point
 //!   run telemetry table,
-//! * `--list` — print the policy registry and the probe forms, then exit,
+//! * `--cache=<dir>` / `--no-cache` / `--cache-stats` — the shared sweep
+//!   cache: replay previously computed points from a `hira-store`
+//!   directory and simulate only the misses (see
+//!   [`hira_bench::CacheSpec`]),
+//! * `--list` — print the policy registry, the probe forms and the kernel
+//!   modes, then exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
 //!   the canonical result sets are byte-identical (the engine's guarantee,
 //!   enforced end-to-end through every policy object).
 
 use hira_bench::{
-    kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_policy_list,
-    print_probe_list, print_series, run_ws_probed, ProbeSpec, Scale,
+    kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_kernel_list,
+    print_policy_list, print_probe_list, print_series, run_ws_probed_cached, CacheSpec, ProbeSpec,
+    Scale,
 };
 use hira_engine::{flabel, Executor, Sweep};
 use hira_sim::config::SystemConfig;
@@ -37,6 +43,8 @@ fn main() {
         print_policy_list();
         println!();
         print_probe_list();
+        println!();
+        print_kernel_list();
         return;
     }
     let scale = Scale::from_env();
@@ -44,6 +52,7 @@ fn main() {
     let caps = [8.0, 64.0];
     let kernel = kernel_from_args();
     let probes = ProbeSpec::from_args();
+    let cache = CacheSpec::from_args();
     let policies = policy_axis_from_args();
     assert!(
         !policies.is_empty(),
@@ -66,10 +75,19 @@ fn main() {
                 SystemConfig::table3(*c, h.clone()).with_kernel(kernel)
             })
     };
-    let t = run_ws_probed(&ex, mk_sweep(), scale, &probes);
+    let t = run_ws_probed_cached(&ex, mk_sweep(), scale, &probes, &cache);
 
     if std::env::args().any(|a| a == "--check-determinism") {
-        let serial = run_ws_probed(&Executor::with_threads(1), mk_sweep(), scale, &probes);
+        // Deliberately uncached: with a warm cache the serial run would
+        // only replay, so this re-simulates — which also proves any cache
+        // replays above were bit-identical to fresh simulation.
+        let serial = run_ws_probed_cached(
+            &Executor::with_threads(1),
+            mk_sweep(),
+            scale,
+            &probes,
+            &CacheSpec::disabled(),
+        );
         assert_eq!(
             t.run.canonical_json(),
             serial.run.canonical_json(),

@@ -24,16 +24,20 @@
 //!   attach observers to every point (results stay bit-identical; output
 //!   paths are suffixed per point), `--telemetry` — print the per-point
 //!   run telemetry table,
-//! * `--list` — print both registries (and the probe forms) with their
-//!   profile one-liners and exit,
+//! * `--cache=<dir>` / `--no-cache` / `--cache-stats` — the shared sweep
+//!   cache: replay previously computed points from a `hira-store`
+//!   directory and simulate only the misses (see
+//!   [`hira_bench::CacheSpec`]),
+//! * `--list` — print both registries (plus the probe forms and kernel
+//!   modes) with their profile one-liners and exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
 //!   the canonical result sets are byte-identical (the engine's guarantee,
 //!   enforced end-to-end through every workload frontend).
 
 use hira_bench::{
-    kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_policy_list,
-    print_probe_list, print_workload_list, run_ws_as_configured_probed, workload_axis_from_args_or,
-    ProbeSpec, Scale,
+    kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_kernel_list,
+    print_policy_list, print_probe_list, print_workload_list, run_ws_as_configured_cached,
+    workload_axis_from_args_or, CacheSpec, ProbeSpec, Scale,
 };
 use hira_engine::{Executor, Sweep};
 use hira_sim::config::SystemConfig;
@@ -62,6 +66,8 @@ fn main() {
         print_policy_list();
         println!();
         print_probe_list();
+        println!();
+        print_kernel_list();
         return;
     }
     let scale = Scale::from_env();
@@ -69,6 +75,7 @@ fn main() {
     let cap = 8.0;
     let kernel = kernel_from_args();
     let probes = ProbeSpec::from_args();
+    let cache = CacheSpec::from_args();
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
     let policies = policy_axis_from_args();
     assert!(
@@ -96,11 +103,18 @@ fn main() {
                     .with_kernel(kernel)
             })
     };
-    let t = run_ws_as_configured_probed(&ex, mk_sweep(), scale, &probes);
+    let t = run_ws_as_configured_cached(&ex, mk_sweep(), scale, &probes, &cache);
 
     if std::env::args().any(|a| a == "--check-determinism") {
-        let serial =
-            run_ws_as_configured_probed(&Executor::with_threads(1), mk_sweep(), scale, &probes);
+        // Deliberately uncached: re-simulating also proves any cache
+        // replays above were bit-identical to fresh simulation.
+        let serial = run_ws_as_configured_cached(
+            &Executor::with_threads(1),
+            mk_sweep(),
+            scale,
+            &probes,
+            &CacheSpec::disabled(),
+        );
         assert_eq!(
             t.run.canonical_json(),
             serial.run.canonical_json(),

@@ -27,8 +27,17 @@
 //! ([`device_axis_from_args_or`], including the dynamic `ddr4-2400@<Gb>`
 //! form). Passing `--list` to any axis prints every registered name with
 //! its one-line profile and exits, so sweep binaries are self-documenting.
+//!
+//! All matrix binaries additionally share the sweep-cache axis
+//! ([`CacheSpec::from_args`]): `--cache=<dir>` replays previously computed
+//! points from a `hira-store` directory and simulates only the misses,
+//! `--no-cache` disables a configured cache, and `--cache-stats` prints
+//! the hit/miss accounting after the run.
 
-use hira_engine::{metric, Executor, PointTelemetry, ScenarioKey, Sweep};
+use hira_engine::{
+    metric, sanitize_key, suffix_path, Executor, Metric, PointTelemetry, Scenario, ScenarioKey,
+    Sweep,
+};
 use hira_sim::builder::SystemBuilder;
 use hira_sim::config::{KernelMode, SystemConfig};
 use hira_sim::device::{DeviceHandle, DeviceRegistry};
@@ -36,11 +45,16 @@ use hira_sim::policy::{self, PolicyHandle, PolicyRegistry};
 use hira_sim::probe::ProbeRegistry;
 use hira_sim::system::System;
 use hira_sim::ProbeHandle;
+use hira_store::{CacheExecutorExt, SweepPlan, SweepStore};
 use hira_workload::{mix, WorkloadHandle, WorkloadRegistry};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+pub mod serve;
+
 pub use hira_engine::RunSet;
+pub use hira_store::CacheStats;
 
 /// Experiment scale options, read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -176,15 +190,21 @@ pub fn alone_ipc(
     ipc
 }
 
-/// Pre-computes every alone-IPC value a weighted-speedup sweep will need —
+/// Pre-computes every alone-IPC value the given configurations will need —
 /// one engine task per distinct `(instance name, geometry)` pair — so the
-/// main sweep's tasks only ever hit the cache. Instance names come from
-/// each point's workload handle (building an instance is cheap and does
-/// not simulate).
-fn warm_alone_cache(ex: &Executor, sweep: &Sweep<SystemConfig>, scale: Scale) {
+/// main sweep's tasks only ever hit the in-process memo. Instance names
+/// come from each configuration's workload handle (building an instance is
+/// cheap and does not simulate). The cached run path passes only its *miss*
+/// configurations here, so a fully warm sweep performs zero simulations.
+fn warm_alone_cache<'a>(
+    ex: &Executor,
+    configs: impl IntoIterator<Item = &'a SystemConfig>,
+    base_seed: u64,
+    scale: Scale,
+) {
     let mut points = Vec::new();
     let mut seen: Vec<AloneKey> = Vec::new();
-    for (_, cfg) in sweep.points() {
+    for cfg in configs {
         for name in cfg.workload.instance_names(cfg.cores, cfg.seed) {
             let key = alone_key(&name, &cfg.device, cfg.channels, cfg.ranks, scale);
             if cached_alone_ipc(&key).is_some() || seen.contains(&key) {
@@ -199,7 +219,7 @@ fn warm_alone_cache(ex: &Executor, sweep: &Sweep<SystemConfig>, scale: Scale) {
             points.push((sc_key, (name, cfg.device.clone(), cfg.channels, cfg.ranks)));
         }
     }
-    let warm = Sweep::from_points("alone_ipc", sweep.base_seed(), points);
+    let warm = Sweep::from_points("alone_ipc", base_seed, points);
     let ipcs = ex.map(&warm, |sc| {
         let (name, dev, ch, rk) = sc.params;
         compute_alone_ipc(&hira_workload::workload(name), dev, *ch, *rk, scale)
@@ -276,6 +296,20 @@ pub fn run_ws_probed(
     scale: Scale,
     probes: &ProbeSpec,
 ) -> WsTable {
+    run_ws_probed_cached(ex, sweep, scale, probes, &CacheSpec::disabled())
+}
+
+/// [`run_ws_probed`] through the sweep cache selected by `cache`: hit
+/// points replay from the store, only misses are simulated (including
+/// their alone-IPC warmup), and the resulting table is bit-identical to an
+/// uncached run.
+pub fn run_ws_probed_cached(
+    ex: &Executor,
+    sweep: Sweep<SystemConfig>,
+    scale: Scale,
+    probes: &ProbeSpec,
+    cache: &CacheSpec,
+) -> WsTable {
     assert!(
         scale.mixes >= 1,
         "HIRA_MIXES must be >= 1 (a data point needs at least one mix)"
@@ -291,7 +325,7 @@ pub fn run_ws_probed(
             })
             .collect()
     });
-    run_ws_points(ex, probes.attach(full), "mix", scale, false)
+    run_ws_points(ex, probes.attach(full), "mix", scale, false, cache)
 }
 
 /// Runs a sweep of system configurations **as configured**: every point
@@ -315,8 +349,20 @@ pub fn run_ws_as_configured_probed(
     scale: Scale,
     probes: &ProbeSpec,
 ) -> WsTable {
+    run_ws_as_configured_cached(ex, sweep, scale, probes, &CacheSpec::disabled())
+}
+
+/// [`run_ws_as_configured_probed`] through the sweep cache selected by
+/// `cache` (see [`run_ws_probed_cached`]).
+pub fn run_ws_as_configured_cached(
+    ex: &Executor,
+    sweep: Sweep<SystemConfig>,
+    scale: Scale,
+    probes: &ProbeSpec,
+    cache: &CacheSpec,
+) -> WsTable {
     let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
-    run_ws_points(ex, probes.attach(full), "mix", scale, false)
+    run_ws_points(ex, probes.attach(full), "mix", scale, false, cache)
 }
 
 /// [`run_ws_as_configured`] plus the channel-level metrics: every record
@@ -336,55 +382,349 @@ pub fn run_ws_with_stats_probed(
     scale: Scale,
     probes: &ProbeSpec,
 ) -> WsTable {
-    let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
-    run_ws_points(ex, probes.attach(full), "mix", scale, true)
+    run_ws_with_stats_cached(ex, sweep, scale, probes, &CacheSpec::disabled())
 }
 
-/// Shared runner: simulates every point, normalizes each core by its
-/// workload's alone-IPC, and collapses `mean_axis` (collapsing an absent
-/// axis is the identity grouping, so per-point tables fall out of the same
-/// path). `channel_stats` additionally records the latency/bus metrics of
-/// [`run_ws_with_stats`].
+/// [`run_ws_with_stats_probed`] through the sweep cache selected by
+/// `cache` (see [`run_ws_probed_cached`]).
+pub fn run_ws_with_stats_cached(
+    ex: &Executor,
+    sweep: Sweep<SystemConfig>,
+    scale: Scale,
+    probes: &ProbeSpec,
+    cache: &CacheSpec,
+) -> WsTable {
+    let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
+    run_ws_points(ex, probes.attach(full), "mix", scale, true, cache)
+}
+
+/// One weighted-speedup point: simulate, normalize each core by its
+/// workload's alone-IPC, optionally add the channel-level metrics — the
+/// task body both the cached and the uncached runner execute.
+fn ws_point_task(
+    sc: Scenario<'_, SystemConfig>,
+    scale: Scale,
+    channel_stats: bool,
+) -> (Vec<Metric>, Option<PointTelemetry>) {
+    let cfg = sc.params;
+    let (r, telemetry) = System::new(cfg.clone()).run_telemetered();
+    let alone: Vec<f64> = r
+        .workloads
+        .iter()
+        .map(|name| alone_ipc(name, &cfg.device, cfg.channels, cfg.ranks, scale))
+        .collect();
+    let mut ms = vec![metric("ws", r.weighted_speedup(&alone))];
+    if channel_stats {
+        ms.push(metric("read_lat", r.avg_read_latency()));
+        ms.push(metric("write_lat", r.avg_write_latency()));
+        let util = r.data_bus_utilization();
+        let mean_util = util.iter().sum::<f64>() / util.len().max(1) as f64;
+        ms.push(metric("dbus", mean_util));
+        // Histogram quantiles (memory cycles); 0 on empty histograms,
+        // matching the documented empty-run convention of the means.
+        let q = |v: Option<u64>| v.map_or(0.0, |x| x as f64);
+        ms.push(metric("read_p50", q(r.read_latency_quantile(0.50))));
+        ms.push(metric("read_p99", q(r.read_latency_quantile(0.99))));
+        ms.push(metric("write_p50", q(r.write_latency_quantile(0.50))));
+        ms.push(metric("write_p99", q(r.write_latency_quantile(0.99))));
+    }
+    let t = PointTelemetry {
+        events: telemetry.events,
+        peak_queue: telemetry.peak_queue,
+    };
+    (ms, Some(t))
+}
+
+/// Shared runner: simulates every point ([`ws_point_task`]) and collapses
+/// `mean_axis` (collapsing an absent axis is the identity grouping, so
+/// per-point tables fall out of the same path). With an active `cache`,
+/// the sweep goes through the store's plan/run path: hits replay, only
+/// misses are simulated — including their alone-IPC warmup, so a fully
+/// warm sweep performs zero simulations.
 fn run_ws_points(
     ex: &Executor,
     full: Sweep<SystemConfig>,
     mean_axis: &str,
     scale: Scale,
     channel_stats: bool,
+    cache: &CacheSpec,
 ) -> WsTable {
     assert!(!full.is_empty(), "weighted-speedup sweep has no points");
-    warm_alone_cache(ex, &full, scale);
-    let (_, run) = ex.run_instrumented(&full, |sc| {
-        let cfg = sc.params;
-        let (r, telemetry) = System::new(cfg.clone()).run_telemetered();
-        let alone: Vec<f64> = r
-            .workloads
-            .iter()
-            .map(|name| alone_ipc(name, &cfg.device, cfg.channels, cfg.ranks, scale))
-            .collect();
-        let mut ms = vec![metric("ws", r.weighted_speedup(&alone))];
-        if channel_stats {
-            ms.push(metric("read_lat", r.avg_read_latency()));
-            ms.push(metric("write_lat", r.avg_write_latency()));
-            let util = r.data_bus_utilization();
-            let mean_util = util.iter().sum::<f64>() / util.len().max(1) as f64;
-            ms.push(metric("dbus", mean_util));
-            // Histogram quantiles (memory cycles); 0 on empty histograms,
-            // matching the documented empty-run convention of the means.
-            let q = |v: Option<u64>| v.map_or(0.0, |x| x as f64);
-            ms.push(metric("read_p50", q(r.read_latency_quantile(0.50))));
-            ms.push(metric("read_p99", q(r.read_latency_quantile(0.99))));
-            ms.push(metric("write_p50", q(r.write_latency_quantile(0.50))));
-            ms.push(metric("write_p99", q(r.write_latency_quantile(0.99))));
-        }
-        let t = PointTelemetry {
-            events: telemetry.events,
-            peak_queue: telemetry.peak_queue,
-        };
-        ((), ms, Some(t))
-    });
+    let run = if let Some(mut store) = cache.open_for(&full) {
+        let tag = if channel_stats { "ws+stats" } else { "ws" };
+        let plan = SweepPlan::compute(&store, &full, cache_salt(), |sc| {
+            ws_canonical(tag, sc.params)
+        });
+        warm_alone_cache(
+            ex,
+            plan.miss_indices().map(|i| &full.points()[i].1),
+            full.base_seed(),
+            scale,
+        );
+        let (run, stats) = ex
+            .run_cached(
+                &mut store,
+                &full,
+                &plan,
+                |sc| ws_point_task(sc, scale, channel_stats),
+                None,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "cache: cannot persist results at {}: {e}",
+                    store.dir().display()
+                )
+            });
+        cache.report(&stats);
+        run
+    } else {
+        warm_alone_cache(
+            ex,
+            full.points().iter().map(|(_, c)| c),
+            full.base_seed(),
+            scale,
+        );
+        let (_, run) = ex.run_instrumented(&full, |sc| {
+            let (ms, t) = ws_point_task(sc, scale, channel_stats);
+            ((), ms, t)
+        });
+        run
+    };
     let means = run.mean_over(mean_axis, "ws");
     WsTable { run, means }
+}
+
+/// The kernel A/B task over one `(policy, mix)` point: time the dense and
+/// event kernels on the same configuration, assert their results are
+/// identical (the `next_wake` contract, enforced at every computed point),
+/// and return the wall-clock pair plus their ratio as metrics.
+fn perf_kernel_task(sc: Scenario<'_, SystemConfig>) -> (Vec<Metric>, Option<PointTelemetry>) {
+    let base = sc.params;
+    let timed = |kernel: KernelMode| {
+        let cfg = base.clone().with_kernel(kernel);
+        let start = std::time::Instant::now();
+        let result = System::new(cfg).run();
+        (result, start.elapsed().as_secs_f64() * 1e3)
+    };
+    let (dense, wall_dense) = timed(KernelMode::Dense);
+    let (event, wall_event) = timed(KernelMode::Event);
+    assert_eq!(
+        dense, event,
+        "kernel divergence at {}: the next_wake contract is violated somewhere",
+        sc.key
+    );
+    (
+        vec![
+            metric("wall_dense_ms", wall_dense),
+            metric("wall_event_ms", wall_event),
+            metric("speedup", wall_dense / wall_event),
+        ],
+        None,
+    )
+}
+
+/// The `perf_kernel` binary's sweep: every `(policy, mix)` point timed
+/// under both kernels (`perf_kernel_task`), single-threaded so the
+/// wall-clock comparison measures the kernels, not the executor. Through
+/// an active `cache`, previously timed points replay their stored walls
+/// (the kernel-identity assertion ran when they were first computed) and
+/// a fully warm run is byte-reproducible; the returned stats say how many
+/// points actually ran.
+///
+/// # Panics
+///
+/// Panics when `policies` is empty, when the two kernels' results diverge
+/// at any computed point, or when the cache store cannot be opened or
+/// written.
+pub fn run_perf_kernel(
+    policies: &[(String, PolicyHandle)],
+    cap: f64,
+    scale: Scale,
+    cache: &CacheSpec,
+) -> (RunSet, CacheStats) {
+    let mut points = Vec::new();
+    for (name, policy) in policies {
+        for mix_id in 0..scale.mixes {
+            let cfg = SystemConfig::table3(cap, policy.clone())
+                .with_insts(scale.insts, scale.warmup)
+                .with_workload(mix(mix_id));
+            let key = ScenarioKey::root()
+                .with("policy", name)
+                .with("mix", mix_id.to_string());
+            points.push((key, cfg));
+        }
+    }
+    let sweep = Sweep::from_points("perf_kernel", hira_engine::DEFAULT_BASE_SEED, points);
+    assert!(!sweep.is_empty(), "perf_kernel sweep has no points");
+    let ex = Executor::with_threads(1);
+    if let Some(mut store) = cache.open_for(&sweep) {
+        let plan = SweepPlan::compute(&store, &sweep, cache_salt(), |sc| {
+            ws_canonical("perf_kernel", sc.params)
+        });
+        let (run, stats) = ex
+            .run_cached(&mut store, &sweep, &plan, perf_kernel_task, None)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "cache: cannot persist results at {}: {e}",
+                    store.dir().display()
+                )
+            });
+        cache.report(&stats);
+        (run, stats)
+    } else {
+        let (_, run) = ex.run_instrumented(&sweep, |sc| {
+            let (ms, t) = perf_kernel_task(sc);
+            ((), ms, t)
+        });
+        let stats = CacheStats {
+            points: run.records.len() / 3,
+            hits: 0,
+            misses: run.records.len() / 3,
+            appended: 0,
+        };
+        (run, stats)
+    }
+}
+
+/// The canonical configuration string of one weighted-speedup point under
+/// task `tag` — the content the sweep cache keys by, besides the point's
+/// seed and the process's [`cache_salt`]. The tag keeps tasks that measure
+/// different metric sets over identical configurations (`ws`, `ws+stats`,
+/// `perf_kernel`) from colliding in the store.
+pub fn ws_canonical(tag: &str, cfg: &SystemConfig) -> String {
+    format!("task={tag};{}", cfg.cache_descriptor())
+}
+
+/// The process's code-version salt for the sweep cache: the store schema
+/// version plus the fingerprints of every registry a cached result depends
+/// on (policies, workloads, devices, probe forms). Any registry change —
+/// a handle added, removed or renamed — moves the salt and conservatively
+/// invalidates existing stores.
+pub fn cache_salt() -> u64 {
+    let owned = |v: Vec<&str>| v.into_iter().map(str::to_owned).collect::<Vec<_>>();
+    hira_store::code_version_salt([
+        ("policy", owned(PolicyRegistry::standard().names())),
+        ("workload", owned(WorkloadRegistry::standard().names())),
+        ("device", owned(DeviceRegistry::standard().names())),
+        (
+            "probe",
+            ProbeRegistry::standard()
+                .forms()
+                .into_iter()
+                .map(|(form, _)| form.to_owned())
+                .collect(),
+        ),
+    ])
+}
+
+/// The sweep-cache selection of a matrix binary: `--cache=<dir>` enables
+/// the content-addressed result store at `<dir>` (created on first use),
+/// `--no-cache` overrides it off, and `--cache-stats` prints the hit/miss
+/// accounting after each cached sweep.
+///
+/// Probes are the one interaction the cache refuses to shortcut: replaying
+/// a hit would skip the simulation the probe's output files come from, so
+/// a sweep with probes attached runs uncached (with a note on stderr).
+#[derive(Debug, Clone, Default)]
+pub struct CacheSpec {
+    dir: Option<PathBuf>,
+    stats: bool,
+}
+
+impl CacheSpec {
+    /// Parses the cache flags from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--cache=` names an empty path or is passed twice with
+    /// different directories.
+    pub fn from_args() -> Self {
+        let mut dir: Option<PathBuf> = None;
+        let mut no_cache = false;
+        let mut stats = false;
+        for a in std::env::args() {
+            if let Some(d) = a.strip_prefix("--cache=") {
+                assert!(!d.is_empty(), "--cache needs a directory: --cache=<dir>");
+                let d = PathBuf::from(d);
+                if let Some(prev) = &dir {
+                    assert_eq!(prev, &d, "--cache passed twice with different directories");
+                }
+                dir = Some(d);
+            } else if a == "--no-cache" {
+                no_cache = true;
+            } else if a == "--cache-stats" {
+                stats = true;
+            }
+        }
+        if no_cache {
+            dir = None;
+        }
+        CacheSpec { dir, stats }
+    }
+
+    /// The inactive spec: every run simulates (the library default).
+    pub fn disabled() -> Self {
+        CacheSpec::default()
+    }
+
+    /// A spec caching at `dir`, for tests and embedding (`hira serve`).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        CacheSpec {
+            dir: Some(dir.into()),
+            stats: false,
+        }
+    }
+
+    /// True when a cache directory is selected.
+    pub fn is_active(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The selected cache directory, when active.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Opens the store for one sweep — `None` when the spec is inactive or
+    /// the sweep has probes attached (their output files require the
+    /// simulations to actually run; noted on stderr).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store directory cannot be opened or is corrupt
+    /// before its tail — an explicitly requested cache that cannot work is
+    /// an error, not a silent slow path.
+    fn open_for(&self, sweep: &Sweep<SystemConfig>) -> Option<SweepStore> {
+        let dir = self.dir.as_ref()?;
+        if sweep.points().iter().any(|(_, c)| c.probe.is_some()) {
+            eprintln!(
+                "cache: probes attached to sweep `{}`; running uncached so probe \
+                 outputs are written (drop --probe or --cache to silence)",
+                sweep.name()
+            );
+            return None;
+        }
+        Some(
+            SweepStore::open(dir)
+                .unwrap_or_else(|e| panic!("--cache: cannot open store at {}: {e}", dir.display())),
+        )
+    }
+
+    /// Prints one accounting line when `--cache-stats` was passed.
+    pub fn report(&self, stats: &CacheStats) {
+        if self.stats {
+            println!(
+                "cache: {} points, {} hits, {} misses, {} appended ({})",
+                stats.points,
+                stats.hits,
+                stats.misses,
+                stats.appended,
+                self.dir
+                    .as_ref()
+                    .map_or("inactive".to_string(), |d| d.display().to_string()),
+            );
+        }
+    }
 }
 
 /// Mean weighted speedup of a single configuration over the mix suite —
@@ -596,27 +936,10 @@ impl ProbeSpec {
     }
 }
 
-/// A filesystem-safe rendering of a scenario key: `policy=hira4,cap=8`
-/// becomes `policy-hira4_cap-8`; the root key renders empty.
-fn sanitize_key(key: &ScenarioKey) -> String {
-    let mut out = String::new();
-    for (i, (a, v)) in key.axes().enumerate() {
-        if i > 0 {
-            out.push('_');
-        }
-        for c in a.chars().chain(std::iter::once('-')).chain(v.chars()) {
-            out.push(match c {
-                c if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' => c,
-                _ => '-',
-            });
-        }
-    }
-    out
-}
-
-/// Splices `tag` into a probe spec's output path so every sweep point
-/// writes distinct files. Specs without a path component (or an empty
-/// tag) pass through unchanged.
+/// Splices `tag` into a probe spec's output path (via the engine's shared
+/// [`suffix_path`] helper — the same one the sweep store names its shards
+/// with) so every sweep point writes distinct files. Specs without a path
+/// component (or an empty tag) pass through unchanged.
 fn per_point_spec(spec: &str, tag: &str) -> String {
     if tag.is_empty() {
         return spec.to_owned();
@@ -633,17 +956,6 @@ fn per_point_spec(spec: &str, tag: &str) -> String {
             _ => format!("epochs:{rest}:{}", suffix_path("epochs.jsonl", tag)),
         },
         _ => spec.to_owned(),
-    }
-}
-
-/// Inserts `.tag` before the final extension (`out/epochs.jsonl` →
-/// `out/epochs.<tag>.jsonl`), or appends it when the path has none.
-fn suffix_path(path: &str, tag: &str) -> String {
-    match path.rsplit_once('.') {
-        Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => {
-            format!("{stem}.{tag}.{ext}")
-        }
-        _ => format!("{path}.{tag}"),
     }
 }
 
@@ -794,16 +1106,33 @@ pub fn workload_axis_from_args() -> Vec<(String, WorkloadHandle)> {
     workload_axis_from_args_or(&names)
 }
 
+/// Prints the accepted kernel modes (the `--kernel=` values of
+/// [`kernel_from_args`]) — the `--list` output every axis helper offers.
+pub fn print_kernel_list() {
+    println!("simulation kernels (--kernel=<name>):");
+    for (name, what) in [
+        ("event", "event-driven time-skipping kernel (default)"),
+        ("dense", "cycle-by-cycle reference kernel (bit-identical)"),
+    ] {
+        println!("  {name:<12} {what}");
+    }
+}
+
 /// The simulation kernel selected by `--kernel=dense|event` (default:
 /// [`KernelMode::Event`], the fast path). The dense kernel is the
 /// bit-identical legacy reference — `--kernel=dense` is the escape hatch
 /// for A/B-ing a result against it (see the `perf_kernel` binary for the
-/// systematic harness).
+/// systematic harness). With `--list`, prints the accepted modes and exits
+/// — the same contract as every other axis helper.
 ///
 /// # Panics
 ///
 /// Panics when the argument names an unknown kernel mode.
 pub fn kernel_from_args() -> KernelMode {
+    if list_requested() {
+        print_kernel_list();
+        std::process::exit(0);
+    }
     let selected = axis_args("kernel");
     assert!(
         selected.len() <= 1,
@@ -1033,5 +1362,96 @@ mod tests {
         let a = mean_ws(&cfg, scale);
         let b = mean_ws(&cfg, scale);
         assert_eq!(a, b, "mean_ws must be deterministic");
+    }
+
+    #[test]
+    fn ws_canonical_separates_tasks_and_configs() {
+        let a = SystemConfig::table3(8.0, policy::baseline());
+        let b = SystemConfig::table3(64.0, policy::baseline());
+        assert_eq!(ws_canonical("ws", &a), ws_canonical("ws", &a));
+        assert_ne!(
+            ws_canonical("ws", &a),
+            ws_canonical("ws+stats", &a),
+            "tasks measuring different metric sets must not share keys"
+        );
+        assert_ne!(ws_canonical("ws", &a), ws_canonical("ws", &b));
+    }
+
+    #[test]
+    fn cache_salt_is_stable_within_a_process() {
+        assert_eq!(cache_salt(), cache_salt());
+    }
+
+    #[test]
+    fn cache_spec_selection_rules() {
+        assert!(!CacheSpec::disabled().is_active());
+        let spec = CacheSpec::at("/tmp/somewhere");
+        assert!(spec.is_active());
+        assert_eq!(spec.dir().unwrap(), Path::new("/tmp/somewhere"));
+        // Probe-attached sweeps refuse the cache (their output files need
+        // the simulations to actually run).
+        let probed = ProbeSpec {
+            specs: vec!["epochs:5000".into()],
+        }
+        .attach(Sweep::from_points(
+            "probed",
+            0,
+            vec![(
+                ScenarioKey::root(),
+                SystemConfig::table3(8.0, policy::noref()),
+            )],
+        ));
+        assert!(spec.open_for(&probed).is_none());
+    }
+
+    #[test]
+    fn cached_run_ws_replays_bench_json_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("hira-bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scale = tiny_scale();
+        let mk = || {
+            Sweep::new("cache_smoke").axis(
+                "policy",
+                [("noref", policy::noref()), ("baseline", policy::baseline())],
+                |_, p| SystemConfig::table3(8.0, p.clone()),
+            )
+        };
+        let uncached = run_ws(&Executor::with_threads(2), mk(), scale);
+        let spec = CacheSpec::at(&dir);
+        let cold = run_ws_probed_cached(
+            &Executor::with_threads(2),
+            mk(),
+            scale,
+            &ProbeSpec::default(),
+            &spec,
+        );
+        let warm = run_ws_probed_cached(
+            &Executor::with_threads(2),
+            mk(),
+            scale,
+            &ProbeSpec::default(),
+            &spec,
+        );
+        // A different worker count on a warm store must not matter either:
+        // nothing runs, so only the reported thread width can change.
+        let warm_serial = run_ws_probed_cached(
+            &Executor::with_threads(1),
+            mk(),
+            scale,
+            &ProbeSpec::default(),
+            &spec,
+        );
+        assert_eq!(
+            uncached.run.canonical_json(),
+            cold.run.canonical_json(),
+            "caching must not change results"
+        );
+        assert_eq!(
+            cold.run.bench_json(),
+            warm.run.bench_json(),
+            "a warm replay must be byte-identical, wall times included"
+        );
+        assert_eq!(cold.run.canonical_json(), warm_serial.run.canonical_json());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

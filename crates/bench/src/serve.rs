@@ -1,0 +1,659 @@
+//! The `hira serve` engine: a long-running sweep service over line-delimited
+//! JSON, backed by the content-addressed sweep cache.
+//!
+//! The `serve` binary is a thin I/O wrapper (stdin/stdout or a Unix
+//! socket) around [`Server`], which this module keeps transport-free so
+//! the whole protocol is unit-testable: one request line in, a stream of
+//! event lines out through an `emit` callback.
+//!
+//! ## Wire protocol
+//!
+//! Requests (client → server), one JSON object per line:
+//!
+//! * `{"op":"sweep","id":"a","task":"ws","policies":["baseline","hira4"],
+//!   "workloads":["mix0"],"devices":["ddr4-2400"],"caps":[8],"insts":2000}`
+//!   — run a grid sweep. `id` is the client's correlation token (echoed on
+//!   every event). `task` is `"ws"` (weighted speedup, default) or
+//!   `"ws+stats"` (plus the channel metrics). `policies` / `workloads`
+//!   default to `["baseline"]` / `["mix0"]`; `devices` and `caps` are
+//!   optional axes (absent → the builder's default part at the Table 3
+//!   capacity). `insts` overrides `HIRA_INSTS` for this sweep. `name`
+//!   selects the sweep/shard name (default `"serve"`).
+//! * `{"op":"stats"}` — report the session's accumulated totals.
+//! * `{"op":"shutdown"}` — say goodbye and stop.
+//!
+//! Events (server → client), one JSON object per line:
+//!
+//! * `{"event":"accepted","id":"a","sweep":"serve","points":4,"hits":2,
+//!   "misses":2,"skipped":0}` — the sweep was planned against the store
+//!   (before anything runs); `skipped` counts grid combos the builder
+//!   rejects (e.g. a HiRA policy on a HiRA-inert device).
+//! * `{"event":"record","id":"a","cached":true,"key":{...},"metric":"ws",
+//!   "value":6.25,"wall_ms":12.5}` — one metric of one finished point.
+//!   Cache hits stream first (in point order, milliseconds after
+//!   `accepted`); computed points follow in completion order.
+//! * `{"event":"done","id":"a","points":4,"hits":2,"misses":2,
+//!   "appended":2,"wall_ms":25.0}` — the sweep finished; `wall_ms` is the
+//!   sum of per-point simulation walls (replayed verbatim for hits).
+//! * `{"event":"error","id":"a","message":"..."}` — the request was
+//!   rejected (unparsable line, unknown name, empty grid); the server
+//!   keeps serving.
+//! * `{"event":"stats","sweeps":2,"points":8,"hits":6,"misses":2,
+//!   "appended":2}` — answer to `{"op":"stats"}`.
+//! * `{"event":"bye"}` — shutdown (op or end of input).
+
+use crate::{cache_salt, ws_canonical, ws_point_task, CacheSpec, Scale};
+use hira_engine::json::{self, Value};
+use hira_engine::{flabel, Executor, ScenarioKey, Sweep};
+use hira_sim::builder::{BuildError, SystemBuilder};
+use hira_sim::config::SystemConfig;
+use hira_store::{CacheExecutorExt, CacheStats, SweepPlan, SweepStore};
+use std::path::PathBuf;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Run a grid sweep.
+    Sweep(SweepSpec),
+    /// Report session totals.
+    Stats,
+    /// Stop serving.
+    Shutdown,
+}
+
+/// A grid-sweep request: policy × workload (× device × capacity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Client correlation token, echoed on every event of this sweep.
+    pub id: String,
+    /// Sweep (and store shard) name.
+    pub name: String,
+    /// `true` → the `ws+stats` task (channel metrics besides `ws`).
+    pub channel_stats: bool,
+    /// Policy axis (registry names; default `["baseline"]`).
+    pub policies: Vec<String>,
+    /// Workload axis (registry names; default `["mix0"]`).
+    pub workloads: Vec<String>,
+    /// Optional device axis (absent → builder default, no `dev` axis).
+    pub devices: Vec<String>,
+    /// Optional capacity axis in Gb (absent → Table 3 capacity, no `cap`
+    /// axis).
+    pub caps: Vec<f64>,
+    /// Measured instructions per core (absent → the session [`Scale`]).
+    pub insts: Option<u64>,
+}
+
+fn str_list(v: &Value, field: &str) -> Result<Vec<String>, String> {
+    match v.get(field) {
+        None => Ok(Vec::new()),
+        Some(list) => list
+            .as_arr()
+            .ok_or_else(|| format!("`{field}` must be an array of strings"))?
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("`{field}` must be an array of strings"))
+            })
+            .collect(),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a protocol-level message (for an `error` event) when the line
+/// is not valid JSON, has no known `op`, or has malformed fields.
+pub fn parse_op(line: &str) -> Result<Op, String> {
+    let v = json::parse(line).map_err(|e| format!("bad request line: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string `op` field")?;
+    match op {
+        "stats" => Ok(Op::Stats),
+        "shutdown" => Ok(Op::Shutdown),
+        "sweep" => {
+            let id = v
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or("sweep needs a string `id` field")?
+                .to_owned();
+            let name = v
+                .get("name")
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_owned)
+                        .ok_or("`name` must be a string")
+                })
+                .transpose()?
+                .unwrap_or_else(|| "serve".to_owned());
+            let channel_stats = match v.get("task").map(|t| t.as_str()) {
+                None => false,
+                Some(Some("ws")) => false,
+                Some(Some("ws+stats")) => true,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown task {other:?}: expected \"ws\" or \"ws+stats\""
+                    ))
+                }
+            };
+            let mut policies = str_list(&v, "policies")?;
+            if policies.is_empty() {
+                policies.push("baseline".to_owned());
+            }
+            let mut workloads = str_list(&v, "workloads")?;
+            if workloads.is_empty() {
+                workloads.push("mix0".to_owned());
+            }
+            let devices = str_list(&v, "devices")?;
+            let caps = match v.get("caps") {
+                None => Vec::new(),
+                Some(list) => list
+                    .as_arr()
+                    .ok_or("`caps` must be an array of numbers")?
+                    .iter()
+                    .map(|e| e.as_f64().ok_or("`caps` must be an array of numbers"))
+                    .collect::<Result<Vec<f64>, _>>()?,
+            };
+            let insts = match v.get("insts") {
+                None => None,
+                Some(n) => Some(n.as_u64().ok_or("`insts` must be a positive integer")?),
+            };
+            Ok(Op::Sweep(SweepSpec {
+                id,
+                name,
+                channel_stats,
+                policies,
+                workloads,
+                devices,
+                caps,
+                insts,
+            }))
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+impl SweepSpec {
+    /// Builds the grid: policy × workload (× device × cap), resolving
+    /// every name against the standard registries. Combos the builder
+    /// rejects as HiRA-incompatible are skipped (second return); any other
+    /// build failure or unknown name rejects the whole spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message (for an `error` event) on unknown registry names,
+    /// non-geometry build errors, or an empty grid.
+    pub fn build(&self, scale: Scale) -> Result<(Sweep<SystemConfig>, usize), String> {
+        let policy_reg = hira_sim::policy::PolicyRegistry::standard();
+        let device_reg = hira_sim::device::DeviceRegistry::standard();
+        let workload_reg = hira_workload::WorkloadRegistry::standard();
+        let insts = self.insts.unwrap_or(scale.insts);
+        let warmup = insts / 5;
+
+        let mut points = Vec::new();
+        let mut skipped = 0usize;
+        for pn in &self.policies {
+            let p = policy_reg
+                .lookup(pn)
+                .ok_or_else(|| format!("unknown policy `{pn}`"))?;
+            for wn in &self.workloads {
+                let w = workload_reg
+                    .lookup(wn)
+                    .ok_or_else(|| format!("unknown workload `{wn}`"))?;
+                // Optional axes expand to a single no-axis pseudo-value.
+                let devs: Vec<Option<&str>> = if self.devices.is_empty() {
+                    vec![None]
+                } else {
+                    self.devices.iter().map(|d| Some(d.as_str())).collect()
+                };
+                for dn in devs {
+                    let caps: Vec<Option<f64>> = if self.caps.is_empty() {
+                        vec![None]
+                    } else {
+                        self.caps.iter().map(|&c| Some(c)).collect()
+                    };
+                    for cap in caps {
+                        let mut b = SystemBuilder::new()
+                            .policy(p.clone())
+                            .workload(w.clone())
+                            .insts(insts, warmup);
+                        if let Some(dn) = dn {
+                            let d = device_reg
+                                .lookup(dn)
+                                .ok_or_else(|| format!("unknown device `{dn}`"))?;
+                            b = b.device(d);
+                        }
+                        if let Some(c) = cap {
+                            b = b.chip_gbit(c);
+                        }
+                        let mut key = ScenarioKey::root().with("policy", pn).with("wl", wn);
+                        if let Some(dn) = dn {
+                            key = key.with("dev", dn);
+                        }
+                        if let Some(c) = cap {
+                            key = key.with("cap", flabel(c));
+                        }
+                        match b.build() {
+                            Ok(cfg) => points.push((key, cfg)),
+                            Err(BuildError::DeviceLacksHira { .. }) => skipped += 1,
+                            Err(e) => return Err(format!("cannot build {key}: {e}")),
+                        }
+                    }
+                }
+            }
+        }
+        if points.is_empty() {
+            return Err("sweep grid is empty (every combo skipped or no axes)".to_owned());
+        }
+        Ok((
+            Sweep::from_points(&self.name, hira_engine::DEFAULT_BASE_SEED, points),
+            skipped,
+        ))
+    }
+}
+
+fn obj(entries: Vec<(&str, String)>) -> String {
+    let mut out = String::new();
+    json::write_object(&mut out, entries);
+    out
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::new();
+    json::write_str(&mut out, s);
+    out
+}
+
+fn jf64(v: f64) -> String {
+    let mut out = String::new();
+    json::write_f64(&mut out, v);
+    out
+}
+
+fn key_json(key: &ScenarioKey) -> String {
+    let mut out = String::new();
+    json::write_object(&mut out, key.axes().map(|(a, v)| (a, jstr(v))));
+    out
+}
+
+/// The transport-free sweep service: feed request lines to
+/// [`Server::handle`], receive event lines through its `emit` callback.
+pub struct Server {
+    ex: Executor,
+    scale: Scale,
+    store: SweepStore,
+    /// Present when the store lives in a scratch directory this server
+    /// created (no `--cache=`): removed again on drop.
+    scratch: Option<PathBuf>,
+    sweeps: usize,
+    totals: CacheStats,
+}
+
+impl Server {
+    /// A server executing on `ex` at `scale`, caching in `cache`'s
+    /// directory — or, when the spec is inactive, in a scratch store under
+    /// the temp directory (hits then only span this session's lifetime).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store cannot be opened (an explicitly requested
+    /// cache that cannot work is an error, not a silent slow path).
+    pub fn new(ex: Executor, scale: Scale, cache: &CacheSpec) -> Self {
+        let (dir, scratch) = match cache.dir() {
+            Some(dir) => (dir.to_path_buf(), None),
+            None => {
+                let dir = std::env::temp_dir().join(format!("hira-serve-{}", std::process::id()));
+                (dir.clone(), Some(dir))
+            }
+        };
+        let store = SweepStore::open(&dir)
+            .unwrap_or_else(|e| panic!("serve: cannot open store at {}: {e}", dir.display()));
+        Server {
+            ex,
+            scale,
+            store,
+            scratch,
+            sweeps: 0,
+            totals: CacheStats::default(),
+        }
+    }
+
+    /// Session totals across all sweeps handled so far.
+    pub fn totals(&self) -> CacheStats {
+        self.totals
+    }
+
+    /// Handles one request line, emitting every resulting event line
+    /// through `emit`. Returns `false` when the server should stop
+    /// (shutdown op); protocol errors emit an `error` event and return
+    /// `true` — a long-running service survives bad requests.
+    pub fn handle(&mut self, line: &str, emit: &(dyn Fn(&str) + Sync)) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        match parse_op(line) {
+            Err(msg) => {
+                emit(&obj(vec![
+                    ("event", jstr("error")),
+                    ("id", jstr("")),
+                    ("message", jstr(&msg)),
+                ]));
+                true
+            }
+            Ok(Op::Shutdown) => {
+                emit(&obj(vec![("event", jstr("bye"))]));
+                false
+            }
+            Ok(Op::Stats) => {
+                emit(&obj(vec![
+                    ("event", jstr("stats")),
+                    ("sweeps", self.sweeps.to_string()),
+                    ("points", self.totals.points.to_string()),
+                    ("hits", self.totals.hits.to_string()),
+                    ("misses", self.totals.misses.to_string()),
+                    ("appended", self.totals.appended.to_string()),
+                ]));
+                true
+            }
+            Ok(Op::Sweep(spec)) => {
+                if let Err(msg) = self.run_sweep(&spec, emit) {
+                    emit(&obj(vec![
+                        ("event", jstr("error")),
+                        ("id", jstr(&spec.id)),
+                        ("message", jstr(&msg)),
+                    ]));
+                }
+                true
+            }
+        }
+    }
+
+    fn run_sweep(&mut self, spec: &SweepSpec, emit: &(dyn Fn(&str) + Sync)) -> Result<(), String> {
+        let (sweep, skipped) = spec.build(self.scale)?;
+        let tag = if spec.channel_stats { "ws+stats" } else { "ws" };
+        let plan = SweepPlan::compute(&self.store, &sweep, cache_salt(), |sc| {
+            ws_canonical(tag, sc.params)
+        });
+        emit(&obj(vec![
+            ("event", jstr("accepted")),
+            ("id", jstr(&spec.id)),
+            ("sweep", jstr(sweep.name())),
+            ("points", plan.len().to_string()),
+            ("hits", plan.hits().to_string()),
+            ("misses", plan.misses().to_string()),
+            ("skipped", skipped.to_string()),
+        ]));
+
+        // Alone-IPC denominators only for the points that actually run.
+        let scale = self.scale_for(spec);
+        crate::warm_alone_cache(
+            &self.ex,
+            plan.miss_indices().map(|i| &sweep.points()[i].1),
+            sweep.base_seed(),
+            scale,
+        );
+
+        let channel_stats = spec.channel_stats;
+        let on_point = |o: hira_store::PointOutcome<'_>| {
+            let key = &sweep.points()[o.index].0;
+            for m in &o.point.metrics {
+                emit(&obj(vec![
+                    ("event", jstr("record")),
+                    ("id", jstr(&spec.id)),
+                    ("cached", o.cached.to_string()),
+                    ("key", key_json(key)),
+                    ("metric", jstr(&m.name)),
+                    ("value", jf64(m.value)),
+                    ("wall_ms", jf64(o.point.wall_ms)),
+                ]));
+            }
+        };
+        let (run, stats) = self
+            .ex
+            .run_cached(
+                &mut self.store,
+                &sweep,
+                &plan,
+                |sc| ws_point_task(sc, scale, channel_stats),
+                Some(&on_point),
+            )
+            .map_err(|e| format!("cannot persist results: {e}"))?;
+
+        self.sweeps += 1;
+        self.totals.points += stats.points;
+        self.totals.hits += stats.hits;
+        self.totals.misses += stats.misses;
+        self.totals.appended += stats.appended;
+        emit(&obj(vec![
+            ("event", jstr("done")),
+            ("id", jstr(&spec.id)),
+            ("points", stats.points.to_string()),
+            ("hits", stats.hits.to_string()),
+            ("misses", stats.misses.to_string()),
+            ("appended", stats.appended.to_string()),
+            ("wall_ms", jf64(run.wall_ms)),
+        ]));
+        Ok(())
+    }
+
+    /// The session scale with the spec's overrides applied — alone-IPC
+    /// keys include the instruction counts, so the override must reach
+    /// them too.
+    fn scale_for(&self, spec: &SweepSpec) -> Scale {
+        let mut scale = self.scale;
+        if let Some(insts) = spec.insts {
+            scale.insts = insts;
+            scale.warmup = insts / 5;
+        }
+        scale
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.scratch {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            mixes: 2,
+            insts: 2_000,
+            warmup: 400,
+            rows: 16,
+        }
+    }
+
+    fn collect(server: &mut Server, line: &str) -> (bool, Vec<String>) {
+        let events: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let emit = |l: &str| events.lock().unwrap().push(l.to_owned());
+        let alive = server.handle(line, &emit);
+        (alive, events.into_inner().unwrap())
+    }
+
+    fn field<'a>(event: &'a str, key: &str) -> &'a str {
+        let needle = format!("\"{key}\":");
+        let at = event.find(&needle).unwrap_or_else(|| {
+            panic!("event {event} has no `{key}` field");
+        }) + needle.len();
+        let rest = &event[at..];
+        let end = rest
+            .char_indices()
+            .scan(0i32, |depth, (i, c)| match c {
+                '{' | '[' => {
+                    *depth += 1;
+                    Some(i)
+                }
+                '}' | ']' if *depth > 0 => {
+                    *depth -= 1;
+                    Some(i)
+                }
+                ',' | '}' if *depth == 0 => None,
+                _ => Some(i),
+            })
+            .last()
+            .map_or(0, |i| i + 1);
+        &rest[..end]
+    }
+
+    #[test]
+    fn request_lines_parse_into_ops() {
+        assert_eq!(parse_op("{\"op\":\"stats\"}"), Ok(Op::Stats));
+        assert_eq!(parse_op("{\"op\":\"shutdown\"}"), Ok(Op::Shutdown));
+        let spec = match parse_op(
+            "{\"op\":\"sweep\",\"id\":\"a\",\"task\":\"ws+stats\",\
+             \"policies\":[\"noref\",\"baseline\"],\"caps\":[8,64],\"insts\":2000}",
+        ) {
+            Ok(Op::Sweep(s)) => s,
+            other => panic!("expected sweep, got {other:?}"),
+        };
+        assert_eq!(spec.id, "a");
+        assert_eq!(spec.name, "serve");
+        assert!(spec.channel_stats);
+        assert_eq!(spec.policies, vec!["noref", "baseline"]);
+        assert_eq!(spec.workloads, vec!["mix0"], "defaulted");
+        assert!(spec.devices.is_empty());
+        assert_eq!(spec.caps, vec![8.0, 64.0]);
+        assert_eq!(spec.insts, Some(2000));
+        // Malformed requests carry their reason.
+        assert!(parse_op("not json").is_err());
+        assert!(parse_op("{\"no\":\"op\"}").is_err());
+        assert!(parse_op("{\"op\":\"dance\"}").is_err());
+        assert!(parse_op("{\"op\":\"sweep\"}").is_err(), "id is required");
+        assert!(parse_op("{\"op\":\"sweep\",\"id\":\"a\",\"task\":\"nope\"}").is_err());
+        assert!(
+            parse_op("{\"op\":\"sweep\",\"id\":\"a\",\"policies\":[1]}").is_err(),
+            "axis lists must hold strings"
+        );
+    }
+
+    #[test]
+    fn specs_build_registry_resolved_grids() {
+        let spec = SweepSpec {
+            id: "t".into(),
+            name: "serve_test".into(),
+            channel_stats: false,
+            policies: vec!["noref".into(), "baseline".into()],
+            workloads: vec!["stream".into()],
+            devices: Vec::new(),
+            caps: vec![8.0],
+            insts: None,
+        };
+        let (sweep, skipped) = spec.build(tiny_scale()).unwrap();
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(skipped, 0);
+        assert_eq!(
+            sweep.points()[0].0.to_string(),
+            "policy=noref wl=stream cap=8"
+        );
+        // Unknown names reject the whole spec with a message.
+        let mut bad = spec.clone();
+        bad.policies = vec!["nope".into()];
+        assert!(bad.build(tiny_scale()).unwrap_err().contains("nope"));
+        // HiRA-on-inert-device combos are skipped, not fatal.
+        let hira_on_inert = SweepSpec {
+            policies: vec!["hira4".into(), "baseline".into()],
+            devices: vec!["ddr4-2133".into()],
+            ..spec.clone()
+        };
+        match hira_on_inert.build(tiny_scale()) {
+            Ok((sweep, skipped)) => {
+                assert_eq!(skipped, 1);
+                assert_eq!(sweep.len(), 1);
+            }
+            // If the registry has no HiRA-inert part, the lookup fails
+            // loudly instead — either way nothing is silently dropped.
+            Err(msg) => assert!(msg.contains("ddr4-2133")),
+        }
+    }
+
+    #[test]
+    fn sweeps_stream_accepted_records_done_and_hit_on_replay() {
+        let mut server = Server::new(
+            Executor::with_threads(2),
+            tiny_scale(),
+            &CacheSpec::disabled(),
+        );
+        let req = "{\"op\":\"sweep\",\"id\":\"s1\",\"name\":\"serve_smoke\",\
+                   \"policies\":[\"noref\",\"baseline\"],\"workloads\":[\"stream\"]}";
+        let (alive, events) = collect(&mut server, req);
+        assert!(alive);
+        assert_eq!(field(&events[0], "event"), "\"accepted\"");
+        assert_eq!(field(&events[0], "misses"), "2");
+        let records: Vec<&String> = events
+            .iter()
+            .filter(|e| e.contains("\"event\":\"record\""))
+            .collect();
+        assert_eq!(records.len(), 2, "one ws record per point");
+        assert!(records.iter().all(|r| field(r, "cached") == "false"));
+        let done = events.last().unwrap();
+        assert_eq!(field(done, "event"), "\"done\"");
+        assert_eq!(field(done, "hits"), "0");
+        assert_eq!(field(done, "appended"), "2");
+
+        // The same sweep again: all hits, replayed in point order, and the
+        // record payloads are byte-identical to the cold pass.
+        let (_, replay) = collect(&mut server, req);
+        assert_eq!(field(&replay[0], "hits"), "2");
+        let replay_records: Vec<&String> = replay
+            .iter()
+            .filter(|e| e.contains("\"event\":\"record\""))
+            .collect();
+        assert!(replay_records.iter().all(|r| field(r, "cached") == "true"));
+        let strip = |rs: &[&String]| -> Vec<String> {
+            let mut v: Vec<String> = rs
+                .iter()
+                .map(|r| {
+                    r.replace("\"cached\":true,", "")
+                        .replace("\"cached\":false,", "")
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(strip(&records), strip(&replay_records));
+
+        // Session totals accumulate across both sweeps.
+        let (_, stats) = collect(&mut server, "{\"op\":\"stats\"}");
+        assert_eq!(field(&stats[0], "sweeps"), "2");
+        assert_eq!(field(&stats[0], "points"), "4");
+        assert_eq!(field(&stats[0], "hits"), "2");
+        assert_eq!(field(&stats[0], "misses"), "2");
+
+        // Bad requests emit an error event and keep the server alive.
+        let (alive, err) = collect(
+            &mut server,
+            "{\"op\":\"sweep\",\"id\":\"x\",\"policies\":[\"nope\"]}",
+        );
+        assert!(alive);
+        assert_eq!(field(&err[0], "event"), "\"error\"");
+
+        // Shutdown says goodbye and stops.
+        let (alive, bye) = collect(&mut server, "{\"op\":\"shutdown\"}");
+        assert!(!alive);
+        assert_eq!(field(&bye[0], "event"), "\"bye\"");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let mut server = Server::new(
+            Executor::with_threads(1),
+            tiny_scale(),
+            &CacheSpec::disabled(),
+        );
+        let (alive, events) = collect(&mut server, "   ");
+        assert!(alive);
+        assert!(events.is_empty());
+    }
+}

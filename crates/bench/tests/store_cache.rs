@@ -1,0 +1,133 @@
+//! End-to-end contract of the sweep cache at the bench API surface, with
+//! real system configurations: caching changes nothing, warm stores run
+//! nothing, and tasks measuring different metric sets never share keys.
+
+use hira_bench::{
+    run_ws_as_configured_cached, run_ws_with_stats_cached, CacheSpec, ProbeSpec, Scale,
+};
+use hira_engine::{Executor, Sweep};
+use hira_sim::config::SystemConfig;
+use hira_sim::policy;
+
+fn tiny_scale() -> Scale {
+    Scale {
+        mixes: 1,
+        insts: 2_000,
+        warmup: 400,
+        rows: 16,
+    }
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hira-store-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn mk_sweep(name: &str) -> Sweep<SystemConfig> {
+    Sweep::new(name).axis(
+        "policy",
+        [
+            ("noref", policy::noref()),
+            ("baseline", policy::baseline()),
+            ("hira4", policy::hira(4)),
+        ],
+        |_, p| SystemConfig::table3(8.0, p.clone()),
+    )
+}
+
+fn shard_lines(dir: &std::path::Path, sweep: &str) -> usize {
+    let body = std::fs::read_to_string(dir.join(format!("{sweep}.jsonl")))
+        .unwrap_or_else(|e| panic!("shard for `{sweep}` missing: {e}"));
+    body.lines().count()
+}
+
+/// Cached and uncached runs agree bit-for-bit, whatever the executor width
+/// and however hits and misses interleave across passes.
+#[test]
+fn cached_runs_are_bit_identical_across_thread_counts() {
+    let dir = scratch("threads");
+    let scale = tiny_scale();
+    let probes = ProbeSpec::default();
+    let reference = run_ws_as_configured_cached(
+        &Executor::with_threads(1),
+        mk_sweep("it_threads"),
+        scale,
+        &probes,
+        &CacheSpec::disabled(),
+    );
+    // Cold pass at 8 threads populates the store.
+    let spec = CacheSpec::at(&dir);
+    let cold = run_ws_as_configured_cached(
+        &Executor::with_threads(8),
+        mk_sweep("it_threads"),
+        scale,
+        &probes,
+        &spec,
+    );
+    assert_eq!(reference.run.canonical_json(), cold.run.canonical_json());
+    // Warm pass at 8 threads replays everything, wall times included.
+    let warm = run_ws_as_configured_cached(
+        &Executor::with_threads(8),
+        mk_sweep("it_threads"),
+        scale,
+        &probes,
+        &spec,
+    );
+    assert_eq!(cold.run.bench_json(), warm.run.bench_json());
+    assert_eq!(
+        shard_lines(&dir, "it_threads"),
+        3,
+        "the warm pass must not have appended anything"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `ws` and `ws+stats` tasks measure different metric sets over the
+/// same configurations; the task tag in the canonical string keeps them
+/// from replaying each other's records.
+#[test]
+fn ws_and_ws_with_stats_never_share_cache_keys() {
+    let dir = scratch("tasks");
+    let scale = tiny_scale();
+    let probes = ProbeSpec::default();
+    let spec = CacheSpec::at(&dir);
+    let plain = run_ws_as_configured_cached(
+        &Executor::with_threads(2),
+        mk_sweep("it_tasks"),
+        scale,
+        &probes,
+        &spec,
+    );
+    assert_eq!(shard_lines(&dir, "it_tasks"), 3);
+    // Identical configurations, richer task: every point must MISS — a hit
+    // would replay a record set without the channel metrics.
+    let stats = run_ws_with_stats_cached(
+        &Executor::with_threads(2),
+        mk_sweep("it_tasks"),
+        scale,
+        &probes,
+        &spec,
+    );
+    assert_eq!(
+        shard_lines(&dir, "it_tasks"),
+        6,
+        "the ws+stats pass must have appended its own three points"
+    );
+    assert!(stats.run.records.iter().any(|r| r.metric == "read_lat"));
+    assert!(
+        plain.run.records.iter().all(|r| r.metric == "ws"),
+        "the plain task stays plain"
+    );
+    // And the richer records really were cached under their own keys.
+    let warm = run_ws_with_stats_cached(
+        &Executor::with_threads(2),
+        mk_sweep("it_tasks"),
+        scale,
+        &probes,
+        &spec,
+    );
+    assert_eq!(stats.run.bench_json(), warm.run.bench_json());
+    assert_eq!(shard_lines(&dir, "it_tasks"), 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -53,6 +53,41 @@ pub struct TimingParams {
 }
 
 impl TimingParams {
+    /// A canonical, exhaustive rendering of every timing field (shortest
+    /// round-trip `f64` formatting) — the timing portion of a simulation's
+    /// cache identity. Lives next to the struct so a new field cannot be
+    /// forgotten here silently: the exhaustive destructuring below stops
+    /// compiling when the struct grows.
+    pub fn cache_descriptor(&self) -> String {
+        let TimingParams {
+            t_ck,
+            t_rcd,
+            t_ras,
+            t_rp,
+            t_rc,
+            t_rrd_l,
+            t_rrd_s,
+            t_faw,
+            t_ccd_l,
+            t_ccd_s,
+            t_cl,
+            t_cwl,
+            t_bl,
+            t_wr,
+            t_wtr,
+            t_rtp,
+            t_rfc,
+            t_refi,
+            t_refw,
+        } = self;
+        format!(
+            "tCK={t_ck};tRCD={t_rcd};tRAS={t_ras};tRP={t_rp};tRC={t_rc};\
+             tRRDL={t_rrd_l};tRRDS={t_rrd_s};tFAW={t_faw};tCCDL={t_ccd_l};\
+             tCCDS={t_ccd_s};tCL={t_cl};tCWL={t_cwl};tBL={t_bl};tWR={t_wr};\
+             tWTR={t_wtr};tRTP={t_rtp};tRFC={t_rfc};tREFI={t_refi};tREFW={t_refw}"
+        )
+    }
+
     /// DDR4-2400 parameters for a 4 Gb chip (the characterization default),
     /// matching the paper's Table 3 and JESD79-4 values.
     pub fn ddr4_2400() -> Self {

@@ -1,0 +1,90 @@
+//! Filesystem-safe renderings of sweep coordinates.
+//!
+//! Sweep points fan out into per-point artifacts — probe output files, the
+//! sweep store's JSONL shards — and both need the same guarantee: a string
+//! derived from a [`ScenarioKey`] (or a sweep name) that is safe as a path
+//! component and distinct for distinct keys in practice. This module is the
+//! single implementation both consumers share; `hira-bench` splices
+//! [`sanitize_key`] tags into probe output paths ([`suffix_path`]) and
+//! `hira-store` names its shards with [`sanitize_component`].
+
+use crate::scenario::ScenarioKey;
+
+/// Maps one free-form string onto a filesystem-safe path component:
+/// ASCII alphanumerics, `-`, `_` and `.` pass through, everything else
+/// becomes `-`. The empty string stays empty (callers treat that as "no
+/// tag").
+pub fn sanitize_component(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            c if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' => c,
+            _ => '-',
+        })
+        .collect()
+}
+
+/// A filesystem-safe rendering of a scenario key: `policy=hira4 cap=8`
+/// becomes `policy-hira4_cap-8`; the root key renders empty.
+pub fn sanitize_key(key: &ScenarioKey) -> String {
+    let mut out = String::new();
+    for (i, (a, v)) in key.axes().enumerate() {
+        if i > 0 {
+            out.push('_');
+        }
+        out.push_str(&sanitize_component(a));
+        out.push('-');
+        out.push_str(&sanitize_component(v));
+    }
+    out
+}
+
+/// Inserts `.tag` before the final extension (`out/epochs.jsonl` →
+/// `out/epochs.<tag>.jsonl`), or appends it when the path has none. An
+/// empty tag returns the path unchanged.
+pub fn suffix_path(path: &str, tag: &str) -> String {
+    if tag.is_empty() {
+        return path.to_owned();
+    }
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => {
+            format!("{stem}.{tag}.{ext}")
+        }
+        _ => format!("{path}.{tag}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_map_unsafe_characters_to_dashes() {
+        assert_eq!(sanitize_component("policy_matrix"), "policy_matrix");
+        assert_eq!(
+            sanitize_component("trace:/tmp/a.trace"),
+            "trace--tmp-a.trace"
+        );
+        assert_eq!(sanitize_component("µ ops"), "--ops");
+        assert_eq!(sanitize_component(""), "");
+    }
+
+    #[test]
+    fn keys_render_axis_dash_value_joined_by_underscores() {
+        let key = ScenarioKey::root().with("policy", "hira4").with("cap", "8");
+        assert_eq!(sanitize_key(&key), "policy-hira4_cap-8");
+        assert_eq!(sanitize_key(&ScenarioKey::root()), "");
+        let odd = ScenarioKey::root().with("wl", "trace:/tmp/a.trace");
+        assert_eq!(sanitize_key(&odd), "wl-trace--tmp-a.trace");
+    }
+
+    #[test]
+    fn suffixing_splices_before_the_extension() {
+        assert_eq!(
+            suffix_path("out/epochs.jsonl", "mix-0"),
+            "out/epochs.mix-0.jsonl"
+        );
+        assert_eq!(suffix_path("trace", "mix-0"), "trace.mix-0");
+        assert_eq!(suffix_path("dir.d/file", "t"), "dir.d/file.t");
+        assert_eq!(suffix_path("a.jsonl", ""), "a.jsonl");
+    }
+}

@@ -208,6 +208,55 @@ impl SystemConfig {
         self.probe = Some(probe);
         self
     }
+
+    /// A canonical rendering of every **result-affecting** field — the
+    /// configuration portion of a simulation's content-addressed cache
+    /// identity (see `hira-store`). Two configs with equal descriptors
+    /// produce bit-identical [`crate::metrics::SimResult`]s; two configs
+    /// differing in any simulated parameter render differently.
+    ///
+    /// Deliberately excluded, because both are documented result-neutral:
+    ///
+    /// * `kernel` — dense and event kernels are bit-identical by contract
+    ///   (enforced by `tests/kernel_equivalence.rs`), so a cached event
+    ///   result legitimately answers a dense query and vice versa,
+    /// * `probe` — probes are read-only observers.
+    ///
+    /// Policy / workload / device handles contribute their registry
+    /// **names**, which is exactly the identity the rest of the system
+    /// uses (`PolicyHandle` equality is name equality; parametric handles
+    /// like `hira4`, `baseline+para(p=…)` or `ddr4-2400@32` encode their
+    /// parameters in the name). If that naming contract ever weakens,
+    /// bump `hira_store::CACHE_SCHEMA_VERSION`.
+    pub fn cache_descriptor(&self) -> String {
+        let cap = match self.cycle_cap {
+            Some(c) => c.to_string(),
+            None => "default".to_string(),
+        };
+        format!(
+            "cores={};channels={};ranks={};banks={};bank_groups={};chip_gbit={};\
+             device={};timing={};policy={};workload={};llc_bytes={};llc_ways={};\
+             queue_depth={};insts={};warmup={};spt={};seed={};cycle_cap={}",
+            self.cores,
+            self.channels,
+            self.ranks,
+            self.banks,
+            self.bank_groups,
+            self.chip_gbit,
+            self.device.name(),
+            self.timing.cache_descriptor(),
+            self.refresh.name(),
+            self.workload.name(),
+            self.llc_bytes,
+            self.llc_ways,
+            self.queue_depth,
+            self.insts_per_core,
+            self.warmup_insts,
+            self.spt_fraction,
+            self.seed,
+            cap,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +308,51 @@ mod tests {
         let mut b = a.clone();
         b.device = crate::device::ddr4_3200();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cache_descriptor_tracks_results_not_observers() {
+        let a = SystemConfig::table3(8.0, baseline());
+        assert_eq!(a.cache_descriptor(), a.clone().cache_descriptor());
+        // Every simulated axis moves the descriptor…
+        assert_ne!(
+            a.cache_descriptor(),
+            SystemConfig::table3(64.0, baseline()).cache_descriptor()
+        );
+        assert_ne!(
+            a.cache_descriptor(),
+            SystemConfig::table3(8.0, noref()).cache_descriptor()
+        );
+        assert_ne!(
+            a.cache_descriptor(),
+            a.clone().with_geometry(2, 1).cache_descriptor()
+        );
+        assert_ne!(
+            a.cache_descriptor(),
+            a.clone().with_insts(999, 99).cache_descriptor()
+        );
+        assert_ne!(
+            a.cache_descriptor(),
+            a.clone()
+                .with_workload(hira_workload::stream())
+                .cache_descriptor()
+        );
+        assert_ne!(
+            a.cache_descriptor(),
+            a.clone().with_cycle_cap(1_000_000).cache_descriptor()
+        );
+        let mut dev = a.clone();
+        dev.device = crate::device::ddr4_3200();
+        assert_ne!(a.cache_descriptor(), dev.cache_descriptor());
+        let mut timing = a.clone();
+        timing.timing.t_rfc += 1.0;
+        assert_ne!(a.cache_descriptor(), timing.cache_descriptor());
+        // …while the documented result-neutral fields do not.
+        let event = a.clone().with_kernel(KernelMode::Event);
+        let dense = a.clone().with_kernel(KernelMode::Dense);
+        assert_eq!(event.cache_descriptor(), dense.cache_descriptor());
+        let probed = a.clone().with_probe(crate::probe::probe("epochs:50000"));
+        assert_eq!(a.cache_descriptor(), probed.cache_descriptor());
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Content addressing: SHA-256, point keys, and the code-version salt.
+//!
+//! A cached result is only reusable while the *code* that produced it is
+//! equivalent, so every point key folds in a salt derived from
+//! [`crate::CACHE_SCHEMA_VERSION`] and the registry fingerprints of the
+//! process (which policies/workloads/devices/probes exist, under which
+//! names). Renaming or adding a registered handle changes the salt and
+//! thereby invalidates the whole store — conservative on purpose: names
+//! are the identity the cache keys configurations by, so a registry
+//! change is a semantics change until proven otherwise.
+
+use std::fmt::Write as _;
+
+/// SHA-256 round constants (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 (FIPS 180-4). Hand-rolled because the workspace
+/// builds offline with the standard library only; validated against the
+/// published test vectors below.
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher in the standard initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                // `data` fitted entirely into the partial buffer; falling
+                // through would clobber `buf_len` with the now-empty rest.
+                return;
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().expect("64-byte block"));
+            data = rest;
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    /// Finishes the hash and returns the 32-byte digest.
+    pub fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Manual length append: `update` would recount these 8 bytes.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte word"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// SHA-256 of `data`, rendered as 64 lowercase hex characters.
+pub fn sha256_hex(data: &[u8]) -> String {
+    let mut h = Sha256::new();
+    h.update(data);
+    let digest = h.finish();
+    let mut out = String::with_capacity(64);
+    for b in digest {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// The content-addressed identity of one sweep point: SHA-256 over the
+/// canonical scenario configuration, the point's deterministic seed, and
+/// the process's code-version [`code_version_salt`]. Stable across runs,
+/// platforms and thread counts; any change to what the point *means*
+/// (config, seed, schema version, registry contents) moves the key.
+pub fn point_key(canonical_config: &str, seed: u64, salt: u64) -> String {
+    let mut h = Sha256::new();
+    h.update(b"hira-store/point\x1e");
+    h.update(&salt.to_le_bytes());
+    h.update(&seed.to_le_bytes());
+    h.update(canonical_config.as_bytes());
+    let digest = h.finish();
+    let mut out = String::with_capacity(64);
+    for b in digest {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// [`code_version_salt`] with an explicit schema version — the testable
+/// core: bumping the version or changing any section's entries changes the
+/// salt; identical inputs (e.g. the same registries in two processes)
+/// yield the identical salt.
+pub fn salt_with_version<'a>(
+    version: u32,
+    sections: impl IntoIterator<Item = (&'a str, Vec<String>)>,
+) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"hira-store/salt\x1e");
+    h.update(&version.to_le_bytes());
+    for (name, entries) in sections {
+        h.update(name.as_bytes());
+        h.update(&[0x1f]); // unit separator: section name vs entries
+        for e in entries {
+            h.update(e.as_bytes());
+            h.update(&[0x1f]);
+        }
+        h.update(&[0x1e]); // record separator between sections
+    }
+    u64::from_le_bytes(h.finish()[..8].try_into().expect("8 digest bytes"))
+}
+
+/// The code-version salt for the current [`crate::CACHE_SCHEMA_VERSION`]
+/// and the given registry fingerprint sections (section name → registered
+/// handle names, in registry order). Callers pass every registry whose
+/// contents a cached result could depend on — `hira-bench` passes
+/// policies, workloads, devices and probe forms.
+pub fn code_version_salt<'a>(sections: impl IntoIterator<Item = (&'a str, Vec<String>)>) -> u64 {
+    salt_with_version(crate::CACHE_SCHEMA_VERSION, sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_matches_published_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A multi-block message exercising the buffering path.
+        let million_a = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256_hex(&million_a),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_and_one_shot_digests_agree() {
+        let data = b"the quick brown fox jumps over the lazy dog, repeatedly";
+        let one_shot = sha256_hex(data);
+        for split in [0, 1, 7, 32, data.len()] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            let mut hex = String::new();
+            for b in h.finish() {
+                let _ = write!(hex, "{b:02x}");
+            }
+            assert_eq!(hex, one_shot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn point_keys_separate_config_seed_and_salt() {
+        let base = point_key("cfg", 1, 2);
+        assert_eq!(base.len(), 64);
+        assert_eq!(base, point_key("cfg", 1, 2), "deterministic");
+        assert_ne!(base, point_key("cfg2", 1, 2));
+        assert_ne!(base, point_key("cfg", 3, 2));
+        assert_ne!(base, point_key("cfg", 1, 4));
+    }
+
+    fn sections(names: &[&str]) -> Vec<(&'static str, Vec<String>)> {
+        vec![("policy", names.iter().map(|s| s.to_string()).collect())]
+    }
+
+    #[test]
+    fn salt_changes_with_schema_version_and_registry_contents() {
+        let a = salt_with_version(1, sections(&["noref", "baseline"]));
+        // Identical registries across processes: identical salt.
+        assert_eq!(a, salt_with_version(1, sections(&["noref", "baseline"])));
+        // Bumping CACHE_SCHEMA_VERSION invalidates everything.
+        assert_ne!(a, salt_with_version(2, sections(&["noref", "baseline"])));
+        // Adding a handle invalidates.
+        assert_ne!(
+            a,
+            salt_with_version(1, sections(&["noref", "baseline", "hira4"]))
+        );
+        // Renaming a handle invalidates.
+        assert_ne!(a, salt_with_version(1, sections(&["noref", "base-line"])));
+        // Moving a name across section boundaries is not a collision.
+        let split = salt_with_version(
+            1,
+            vec![
+                ("policy", vec!["noref".to_string()]),
+                ("workload", vec!["baseline".to_string()]),
+            ],
+        );
+        assert_ne!(a, split);
+        // Section names themselves matter.
+        assert_ne!(
+            salt_with_version(1, vec![("policy", vec![])]),
+            salt_with_version(1, vec![("workload", vec![])]),
+        );
+    }
+
+    #[test]
+    fn code_version_salt_uses_the_crate_schema_version() {
+        let here = code_version_salt(sections(&["noref"]));
+        assert_eq!(
+            here,
+            salt_with_version(crate::CACHE_SCHEMA_VERSION, sections(&["noref"]))
+        );
+    }
+}

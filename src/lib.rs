@@ -12,7 +12,9 @@
 //!   trait + registry,
 //! * [`sim`] — the cycle-level system simulator behind §7-§10,
 //! * [`engine`] — the deterministic parallel experiment-orchestration
-//!   subsystem every `hira-bench` figure binary runs on.
+//!   subsystem every `hira-bench` figure binary runs on,
+//! * [`store`] — the content-addressed sweep-result cache: append-only
+//!   JSONL store plus the cache-aware executor path.
 //!
 //! ## Quickstart
 //!
@@ -32,6 +34,7 @@ pub use hira_dram as dram;
 pub use hira_engine as engine;
 pub use hira_sim as sim;
 pub use hira_softmc as softmc;
+pub use hira_store as store;
 pub use hira_workload as workload;
 
 /// The one-stop import for examples, tests and downstream users: system
@@ -83,6 +86,9 @@ pub mod prelude {
     };
     pub use hira_sim::system::RunTelemetry;
     pub use hira_sim::{KernelMode, SimResult, System, SystemConfig};
+    pub use hira_store::{
+        code_version_salt, CacheExecutorExt, CacheStats, StoredPoint, SweepPlan, SweepStore,
+    };
     pub use hira_workload::{
         benchmark, mix, mix_with_seed, roster, spec, trace_file, Benchmark, Op, ParseError, Trace,
         TraceRecord, Workload, WorkloadEnv, WorkloadHandle, WorkloadProfile, WorkloadRegistry,
