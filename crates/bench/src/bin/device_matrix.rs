@@ -40,6 +40,11 @@
 //!   cache: replay previously computed points from a `hira-store`
 //!   directory and simulate only the misses (see
 //!   [`hira_bench::CacheSpec`]),
+//! * `--trace[=<path>]` / `--metrics[=<path>]` / `--progress` /
+//!   `--log-level=<level>` — the shared observability axis: JSONL span
+//!   log, Prometheus dump, live progress on stderr and the slow-point
+//!   report (see [`hira_bench::ObsSpec`]; canonical results stay
+//!   byte-identical),
 //! * `--list` — print all three registries (plus the probe forms and
 //!   kernel modes) with their one-liners and exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
@@ -48,7 +53,8 @@
 use hira_bench::{
     device_axis_from_args_or, kernel_from_args, maybe_print_telemetry, policy_axis_from_args_or,
     print_device_list, print_kernel_list, print_policy_list, print_probe_list, print_workload_list,
-    run_ws_with_stats_cached, workload_axis_from_args_or, CacheSpec, ProbeSpec, Scale, WsTable,
+    run_ws_with_stats_observed, workload_axis_from_args_or, CacheSpec, ObsSpec, ProbeSpec, Scale,
+    WsTable,
 };
 use hira_engine::{Executor, ScenarioKey, Sweep};
 use hira_sim::builder::{BuildError, SystemBuilder};
@@ -155,6 +161,7 @@ fn main() {
     let kernel = kernel_from_args();
     let probes = ProbeSpec::from_args();
     let cache = CacheSpec::from_args();
+    let obs = ObsSpec::from_args();
     let devices = device_axis_from_args_or(DEFAULT_DEVICES);
     let policies = policy_axis_from_args_or(DEFAULT_POLICIES);
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
@@ -182,18 +189,19 @@ fn main() {
         println!("skipping {s}");
     }
     assert!(!sweep.is_empty(), "every device x policy combo was skipped");
-    let t = run_ws_with_stats_cached(&ex, sweep, scale, &probes, &cache);
+    let t = run_ws_with_stats_observed(&ex, sweep, scale, &probes, &cache, &obs);
 
     if std::env::args().any(|a| a == "--check-determinism") {
         let (sweep, _) = grid(&devices, &policies, &workloads, kernel);
         // Deliberately uncached: re-simulating also proves any cache
         // replays above were bit-identical to fresh simulation.
-        let serial = run_ws_with_stats_cached(
+        let serial = run_ws_with_stats_observed(
             &Executor::with_threads(1),
             sweep,
             scale,
             &probes,
             &CacheSpec::disabled(),
+            &ObsSpec::disabled(),
         );
         assert_eq!(
             t.run.canonical_json(),

@@ -31,12 +31,17 @@
 //! * `--baseline-tolerance=<frac>` — allowed fractional regression for
 //!   `--check-baseline` (default 0.35; wall-clock ratios are noisy on
 //!   shared runners),
+//! * `--trace[=<path>]` / `--metrics[=<path>]` / `--progress` /
+//!   `--log-level=<level>` — the shared observability axis: JSONL span
+//!   log, Prometheus dump, live progress on stderr and the slow-point
+//!   report (see [`hira_bench::ObsSpec`]),
 //! * `--list` — print the registered policies and exit.
 //!
 //! Scale: `HIRA_MIXES` × `HIRA_INSTS` as everywhere else.
 
 use hira_bench::{
-    extract_metric_value, policy_axis_from_args, print_series, run_perf_kernel, CacheSpec, Scale,
+    extract_metric_value, policy_axis_from_args, print_series, run_perf_kernel_observed, CacheSpec,
+    ObsSpec, Scale,
 };
 use hira_engine::{RunRecord, ScenarioKey};
 use std::path::Path;
@@ -52,6 +57,7 @@ fn main() {
     let cap = 8.0;
     let policies = policy_axis_from_args();
     let cache = CacheSpec::from_args();
+    let obs = ObsSpec::from_args();
     // Read the baseline before the sweep so a bad path fails fast.
     let baseline = flag_value("check-baseline").map(|path| {
         let body = std::fs::read_to_string(&path)
@@ -75,7 +81,7 @@ fn main() {
         scale.insts
     );
 
-    let (mut run, stats) = run_perf_kernel(&policies, cap, scale, &cache);
+    let (mut run, stats) = run_perf_kernel_observed(&policies, cap, scale, &cache, &obs);
     // Replayed points skipped both kernel runs; their identity was
     // asserted when they were first computed into the store.
     let note = if stats.hits == 0 {

@@ -23,6 +23,11 @@
 //!   cache: replay previously computed points from a `hira-store`
 //!   directory and simulate only the misses (see
 //!   [`hira_bench::CacheSpec`]),
+//! * `--trace[=<path>]` / `--metrics[=<path>]` / `--progress` /
+//!   `--log-level=<level>` — the shared observability axis: JSONL span
+//!   log, Prometheus dump, live progress on stderr and the slow-point
+//!   report (see [`hira_bench::ObsSpec`]; canonical results stay
+//!   byte-identical),
 //! * `--list` — print the policy registry, the probe forms and the kernel
 //!   modes, then exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
@@ -31,8 +36,8 @@
 
 use hira_bench::{
     kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_kernel_list,
-    print_policy_list, print_probe_list, print_series, run_ws_probed_cached, CacheSpec, ProbeSpec,
-    Scale,
+    print_policy_list, print_probe_list, print_series, run_ws_observed, CacheSpec, ObsSpec,
+    ProbeSpec, Scale,
 };
 use hira_engine::{flabel, Executor, Sweep};
 use hira_sim::config::SystemConfig;
@@ -53,6 +58,7 @@ fn main() {
     let kernel = kernel_from_args();
     let probes = ProbeSpec::from_args();
     let cache = CacheSpec::from_args();
+    let obs = ObsSpec::from_args();
     let policies = policy_axis_from_args();
     assert!(
         !policies.is_empty(),
@@ -75,18 +81,19 @@ fn main() {
                 SystemConfig::table3(*c, h.clone()).with_kernel(kernel)
             })
     };
-    let t = run_ws_probed_cached(&ex, mk_sweep(), scale, &probes, &cache);
+    let t = run_ws_observed(&ex, mk_sweep(), scale, &probes, &cache, &obs);
 
     if std::env::args().any(|a| a == "--check-determinism") {
         // Deliberately uncached: with a warm cache the serial run would
         // only replay, so this re-simulates — which also proves any cache
         // replays above were bit-identical to fresh simulation.
-        let serial = run_ws_probed_cached(
+        let serial = run_ws_observed(
             &Executor::with_threads(1),
             mk_sweep(),
             scale,
             &probes,
             &CacheSpec::disabled(),
+            &ObsSpec::disabled(),
         );
         assert_eq!(
             t.run.canonical_json(),

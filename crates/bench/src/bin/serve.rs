@@ -14,7 +14,11 @@
 //!
 //! Flags: the shared cache axis (`--cache=<dir>` persists results across
 //! server runs; without it a scratch store lives for this session only),
-//! plus the `HIRA_*` scale/thread knobs. See [`hira_bench::serve`] for the
+//! the shared observability axis (`--trace[=<path>]` writes a span per
+//! sweep and per accepted connection plus an event per protocol error;
+//! `--log-level=` filters it; `--metrics`/`--progress` are served over
+//! the wire instead — see the `metrics` op and `progress` events), plus
+//! the `HIRA_*` scale/thread knobs. See [`hira_bench::serve`] for the
 //! full wire protocol.
 //!
 //! Example session (stdio):
@@ -29,8 +33,9 @@
 //! ```
 
 use hira_bench::serve::Server;
-use hira_bench::{CacheSpec, Scale};
+use hira_bench::{CacheSpec, ObsSpec, Scale};
 use hira_engine::Executor;
+use hira_obs::{field, Level, TraceSink};
 use std::io::{BufRead, BufReader, Write};
 
 fn main() {
@@ -39,7 +44,11 @@ fn main() {
             .map(|p| std::path::PathBuf::from(p.to_owned()))
     });
     let cache = CacheSpec::from_args();
+    let sink = ObsSpec::from_args().sink("serve");
     let mut server = Server::new(Executor::from_env(), Scale::from_env(), &cache);
+    if let Some(s) = &sink {
+        server = server.with_trace(s.clone());
+    }
     eprintln!(
         "serve: ready ({})",
         cache
@@ -50,13 +59,17 @@ fn main() {
     );
 
     match socket {
-        None => serve_stdio(&mut server),
-        Some(path) => serve_socket(&mut server, &path),
+        None => serve_stdio(&mut server, sink.as_ref()),
+        Some(path) => serve_socket(&mut server, &path, sink.as_ref()),
+    }
+    if let Some(s) = &sink {
+        s.flush();
     }
 }
 
 /// Requests on stdin, events on stdout; EOF is a graceful shutdown.
-fn serve_stdio(server: &mut Server) {
+fn serve_stdio(server: &mut Server, sink: Option<&TraceSink>) {
+    let _span = sink.map(|s| s.span(Level::Info, "connection", vec![field("transport", "stdio")]));
     let stdout = std::io::stdout();
     let emit = move |line: &str| {
         let mut out = stdout.lock();
@@ -76,14 +89,26 @@ fn serve_stdio(server: &mut Server) {
 
 /// Accepts one client at a time on a Unix socket; a `shutdown` op stops
 /// the server, a disconnect just ends that client's session.
-fn serve_socket(server: &mut Server, path: &std::path::Path) {
+fn serve_socket(server: &mut Server, path: &std::path::Path, sink: Option<&TraceSink>) {
     // A previous run's socket file would make bind fail with AddrInUse.
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)
         .unwrap_or_else(|e| panic!("serve: cannot bind {}: {e}", path.display()));
     eprintln!("serve: listening on {}", path.display());
+    let mut connections = 0u64;
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
+        connections += 1;
+        let _span = sink.map(|s| {
+            s.span(
+                Level::Info,
+                "connection",
+                vec![
+                    field("transport", "socket"),
+                    field("connection", connections),
+                ],
+            )
+        });
         let write_half = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => continue,

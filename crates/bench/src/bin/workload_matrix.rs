@@ -28,6 +28,11 @@
 //!   cache: replay previously computed points from a `hira-store`
 //!   directory and simulate only the misses (see
 //!   [`hira_bench::CacheSpec`]),
+//! * `--trace[=<path>]` / `--metrics[=<path>]` / `--progress` /
+//!   `--log-level=<level>` — the shared observability axis: JSONL span
+//!   log, Prometheus dump, live progress on stderr and the slow-point
+//!   report (see [`hira_bench::ObsSpec`]; canonical results stay
+//!   byte-identical),
 //! * `--list` — print both registries (plus the probe forms and kernel
 //!   modes) with their profile one-liners and exit,
 //! * `--check-determinism` — re-run the sweep single-threaded and assert
@@ -36,8 +41,8 @@
 
 use hira_bench::{
     kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_kernel_list,
-    print_policy_list, print_probe_list, print_workload_list, run_ws_as_configured_cached,
-    workload_axis_from_args_or, CacheSpec, ProbeSpec, Scale,
+    print_policy_list, print_probe_list, print_workload_list, run_ws_as_configured_observed,
+    workload_axis_from_args_or, CacheSpec, ObsSpec, ProbeSpec, Scale,
 };
 use hira_engine::{Executor, Sweep};
 use hira_sim::config::SystemConfig;
@@ -76,6 +81,7 @@ fn main() {
     let kernel = kernel_from_args();
     let probes = ProbeSpec::from_args();
     let cache = CacheSpec::from_args();
+    let obs = ObsSpec::from_args();
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
     let policies = policy_axis_from_args();
     assert!(
@@ -103,17 +109,18 @@ fn main() {
                     .with_kernel(kernel)
             })
     };
-    let t = run_ws_as_configured_cached(&ex, mk_sweep(), scale, &probes, &cache);
+    let t = run_ws_as_configured_observed(&ex, mk_sweep(), scale, &probes, &cache, &obs);
 
     if std::env::args().any(|a| a == "--check-determinism") {
         // Deliberately uncached: re-simulating also proves any cache
         // replays above were bit-identical to fresh simulation.
-        let serial = run_ws_as_configured_cached(
+        let serial = run_ws_as_configured_observed(
             &Executor::with_threads(1),
             mk_sweep(),
             scale,
             &probes,
             &CacheSpec::disabled(),
+            &ObsSpec::disabled(),
         );
         assert_eq!(
             t.run.canonical_json(),

@@ -33,11 +33,19 @@
 //! points from a `hira-store` directory and simulates only the misses,
 //! `--no-cache` disables a configured cache, and `--cache-stats` prints
 //! the hit/miss accounting after the run.
+//!
+//! And the observability axis ([`ObsSpec::from_args`]): `--trace[=<path>]`
+//! writes one JSONL span/event log per sweep, `--metrics[=<path>]` dumps a
+//! Prometheus text exposition after the run, `--progress` streams live
+//! done/total/ETA lines to stderr, and `--log-level=` (or `HIRA_LOG`)
+//! filters the trace. Observation rides beside the results — canonical
+//! output is byte-identical with or without it.
 
 use hira_engine::{
-    metric, sanitize_key, suffix_path, Executor, Metric, PointTelemetry, Scenario, ScenarioKey,
-    Sweep,
+    metric, sanitize_key, suffix_path, Executor, Metric, PointRun, PointTelemetry, Scenario,
+    ScenarioKey, Sweep,
 };
+use hira_obs::{field, Level, MetricsRegistry, Progress, TraceSink};
 use hira_sim::builder::SystemBuilder;
 use hira_sim::config::{KernelMode, SystemConfig};
 use hira_sim::device::{DeviceHandle, DeviceRegistry};
@@ -45,11 +53,12 @@ use hira_sim::policy::{self, PolicyHandle, PolicyRegistry};
 use hira_sim::probe::ProbeRegistry;
 use hira_sim::system::System;
 use hira_sim::ProbeHandle;
-use hira_store::{CacheExecutorExt, SweepPlan, SweepStore};
+use hira_store::{CacheExecutorExt, PointOutcome, SweepPlan, SweepStore};
 use hira_workload::{mix, WorkloadHandle, WorkloadRegistry};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::Instant;
 
 pub mod serve;
 
@@ -310,6 +319,21 @@ pub fn run_ws_probed_cached(
     probes: &ProbeSpec,
     cache: &CacheSpec,
 ) -> WsTable {
+    run_ws_observed(ex, sweep, scale, probes, cache, &ObsSpec::disabled())
+}
+
+/// [`run_ws_probed_cached`] with the observability selected by `obs`
+/// attached: per-point trace events with phase timings, metrics counters
+/// and histograms, live progress. Observation never touches the results —
+/// the table is byte-identical to an unobserved run.
+pub fn run_ws_observed(
+    ex: &Executor,
+    sweep: Sweep<SystemConfig>,
+    scale: Scale,
+    probes: &ProbeSpec,
+    cache: &CacheSpec,
+    obs: &ObsSpec,
+) -> WsTable {
     assert!(
         scale.mixes >= 1,
         "HIRA_MIXES must be >= 1 (a data point needs at least one mix)"
@@ -325,7 +349,7 @@ pub fn run_ws_probed_cached(
             })
             .collect()
     });
-    run_ws_points(ex, probes.attach(full), "mix", scale, false, cache)
+    run_ws_points(ex, probes.attach(full), "mix", scale, false, cache, obs)
 }
 
 /// Runs a sweep of system configurations **as configured**: every point
@@ -361,8 +385,21 @@ pub fn run_ws_as_configured_cached(
     probes: &ProbeSpec,
     cache: &CacheSpec,
 ) -> WsTable {
+    run_ws_as_configured_observed(ex, sweep, scale, probes, cache, &ObsSpec::disabled())
+}
+
+/// [`run_ws_as_configured_cached`] with the observability selected by
+/// `obs` attached (see [`run_ws_observed`]).
+pub fn run_ws_as_configured_observed(
+    ex: &Executor,
+    sweep: Sweep<SystemConfig>,
+    scale: Scale,
+    probes: &ProbeSpec,
+    cache: &CacheSpec,
+    obs: &ObsSpec,
+) -> WsTable {
     let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
-    run_ws_points(ex, probes.attach(full), "mix", scale, false, cache)
+    run_ws_points(ex, probes.attach(full), "mix", scale, false, cache, obs)
 }
 
 /// [`run_ws_as_configured`] plus the channel-level metrics: every record
@@ -394,8 +431,21 @@ pub fn run_ws_with_stats_cached(
     probes: &ProbeSpec,
     cache: &CacheSpec,
 ) -> WsTable {
+    run_ws_with_stats_observed(ex, sweep, scale, probes, cache, &ObsSpec::disabled())
+}
+
+/// [`run_ws_with_stats_cached`] with the observability selected by `obs`
+/// attached (see [`run_ws_observed`]).
+pub fn run_ws_with_stats_observed(
+    ex: &Executor,
+    sweep: Sweep<SystemConfig>,
+    scale: Scale,
+    probes: &ProbeSpec,
+    cache: &CacheSpec,
+    obs: &ObsSpec,
+) -> WsTable {
     let full = sweep.map(|_, cfg| cfg.with_insts(scale.insts, scale.warmup));
-    run_ws_points(ex, probes.attach(full), "mix", scale, true, cache)
+    run_ws_points(ex, probes.attach(full), "mix", scale, true, cache, obs)
 }
 
 /// One weighted-speedup point: simulate, normalize each core by its
@@ -406,13 +456,31 @@ fn ws_point_task(
     scale: Scale,
     channel_stats: bool,
 ) -> (Vec<Metric>, Option<PointTelemetry>) {
+    let (ms, t, _) = ws_point_task_phased(sc, scale, channel_stats);
+    (ms, t)
+}
+
+/// [`ws_point_task`] additionally reporting its phase split `(warmup_ms,
+/// measure_ms)`: measure is the simulation proper, warmup the alone-IPC
+/// normalization work (≈0 when the memo is already warm). The remainder of
+/// the point's wall — metric assembly, result hand-off — is the serialize
+/// phase, computed by the observer as `wall - warmup - measure`.
+fn ws_point_task_phased(
+    sc: Scenario<'_, SystemConfig>,
+    scale: Scale,
+    channel_stats: bool,
+) -> (Vec<Metric>, Option<PointTelemetry>, (f64, f64)) {
     let cfg = sc.params;
+    let t_measure = Instant::now();
     let (r, telemetry) = System::new(cfg.clone()).run_telemetered();
+    let measure_ms = t_measure.elapsed().as_secs_f64() * 1e3;
+    let t_warmup = Instant::now();
     let alone: Vec<f64> = r
         .workloads
         .iter()
         .map(|name| alone_ipc(name, &cfg.device, cfg.channels, cfg.ranks, scale))
         .collect();
+    let warmup_ms = t_warmup.elapsed().as_secs_f64() * 1e3;
     let mut ms = vec![metric("ws", r.weighted_speedup(&alone))];
     if channel_stats {
         ms.push(metric("read_lat", r.avg_read_latency()));
@@ -432,7 +500,7 @@ fn ws_point_task(
         events: telemetry.events,
         peak_queue: telemetry.peak_queue,
     };
-    (ms, Some(t))
+    (ms, Some(t), (warmup_ms, measure_ms))
 }
 
 /// Shared runner: simulates every point ([`ws_point_task`]) and collapses
@@ -448,9 +516,19 @@ fn run_ws_points(
     scale: Scale,
     channel_stats: bool,
     cache: &CacheSpec,
+    obs: &ObsSpec,
 ) -> WsTable {
     assert!(!full.is_empty(), "weighted-speedup sweep has no points");
-    let run = if let Some(mut store) = cache.open_for(&full) {
+    let watch = obs.begin(full.name(), full.len(), ex.threads());
+    let task = |sc: Scenario<'_, SystemConfig>| {
+        let key = watch.as_ref().map(|_| sc.key.clone());
+        let (ms, t, phases) = ws_point_task_phased(sc, scale, channel_stats);
+        if let (Some(w), Some(key)) = (&watch, key) {
+            w.record_phases(&key, phases);
+        }
+        (ms, t)
+    };
+    let (run, stats) = if let Some(mut store) = cache.open_for(&full) {
         let tag = if channel_stats { "ws+stats" } else { "ws" };
         let plan = SweepPlan::compute(&store, &full, cache_salt(), |sc| {
             ws_canonical(tag, sc.params)
@@ -461,14 +539,18 @@ fn run_ws_points(
             full.base_seed(),
             scale,
         );
+        let on_point = |o: PointOutcome<'_>| {
+            if let Some(w) = &watch {
+                w.point_done(
+                    &full.points()[o.index].0,
+                    o.cached,
+                    o.queue_wait_ms,
+                    o.point.wall_ms,
+                );
+            }
+        };
         let (run, stats) = ex
-            .run_cached(
-                &mut store,
-                &full,
-                &plan,
-                |sc| ws_point_task(sc, scale, channel_stats),
-                None,
-            )
+            .run_cached(&mut store, &full, &plan, task, Some(&on_point))
             .unwrap_or_else(|e| {
                 panic!(
                     "cache: cannot persist results at {}: {e}",
@@ -476,7 +558,7 @@ fn run_ws_points(
                 )
             });
         cache.report(&stats);
-        run
+        (run, Some(stats))
     } else {
         warm_alone_cache(
             ex,
@@ -484,12 +566,25 @@ fn run_ws_points(
             full.base_seed(),
             scale,
         );
-        let (_, run) = ex.run_instrumented(&full, |sc| {
-            let (ms, t) = ws_point_task(sc, scale, channel_stats);
-            ((), ms, t)
-        });
-        run
+        let observer = |p: &PointRun<'_>| {
+            if let Some(w) = &watch {
+                w.point_done(p.key, false, p.queue_wait_ms, p.wall_ms);
+            }
+        };
+        let (_, run) = ex.run_observed(
+            &full,
+            |sc| {
+                let (ms, t) = task(sc);
+                ((), ms, t)
+            },
+            Some(&observer),
+        );
+        (run, None)
     };
+    if let Some(w) = watch {
+        w.finish(&run, stats.as_ref());
+    }
+    obs.report_slow(&run);
     let means = run.mean_over(mean_axis, "ws");
     WsTable { run, means }
 }
@@ -542,6 +637,18 @@ pub fn run_perf_kernel(
     scale: Scale,
     cache: &CacheSpec,
 ) -> (RunSet, CacheStats) {
+    run_perf_kernel_observed(policies, cap, scale, cache, &ObsSpec::disabled())
+}
+
+/// [`run_perf_kernel`] with the observability selected by `obs` attached
+/// (see [`run_ws_observed`]); the A/B timing itself is untouched.
+pub fn run_perf_kernel_observed(
+    policies: &[(String, PolicyHandle)],
+    cap: f64,
+    scale: Scale,
+    cache: &CacheSpec,
+    obs: &ObsSpec,
+) -> (RunSet, CacheStats) {
     let mut points = Vec::new();
     for (name, policy) in policies {
         for mix_id in 0..scale.mixes {
@@ -557,12 +664,35 @@ pub fn run_perf_kernel(
     let sweep = Sweep::from_points("perf_kernel", hira_engine::DEFAULT_BASE_SEED, points);
     assert!(!sweep.is_empty(), "perf_kernel sweep has no points");
     let ex = Executor::with_threads(1);
-    if let Some(mut store) = cache.open_for(&sweep) {
+    let watch = obs.begin(sweep.name(), sweep.len(), ex.threads());
+    let task = |sc: Scenario<'_, SystemConfig>| {
+        let key = watch.as_ref().map(|_| sc.key.clone());
+        let t_measure = Instant::now();
+        let out = perf_kernel_task(sc);
+        if let (Some(w), Some(key)) = (&watch, key) {
+            // Both kernel runs are the measure phase; there is no warmup.
+            w.record_phases(&key, (0.0, t_measure.elapsed().as_secs_f64() * 1e3));
+        }
+        out
+    };
+    let via_cache;
+    let (run, stats) = if let Some(mut store) = cache.open_for(&sweep) {
+        via_cache = true;
         let plan = SweepPlan::compute(&store, &sweep, cache_salt(), |sc| {
             ws_canonical("perf_kernel", sc.params)
         });
+        let on_point = |o: PointOutcome<'_>| {
+            if let Some(w) = &watch {
+                w.point_done(
+                    &sweep.points()[o.index].0,
+                    o.cached,
+                    o.queue_wait_ms,
+                    o.point.wall_ms,
+                );
+            }
+        };
         let (run, stats) = ex
-            .run_cached(&mut store, &sweep, &plan, perf_kernel_task, None)
+            .run_cached(&mut store, &sweep, &plan, task, Some(&on_point))
             .unwrap_or_else(|e| {
                 panic!(
                     "cache: cannot persist results at {}: {e}",
@@ -572,10 +702,20 @@ pub fn run_perf_kernel(
         cache.report(&stats);
         (run, stats)
     } else {
-        let (_, run) = ex.run_instrumented(&sweep, |sc| {
-            let (ms, t) = perf_kernel_task(sc);
-            ((), ms, t)
-        });
+        via_cache = false;
+        let observer = |p: &PointRun<'_>| {
+            if let Some(w) = &watch {
+                w.point_done(p.key, false, p.queue_wait_ms, p.wall_ms);
+            }
+        };
+        let (_, run) = ex.run_observed(
+            &sweep,
+            |sc| {
+                let (ms, t) = task(sc);
+                ((), ms, t)
+            },
+            Some(&observer),
+        );
         let stats = CacheStats {
             points: run.records.len() / 3,
             hits: 0,
@@ -583,7 +723,12 @@ pub fn run_perf_kernel(
             appended: 0,
         };
         (run, stats)
+    };
+    if let Some(w) = watch {
+        w.finish(&run, via_cache.then_some(&stats));
     }
+    obs.report_slow(&run);
+    (run, stats)
 }
 
 /// The canonical configuration string of one weighted-speedup point under
@@ -722,6 +867,451 @@ impl CacheSpec {
                 self.dir
                     .as_ref()
                     .map_or("inactive".to_string(), |d| d.display().to_string()),
+            );
+        }
+    }
+}
+
+/// The observability selection of a bench binary, from the shared flags:
+///
+/// * `--trace[=<path>]` — write one append-only JSONL span/event log per
+///   sweep. A bare `--trace` (or a directory path) derives the file name
+///   from the sweep via the engine's path sanitizer
+///   (`<dir>/<sweep>.trace.jsonl`); a path ending in `.jsonl` is used
+///   verbatim. The bare form writes under `HIRA_BENCH_DIR` (or `.`).
+/// * `--metrics[=<path>]` — dump the run's Prometheus text exposition
+///   after the sweep. A bare `--metrics` (or a directory path) writes
+///   `<dir>/<sweep>.prom`; a path with an extension is used verbatim.
+/// * `--progress` — stream live `done/total, points/sec, ETA` lines to
+///   stderr as points complete.
+/// * `--log-level=<error|warn|info|debug|trace>` — trace verbosity
+///   (default from `HIRA_LOG`, else `info`).
+///
+/// Any active flag also appends the slow-point outlier report (points
+/// slower than 3× the sweep's median wall) to the run summary.
+/// Observation rides beside the results: canonical output is byte-
+/// identical with or without it, for any thread count and cache state.
+#[derive(Debug, Clone)]
+pub struct ObsSpec {
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    progress: bool,
+    level: Level,
+}
+
+impl Default for ObsSpec {
+    fn default() -> Self {
+        ObsSpec {
+            trace: None,
+            metrics: None,
+            progress: false,
+            level: Level::Info,
+        }
+    }
+}
+
+/// The multiplier of [`ObsSpec::report_slow`]: a point is an outlier when
+/// its wall exceeds this many times the sweep's median point wall.
+pub const SLOW_POINT_FACTOR: f64 = 3.0;
+
+impl ObsSpec {
+    /// Parses the observability flags from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--log-level=` does not name a level, or when
+    /// `--trace=`/`--metrics=` name an empty path.
+    pub fn from_args() -> Self {
+        let default_dir = || {
+            std::env::var("HIRA_BENCH_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| PathBuf::from("."))
+        };
+        let mut trace = None;
+        let mut metrics = None;
+        let mut progress = false;
+        let mut level_arg: Option<String> = None;
+        for a in std::env::args() {
+            if a == "--trace" {
+                trace = Some(default_dir());
+            } else if let Some(p) = a.strip_prefix("--trace=") {
+                assert!(!p.is_empty(), "--trace needs a path: --trace=<path>");
+                trace = Some(PathBuf::from(p));
+            } else if a == "--metrics" {
+                metrics = Some(default_dir());
+            } else if let Some(p) = a.strip_prefix("--metrics=") {
+                assert!(!p.is_empty(), "--metrics needs a path: --metrics=<path>");
+                metrics = Some(PathBuf::from(p));
+            } else if a == "--progress" {
+                progress = true;
+            } else if let Some(l) = a.strip_prefix("--log-level=") {
+                level_arg = Some(l.to_owned());
+            }
+        }
+        ObsSpec {
+            trace,
+            metrics,
+            progress,
+            level: Level::resolve(level_arg.as_deref()),
+        }
+    }
+
+    /// The inactive spec: no tracing, no metrics, no progress (the
+    /// library default).
+    pub fn disabled() -> Self {
+        ObsSpec::default()
+    }
+
+    /// True when any observability flag was passed.
+    pub fn is_active(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some() || self.progress
+    }
+
+    /// Traces into `path` — a `.jsonl` file, or a directory to derive
+    /// per-sweep file names in (the programmatic form of `--trace=`).
+    pub fn with_trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
+    /// Dumps metrics at `path` — a file when it has an extension, a
+    /// directory otherwise (the programmatic form of `--metrics=`).
+    pub fn with_metrics(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics = Some(path.into());
+        self
+    }
+
+    /// Streams live progress to stderr (the programmatic `--progress`).
+    pub fn with_progress(mut self) -> Self {
+        self.progress = true;
+        self
+    }
+
+    /// Sets the trace level (the programmatic `--log-level=`).
+    pub fn with_level(mut self, level: Level) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// The effective trace level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Starts observing one sweep: opens the trace sink, creates the
+    /// metrics registry and the progress ticker. `None` when the spec is
+    /// inactive — the unobserved path pays nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace log cannot be opened — an explicitly
+    /// requested trace that cannot work is an error, not a silent no-op.
+    pub fn begin(&self, sweep: &str, points: usize, threads: usize) -> Option<ObsRun> {
+        if !self.is_active() {
+            return None;
+        }
+        let sink = self.sink(sweep);
+        if let Some(s) = &sink {
+            s.event(
+                Level::Info,
+                "sweep_start",
+                &[
+                    field("sweep", sweep),
+                    field("points", points),
+                    field("threads", threads),
+                ],
+            );
+        }
+        let registry = MetricsRegistry::new();
+        let meters = Meters::new(&registry);
+        Some(ObsRun {
+            sink,
+            registry,
+            meters,
+            progress: Progress::new(points),
+            show_progress: self.progress,
+            metrics_file: self.metrics_file(sweep),
+            phases: Mutex::new(Vec::new()),
+            sweep: sweep.to_owned(),
+        })
+    }
+
+    /// Opens the trace sink `--trace` asked for (`None` without the
+    /// flag), deriving the file name from `name` when the flag named a
+    /// directory. Used by [`ObsSpec::begin`] and by services that manage
+    /// their own observation (`hira serve`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the log cannot be opened — an explicitly requested
+    /// trace that cannot work is an error, not a silent no-op.
+    pub fn sink(&self, name: &str) -> Option<TraceSink> {
+        self.trace.as_ref().map(|p| {
+            let sink = if p.extension().is_some_and(|e| e == "jsonl") {
+                TraceSink::to_path(p, self.level)
+            } else {
+                TraceSink::for_sweep(p, name, self.level)
+            };
+            sink.unwrap_or_else(|e| panic!("--trace: cannot open log under {}: {e}", p.display()))
+        })
+    }
+
+    /// Where the Prometheus dump of sweep `sweep` would go, when
+    /// `--metrics` is active.
+    fn metrics_file(&self, sweep: &str) -> Option<PathBuf> {
+        let p = self.metrics.as_ref()?;
+        Some(if p.extension().is_some() {
+            p.clone()
+        } else {
+            p.join(format!("{}.prom", hira_engine::sanitize_component(sweep)))
+        })
+    }
+
+    /// Appends the slow-point outlier report to the run summary (stdout)
+    /// when any observability flag is active: every point slower than
+    /// [`SLOW_POINT_FACTOR`] × the sweep's median point wall, or one line
+    /// saying none were.
+    pub fn report_slow(&self, run: &RunSet) {
+        if !self.is_active() {
+            return;
+        }
+        let (median, slow) = slow_points(run, SLOW_POINT_FACTOR);
+        if slow.is_empty() {
+            println!(
+                "slow points: none above {SLOW_POINT_FACTOR:.1}x the median point wall \
+                 ({median:.1} ms)"
+            );
+        } else {
+            println!("slow points (> {SLOW_POINT_FACTOR:.1}x median {median:.1} ms):");
+            for (key, wall) in slow {
+                println!(
+                    "  {:<42} {wall:>9.1} ms ({:.1}x)",
+                    key.to_string(),
+                    wall / median
+                );
+            }
+        }
+    }
+}
+
+/// Total kernel iterations of `run`: each point's telemetry counted once
+/// (a `ws+stats` point has several records sharing one simulation).
+pub(crate) fn kernel_events(run: &RunSet) -> u64 {
+    let mut seen: Vec<&ScenarioKey> = Vec::new();
+    let mut events = 0u64;
+    for r in &run.records {
+        let Some(t) = r.telemetry else { continue };
+        if seen.contains(&&r.key) {
+            continue;
+        }
+        seen.push(&r.key);
+        events += t.events;
+    }
+    events
+}
+
+/// The per-point walls of `run` that exceed `k` × the median point wall:
+/// `(median, outliers in point order)`. Walls are per *point* (each key's
+/// records share one wall), so a sweep with several metrics per point
+/// still counts each point once.
+pub fn slow_points(run: &RunSet, k: f64) -> (f64, Vec<(ScenarioKey, f64)>) {
+    let mut seen: Vec<&ScenarioKey> = Vec::new();
+    let mut walls: Vec<(ScenarioKey, f64)> = Vec::new();
+    for r in &run.records {
+        if seen.contains(&&r.key) {
+            continue;
+        }
+        seen.push(&r.key);
+        walls.push((r.key.clone(), r.wall_ms));
+    }
+    let mut sorted: Vec<f64> = walls.iter().map(|(_, w)| *w).collect();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let median = if n == 0 {
+        0.0
+    } else {
+        (sorted[(n - 1) / 2] + sorted[n / 2]) / 2.0
+    };
+    let slow = walls
+        .into_iter()
+        .filter(|(_, w)| median > 0.0 && *w > k * median)
+        .collect();
+    (median, slow)
+}
+
+/// The standard engine/cache instruments, registered against one
+/// [`MetricsRegistry`] — the shared name catalogue every observed bench
+/// run and `hira serve` exposes (see the README's Observability section).
+pub(crate) struct Meters {
+    pub computed: hira_obs::Counter,
+    pub replayed: hira_obs::Counter,
+    pub cache_hits: hira_obs::Counter,
+    pub cache_misses: hira_obs::Counter,
+    pub cache_appended: hira_obs::Counter,
+    pub sweeps: hira_obs::Counter,
+    pub wall_us: hira_obs::Histogram,
+    pub queue_wait_us: hira_obs::Histogram,
+    pub kernel_events: hira_obs::Counter,
+    pub sweep_wall_ms: hira_obs::Gauge,
+}
+
+impl Meters {
+    pub(crate) fn new(reg: &MetricsRegistry) -> Meters {
+        let points = "sweep points finished";
+        Meters {
+            computed: reg.counter_with("hira_points_total", points, &[("result", "computed")]),
+            replayed: reg.counter_with("hira_points_total", points, &[("result", "replayed")]),
+            cache_hits: reg.counter(
+                "hira_cache_hits_total",
+                "points replayed from the sweep store",
+            ),
+            cache_misses: reg.counter(
+                "hira_cache_misses_total",
+                "points computed because the store missed",
+            ),
+            cache_appended: reg.counter(
+                "hira_cache_appended_total",
+                "points newly persisted to the sweep store",
+            ),
+            sweeps: reg.counter("hira_sweeps_total", "sweeps completed"),
+            wall_us: reg.histogram("hira_point_wall_us", "per-point wall time in microseconds"),
+            queue_wait_us: reg.histogram(
+                "hira_point_queue_wait_us",
+                "per-point queue wait in microseconds",
+            ),
+            kernel_events: reg.counter(
+                "hira_kernel_events_total",
+                "kernel iterations across finished points",
+            ),
+            sweep_wall_ms: reg.gauge(
+                "hira_sweep_wall_ms",
+                "last sweep's summed per-point wall in milliseconds",
+            ),
+        }
+    }
+
+    /// Folds one finished point into the counters and histograms.
+    pub(crate) fn point(&self, cached: bool, queue_wait_ms: f64, wall_ms: f64) {
+        if cached {
+            self.replayed.inc();
+        } else {
+            self.computed.inc();
+        }
+        self.wall_us.observe(wall_ms * 1e3);
+        self.queue_wait_us.observe(queue_wait_ms * 1e3);
+    }
+}
+
+/// One sweep under observation (see [`ObsSpec::begin`]): the trace sink,
+/// metrics, progress ticker and the phase side-channel the task wrappers
+/// feed. All methods are callable from worker threads.
+pub struct ObsRun {
+    sink: Option<TraceSink>,
+    registry: MetricsRegistry,
+    meters: Meters,
+    progress: Progress,
+    show_progress: bool,
+    metrics_file: Option<PathBuf>,
+    phases: Mutex<Vec<(ScenarioKey, (f64, f64))>>,
+    sweep: String,
+}
+
+impl ObsRun {
+    /// Records one point's `(warmup_ms, measure_ms)` phase split, keyed by
+    /// scenario key — called by the task wrapper, consumed by
+    /// [`ObsRun::point_done`] on the same point.
+    pub fn record_phases(&self, key: &ScenarioKey, phases: (f64, f64)) {
+        self.phases
+            .lock()
+            .expect("phase side-channel")
+            .push((key.clone(), phases));
+    }
+
+    /// Folds one finished point into the trace, metrics and progress.
+    /// Replayed points carry zero phase timings — nothing ran.
+    pub fn point_done(&self, key: &ScenarioKey, cached: bool, queue_wait_ms: f64, wall_ms: f64) {
+        let phases = {
+            let mut v = self.phases.lock().expect("phase side-channel");
+            v.iter()
+                .position(|(k, _)| k == key)
+                .map(|i| v.swap_remove(i).1)
+        };
+        let (warmup_ms, measure_ms) = phases.unwrap_or((0.0, 0.0));
+        let serialize_ms = if cached {
+            0.0
+        } else {
+            (wall_ms - warmup_ms - measure_ms).max(0.0)
+        };
+        self.meters.point(cached, queue_wait_ms, wall_ms);
+        if let Some(s) = &self.sink {
+            s.event(
+                Level::Info,
+                "point",
+                &[
+                    field("point", key.to_string()),
+                    field("cached", cached),
+                    field("queue_wait_ms", queue_wait_ms),
+                    field("warmup_ms", warmup_ms),
+                    field("measure_ms", measure_ms),
+                    field("serialize_ms", serialize_ms),
+                    field("wall_ms", wall_ms),
+                ],
+            );
+        }
+        let snap = self.progress.point_done(cached);
+        if self.show_progress {
+            eprintln!("progress[{}]: {}", self.sweep, snap.render());
+        }
+    }
+
+    /// Closes the observation: folds the run-level aggregates (kernel
+    /// events, sweep wall, cache accounting) into the metrics, writes the
+    /// `sweep_done` trace event and the Prometheus dump.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the `--metrics` dump cannot be written.
+    pub fn finish(&self, run: &RunSet, stats: Option<&CacheStats>) {
+        let kernel_events = kernel_events(run);
+        self.meters.kernel_events.add(kernel_events);
+        self.meters.sweep_wall_ms.set(run.wall_ms);
+        self.meters.sweeps.inc();
+        if let Some(s) = stats {
+            self.meters.cache_hits.add(s.hits as u64);
+            self.meters.cache_misses.add(s.misses as u64);
+            self.meters.cache_appended.add(s.appended as u64);
+        }
+        if let Some(sink) = &self.sink {
+            let mut fields = vec![
+                field("sweep", self.sweep.as_str()),
+                field("threads", run.threads),
+                field("wall_ms", run.wall_ms),
+                field("kernel_events", kernel_events),
+            ];
+            if let Some(s) = stats {
+                fields.push(field("hits", s.hits));
+                fields.push(field("misses", s.misses));
+                fields.push(field("appended", s.appended));
+            }
+            sink.event(Level::Info, "sweep_done", &fields);
+            sink.flush();
+        }
+        if let Some(path) = &self.metrics_file {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
+            std::fs::write(path, self.registry.render())
+                .unwrap_or_else(|e| panic!("--metrics: cannot write {}: {e}", path.display()));
+        }
+        if self.show_progress {
+            let snap = self.progress.snapshot();
+            eprintln!(
+                "progress[{}]: {} in {:.0} ms",
+                self.sweep,
+                snap.render(),
+                snap.elapsed_ms
             );
         }
     }

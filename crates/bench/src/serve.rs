@@ -20,6 +20,9 @@
 //!   capacity). `insts` overrides `HIRA_INSTS` for this sweep. `name`
 //!   selects the sweep/shard name (default `"serve"`).
 //! * `{"op":"stats"}` — report the session's accumulated totals.
+//! * `{"op":"metrics"}` — dump the session's metrics registry in
+//!   Prometheus text format (the shared `hira_*` name catalogue plus the
+//!   `hira_serve_*` counters; see the README's Observability section).
 //! * `{"op":"shutdown"}` — say goodbye and stop.
 //!
 //! Events (server → client), one JSON object per line:
@@ -35,20 +38,30 @@
 //! * `{"event":"done","id":"a","points":4,"hits":2,"misses":2,
 //!   "appended":2,"wall_ms":25.0}` — the sweep finished; `wall_ms` is the
 //!   sum of per-point simulation walls (replayed verbatim for hits).
-//! * `{"event":"error","id":"a","message":"..."}` — the request was
-//!   rejected (unparsable line, unknown name, empty grid); the server
+//! * `{"event":"progress","id":"a","done":3,"total":4,"cached":2,
+//!   "points_per_sec":2.5,"eta_ms":400.0}` — emitted after each finished
+//!   point of an accepted sweep; `points_per_sec`/`eta_ms` count only
+//!   computed points and are `null` until a rate is known.
+//! * `{"event":"error","id":"a","line":7,"message":"..."}` — the request
+//!   was rejected (unparsable line, unknown name, empty grid); `line` is
+//!   the 1-based request line number within the session and the server
 //!   keeps serving.
 //! * `{"event":"stats","sweeps":2,"points":8,"hits":6,"misses":2,
-//!   "appended":2}` — answer to `{"op":"stats"}`.
+//!   "appended":2,"uptime_ms":153.0,"sweeps_accepted":2,
+//!   "points_streamed":8}` — answer to `{"op":"stats"}`.
+//! * `{"event":"metrics","text":"# HELP ..."}` — answer to
+//!   `{"op":"metrics"}`: one JSON string holding the Prometheus text.
 //! * `{"event":"bye"}` — shutdown (op or end of input).
 
-use crate::{cache_salt, ws_canonical, ws_point_task, CacheSpec, Scale};
+use crate::{cache_salt, kernel_events, ws_canonical, ws_point_task, CacheSpec, Meters, Scale};
 use hira_engine::json::{self, Value};
 use hira_engine::{flabel, Executor, ScenarioKey, Sweep};
+use hira_obs::{field, Counter, Gauge, Level, MetricsRegistry, Progress, TraceSink};
 use hira_sim::builder::{BuildError, SystemBuilder};
 use hira_sim::config::SystemConfig;
 use hira_store::{CacheExecutorExt, CacheStats, SweepPlan, SweepStore};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +70,8 @@ pub enum Op {
     Sweep(SweepSpec),
     /// Report session totals.
     Stats,
+    /// Dump the session metrics in Prometheus text format.
+    Metrics,
     /// Stop serving.
     Shutdown,
 }
@@ -113,6 +128,7 @@ pub fn parse_op(line: &str) -> Result<Op, String> {
         .ok_or("request needs a string `op` field")?;
     match op {
         "stats" => Ok(Op::Stats),
+        "metrics" => Ok(Op::Metrics),
         "shutdown" => Ok(Op::Shutdown),
         "sweep" => {
             let id = v
@@ -290,6 +306,16 @@ pub struct Server {
     scratch: Option<PathBuf>,
     sweeps: usize,
     totals: CacheStats,
+    started: Instant,
+    /// Request lines received so far — the `line` field of error events.
+    lines: u64,
+    sweeps_accepted: u64,
+    registry: MetricsRegistry,
+    meters: Meters,
+    errors: Counter,
+    streamed: Counter,
+    uptime: Gauge,
+    sink: Option<TraceSink>,
 }
 
 impl Server {
@@ -311,6 +337,14 @@ impl Server {
         };
         let store = SweepStore::open(&dir)
             .unwrap_or_else(|e| panic!("serve: cannot open store at {}: {e}", dir.display()));
+        let registry = MetricsRegistry::new();
+        let meters = Meters::new(&registry);
+        let errors = registry.counter("hira_serve_errors_total", "protocol errors answered");
+        let streamed = registry.counter(
+            "hira_serve_points_streamed_total",
+            "points streamed to clients",
+        );
+        let uptime = registry.gauge("hira_serve_uptime_ms", "milliseconds since server start");
         Server {
             ex,
             scale,
@@ -318,7 +352,31 @@ impl Server {
             scratch,
             sweeps: 0,
             totals: CacheStats::default(),
+            started: Instant::now(),
+            lines: 0,
+            sweeps_accepted: 0,
+            registry,
+            meters,
+            errors,
+            streamed,
+            uptime,
+            sink: None,
         }
+    }
+
+    /// Attaches a trace sink: the server then writes a span per sweep and
+    /// an event per protocol error, beside whatever the transport wrapper
+    /// logs (e.g. per-connection spans).
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The session metrics in Prometheus text format — what the
+    /// `{"op":"metrics"}` request answers with.
+    pub fn metrics_text(&self) -> String {
+        self.uptime.set(self.started.elapsed().as_secs_f64() * 1e3);
+        self.registry.render()
     }
 
     /// Session totals across all sweeps handled so far.
@@ -331,24 +389,42 @@ impl Server {
     /// (shutdown op); protocol errors emit an `error` event and return
     /// `true` — a long-running service survives bad requests.
     pub fn handle(&mut self, line: &str, emit: &(dyn Fn(&str) + Sync)) -> bool {
+        self.lines += 1;
         let line = line.trim();
         if line.is_empty() {
             return true;
         }
+        let request_counter = |op: &str| {
+            self.registry.counter_with(
+                "hira_serve_requests_total",
+                "requests handled",
+                &[("op", op)],
+            )
+        };
         match parse_op(line) {
             Err(msg) => {
+                self.errors.inc();
+                self.trace_error(&msg);
                 emit(&obj(vec![
                     ("event", jstr("error")),
                     ("id", jstr("")),
+                    ("line", self.lines.to_string()),
                     ("message", jstr(&msg)),
                 ]));
                 true
             }
             Ok(Op::Shutdown) => {
+                request_counter("shutdown").inc();
                 emit(&obj(vec![("event", jstr("bye"))]));
+                if let Some(s) = &self.sink {
+                    s.flush();
+                }
                 false
             }
             Ok(Op::Stats) => {
+                request_counter("stats").inc();
+                let uptime_ms = self.started.elapsed().as_secs_f64() * 1e3;
+                self.uptime.set(uptime_ms);
                 emit(&obj(vec![
                     ("event", jstr("stats")),
                     ("sweeps", self.sweeps.to_string()),
@@ -356,19 +432,44 @@ impl Server {
                     ("hits", self.totals.hits.to_string()),
                     ("misses", self.totals.misses.to_string()),
                     ("appended", self.totals.appended.to_string()),
+                    ("uptime_ms", jf64(uptime_ms)),
+                    ("sweeps_accepted", self.sweeps_accepted.to_string()),
+                    ("points_streamed", self.streamed.get().to_string()),
+                ]));
+                true
+            }
+            Ok(Op::Metrics) => {
+                request_counter("metrics").inc();
+                emit(&obj(vec![
+                    ("event", jstr("metrics")),
+                    ("text", jstr(&self.metrics_text())),
                 ]));
                 true
             }
             Ok(Op::Sweep(spec)) => {
+                request_counter("sweep").inc();
                 if let Err(msg) = self.run_sweep(&spec, emit) {
+                    self.errors.inc();
+                    self.trace_error(&msg);
                     emit(&obj(vec![
                         ("event", jstr("error")),
                         ("id", jstr(&spec.id)),
+                        ("line", self.lines.to_string()),
                         ("message", jstr(&msg)),
                     ]));
                 }
                 true
             }
+        }
+    }
+
+    fn trace_error(&self, msg: &str) {
+        if let Some(s) = &self.sink {
+            s.event(
+                Level::Warn,
+                "serve_error",
+                &[field("line", self.lines), field("message", msg)],
+            );
         }
     }
 
@@ -378,6 +479,19 @@ impl Server {
         let plan = SweepPlan::compute(&self.store, &sweep, cache_salt(), |sc| {
             ws_canonical(tag, sc.params)
         });
+        let span = self.sink.as_ref().map(|s| {
+            s.span(
+                Level::Info,
+                "sweep",
+                vec![
+                    field("id", spec.id.as_str()),
+                    field("sweep", sweep.name()),
+                    field("points", plan.len()),
+                    field("hits", plan.hits()),
+                ],
+            )
+        });
+        self.sweeps_accepted += 1;
         emit(&obj(vec![
             ("event", jstr("accepted")),
             ("id", jstr(&spec.id)),
@@ -398,6 +512,9 @@ impl Server {
         );
 
         let channel_stats = spec.channel_stats;
+        let meters = &self.meters;
+        let streamed = &self.streamed;
+        let progress = Progress::new(plan.len());
         let on_point = |o: hira_store::PointOutcome<'_>| {
             let key = &sweep.points()[o.index].0;
             for m in &o.point.metrics {
@@ -411,6 +528,26 @@ impl Server {
                     ("wall_ms", jf64(o.point.wall_ms)),
                 ]));
             }
+            streamed.inc();
+            meters.point(o.cached, o.queue_wait_ms, o.point.wall_ms);
+            let snap = progress.point_done(o.cached);
+            let rate = if snap.points_per_sec > 0.0 {
+                jf64(snap.points_per_sec)
+            } else {
+                "null".to_owned()
+            };
+            emit(&obj(vec![
+                ("event", jstr("progress")),
+                ("id", jstr(&spec.id)),
+                ("done", snap.done.to_string()),
+                ("total", snap.total.to_string()),
+                ("cached", snap.cached.to_string()),
+                ("points_per_sec", rate),
+                (
+                    "eta_ms",
+                    snap.eta_ms.map_or_else(|| "null".to_owned(), jf64),
+                ),
+            ]));
         };
         let (run, stats) = self
             .ex
@@ -423,6 +560,16 @@ impl Server {
             )
             .map_err(|e| format!("cannot persist results: {e}"))?;
 
+        self.meters.kernel_events.add(kernel_events(&run));
+        self.meters.sweep_wall_ms.set(run.wall_ms);
+        self.meters.sweeps.inc();
+        self.meters.cache_hits.add(stats.hits as u64);
+        self.meters.cache_misses.add(stats.misses as u64);
+        self.meters.cache_appended.add(stats.appended as u64);
+        drop(span);
+        if let Some(s) = &self.sink {
+            s.flush();
+        }
         self.sweeps += 1;
         self.totals.points += stats.points;
         self.totals.hits += stats.hits;
@@ -643,6 +790,149 @@ mod tests {
         let (alive, bye) = collect(&mut server, "{\"op\":\"shutdown\"}");
         assert!(!alive);
         assert_eq!(field(&bye[0], "event"), "\"bye\"");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers_and_feed_the_metrics() {
+        let mut server = Server::new(
+            Executor::with_threads(1),
+            tiny_scale(),
+            &CacheSpec::disabled(),
+        );
+        // Malformed JSON, an unknown op, and an unknown registry name in
+        // an otherwise well-formed grid spec: each answers with a
+        // structured error naming the request line, and serving continues.
+        let (alive, ev) = collect(&mut server, "{not json");
+        assert!(alive);
+        assert_eq!(field(&ev[0], "event"), "\"error\"");
+        assert_eq!(field(&ev[0], "line"), "1");
+        let (_, ev) = collect(&mut server, "{\"op\":\"dance\"}");
+        assert_eq!(field(&ev[0], "event"), "\"error\"");
+        assert_eq!(field(&ev[0], "line"), "2");
+        assert!(ev[0].contains("unknown op"));
+        let (_, ev) = collect(
+            &mut server,
+            "{\"op\":\"sweep\",\"id\":\"x\",\"policies\":[\"nope\"]}",
+        );
+        assert_eq!(field(&ev[0], "event"), "\"error\"");
+        assert_eq!(field(&ev[0], "id"), "\"x\"");
+        assert_eq!(field(&ev[0], "line"), "3");
+        assert!(ev[0].contains("nope"));
+
+        // The metrics op answers with strict Prometheus text carrying the
+        // error and request counters.
+        let (alive, ev) = collect(&mut server, "{\"op\":\"metrics\"}");
+        assert!(alive);
+        assert_eq!(field(&ev[0], "event"), "\"metrics\"");
+        let text = json::parse(&ev[0])
+            .unwrap()
+            .get("text")
+            .and_then(|t| t.as_str().map(str::to_owned))
+            .expect("metrics event carries a text field");
+        let samples = hira_obs::parse_prometheus(&text).expect("strict Prometheus text");
+        let value = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("no sample {name}"))
+                .value
+        };
+        assert_eq!(value("hira_serve_errors_total"), 3.0);
+        assert!(value("hira_serve_uptime_ms") > 0.0);
+        let metrics_reqs = samples
+            .iter()
+            .find(|s| {
+                s.name == "hira_serve_requests_total"
+                    && s.labels.contains(&("op".to_owned(), "metrics".to_owned()))
+            })
+            .expect("per-op request counter");
+        assert_eq!(metrics_reqs.value, 1.0);
+
+        // Stats gained uptime and cumulative counters, appended after the
+        // original fields.
+        let (_, ev) = collect(&mut server, "{\"op\":\"stats\"}");
+        let stats = &ev[0];
+        assert!(stats.find("\"appended\":").unwrap() < stats.find("\"uptime_ms\":").unwrap());
+        assert_eq!(field(stats, "sweeps_accepted"), "0");
+        assert_eq!(field(stats, "points_streamed"), "0");
+        assert!(field(stats, "uptime_ms").parse::<f64>().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sweeps_stream_progress_and_count_streamed_points() {
+        let mut server = Server::new(
+            Executor::with_threads(2),
+            tiny_scale(),
+            &CacheSpec::disabled(),
+        );
+        let req = "{\"op\":\"sweep\",\"id\":\"p1\",\"name\":\"serve_progress\",\
+                   \"policies\":[\"noref\",\"baseline\"],\"workloads\":[\"stream\"]}";
+        let (_, events) = collect(&mut server, req);
+        let progress: Vec<&String> = events
+            .iter()
+            .filter(|e| e.contains("\"event\":\"progress\""))
+            .collect();
+        assert_eq!(progress.len(), 2, "one progress event per point");
+        for p in &progress {
+            assert_eq!(field(p, "id"), "\"p1\"");
+            assert_eq!(field(p, "total"), "2");
+        }
+        let last = progress.last().unwrap();
+        assert_eq!(field(last, "done"), "2");
+        assert_ne!(field(last, "eta_ms"), "null", "finished sweep has an ETA");
+        // Each record is preceded by... rather: every progress event comes
+        // after its point's records; the final event is still `done`.
+        assert_eq!(field(events.last().unwrap(), "event"), "\"done\"");
+
+        let (_, ev) = collect(&mut server, "{\"op\":\"stats\"}");
+        assert_eq!(field(&ev[0], "sweeps_accepted"), "1");
+        assert_eq!(field(&ev[0], "points_streamed"), "2");
+
+        // The session metrics absorbed the sweep: points, cache misses,
+        // kernel events.
+        let text = server.metrics_text();
+        let samples = hira_obs::parse_prometheus(&text).unwrap();
+        let value = |name: &str| {
+            samples
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.value)
+                .sum::<f64>()
+        };
+        assert_eq!(value("hira_points_total"), 2.0);
+        assert_eq!(value("hira_cache_misses_total"), 2.0);
+        assert_eq!(value("hira_serve_points_streamed_total"), 2.0);
+        assert!(value("hira_kernel_events_total") > 0.0);
+    }
+
+    #[test]
+    fn attached_traces_record_sweep_spans_and_errors() {
+        let sink = hira_obs::TraceSink::in_memory(Level::Info);
+        let mut server = Server::new(
+            Executor::with_threads(1),
+            tiny_scale(),
+            &CacheSpec::disabled(),
+        )
+        .with_trace(sink.clone());
+        collect(&mut server, "{\"op\":\"nope\"}");
+        collect(
+            &mut server,
+            "{\"op\":\"sweep\",\"id\":\"t\",\"policies\":[\"noref\"],\
+             \"workloads\":[\"stream\"]}",
+        );
+        let lines = sink.lines();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"event\":\"serve_error\"") && l.contains("\"line\":1")),
+            "{lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"event\":\"sweep\"") && l.contains("\"dur_us\":")),
+            "{lines:?}"
+        );
     }
 
     #[test]

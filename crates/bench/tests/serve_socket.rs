@@ -1,0 +1,117 @@
+//! The serve binary's Unix-socket transport under adversity: a client
+//! that disconnects mid-stream must not take the server down, and the
+//! next client gets a fully working session (stats, Prometheus metrics,
+//! graceful shutdown).
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+fn connect(path: &std::path::Path) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => {
+                s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                return s;
+            }
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "serve socket never came up at {}: {e}",
+                    path.display()
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn field(event: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let at = event
+        .find(&needle)
+        .unwrap_or_else(|| panic!("event {event} has no `{key}` field"))
+        + needle.len();
+    let rest = &event[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].to_owned()
+}
+
+#[test]
+fn socket_server_survives_mid_stream_disconnect() {
+    let tmp = std::env::temp_dir().join(format!("hira-serve-sock-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let socket = tmp.join("serve.sock");
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_serve"))
+        .arg(format!("--socket={}", socket.display()))
+        .env("HIRA_MIXES", "2")
+        .env("HIRA_INSTS", "2000")
+        .env("HIRA_ROWS", "16")
+        .env("HIRA_THREADS", "2")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+
+    // Client 1: request a sweep, read only the `accepted` event, then
+    // vanish while records and progress are still streaming.
+    {
+        let mut stream = connect(&socket);
+        writeln!(
+            stream,
+            "{{\"op\":\"sweep\",\"id\":\"gone\",\"policies\":[\"noref\",\"baseline\"],\
+             \"workloads\":[\"stream\"]}}"
+        )
+        .unwrap();
+        let mut first = String::new();
+        BufReader::new(&stream).read_line(&mut first).unwrap();
+        assert_eq!(field(&first, "event"), "\"accepted\"");
+        // Drop: mid-stream disconnect. The server's writes hit a broken
+        // pipe and must be swallowed.
+    }
+
+    // Client 2: a full session on the same server.
+    let mut stream = connect(&socket);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut request = |line: &str| -> String {
+        writeln!(stream, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(!reply.is_empty(), "server hung up early");
+        reply
+    };
+
+    let stats = request("{\"op\":\"stats\"}");
+    assert_eq!(field(&stats, "event"), "\"stats\"");
+    // The abandoned sweep still ran to completion on the server side.
+    assert_eq!(field(&stats, "sweeps"), "1");
+    assert_eq!(field(&stats, "sweeps_accepted"), "1");
+    assert_eq!(field(&stats, "points_streamed"), "2");
+
+    let metrics = request("{\"op\":\"metrics\"}");
+    assert_eq!(field(&metrics, "event"), "\"metrics\"");
+    let text = hira_engine::json::parse(&metrics)
+        .unwrap()
+        .get("text")
+        .and_then(|t| t.as_str().map(str::to_owned))
+        .expect("metrics event carries text");
+    let samples = hira_obs::parse_prometheus(&text).expect("strict Prometheus text");
+    let total: f64 = samples
+        .iter()
+        .filter(|s| s.name == "hira_points_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(total, 2.0);
+
+    let bye = request("{\"op\":\"shutdown\"}");
+    assert_eq!(field(&bye, "event"), "\"bye\"");
+
+    let status = child.wait().expect("serve exits after shutdown");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&tmp);
+}

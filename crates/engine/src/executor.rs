@@ -13,7 +13,7 @@
 //! [`std::thread::available_parallelism`].
 
 use crate::record::{Metric, PointTelemetry, RunRecord, RunSet};
-use crate::scenario::{Scenario, Sweep};
+use crate::scenario::{Scenario, ScenarioKey, Sweep};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -21,6 +21,25 @@ use std::time::Instant;
 /// One point's finished work: opaque output, metrics, optional telemetry,
 /// and wall time in ms.
 type Slot<R> = Mutex<Option<(R, Vec<Metric>, Option<PointTelemetry>, f64)>>;
+
+/// One point's execution timing, handed to a [`RunObserver`] as the point
+/// completes (from the worker thread that ran it).
+#[derive(Debug, Clone)]
+pub struct PointRun<'a> {
+    /// The point's index within the sweep.
+    pub index: usize,
+    /// The point's coordinates.
+    pub key: &'a ScenarioKey,
+    /// Milliseconds the point sat queued before a worker picked it up.
+    pub queue_wait_ms: f64,
+    /// Milliseconds the task ran.
+    pub wall_ms: f64,
+}
+
+/// A per-point completion hook: called from worker threads, in completion
+/// (not point) order. Purely observational — it receives no result data
+/// and cannot influence the run.
+pub type RunObserver<'a> = &'a (dyn Fn(&PointRun<'_>) + Sync);
 
 /// A sweep executor with a fixed worker-thread budget.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +111,29 @@ impl Executor {
         R: Send,
         F: Fn(Scenario<'_, P>) -> (R, Vec<Metric>, Option<PointTelemetry>) + Sync,
     {
+        self.run_observed(sweep, task, None)
+    }
+
+    /// [`Executor::run_instrumented`] with an optional per-point
+    /// [`RunObserver`]: as each point completes, its worker thread reports
+    /// the index, key, queue wait (time between run start and pickup) and
+    /// task wall time. The observer sees timing only — results flow
+    /// exactly as without it, so observed runs stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Propagates task panics after all workers stop.
+    pub fn run_observed<P, R, F>(
+        &self,
+        sweep: &Sweep<P>,
+        task: F,
+        observer: Option<RunObserver<'_>>,
+    ) -> (Vec<R>, RunSet)
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(Scenario<'_, P>) -> (R, Vec<Metric>, Option<PointTelemetry>) + Sync,
+    {
         let t0 = Instant::now();
         let n = sweep.len();
         let workers = self.threads.min(n.max(1));
@@ -106,10 +148,19 @@ impl Executor {
                         break;
                     }
                     let w0 = Instant::now();
+                    let queue_wait_ms = (w0 - t0).as_secs_f64() * 1e3;
                     let (out, metrics, telemetry) = task(sweep.scenario(i));
                     let wall_ms = w0.elapsed().as_secs_f64() * 1e3;
                     *slots[i].lock().expect("result slot") =
                         Some((out, metrics, telemetry, wall_ms));
+                    if let Some(observe) = observer {
+                        observe(&PointRun {
+                            index: i,
+                            key: &sweep.points()[i].0,
+                            queue_wait_ms,
+                            wall_ms,
+                        });
+                    }
                 });
             }
         });
@@ -251,6 +302,36 @@ mod tests {
         let (_, plain) =
             Executor::with_threads(2).run_with(&sweep, |_| ((), vec![metric("a", 0.0)]));
         assert!(plain.records.iter().all(|r| r.telemetry.is_none()));
+    }
+
+    #[test]
+    fn observers_see_every_point_without_perturbing_results() {
+        let sweep = demo_sweep(9);
+        let seen = Mutex::new(Vec::new());
+        let observer = |p: &PointRun<'_>| {
+            assert!(p.queue_wait_ms >= 0.0 && p.wall_ms >= 0.0);
+            seen.lock().unwrap().push((p.index, p.key.clone()));
+        };
+        let (outs, run) = Executor::with_threads(4).run_observed(
+            &sweep,
+            |sc| (*sc.params * 3, vec![metric("m", *sc.params as f64)], None),
+            Some(&observer),
+        );
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_by_key(|(i, _)| *i);
+        assert_eq!(seen.len(), 9, "one callback per point");
+        for (i, (idx, key)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(key, &sweep.points()[i].0);
+        }
+        // Observed output identical to the unobserved run.
+        let (plain_outs, plain) = Executor::with_threads(4).run_observed(
+            &sweep,
+            |sc| (*sc.params * 3, vec![metric("m", *sc.params as f64)], None),
+            None,
+        );
+        assert_eq!(outs, plain_outs);
+        assert_eq!(run.canonical_json(), plain.canonical_json());
     }
 
     #[test]

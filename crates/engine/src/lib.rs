@@ -45,7 +45,7 @@ pub mod pathkey;
 pub mod record;
 pub mod scenario;
 
-pub use executor::Executor;
+pub use executor::{Executor, PointRun, RunObserver};
 pub use pathkey::{sanitize_component, sanitize_key, suffix_path};
 pub use record::{flabel, metric, Metric, PointTelemetry, RunRecord, RunSet};
 pub use scenario::{derive_seed, Scenario, ScenarioKey, Sweep, DEFAULT_BASE_SEED};

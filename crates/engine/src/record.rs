@@ -286,17 +286,25 @@ impl RunSet {
 
     /// Renders one row of run telemetry per sweep point (first-seen key
     /// order): wall time, kernel events, events/sec, peak queue depth.
-    /// Points whose tasks reported no telemetry are skipped; the empty
-    /// string means no point reported any.
+    /// A footer aggregates the table — total events, total wall,
+    /// wall-weighted events/sec, max peak queue — so the table stays
+    /// readable on 100+-point sweeps. Points whose tasks reported no
+    /// telemetry are skipped; the empty string means no point reported any.
     pub fn telemetry_table(&self) -> String {
         let mut rows: Vec<Vec<String>> = Vec::new();
         let mut seen: Vec<&ScenarioKey> = Vec::new();
+        let mut total_events: u64 = 0;
+        let mut total_wall_ms: f64 = 0.0;
+        let mut max_peak: u64 = 0;
         for r in &self.records {
             let Some(t) = r.telemetry else { continue };
             if seen.contains(&&r.key) {
                 continue;
             }
             seen.push(&r.key);
+            total_events += t.events;
+            total_wall_ms += r.wall_ms;
+            max_peak = max_peak.max(t.peak_queue);
             rows.push(vec![
                 r.key.to_string(),
                 format!("{:.1}", r.wall_ms),
@@ -316,6 +324,20 @@ impl RunSet {
             .map(|h| (*h).to_string())
             .collect();
         rows.insert(0, header);
+        // Aggregate footer: the wall-weighted rate (total events over total
+        // wall), not a mean of per-point rates, so long points dominate the
+        // way they dominate the run.
+        rows.push(vec![
+            "total".to_string(),
+            format!("{total_wall_ms:.1}"),
+            total_events.to_string(),
+            if total_wall_ms > 0.0 {
+                format!("{:.0}", total_events as f64 / (total_wall_ms / 1e3))
+            } else {
+                "-".to_string()
+            },
+            max_peak.to_string(),
+        ]);
         let cols = rows[0].len();
         let widths: Vec<usize> = (0..cols)
             .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
@@ -329,7 +351,7 @@ impl RunSet {
                 out.push_str(&format!("{cell:>width$}", width = widths[c]));
             }
             out.push('\n');
-            if i == 0 {
+            if i == 0 || i + 2 == rows.len() {
                 let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
                 out.push_str(&"-".repeat(total));
                 out.push('\n');
@@ -502,11 +524,23 @@ mod tests {
             });
         }
         let table = rs.telemetry_table();
-        // Two distinct keys (mix=0, mix=1) even though mix=0 has 2 records.
-        assert_eq!(table.lines().count(), 2 + 2, "header + rule + 2 rows");
+        // Two distinct keys (mix=0, mix=1) even though mix=0 has 2 records,
+        // plus the aggregate footer under its own rule.
+        assert_eq!(
+            table.lines().count(),
+            2 + 2 + 2,
+            "header + rule + 2 rows + rule + footer"
+        );
         assert!(table.contains("events/s"));
         assert!(table.contains("mix=0"));
         assert!(table.contains("mix=1"));
+        // Footer: total events 100+200 over total wall 3+4 ms, max peak_q 1.
+        let footer = table.lines().last().unwrap();
+        assert!(footer.starts_with("total") || footer.trim_start().starts_with("total"));
+        assert!(footer.contains("7.0"), "{footer}");
+        assert!(footer.contains("300"), "{footer}");
+        assert!(footer.contains("42857"), "{footer}");
+        assert!(footer.trim_end().ends_with('1'), "{footer}");
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! `hira-obs` — structured tracing, metrics and live progress for the
+//! HiRA engine and services.
+//!
+//! The simulator already reports deep per-run telemetry (probes, command
+//! traces, latency histograms); this crate observes the layer *around* it
+//! — executors, caches, services — without ever touching a result:
+//! everything here rides beside `PointTelemetry`, never inside the
+//! canonical JSON, so tracing a run changes nothing about its output.
+//! Std-only, like the rest of the workspace.
+//!
+//! Three pieces:
+//!
+//! * [`TraceSink`] / [`Span`] — append-only JSONL tracing with monotonic
+//!   timestamps and [`Level`] filtering (shared `--log-level=` /
+//!   `HIRA_LOG` knob, `hira_engine::pathkey` file naming),
+//! * [`MetricsRegistry`] — named [`Counter`]s / [`Gauge`]s / log2
+//!   [`Histogram`]s with Prometheus text exposition ([`parse_prometheus`]
+//!   is the matching strict checker),
+//! * [`Progress`] — a done/total ticker yielding points/sec and an ETA
+//!   per completed point.
+//!
+//! # Example: trace a sweep and read back the span log
+//!
+//! ```
+//! use hira_engine::{metric, Executor, Sweep};
+//! use hira_obs::{field, parse_prometheus, Level, MetricsRegistry, TraceSink};
+//!
+//! // One span per point, one counter for completions — both shareable
+//! // across the executor's worker threads.
+//! let sink = TraceSink::in_memory(Level::Info);
+//! let registry = MetricsRegistry::new();
+//! let points = registry.counter("hira_points_total", "points completed");
+//!
+//! let sweep = Sweep::new("demo").axis("cap", [("8", 8.0f64), ("64", 64.0)], |_, &v| v);
+//! let run = Executor::with_threads(2).run(&sweep, |sc| {
+//!     let span = sink.span(Level::Info, "point", vec![field("key", sc.key.to_string())]);
+//!     let value = sc.params * 2.0; // the "measurement"
+//!     points.inc();
+//!     span.finish(); // writes the span's one JSONL line, with dur_us
+//!     vec![metric("double", value)]
+//! });
+//! assert_eq!(run.records.len(), 2);
+//!
+//! // The span log: one line per point, each a JSON object with the
+//! // monotonic timestamp, level, name, fields, span id and duration.
+//! let lines = sink.lines();
+//! assert_eq!(lines.len(), 2);
+//! for line in &lines {
+//!     let v = hira_engine::json::parse(line).unwrap();
+//!     assert_eq!(v.get("event").and_then(|e| e.as_str()), Some("point"));
+//!     assert!(v.get("dur_us").and_then(|d| d.as_u64()).is_some());
+//! }
+//!
+//! // And the metrics dump is valid Prometheus text.
+//! let text = registry.render();
+//! assert!(text.contains("hira_points_total 2"));
+//! parse_prometheus(&text).unwrap();
+//! ```
+
+pub mod level;
+pub mod metrics;
+pub mod progress;
+pub mod trace;
+
+pub use level::Level;
+pub use metrics::{
+    parse_prometheus, Counter, Gauge, Histogram, MetricsRegistry, PromSample, HISTOGRAM_BUCKETS,
+};
+pub use progress::{Progress, ProgressSnapshot};
+pub use trace::{field, Field, FieldValue, Span, TraceSink};

@@ -1,0 +1,784 @@
+//! The metrics registry: named counters, gauges and log2 histograms with
+//! Prometheus text-format exposition.
+//!
+//! A [`MetricsRegistry`] hands out cheap, cloneable instruments keyed by
+//! metric name + label set; asking twice for the same series returns the
+//! same underlying cell, so library code and binaries can both say
+//! `registry.counter("hira_cache_hits_total", ...)` without coordinating.
+//! [`MetricsRegistry::render`] exposes everything in the Prometheus text
+//! format (`# HELP`/`# TYPE` preambles, one sample line per series), and
+//! [`parse_prometheus`] is the matching strict line-format checker —
+//! mirroring the shape of the simulator's `parse_cmdtrace` — used by tests
+//! and CI to validate a dump without a Prometheus server.
+//!
+//! Histograms use the same log2 bucketing as the simulator's probe
+//! `LatencyHistogram`: an observation `v` (rounded up to an integer)
+//! lands in bucket `64 - v.leading_zeros()` (bucket 0 holds exactly 0),
+//! so bucket `b > 0` spans `[2^(b-1), 2^b - 1]` and renders as the
+//! cumulative Prometheus bucket `le="2^b - 1"`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log2 buckets per histogram (values ≥ 2^30 share the last).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing integer series.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A set-to-latest floating-point series.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A log2-bucketed distribution (see module docs for the bucket layout).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    cells: Arc<HistogramCells>,
+}
+
+impl Histogram {
+    /// Records one observation. Negative and non-finite values clamp into
+    /// bucket 0 / +Inf respectively rather than poisoning the counts.
+    pub fn observe(&self, v: f64) {
+        let as_int = if v.is_finite() && v > 0.0 {
+            v.ceil() as u64
+        } else if v.is_infinite() && v > 0.0 {
+            u64::MAX
+        } else {
+            0
+        };
+        self.cells.buckets[Self::bucket_index(as_int)].fetch_add(1, Ordering::Relaxed);
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+        // f64 add via CAS: histograms are write-mostly, contention is rare.
+        let mut cur = self.cells.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + if v.is_finite() { v } else { 0.0 }).to_bits();
+            match self.cells.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of (finite) observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.cells.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The bucket an integerized observation lands in — identical to the
+    /// probe `LatencyHistogram` rule.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive `[lo, hi]` integer range of bucket `b`.
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (b - 1), (1u64 << b) - 1)
+        }
+    }
+
+    fn snapshot_buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, cell) in out.iter_mut().zip(self.cells.buckets.iter()) {
+            *slot = cell.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// A process-wide set of named instruments (see module docs). Cloning is
+/// cheap and clones share the registry.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    families: Arc<Mutex<Vec<Family>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            families: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Get-or-create the unlabeled counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-create the counter `name{labels}`.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, Kind::Counter, labels, || {
+            Instrument::Counter(Counter {
+                cell: Arc::new(AtomicU64::new(0)),
+            })
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked by series()"),
+        }
+    }
+
+    /// Get-or-create the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-create the gauge `name{labels}`.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, Kind::Gauge, labels, || {
+            Instrument::Gauge(Gauge {
+                bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+            })
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked by series()"),
+        }
+    }
+
+    /// Get-or-create the unlabeled histogram `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Get-or-create the histogram `name{labels}`.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.series(name, help, Kind::Histogram, labels, || {
+            Instrument::Histogram(Histogram {
+                cells: Arc::new(HistogramCells {
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                    sum_bits: AtomicU64::new(0f64.to_bits()),
+                    count: AtomicU64::new(0),
+                }),
+            })
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked by series()"),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        assert!(
+            valid_metric_name(name),
+            "invalid metric name `{name}` (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        );
+        for (k, _) in labels {
+            assert!(
+                valid_label_name(k),
+                "invalid label name `{k}` (want [a-zA-Z_][a-zA-Z0-9_]*)"
+            );
+        }
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        let mut families = self.families.lock().expect("metrics registry");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert!(
+                    f.kind == kind,
+                    "metric `{name}` registered as {} and asked for as {}",
+                    f.kind.as_str(),
+                    kind.as_str()
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(s) = family.series.iter().find(|s| s.labels == labels) {
+            return s.instrument.clone();
+        }
+        let instrument = make();
+        family.series.push(Series {
+            labels,
+            instrument: instrument.clone(),
+        });
+        instrument
+    }
+
+    /// The Prometheus text-format exposition of every registered series,
+    /// in registration order.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("metrics registry");
+        let mut out = String::new();
+        for f in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(&f.name);
+            out.push(' ');
+            out.push_str(&escape_help(&f.help));
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&f.name);
+            out.push(' ');
+            out.push_str(f.kind.as_str());
+            out.push('\n');
+            for s in &f.series {
+                match &s.instrument {
+                    Instrument::Counter(c) => {
+                        render_sample(&mut out, &f.name, &s.labels, &[], &c.get().to_string());
+                    }
+                    Instrument::Gauge(g) => {
+                        render_sample(&mut out, &f.name, &s.labels, &[], &fmt_value(g.get()));
+                    }
+                    Instrument::Histogram(h) => {
+                        render_histogram(&mut out, &f.name, &s.labels, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().expect("metrics registry");
+        f.debug_struct("MetricsRegistry")
+            .field("families", &families.len())
+            .finish()
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &Histogram) {
+    let buckets = h.snapshot_buckets();
+    let highest = buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map(|b| b + 1)
+        .unwrap_or(1);
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for (b, &count) in buckets.iter().enumerate().take(highest) {
+        cumulative += count;
+        let (_, hi) = Histogram::bucket_bounds(b);
+        render_sample(
+            out,
+            &bucket_name,
+            labels,
+            &[("le", &hi.to_string())],
+            &cumulative.to_string(),
+        );
+    }
+    render_sample(
+        out,
+        &bucket_name,
+        labels,
+        &[("le", "+Inf")],
+        &h.count().to_string(),
+    );
+    render_sample(
+        out,
+        &format!("{name}_sum"),
+        labels,
+        &[],
+        &fmt_value(h.sum()),
+    );
+    render_sample(
+        out,
+        &format!("{name}_count"),
+        labels,
+        &[],
+        &h.count().to_string(),
+    );
+}
+
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: &[(&str, &str)],
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Prometheus sample-value rendering: shortest round-trip decimal for
+/// finite values, the format's literal spellings for the rest.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        let mut s = String::new();
+        hira_engine::json::write_f64(&mut s, v);
+        s
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One sample line from a Prometheus text dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The full sample name (`hira_point_wall_us_bucket`, ...).
+    pub name: String,
+    /// Label pairs in source order (including `le` on histogram buckets).
+    pub labels: Vec<(String, String)>,
+    /// The parsed value (`NaN`/`+Inf`/`-Inf` spellings included).
+    pub value: f64,
+}
+
+/// Strict checker for the Prometheus text format, mirroring the shape of
+/// the simulator's `parse_cmdtrace`: every line must be a well-formed
+/// `# HELP`, `# TYPE` or sample line, `# TYPE` must name a known kind and
+/// precede its samples, and every sample must parse — anything else fails
+/// with its 1-based line number.
+///
+/// # Errors
+///
+/// `Err("line N: ...")` on the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    let mut typed: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            return Err(format!("line {lineno}: blank line in exposition"));
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let tail = parts.next();
+            if !valid_metric_name(name) {
+                return Err(format!(
+                    "line {lineno}: bad metric name in comment: `{line}`"
+                ));
+            }
+            match keyword {
+                "HELP" => {
+                    if tail.is_none() {
+                        return Err(format!("line {lineno}: HELP without text: `{line}`"));
+                    }
+                }
+                "TYPE" => {
+                    let kind = tail.unwrap_or("");
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {lineno}: unknown TYPE `{kind}`"));
+                    }
+                    typed.push(name.to_owned());
+                }
+                other => {
+                    return Err(format!("line {lineno}: unknown comment keyword `{other}`"));
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {lineno}: malformed comment: `{line}`"));
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| sample.name.strip_suffix(suf))
+            .filter(|family| typed.iter().any(|t| t == family))
+            .unwrap_or(&sample.name);
+        if !typed.iter().any(|t| t == family) {
+            return Err(format!(
+                "line {lineno}: sample `{}` before its # TYPE",
+                sample.name
+            ));
+        }
+        out.push(sample);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, String> {
+    let (name_labels, value_str) = match line.find('}') {
+        Some(close) => {
+            let (head, tail) = line.split_at(close + 1);
+            (
+                head,
+                tail.strip_prefix(' ').ok_or("missing space after `}`")?,
+            )
+        }
+        None => line
+            .split_once(' ')
+            .ok_or("expected `name value` or `name{labels} value`")?,
+    };
+    let (name, labels) = match name_labels.split_once('{') {
+        None => (name_labels, Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').ok_or("unterminated label set")?;
+            (name, parse_labels(body)?)
+        }
+    };
+    if !valid_metric_name(name) {
+        return Err(format!("bad sample name `{name}`"));
+    }
+    let value = match value_str {
+        "NaN" => f64::NAN,
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().map_err(|_| format!("bad sample value `{v}`"))?,
+    };
+    Ok(PromSample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{body}`"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("bad label name `{name}`"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label `{name}` value not quoted"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let after_quote = loop {
+            let (idx, c) = chars
+                .next()
+                .ok_or_else(|| format!("unterminated value for label `{name}`"))?;
+            match c {
+                '"' => break idx + 1,
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| format!("dangling escape in label `{name}`"))?;
+                    match esc {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => return Err(format!("bad escape `\\{other}` in label `{name}`")),
+                    }
+                }
+                other => value.push(other),
+            }
+        };
+        labels.push((name.to_owned(), value));
+        rest = &rest[after_quote..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+            if rest.is_empty() {
+                return Err(format!("trailing comma in label set `{body}`"));
+            }
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value in `{body}`"));
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_get_or_create_and_share_cells() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hira_test_total", "a test counter");
+        let b = reg.counter("hira_test_total", "a test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let labeled = reg.counter_with("hira_test_total", "a test counter", &[("kind", "x")]);
+        labeled.inc();
+        assert_eq!(a.get(), 3, "labeled series is a distinct cell");
+        assert_eq!(labeled.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_conflicts_are_rejected() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hira_conflict", "first as counter");
+        reg.gauge("hira_conflict", "then as gauge");
+    }
+
+    #[test]
+    fn histogram_buckets_mirror_the_probe_shape() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(3), (4, 7));
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("hira_lat_us", "latency");
+        h.observe(0.0);
+        h.observe(2.5); // ceil -> 3 -> bucket 2
+        h.observe(-1.0); // clamps to bucket 0
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_output_round_trips_through_the_checker() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hira_cache_hits_total", "replayed points")
+            .add(5);
+        reg.gauge("hira_sweep_wall_ms", "last sweep wall").set(12.5);
+        let h = reg.histogram_with("hira_point_wall_us", "per-point wall", &[("bin", "pm")]);
+        h.observe(3.0);
+        h.observe(900.0);
+        reg.counter_with("hira_points_total", "points", &[("result", "computed")])
+            .inc();
+        let text = reg.render();
+        let samples = parse_prometheus(&text).expect(&text);
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "hira_cache_hits_total" && s.value == 5.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "hira_sweep_wall_ms" && s.value == 12.5));
+        let inf_bucket = samples
+            .iter()
+            .find(|s| {
+                s.name == "hira_point_wall_us_bucket"
+                    && s.labels.contains(&("le".to_owned(), "+Inf".to_owned()))
+            })
+            .expect("+Inf bucket present");
+        assert_eq!(inf_bucket.value, 2.0);
+        assert!(inf_bucket
+            .labels
+            .contains(&("bin".to_owned(), "pm".to_owned())));
+        let count = samples
+            .iter()
+            .find(|s| s.name == "hira_point_wall_us_count")
+            .expect("_count present");
+        assert_eq!(count.value, 2.0);
+        assert!(samples.iter().any(|s| s.name == "hira_points_total"
+            && s.labels == vec![("result".to_owned(), "computed".to_owned())]));
+        // Buckets are cumulative and non-decreasing.
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.name == "hira_point_wall_us_bucket")
+            .map(|s| s.value)
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_lines_with_line_numbers() {
+        let cases = [
+            ("# TYPE hira_x counter\nhira_x{le=3} 1", "line 2"),
+            ("hira_untyped 1", "before its # TYPE"),
+            ("# TYPE hira_x counter\nhira_x one", "bad sample value"),
+            ("# HELP hira_x\n", "HELP without text"),
+            ("# TYPE hira_x widget", "unknown TYPE"),
+            ("#comment", "malformed comment"),
+            ("# TYPE hira_x counter\n\nhira_x 1", "line 2: blank line"),
+            (
+                "# TYPE hira_x counter\nhira_x{a=\"b\",} 1",
+                "trailing comma",
+            ),
+        ];
+        for (text, want) in cases {
+            let err = parse_prometheus(text).expect_err(text);
+            assert!(err.contains(want), "`{text}` -> `{err}` (want `{want}`)");
+        }
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("hira_esc_total", "escapes", &[("key", "a\"b\\c\nd")])
+            .inc();
+        let text = reg.render();
+        let samples = parse_prometheus(&text).expect(&text);
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn concurrent_updates_from_clones_land_in_one_cell() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hira_threads_total", "cross-thread");
+        let h = reg.histogram("hira_threads_lat", "cross-thread");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        c.inc();
+                        h.observe(i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 400);
+        assert_eq!(h.count(), 400);
+        assert!((h.sum() - 4.0 * 4950.0).abs() < 1e-6);
+    }
+}

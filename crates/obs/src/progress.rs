@@ -1,0 +1,181 @@
+//! Live sweep progress: done/total, points/sec and an ETA.
+//!
+//! A [`Progress`] is a cheap shared ticker: workers call
+//! [`Progress::point_done`] as points complete (from any thread) and get
+//! back a [`ProgressSnapshot`] — a consistent view the caller can render
+//! ([`ProgressSnapshot::render`]), stream as a `progress` event, or feed
+//! to a metrics gauge. The rate and ETA count only *computed* points:
+//! cache replays land in microseconds and would otherwise make the ETA
+//! for the remaining real work wildly optimistic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ProgressInner {
+    total: usize,
+    done: AtomicUsize,
+    cached: AtomicUsize,
+    epoch: Instant,
+}
+
+/// A shared done/total ticker for one sweep (see module docs). Cloning is
+/// cheap and clones share the count.
+#[derive(Clone)]
+pub struct Progress {
+    inner: Arc<ProgressInner>,
+}
+
+impl Progress {
+    /// A ticker expecting `total` points, with the clock starting now.
+    pub fn new(total: usize) -> Progress {
+        Progress {
+            inner: Arc::new(ProgressInner {
+                total,
+                done: AtomicUsize::new(0),
+                cached: AtomicUsize::new(0),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Records one finished point (`cached` when it was a cache replay)
+    /// and returns the snapshot that includes it.
+    pub fn point_done(&self, cached: bool) -> ProgressSnapshot {
+        if cached {
+            self.inner.cached.fetch_add(1, Ordering::Relaxed);
+        }
+        let done = self.inner.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.snapshot_at(done)
+    }
+
+    /// The current state without recording anything.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        self.snapshot_at(self.inner.done.load(Ordering::Relaxed))
+    }
+
+    fn snapshot_at(&self, done: usize) -> ProgressSnapshot {
+        let cached = self.inner.cached.load(Ordering::Relaxed).min(done);
+        let elapsed_ms = self.inner.epoch.elapsed().as_secs_f64() * 1e3;
+        let computed = done - cached;
+        let remaining = self.inner.total.saturating_sub(done);
+        let points_per_sec = if computed > 0 && elapsed_ms > 0.0 {
+            computed as f64 / (elapsed_ms / 1e3)
+        } else {
+            0.0
+        };
+        let eta_ms = if remaining == 0 {
+            Some(0.0)
+        } else if points_per_sec > 0.0 {
+            Some(remaining as f64 / points_per_sec * 1e3)
+        } else {
+            None
+        };
+        ProgressSnapshot {
+            done,
+            total: self.inner.total,
+            cached,
+            elapsed_ms,
+            points_per_sec,
+            eta_ms,
+        }
+    }
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Progress")
+            .field("done", &s.done)
+            .field("total", &s.total)
+            .finish()
+    }
+}
+
+/// One consistent view of a [`Progress`] ticker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Points finished so far (replays included).
+    pub done: usize,
+    /// Points the sweep will run in total.
+    pub total: usize,
+    /// How many of `done` were cache replays.
+    pub cached: usize,
+    /// Milliseconds since the ticker started.
+    pub elapsed_ms: f64,
+    /// Computed (non-replay) points per second; 0 until one completes.
+    pub points_per_sec: f64,
+    /// Estimated milliseconds to finish: `Some(0)` when done, `None`
+    /// while no computed point has landed to calibrate a rate.
+    pub eta_ms: Option<f64>,
+}
+
+impl ProgressSnapshot {
+    /// A one-line human rendering: `7/24 points (2 cached) 3.1/s eta 5s`.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}/{} points", self.done, self.total);
+        if self.cached > 0 {
+            out.push_str(&format!(" ({} cached)", self.cached));
+        }
+        if self.points_per_sec > 0.0 {
+            out.push_str(&format!(" {:.1}/s", self.points_per_sec));
+        }
+        match self.eta_ms {
+            Some(eta) if self.done < self.total => {
+                out.push_str(&format!(" eta {:.0}s", eta / 1e3));
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_points_and_separates_replays() {
+        let p = Progress::new(4);
+        let s1 = p.point_done(true);
+        assert_eq!((s1.done, s1.cached), (1, 1));
+        assert_eq!(s1.points_per_sec, 0.0, "replays do not set a rate");
+        assert!(s1.eta_ms.is_none(), "no rate, no ETA");
+        let s2 = p.point_done(false);
+        assert_eq!((s2.done, s2.cached), (2, 1));
+        assert!(s2.points_per_sec > 0.0);
+        let eta = s2.eta_ms.expect("rate known -> ETA known");
+        assert!(eta >= 0.0);
+        p.point_done(false);
+        let s4 = p.point_done(false);
+        assert_eq!((s4.done, s4.total), (4, 4));
+        assert_eq!(s4.eta_ms, Some(0.0), "finished sweeps have zero ETA");
+    }
+
+    #[test]
+    fn clones_share_one_ticker_across_threads() {
+        let p = Progress::new(100);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = p.clone();
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        p.point_done(i % 2 == 0);
+                    }
+                });
+            }
+        });
+        let s = p.snapshot();
+        assert_eq!((s.done, s.cached), (100, 52));
+    }
+
+    #[test]
+    fn render_is_compact_and_complete() {
+        let p = Progress::new(10);
+        p.point_done(true);
+        let line = p.point_done(false).render();
+        assert!(line.starts_with("2/10 points (1 cached)"), "{line}");
+        assert!(line.contains("/s"), "{line}");
+        assert!(line.contains("eta"), "{line}");
+    }
+}

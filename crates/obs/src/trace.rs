@@ -1,0 +1,474 @@
+//! The span/event tracing core: structured JSONL with monotonic
+//! timestamps.
+//!
+//! A [`TraceSink`] is a shared, append-only destination for trace lines —
+//! a file on disk or an in-memory buffer for tests. Every line is one JSON
+//! object:
+//!
+//! * `t_us` — microseconds since the sink was opened (monotonic clock,
+//!   never wall time, so lines always sort by emission order),
+//! * `level` — `error|warn|info|debug|trace` (see [`Level`]),
+//! * `event` — the event (or span) name,
+//! * free-form scalar fields the caller attached ([`Field`]),
+//! * spans additionally carry `span` (a per-sink unique id) and `dur_us`
+//!   (the span's duration) — a [`Span`] writes its single line when it
+//!   finishes, so a span line *is* its own close record.
+//!
+//! Events above the sink's configured [`Level`] are dropped before any
+//! formatting happens, and a filtered [`Span`] is an inert value — tracing
+//! an untraced run costs a branch.
+//!
+//! File sinks derive per-sweep names through the engine's shared
+//! [`pathkey`](hira_engine::sanitize_component) sanitizer
+//! ([`TraceSink::for_sweep`]), the same naming the sweep store uses for
+//! its shards.
+
+use crate::level::Level;
+use hira_engine::json;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One named scalar attached to an event or span.
+#[derive(Debug, Clone)]
+pub struct Field {
+    name: String,
+    /// The value, pre-rendered as JSON.
+    json: String,
+}
+
+/// A field value: one JSON scalar.
+#[derive(Debug, Clone)]
+pub enum FieldValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON non-negative integer.
+    U64(u64),
+    /// A JSON number (non-finite values serialize as `null`).
+    F64(f64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// Shorthand constructor for a [`Field`].
+pub fn field(name: impl Into<String>, value: impl Into<FieldValue>) -> Field {
+    let mut json = String::new();
+    match value.into() {
+        FieldValue::Str(s) => json::write_str(&mut json, &s),
+        FieldValue::U64(v) => json.push_str(&v.to_string()),
+        FieldValue::F64(v) => json::write_f64(&mut json, v),
+        FieldValue::Bool(v) => json.push_str(if v { "true" } else { "false" }),
+    }
+    Field {
+        name: name.into(),
+        json,
+    }
+}
+
+enum Out {
+    File(BufWriter<std::fs::File>),
+    Memory(Vec<String>),
+}
+
+struct SinkInner {
+    level: Level,
+    epoch: Instant,
+    next_span: AtomicU64,
+    lines_written: AtomicU64,
+    path: Option<PathBuf>,
+    out: Mutex<Out>,
+}
+
+/// A shared, append-only JSONL trace destination (see module docs).
+/// Cloning is cheap and clones share the sink.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Arc<SinkInner>,
+}
+
+impl TraceSink {
+    fn new(level: Level, path: Option<PathBuf>, out: Out) -> TraceSink {
+        TraceSink {
+            inner: Arc::new(SinkInner {
+                level,
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                lines_written: AtomicU64::new(0),
+                path,
+                out: Mutex::new(out),
+            }),
+        }
+    }
+
+    /// An append-mode file sink at `path` (parent directories are created).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn to_path(path: impl AsRef<Path>, level: Level) -> std::io::Result<TraceSink> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(TraceSink::new(
+            level,
+            Some(path.to_path_buf()),
+            Out::File(BufWriter::new(file)),
+        ))
+    }
+
+    /// [`TraceSink::to_path`] at `dir/<sweep>.trace.jsonl`, with the sweep
+    /// name passed through the engine's shared path sanitizer — the same
+    /// naming the sweep store uses for its shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn for_sweep(
+        dir: impl AsRef<Path>,
+        sweep: &str,
+        level: Level,
+    ) -> std::io::Result<TraceSink> {
+        let name = format!("{}.trace.jsonl", hira_engine::sanitize_component(sweep));
+        TraceSink::to_path(dir.as_ref().join(name), level)
+    }
+
+    /// An in-memory sink, for tests and embedding ([`TraceSink::lines`]
+    /// reads it back).
+    pub fn in_memory(level: Level) -> TraceSink {
+        TraceSink::new(level, None, Out::Memory(Vec::new()))
+    }
+
+    /// The sink's configured level.
+    pub fn level(&self) -> Level {
+        self.inner.level
+    }
+
+    /// The file path, for file sinks.
+    pub fn path(&self) -> Option<&Path> {
+        self.inner.path.as_deref()
+    }
+
+    /// Whether an event at `level` would be recorded.
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.inner.level
+    }
+
+    /// Lines written so far (post-filtering).
+    pub fn lines_written(&self) -> u64 {
+        self.inner.lines_written.load(Ordering::Relaxed)
+    }
+
+    /// Records one instantaneous event.
+    pub fn event(&self, level: Level, name: &str, fields: &[Field]) {
+        if !self.enabled(level) {
+            return;
+        }
+        self.write_line(level, name, fields, None);
+    }
+
+    /// Opens a span: the returned guard writes one line — with the span id,
+    /// the given fields, any fields added later, and the measured `dur_us`
+    /// — when it finishes (explicitly or by drop). A filtered span is
+    /// inert.
+    pub fn span(&self, level: Level, name: &str, fields: Vec<Field>) -> Span {
+        if !self.enabled(level) {
+            return Span {
+                sink: None,
+                level,
+                name: String::new(),
+                fields: Vec::new(),
+                id: 0,
+                start: Instant::now(),
+            };
+        }
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        Span {
+            sink: Some(self.clone()),
+            level,
+            name: name.to_owned(),
+            fields,
+            id,
+            start: Instant::now(),
+        }
+    }
+
+    /// Flushes buffered lines (file sinks).
+    pub fn flush(&self) {
+        if let Out::File(w) = &mut *self.inner.out.lock().expect("trace sink") {
+            let _ = w.flush();
+        }
+    }
+
+    /// The recorded lines: the buffer of an in-memory sink, or a file
+    /// sink's content read back from disk (flushed first). Unreadable
+    /// files yield no lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.flush();
+        match &*self.inner.out.lock().expect("trace sink") {
+            Out::Memory(lines) => lines.clone(),
+            Out::File(_) => self
+                .inner
+                .path
+                .as_ref()
+                .and_then(|p| std::fs::read_to_string(p).ok())
+                .map(|body| body.lines().map(str::to_owned).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    fn write_line(&self, level: Level, name: &str, fields: &[Field], span: Option<(u64, u64)>) {
+        let t_us = self.inner.epoch.elapsed().as_micros() as u64;
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"t_us\":");
+        line.push_str(&t_us.to_string());
+        line.push_str(",\"level\":\"");
+        line.push_str(level.as_str());
+        line.push_str("\",\"event\":");
+        json::write_str(&mut line, name);
+        for f in fields {
+            line.push(',');
+            json::write_str(&mut line, &f.name);
+            line.push(':');
+            line.push_str(&f.json);
+        }
+        if let Some((id, dur_us)) = span {
+            line.push_str(",\"span\":");
+            line.push_str(&id.to_string());
+            line.push_str(",\"dur_us\":");
+            line.push_str(&dur_us.to_string());
+        }
+        line.push('}');
+        self.inner.lines_written.fetch_add(1, Ordering::Relaxed);
+        match &mut *self.inner.out.lock().expect("trace sink") {
+            Out::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+            Out::Memory(lines) => lines.push(line),
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("level", &self.inner.level)
+            .field("path", &self.inner.path)
+            .field("lines_written", &self.lines_written())
+            .finish()
+    }
+}
+
+/// An open span (see [`TraceSink::span`]): holds its fields and start
+/// time, writes its single trace line on finish/drop.
+#[derive(Debug)]
+pub struct Span {
+    sink: Option<TraceSink>,
+    level: Level,
+    name: String,
+    fields: Vec<Field>,
+    id: u64,
+    start: Instant,
+}
+
+impl Span {
+    /// The span's per-sink unique id (0 when the span was filtered out).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the span records anything (false when level-filtered).
+    pub fn is_recording(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Attaches one more field to the span's close line.
+    pub fn add_field(&mut self, f: Field) {
+        if self.sink.is_some() {
+            self.fields.push(f);
+        }
+    }
+
+    /// Finishes the span now (drop does the same).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            let dur_us = self.start.elapsed().as_micros() as u64;
+            sink.write_line(
+                self.level,
+                &self.name,
+                &self.fields,
+                Some((self.id, dur_us)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(line: &str) -> hira_engine::json::Value {
+        hira_engine::json::parse(line).expect("trace lines are valid JSON")
+    }
+
+    #[test]
+    fn events_carry_timestamp_level_name_and_fields() {
+        let sink = TraceSink::in_memory(Level::Info);
+        sink.event(
+            Level::Info,
+            "point",
+            &[field("key", "policy=hira4"), field("wall_ms", 1.5)],
+        );
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        let v = parsed(&lines[0]);
+        assert!(v.get("t_us").and_then(|t| t.as_u64()).is_some());
+        assert_eq!(v.get("level").and_then(|l| l.as_str()), Some("info"));
+        assert_eq!(v.get("event").and_then(|e| e.as_str()), Some("point"));
+        assert_eq!(v.get("key").and_then(|k| k.as_str()), Some("policy=hira4"));
+        assert_eq!(v.get("wall_ms").and_then(|w| w.as_f64()), Some(1.5));
+        assert!(v.get("span").is_none(), "plain events are not spans");
+    }
+
+    #[test]
+    fn level_filtering_drops_verbose_events_before_formatting() {
+        let sink = TraceSink::in_memory(Level::Warn);
+        sink.event(Level::Error, "boom", &[]);
+        sink.event(Level::Info, "ignored", &[]);
+        sink.event(Level::Debug, "ignored", &[]);
+        assert_eq!(sink.lines().len(), 1);
+        assert_eq!(sink.lines_written(), 1);
+        assert!(sink.enabled(Level::Warn));
+        assert!(!sink.enabled(Level::Info));
+    }
+
+    #[test]
+    fn spans_write_one_line_with_id_and_duration_on_finish() {
+        let sink = TraceSink::in_memory(Level::Info);
+        let mut span = sink.span(Level::Info, "sweep", vec![field("points", 4usize)]);
+        assert!(span.is_recording());
+        assert!(span.id() >= 1);
+        assert!(sink.lines().is_empty(), "spans write on finish, not open");
+        span.add_field(field("hits", 2usize));
+        span.finish();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        let v = parsed(&lines[0]);
+        assert_eq!(v.get("event").and_then(|e| e.as_str()), Some("sweep"));
+        assert_eq!(v.get("points").and_then(|p| p.as_u64()), Some(4));
+        assert_eq!(v.get("hits").and_then(|p| p.as_u64()), Some(2));
+        assert!(v.get("span").and_then(|s| s.as_u64()).is_some());
+        assert!(v.get("dur_us").and_then(|d| d.as_u64()).is_some());
+        // Filtered spans are inert: no id, no line.
+        let quiet = sink.span(Level::Trace, "noise", vec![]);
+        assert!(!quiet.is_recording());
+        assert_eq!(quiet.id(), 0);
+        drop(quiet);
+        assert_eq!(sink.lines().len(), 1);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_timestamps_monotonic() {
+        let sink = TraceSink::in_memory(Level::Info);
+        let a = sink.span(Level::Info, "a", vec![]);
+        let b = sink.span(Level::Info, "b", vec![]);
+        assert_ne!(a.id(), b.id());
+        drop(a);
+        drop(b);
+        sink.event(Level::Info, "after", &[]);
+        let ts: Vec<u64> = sink
+            .lines()
+            .iter()
+            .map(|l| parsed(l).get("t_us").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ts.len(), 3);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn file_sinks_append_and_read_back_via_pathkey_naming() {
+        let dir = std::env::temp_dir().join(format!("hira-obs-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = TraceSink::for_sweep(&dir, "policy matrix/8", Level::Info).unwrap();
+        let path = sink.path().unwrap().to_path_buf();
+        assert!(path.ends_with("policy-matrix-8.trace.jsonl"));
+        sink.event(Level::Info, "one", &[]);
+        assert_eq!(sink.lines().len(), 1);
+        drop(sink);
+        // Reopening appends — the sink never truncates an existing log.
+        let again = TraceSink::to_path(&path, Level::Info).unwrap();
+        again.event(Level::Info, "two", &[]);
+        let lines = again.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"one\"") && lines[1].contains("\"two\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fields_render_every_scalar_shape() {
+        let sink = TraceSink::in_memory(Level::Info);
+        sink.event(
+            Level::Info,
+            "shapes",
+            &[
+                field("s", "a\"b"),
+                field("u", 7u64),
+                field("n", 42usize),
+                field("f", 0.25),
+                field("b", true),
+                field("nan", f64::NAN),
+            ],
+        );
+        let line = &sink.lines()[0];
+        let v = parsed(line);
+        assert_eq!(v.get("s").and_then(|s| s.as_str()), Some("a\"b"));
+        assert_eq!(v.get("u").and_then(|s| s.as_u64()), Some(7));
+        assert_eq!(v.get("n").and_then(|s| s.as_u64()), Some(42));
+        assert_eq!(v.get("f").and_then(|s| s.as_f64()), Some(0.25));
+        assert!(line.contains("\"b\":true"));
+        assert!(line.contains("\"nan\":null"), "non-finite -> null: {line}");
+    }
+}

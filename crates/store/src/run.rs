@@ -125,6 +125,10 @@ pub struct PointOutcome<'a> {
     pub index: usize,
     /// Whether the point was replayed from the store.
     pub cached: bool,
+    /// Milliseconds the point sat queued before a worker picked it up
+    /// (0 for replayed hits — they never enter the work queue). Purely
+    /// observational: never persisted, never part of the run set.
+    pub queue_wait_ms: f64,
     /// The point's result (stored form).
     pub point: &'a StoredPoint,
 }
@@ -195,6 +199,7 @@ impl CacheExecutorExt for Executor {
                     cb(PointOutcome {
                         index: i,
                         cached: true,
+                        queue_wait_ms: 0.0,
                         point,
                     });
                 }
@@ -214,7 +219,9 @@ impl CacheExecutorExt for Executor {
                 .map(|&i| (sweep.points()[i].0.clone(), i))
                 .collect(),
         );
+        let t_queue = Instant::now();
         let computed: Vec<StoredPoint> = self.map(&miss_sweep, |sc| {
+            let queue_wait_ms = t_queue.elapsed().as_secs_f64() * 1e3;
             let i = *sc.params;
             let orig = sweep.scenario(i);
             let key = orig.key.clone();
@@ -233,6 +240,7 @@ impl CacheExecutorExt for Executor {
                 cb(PointOutcome {
                     index: i,
                     cached: false,
+                    queue_wait_ms,
                     point: &point,
                 });
             }
@@ -425,6 +433,11 @@ mod tests {
         let seen: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
         let observer = |o: PointOutcome<'_>| {
             assert_eq!(o.point.hash.len(), 64);
+            if o.cached {
+                assert_eq!(o.queue_wait_ms, 0.0, "replays never queue");
+            } else {
+                assert!(o.queue_wait_ms >= 0.0);
+            }
             seen.lock().unwrap().push((o.index, o.cached));
         };
         let plan = SweepPlan::compute(&store, &sweep, 7, canon);

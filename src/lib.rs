@@ -13,6 +13,8 @@
 //! * [`sim`] — the cycle-level system simulator behind §7-§10,
 //! * [`engine`] — the deterministic parallel experiment-orchestration
 //!   subsystem every `hira-bench` figure binary runs on,
+//! * [`obs`] — structured tracing (JSONL spans/events), the metrics
+//!   registry (Prometheus text exposition) and live sweep progress,
 //! * [`store`] — the content-addressed sweep-result cache: append-only
 //!   JSONL store plus the cache-aware executor path.
 //!
@@ -32,6 +34,7 @@ pub use hira_characterize as characterize;
 pub use hira_core as core;
 pub use hira_dram as dram;
 pub use hira_engine as engine;
+pub use hira_obs as obs;
 pub use hira_sim as sim;
 pub use hira_softmc as softmc;
 pub use hira_store as store;
@@ -71,6 +74,7 @@ pub mod prelude {
         derive_seed, flabel, metric, Executor, PointTelemetry, RunRecord, RunSet, Scenario,
         ScenarioKey, Sweep,
     };
+    pub use hira_obs::{Level, MetricsRegistry, Progress, TraceSink};
     pub use hira_sim::builder::{BuildError, SystemBuilder};
     pub use hira_sim::clock::MemClock;
     pub use hira_sim::device::{
