@@ -14,8 +14,11 @@
 //!
 //! Combos the builder refuses with
 //! [`hira_sim::builder::BuildError::DeviceLacksHira`] (a HiRA policy on a
-//! HiRA-inert part) are skipped and reported explicitly — absent cells
-//! print as `-`, never as silent zeros.
+//! HiRA-inert part) or
+//! [`hira_sim::builder::BuildError::DeviceLacksVrr`] (a directed-refresh
+//! plugin on a part that drops vendor directed-refresh commands) are
+//! skipped and reported explicitly — absent cells print as `-`, never as
+//! silent zeros.
 //!
 //! Always writes `BENCH_device_matrix.json` (into `HIRA_BENCH_DIR`, or
 //! the working directory when unset): the tracked perf baseline for the
@@ -30,6 +33,12 @@
 //!   axis; default: a representative arrangement per family,
 //! * `--workload=<name>[,<name>...]` (repeatable) — subset the workload
 //!   axis; default: a mix, a streaming and a random generator,
+//! * `--plugin=<form>[,<form>...]` (repeatable) — cross the grid with a
+//!   controller-plugin axis (`none`, `oracle:<tRH>`, `para:<p>`,
+//!   `graphene:<tRH>:<k>`; see [`hira_sim::plugin`]); each combo is
+//!   validated through the builder, so VRR-less parts skip
+//!   directed-refresh plugins; without the flag no plugin axis is added
+//!   and the sweep keys are unchanged,
 //! * `--kernel=dense|event` — simulation kernel (default `event`; results
 //!   are bit-identical, `dense` is the reference escape hatch),
 //! * `--probe=<form>` / `--cmdtrace=<prefix>` / `--stats-epoch=<cycles>` —
@@ -51,15 +60,16 @@
 //!   the canonical result sets are byte-identical.
 
 use hira_bench::{
-    device_axis_from_args_or, kernel_from_args, maybe_print_telemetry, policy_axis_from_args_or,
-    print_device_list, print_kernel_list, print_policy_list, print_probe_list, print_workload_list,
-    run_ws_with_stats_observed, workload_axis_from_args_or, CacheSpec, ObsSpec, ProbeSpec, Scale,
-    WsTable,
+    device_axis_from_args_or, kernel_from_args, maybe_print_telemetry, plugin_axis_from_args,
+    policy_axis_from_args_or, print_device_list, print_kernel_list, print_plugin_list,
+    print_policy_list, print_probe_list, print_workload_list, run_ws_with_stats_observed,
+    workload_axis_from_args_or, CacheSpec, ObsSpec, ProbeSpec, Scale, WsTable,
 };
 use hira_engine::{Executor, ScenarioKey, Sweep};
 use hira_sim::builder::{BuildError, SystemBuilder};
 use hira_sim::config::{KernelMode, SystemConfig};
 use hira_sim::device::DeviceHandle;
+use hira_sim::plugin::PluginHandle;
 use hira_sim::policy::PolicyHandle;
 use hira_workload::WorkloadHandle;
 use std::path::Path;
@@ -77,42 +87,69 @@ const DEFAULT_WORKLOADS: &[&str] = &["mix0", "stream", "random", "rw50"];
 
 type Axis<T> = [(String, T)];
 
-/// Builds the cartesian grid, skipping device × policy combos the builder
-/// rejects as HiRA-incompatible (returned separately for reporting).
+/// Builds the cartesian grid, skipping device × policy (HiRA-inert part)
+/// and device × plugin (VRR-less part) combos the builder rejects
+/// (returned separately for reporting). An empty `plugins` slice adds no
+/// `plugin` key part, keeping the plugin-free grid's keys unchanged.
 fn grid(
     devices: &Axis<DeviceHandle>,
     policies: &Axis<PolicyHandle>,
     workloads: &Axis<WorkloadHandle>,
+    plugins: &Axis<Option<PluginHandle>>,
     kernel: KernelMode,
 ) -> (Sweep<SystemConfig>, Vec<String>) {
+    let no_plugins = [("none".to_owned(), None)];
+    let plugin_axis: &Axis<Option<PluginHandle>> = if plugins.is_empty() {
+        &no_plugins
+    } else {
+        plugins
+    };
+    let keyed = !plugins.is_empty();
     let mut points = Vec::new();
     let mut skipped = Vec::new();
     for (dn, d) in devices {
         for (pn, p) in policies {
-            let mut combo_ok = true;
-            for (wn, w) in workloads {
-                if !combo_ok {
-                    break;
-                }
-                let built = SystemBuilder::new()
-                    .device(d.clone())
-                    .policy(p.clone())
-                    .workload(w.clone())
-                    .kernel(kernel)
-                    .build();
-                match built {
-                    Ok(cfg) => points.push((
-                        ScenarioKey::root()
-                            .with("dev", dn)
-                            .with("policy", pn)
-                            .with("wl", wn),
-                        cfg,
-                    )),
-                    Err(BuildError::DeviceLacksHira { .. }) => {
-                        skipped.push(format!("{dn} x {pn} (HiRA-inert device)"));
-                        combo_ok = false;
+            for (gn, g) in plugin_axis {
+                let mut combo_ok = true;
+                for (wn, w) in workloads {
+                    if !combo_ok {
+                        break;
                     }
-                    Err(e) => panic!("device_matrix point {dn} x {pn} x {wn}: {e}"),
+                    let mut builder = SystemBuilder::new()
+                        .device(d.clone())
+                        .policy(p.clone())
+                        .workload(w.clone())
+                        .kernel(kernel);
+                    if let Some(h) = g {
+                        builder = builder.plugin(h.clone());
+                    }
+                    match builder.build() {
+                        Ok(cfg) => {
+                            let mut key = ScenarioKey::root()
+                                .with("dev", dn)
+                                .with("policy", pn)
+                                .with("wl", wn);
+                            if keyed {
+                                key = key.with("plugin", gn);
+                            }
+                            points.push((key, cfg));
+                        }
+                        Err(BuildError::DeviceLacksHira { .. }) => {
+                            let msg = format!("{dn} x {pn} (HiRA-inert device)");
+                            if !skipped.contains(&msg) {
+                                skipped.push(msg);
+                            }
+                            combo_ok = false;
+                        }
+                        Err(BuildError::DeviceLacksVrr { .. }) => {
+                            let msg = format!("{dn} x {gn} (device drops directed refresh)");
+                            if !skipped.contains(&msg) {
+                                skipped.push(msg);
+                            }
+                            combo_ok = false;
+                        }
+                        Err(e) => panic!("device_matrix point {dn} x {pn} x {wn}: {e}"),
+                    }
                 }
             }
         }
@@ -151,6 +188,8 @@ fn main() {
         println!();
         print_workload_list();
         println!();
+        print_plugin_list();
+        println!();
         print_probe_list();
         println!();
         print_kernel_list();
@@ -165,6 +204,7 @@ fn main() {
     let devices = device_axis_from_args_or(DEFAULT_DEVICES);
     let policies = policy_axis_from_args_or(DEFAULT_POLICIES);
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
+    let plugins = plugin_axis_from_args();
     assert!(
         !devices.is_empty() && !policies.is_empty() && !workloads.is_empty(),
         "device_matrix needs at least one device, one policy and one workload"
@@ -183,8 +223,13 @@ fn main() {
     println!("devices:   {}", dev_names.join(", "));
     println!("policies:  {}", pol_names.join(", "));
     println!("workloads: {}", wl_names.join(", "));
+    if !plugins.is_empty() {
+        let plugin_names: Vec<&str> = plugins.iter().map(|(n, _)| n.as_str()).collect();
+        println!("plugins:   {}", plugin_names.join(", "));
+        println!("(weighted-speedup cells below average over the plugin axis)");
+    }
 
-    let (sweep, skipped) = grid(&devices, &policies, &workloads, kernel);
+    let (sweep, skipped) = grid(&devices, &policies, &workloads, &plugins, kernel);
     for s in &skipped {
         println!("skipping {s}");
     }
@@ -192,7 +237,7 @@ fn main() {
     let t = run_ws_with_stats_observed(&ex, sweep, scale, &probes, &cache, &obs);
 
     if std::env::args().any(|a| a == "--check-determinism") {
-        let (sweep, _) = grid(&devices, &policies, &workloads, kernel);
+        let (sweep, _) = grid(&devices, &policies, &workloads, &plugins, kernel);
         // Deliberately uncached: re-simulating also proves any cache
         // replays above were bit-identical to fresh simulation.
         let serial = run_ws_with_stats_observed(

@@ -21,6 +21,11 @@
 //!
 //! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis;
 //!   default: the full standard registry,
+//! * `--plugin=<form>[,<form>...]` (repeatable) — cross the sweep with a
+//!   controller-plugin axis (`none`, `oracle:<tRH>`, `para:<p>`,
+//!   `graphene:<tRH>:<k>`); the dense-vs-event identity assertion then
+//!   runs with each plugin attached; without the flag no plugin axis is
+//!   added and the sweep keys are unchanged,
 //! * `--cache=<dir>` / `--no-cache` / `--cache-stats` — the shared sweep
 //!   cache: replay previously timed points and run only the misses (see
 //!   [`hira_bench::CacheSpec`]),
@@ -35,13 +40,13 @@
 //!   `--log-level=<level>` — the shared observability axis: JSONL span
 //!   log, Prometheus dump, live progress on stderr and the slow-point
 //!   report (see [`hira_bench::ObsSpec`]),
-//! * `--list` — print the registered policies and exit.
+//! * `--list` — print the registered policies and plugin forms, then exit.
 //!
 //! Scale: `HIRA_MIXES` × `HIRA_INSTS` as everywhere else.
 
 use hira_bench::{
-    extract_metric_value, policy_axis_from_args, print_series, run_perf_kernel_observed, CacheSpec,
-    ObsSpec, Scale,
+    extract_metric_value, plugin_axis_from_args, policy_axis_from_args, print_plugin_list,
+    print_policy_list, print_series, run_perf_kernel_observed, CacheSpec, ObsSpec, Scale,
 };
 use hira_engine::{RunRecord, ScenarioKey};
 use std::path::Path;
@@ -53,9 +58,16 @@ fn flag_value(flag: &str) -> Option<String> {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        print_policy_list();
+        println!();
+        print_plugin_list();
+        return;
+    }
     let scale = Scale::from_env();
     let cap = 8.0;
     let policies = policy_axis_from_args();
+    let plugins = plugin_axis_from_args();
     let cache = CacheSpec::from_args();
     let obs = ObsSpec::from_args();
     // Read the baseline before the sweep so a bad path fails fast.
@@ -80,8 +92,15 @@ fn main() {
         scale.mixes,
         scale.insts
     );
+    if !plugins.is_empty() {
+        let plugin_names: Vec<&str> = plugins.iter().map(|(n, _)| n.as_str()).collect();
+        println!(
+            "plugins: {} (per-policy walls sum over the plugin axis)",
+            plugin_names.join(", ")
+        );
+    }
 
-    let (mut run, stats) = run_perf_kernel_observed(&policies, cap, scale, &cache, &obs);
+    let (mut run, stats) = run_perf_kernel_observed(&policies, &plugins, cap, scale, &cache, &obs);
     // Replayed points skipped both kernel runs; their identity was
     // asserted when they were first computed into the store.
     let note = if stats.hits == 0 {

@@ -13,6 +13,10 @@
 //!
 //! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis by
 //!   registry name; default: the full standard registry,
+//! * `--plugin=<form>[,<form>...]` (repeatable) — cross the sweep with a
+//!   controller-plugin axis (`none`, `oracle:<tRH>`, `para:<p>`,
+//!   `graphene:<tRH>:<k>`; see [`hira_sim::plugin`]); without the flag no
+//!   plugin axis is added and the sweep keys are unchanged,
 //! * `--kernel=dense|event` — simulation kernel (default `event`; results
 //!   are bit-identical, `dense` is the reference escape hatch),
 //! * `--probe=<form>` / `--cmdtrace=<prefix>` / `--stats-epoch=<cycles>` —
@@ -35,9 +39,9 @@
 //!   enforced end-to-end through every policy object).
 
 use hira_bench::{
-    kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_kernel_list,
-    print_policy_list, print_probe_list, print_series, run_ws_observed, CacheSpec, ObsSpec,
-    ProbeSpec, Scale,
+    kernel_from_args, maybe_print_telemetry, plugin_axis_from_args, policy_axis_from_args,
+    print_kernel_list, print_plugin_list, print_policy_list, print_probe_list, print_series,
+    run_ws_observed, with_plugin_axis, CacheSpec, ObsSpec, ProbeSpec, Scale,
 };
 use hira_engine::{flabel, Executor, Sweep};
 use hira_sim::config::SystemConfig;
@@ -46,6 +50,8 @@ use std::path::Path;
 fn main() {
     if std::env::args().any(|a| a == "--list") {
         print_policy_list();
+        println!();
+        print_plugin_list();
         println!();
         print_probe_list();
         println!();
@@ -60,6 +66,7 @@ fn main() {
     let cache = CacheSpec::from_args();
     let obs = ObsSpec::from_args();
     let policies = policy_axis_from_args();
+    let plugins = plugin_axis_from_args();
     assert!(
         !policies.is_empty(),
         "policy_matrix needs at least one policy"
@@ -73,13 +80,21 @@ fn main() {
         scale.insts
     );
     println!("policies: {}", names.join(", "));
+    if !plugins.is_empty() {
+        let plugin_names: Vec<&str> = plugins.iter().map(|(n, _)| n.as_str()).collect();
+        println!("plugins:  {}", plugin_names.join(", "));
+        println!("(weighted-speedup rows below average over the plugin axis)");
+    }
 
     let mk_sweep = || {
-        Sweep::new("policy_matrix")
-            .axis("policy", policies.clone(), |_, h| h.clone())
-            .axis("cap", caps.map(|c| (flabel(c), c)), move |h, c| {
-                SystemConfig::table3(*c, h.clone()).with_kernel(kernel)
-            })
+        with_plugin_axis(
+            Sweep::new("policy_matrix")
+                .axis("policy", policies.clone(), |_, h| h.clone())
+                .axis("cap", caps.map(|c| (flabel(c), c)), move |h, c| {
+                    SystemConfig::table3(*c, h.clone()).with_kernel(kernel)
+                }),
+            &plugins,
+        )
     };
     let t = run_ws_observed(&ex, mk_sweep(), scale, &probes, &cache, &obs);
 

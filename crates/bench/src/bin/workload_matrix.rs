@@ -18,6 +18,10 @@
 //!   representative point per family,
 //! * `--policy=<name>[,<name>...]` (repeatable) — subset the policy axis;
 //!   default: the full standard registry,
+//! * `--plugin=<form>[,<form>...]` (repeatable) — cross the sweep with a
+//!   controller-plugin axis (`none`, `oracle:<tRH>`, `para:<p>`,
+//!   `graphene:<tRH>:<k>`; see [`hira_sim::plugin`]); without the flag no
+//!   plugin axis is added and the sweep keys are unchanged,
 //! * `--kernel=dense|event` — simulation kernel (default `event`; results
 //!   are bit-identical, `dense` is the reference escape hatch),
 //! * `--probe=<form>` / `--cmdtrace=<prefix>` / `--stats-epoch=<cycles>` —
@@ -40,9 +44,10 @@
 //!   enforced end-to-end through every workload frontend).
 
 use hira_bench::{
-    kernel_from_args, maybe_print_telemetry, policy_axis_from_args, print_kernel_list,
-    print_policy_list, print_probe_list, print_workload_list, run_ws_as_configured_observed,
-    workload_axis_from_args_or, CacheSpec, ObsSpec, ProbeSpec, Scale,
+    kernel_from_args, maybe_print_telemetry, plugin_axis_from_args, policy_axis_from_args,
+    print_kernel_list, print_plugin_list, print_policy_list, print_probe_list, print_workload_list,
+    run_ws_as_configured_observed, with_plugin_axis, workload_axis_from_args_or, CacheSpec,
+    ObsSpec, ProbeSpec, Scale,
 };
 use hira_engine::{Executor, Sweep};
 use hira_sim::config::SystemConfig;
@@ -70,6 +75,8 @@ fn main() {
         println!();
         print_policy_list();
         println!();
+        print_plugin_list();
+        println!();
         print_probe_list();
         println!();
         print_kernel_list();
@@ -84,6 +91,7 @@ fn main() {
     let obs = ObsSpec::from_args();
     let workloads = workload_axis_from_args_or(DEFAULT_WORKLOADS);
     let policies = policy_axis_from_args();
+    let plugins = plugin_axis_from_args();
     assert!(
         !workloads.is_empty() && !policies.is_empty(),
         "workload_matrix needs at least one workload and one policy"
@@ -99,15 +107,23 @@ fn main() {
     );
     println!("workloads: {}", wl_names.join(", "));
     println!("policies:  {}", pol_names.join(", "));
+    if !plugins.is_empty() {
+        let plugin_names: Vec<&str> = plugins.iter().map(|(n, _)| n.as_str()).collect();
+        println!("plugins:   {}", plugin_names.join(", "));
+        println!("(weighted-speedup cells below average over the plugin axis)");
+    }
 
     let mk_sweep = || {
-        Sweep::new("workload_matrix")
-            .axis("wl", workloads.clone(), |_, w| w.clone())
-            .axis("policy", policies.clone(), move |w, p| {
-                SystemConfig::table3(cap, p.clone())
-                    .with_workload(w.clone())
-                    .with_kernel(kernel)
-            })
+        with_plugin_axis(
+            Sweep::new("workload_matrix")
+                .axis("wl", workloads.clone(), |_, w| w.clone())
+                .axis("policy", policies.clone(), move |w, p| {
+                    SystemConfig::table3(cap, p.clone())
+                        .with_workload(w.clone())
+                        .with_kernel(kernel)
+                }),
+            &plugins,
+        )
     };
     let t = run_ws_as_configured_observed(&ex, mk_sweep(), scale, &probes, &cache, &obs);
 

@@ -49,6 +49,7 @@ use hira_obs::{field, Level, MetricsRegistry, Progress, TraceSink};
 use hira_sim::builder::SystemBuilder;
 use hira_sim::config::{KernelMode, SystemConfig};
 use hira_sim::device::{DeviceHandle, DeviceRegistry};
+use hira_sim::plugin::{PluginHandle, PluginRegistry};
 use hira_sim::policy::{self, PolicyHandle, PolicyRegistry};
 use hira_sim::probe::ProbeRegistry;
 use hira_sim::system::System;
@@ -496,6 +497,21 @@ fn ws_point_task_phased(
         ms.push(metric("write_p50", q(r.write_latency_quantile(0.50))));
         ms.push(metric("write_p99", q(r.write_latency_quantile(0.99))));
     }
+    // Points with controller plugins attached additionally report the
+    // defense counters — the victim-exposure surface `rh_matrix` plots.
+    // Plugin-free points are unchanged (keeps the committed matrix
+    // baselines' record sets stable).
+    if !r.plugin_stats.is_empty() {
+        let totals = r.plugin_totals();
+        ms.push(metric("plugin_acts", totals.acts_observed as f64));
+        ms.push(metric("plugin_injected", totals.injected as f64));
+        ms.push(metric("victim_max_exposure", totals.max_exposure as f64));
+        ms.push(metric("victim_mean_exposure", totals.mean_exposure()));
+        ms.push(metric(
+            "rows_over_threshold",
+            totals.rows_over_threshold as f64,
+        ));
+    }
     let t = PointTelemetry {
         events: telemetry.events,
         peak_queue: telemetry.peak_queue,
@@ -637,13 +653,17 @@ pub fn run_perf_kernel(
     scale: Scale,
     cache: &CacheSpec,
 ) -> (RunSet, CacheStats) {
-    run_perf_kernel_observed(policies, cap, scale, cache, &ObsSpec::disabled())
+    run_perf_kernel_observed(policies, &[], cap, scale, cache, &ObsSpec::disabled())
 }
 
 /// [`run_perf_kernel`] with the observability selected by `obs` attached
-/// (see [`run_ws_observed`]); the A/B timing itself is untouched.
+/// (see [`run_ws_observed`]) and an optional controller-plugin axis: with
+/// a non-empty `plugins`, every `(policy, mix)` point is crossed with the
+/// plugin axis and the dense-vs-event identity assertion runs with each
+/// plugin attached. The A/B timing itself is untouched.
 pub fn run_perf_kernel_observed(
     policies: &[(String, PolicyHandle)],
+    plugins: &[(String, Option<PluginHandle>)],
     cap: f64,
     scale: Scale,
     cache: &CacheSpec,
@@ -661,7 +681,10 @@ pub fn run_perf_kernel_observed(
             points.push((key, cfg));
         }
     }
-    let sweep = Sweep::from_points("perf_kernel", hira_engine::DEFAULT_BASE_SEED, points);
+    let sweep = with_plugin_axis(
+        Sweep::from_points("perf_kernel", hira_engine::DEFAULT_BASE_SEED, points),
+        plugins,
+    );
     assert!(!sweep.is_empty(), "perf_kernel sweep has no points");
     let ex = Executor::with_threads(1);
     let watch = obs.begin(sweep.name(), sweep.len(), ex.threads());
@@ -742,23 +765,22 @@ pub fn ws_canonical(tag: &str, cfg: &SystemConfig) -> String {
 
 /// The process's code-version salt for the sweep cache: the store schema
 /// version plus the fingerprints of every registry a cached result depends
-/// on (policies, workloads, devices, probe forms). Any registry change —
-/// a handle added, removed or renamed — moves the salt and conservatively
-/// invalidates existing stores.
+/// on (policies, workloads, devices, probe forms, plugin forms). Any
+/// registry change — a handle added, removed or renamed — moves the salt
+/// and conservatively invalidates existing stores.
 pub fn cache_salt() -> u64 {
     let owned = |v: Vec<&str>| v.into_iter().map(str::to_owned).collect::<Vec<_>>();
+    let forms = |v: Vec<(&str, &str)>| {
+        v.into_iter()
+            .map(|(form, _)| form.to_owned())
+            .collect::<Vec<_>>()
+    };
     hira_store::code_version_salt([
         ("policy", owned(PolicyRegistry::standard().names())),
         ("workload", owned(WorkloadRegistry::standard().names())),
         ("device", owned(DeviceRegistry::standard().names())),
-        (
-            "probe",
-            ProbeRegistry::standard()
-                .forms()
-                .into_iter()
-                .map(|(form, _)| form.to_owned())
-                .collect(),
-        ),
+        ("probe", forms(ProbeRegistry::standard().forms())),
+        ("plugin", forms(PluginRegistry::standard().forms())),
     ])
 }
 
@@ -1694,6 +1716,71 @@ pub fn workload_axis_from_args() -> Vec<(String, WorkloadHandle)> {
     let registry = WorkloadRegistry::standard();
     let names = registry.names();
     workload_axis_from_args_or(&names)
+}
+
+/// Prints the accepted controller-plugin forms (the `--plugin=` grammar of
+/// [`plugin_axis_from_args`]) plus the `none` baseline.
+pub fn print_plugin_list() {
+    println!("controller plugins (--plugin=<form>, repeatable):");
+    println!(
+        "  {:<20} no plugin attached (the undefended baseline)",
+        "none"
+    );
+    for (form, what) in PluginRegistry::standard().forms() {
+        println!("  {form:<20} (dynamic) {what}");
+    }
+}
+
+/// The controller-plugin axis of a sweep, from `--plugin=` CLI arguments,
+/// with `defaults` (registry forms, or `"none"`) when no argument selects
+/// one. Each entry is the canonical plugin name paired with `Some(handle)`
+/// — or `"none"` / `None` for the undefended baseline point. With
+/// `--list`, prints the accepted forms and exits.
+///
+/// # Panics
+///
+/// Panics (with the accepted forms) when an argument — or a default —
+/// matches no plugin form.
+pub fn plugin_axis_from_args_or(defaults: &[&str]) -> Vec<(String, Option<PluginHandle>)> {
+    let axis = axis_from_args_or_with("plugin", defaults, print_plugin_list, |spec| {
+        (spec != "none").then(|| hira_sim::plugin::plugin(spec))
+    });
+    axis.into_iter()
+        // Key by the handle's *canonical* name (`oracle:01024` and
+        // `oracle:1024` must land on one scenario key / cache entry).
+        .map(|(raw, h)| match h {
+            Some(h) => (h.name().to_owned(), Some(h)),
+            None => (raw, None),
+        })
+        .collect()
+}
+
+/// The controller-plugin axis selected by explicit `--plugin=` arguments
+/// only: empty when the flag was never passed. The matrix binaries use
+/// this to add a `plugin` scenario-key axis *opt-in* — without the flag
+/// their sweeps (and the committed `BENCH_*.json` keys) are unchanged.
+pub fn plugin_axis_from_args() -> Vec<(String, Option<PluginHandle>)> {
+    if axis_args("plugin").is_empty() && !list_requested() {
+        return Vec::new();
+    }
+    plugin_axis_from_args_or(&[])
+}
+
+/// Expands `sweep` with a `plugin` scenario-key axis when `plugins` is
+/// non-empty (each point's config gains the entry's handle; the `none` /
+/// `None` entry leaves it untouched), and passes the sweep through
+/// unchanged otherwise.
+pub fn with_plugin_axis(
+    sweep: Sweep<SystemConfig>,
+    plugins: &[(String, Option<PluginHandle>)],
+) -> Sweep<SystemConfig> {
+    if plugins.is_empty() {
+        return sweep;
+    }
+    sweep.axis("plugin", plugins.to_vec(), |cfg, p| match p {
+        Some(h) => cfg.clone().with_plugin(h.clone()),
+        None => cfg.clone(),
+    })
 }
 
 /// Prints the accepted kernel modes (the `--kernel=` values of

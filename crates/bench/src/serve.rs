@@ -15,10 +15,14 @@
 //!   — run a grid sweep. `id` is the client's correlation token (echoed on
 //!   every event). `task` is `"ws"` (weighted speedup, default) or
 //!   `"ws+stats"` (plus the channel metrics). `policies` / `workloads`
-//!   default to `["baseline"]` / `["mix0"]`; `devices` and `caps` are
-//!   optional axes (absent → the builder's default part at the Table 3
-//!   capacity). `insts` overrides `HIRA_INSTS` for this sweep. `name`
-//!   selects the sweep/shard name (default `"serve"`).
+//!   default to `["baseline"]` / `["mix0"]`; `devices`, `caps` and
+//!   `plugins` are optional axes (absent → the builder's default part at
+//!   the Table 3 capacity, no controller plugin). `plugins` entries are
+//!   `--plugin=` forms (`none`, `oracle:<tRH>`, `para:<p>`,
+//!   `graphene:<tRH>:<k>`; see [`hira_sim::plugin`]); an unknown form
+//!   rejects the spec with a structured `error` event. `insts` overrides
+//!   `HIRA_INSTS` for this sweep. `name` selects the sweep/shard name
+//!   (default `"serve"`).
 //! * `{"op":"stats"}` — report the session's accumulated totals.
 //! * `{"op":"metrics"}` — dump the session's metrics registry in
 //!   Prometheus text format (the shared `hira_*` name catalogue plus the
@@ -94,6 +98,9 @@ pub struct SweepSpec {
     /// Optional capacity axis in Gb (absent → Table 3 capacity, no `cap`
     /// axis).
     pub caps: Vec<f64>,
+    /// Optional controller-plugin axis (`--plugin=` forms, `"none"` for
+    /// the undefended baseline point; absent → no `plugin` axis).
+    pub plugins: Vec<String>,
     /// Measured instructions per core (absent → the session [`Scale`]).
     pub insts: Option<u64>,
 }
@@ -164,6 +171,7 @@ pub fn parse_op(line: &str) -> Result<Op, String> {
                 workloads.push("mix0".to_owned());
             }
             let devices = str_list(&v, "devices")?;
+            let plugins = str_list(&v, "plugins")?;
             let caps = match v.get("caps") {
                 None => Vec::new(),
                 Some(list) => list
@@ -185,6 +193,7 @@ pub fn parse_op(line: &str) -> Result<Op, String> {
                 workloads,
                 devices,
                 caps,
+                plugins,
                 insts,
             }))
         }
@@ -193,10 +202,12 @@ pub fn parse_op(line: &str) -> Result<Op, String> {
 }
 
 impl SweepSpec {
-    /// Builds the grid: policy × workload (× device × cap), resolving
-    /// every name against the standard registries. Combos the builder
-    /// rejects as HiRA-incompatible are skipped (second return); any other
-    /// build failure or unknown name rejects the whole spec.
+    /// Builds the grid: policy × workload (× device × cap × plugin),
+    /// resolving every name against the standard registries. Combos the
+    /// builder rejects as HiRA-incompatible — or as pairing a
+    /// directed-refresh defense with a part that drops VRR — are skipped
+    /// (second return); any other build failure or unknown name rejects
+    /// the whole spec.
     ///
     /// # Errors
     ///
@@ -206,8 +217,29 @@ impl SweepSpec {
         let policy_reg = hira_sim::policy::PolicyRegistry::standard();
         let device_reg = hira_sim::device::DeviceRegistry::standard();
         let workload_reg = hira_workload::WorkloadRegistry::standard();
+        let plugin_reg = hira_sim::plugin::PluginRegistry::standard();
         let insts = self.insts.unwrap_or(scale.insts);
         let warmup = insts / 5;
+
+        // Resolve the plugin axis once up front: unknown forms reject the
+        // spec before any cell builds. `"none"` is the undefended point.
+        let plugins: Vec<(Option<String>, Option<hira_sim::plugin::PluginHandle>)> =
+            if self.plugins.is_empty() {
+                vec![(None, None)]
+            } else {
+                self.plugins
+                    .iter()
+                    .map(|gn| {
+                        if gn == "none" {
+                            return Ok((Some("none".to_owned()), None));
+                        }
+                        let h = plugin_reg
+                            .lookup(gn)
+                            .ok_or_else(|| format!("unknown plugin `{gn}`"))?;
+                        Ok((Some(h.name().to_owned()), Some(h)))
+                    })
+                    .collect::<Result<_, String>>()?
+            };
 
         let mut points = Vec::new();
         let mut skipped = 0usize;
@@ -232,30 +264,39 @@ impl SweepSpec {
                         self.caps.iter().map(|&c| Some(c)).collect()
                     };
                     for cap in caps {
-                        let mut b = SystemBuilder::new()
-                            .policy(p.clone())
-                            .workload(w.clone())
-                            .insts(insts, warmup);
-                        if let Some(dn) = dn {
-                            let d = device_reg
-                                .lookup(dn)
-                                .ok_or_else(|| format!("unknown device `{dn}`"))?;
-                            b = b.device(d);
-                        }
-                        if let Some(c) = cap {
-                            b = b.chip_gbit(c);
-                        }
-                        let mut key = ScenarioKey::root().with("policy", pn).with("wl", wn);
-                        if let Some(dn) = dn {
-                            key = key.with("dev", dn);
-                        }
-                        if let Some(c) = cap {
-                            key = key.with("cap", flabel(c));
-                        }
-                        match b.build() {
-                            Ok(cfg) => points.push((key, cfg)),
-                            Err(BuildError::DeviceLacksHira { .. }) => skipped += 1,
-                            Err(e) => return Err(format!("cannot build {key}: {e}")),
+                        for (gn, g) in &plugins {
+                            let mut b = SystemBuilder::new()
+                                .policy(p.clone())
+                                .workload(w.clone())
+                                .insts(insts, warmup);
+                            if let Some(dn) = dn {
+                                let d = device_reg
+                                    .lookup(dn)
+                                    .ok_or_else(|| format!("unknown device `{dn}`"))?;
+                                b = b.device(d);
+                            }
+                            if let Some(c) = cap {
+                                b = b.chip_gbit(c);
+                            }
+                            if let Some(g) = g {
+                                b = b.plugin(g.clone());
+                            }
+                            let mut key = ScenarioKey::root().with("policy", pn).with("wl", wn);
+                            if let Some(dn) = dn {
+                                key = key.with("dev", dn);
+                            }
+                            if let Some(c) = cap {
+                                key = key.with("cap", flabel(c));
+                            }
+                            if let Some(gn) = gn {
+                                key = key.with("plugin", gn);
+                            }
+                            match b.build() {
+                                Ok(cfg) => points.push((key, cfg)),
+                                Err(BuildError::DeviceLacksHira { .. }) => skipped += 1,
+                                Err(BuildError::DeviceLacksVrr { .. }) => skipped += 1,
+                                Err(e) => return Err(format!("cannot build {key}: {e}")),
+                            }
                         }
                     }
                 }
@@ -314,6 +355,7 @@ pub struct Server {
     meters: Meters,
     errors: Counter,
     streamed: Counter,
+    plugin_sweeps: Counter,
     uptime: Gauge,
     sink: Option<TraceSink>,
 }
@@ -344,6 +386,10 @@ impl Server {
             "hira_serve_points_streamed_total",
             "points streamed to clients",
         );
+        let plugin_sweeps = registry.counter(
+            "hira_serve_plugin_sweeps",
+            "accepted sweeps carrying a controller-plugin axis",
+        );
         let uptime = registry.gauge("hira_serve_uptime_ms", "milliseconds since server start");
         Server {
             ex,
@@ -359,6 +405,7 @@ impl Server {
             meters,
             errors,
             streamed,
+            plugin_sweeps,
             uptime,
             sink: None,
         }
@@ -492,6 +539,9 @@ impl Server {
             )
         });
         self.sweeps_accepted += 1;
+        if !spec.plugins.is_empty() {
+            self.plugin_sweeps.inc();
+        }
         emit(&obj(vec![
             ("event", jstr("accepted")),
             ("id", jstr(&spec.id)),
@@ -660,7 +710,8 @@ mod tests {
         assert_eq!(parse_op("{\"op\":\"shutdown\"}"), Ok(Op::Shutdown));
         let spec = match parse_op(
             "{\"op\":\"sweep\",\"id\":\"a\",\"task\":\"ws+stats\",\
-             \"policies\":[\"noref\",\"baseline\"],\"caps\":[8,64],\"insts\":2000}",
+             \"policies\":[\"noref\",\"baseline\"],\"caps\":[8,64],\
+             \"plugins\":[\"para:0.05\"],\"insts\":2000}",
         ) {
             Ok(Op::Sweep(s)) => s,
             other => panic!("expected sweep, got {other:?}"),
@@ -672,6 +723,7 @@ mod tests {
         assert_eq!(spec.workloads, vec!["mix0"], "defaulted");
         assert!(spec.devices.is_empty());
         assert_eq!(spec.caps, vec![8.0, 64.0]);
+        assert_eq!(spec.plugins, vec!["para:0.05"]);
         assert_eq!(spec.insts, Some(2000));
         // Malformed requests carry their reason.
         assert!(parse_op("not json").is_err());
@@ -695,6 +747,7 @@ mod tests {
             workloads: vec!["stream".into()],
             devices: Vec::new(),
             caps: vec![8.0],
+            plugins: Vec::new(),
             insts: None,
         };
         let (sweep, skipped) = spec.build(tiny_scale()).unwrap();
@@ -723,6 +776,45 @@ mod tests {
             // loudly instead — either way nothing is silently dropped.
             Err(msg) => assert!(msg.contains("ddr4-2133")),
         }
+    }
+
+    #[test]
+    fn plugin_specs_expand_the_grid_and_reject_unknown_forms() {
+        let spec = SweepSpec {
+            id: "g".into(),
+            name: "serve_plugins".into(),
+            channel_stats: false,
+            policies: vec!["baseline".into()],
+            workloads: vec!["stream".into()],
+            devices: Vec::new(),
+            caps: Vec::new(),
+            plugins: vec!["none".into(), "para:0.05".into(), "oracle:64".into()],
+            insts: None,
+        };
+        let (sweep, skipped) = spec.build(tiny_scale()).unwrap();
+        assert_eq!(sweep.len(), 3, "one point per plugin form");
+        assert_eq!(skipped, 0);
+        assert_eq!(
+            sweep.points()[0].0.to_string(),
+            "policy=baseline wl=stream plugin=none"
+        );
+        assert_eq!(
+            sweep.points()[2].0.to_string(),
+            "policy=baseline wl=stream plugin=oracle:64"
+        );
+        // An unknown form rejects the whole spec with a message.
+        let mut bad = spec.clone();
+        bad.plugins = vec!["blink:7".into()];
+        assert!(bad.build(tiny_scale()).unwrap_err().contains("blink:7"));
+        // Directed-refresh defenses on a VRR-less part are skipped cells,
+        // not fatal; para survives (it refreshes via plain activations).
+        let vrr_less = SweepSpec {
+            devices: vec!["samsung-ddr4-2400".into()],
+            ..spec.clone()
+        };
+        let (sweep, skipped) = vrr_less.build(tiny_scale()).unwrap();
+        assert_eq!(skipped, 1, "oracle dropped on the VRR-less part");
+        assert_eq!(sweep.len(), 2);
     }
 
     #[test]
@@ -903,6 +995,60 @@ mod tests {
         assert_eq!(value("hira_cache_misses_total"), 2.0);
         assert_eq!(value("hira_serve_points_streamed_total"), 2.0);
         assert!(value("hira_kernel_events_total") > 0.0);
+    }
+
+    #[test]
+    fn plugin_sweeps_stream_plugin_metrics_and_feed_the_counter() {
+        let mut server = Server::new(
+            Executor::with_threads(2),
+            tiny_scale(),
+            &CacheSpec::disabled(),
+        );
+        let req = "{\"op\":\"sweep\",\"id\":\"g1\",\"name\":\"serve_plugin\",\
+                   \"policies\":[\"baseline\"],\"workloads\":[\"stream\"],\
+                   \"plugins\":[\"none\",\"para:0.05\"]}";
+        let (alive, events) = collect(&mut server, req);
+        assert!(alive);
+        assert_eq!(field(&events[0], "event"), "\"accepted\"");
+        assert_eq!(field(&events[0], "points"), "2");
+        let records: Vec<&String> = events
+            .iter()
+            .filter(|e| e.contains("\"event\":\"record\""))
+            .collect();
+        // The defended point streams the per-row victim accounting beside
+        // ws; the undefended baseline must stay plugin-metric-free.
+        assert!(records.iter().any(|r| {
+            r.contains("\"plugin\":\"para:0.05\"") && r.contains("\"metric\":\"plugin_acts\"")
+        }));
+        assert!(records.iter().any(|r| {
+            r.contains("\"plugin\":\"para:0.05\"")
+                && r.contains("\"metric\":\"victim_max_exposure\"")
+        }));
+        assert!(
+            !records
+                .iter()
+                .any(|r| r.contains("\"plugin\":\"none\"") && r.contains("plugin_acts")),
+            "the undefended baseline grew plugin metrics"
+        );
+
+        // An unknown form answers a structured error and keeps serving.
+        let (alive, ev) = collect(
+            &mut server,
+            "{\"op\":\"sweep\",\"id\":\"g2\",\"plugins\":[\"blink:7\"]}",
+        );
+        assert!(alive);
+        assert_eq!(field(&ev[0], "event"), "\"error\"");
+        assert_eq!(field(&ev[0], "id"), "\"g2\"");
+        assert!(ev[0].contains("blink:7"));
+
+        // Exactly one accepted sweep carried a plugin axis.
+        let text = server.metrics_text();
+        let samples = hira_obs::parse_prometheus(&text).unwrap();
+        let plugin_sweeps = samples
+            .iter()
+            .find(|s| s.name == "hira_serve_plugin_sweeps")
+            .expect("plugin-sweep counter in the catalogue");
+        assert_eq!(plugin_sweeps.value, 1.0);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use crate::config::{KernelMode, SystemConfig};
 use crate::device::{ddr4_2400, DeviceHandle};
+use crate::plugin::{PluginHandle, PluginRegistry};
 use crate::policy::{baseline, PolicyHandle};
 use crate::probe::ProbeHandle;
 use hira_dram::timing::TimingParams;
@@ -119,6 +120,22 @@ pub enum BuildError {
         /// The spec that failed to resolve.
         name: String,
     },
+    /// A [`SystemBuilder::plugin_name`] spec did not resolve against the
+    /// plugin registry's accepted forms.
+    UnknownPlugin {
+        /// The spec that failed to resolve.
+        name: String,
+    },
+    /// The selected plugin injects directed victim-row refreshes
+    /// (VRR-style), but the selected device's decoder drops vendor
+    /// directed-refresh commands (the same conservative decoder that is
+    /// HiRA-inert, §12).
+    DeviceLacksVrr {
+        /// The VRR-less device.
+        device: String,
+        /// The plugin that needs directed refreshes.
+        plugin: String,
+    },
     /// The policy's HiRA lead timings are inconsistent with the device's
     /// timing table: `t1` and `t2` must be positive, `t1` must not exceed
     /// `t2` (§4.2 finds reliable hidden activation only there), and `t2`
@@ -191,6 +208,16 @@ impl fmt::Display for BuildError {
                 "no probe form matches `{name}` (accepted: cmdtrace:<prefix>, \
                  epochs:<cycles>[:<path>], latency:<path>, act-exposure:<path>)"
             ),
+            BuildError::UnknownPlugin { name } => write!(
+                f,
+                "no plugin form matches `{name}` (accepted: oracle:<tRH>, \
+                 para:<p>, graphene:<tRH>:<k>)"
+            ),
+            BuildError::DeviceLacksVrr { device, plugin } => write!(
+                f,
+                "plugin `{plugin}` injects directed victim-row refreshes but \
+                 device `{device}` drops vendor directed-refresh commands"
+            ),
             BuildError::HiraLeadInvalid { t1, t2, t_ras } => write!(
                 f,
                 "HiRA lead timings t1 = {t1} ns, t2 = {t2} ns are invalid: \
@@ -245,6 +272,11 @@ pub struct SystemBuilder {
     /// A pending by-spec probe selection, resolved (and validated) at
     /// [`SystemBuilder::build`]; overrides `probe` when set.
     probe_by_name: Option<String>,
+    /// Controller plugins, in attachment order (see [`crate::plugin`]).
+    plugins: Vec<PluginHandle>,
+    /// Pending by-spec plugin selections, resolved (and validated) at
+    /// [`SystemBuilder::build`] and appended after `plugins`.
+    plugins_by_name: Vec<String>,
 }
 
 /// The preventive layer a builder composes onto the policy at build time.
@@ -289,6 +321,8 @@ impl SystemBuilder {
             kernel: KernelMode::default(),
             probe: None,
             probe_by_name: None,
+            plugins: Vec::new(),
+            plugins_by_name: Vec::new(),
         }
     }
 
@@ -461,6 +495,24 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches a controller plugin (see [`crate::plugin`]). Repeatable;
+    /// plugins run in attachment order. Unlike probes, plugins *perturb*
+    /// the run — their injected refreshes cost real command slots.
+    pub fn plugin(mut self, plugin: PluginHandle) -> Self {
+        self.plugins.push(plugin);
+        self
+    }
+
+    /// Attaches a plugin by registry spec (`--plugin=` axes):
+    /// `oracle:<tRH>`, `para:<p>`, `graphene:<tRH>:<k>`. The lookup
+    /// happens in [`SystemBuilder::build`], so a malformed spec surfaces
+    /// as [`BuildError::UnknownPlugin`]; the panicking shortcut for CLI
+    /// use is [`crate::plugin::plugin`].
+    pub fn plugin_name(mut self, spec: &str) -> Self {
+        self.plugins_by_name.push(spec.to_owned());
+        self
+    }
+
     /// Validates and assembles the configuration.
     pub fn build(self) -> Result<SystemConfig, BuildError> {
         // The device resolves first: it supplies the geometry, capacity
@@ -546,6 +598,15 @@ impl SystemBuilder {
                     .ok_or(BuildError::UnknownProbe { name })?,
             ),
         };
+        let mut plugins = self.plugins;
+        let plugin_registry = PluginRegistry::standard();
+        for name in self.plugins_by_name {
+            plugins.push(
+                plugin_registry
+                    .lookup(&name)
+                    .ok_or(BuildError::UnknownPlugin { name })?,
+            );
+        }
         let refresh = match self.para {
             None => refresh,
             Some(ParaLayer {
@@ -578,6 +639,7 @@ impl SystemBuilder {
             kernel: self.kernel,
             cycle_cap: None,
             probe,
+            plugins,
         };
         // HiRA capability cross-checks need a live policy instance (the
         // lead pair is the policy's choice, the decoder behaviour the
@@ -597,6 +659,18 @@ impl SystemBuilder {
                     t2,
                     t_ras: cfg.timing.t_ras,
                 });
+            }
+        }
+        // VRR capability cross-check: a plugin that injects directed
+        // victim-row refreshes needs a device whose decoder honors them.
+        if !cfg.device.profile().supports_vrr {
+            for p in crate::plugin::probe(&cfg) {
+                if p.requires_vrr() {
+                    return Err(BuildError::DeviceLacksVrr {
+                        device: cfg.device.name().to_owned(),
+                        plugin: p.name().to_owned(),
+                    });
+                }
             }
         }
         Ok(cfg)
@@ -781,6 +855,72 @@ mod tests {
         assert_eq!(cfg.probe.as_ref().map(|p| p.name()), Some("cmdtrace:t"));
         // The default carries no probe.
         assert_eq!(SystemBuilder::new().build().unwrap().probe, None);
+    }
+
+    #[test]
+    fn plugin_name_resolves_through_the_registry() {
+        let cfg = SystemBuilder::new()
+            .plugin_name("oracle:1024")
+            .plugin_name("para:0.01")
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg.plugins.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            vec!["oracle:1024", "para:0.01"],
+            "attachment order is preserved"
+        );
+        let err = SystemBuilder::new()
+            .plugin_name("blink:7")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::UnknownPlugin {
+                name: "blink:7".into()
+            }
+        );
+        // Explicit handles come before pending by-name specs.
+        let cfg = SystemBuilder::new()
+            .plugin_name("para:0.5")
+            .plugin(crate::plugin::oracle(64))
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg.plugins.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            vec!["oracle:64", "para:0.5"]
+        );
+        // The default carries no plugins.
+        assert!(SystemBuilder::new().build().unwrap().plugins.is_empty());
+    }
+
+    #[test]
+    fn vrr_plugins_are_rejected_on_vrr_less_devices() {
+        // The conservative decoder drops directed-refresh commands, so
+        // oracle and graphene are typed errors on it; para's plain
+        // activations pass everywhere.
+        for spec in ["oracle:1024", "graphene:1024:64"] {
+            let err = SystemBuilder::new()
+                .device(crate::device::samsung_ddr4_2400())
+                .plugin_name(spec)
+                .build()
+                .unwrap_err();
+            assert_eq!(
+                err,
+                BuildError::DeviceLacksVrr {
+                    device: "samsung-ddr4-2400".into(),
+                    plugin: spec.into()
+                }
+            );
+        }
+        assert!(SystemBuilder::new()
+            .device(crate::device::samsung_ddr4_2400())
+            .plugin_name("para:0.01")
+            .build()
+            .is_ok());
+        // VRR-capable devices take all three.
+        for spec in ["oracle:1024", "para:0.01", "graphene:1024:64"] {
+            assert!(SystemBuilder::new().plugin_name(spec).build().is_ok());
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use crate::builder::SystemBuilder;
 use crate::clock::MemClock;
 use crate::device::DeviceHandle;
+use crate::plugin::PluginHandle;
 use crate::policy::PolicyHandle;
 use crate::probe::ProbeHandle;
 use hira_dram::timing::TimingParams;
@@ -95,6 +96,11 @@ pub struct SystemConfig {
     pub timing: TimingParams,
     /// Periodic refresh policy (plus any composed preventive layer).
     pub refresh: PolicyHandle,
+    /// Controller plugins (RowHammer defenses), instantiated per rank in
+    /// order (see [`crate::plugin`]). Unlike probes, plugins *perturb*
+    /// the run — their injected refreshes cost real command slots — so
+    /// the list is part of the cache identity.
+    pub plugins: Vec<PluginHandle>,
     /// Demand-traffic frontend: one per-core instance is built from this
     /// handle (see [`hira_workload::Workload`]).
     pub workload: WorkloadHandle,
@@ -209,6 +215,13 @@ impl SystemConfig {
         self
     }
 
+    /// Appends a controller plugin (`--plugin=` axes; see
+    /// [`crate::plugin`]).
+    pub fn with_plugin(mut self, plugin: PluginHandle) -> Self {
+        self.plugins.push(plugin);
+        self
+    }
+
     /// A canonical rendering of every **result-affecting** field — the
     /// configuration portion of a simulation's content-addressed cache
     /// identity (see `hira-store`). Two configs with equal descriptors
@@ -233,9 +246,18 @@ impl SystemConfig {
             Some(c) => c.to_string(),
             None => "default".to_string(),
         };
+        let plugins = if self.plugins.is_empty() {
+            "none".to_string()
+        } else {
+            self.plugins
+                .iter()
+                .map(|p| p.name())
+                .collect::<Vec<_>>()
+                .join("+")
+        };
         format!(
             "cores={};channels={};ranks={};banks={};bank_groups={};chip_gbit={};\
-             device={};timing={};policy={};workload={};llc_bytes={};llc_ways={};\
+             device={};timing={};policy={};plugins={plugins};workload={};llc_bytes={};llc_ways={};\
              queue_depth={};insts={};warmup={};spt={};seed={};cycle_cap={}",
             self.cores,
             self.channels,
@@ -347,6 +369,25 @@ mod tests {
         let mut timing = a.clone();
         timing.timing.t_rfc += 1.0;
         assert_ne!(a.cache_descriptor(), timing.cache_descriptor());
+        // Plugins perturb the run (injected refreshes cost command slots),
+        // so the plugin axis moves the descriptor — by name, and by order.
+        let defended = a.clone().with_plugin(crate::plugin::oracle(1024));
+        assert_ne!(a.cache_descriptor(), defended.cache_descriptor());
+        assert_ne!(
+            defended.cache_descriptor(),
+            a.clone()
+                .with_plugin(crate::plugin::oracle(2048))
+                .cache_descriptor()
+        );
+        let ab = a
+            .clone()
+            .with_plugin(crate::plugin::oracle(1024))
+            .with_plugin(crate::plugin::para(0.01));
+        let ba = a
+            .clone()
+            .with_plugin(crate::plugin::para(0.01))
+            .with_plugin(crate::plugin::oracle(1024));
+        assert_ne!(ab.cache_descriptor(), ba.cache_descriptor());
         // …while the documented result-neutral fields do not.
         let event = a.clone().with_kernel(KernelMode::Event);
         let dense = a.clone().with_kernel(KernelMode::Dense);

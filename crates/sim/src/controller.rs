@@ -24,6 +24,7 @@ use crate::clock::{MemClock, MemCycle};
 use crate::config::{KernelMode, SystemConfig};
 use crate::device::CommandTable;
 use crate::metrics::LatencyHistogram;
+use crate::plugin::{ControllerPlugin, PluginEnv, PluginStats};
 use crate::policy::{
     DemandDecision, PolicyEnv, PolicyStats, RankView, RefreshAction, RefreshPolicy,
 };
@@ -164,6 +165,10 @@ struct Rank {
     last_cas_bg: Option<u16>,
     /// The rank's refresh arrangement.
     policy: Box<dyn RefreshPolicy>,
+    /// The rank's controller plugins (RowHammer defenses), in
+    /// [`SystemConfig::plugins`] order. Each observes every executed
+    /// activation and may inject preventive refreshes.
+    plugins: Vec<Box<dyn ControllerPlugin>>,
 }
 
 /// Aggregate controller statistics.
@@ -254,6 +259,12 @@ impl Channel {
                     next_rd: 0,
                     last_cas_bg: None,
                     policy: cfg.refresh.build(&env),
+                    plugins: cfg
+                        .plugins
+                        .iter()
+                        .enumerate()
+                        .map(|(i, h)| h.build(&PluginEnv::for_rank(cfg, channel_idx, r, i)))
+                        .collect(),
                 }
             })
             .collect();
@@ -325,6 +336,14 @@ impl Channel {
         self.ranks.iter().map(|r| r.policy.stats()).collect()
     }
 
+    /// Per-rank plugin counters, rank-major in plugin-ordinal order.
+    pub fn plugin_stats(&self) -> Vec<PluginStats> {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.plugins.iter().map(|p| p.stats()))
+            .collect()
+    }
+
     /// True when the read queue can accept another request.
     pub fn can_accept_read(&self) -> bool {
         self.read_q.len() < self.queue_depth
@@ -384,12 +403,16 @@ impl Channel {
     }
 
     /// Reports an executed activation to the rank's policy (PARA sampling,
-    /// HiRA-MC bookkeeping).
+    /// HiRA-MC bookkeeping) and to every plugin (aggressor tracking) —
+    /// demand rows, refresh singles, pair halves and injected victims
+    /// alike, never filtered.
     fn notify_act(&mut self, rank: usize, at: MemCycle, bank: u16, row: u32) {
         let now_ns = self.clock.cycles_to_ns(at);
-        self.ranks[rank]
-            .policy
-            .on_act_executed(now_ns, BankId(bank), RowId(row));
+        let r = &mut self.ranks[rank];
+        r.policy.on_act_executed(now_ns, BankId(bank), RowId(row));
+        for p in &mut r.plugins {
+            p.on_act(now_ns, BankId(bank), RowId(row));
+        }
     }
 
     /// Closes `bi`'s open row if any (PRE on the command bus) and returns
@@ -695,11 +718,14 @@ impl Channel {
         }
         let now_ns = self.clock.cycles_to_ns(now);
         for r in &self.ranks {
-            if r.policy.inert() {
-                continue;
+            if !r.policy.inert() {
+                let wake = self.clock.wake_cycle(r.policy.next_wake(now_ns));
+                next = next.min(wake.max(now + 1));
             }
-            let wake = self.clock.wake_cycle(r.policy.next_wake(now_ns));
-            next = next.min(wake.max(now + 1));
+            for p in &r.plugins {
+                let wake = self.clock.wake_cycle(p.next_wake(now_ns));
+                next = next.min(wake.max(now + 1));
+            }
         }
         next
     }
@@ -733,20 +759,27 @@ impl Channel {
 
     fn refresh_step(&mut self, now: MemCycle, probes: &mut ProbeHost) {
         let now_ns = self.clock.cycles_to_ns(now);
-        if self.ranks.iter().all(|r| r.policy.inert()) {
+        if self
+            .ranks
+            .iter()
+            .all(|r| r.policy.inert() && r.plugins.is_empty())
+        {
             return;
         }
         // Event kernel: skip the tick/poll machinery for every rank whose
-        // policy declared a future wake (the `next_wake` contract makes
-        // those calls no-ops). The dense kernel runs the legacy path.
-        // Each rank's due flag is computed once and shared by this gate
-        // and the poll loop below.
+        // policy and plugins all declared a future wake (the `next_wake`
+        // contracts make those calls no-ops). The dense kernel runs the
+        // legacy path. Each rank's due flag is computed once and shared by
+        // this gate and the poll loop below.
         if self.kernel == KernelMode::Event {
             let mut any_due = false;
             for (rank, due) in self.rank_due.iter_mut().enumerate() {
                 let r = &self.ranks[rank];
-                *due =
-                    !r.policy.inert() && self.clock.wake_cycle(r.policy.next_wake(now_ns)) <= now;
+                *due = (!r.policy.inert()
+                    && self.clock.wake_cycle(r.policy.next_wake(now_ns)) <= now)
+                    || r.plugins
+                        .iter()
+                        .any(|p| self.clock.wake_cycle(p.next_wake(now_ns)) <= now);
                 any_due |= *due;
             }
             if !any_due {
@@ -759,30 +792,42 @@ impl Channel {
                 continue;
             }
             self.ranks[rank].policy.tick(now_ns);
-            if self.ranks[rank].policy.inert() {
-                continue;
-            }
-            // Safety bound: a policy may issue a burst (deadline pile-up,
-            // drained preventive queue) but never an unbounded stream in
-            // one tick.
+            // Safety bound: a policy or plugin may issue a burst (deadline
+            // pile-up, drained preventive queue) but never an unbounded
+            // stream in one tick.
             let budget = 3 * self.banks_per_rank as usize + 16;
-            let demand_base = rank * self.banks_per_rank as usize;
-            for _ in 0..budget {
-                self.fill_bank_view(rank);
-                let action = {
-                    let view = RankView {
-                        now,
-                        t_rc: self.timing.rc,
-                        bank_next_act: &self.view_next_act,
-                        bank_has_demand: &self.view_demand
-                            [demand_base..demand_base + self.banks_per_rank as usize],
-                        bank_open: &self.view_open,
+            if !self.ranks[rank].policy.inert() {
+                let demand_base = rank * self.banks_per_rank as usize;
+                for _ in 0..budget {
+                    self.fill_bank_view(rank);
+                    let action = {
+                        let view = RankView {
+                            now,
+                            t_rc: self.timing.rc,
+                            bank_next_act: &self.view_next_act,
+                            bank_has_demand: &self.view_demand
+                                [demand_base..demand_base + self.banks_per_rank as usize],
+                            bank_open: &self.view_open,
+                        };
+                        self.ranks[rank].policy.next_action(now_ns, &view)
                     };
-                    self.ranks[rank].policy.next_action(now_ns, &view)
-                };
-                match action {
-                    Some(a) => self.execute_action(now, rank, a, probes),
-                    None => break,
+                    match action {
+                        Some(a) => self.execute_action(now, rank, a, probes),
+                        None => break,
+                    }
+                }
+            }
+            // Plugin injections, after the policy's own work: victims the
+            // defenses queued (including ones triggered by refresh ACTs
+            // executed moments ago in this very step) go out under the
+            // same per-tick budget.
+            for pi in 0..self.ranks[rank].plugins.len() {
+                for _ in 0..budget {
+                    let action = self.ranks[rank].plugins[pi].next_action(now_ns);
+                    match action {
+                        Some(a) => self.execute_action(now, rank, a, probes),
+                        None => break,
+                    }
                 }
             }
         }

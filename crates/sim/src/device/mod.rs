@@ -82,6 +82,15 @@ pub struct DeviceProfile {
     /// quotes (LPDDR4 8 Gb: 140 ns / 280 ns = 0.5; emulating DDR4 parts
     /// inherit the same conservative 0.5).
     pub t_rfc_pb_frac: f64,
+    /// Whether the device honors vendor directed-refresh (VRR-style
+    /// victim-row refresh) commands. A controller plugin that injects
+    /// directed victim refreshes ([`crate::plugin::ControllerPlugin::
+    /// requires_vrr`]) on a device without this flag is a typed
+    /// [`crate::builder::BuildError::DeviceLacksVrr`]. The conservative
+    /// Samsung decoder that drops HiRA's timing-violating sequences (§12)
+    /// also drops these, so the shipped presets derive the flag from the
+    /// manufacturer alongside `supports_hira`.
+    pub supports_vrr: bool,
 }
 
 impl DeviceProfile {
@@ -322,5 +331,11 @@ mod tests {
         let s = samsung_ddr4_2400().profile().clone();
         assert!(!s.supports_hira, "Samsung decoders drop violating commands");
         assert_eq!(s.manufacturer, Manufacturer::Samsung);
+
+        // VRR capability tracks the decoder: the conservative part drops
+        // directed-refresh commands too, every other preset honors them.
+        assert!(!s.supports_vrr);
+        assert!(d.supports_vrr && l.supports_vrr);
+        assert!(ddr4_3200().profile().supports_vrr);
     }
 }

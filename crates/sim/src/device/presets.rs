@@ -91,6 +91,7 @@ fn ddr4_profile(manufacturer: Manufacturer) -> DeviceProfile {
         supports_hira: manufacturer.hira_capable(),
         native_refpb: false,
         t_rfc_pb_frac: 0.5,
+        supports_vrr: manufacturer.hira_capable(),
     }
 }
 
@@ -149,6 +150,7 @@ pub fn lpddr4_3200() -> DeviceHandle {
         supports_hira: true,
         native_refpb: true,
         t_rfc_pb_frac: 0.5,
+        supports_vrr: true,
     };
     DeviceHandle::new(
         "lpddr4-3200",

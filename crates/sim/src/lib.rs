@@ -69,6 +69,7 @@ pub mod device;
 pub mod llc;
 pub mod mapping;
 pub mod metrics;
+pub mod plugin;
 pub mod policy;
 pub mod probe;
 pub mod refresh;
@@ -80,6 +81,7 @@ pub use config::{KernelMode, SystemConfig};
 pub use device::{DeviceHandle, DeviceModel, DeviceProfile, DeviceRegistry};
 pub use hira_workload::{Workload, WorkloadHandle, WorkloadRegistry};
 pub use metrics::SimResult;
+pub use plugin::{ControllerPlugin, PluginHandle, PluginRegistry};
 pub use policy::{PolicyHandle, PolicyRegistry, RefreshPolicy};
 pub use probe::{Probe, ProbeHandle, ProbeRegistry};
 pub use system::System;

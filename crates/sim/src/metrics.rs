@@ -2,6 +2,7 @@
 //! log2-bucketed latency histograms behind the p50/p90/p99/p999 columns.
 
 use crate::controller::ChannelStats;
+use crate::plugin::PluginStats;
 use crate::policy::PolicyStats;
 use hira_core::finder::McStats;
 
@@ -109,6 +110,9 @@ pub struct SimResult {
     pub mc_stats: Vec<McStats>,
     /// Refresh-policy service counters per (channel, rank).
     pub policy_stats: Vec<PolicyStats>,
+    /// Controller-plugin (RowHammer defense) counters per (channel, rank,
+    /// plugin ordinal) — empty when no plugins are configured.
+    pub plugin_stats: Vec<PluginStats>,
 }
 
 impl SimResult {
@@ -213,6 +217,38 @@ impl SimResult {
         }
     }
 
+    /// All plugin instances' counters merged into one [`PluginStats`]
+    /// (counters add, the exposure peak takes the max) — the run-level
+    /// defense summary `rh_matrix` reports.
+    pub fn plugin_totals(&self) -> PluginStats {
+        self.plugin_stats
+            .iter()
+            .fold(PluginStats::default(), |acc, s| acc.merge(*s))
+    }
+
+    /// Highest instantaneous victim exposure any row reached, across all
+    /// plugin instances (0 without plugins — nothing was tracking).
+    pub fn max_victim_exposure(&self) -> u64 {
+        self.plugin_totals().max_exposure
+    }
+
+    /// Mean per-row peak victim exposure across all tracked rows (0.0
+    /// without plugins).
+    pub fn mean_victim_exposure(&self) -> f64 {
+        self.plugin_totals().mean_exposure()
+    }
+
+    /// Victim rows whose peak exposure reached the defense threshold,
+    /// summed across plugin instances.
+    pub fn rows_over_threshold(&self) -> u64 {
+        self.plugin_totals().rows_over_threshold
+    }
+
+    /// Preventive refreshes injected by plugins, summed.
+    pub fn plugin_injected(&self) -> u64 {
+        self.plugin_totals().injected
+    }
+
     /// Per-channel data-bus utilization: the fraction of simulated memory
     /// cycles each channel's data bus spent transferring bursts (demand
     /// reads and writes; refresh traffic never uses the data bus).
@@ -246,6 +282,7 @@ mod tests {
             channel_stats: vec![ChannelStats::default()],
             mc_stats: vec![],
             policy_stats: vec![],
+            plugin_stats: vec![],
         }
     }
 
@@ -296,6 +333,35 @@ mod tests {
         assert!(d.channel_stats.is_empty());
         assert!(d.mc_stats.is_empty());
         assert!(d.policy_stats.is_empty());
+        assert!(d.plugin_stats.is_empty());
+    }
+
+    #[test]
+    fn plugin_totals_merge_across_instances() {
+        let mut r = result(vec![1.0]);
+        assert_eq!(r.max_victim_exposure(), 0);
+        assert_eq!(r.mean_victim_exposure(), 0.0);
+        r.plugin_stats = vec![
+            PluginStats {
+                injected: 3,
+                max_exposure: 40,
+                exposure_sum: 60,
+                exposure_rows: 2,
+                rows_over_threshold: 1,
+                ..PluginStats::default()
+            },
+            PluginStats {
+                injected: 1,
+                max_exposure: 25,
+                exposure_sum: 40,
+                exposure_rows: 2,
+                ..PluginStats::default()
+            },
+        ];
+        assert_eq!(r.plugin_injected(), 4);
+        assert_eq!(r.max_victim_exposure(), 40);
+        assert!((r.mean_victim_exposure() - 25.0).abs() < 1e-12);
+        assert_eq!(r.rows_over_threshold(), 1);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! PARA as a controller plugin: probabilistic adjacent-row refresh (§9)
+//! on the open plugin axis — the reimplementation that lets the
+//! policy-layer `with_para_*` wrappers eventually retire.
+
+use super::{ControllerPlugin, ExposureTracker, PluginEnv, PluginHandle, PluginStats};
+use crate::policy::RefreshAction;
+use hira_core::para::Para;
+use hira_dram::addr::{BankId, RowId};
+use std::collections::VecDeque;
+
+/// Exposure threshold the para plugin's `rows_over_threshold` metric is
+/// quoted against. PARA itself has no threshold — it samples every
+/// activation — so the metric uses the paper's conservative
+/// `tRH = 1024` working point to stay comparable with `oracle:1024`.
+pub const PARA_EXPOSURE_THRESHOLD: u64 = 1024;
+
+/// The PARA defense as a plugin: every observed activation triggers with
+/// probability `p`, refreshing one uniformly-chosen adjacent row as a
+/// plain activation (no directed-refresh command needed — PARA runs on
+/// every device).
+#[derive(Debug)]
+pub struct ParaPlugin {
+    name: String,
+    para: Para,
+    rows_per_bank: u32,
+    tracker: ExposureTracker,
+    queue: VecDeque<(BankId, RowId)>,
+    injected: u64,
+    acts: u64,
+}
+
+impl ParaPlugin {
+    /// A PARA plugin with trigger probability `p` (its random stream is
+    /// drawn from `env`'s pre-mixed seed).
+    pub fn new(p: f64, env: &PluginEnv) -> Self {
+        ParaPlugin {
+            name: format!("para:{p}"),
+            para: Para::new(p, env.seed),
+            rows_per_bank: env.rows_per_bank,
+            tracker: ExposureTracker::new(),
+            queue: VecDeque::new(),
+            injected: 0,
+            acts: 0,
+        }
+    }
+}
+
+impl ControllerPlugin for ParaPlugin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_act(&mut self, _now_ns: f64, bank: BankId, row: RowId) {
+        self.acts += 1;
+        self.tracker.on_act(bank, row);
+        if let Some(side) = self.para.on_activate() {
+            let victim = Para::victim(row, side, self.rows_per_bank);
+            self.queue.push_back((bank, victim));
+        }
+    }
+
+    fn next_action(&mut self, _now_ns: f64) -> Option<RefreshAction> {
+        let (bank, row) = self.queue.pop_front()?;
+        self.injected += 1;
+        Some(RefreshAction::Single { bank, row })
+    }
+
+    fn next_wake(&self, now_ns: f64) -> f64 {
+        if self.queue.is_empty() {
+            f64::INFINITY
+        } else {
+            now_ns
+        }
+    }
+
+    fn stats(&self) -> PluginStats {
+        self.tracker.fold_into(
+            PluginStats {
+                acts_observed: self.acts,
+                injected: self.injected,
+                ..PluginStats::default()
+            },
+            PARA_EXPOSURE_THRESHOLD,
+        )
+    }
+}
+
+/// The `para:<p>` handle.
+pub fn para(p: f64) -> PluginHandle {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "para trigger probability must be in [0, 1], got {p}"
+    );
+    PluginHandle::new(format!("para:{p}"), move |env: &PluginEnv| {
+        Box::new(ParaPlugin::new(p, env))
+    })
+    .with_summary(format!(
+        "probabilistic adjacent-row refresh, trigger probability {p} per activation"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(seed: u64) -> PluginEnv {
+        PluginEnv {
+            channel: 0,
+            rank: 0,
+            banks: 16,
+            rows_per_bank: 64,
+            seed,
+            ordinal: 0,
+        }
+    }
+
+    #[test]
+    fn para_triggers_at_roughly_the_configured_rate() {
+        let mut p = ParaPlugin::new(0.25, &env(7));
+        for i in 0..4000 {
+            p.on_act(f64::from(i), BankId(0), RowId(32));
+            while p.next_action(f64::from(i)).is_some() {}
+        }
+        let s = p.stats();
+        assert_eq!(s.acts_observed, 4000);
+        let rate = s.injected as f64 / s.acts_observed as f64;
+        assert!((rate - 0.25).abs() < 0.03, "trigger rate {rate}");
+    }
+
+    #[test]
+    fn para_victims_are_adjacent_rows() {
+        let mut p = ParaPlugin::new(1.0, &env(11));
+        p.on_act(0.0, BankId(2), RowId(10));
+        match p.next_action(0.0) {
+            Some(RefreshAction::Single { bank, row }) => {
+                assert_eq!(bank, BankId(2));
+                assert!(row == RowId(9) || row == RowId(11));
+            }
+            other => panic!("expected an adjacent single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn para_streams_differ_across_plugin_instances() {
+        let mut a = ParaPlugin::new(0.5, &env(1));
+        let mut b = ParaPlugin::new(0.5, &env(2));
+        let fire = |p: &mut ParaPlugin| {
+            (0..64)
+                .map(|i| {
+                    p.on_act(f64::from(i), BankId(0), RowId(5));
+                    u8::from(p.next_action(f64::from(i)).is_some())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(fire(&mut a), fire(&mut b));
+    }
+}

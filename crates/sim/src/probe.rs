@@ -936,11 +936,14 @@ pub struct RowAddr {
 pub const ACT_EXPOSURE_TOP: usize = 64;
 
 /// Counts activations per row — demand, refresh and preventive alike —
-/// the exposure stream RowHammer defense studies consume. The
-/// file-writing form emits the [`ACT_EXPOSURE_TOP`] hottest rows as JSONL
-/// at run end (hottest first, ties broken by address for determinism).
+/// the exposure stream RowHammer defense studies consume, plus the
+/// *neighbor* (victim-row) exposure each activation induces on the rows
+/// either side. The file-writing form emits the [`ACT_EXPOSURE_TOP`]
+/// hottest rows as JSONL at run end (hottest first, ties broken by
+/// address for determinism), each with its neighbor count alongside.
 pub struct ActExposureProbe {
     counts: HashMap<RowAddr, u64>,
+    neighbors: HashMap<RowAddr, u64>,
     path: PathBuf,
 }
 
@@ -952,6 +955,7 @@ impl ActExposureProbe {
         ProbeHandle::new(name, move || {
             Box::new(ActExposureProbe {
                 counts: HashMap::new(),
+                neighbors: HashMap::new(),
                 path: path.clone(),
             }) as Box<dyn Probe>
         })
@@ -974,11 +978,40 @@ impl ActExposureProbe {
             })
             .or_insert(0) += 1;
     }
+
+    /// Neighbor (victim-row) counting: every activation on row `r` bumps
+    /// `r - 1` (when it exists) and `r + 1`. Deliberately geometry-free —
+    /// `r + 1` is counted even past the top of a bank — so the totals are
+    /// exactly comparable with [`crate::plugin::ExposureTracker`]'s
+    /// `neighbor_increments` (the probe-vs-plugin consistency check).
+    fn count_neighbors(neighbors: &mut HashMap<RowAddr, u64>, ev: &CmdEvent) {
+        if ev.cmd != DramCmd::Act {
+            return;
+        }
+        let (Some(bank), Some(row)) = (ev.bank, ev.row) else {
+            return;
+        };
+        let mut bump = |row: u32| {
+            *neighbors
+                .entry(RowAddr {
+                    channel: ev.channel,
+                    rank: ev.rank,
+                    bank,
+                    row,
+                })
+                .or_insert(0) += 1;
+        };
+        if row > 0 {
+            bump(row - 1);
+        }
+        bump(row + 1);
+    }
 }
 
 impl Probe for ActExposureProbe {
     fn on_cmd(&mut self, ev: &CmdEvent) {
         Self::count(&mut self.counts, ev);
+        Self::count_neighbors(&mut self.neighbors, ev);
     }
 
     fn on_run_end(&mut self, _result: &SimResult) {
@@ -986,8 +1019,10 @@ impl Probe for ActExposureProbe {
         rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
         let mut out = String::new();
         for (addr, acts) in rows.into_iter().take(ACT_EXPOSURE_TOP) {
+            let neighbor_acts = self.neighbors.get(addr).copied().unwrap_or(0);
             out.push_str(&format!(
-                "{{\"channel\":{},\"rank\":{},\"bank\":{},\"row\":{},\"acts\":{acts}}}\n",
+                "{{\"channel\":{},\"rank\":{},\"bank\":{},\"row\":{},\"acts\":{acts},\
+                 \"neighbor_acts\":{neighbor_acts}}}\n",
                 addr.channel, addr.rank, addr.bank, addr.row
             ));
         }
@@ -1020,6 +1055,43 @@ pub fn act_exposure_collector() -> (ProbeHandle, Arc<Mutex<HashMap<RowAddr, u64>
     })
     .with_summary("in-memory ACT-exposure collector");
     (handle, sink)
+}
+
+/// In-memory ACT-exposure collector that also tracks neighbor (victim-row)
+/// exposure: returns the handle plus the direct-count and neighbor-count
+/// maps (both live). The neighbor map uses the same geometry-free guards
+/// as [`crate::plugin::ExposureTracker`], so its total equals a plugin's
+/// `neighbor_increments` over the same run.
+#[allow(clippy::type_complexity)]
+pub fn act_exposure_neighbor_collector() -> (
+    ProbeHandle,
+    Arc<Mutex<HashMap<RowAddr, u64>>>,
+    Arc<Mutex<HashMap<RowAddr, u64>>>,
+) {
+    let direct: Arc<Mutex<HashMap<RowAddr, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let neighbors: Arc<Mutex<HashMap<RowAddr, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let (direct_cap, neighbors_cap) = (direct.clone(), neighbors.clone());
+    struct Collector {
+        direct: Arc<Mutex<HashMap<RowAddr, u64>>>,
+        neighbors: Arc<Mutex<HashMap<RowAddr, u64>>>,
+    }
+    impl Probe for Collector {
+        fn on_cmd(&mut self, ev: &CmdEvent) {
+            ActExposureProbe::count(&mut self.direct.lock().expect("direct sink"), ev);
+            ActExposureProbe::count_neighbors(
+                &mut self.neighbors.lock().expect("neighbor sink"),
+                ev,
+            );
+        }
+    }
+    let handle = ProbeHandle::new("act-exposure-neighbors-mem", move || {
+        Box::new(Collector {
+            direct: direct_cap.clone(),
+            neighbors: neighbors_cap.clone(),
+        }) as Box<dyn Probe>
+    })
+    .with_summary("in-memory ACT-exposure collector with neighbor counts");
+    (handle, direct, neighbors)
 }
 
 // ---------------------------------------------------------------------------
@@ -1299,6 +1371,67 @@ mod tests {
                 row: 99
             }],
             2
+        );
+    }
+
+    #[test]
+    fn act_exposure_neighbor_counts_use_geometry_free_guards() {
+        let (handle, direct, neighbors) = act_exposure_neighbor_collector();
+        let mut p = handle.build();
+        let at = |row| CmdEvent {
+            at: 0,
+            channel: 0,
+            rank: 0,
+            bank: Some(1),
+            row: Some(row),
+            cmd: DramCmd::Act,
+        };
+        p.on_cmd(&at(0)); // row 0: only the upper neighbor exists
+        p.on_cmd(&at(5));
+        p.on_cmd(&at(5));
+        assert_eq!(direct.lock().unwrap().len(), 2);
+        let n = neighbors.lock().unwrap();
+        let row = |r| RowAddr {
+            channel: 0,
+            rank: 0,
+            bank: 1,
+            row: r,
+        };
+        assert_eq!(n.get(&row(1)), Some(&1));
+        assert_eq!(n.get(&row(4)), Some(&2));
+        assert_eq!(n.get(&row(6)), Some(&2));
+        assert_eq!(n.values().sum::<u64>(), 5, "row 0 has no lower neighbor");
+    }
+
+    #[test]
+    fn act_exposure_probe_agrees_with_the_oracle_plugin() {
+        // Satellite consistency check: over an identical run, the
+        // act-exposure probe's direct and neighbor totals must equal the
+        // oracle plugin's internal counters exactly — the probe observes
+        // the command stream, the plugin is notified per executed ACT,
+        // and both use the same geometry-free neighbor guards. The oracle
+        // threshold is set beyond reach so the plugin never injects (an
+        // injection would add ACTs the *other* accounting also sees, but
+        // zero keeps the expectation exact and obvious).
+        let (handle, direct, neighbors) = act_exposure_neighbor_collector();
+        let cfg = crate::builder::SystemBuilder::new()
+            .insts(4_000, 500)
+            .plugin(crate::plugin::oracle(1 << 40))
+            .probe(handle)
+            .build()
+            .unwrap();
+        let result = crate::system::System::new(cfg).run();
+        assert_eq!(result.plugin_stats.len(), 1, "one channel, one rank");
+        let s = result.plugin_stats[0];
+        assert_eq!(s.injected, 0, "threshold is unreachable");
+        assert!(s.acts_observed > 0);
+        assert_eq!(
+            s.acts_observed,
+            direct.lock().unwrap().values().sum::<u64>()
+        );
+        assert_eq!(
+            s.neighbor_increments,
+            neighbors.lock().unwrap().values().sum::<u64>()
         );
     }
 

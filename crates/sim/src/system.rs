@@ -396,6 +396,11 @@ impl System {
                 .iter()
                 .flat_map(Channel::policy_stats)
                 .collect(),
+            plugin_stats: self
+                .channels
+                .iter()
+                .flat_map(Channel::plugin_stats)
+                .collect(),
         };
         self.probes.on_run_end(&result);
         let telemetry = RunTelemetry {

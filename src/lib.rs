@@ -45,7 +45,9 @@ pub use hira_workload as workload;
 /// ([`prelude::policy`], [`prelude::PolicyRegistry`]), the open workload
 /// frontend ([`prelude::WorkloadRegistry`], [`prelude::mix`], generators,
 /// trace replay), the open device axis ([`prelude::device`],
-/// [`prelude::DeviceRegistry`], the standard presets), the zero-cost
+/// [`prelude::DeviceRegistry`], the standard presets), the controller
+/// plugins ([`prelude::plugin`], [`prelude::PluginRegistry`], the shipped
+/// RowHammer defenses), the zero-cost
 /// observability layer ([`prelude::probe`], [`prelude::ProbeRegistry`],
 /// the collectors), the simulator, and the experiment-orchestration
 /// engine.
@@ -79,6 +81,9 @@ pub mod prelude {
     pub use hira_sim::clock::MemClock;
     pub use hira_sim::device::{
         self, CommandTable, DeviceHandle, DeviceModel, DeviceProfile, DeviceRegistry,
+    };
+    pub use hira_sim::plugin::{
+        self, ControllerPlugin, PluginEnv, PluginHandle, PluginRegistry, PluginStats,
     };
     pub use hira_sim::policy::{
         self, DemandDecision, PolicyEnv, PolicyHandle, PolicyProfile, PolicyRegistry, PolicyStats,

@@ -155,6 +155,7 @@ fn builder_reproduces_the_legacy_table3_struct_literals() {
                 kernel: KernelMode::default(),
                 cycle_cap: None,
                 probe: None,
+                plugins: Vec::new(),
             };
             let built = SystemBuilder::table3(cap)
                 .policy(p.clone())

@@ -215,6 +215,63 @@ fn probe_attachment_leaves_results_bit_identical() {
 }
 
 #[test]
+fn every_registered_plugin_is_kernel_invariant() {
+    // The controller-plugin hook points (per-ACT notification, injected
+    // preventive refreshes, plugin wakes feeding the event gate) have
+    // their own next_wake logic: dense and event must stay bit-identical
+    // with every shipped defense attached. The registry samples cover the
+    // canonical parameterizations; the extra low-threshold instances force
+    // the *injection* paths to actually fire within a short run (oracle
+    // triggers on victim exposure, graphene on aggressor count).
+    let mut roster = PluginRegistry::standard().samples();
+    // tRH = 1 instances are deliberately absent: a defense whose injected
+    // refreshes immediately re-trigger it (every refresh is itself an
+    // activation) cascades without bound.
+    roster.extend([
+        plugin::oracle(2),
+        plugin::para(0.5),
+        plugin::graphene(2, 64),
+    ]);
+    for handle in roster {
+        for policy in [policy::baseline(), policy::hira(4)] {
+            let run = |kernel| {
+                let cfg = SystemBuilder::new()
+                    .policy(policy.clone())
+                    .workload(workload("hotspot"))
+                    .plugin(handle.clone())
+                    .insts(2_500, 500)
+                    .kernel(kernel)
+                    .build()
+                    .unwrap();
+                System::new(cfg).run()
+            };
+            let dense = run(KernelMode::Dense);
+            let event = run(KernelMode::Event);
+            assert_eq!(
+                dense,
+                event,
+                "kernels diverged: plugin {} x policy {}",
+                handle.name(),
+                policy.name()
+            );
+            let totals = dense.plugin_totals();
+            assert!(
+                totals.acts_observed > 0,
+                "{}: the plugin never observed an ACT — the point is untested",
+                handle.name()
+            );
+            if ["para:0.5", "oracle:2", "graphene:2:64"].contains(&handle.name()) {
+                assert!(
+                    totals.injected > 0,
+                    "{}: the injection path never fired — the point is untested",
+                    handle.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn engine_thread_count_determinism_holds_in_event_mode() {
     // The engine determinism guarantee re-checked with the event kernel
     // explicitly selected: results byte-identical at 1 vs 8 threads.

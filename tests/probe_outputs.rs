@@ -3,7 +3,9 @@
 //! agree — command by command — with the controller's own counters; the
 //! epoch JSONL matches the in-memory collector; the latency probe agrees
 //! with the always-on histograms; the ACT-exposure map accounts for every
-//! activation; and the run telemetry distinguishes the two kernels. The
+//! activation and its neighbor (victim-row) counts agree with the
+//! OracleRh defense's tracker; and the run telemetry distinguishes the
+//! two kernels. The
 //! bit-identity of probed vs bare runs is asserted separately in
 //! `tests/kernel_equivalence.rs`.
 
@@ -128,6 +130,52 @@ fn act_exposure_accounts_for_every_activation() {
     for addr in map.keys() {
         assert!(addr.channel < r.channel_stats.len());
     }
+}
+
+#[test]
+fn act_exposure_neighbor_probe_agrees_with_the_oracle_plugin() {
+    // The same ACT stream through two independent observers: the
+    // read-only neighbor-counting probe and the OracleRh defense's
+    // per-row exposure tracker. Direct and victim-row accounting must
+    // agree exactly — including over the defense's own injected
+    // refreshes, which execute as real activations and are re-observed
+    // by both sides.
+    let run = |t_rh: u64| {
+        let (handle, direct, neighbors) = probe::act_exposure_neighbor_collector();
+        let cfg = small(policy::baseline())
+            .workload_name("hotspot")
+            .plugin(plugin::oracle(t_rh))
+            .probe(handle)
+            .build()
+            .unwrap();
+        let r = System::new(cfg).run();
+        let probe_acts: u64 = direct.lock().unwrap().values().sum();
+        let probe_neighbors: u64 = neighbors.lock().unwrap().values().sum();
+        (r, probe_acts, probe_neighbors)
+    };
+    // Quiet threshold: the plugin only watches.
+    let (r, acts, neighbors) = run(1 << 40);
+    let totals = r.plugin_totals();
+    assert_eq!(totals.injected, 0, "nothing may fire at a quiet threshold");
+    assert!(acts > 0);
+    assert_eq!(acts, totals.acts_observed, "probe vs plugin ACT counts");
+    assert_eq!(
+        neighbors, totals.neighbor_increments,
+        "probe vs plugin victim-row counts"
+    );
+    // Firing threshold: the stream now contains the plugin's own
+    // preventive refreshes and the two accountings must still agree.
+    let (r, acts, neighbors) = run(2);
+    let totals = r.plugin_totals();
+    assert!(
+        totals.injected > 0,
+        "the defended stream must include injections"
+    );
+    assert_eq!(acts, totals.acts_observed, "probe vs plugin ACT counts");
+    assert_eq!(
+        neighbors, totals.neighbor_increments,
+        "probe vs plugin victim-row counts"
+    );
 }
 
 #[test]
